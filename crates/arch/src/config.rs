@@ -1,0 +1,229 @@
+//! The complete architecture configuration: the paper's "Arch. Config"
+//! user input.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chip::ChipConfig;
+use crate::core::CoreConfig;
+use crate::memory::SegmentKind;
+use crate::ArchError;
+
+/// The unified address map shared by the compiler and the simulator.
+///
+/// CIMFlow "implements a unified address space across both global and local
+/// memories" (Sec. III-B): every core sees its own local memory at low
+/// addresses and the chip-level global memory above
+/// [`AddressMap::global_base`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddressMap {
+    /// Size of the per-core local memory in bytes.
+    pub local_size: u64,
+    /// First byte address that refers to global memory.
+    pub global_base: u64,
+    /// Size of the global memory in bytes.
+    pub global_size: u64,
+    /// Size of one local-memory segment in bytes.
+    pub segment_size: u64,
+}
+
+impl AddressMap {
+    /// Whether `addr` falls into the global-memory window.
+    pub fn is_global(&self, addr: u64) -> bool {
+        addr >= self.global_base
+    }
+
+    /// Base address of a local-memory segment.
+    pub fn segment_base(&self, kind: SegmentKind) -> u64 {
+        let index = SegmentKind::ALL.iter().position(|k| *k == kind).unwrap_or(0) as u64;
+        index * self.segment_size
+    }
+
+    /// Translates a global address into an offset inside global memory.
+    pub fn global_offset(&self, addr: u64) -> u64 {
+        addr.saturating_sub(self.global_base)
+    }
+}
+
+/// The complete CIMFlow architecture configuration.
+///
+/// Combines the chip-level and core-level descriptions (all cores are
+/// homogeneous) and is the single hardware input consumed by the compiler
+/// and the simulator.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_arch::ArchConfig;
+///
+/// # fn main() -> Result<(), cimflow_arch::ArchError> {
+/// let arch = ArchConfig::paper_default()
+///     .with_macros_per_group(4)
+///     .with_flit_bytes(16);
+/// arch.validate()?;
+/// assert_eq!(arch.core.cim_unit.macros_per_group, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArchConfig {
+    /// Chip-level configuration (cores, NoC, global memory, clock).
+    pub chip: ChipConfig,
+    /// Core-level configuration (identical for every core).
+    pub core: CoreConfig,
+}
+
+impl ArchConfig {
+    /// The default architecture of Table I.
+    pub fn paper_default() -> Self {
+        ArchConfig { chip: ChipConfig::paper_default(), core: CoreConfig::paper_default() }
+    }
+
+    /// Returns a copy with a different macro-group size (macros per MG).
+    pub fn with_macros_per_group(mut self, macros_per_group: u32) -> Self {
+        self.core.cim_unit.macros_per_group = macros_per_group;
+        self
+    }
+
+    /// Returns a copy with a different NoC flit size in bytes.
+    pub fn with_flit_bytes(mut self, flit_bytes: u32) -> Self {
+        self.chip.noc_flit_bytes = flit_bytes;
+        self
+    }
+
+    /// Returns a copy with a different core count (mesh re-derived).
+    pub fn with_core_count(mut self, core_count: u32) -> Self {
+        self.chip = self.chip.with_core_count(core_count);
+        self
+    }
+
+    /// Total CIM weight capacity of the chip in bytes.
+    pub fn chip_weight_capacity_bytes(&self) -> u64 {
+        u64::from(self.chip.core_count) * self.core.weight_capacity_bytes()
+    }
+
+    /// Peak INT8 throughput of the chip in tera-operations per second
+    /// (counting one multiply and one add as two operations).
+    pub fn peak_tops(&self) -> f64 {
+        let macs_per_cycle = self.core.peak_macs_per_cycle() * f64::from(self.chip.core_count);
+        macs_per_cycle * 2.0 * f64::from(self.chip.frequency_mhz) * 1.0e6 / 1.0e12
+    }
+
+    /// The unified address map implied by this configuration.
+    pub fn address_map(&self) -> AddressMap {
+        let local_size = self.core.local_memory.size_bytes;
+        // Round the global base up to the next power of two above local
+        // memory so that local address arithmetic can never overflow into
+        // the global window.
+        let global_base = local_size.next_power_of_two().max(1 << 20);
+        AddressMap {
+            local_size,
+            global_base,
+            global_size: self.chip.global_memory.size_bytes,
+            segment_size: self.core.local_memory.segment_bytes(),
+        }
+    }
+
+    /// Validates every level of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an
+    /// [`ArchError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), ArchError> {
+        self.chip.validate()?;
+        self.core.validate()?;
+        Ok(())
+    }
+
+    /// Serializes the configuration to a pretty JSON string (the on-disk
+    /// "architecture configuration file" format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ArchConfig serialization cannot fail")
+    }
+
+    /// Parses a configuration from JSON and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::ParseConfig`] for malformed JSON or an
+    /// [`ArchError::InvalidConfig`] if the parsed configuration violates a
+    /// structural invariant.
+    pub fn from_json(text: &str) -> Result<Self, ArchError> {
+        let config: ArchConfig =
+            serde_json::from_str(text).map_err(|e| ArchError::ParseConfig { reason: e.to_string() })?;
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_table_i() {
+        let arch = ArchConfig::paper_default();
+        assert!(arch.validate().is_ok());
+        assert_eq!(arch.chip.core_count, 64);
+        assert_eq!(arch.core.local_memory.size_bytes, 512 * 1024);
+        assert_eq!(arch.chip.global_memory.size_bytes, 16 * 1024 * 1024);
+        // 64 cores × 512 KiB of weights.
+        assert_eq!(arch.chip_weight_capacity_bytes(), 32 * 1024 * 1024);
+    }
+
+    #[test]
+    fn peak_tops_is_physically_plausible() {
+        let arch = ArchConfig::paper_default();
+        let tops = arch.peak_tops();
+        // 64 cores × 16 MGs × (512×64 MACs / 256 cycles) × 2 at 1 GHz ≈ 262 TOPS.
+        assert!(tops > 10.0 && tops < 500.0, "peak {tops} TOPS out of plausible range");
+    }
+
+    #[test]
+    fn sweep_builders_change_only_their_field() {
+        let base = ArchConfig::paper_default();
+        let swept = base.with_macros_per_group(12).with_flit_bytes(16);
+        assert_eq!(swept.core.cim_unit.macros_per_group, 12);
+        assert_eq!(swept.chip.noc_flit_bytes, 16);
+        assert_eq!(swept.chip.core_count, base.chip.core_count);
+        assert!(swept.validate().is_ok());
+    }
+
+    #[test]
+    fn address_map_separates_local_and_global() {
+        let map = ArchConfig::paper_default().address_map();
+        assert!(!map.is_global(0));
+        assert!(!map.is_global(map.local_size - 1));
+        assert!(map.is_global(map.global_base));
+        assert_eq!(map.global_offset(map.global_base + 100), 100);
+        assert_eq!(map.segment_base(SegmentKind::Input), 0);
+        assert!(map.segment_base(SegmentKind::Scratch) >= 3 * map.segment_size);
+    }
+
+    #[test]
+    fn json_round_trip_and_validation() {
+        let arch = ArchConfig::paper_default().with_macros_per_group(4);
+        let text = arch.to_json();
+        let back = ArchConfig::from_json(&text).unwrap();
+        assert_eq!(back, arch);
+
+        assert!(matches!(ArchConfig::from_json("{not json"), Err(ArchError::ParseConfig { .. })));
+
+        let mut broken = arch;
+        broken.chip.core_count = 0;
+        assert!(ArchConfig::from_json(&broken.to_json()).is_err());
+    }
+
+    #[test]
+    fn smaller_core_count_reduces_capacity() {
+        let small = ArchConfig::paper_default().with_core_count(16);
+        assert!(small.chip_weight_capacity_bytes() < ArchConfig::paper_default().chip_weight_capacity_bytes());
+        assert!(small.validate().is_ok());
+    }
+}

@@ -1,0 +1,175 @@
+//! Core-level abstraction: the organization of hardware resources inside
+//! one CIMFlow core.
+
+use serde::{Deserialize, Serialize};
+
+use crate::memory::LocalMemoryConfig;
+use crate::unit::{CimUnitConfig, ScalarUnitConfig, VectorUnitConfig};
+use crate::ArchError;
+
+/// Register-file sizing of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegisterFileConfig {
+    /// Number of general-purpose registers (instruction-addressable).
+    pub general: u32,
+    /// Number of special-purpose registers.
+    pub special: u32,
+}
+
+impl RegisterFileConfig {
+    /// Default register file: 32 general + 6 special registers.
+    pub fn paper_default() -> Self {
+        RegisterFileConfig { general: 32, special: 6 }
+    }
+
+    /// Validates register-file invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.general == 0 {
+            return Err(ArchError::invalid("register_file.general", "must be positive"));
+        }
+        if self.general > 32 {
+            return Err(ArchError::invalid(
+                "register_file.general",
+                "the 5-bit operand fields address at most 32 registers",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RegisterFileConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Core-level hardware description.
+///
+/// Each core is "a basic unit of program execution with its own
+/// instruction control flow" (paper Sec. III-B): it owns an instruction
+/// memory, a register file, a CIM compute unit, a vector unit, a scalar
+/// unit, a transfer unit and a segmented local memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// The in-memory compute unit.
+    pub cim_unit: CimUnitConfig,
+    /// The element-wise vector unit.
+    pub vector_unit: VectorUnitConfig,
+    /// The scalar ALU.
+    pub scalar_unit: ScalarUnitConfig,
+    /// The register file.
+    pub register_file: RegisterFileConfig,
+    /// The segmented local memory.
+    pub local_memory: LocalMemoryConfig,
+    /// Instruction-memory capacity in instructions.
+    pub instruction_memory_entries: u32,
+}
+
+impl CoreConfig {
+    /// Table I default core.
+    pub fn paper_default() -> Self {
+        CoreConfig {
+            cim_unit: CimUnitConfig::paper_default(),
+            vector_unit: VectorUnitConfig::paper_default(),
+            scalar_unit: ScalarUnitConfig::paper_default(),
+            register_file: RegisterFileConfig::paper_default(),
+            local_memory: LocalMemoryConfig::paper_default(),
+            instruction_memory_entries: 64 * 1024,
+        }
+    }
+
+    /// Weight capacity of the core's CIM arrays in bytes.
+    pub fn weight_capacity_bytes(&self) -> u64 {
+        self.cim_unit.weight_capacity_bytes()
+    }
+
+    /// Peak multiply-accumulate throughput of the core in MACs per cycle,
+    /// assuming every macro group issues back-to-back full-height MVMs.
+    pub fn peak_macs_per_cycle(&self) -> f64 {
+        let unit = &self.cim_unit;
+        let macs = unit.macs_per_group_operation(unit.rows_per_operation()) as f64
+            * f64::from(unit.macro_groups);
+        macs / unit.mvm_initiation_interval() as f64
+    }
+
+    /// Validates the core and all nested units.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        self.cim_unit.validate()?;
+        self.vector_unit.validate()?;
+        self.scalar_unit.validate()?;
+        self.register_file.validate()?;
+        self.local_memory.validate()?;
+        if self.instruction_memory_entries == 0 {
+            return Err(ArchError::invalid("core.instruction_memory_entries", "must be positive"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_core_is_valid() {
+        assert!(CoreConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn weight_capacity_matches_cim_unit() {
+        let core = CoreConfig::paper_default();
+        assert_eq!(core.weight_capacity_bytes(), core.cim_unit.weight_capacity_bytes());
+    }
+
+    #[test]
+    fn peak_throughput_is_positive_and_scales_with_mg_size() {
+        let small = CoreConfig {
+            cim_unit: CimUnitConfig::paper_default().with_macros_per_group(4),
+            ..CoreConfig::paper_default()
+        };
+        let large = CoreConfig {
+            cim_unit: CimUnitConfig::paper_default().with_macros_per_group(16),
+            ..CoreConfig::paper_default()
+        };
+        assert!(small.peak_macs_per_cycle() > 0.0);
+        assert!(large.peak_macs_per_cycle() > small.peak_macs_per_cycle());
+    }
+
+    #[test]
+    fn register_file_limits() {
+        assert!(RegisterFileConfig { general: 33, special: 6 }.validate().is_err());
+        assert!(RegisterFileConfig { general: 0, special: 6 }.validate().is_err());
+        assert!(RegisterFileConfig::paper_default().validate().is_ok());
+    }
+
+    #[test]
+    fn nested_invalid_unit_is_reported() {
+        let mut core = CoreConfig::paper_default();
+        core.cim_unit.macro_groups = 0;
+        assert!(core.validate().is_err());
+        let mut core = CoreConfig::paper_default();
+        core.instruction_memory_entries = 0;
+        assert!(core.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let core = CoreConfig::paper_default();
+        let back: CoreConfig = serde_json::from_str(&serde_json::to_string(&core).unwrap()).unwrap();
+        assert_eq!(back, core);
+    }
+}

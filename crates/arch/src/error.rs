@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing, validating or loading architecture
+/// configurations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArchError {
+    /// A structural invariant of the configuration does not hold.
+    InvalidConfig {
+        /// Dotted path of the offending field (e.g. `core.cim_unit.macro_rows`).
+        field: String,
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// A configuration file could not be parsed.
+    ParseConfig {
+        /// Underlying parser message.
+        reason: String,
+    },
+}
+
+impl ArchError {
+    /// Convenience constructor for invariant violations.
+    pub fn invalid(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        ArchError::InvalidConfig { field: field.into(), reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidConfig { field, reason } => {
+                write!(f, "invalid architecture configuration at `{field}`: {reason}")
+            }
+            ArchError::ParseConfig { reason } => {
+                write!(f, "failed to parse architecture configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_field_and_reason() {
+        let e = ArchError::invalid("chip.core_count", "must be positive");
+        let msg = e.to_string();
+        assert!(msg.contains("chip.core_count"));
+        assert!(msg.contains("must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

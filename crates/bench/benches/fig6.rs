@@ -1,0 +1,67 @@
+//! Fig. 6 — energy consumption breakdown and throughput across
+//! architectures with different macro-group sizes and NoC link bandwidths,
+//! for ResNet18 (compute intensive) and EfficientNetB0 (compact), compiled
+//! with the generic mapping strategy.
+//!
+//! Run with `cargo bench -p cimflow-bench --bench fig6`.
+
+use cimflow::dse::sweep;
+use cimflow::{models, ArchConfig, Strategy};
+use cimflow_bench::resolution;
+
+fn main() {
+    let base = ArchConfig::paper_default();
+    let resolution = resolution();
+    let mg_sizes = [4u32, 8, 12, 16];
+    let flit_sizes = [8u32, 16];
+
+    println!("=== Fig. 6: MG size and NoC bandwidth exploration (generic mapping, resolution {resolution}) ===");
+    for model in [models::resnet18(resolution), models::efficientnet_b0(resolution)] {
+        println!("\n--- {} ---", model.name);
+        println!(
+            "{:>6} {:>6} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "flit", "MG", "TOPS", "energy mJ", "local mem", "compute", "NoC"
+        );
+        let points = sweep(&base, &model, &mg_sizes, &flit_sizes, Strategy::GenericMapping)
+            .unwrap_or_else(|e| panic!("{}: sweep failed: {e}", model.name));
+        for p in &points {
+            let sim = &p.evaluation.simulation;
+            let total = sim.energy.total_pj().max(f64::MIN_POSITIVE);
+            println!(
+                "{:>4} B {:>6} {:>12.3} {:>12.3} {:>11.1}% {:>11.1}% {:>11.1}%",
+                p.flit_bytes,
+                p.mg_size,
+                p.throughput_tops(),
+                p.energy_mj(),
+                sim.energy.local_memory_pj / total * 100.0,
+                sim.energy.compute_pj / total * 100.0,
+                sim.energy.noc_pj / total * 100.0,
+            );
+        }
+        // Shape checks corresponding to the paper's observations.
+        let tops = |mg: u32, flit: u32| {
+            points
+                .iter()
+                .find(|p| p.mg_size == mg && p.flit_bytes == flit)
+                .map(|p| p.throughput_tops())
+                .unwrap_or(0.0)
+        };
+        println!(
+            "MG scaling (4 -> 16 macros, 8 B flit): {:.3} -> {:.3} TOPS ({:+.1}%)",
+            tops(4, 8),
+            tops(16, 8),
+            (tops(16, 8) / tops(4, 8).max(1e-12) - 1.0) * 100.0
+        );
+        println!(
+            "flit scaling (8 -> 16 B, MG 16): {:.3} -> {:.3} TOPS ({:+.1}%)",
+            tops(16, 8),
+            tops(16, 16),
+            (tops(16, 16) / tops(16, 8).max(1e-12) - 1.0) * 100.0
+        );
+        let max_noc_share = points
+            .iter()
+            .map(|p| p.evaluation.simulation.energy.noc_share())
+            .fold(0.0f64, f64::max);
+        println!("largest NoC energy share across configurations: {:.1}%", max_noc_share * 100.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Fig. 7 — the software/hardware design space categorized by macro-group
+//! size: energy versus throughput for the generic and the DP-optimized
+//! mapping across MG sizes and NoC flit sizes, for ResNet18 and
+//! EfficientNetB0.
+//!
+//! Run with `cargo bench -p cimflow-bench --bench fig7`.
+
+use cimflow::dse::sweep_strategies;
+use cimflow::{models, ArchConfig, Strategy};
+use cimflow_bench::resolution;
+
+fn main() {
+    let base = ArchConfig::paper_default();
+    let resolution = resolution();
+    let mg_sizes = [4u32, 8, 12, 16];
+    let flit_sizes = [8u32, 16];
+    let strategies = [Strategy::GenericMapping, Strategy::DpOptimized];
+
+    println!("=== Fig. 7: software/hardware design space (resolution {resolution}) ===");
+    for model in [models::resnet18(resolution), models::efficientnet_b0(resolution)] {
+        println!("\n--- {} ---", model.name);
+        println!(
+            "{:>12} {:>6} {:>6} {:>14} {:>14}",
+            "mapping", "MG", "flit", "throughput TOPS", "energy mJ"
+        );
+        let points = sweep_strategies(&base, &model, &mg_sizes, &flit_sizes, &strategies)
+            .unwrap_or_else(|e| panic!("{}: sweep failed: {e}", model.name));
+        for p in &points {
+            println!(
+                "{:>12} {:>6} {:>4} B {:>14.3} {:>14.3}",
+                p.strategy.to_string(),
+                p.mg_size,
+                p.flit_bytes,
+                p.throughput_tops(),
+                p.energy_mj()
+            );
+        }
+        // Shape check: for every hardware configuration the optimized
+        // mapping should dominate (or match) the generic mapping envelope.
+        let mut dominated = 0usize;
+        let mut total = 0usize;
+        for &mg in &mg_sizes {
+            for &flit in &flit_sizes {
+                let generic = points
+                    .iter()
+                    .find(|p| p.strategy == Strategy::GenericMapping && p.mg_size == mg && p.flit_bytes == flit);
+                let dp = points
+                    .iter()
+                    .find(|p| p.strategy == Strategy::DpOptimized && p.mg_size == mg && p.flit_bytes == flit);
+                if let (Some(generic), Some(dp)) = (generic, dp) {
+                    total += 1;
+                    if dp.throughput_tops() >= generic.throughput_tops() * 0.99 {
+                        dominated += 1;
+                    }
+                }
+            }
+        }
+        println!("optimized mapping matches or beats generic mapping in {dominated}/{total} configurations");
+    }
+}

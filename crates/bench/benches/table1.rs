@@ -1,0 +1,41 @@
+//! Table I — architecture parameters of the default architecture.
+//!
+//! Prints the default configuration exactly as the paper tabulates it,
+//! together with the derived capacities the rest of the evaluation relies
+//! on. Run with `cargo bench -p cimflow-bench --bench table1`.
+
+use cimflow::ArchConfig;
+
+fn main() {
+    let arch = ArchConfig::paper_default();
+    arch.validate().expect("the paper default architecture is self-consistent");
+
+    println!("=== Table I: architecture parameters of the default architecture ===");
+    println!("{:<28} {:>12}", "Chip level", "");
+    println!("{:<28} {:>12}", "  Core num.", arch.chip.core_count);
+    println!("{:<28} {:>9} B", "  NoC flit size", arch.chip.noc_flit_bytes);
+    println!("{:<28} {:>9} MB", "  Global mem.", arch.chip.global_memory.size_bytes >> 20);
+    println!("{:<28} {:>12}", "Core level", "");
+    println!("{:<28} {:>7} # MG", "  CIM comp. unit", arch.core.cim_unit.macro_groups);
+    println!("{:<28} {:>4} # macro", "  Macro group", arch.core.cim_unit.macros_per_group);
+    println!("{:<28} {:>9} KB", "  Local mem.", arch.core.local_memory.size_bytes >> 10);
+    println!("{:<28} {:>12}", "Unit level", "");
+    println!(
+        "{:<28} {:>9}x{}",
+        "  Macro",
+        arch.core.cim_unit.macro_geometry.rows,
+        arch.core.cim_unit.macro_geometry.cols
+    );
+    println!(
+        "{:<28} {:>10}x{}",
+        "  Element",
+        arch.core.cim_unit.element_geometry.rows,
+        arch.core.cim_unit.element_geometry.cols
+    );
+    println!();
+    println!("=== derived quantities ===");
+    println!("{:<28} {:>9} KB", "CIM weight capacity / core", arch.core.weight_capacity_bytes() >> 10);
+    println!("{:<28} {:>9} MB", "CIM weight capacity / chip", arch.chip_weight_capacity_bytes() >> 20);
+    println!("{:<28} {:>9.1}", "peak INT8 TOPS", arch.peak_tops());
+    println!("{:<28} {:>9} MHz", "clock", arch.chip.frequency_mhz);
+}

@@ -1,0 +1,85 @@
+//! Shared helpers for the experiment-reproduction bench targets.
+//!
+//! Every figure and table of the paper's evaluation section has a
+//! `harness = false` bench target in `benches/` that regenerates the
+//! corresponding rows/series (`cargo bench -p cimflow-bench --bench fig5`
+//! etc.). EXPERIMENTS.md records the mapping and the measured outcomes.
+
+use cimflow::{CimFlow, CimFlowError, Model, Strategy};
+
+/// Input resolution used by the experiment harnesses.
+///
+/// The paper evaluates the ImageNet geometry (224 px); the reproduction
+/// defaults to 64 px so that a full figure regenerates in seconds on a
+/// laptop while the graph structures — and therefore every compiler
+/// decision — stay identical. Override with the `CIMFLOW_RESOLUTION`
+/// environment variable for full-resolution runs.
+pub fn resolution() -> u32 {
+    std::env::var("CIMFLOW_RESOLUTION")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A single measured data point of an experiment.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Model name.
+    pub model: String,
+    /// Strategy name.
+    pub strategy: String,
+    /// Execution cycles.
+    pub cycles: u64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// Throughput in TOPS.
+    pub tops: f64,
+    /// Local-memory share of the total energy.
+    pub local_memory_share: f64,
+    /// Compute share of the total energy.
+    pub compute_share: f64,
+    /// NoC share of the total energy.
+    pub noc_share: f64,
+}
+
+/// Compiles and simulates one model with one strategy on a workflow.
+///
+/// # Errors
+///
+/// Propagates compilation and simulation failures.
+pub fn measure(flow: &CimFlow, model: &Model, strategy: Strategy) -> Result<Measurement, CimFlowError> {
+    let evaluation = flow.evaluate(model, strategy)?;
+    let sim = &evaluation.simulation;
+    let total = sim.energy.total_pj().max(f64::MIN_POSITIVE);
+    Ok(Measurement {
+        model: model.name.clone(),
+        strategy: strategy.to_string(),
+        cycles: sim.total_cycles,
+        energy_mj: sim.energy_mj(),
+        tops: sim.throughput_tops(),
+        local_memory_share: sim.energy.local_memory_pj / total,
+        compute_share: sim.energy.compute_pj / total,
+        noc_share: sim.energy.noc_pj / total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow::models;
+
+    #[test]
+    fn resolution_defaults_to_sixty_four() {
+        assert_eq!(resolution(), 64);
+    }
+
+    #[test]
+    fn measurement_shares_sum_below_one() {
+        let flow = CimFlow::with_default_arch();
+        let m = measure(&flow, &models::mobilenet_v2(32), Strategy::GenericMapping).unwrap();
+        assert!(m.cycles > 0);
+        assert!(m.energy_mj > 0.0);
+        let sum = m.local_memory_share + m.compute_share + m.noc_share;
+        assert!(sum > 0.0 && sum <= 1.0);
+    }
+}

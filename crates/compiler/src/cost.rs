@@ -1,0 +1,343 @@
+//! The cost estimation model guiding partitioning and core-mapping
+//! decisions.
+//!
+//! "To balance parallel execution benefits against communication costs,
+//! the estimation model accounts for both computation costs and data
+//! transfer overheads across inter- and intra-cluster communications."
+//! (paper Sec. III-C)
+//!
+//! The estimates here only *rank* candidate partitions and mappings; the
+//! authoritative latency/energy numbers always come from the cycle-level
+//! simulator.
+
+use cimflow_arch::ArchConfig;
+use cimflow_energy::EnergyModel;
+
+use crate::frontend::OpGroup;
+
+/// Resource allocation chosen for one operator group inside a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupMapping {
+    /// Index of the group in the condensed graph.
+    pub group: usize,
+    /// Cores per replica (output channels are sliced across these).
+    pub cores_per_replica: u32,
+    /// Weight-duplication factor (output pixels are sliced across replicas).
+    pub replicas: u32,
+}
+
+impl GroupMapping {
+    /// Total cores consumed by the group.
+    pub fn total_cores(&self) -> u32 {
+        self.cores_per_replica * self.replicas
+    }
+}
+
+/// Estimated cost of one stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageCost {
+    /// Estimated stage latency in cycles (pipeline bottleneck plus
+    /// stage-boundary overheads).
+    pub cycles: u64,
+    /// Estimated stage energy in picojoules.
+    pub energy_pj: f64,
+}
+
+/// The compiler-side cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    arch: ArchConfig,
+    energy: EnergyModel,
+}
+
+impl CostModel {
+    /// Creates a cost model for an architecture with the default
+    /// 28 nm-calibrated energy constants.
+    pub fn new(arch: &ArchConfig) -> Self {
+        CostModel { arch: *arch, energy: EnergyModel::calibrated_28nm() }
+    }
+
+    /// The architecture the model describes.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// CIM weight capacity of one core in bytes.
+    pub fn core_capacity_bytes(&self) -> u64 {
+        self.arch.core.cim_unit.weight_capacity_bytes()
+    }
+
+    /// Number of cores on the chip.
+    pub fn total_cores(&self) -> u32 {
+        self.arch.chip.core_count
+    }
+
+    /// Reduction-dimension tiles needed for a group (`ceil(K / macro rows)`).
+    pub fn row_tiles(&self, group: &OpGroup) -> u32 {
+        group.metrics.k_rows.div_ceil(self.arch.core.cim_unit.rows_per_operation())
+    }
+
+    /// Output-channel tiles needed for a group across the whole cluster.
+    pub fn channel_tiles(&self, group: &OpGroup) -> u32 {
+        group.metrics.out_channels.div_ceil(self.arch.core.cim_unit.output_channels_per_group())
+    }
+
+    /// Minimum number of cores able to hold one replica of the group's
+    /// weights, considering both raw capacity and macro-group counts.
+    pub fn min_cores(&self, group: &OpGroup) -> u32 {
+        let capacity = self.core_capacity_bytes().max(1);
+        let by_capacity = group.metrics.weight_bytes.div_ceil(capacity) as u32;
+        let tiles = self.row_tiles(group) as u64 * u64::from(self.channel_tiles(group));
+        let by_macro_groups = tiles.div_ceil(u64::from(self.arch.core.cim_unit.macro_groups)) as u32;
+        by_capacity.max(by_macro_groups).max(1)
+    }
+
+    /// Estimated cycles one replica of the group needs to produce its
+    /// pixel slice, given `cores_per_replica` cores and `replicas`
+    /// replicas (pipelined with its neighbours).
+    pub fn group_cycles(&self, group: &OpGroup, cores_per_replica: u32, replicas: u32) -> u64 {
+        let unit = &self.arch.core.cim_unit;
+        let pixels = u64::from(group.metrics.out_pixels.div_ceil(replicas.max(1)));
+        let ch_per_core = group.metrics.out_channels.div_ceil(cores_per_replica.max(1));
+        let ch_tiles = u64::from(ch_per_core.div_ceil(unit.output_channels_per_group()));
+        let row_tiles = u64::from(self.row_tiles(group));
+        let mvms_per_pixel = ch_tiles * row_tiles;
+        let rows = group.metrics.k_rows.min(unit.rows_per_operation());
+        // Distinct (row, channel) tiles live on distinct macro groups, so a
+        // pixel's MVMs overlap; consecutive pixels serialize on each MG,
+        // except that vacant macro groups hold duplicated weight copies and
+        // serve interleaved pixels (intra-core duplication).
+        let intra = u64::from(unit.macro_groups) / mvms_per_pixel.max(1);
+        let cim_cycles = pixels * unit.mvm_issue_cycles(rows) / intra.clamp(1, 16);
+        // The in-order core must also issue every instruction of the pixel
+        // loop (MVMs plus gather/store/bookkeeping overhead).
+        let issue_cycles = pixels * (mvms_per_pixel + 8);
+        // Fused element-wise work on the vector unit.
+        let vector_cycles = self
+            .arch
+            .core
+            .vector_unit
+            .cycles_for(group.metrics.vector_elems / u64::from(replicas.max(1)));
+        // Activation input must reach every core of the replica over the NoC.
+        let input_slice = group.metrics.input_bytes / u64::from(replicas.max(1));
+        let flit = u64::from(self.arch.chip.noc_flit_bytes.max(1));
+        let comm_cycles = input_slice.div_ceil(flit)
+            + (group.metrics.output_bytes / u64::from(replicas.max(1))).div_ceil(flit);
+        cim_cycles.max(issue_cycles).max(vector_cycles).max(comm_cycles)
+    }
+
+    /// Estimated energy of executing the whole group once (independent of
+    /// the mapping, except for duplication-induced broadcast traffic).
+    pub fn group_energy_pj(&self, group: &OpGroup, cores_per_replica: u32, replicas: u32) -> f64 {
+        let compute = self.energy.mvm_energy(
+            group.metrics.macs,
+            group.metrics.input_bytes,
+            group.metrics.output_bytes,
+        );
+        let mean_hops = (self.arch.chip.mesh.width + self.arch.chip.mesh.height) / 3;
+        let broadcast_bytes = group.metrics.input_bytes * u64::from(cores_per_replica.max(1));
+        let flits = self.arch.chip.flits_for(broadcast_bytes) * u64::from(replicas.max(1)).min(4);
+        let noc = self.energy.noc_energy(flits, self.arch.chip.noc_flit_bytes, mean_hops.max(1));
+        let vector_pj = self.energy.digital.vector_pj_per_elem * group.metrics.vector_elems as f64;
+        compute.total_pj() + noc.total_pj() + vector_pj
+    }
+
+    /// Cycles to bring a stage's weights from global memory into the CIM
+    /// arrays (the dominant stage-transition overhead under the SRAM
+    /// capacity constraint).
+    pub fn weight_reload_cycles(&self, stage_weight_bytes: u64) -> u64 {
+        self.arch.chip.global_memory.transfer_cycles(stage_weight_bytes)
+            + self.arch.core.local_memory.transfer_cycles(
+                stage_weight_bytes / u64::from(self.arch.chip.core_count.max(1)),
+            )
+    }
+
+    /// Estimates the cost of one stage under a concrete mapping.
+    pub fn stage_cost(&self, groups: &[&OpGroup], mapping: &[GroupMapping]) -> StageCost {
+        let mut bottleneck = 0u64;
+        let mut sum = 0u64;
+        let mut energy = 0.0f64;
+        let mut stage_weight_bytes = 0u64;
+        let member: std::collections::BTreeSet<usize> = groups.iter().map(|g| g.index).collect();
+        let mut boundary_bytes = 0u64;
+        for (group, m) in groups.iter().zip(mapping) {
+            let cycles = self.group_cycles(group, m.cores_per_replica, m.replicas);
+            bottleneck = bottleneck.max(cycles);
+            sum += cycles;
+            energy += self.group_energy_pj(group, m.cores_per_replica, m.replicas);
+            stage_weight_bytes += group.metrics.weight_bytes * u64::from(m.replicas);
+            // Activations arriving from outside the stage are filled from
+            // global memory — the other half of the stage-boundary penalty.
+            boundary_bytes += group
+                .preds
+                .iter()
+                .filter(|d| !member.contains(&d.group))
+                .map(|d| d.bytes)
+                .sum::<u64>();
+            if group.reads_graph_input {
+                boundary_bytes += group.metrics.input_bytes;
+            }
+        }
+        let reload = self.weight_reload_cycles(stage_weight_bytes)
+            + self.arch.chip.global_memory.transfer_cycles(boundary_bytes);
+        energy += self.energy.cim.weight_load_pj(stage_weight_bytes)
+            + self.energy.global_memory_energy(stage_weight_bytes + boundary_bytes).total_pj();
+        // Pipelined stage latency: the bottleneck group dominates, the
+        // remaining groups contribute their pipeline-fill share.
+        let cycles = bottleneck + sum / 16 + reload;
+        StageCost { cycles, energy_pj: energy }
+    }
+
+    /// Chooses cores-per-replica and duplication factors for the groups of
+    /// a candidate stage — the paper's `OptimalMapping(stage, R)`.
+    ///
+    /// Returns `None` when the stage cannot fit the chip even without
+    /// duplication. Otherwise the allocation starts from the
+    /// capacity-imposed minimum and spends the vacant cores on duplicating
+    /// the groups with the largest estimated execution time.
+    pub fn optimal_mapping(&self, groups: &[&OpGroup]) -> Option<(StageCost, Vec<GroupMapping>)> {
+        self.mapping_with_duplication(groups, true)
+    }
+
+    /// Same as [`Self::optimal_mapping`] but optionally disabling
+    /// duplication (used by the generic-mapping baseline).
+    pub fn mapping_with_duplication(
+        &self,
+        groups: &[&OpGroup],
+        duplicate: bool,
+    ) -> Option<(StageCost, Vec<GroupMapping>)> {
+        if groups.is_empty() {
+            return None;
+        }
+        let total = self.total_cores();
+        let mut mapping: Vec<GroupMapping> = groups
+            .iter()
+            .map(|g| GroupMapping { group: g.index, cores_per_replica: self.min_cores(g), replicas: 1 })
+            .collect();
+        let used: u32 = mapping.iter().map(GroupMapping::total_cores).sum();
+        if used > total {
+            return None;
+        }
+        let mut cost = self.stage_cost(groups, &mapping);
+        if duplicate {
+            let mut remaining = total - used;
+            // Greedy refinement: repeatedly duplicate the group with the
+            // largest estimated time while vacant cores remain and the
+            // whole-stage estimate (including the extra weight reload the
+            // duplicate causes) keeps improving.
+            loop {
+                let mut best: Option<(usize, u64, u32)> = None;
+                for (i, m) in mapping.iter().enumerate() {
+                    let cost_now = self.group_cycles(groups[i], m.cores_per_replica, m.replicas);
+                    let extra = m.cores_per_replica;
+                    if extra <= remaining {
+                        match best {
+                            Some((_, best_cost, _)) if cost_now <= best_cost => {}
+                            _ => best = Some((i, cost_now, extra)),
+                        }
+                    }
+                }
+                let Some((i, _, extra)) = best else { break };
+                mapping[i].replicas += 1;
+                let candidate = self.stage_cost(groups, &mapping);
+                if candidate.cycles < cost.cycles {
+                    cost = candidate;
+                    remaining -= extra;
+                    if remaining == 0 {
+                        break;
+                    }
+                } else {
+                    mapping[i].replicas -= 1;
+                    break;
+                }
+            }
+        }
+        Some((cost, mapping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::CondensedGraph;
+    use cimflow_nn::models;
+
+    fn condensed(resolution: u32) -> CondensedGraph {
+        CondensedGraph::from_graph(&models::resnet18(resolution).graph).unwrap()
+    }
+
+    #[test]
+    fn min_cores_respects_capacity_and_macro_groups() {
+        let model = CostModel::new(&cimflow_arch::ArchConfig::paper_default());
+        let condensed = condensed(64);
+        for group in condensed.groups() {
+            let min = model.min_cores(group);
+            assert!(min >= 1);
+            // A replica spread over `min` cores must fit their capacity.
+            assert!(u64::from(min) * model.core_capacity_bytes() >= group.metrics.weight_bytes);
+        }
+    }
+
+    #[test]
+    fn group_cycles_decrease_with_more_replicas() {
+        let model = CostModel::new(&cimflow_arch::ArchConfig::paper_default());
+        let condensed = condensed(64);
+        let heavy = condensed
+            .groups()
+            .iter()
+            .max_by_key(|g| g.metrics.macs)
+            .unwrap();
+        let one = model.group_cycles(heavy, model.min_cores(heavy), 1);
+        let four = model.group_cycles(heavy, model.min_cores(heavy), 4);
+        assert!(four < one, "duplication must reduce the bottleneck ({four} !< {one})");
+    }
+
+    #[test]
+    fn optimal_mapping_uses_vacant_cores() {
+        let arch = cimflow_arch::ArchConfig::paper_default();
+        let model = CostModel::new(&arch);
+        let condensed = condensed(64);
+        let groups: Vec<&OpGroup> = condensed.groups().iter().collect();
+        let (_, mapping) = model.optimal_mapping(&groups).unwrap();
+        let used: u32 = mapping.iter().map(GroupMapping::total_cores).sum();
+        assert!(used <= arch.chip.core_count);
+        assert!(mapping.iter().any(|m| m.replicas > 1), "ResNet18 leaves room for duplication");
+        // The no-duplication mapping must never be faster.
+        let (without, _) = model.mapping_with_duplication(&groups, false).unwrap();
+        let (with, _) = model.optimal_mapping(&groups).unwrap();
+        assert!(with.cycles <= without.cycles);
+    }
+
+    #[test]
+    fn oversized_stage_is_rejected() {
+        let arch = cimflow_arch::ArchConfig::paper_default().with_core_count(4);
+        let model = CostModel::new(&arch);
+        let vgg = CondensedGraph::from_graph(&models::vgg19(224).graph).unwrap();
+        let groups: Vec<&OpGroup> = vgg.groups().iter().collect();
+        assert!(model.optimal_mapping(&groups).is_none(), "VGG19 cannot fit four cores in one stage");
+    }
+
+    #[test]
+    fn stage_cost_accounts_for_weight_reload() {
+        let model = CostModel::new(&cimflow_arch::ArchConfig::paper_default());
+        let condensed = condensed(64);
+        let groups: Vec<&OpGroup> = condensed.groups().iter().collect();
+        let single_mapping: Vec<GroupMapping> = groups
+            .iter()
+            .map(|g| GroupMapping { group: g.index, cores_per_replica: model.min_cores(g), replicas: 1 })
+            .collect();
+        let whole = model.stage_cost(&groups, &single_mapping);
+        // Splitting into two stages pays the reload twice and pipelines less.
+        let half = groups.len() / 2;
+        let first = model.stage_cost(&groups[..half], &single_mapping[..half]);
+        let second = model.stage_cost(&groups[half..], &single_mapping[half..]);
+        assert!(first.cycles + second.cycles > whole.cycles);
+        assert!(whole.energy_pj > 0.0);
+    }
+
+    #[test]
+    fn weight_reload_scales_with_bytes() {
+        let model = CostModel::new(&cimflow_arch::ArchConfig::paper_default());
+        assert!(model.weight_reload_cycles(10 << 20) > model.weight_reload_cycles(1 << 20));
+    }
+}

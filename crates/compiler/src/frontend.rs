@@ -1,0 +1,359 @@
+//! CG-level preprocessing: condensation of the computation graph around
+//! its MVM-based operators and dependency-preserving linearization.
+//!
+//! "During preprocessing, the compiler first identifies and extracts
+//! MVM-based operators, then groups adjacent operators with them to create
+//! a condensed CG. This analysis produces a dependency-preserving linear
+//! sequence of operators that forms the foundation for subsequent
+//! optimization stages." (paper Sec. III-C)
+
+use std::collections::BTreeMap;
+
+use cimflow_nn::{Graph, OpId, OpKind};
+
+use crate::CompileError;
+
+/// A dependency from one operator group onto another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupDep {
+    /// Index of the producing group in the condensed graph.
+    pub group: usize,
+    /// Activation bytes consumed from that producer.
+    pub bytes: u64,
+}
+
+/// Workload metrics of one condensed operator group, used by the cost
+/// model and the OP-level mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupMetrics {
+    /// Weight footprint in bytes (INT8 weights + INT32 biases).
+    pub weight_bytes: u64,
+    /// Multiply-accumulate count of the anchor operator.
+    pub macs: u64,
+    /// Reduction-dimension length of the im2col weight matrix
+    /// (`in_channels / groups × kh × kw`).
+    pub k_rows: u32,
+    /// Output channels of the anchor operator.
+    pub out_channels: u32,
+    /// Output spatial positions of the anchor operator (`oh × ow`).
+    pub out_pixels: u32,
+    /// Bytes of the group's final output tensor.
+    pub output_bytes: u64,
+    /// Bytes of the anchor's primary activation input.
+    pub input_bytes: u64,
+    /// Element-wise work of the fused non-MVM operators.
+    pub vector_elems: u64,
+    /// Whether the anchor is a depth-wise convolution.
+    pub is_depthwise: bool,
+}
+
+/// One node of the condensed computation graph: an MVM-based anchor
+/// operator plus the adjacent non-MVM operators fused onto it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpGroup {
+    /// Index of the group in the dependency-preserving linearization.
+    pub index: usize,
+    /// The anchor MVM operator.
+    pub anchor: OpId,
+    /// Name of the anchor operator (used in reports and errors).
+    pub name: String,
+    /// Non-MVM operators fused onto the anchor.
+    pub fused: Vec<OpId>,
+    /// Producing groups this group depends on.
+    pub preds: Vec<GroupDep>,
+    /// Whether the group reads the graph input (from global memory).
+    pub reads_graph_input: bool,
+    /// Whether the group produces a graph output (to global memory).
+    pub writes_graph_output: bool,
+    /// Aggregated workload metrics.
+    pub metrics: GroupMetrics,
+}
+
+/// The condensed computation graph: MVM groups in dependency-preserving
+/// linear order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CondensedGraph {
+    groups: Vec<OpGroup>,
+}
+
+impl CondensedGraph {
+    /// Condenses a computation graph around its MVM-based operators and
+    /// splits any operator whose weights exceed `max_group_weight_bytes`
+    /// into output-channel slices, so that every group can be held by the
+    /// chip's CIM arrays in some execution stage (VGG19's first fully
+    /// connected layer alone exceeds the whole default chip).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::from_graph`].
+    pub fn from_graph_with_capacity(
+        graph: &Graph,
+        max_group_weight_bytes: u64,
+    ) -> Result<Self, CompileError> {
+        let condensed = Self::from_graph(graph)?;
+        Ok(condensed.split_oversized(max_group_weight_bytes.max(1)))
+    }
+
+    /// Splits groups whose weights exceed `limit` into equal
+    /// output-channel slices, remapping dependencies onto the slices.
+    fn split_oversized(self, limit: u64) -> Self {
+        if self.groups.iter().all(|g| g.metrics.weight_bytes <= limit) {
+            return self;
+        }
+        // Map old group index -> new indices of its parts.
+        let mut parts_of: Vec<Vec<usize>> = Vec::with_capacity(self.groups.len());
+        let mut new_groups: Vec<OpGroup> = Vec::new();
+        for group in &self.groups {
+            let parts = (group.metrics.weight_bytes.div_ceil(limit)).max(1) as u32;
+            let parts = parts.min(group.metrics.out_channels.max(1));
+            let mut indices = Vec::with_capacity(parts as usize);
+            for part in 0..parts {
+                let mut piece = group.clone();
+                piece.index = new_groups.len();
+                if parts > 1 {
+                    piece.name = format!("{}.part{part}", group.name);
+                    piece.metrics.out_channels = (group.metrics.out_channels / parts).max(1);
+                    piece.metrics.weight_bytes = (group.metrics.weight_bytes / u64::from(parts)).max(1);
+                    piece.metrics.macs = (group.metrics.macs / u64::from(parts)).max(1);
+                    piece.metrics.output_bytes = (group.metrics.output_bytes / u64::from(parts)).max(1);
+                    piece.metrics.vector_elems = group.metrics.vector_elems / u64::from(parts);
+                }
+                indices.push(piece.index);
+                new_groups.push(piece);
+            }
+            parts_of.push(indices);
+        }
+        // Remap predecessor references onto every part of the producer.
+        for group in &mut new_groups {
+            let old_preds = std::mem::take(&mut group.preds);
+            for dep in old_preds {
+                let parts = &parts_of[dep.group];
+                for part in parts {
+                    group.preds.push(GroupDep {
+                        group: *part,
+                        bytes: (dep.bytes / parts.len() as u64).max(1),
+                    });
+                }
+            }
+            group.preds.sort_by_key(|d| d.group);
+            group.preds.dedup_by_key(|d| d.group);
+        }
+        CondensedGraph { groups: new_groups }
+    }
+
+    /// Condenses a computation graph around its MVM-based operators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::EmptyWorkload`] if the model contains no
+    /// MVM-based operator, or a model validation error.
+    pub fn from_graph(graph: &Graph) -> Result<Self, CompileError> {
+        graph.validate()?;
+        let order = graph.topological_order();
+        if !order.iter().any(|id| graph.node(*id).op.is_mvm_based()) {
+            return Err(CompileError::EmptyWorkload);
+        }
+
+        // Assign every node to a group: MVM nodes anchor new groups,
+        // non-MVM nodes join the group of their latest producing group.
+        let mut node_group: BTreeMap<OpId, usize> = BTreeMap::new();
+        let mut groups: Vec<OpGroup> = Vec::new();
+        let mut pending: Vec<OpId> = Vec::new();
+        for id in &order {
+            let node = graph.node(*id);
+            if node.op.is_mvm_based() {
+                let index = groups.len();
+                let input_shape = graph.input_shape(*id);
+                let (k_rows, is_depthwise) = match node.op {
+                    OpKind::Conv2d { kernel, groups: g, .. } => {
+                        ((input_shape.c / g.max(1)) * kernel.0 * kernel.1, g > 1)
+                    }
+                    OpKind::Linear { .. } => (input_shape.elements_per_item() as u32, false),
+                    _ => unreachable!("anchor must be MVM-based"),
+                };
+                let output_shape = graph.output_shape(*id);
+                let metrics = GroupMetrics {
+                    weight_bytes: node.op.weight_bytes(input_shape),
+                    macs: node.op.macs(input_shape),
+                    k_rows: k_rows.max(1),
+                    out_channels: output_shape.c,
+                    out_pixels: (output_shape.spatial() * u64::from(output_shape.n)).max(1) as u32,
+                    output_bytes: output_shape.bytes(graph.tensor(node.output).dtype),
+                    input_bytes: input_shape.bytes(graph.tensor(node.inputs[0]).dtype),
+                    vector_elems: 0,
+                    is_depthwise,
+                };
+                groups.push(OpGroup {
+                    index,
+                    anchor: *id,
+                    name: node.name.clone(),
+                    fused: Vec::new(),
+                    preds: Vec::new(),
+                    reads_graph_input: false,
+                    writes_graph_output: false,
+                    metrics,
+                });
+                node_group.insert(*id, index);
+                // Ops that appeared before the first MVM operator attach to it.
+                for p in pending.drain(..) {
+                    node_group.insert(p, index);
+                    groups[index].fused.push(p);
+                }
+            } else {
+                let latest = node
+                    .inputs
+                    .iter()
+                    .filter_map(|t| graph.producer(*t))
+                    .filter_map(|p| node_group.get(&p).copied())
+                    .max();
+                match latest {
+                    Some(g) => {
+                        node_group.insert(*id, g);
+                        groups[g].fused.push(*id);
+                    }
+                    None => pending.push(*id),
+                }
+            }
+        }
+
+        // Fused metrics, dependencies, graph input/output flags.
+        for id in &order {
+            let node = graph.node(*id);
+            let gi = node_group[id];
+            if !node.op.is_mvm_based() {
+                let input_shape = graph.input_shape(*id);
+                groups[gi].metrics.vector_elems += node.op.vector_elems(input_shape);
+                // Fused operators may enlarge the group's final output
+                // (e.g. pooling shrinks it); track the last produced tensor.
+                let out = graph.tensor(node.output);
+                groups[gi].metrics.output_bytes = out.shape.bytes(out.dtype);
+            }
+            for input in &node.inputs {
+                match graph.producer(*input) {
+                    Some(producer) => {
+                        let pg = node_group[&producer];
+                        if pg != gi {
+                            let bytes = graph.tensor(*input).shape.bytes(graph.tensor(*input).dtype);
+                            let deps = &mut groups[gi].preds;
+                            if let Some(existing) = deps.iter_mut().find(|d| d.group == pg) {
+                                existing.bytes = existing.bytes.max(bytes);
+                            } else {
+                                deps.push(GroupDep { group: pg, bytes });
+                            }
+                        }
+                    }
+                    None => groups[gi].reads_graph_input = true,
+                }
+            }
+            if graph.outputs().contains(&node.output) {
+                groups[gi].writes_graph_output = true;
+            }
+        }
+        for group in &mut groups {
+            group.preds.sort_by_key(|d| d.group);
+        }
+        Ok(CondensedGraph { groups })
+    }
+
+    /// The condensed groups in dependency-preserving linear order.
+    pub fn groups(&self) -> &[OpGroup] {
+        &self.groups
+    }
+
+    /// Number of condensed groups.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the condensed graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Total weight bytes across all groups.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.groups.iter().map(|g| g.metrics.weight_bytes).sum()
+    }
+
+    /// Indices of the direct predecessors of a group.
+    pub fn pred_indices(&self, index: usize) -> Vec<usize> {
+        self.groups[index].preds.iter().map(|d| d.group).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_nn::models;
+
+    #[test]
+    fn condensation_keeps_only_mvm_anchors() {
+        let model = models::resnet18(64);
+        let condensed = CondensedGraph::from_graph(&model.graph).unwrap();
+        let mvm_count = model.graph.nodes().iter().filter(|n| n.op.is_mvm_based()).count();
+        assert_eq!(condensed.len(), mvm_count);
+        // Every non-MVM node is fused somewhere.
+        let fused_total: usize = condensed.groups().iter().map(|g| g.fused.len()).sum();
+        assert_eq!(fused_total + mvm_count, model.graph.len());
+    }
+
+    #[test]
+    fn linearization_preserves_dependencies() {
+        for model in [models::resnet18(64), models::efficientnet_b0(64)] {
+            let condensed = CondensedGraph::from_graph(&model.graph).unwrap();
+            for group in condensed.groups() {
+                for dep in &group.preds {
+                    assert!(dep.group < group.index, "{} depends forward", group.name);
+                    assert!(dep.bytes > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_group_reads_input_and_last_writes_output() {
+        let model = models::vgg19(32);
+        let condensed = CondensedGraph::from_graph(&model.graph).unwrap();
+        assert!(condensed.groups().first().unwrap().reads_graph_input);
+        assert!(condensed.groups().last().unwrap().writes_graph_output);
+        assert!(condensed.groups().iter().filter(|g| g.reads_graph_input).count() >= 1);
+    }
+
+    #[test]
+    fn residual_groups_have_two_predecessors() {
+        let model = models::resnet18(64);
+        let condensed = CondensedGraph::from_graph(&model.graph).unwrap();
+        // Blocks with identity shortcuts: the conv2 group consumes both its
+        // conv1 predecessor and the block input group.
+        let with_two_preds = condensed.groups().iter().filter(|g| g.preds.len() >= 2).count();
+        assert!(with_two_preds >= 4, "expected residual joins, found {with_two_preds}");
+    }
+
+    #[test]
+    fn metrics_are_positive_and_consistent() {
+        let model = models::mobilenet_v2(64);
+        let condensed = CondensedGraph::from_graph(&model.graph).unwrap();
+        let stats = model.graph.stats();
+        let total_macs: u64 = condensed.groups().iter().map(|g| g.metrics.macs).sum();
+        assert_eq!(total_macs, stats.total_macs);
+        let total_weights: u64 = condensed.total_weight_bytes();
+        assert_eq!(total_weights, stats.total_weight_bytes);
+        for group in condensed.groups() {
+            assert!(group.metrics.k_rows > 0);
+            assert!(group.metrics.out_channels > 0);
+            assert!(group.metrics.out_pixels > 0);
+            assert!(group.metrics.output_bytes > 0);
+        }
+        assert!(condensed.groups().iter().any(|g| g.metrics.is_depthwise));
+    }
+
+    #[test]
+    fn model_without_mvm_ops_is_rejected() {
+        use cimflow_nn::{ActivationKind, GraphBuilder, TensorShape};
+        let mut b = GraphBuilder::new();
+        let x = b.input("x", TensorShape::feature_map(3, 8, 8));
+        let r = b.node("relu", OpKind::Activation(ActivationKind::Relu), &[x]).unwrap();
+        let graph = b.finish(&[r]).unwrap();
+        assert_eq!(CondensedGraph::from_graph(&graph), Err(CompileError::EmptyWorkload));
+    }
+}

@@ -1,0 +1,70 @@
+//! # cimflow-compiler
+//!
+//! The CIMFlow compilation flow (paper Sec. III-C): it bridges the
+//! semantic gap between high-level DNN models (`cimflow-nn`) and low-level
+//! CIM instruction sequences (`cimflow-isa`) through a two-level
+//! optimization strategy.
+//!
+//! **CG-level optimization** ([`frontend`], [`partition`], [`cost`]):
+//!
+//! 1. *Preprocessing* — MVM-based operators (convolutions, fully connected
+//!    layers) are extracted and adjacent non-MVM operators are fused onto
+//!    them, producing a condensed computation graph and a
+//!    dependency-preserving linearization.
+//! 2. *Model partitioning* — the condensed graph is split into execution
+//!    stages that respect the SRAM capacity of the CIM arrays. The
+//!    DP-based algorithm of the paper (Alg. 1) enumerates dependency
+//!    closures as bitmasks and chooses the partition minimizing the
+//!    estimated cost; two baselines (generic mapping and CIM-MLC-style
+//!    opportunistic operator duplication) are provided for the Fig. 5
+//!    comparison.
+//! 3. *Core mapping* — inside every stage, operators are assigned to
+//!    clusters of cores; weights may be duplicated across clusters when
+//!    the cost model finds it beneficial.
+//!
+//! **OP-level optimization** ([`oplevel`], [`codegen`]): each placed
+//! operator's loop nest is mapped onto the 2-D CIM arrays (im2col virtual
+//! mapping), tiled to the macro / macro-group / local-memory capacities,
+//! and lowered into per-core ISA programs with conventional optimizations
+//! (constant folding of addresses, dead-code elimination, linear register
+//! use) applied during emission.
+//!
+//! The result is a [`CompiledProgram`]: one ISA program per core plus the
+//! mapping metadata the cycle-level simulator and the reports consume.
+//!
+//! # Example
+//!
+//! ```
+//! use cimflow_arch::ArchConfig;
+//! use cimflow_compiler::{compile, Strategy};
+//! use cimflow_nn::models;
+//!
+//! # fn main() -> Result<(), cimflow_compiler::CompileError> {
+//! let model = models::resnet18(32);
+//! let arch = ArchConfig::paper_default();
+//! let compiled = compile(&model, &arch, Strategy::DpOptimized)?;
+//! assert_eq!(compiled.per_core.len(), 64);
+//! assert!(compiled.plan.stages.len() >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+pub mod codegen;
+pub mod cost;
+mod error;
+pub mod frontend;
+pub mod oplevel;
+pub mod partition;
+mod plan;
+mod strategy;
+pub mod validate;
+
+pub use bitset::BitMask256;
+pub use error::CompileError;
+pub use frontend::{CondensedGraph, OpGroup};
+pub use plan::{ClusterPlan, CompilationPlan, CompileReport, CompiledProgram, GroupPlacement, StagePlan};
+pub use strategy::{compile, compile_with_options, CompileOptions, Strategy};

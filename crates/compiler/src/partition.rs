@@ -1,0 +1,358 @@
+//! CG-level model partitioning: the DP-based algorithm of the paper
+//! (Alg. 1) and the two baseline strategies used in the Fig. 5 comparison.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use crate::bitset::BitMask256;
+use crate::cost::{CostModel, GroupMapping, StageCost};
+use crate::frontend::{CondensedGraph, OpGroup};
+use crate::CompileError;
+
+/// Upper bound on enumerated dependency closures before falling back to
+/// the prefix closures of the linearization.
+const CLOSURE_CAP: usize = 1024;
+
+/// A partitioning decision: the stages in execution order, each with its
+/// group mapping and estimated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionDecision {
+    /// Groups of each stage (indices into the condensed graph) together
+    /// with the chosen mapping and the stage cost estimate.
+    pub stages: Vec<(Vec<usize>, Vec<GroupMapping>, StageCost)>,
+}
+
+impl PartitionDecision {
+    /// Total estimated cycles across stages.
+    pub fn estimated_cycles(&self) -> u64 {
+        self.stages.iter().map(|(_, _, c)| c.cycles).sum()
+    }
+}
+
+/// Enumerates the dependency closures (down-sets) of the condensed graph
+/// as bitmasks.
+///
+/// "Each dependency closure represents a self-contained set of operators
+/// whose dependencies are fully enclosed within the set, serving as basic
+/// building blocks for candidate partitions." The enumeration is breadth
+/// first over the closure lattice and capped at [`CLOSURE_CAP`] entries;
+/// when the cap is hit the function falls back to the prefix closures of
+/// the dependency-preserving linearization, which are always valid.
+pub fn dependency_closures(condensed: &CondensedGraph) -> Vec<BitMask256> {
+    let n = condensed.len();
+    let mut seen: BTreeSet<BitMask256> = BTreeSet::new();
+    let mut queue: VecDeque<BitMask256> = VecDeque::new();
+    let empty = BitMask256::empty();
+    seen.insert(empty);
+    queue.push_back(empty);
+    while let Some(current) = queue.pop_front() {
+        if seen.len() > CLOSURE_CAP {
+            break;
+        }
+        for i in 0..n {
+            if current.contains(i) {
+                continue;
+            }
+            let ready = condensed.pred_indices(i).iter().all(|p| current.contains(*p));
+            if !ready {
+                continue;
+            }
+            let mut next = current;
+            next.insert(i);
+            if seen.insert(next) {
+                queue.push_back(next);
+            }
+        }
+    }
+    if seen.len() > CLOSURE_CAP {
+        // Fallback: prefixes of the linearization (always dependency closed).
+        let mut closures: Vec<BitMask256> = Vec::with_capacity(n + 1);
+        let mut mask = BitMask256::empty();
+        closures.push(mask);
+        for i in 0..n {
+            mask.insert(i);
+            closures.push(mask);
+        }
+        return closures;
+    }
+    let mut closures: Vec<BitMask256> = seen.into_iter().collect();
+    closures.sort_by_key(|c| (c.len(), *c));
+    closures
+}
+
+fn groups_of<'a>(condensed: &'a CondensedGraph, mask: &BitMask256) -> Vec<&'a OpGroup> {
+    mask.iter().map(|i| &condensed.groups()[i]).collect()
+}
+
+/// The DP-based partitioning and mapping of Alg. 1.
+///
+/// `dp[i]` is the best total cost of executing the dependency closure
+/// `D[i]`; transitions consider every closure `D[j] ⊆ D[i]` and treat the
+/// set difference as a candidate stage mapped with
+/// [`CostModel::optimal_mapping`].
+///
+/// # Errors
+///
+/// Returns [`CompileError::CapacityExceeded`] if some operator group can
+/// never fit the chip, making every partition infeasible.
+pub fn dp_partition(
+    condensed: &CondensedGraph,
+    cost_model: &CostModel,
+) -> Result<PartitionDecision, CompileError> {
+    check_individual_capacity(condensed, cost_model)?;
+    let closures = dependency_closures(condensed);
+    let full = BitMask256::full(condensed.len());
+    let mut dp: Vec<f64> = vec![f64::INFINITY; closures.len()];
+    let mut prev: Vec<Option<usize>> = vec![None; closures.len()];
+    let mut stage_of: Vec<Option<(Vec<usize>, Vec<GroupMapping>, StageCost)>> = vec![None; closures.len()];
+    let mut mapping_cache: HashMap<BitMask256, Option<(StageCost, Vec<GroupMapping>)>> = HashMap::new();
+
+    for (i, closure) in closures.iter().enumerate() {
+        if closure.is_empty() {
+            dp[i] = 0.0;
+            continue;
+        }
+        for (j, candidate) in closures.iter().enumerate().take(i) {
+            if dp[j].is_infinite() || !candidate.is_subset_of(closure) {
+                continue;
+            }
+            let stage_mask = closure.difference(candidate);
+            if stage_mask.is_empty() {
+                continue;
+            }
+            let entry = mapping_cache.entry(stage_mask).or_insert_with(|| {
+                let stage_groups = groups_of(condensed, &stage_mask);
+                cost_model.optimal_mapping(&stage_groups)
+            });
+            let Some((cost, mapping)) = entry.clone() else { continue };
+            let total = dp[j] + cost.cycles as f64;
+            if total < dp[i] {
+                dp[i] = total;
+                prev[i] = Some(j);
+                stage_of[i] = Some((stage_mask.iter().collect(), mapping, cost));
+            }
+        }
+    }
+
+    let full_index = closures.iter().position(|c| *c == full).unwrap_or(closures.len() - 1);
+    if dp[full_index].is_infinite() {
+        return Err(capacity_error(condensed, cost_model));
+    }
+    // Reconstruct the stage sequence.
+    let mut stages = Vec::new();
+    let mut cursor = full_index;
+    while let Some(j) = prev[cursor] {
+        if let Some(stage) = stage_of[cursor].clone() {
+            stages.push(stage);
+        }
+        cursor = j;
+    }
+    stages.reverse();
+    Ok(PartitionDecision { stages })
+}
+
+/// The generic-mapping baseline: greedy capacity-driven partitioning with
+/// an inter-layer pipeline inside every stage and **no** operator
+/// duplication.
+pub fn generic_partition(
+    condensed: &CondensedGraph,
+    cost_model: &CostModel,
+) -> Result<PartitionDecision, CompileError> {
+    greedy_partition(condensed, cost_model, false)
+}
+
+/// The CIM-MLC-style baseline: the same greedy capacity-driven
+/// partitioning, followed by opportunistic duplication of operators into
+/// the cores left vacant inside each stage.
+pub fn duplication_partition(
+    condensed: &CondensedGraph,
+    cost_model: &CostModel,
+) -> Result<PartitionDecision, CompileError> {
+    greedy_partition(condensed, cost_model, true)
+}
+
+fn greedy_partition(
+    condensed: &CondensedGraph,
+    cost_model: &CostModel,
+    duplicate: bool,
+) -> Result<PartitionDecision, CompileError> {
+    check_individual_capacity(condensed, cost_model)?;
+    let total_cores = cost_model.total_cores();
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let mut current_cores = 0u32;
+    for group in condensed.groups() {
+        let need = cost_model.min_cores(group);
+        if current_cores + need > total_cores && !current.is_empty() {
+            stages.push(std::mem::take(&mut current));
+            current_cores = 0;
+        }
+        current.push(group.index);
+        current_cores += need;
+    }
+    if !current.is_empty() {
+        stages.push(current);
+    }
+    let mut decided = Vec::with_capacity(stages.len());
+    for stage in stages {
+        let stage_groups: Vec<&OpGroup> = stage.iter().map(|i| &condensed.groups()[*i]).collect();
+        let (cost, mapping) = cost_model
+            .mapping_with_duplication(&stage_groups, duplicate)
+            .ok_or_else(|| capacity_error(condensed, cost_model))?;
+        decided.push((stage, mapping, cost));
+    }
+    Ok(PartitionDecision { stages: decided })
+}
+
+fn check_individual_capacity(
+    condensed: &CondensedGraph,
+    cost_model: &CostModel,
+) -> Result<(), CompileError> {
+    for group in condensed.groups() {
+        if cost_model.min_cores(group) > cost_model.total_cores() {
+            return Err(CompileError::CapacityExceeded {
+                group: group.name.clone(),
+                required_bytes: group.metrics.weight_bytes,
+                available_bytes: u64::from(cost_model.total_cores()) * cost_model.core_capacity_bytes(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn capacity_error(condensed: &CondensedGraph, cost_model: &CostModel) -> CompileError {
+    let largest = condensed
+        .groups()
+        .iter()
+        .max_by_key(|g| g.metrics.weight_bytes)
+        .expect("condensed graph is never empty here");
+    CompileError::CapacityExceeded {
+        group: largest.name.clone(),
+        required_bytes: largest.metrics.weight_bytes,
+        available_bytes: u64::from(cost_model.total_cores()) * cost_model.core_capacity_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_arch::ArchConfig;
+    use cimflow_nn::models;
+
+    fn condensed(model: cimflow_nn::Model) -> CondensedGraph {
+        CondensedGraph::from_graph(&model.graph).unwrap()
+    }
+
+    #[test]
+    fn closures_of_a_chain_are_its_prefixes() {
+        let vgg = condensed(models::vgg19(32));
+        let closures = dependency_closures(&vgg);
+        assert_eq!(closures.len(), vgg.len() + 1, "a chain has exactly n+1 down-sets");
+        for (i, c) in closures.iter().enumerate() {
+            assert_eq!(c.len(), i);
+        }
+    }
+
+    #[test]
+    fn closures_are_dependency_closed() {
+        let resnet = condensed(models::resnet18(64));
+        let closures = dependency_closures(&resnet);
+        assert!(closures.len() > resnet.len());
+        for closure in &closures {
+            for member in closure.iter() {
+                for pred in resnet.pred_indices(member) {
+                    assert!(closure.contains(pred), "closure {closure} misses pred {pred} of {member}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_partition_covers_every_group_exactly_once() {
+        let arch = ArchConfig::paper_default();
+        let cost = CostModel::new(&arch);
+        for model in [models::resnet18(64), models::mobilenet_v2(64), models::vgg19(64)] {
+            let graph = condensed(model);
+            for decision in [
+                generic_partition(&graph, &cost).unwrap(),
+                duplication_partition(&graph, &cost).unwrap(),
+                dp_partition(&graph, &cost).unwrap(),
+            ] {
+                let mut covered: Vec<usize> = decision.stages.iter().flat_map(|(g, _, _)| g.clone()).collect();
+                covered.sort_unstable();
+                let expected: Vec<usize> = (0..graph.len()).collect();
+                assert_eq!(covered, expected);
+                // Stage order must respect dependencies.
+                let mut seen = std::collections::BTreeSet::new();
+                for (stage_groups, mapping, cost) in &decision.stages {
+                    for g in stage_groups {
+                        for pred in graph.pred_indices(*g) {
+                            assert!(seen.contains(&pred) || stage_groups.contains(&pred));
+                        }
+                    }
+                    assert_eq!(mapping.len(), stage_groups.len());
+                    assert!(cost.cycles > 0);
+                    seen.extend(stage_groups.iter().copied());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vgg19_requires_multiple_stages() {
+        let arch = ArchConfig::paper_default();
+        let cost = CostModel::new(&arch);
+        let limit = u64::from(arch.chip.core_count) * cost.core_capacity_bytes() * 3 / 4;
+        let vgg =
+            CondensedGraph::from_graph_with_capacity(&models::vgg19(224).graph, limit).unwrap();
+        let generic = generic_partition(&vgg, &cost).unwrap();
+        assert!(generic.stages.len() > 1, "143 MB of VGG19 weights cannot fit 32 MB of CIM");
+        let dp = dp_partition(&vgg, &cost).unwrap();
+        assert!(dp.stages.len() > 1);
+    }
+
+    #[test]
+    fn compact_models_duplicate_and_need_no_more_stages_than_generic() {
+        let arch = ArchConfig::paper_default();
+        let cost = CostModel::new(&arch);
+        let mobilenet = condensed(models::mobilenet_v2(64));
+        let dp = dp_partition(&mobilenet, &cost).unwrap();
+        let generic = generic_partition(&mobilenet, &cost).unwrap();
+        assert!(dp.stages.len() <= generic.stages.len().max(4));
+        let duplicated: u32 = dp
+            .stages
+            .iter()
+            .flat_map(|(_, m, _)| m.iter().map(|g| g.replicas))
+            .max()
+            .unwrap();
+        assert!(duplicated > 1, "vacant cores must be used for duplication");
+    }
+
+    #[test]
+    fn dp_is_never_worse_than_the_baselines() {
+        let arch = ArchConfig::paper_default();
+        let cost = CostModel::new(&arch);
+        for model in [models::resnet18(64), models::mobilenet_v2(64), models::efficientnet_b0(64)] {
+            let graph = condensed(model);
+            let dp = dp_partition(&graph, &cost).unwrap().estimated_cycles();
+            let generic = generic_partition(&graph, &cost).unwrap().estimated_cycles();
+            let dup = duplication_partition(&graph, &cost).unwrap().estimated_cycles();
+            assert!(dp <= generic, "dp {dp} vs generic {generic}");
+            assert!(dp <= dup, "dp {dp} vs duplication {dup}");
+        }
+    }
+
+    #[test]
+    fn impossible_workloads_report_capacity_errors() {
+        let arch = ArchConfig::paper_default().with_core_count(1);
+        let cost = CostModel::new(&arch);
+        let vgg = condensed(models::vgg19(224));
+        assert!(matches!(
+            dp_partition(&vgg, &cost),
+            Err(CompileError::CapacityExceeded { .. })
+        ));
+        assert!(matches!(
+            generic_partition(&vgg, &cost),
+            Err(CompileError::CapacityExceeded { .. })
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! The top-level compilation entry points and the three compilation
+//! strategies compared in the paper's Fig. 5.
+
+use std::fmt;
+
+use cimflow_arch::ArchConfig;
+use cimflow_nn::Model;
+
+use crate::codegen;
+use crate::cost::CostModel;
+use crate::frontend::CondensedGraph;
+use crate::partition::{self, PartitionDecision};
+use crate::plan::{ClusterPlan, CompilationPlan, CompiledProgram, GroupPlacement, StagePlan};
+use crate::validate;
+use crate::CompileError;
+
+/// The compilation strategies evaluated in Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Strategy {
+    /// Capacity-driven partitioning with an inter-layer pipeline and no
+    /// operator duplication (the "generic mapping" baseline).
+    GenericMapping,
+    /// The CIM-MLC-style baseline: partition first, then opportunistically
+    /// duplicate operators into vacant cores.
+    OperatorDuplication,
+    /// The paper's DP-based joint partitioning and mapping optimization
+    /// (Alg. 1).
+    DpOptimized,
+}
+
+impl Strategy {
+    /// All strategies in the order plotted by Fig. 5.
+    pub const ALL: [Strategy; 3] =
+        [Strategy::GenericMapping, Strategy::OperatorDuplication, Strategy::DpOptimized];
+
+    /// Short name used in plans and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::GenericMapping => "generic",
+            Strategy::OperatorDuplication => "duplication",
+            Strategy::DpOptimized => "dp",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Optional knobs of the compilation flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// The CG-level strategy.
+    pub strategy: Strategy,
+    /// Whether to run the post-codegen validation pass (enabled by
+    /// default, matching the paper's "functional validation" stage).
+    pub validate: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { strategy: Strategy::DpOptimized, validate: true }
+    }
+}
+
+/// Compiles a model for an architecture with the given strategy.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the model is structurally invalid, does
+/// not fit the architecture, or the generated code fails validation.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_arch::ArchConfig;
+/// use cimflow_compiler::{compile, Strategy};
+/// use cimflow_nn::models;
+///
+/// # fn main() -> Result<(), cimflow_compiler::CompileError> {
+/// let compiled = compile(&models::mobilenet_v2(32), &ArchConfig::paper_default(), Strategy::GenericMapping)?;
+/// assert!(compiled.report.total_instructions > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(model: &Model, arch: &ArchConfig, strategy: Strategy) -> Result<CompiledProgram, CompileError> {
+    compile_with_options(model, arch, CompileOptions { strategy, ..CompileOptions::default() })
+}
+
+/// Compiles a model with explicit [`CompileOptions`].
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_options(
+    model: &Model,
+    arch: &ArchConfig,
+    options: CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    arch.validate().map_err(|e| CompileError::ValidationFailed { reason: e.to_string() })?;
+    // Operators larger than ~3/4 of the chip's CIM capacity are split into
+    // output-channel slices so that every group fits some execution stage.
+    let capacity_limit =
+        u64::from(arch.chip.core_count) * arch.core.cim_unit.weight_capacity_bytes() * 3 / 4;
+    let condensed = CondensedGraph::from_graph_with_capacity(&model.graph, capacity_limit)?;
+    let cost_model = CostModel::new(arch);
+    let decision = match options.strategy {
+        Strategy::GenericMapping => partition::generic_partition(&condensed, &cost_model)?,
+        Strategy::OperatorDuplication => partition::duplication_partition(&condensed, &cost_model)?,
+        Strategy::DpOptimized => partition::dp_partition(&condensed, &cost_model)?,
+    };
+    let plan = build_plan(&condensed, &decision, options.strategy, arch);
+    let generated = codegen::generate(&condensed, &plan, arch)?;
+    if options.validate {
+        validate::check(&generated, &plan, &condensed, arch)?;
+    }
+    let report = CompiledProgram::build_report(&generated.per_core, &plan, &condensed);
+    Ok(CompiledProgram { per_core: generated.per_core, plan, condensed, arch: *arch, report })
+}
+
+/// Turns a partition decision into a concrete plan with physical core
+/// identifiers and per-replica output-pixel ranges (the paper's
+/// "inter-core scheduling and IR generation" step).
+fn build_plan(
+    condensed: &CondensedGraph,
+    decision: &PartitionDecision,
+    strategy: Strategy,
+    arch: &ArchConfig,
+) -> CompilationPlan {
+    let mut stages = Vec::with_capacity(decision.stages.len());
+    for (index, (groups, mapping, cost)) in decision.stages.iter().enumerate() {
+        let mut next_core = 0u32;
+        let mut placements = Vec::with_capacity(groups.len());
+        for (group_index, m) in groups.iter().zip(mapping) {
+            let group = &condensed.groups()[*group_index];
+            let pixels = group.metrics.out_pixels.max(1);
+            let replicas = m.replicas.max(1);
+            let chunk = pixels.div_ceil(replicas);
+            let mut clusters = Vec::with_capacity(replicas as usize);
+            for replica in 0..replicas {
+                let cores: Vec<u32> = (0..m.cores_per_replica)
+                    .map(|i| (next_core + i) % arch.chip.core_count)
+                    .collect();
+                next_core += m.cores_per_replica;
+                let pixel_start = (replica * chunk).min(pixels);
+                let pixel_end = ((replica + 1) * chunk).min(pixels);
+                clusters.push(ClusterPlan { cores, pixel_start, pixel_end });
+            }
+            placements.push(GroupPlacement { group: *group_index, clusters });
+        }
+        stages.push(StagePlan {
+            index,
+            placements,
+            estimated_cycles: cost.cycles,
+            estimated_energy_pj: cost.energy_pj,
+        });
+    }
+    CompilationPlan { strategy: strategy.name().to_owned(), stages }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_nn::models;
+
+    #[test]
+    fn all_strategies_compile_the_compact_models() {
+        let arch = ArchConfig::paper_default();
+        for strategy in Strategy::ALL {
+            for model in [models::mobilenet_v2(32), models::resnet18(32)] {
+                let compiled = compile(&model, &arch, strategy).unwrap();
+                assert_eq!(compiled.per_core.len(), 64);
+                assert!(compiled.report.total_instructions > 0);
+                assert!(compiled.report.active_cores > 0);
+                assert_eq!(compiled.plan.strategy, strategy.name());
+                for program in &compiled.per_core {
+                    assert!(program.is_halting());
+                    program.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dp_uses_more_duplication_than_generic_on_compact_models() {
+        let arch = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let generic = compile(&model, &arch, Strategy::GenericMapping).unwrap();
+        let dp = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+        assert!((generic.plan.mean_duplication() - 1.0).abs() < 1e-9);
+        assert!(dp.plan.mean_duplication() > 1.0);
+    }
+
+    #[test]
+    fn vgg_compiles_into_multiple_stages() {
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&models::vgg19(32), &arch, Strategy::DpOptimized).unwrap();
+        assert!(compiled.plan.stages.len() > 1);
+    }
+
+    #[test]
+    fn pixel_ranges_partition_the_output() {
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&models::resnet18(32), &arch, Strategy::DpOptimized).unwrap();
+        for stage in &compiled.plan.stages {
+            for placement in &stage.placements {
+                let group = &compiled.condensed.groups()[placement.group];
+                let covered: u32 = placement.clusters.iter().map(ClusterPlan::pixels).sum();
+                assert_eq!(covered, group.metrics.out_pixels, "group {}", group.name);
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_display_names_are_stable() {
+        assert_eq!(Strategy::GenericMapping.to_string(), "generic");
+        assert_eq!(Strategy::OperatorDuplication.to_string(), "duplication");
+        assert_eq!(Strategy::DpOptimized.to_string(), "dp");
+        assert_eq!(CompileOptions::default().strategy, Strategy::DpOptimized);
+    }
+}

@@ -1,0 +1,119 @@
+//! Design-space-exploration helpers: the architectural sweeps behind the
+//! paper's Figs. 6 and 7.
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::Strategy;
+use cimflow_nn::Model;
+
+use crate::{CimFlow, CimFlowError, Evaluation};
+
+/// One point of an architectural design-space sweep.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// Macro-group size (macros per MG) of the configuration.
+    pub mg_size: u32,
+    /// NoC flit size in bytes of the configuration.
+    pub flit_bytes: u32,
+    /// The compilation strategy used.
+    pub strategy: Strategy,
+    /// The full evaluation at this point.
+    pub evaluation: Evaluation,
+}
+
+impl DsePoint {
+    /// Achieved throughput in TOPS (Fig. 6 / Fig. 7 y-axis or x-axis).
+    pub fn throughput_tops(&self) -> f64 {
+        self.evaluation.simulation.throughput_tops()
+    }
+
+    /// Total energy in millijoules (Fig. 6 / Fig. 7 axis).
+    pub fn energy_mj(&self) -> f64 {
+        self.evaluation.simulation.energy_mj()
+    }
+}
+
+/// Sweeps macro-group sizes and NoC flit sizes for one model and one
+/// compilation strategy, starting from a base architecture.
+///
+/// This is the experiment behind Fig. 6 (generic mapping) and, combined
+/// over two strategies, Fig. 7.
+///
+/// # Errors
+///
+/// Fails on the first configuration that cannot be compiled or simulated.
+pub fn sweep(
+    base: &ArchConfig,
+    model: &Model,
+    mg_sizes: &[u32],
+    flit_sizes: &[u32],
+    strategy: Strategy,
+) -> Result<Vec<DsePoint>, CimFlowError> {
+    let mut points = Vec::with_capacity(mg_sizes.len() * flit_sizes.len());
+    for &flit in flit_sizes {
+        for &mg in mg_sizes {
+            let arch = base.with_macros_per_group(mg).with_flit_bytes(flit);
+            let flow = CimFlow::new(arch)?;
+            let evaluation = flow.evaluate(model, strategy)?;
+            points.push(DsePoint { mg_size: mg, flit_bytes: flit, strategy, evaluation });
+        }
+    }
+    Ok(points)
+}
+
+/// Convenience wrapper running [`sweep`] for several strategies (Fig. 7).
+///
+/// # Errors
+///
+/// See [`sweep`].
+pub fn sweep_strategies(
+    base: &ArchConfig,
+    model: &Model,
+    mg_sizes: &[u32],
+    flit_sizes: &[u32],
+    strategies: &[Strategy],
+) -> Result<Vec<DsePoint>, CimFlowError> {
+    let mut points = Vec::new();
+    for &strategy in strategies {
+        points.extend(sweep(base, model, mg_sizes, flit_sizes, strategy)?);
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_nn::models;
+
+    #[test]
+    fn sweep_produces_one_point_per_configuration() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let points = sweep(&base, &model, &[4, 8], &[8, 16], Strategy::GenericMapping).unwrap();
+        assert_eq!(points.len(), 4);
+        for point in &points {
+            assert!(point.throughput_tops() > 0.0);
+            assert!(point.energy_mj() > 0.0);
+        }
+        // The swept parameters actually differ between points.
+        assert!(points.iter().any(|p| p.mg_size == 4) && points.iter().any(|p| p.mg_size == 8));
+        assert!(points.iter().any(|p| p.flit_bytes == 16));
+    }
+
+    #[test]
+    fn strategy_sweep_covers_all_requested_strategies() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let points = sweep_strategies(
+            &base,
+            &model,
+            &[8],
+            &[8],
+            &[Strategy::GenericMapping, Strategy::DpOptimized],
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        let generic = points.iter().find(|p| p.strategy == Strategy::GenericMapping).unwrap();
+        let dp = points.iter().find(|p| p.strategy == Strategy::DpOptimized).unwrap();
+        assert!(dp.throughput_tops() >= generic.throughput_tops());
+    }
+}

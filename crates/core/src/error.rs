@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use cimflow_arch::ArchError;
+use cimflow_compiler::CompileError;
+use cimflow_nn::NnError;
+use cimflow_sim::SimError;
+
+/// Any error produced by the end-to-end CIMFlow workflow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CimFlowError {
+    /// The architecture configuration is invalid.
+    Arch(ArchError),
+    /// The model description is invalid.
+    Model(NnError),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Simulation failed.
+    Simulation(SimError),
+}
+
+impl fmt::Display for CimFlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CimFlowError::Arch(e) => write!(f, "architecture error: {e}"),
+            CimFlowError::Model(e) => write!(f, "model error: {e}"),
+            CimFlowError::Compile(e) => write!(f, "compilation error: {e}"),
+            CimFlowError::Simulation(e) => write!(f, "simulation error: {e}"),
+        }
+    }
+}
+
+impl Error for CimFlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CimFlowError::Arch(e) => Some(e),
+            CimFlowError::Model(e) => Some(e),
+            CimFlowError::Compile(e) => Some(e),
+            CimFlowError::Simulation(e) => Some(e),
+        }
+    }
+}
+
+impl From<ArchError> for CimFlowError {
+    fn from(value: ArchError) -> Self {
+        CimFlowError::Arch(value)
+    }
+}
+
+impl From<NnError> for CimFlowError {
+    fn from(value: NnError) -> Self {
+        CimFlowError::Model(value)
+    }
+}
+
+impl From<CompileError> for CimFlowError {
+    fn from(value: CompileError) -> Self {
+        CimFlowError::Compile(value)
+    }
+}
+
+impl From<SimError> for CimFlowError {
+    fn from(value: SimError) -> Self {
+        CimFlowError::Simulation(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CimFlowError = ArchError::invalid("chip.core_count", "must be positive").into();
+        assert!(e.to_string().contains("architecture error"));
+        assert!(e.source().is_some());
+        let e: CimFlowError = CompileError::EmptyWorkload.into();
+        assert!(e.to_string().contains("compilation error"));
+        let e: CimFlowError = SimError::CycleLimitExceeded { limit: 3 }.into();
+        assert!(e.to_string().contains("simulation error"));
+        let e: CimFlowError = NnError::InvalidGraph { reason: "cycle".into() }.into();
+        assert!(e.to_string().contains("model error"));
+    }
+}

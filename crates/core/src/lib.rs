@@ -1,0 +1,58 @@
+//! # cimflow
+//!
+//! The integrated CIMFlow framework: an out-of-the-box workflow for
+//! implementing and evaluating DNN workloads on digital compute-in-memory
+//! (CIM) architectures, reproducing the system presented in
+//! *"CIMFlow: An Integrated Framework for Systematic Design and Evaluation
+//! of Digital CIM Architectures"* (DAC 2025).
+//!
+//! This crate ties the individual components together:
+//!
+//! * [`cimflow_nn`] — DNN workload description and the benchmark model zoo,
+//! * [`cimflow_arch`] — the hierarchical hardware abstraction (Table I),
+//! * [`cimflow_isa`] — the unified 32-bit instruction set,
+//! * [`cimflow_compiler`] — CG-level (DP partitioning, duplication) and
+//!   OP-level (im2col, tiling) optimization plus code generation,
+//! * [`cimflow_sim`] — the cycle-level multi-core simulator,
+//! * [`cimflow_energy`] / [`cimflow_noc`] — energy and interconnect models.
+//!
+//! The [`CimFlow`] workflow object exposes the `model + architecture +
+//! strategy → compile → simulate → report` pipeline of Fig. 2, and the
+//! [`dse`] module provides the architectural sweep helpers used to
+//! regenerate the paper's Figs. 6 and 7.
+//!
+//! # Quick start
+//!
+//! ```
+//! use cimflow::{CimFlow, Strategy};
+//! use cimflow::models;
+//!
+//! # fn main() -> Result<(), cimflow::CimFlowError> {
+//! let flow = CimFlow::with_default_arch();
+//! let evaluation = flow.evaluate(&models::mobilenet_v2(32), Strategy::DpOptimized)?;
+//! println!("{}", evaluation.simulation);
+//! assert!(evaluation.simulation.throughput_tops() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dse;
+mod error;
+mod workflow;
+
+pub use error::CimFlowError;
+pub use workflow::{CimFlow, Evaluation};
+
+// Re-export the component crates so that downstream users need a single
+// dependency.
+pub use cimflow_arch::{self as arch, ArchConfig};
+pub use cimflow_compiler::{self as compiler, CompiledProgram, Strategy};
+pub use cimflow_energy::{self as energy, EnergyBreakdown};
+pub use cimflow_isa as isa;
+pub use cimflow_nn::{self as nn, Model};
+pub use cimflow_nn::models;
+pub use cimflow_noc as noc;
+pub use cimflow_sim::{self as sim, SimReport};

@@ -1,0 +1,175 @@
+//! The end-to-end `compile → validate → simulate → report` workflow.
+
+use std::fmt;
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::{compile, CompileReport, CompiledProgram, Strategy};
+use cimflow_nn::Model;
+use cimflow_sim::{SimReport, Simulator};
+
+use crate::CimFlowError;
+
+/// The result of evaluating one model on one architecture with one
+/// compilation strategy.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Name of the evaluated model.
+    pub model: String,
+    /// The compilation strategy used.
+    pub strategy: Strategy,
+    /// The architecture the evaluation ran on.
+    pub arch: ArchConfig,
+    /// Static compilation statistics.
+    pub compilation: CompileReport,
+    /// Number of execution stages chosen by the partitioner.
+    pub stages: usize,
+    /// Mean weight-duplication factor chosen by the mapper.
+    pub mean_duplication: f64,
+    /// The detailed simulation report.
+    pub simulation: SimReport,
+}
+
+impl Evaluation {
+    /// Normalized-speed helper: the speedup of this evaluation relative to
+    /// a baseline evaluation of the same model (Fig. 5's y-axis).
+    pub fn speedup_over(&self, baseline: &Evaluation) -> f64 {
+        if self.simulation.total_cycles == 0 {
+            return 0.0;
+        }
+        baseline.simulation.total_cycles as f64 / self.simulation.total_cycles as f64
+    }
+
+    /// Normalized-energy helper: the energy of this evaluation relative to
+    /// a baseline evaluation of the same model (Fig. 5's lower panel).
+    pub fn energy_ratio_over(&self, baseline: &Evaluation) -> f64 {
+        let base = baseline.simulation.energy.total_pj();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        self.simulation.energy.total_pj() / base
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] — {} stages, mean duplication {:.2}",
+            self.model, self.strategy, self.stages, self.mean_duplication
+        )?;
+        write!(f, "{}", self.simulation)
+    }
+}
+
+/// The CIMFlow workflow object: holds an architecture configuration and
+/// runs the full compile-and-simulate pipeline on models.
+///
+/// # Example
+///
+/// ```
+/// use cimflow::{models, CimFlow, Strategy};
+///
+/// # fn main() -> Result<(), cimflow::CimFlowError> {
+/// let flow = CimFlow::with_default_arch();
+/// let compiled = flow.compile(&models::resnet18(32), Strategy::GenericMapping)?;
+/// assert!(compiled.report.total_instructions > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CimFlow {
+    arch: ArchConfig,
+}
+
+impl CimFlow {
+    /// Creates a workflow for a validated architecture configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the architecture validation error if the configuration is
+    /// inconsistent.
+    pub fn new(arch: ArchConfig) -> Result<Self, CimFlowError> {
+        arch.validate()?;
+        Ok(CimFlow { arch })
+    }
+
+    /// Creates a workflow for the paper's default architecture (Table I).
+    pub fn with_default_arch() -> Self {
+        CimFlow { arch: ArchConfig::paper_default() }
+    }
+
+    /// The architecture this workflow targets.
+    pub fn arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+
+    /// Compiles a model with the given strategy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures (invalid model, capacity overflow,
+    /// validation failures).
+    pub fn compile(&self, model: &Model, strategy: Strategy) -> Result<CompiledProgram, CimFlowError> {
+        Ok(compile(model, &self.arch, strategy)?)
+    }
+
+    /// Compiles and simulates a model, producing the full evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and simulation failures.
+    pub fn evaluate(&self, model: &Model, strategy: Strategy) -> Result<Evaluation, CimFlowError> {
+        let compiled = self.compile(model, strategy)?;
+        let simulation = Simulator::new(&compiled).run()?;
+        Ok(Evaluation {
+            model: model.name.clone(),
+            strategy,
+            arch: self.arch,
+            compilation: compiled.report.clone(),
+            stages: compiled.plan.stages.len(),
+            mean_duplication: compiled.plan.mean_duplication(),
+            simulation,
+        })
+    }
+}
+
+impl Default for CimFlow {
+    fn default() -> Self {
+        Self::with_default_arch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_nn::models;
+
+    #[test]
+    fn workflow_rejects_invalid_architectures() {
+        let mut arch = ArchConfig::paper_default();
+        arch.chip.core_count = 0;
+        assert!(CimFlow::new(arch).is_err());
+        assert!(CimFlow::new(ArchConfig::paper_default()).is_ok());
+    }
+
+    #[test]
+    fn evaluation_reports_speedup_and_energy_ratio() {
+        let flow = CimFlow::with_default_arch();
+        let model = models::mobilenet_v2(32);
+        let generic = flow.evaluate(&model, Strategy::GenericMapping).unwrap();
+        let dp = flow.evaluate(&model, Strategy::DpOptimized).unwrap();
+        let speedup = dp.speedup_over(&generic);
+        assert!(speedup > 1.0, "DP speedup over generic is {speedup}");
+        assert!(dp.energy_ratio_over(&generic) > 0.0);
+        assert!(dp.mean_duplication >= generic.mean_duplication);
+        let text = dp.to_string();
+        assert!(text.contains("mobilenetv2"));
+        assert!(text.contains("TOPS"));
+    }
+
+    #[test]
+    fn default_workflow_uses_table_i() {
+        let flow = CimFlow::default();
+        assert_eq!(flow.arch().chip.core_count, 64);
+    }
+}

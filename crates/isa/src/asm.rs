@@ -1,0 +1,307 @@
+//! Textual assembler and disassembler for CIMFlow programs.
+//!
+//! The textual syntax is exactly the [`std::fmt::Display`] form of
+//! [`Instruction`], one instruction per line, with optional `name:` label
+//! lines and `#` / `//` comments. [`assemble`] and [`disassemble`] are
+//! inverse operations, which the property tests verify for every
+//! instruction variant.
+
+use crate::inst::{Instruction, PoolKind, ScalarAluOp, VectorOpKind};
+use crate::program::Program;
+use crate::register::{GReg, SReg};
+use crate::IsaError;
+
+/// Renders a program into assembly text.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_isa::{asm, Instruction, Program};
+/// let program = Program::from_instructions(vec![Instruction::Nop, Instruction::Halt]);
+/// let text = asm::disassemble(&program);
+/// assert!(text.contains("nop"));
+/// ```
+pub fn disassemble(program: &Program) -> String {
+    program.to_string()
+}
+
+/// Parses assembly text produced by [`disassemble`] (or written by hand)
+/// back into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IsaError::ParseInstruction`] with the offending line number if
+/// a mnemonic or operand cannot be understood.
+pub fn assemble(text: &str) -> Result<Program, IsaError> {
+    let mut instructions = Vec::new();
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() || line.ends_with(':') {
+            continue;
+        }
+        let inst = parse_line(line, line_no + 1)?;
+        instructions.push(inst);
+    }
+    Ok(Program::from_instructions(instructions))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line.find('#').or_else(|| line.find("//")).unwrap_or(line.len());
+    &line[..cut]
+}
+
+struct LineParser<'a> {
+    line: usize,
+    operands: Vec<&'a str>,
+    cursor: usize,
+}
+
+impl<'a> LineParser<'a> {
+    fn new(line: usize, rest: &'a str) -> Self {
+        let operands = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        LineParser { line, operands, cursor: 0 }
+    }
+
+    fn error(&self, reason: impl Into<String>) -> IsaError {
+        IsaError::ParseInstruction { line: self.line, reason: reason.into() }
+    }
+
+    fn next(&mut self) -> Result<&'a str, IsaError> {
+        let tok = self
+            .operands
+            .get(self.cursor)
+            .copied()
+            .ok_or_else(|| self.error("missing operand"))?;
+        self.cursor += 1;
+        Ok(tok)
+    }
+
+    fn greg(&mut self) -> Result<GReg, IsaError> {
+        let tok = self.next()?;
+        let index = tok
+            .strip_prefix('g')
+            .and_then(|s| s.parse::<u8>().ok())
+            .ok_or_else(|| self.error(format!("expected general register, found `{tok}`")))?;
+        GReg::new(index).map_err(|_| self.error(format!("register `{tok}` out of range")))
+    }
+
+    fn sreg(&mut self) -> Result<SReg, IsaError> {
+        let tok = self.next()?;
+        SReg::ALL
+            .into_iter()
+            .find(|s| s.to_string() == tok)
+            .ok_or_else(|| self.error(format!("expected special register, found `{tok}`")))
+    }
+
+    fn int<T: TryFrom<i64>>(&mut self) -> Result<T, IsaError> {
+        let tok = self.next()?;
+        let value: i64 = tok
+            .parse()
+            .map_err(|_| self.error(format!("expected integer, found `{tok}`")))?;
+        T::try_from(value).map_err(|_| self.error(format!("integer `{tok}` out of range")))
+    }
+
+    fn keyed_int<T: TryFrom<i64>>(&mut self, key: &str) -> Result<T, IsaError> {
+        let tok = self.next()?;
+        let value = tok
+            .strip_prefix(key)
+            .and_then(|s| s.strip_prefix('='))
+            .ok_or_else(|| self.error(format!("expected `{key}=<int>`, found `{tok}`")))?;
+        let value: i64 = value
+            .parse()
+            .map_err(|_| self.error(format!("expected integer after `{key}=`, found `{tok}`")))?;
+        T::try_from(value).map_err(|_| self.error(format!("value in `{tok}` out of range")))
+    }
+
+    fn done(&self) -> Result<(), IsaError> {
+        if self.cursor == self.operands.len() {
+            Ok(())
+        } else {
+            Err(self.error("trailing operands"))
+        }
+    }
+}
+
+fn parse_line(line: &str, line_no: usize) -> Result<Instruction, IsaError> {
+    let (mnemonic, rest) = match line.find(char::is_whitespace) {
+        Some(pos) => (&line[..pos], &line[pos..]),
+        None => (line, ""),
+    };
+    let mut p = LineParser::new(line_no, rest);
+    let inst = match mnemonic {
+        "cim_mvm" => Instruction::CimMvm {
+            input: p.greg()?,
+            rows: p.greg()?,
+            output: p.greg()?,
+            mg: p.keyed_int("mg")?,
+        },
+        "cim_load" => Instruction::CimLoad {
+            weights: p.greg()?,
+            rows: p.greg()?,
+            mg: p.keyed_int("mg")?,
+        },
+        "cim_store" => Instruction::CimStoreAcc {
+            output: p.greg()?,
+            len: p.greg()?,
+            mg: p.keyed_int("mg")?,
+        },
+        "vec_quant" => Instruction::VecQuant {
+            src: p.greg()?,
+            dst: p.greg()?,
+            shift: p.greg()?,
+            len: p.greg()?,
+        },
+        "vec_mac" => Instruction::VecMac {
+            src: p.greg()?,
+            acc: p.greg()?,
+            scale: p.greg()?,
+            len: p.greg()?,
+        },
+        "vec_pool_max" | "vec_pool_avg" => Instruction::VecPool {
+            kind: if mnemonic.ends_with("max") { PoolKind::Max } else { PoolKind::Average },
+            src: p.greg()?,
+            dst: p.greg()?,
+            window: p.greg()?,
+            len: p.greg()?,
+        },
+        "sc_li" => Instruction::ScLi { dst: p.greg()?, imm: p.int()? },
+        "sc_lui" => Instruction::ScLui { dst: p.greg()?, imm: p.int()? },
+        "sc_rds" => Instruction::ScRdSpecial { dst: p.greg()?, sreg: p.sreg()? },
+        "sc_wrs" => Instruction::ScWrSpecial { sreg: p.sreg()?, src: p.greg()? },
+        "mem_cpy" => Instruction::MemCpy {
+            src: p.greg()?,
+            dst: p.greg()?,
+            len: p.greg()?,
+            offset: p.int()?,
+        },
+        "send" => Instruction::Send {
+            addr: p.greg()?,
+            len: p.greg()?,
+            dst_core: p.greg()?,
+            tag: p.keyed_int("tag")?,
+        },
+        "recv" => Instruction::Recv {
+            addr: p.greg()?,
+            len: p.greg()?,
+            src_core: p.greg()?,
+            tag: p.keyed_int("tag")?,
+        },
+        "jmp" => Instruction::Jmp { offset: p.int()? },
+        "beq" => Instruction::Beq { a: p.greg()?, b: p.greg()?, offset: p.int()? },
+        "bne" => Instruction::Bne { a: p.greg()?, b: p.greg()?, offset: p.int()? },
+        "barrier" => Instruction::Barrier { id: p.int()? },
+        "halt" => Instruction::Halt,
+        "nop" => Instruction::Nop,
+        other => {
+            if let Some(kind_name) = other.strip_prefix("vec_") {
+                let kind = VectorOpKind::ALL
+                    .into_iter()
+                    .find(|k| k.name() == kind_name)
+                    .ok_or_else(|| p.error(format!("unknown vector operation `{other}`")))?;
+                Instruction::VecOp {
+                    kind,
+                    a: p.greg()?,
+                    b: p.greg()?,
+                    dst: p.greg()?,
+                    len: p.greg()?,
+                }
+            } else if let Some(alu_name) = other.strip_prefix("sc_") {
+                if let Some(base) = alu_name.strip_suffix('i') {
+                    let op = ScalarAluOp::ALL
+                        .into_iter()
+                        .find(|o| o.name() == base)
+                        .ok_or_else(|| p.error(format!("unknown scalar operation `{other}`")))?;
+                    Instruction::ScAlui { op, dst: p.greg()?, src: p.greg()?, imm: p.int()? }
+                } else {
+                    let op = ScalarAluOp::ALL
+                        .into_iter()
+                        .find(|o| o.name() == alu_name)
+                        .ok_or_else(|| p.error(format!("unknown scalar operation `{other}`")))?;
+                    Instruction::ScAlu { op, dst: p.greg()?, a: p.greg()?, b: p.greg()? }
+                }
+            } else {
+                return Err(p.error(format!("unknown mnemonic `{other}`")));
+            }
+        }
+    };
+    p.done()?;
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u8) -> GReg {
+        GReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn assemble_disassemble_round_trip() {
+        let program = Program::from_instructions(vec![
+            Instruction::ScLi { dst: g(7), imm: 1024 },
+            Instruction::ScLui { dst: g(7), imm: 6 },
+            Instruction::CimLoad { weights: g(7), rows: g(10), mg: 2 },
+            Instruction::CimMvm { input: g(7), rows: g(10), output: g(9), mg: 2 },
+            Instruction::CimStoreAcc { output: g(9), len: g(10), mg: 2 },
+            Instruction::VecOp { kind: VectorOpKind::Relu, a: g(9), b: g(0), dst: g(9), len: g(10) },
+            Instruction::VecPool { kind: PoolKind::Max, src: g(9), dst: g(8), window: g(3), len: g(10) },
+            Instruction::VecQuant { src: g(9), dst: g(8), shift: g(4), len: g(10) },
+            Instruction::VecMac { src: g(9), acc: g(8), scale: g(4), len: g(10) },
+            Instruction::ScAlu { op: ScalarAluOp::Add, dst: g(1), a: g(2), b: g(3) },
+            Instruction::ScAlui { op: ScalarAluOp::Mul, dst: g(1), src: g(2), imm: -5 },
+            Instruction::ScRdSpecial { dst: g(1), sreg: SReg::CoreId },
+            Instruction::ScWrSpecial { sreg: SReg::MacroGroupSelect, src: g(1) },
+            Instruction::MemCpy { src: g(1), dst: g(2), len: g(3), offset: 64 },
+            Instruction::Send { addr: g(1), len: g(2), dst_core: g(3), tag: 9 },
+            Instruction::Recv { addr: g(1), len: g(2), src_core: g(3), tag: 9 },
+            Instruction::Jmp { offset: -26 },
+            Instruction::Beq { a: g(1), b: g(2), offset: 3 },
+            Instruction::Bne { a: g(1), b: g(2), offset: -3 },
+            Instruction::Barrier { id: 1 },
+            Instruction::Halt,
+            Instruction::Nop,
+        ]);
+        let text = disassemble(&program);
+        let parsed = assemble(&text).unwrap();
+        assert_eq!(parsed.instructions(), program.instructions());
+    }
+
+    #[test]
+    fn comments_blank_lines_and_labels_are_ignored() {
+        let text = "\n# header comment\nentry:\n  nop // trailing\n  halt\n";
+        let p = assemble(text).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line_number() {
+        let err = assemble("nop\nfrobnicate g1, g2\n").unwrap_err();
+        match err {
+            IsaError::ParseInstruction { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn malformed_register_is_rejected() {
+        assert!(assemble("sc_add g1, g99, g2").is_err());
+        assert!(assemble("sc_add g1, x2, g2").is_err());
+    }
+
+    #[test]
+    fn missing_operand_is_rejected() {
+        assert!(assemble("cim_mvm g1, g2").is_err());
+        assert!(assemble("sc_li g1").is_err());
+    }
+
+    #[test]
+    fn trailing_operand_is_rejected() {
+        assert!(assemble("nop g1").is_err());
+        assert!(assemble("halt 3").is_err());
+    }
+}

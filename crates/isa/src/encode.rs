@@ -1,0 +1,379 @@
+//! Binary encoding and decoding of the unified 32-bit instruction word.
+
+use crate::inst::{Instruction, PoolKind, ScalarAluOp, VectorOpKind};
+use crate::opcode::Opcode;
+use crate::register::{GReg, SReg};
+use crate::IsaError;
+
+/// Maximum macro-group index encodable in the CIM flag field.
+const MG_LIMIT: u8 = 64;
+
+fn reg_field(reg: GReg, lsb: u8) -> u32 {
+    u32::from(reg.index()) << lsb
+}
+
+fn decode_reg(word: u32, lsb: u8) -> Result<GReg, IsaError> {
+    GReg::new(((word >> lsb) & 0x1F) as u8)
+}
+
+fn check_mg(mg: u8) -> Result<u32, IsaError> {
+    if mg < MG_LIMIT {
+        Ok(u32::from(mg))
+    } else {
+        Err(IsaError::InvalidMacroGroup { index: mg })
+    }
+}
+
+fn check_signed(value: i32, bits: u8) -> Result<u32, IsaError> {
+    let min = -(1i32 << (bits - 1));
+    let max = (1i32 << (bits - 1)) - 1;
+    if value < min || value > max {
+        return Err(IsaError::ImmediateOutOfRange { value, bits });
+    }
+    Ok((value as u32) & ((1u32 << bits) - 1))
+}
+
+fn check_unsigned(value: u32, bits: u8) -> Result<u32, IsaError> {
+    if bits < 32 && value >= (1u32 << bits) {
+        return Err(IsaError::ImmediateOutOfRange { value: value as i32, bits });
+    }
+    Ok(value)
+}
+
+fn sign_extend(value: u32, bits: u8) -> i32 {
+    let shift = 32 - u32::from(bits);
+    ((value << shift) as i32) >> shift
+}
+
+/// Encodes a single instruction into its 32-bit binary word.
+///
+/// # Errors
+///
+/// Returns an error if an immediate, offset, tag or macro-group index does
+/// not fit into its encoding field.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_isa::{encode, Instruction};
+/// let word = encode(&Instruction::Nop)?;
+/// assert_eq!(word >> 26, 0);
+/// # Ok::<(), cimflow_isa::IsaError>(())
+/// ```
+pub fn encode(inst: &Instruction) -> Result<u32, IsaError> {
+    let op = u32::from(inst.opcode().code()) << 26;
+    let word = match *inst {
+        Instruction::CimMvm { input, rows, output, mg } => {
+            op | reg_field(input, 21) | reg_field(rows, 16) | reg_field(output, 11) | check_mg(mg)?
+        }
+        Instruction::CimLoad { weights, rows, mg } => {
+            op | reg_field(weights, 21) | reg_field(rows, 16) | check_mg(mg)?
+        }
+        Instruction::CimStoreAcc { output, len, mg } => {
+            op | reg_field(output, 21) | reg_field(len, 16) | check_mg(mg)?
+        }
+        Instruction::VecOp { kind, a, b, dst, len } => {
+            op | reg_field(a, 21)
+                | reg_field(b, 16)
+                | reg_field(dst, 11)
+                | reg_field(len, 6)
+                | u32::from(kind.funct())
+        }
+        Instruction::VecPool { kind, src, dst, window, len } => {
+            op | reg_field(src, 21)
+                | reg_field(window, 16)
+                | reg_field(dst, 11)
+                | reg_field(len, 6)
+                | u32::from(kind.funct())
+        }
+        Instruction::VecQuant { src, dst, shift, len } => {
+            op | reg_field(src, 21) | reg_field(shift, 16) | reg_field(dst, 11) | reg_field(len, 6)
+        }
+        Instruction::VecMac { src, acc, scale, len } => {
+            op | reg_field(src, 21) | reg_field(scale, 16) | reg_field(acc, 11) | reg_field(len, 6)
+        }
+        Instruction::ScAlu { op: alu, dst, a, b } => {
+            op | reg_field(a, 21) | reg_field(b, 16) | reg_field(dst, 11) | u32::from(alu.funct())
+        }
+        Instruction::ScAlui { op: alu, dst, src, imm } => {
+            op | reg_field(src, 21)
+                | reg_field(dst, 16)
+                | (u32::from(alu.funct()) << 10)
+                | check_signed(i32::from(imm), 10)?
+        }
+        Instruction::ScLi { dst, imm } => op | reg_field(dst, 21) | u32::from(imm),
+        Instruction::ScLui { dst, imm } => op | reg_field(dst, 21) | u32::from(imm),
+        Instruction::ScRdSpecial { dst, sreg } => {
+            op | reg_field(dst, 16) | u32::from(sreg.index())
+        }
+        Instruction::ScWrSpecial { sreg, src } => {
+            op | reg_field(src, 21) | u32::from(sreg.index())
+        }
+        Instruction::MemCpy { src, dst, len, offset } => {
+            op | reg_field(src, 21)
+                | reg_field(dst, 16)
+                | reg_field(len, 11)
+                | check_signed(i32::from(offset), 11)?
+        }
+        Instruction::Send { addr, len, dst_core, tag } => {
+            op | reg_field(addr, 21)
+                | reg_field(len, 16)
+                | reg_field(dst_core, 11)
+                | check_unsigned(u32::from(tag), 11)?
+        }
+        Instruction::Recv { addr, len, src_core, tag } => {
+            op | reg_field(addr, 21)
+                | reg_field(len, 16)
+                | reg_field(src_core, 11)
+                | check_unsigned(u32::from(tag), 11)?
+        }
+        Instruction::Jmp { offset } => op | check_signed(offset, 16)?,
+        Instruction::Beq { a, b, offset } | Instruction::Bne { a, b, offset } => {
+            op | reg_field(a, 21) | reg_field(b, 16) | check_signed(offset, 16)?
+        }
+        Instruction::Barrier { id } => op | u32::from(id),
+        Instruction::Halt | Instruction::Nop => op,
+    };
+    Ok(word)
+}
+
+/// Decodes a 32-bit binary word back into a typed [`Instruction`].
+///
+/// # Errors
+///
+/// Returns an error when the opcode or a funct field does not correspond to
+/// an architectural instruction.
+pub fn decode(word: u32) -> Result<Instruction, IsaError> {
+    let code = (word >> 26) as u8;
+    let opcode = Opcode::from_code(code)?;
+    let funct6 = (word & 0x3F) as u8;
+    let imm11 = word & 0x7FF;
+    let imm16 = word & 0xFFFF;
+    let inst = match opcode {
+        Opcode::CimMvm => Instruction::CimMvm {
+            input: decode_reg(word, 21)?,
+            rows: decode_reg(word, 16)?,
+            output: decode_reg(word, 11)?,
+            mg: (imm11 & 0x3F) as u8,
+        },
+        Opcode::CimLoad => Instruction::CimLoad {
+            weights: decode_reg(word, 21)?,
+            rows: decode_reg(word, 16)?,
+            mg: (imm11 & 0x3F) as u8,
+        },
+        Opcode::CimStoreAcc => Instruction::CimStoreAcc {
+            output: decode_reg(word, 21)?,
+            len: decode_reg(word, 16)?,
+            mg: (imm11 & 0x3F) as u8,
+        },
+        Opcode::VecOp => Instruction::VecOp {
+            kind: VectorOpKind::from_funct(funct6)
+                .ok_or(IsaError::UnknownFunct { opcode: code, funct: funct6 })?,
+            a: decode_reg(word, 21)?,
+            b: decode_reg(word, 16)?,
+            dst: decode_reg(word, 11)?,
+            len: decode_reg(word, 6)?,
+        },
+        Opcode::VecPool => Instruction::VecPool {
+            kind: PoolKind::from_funct(funct6)
+                .ok_or(IsaError::UnknownFunct { opcode: code, funct: funct6 })?,
+            src: decode_reg(word, 21)?,
+            window: decode_reg(word, 16)?,
+            dst: decode_reg(word, 11)?,
+            len: decode_reg(word, 6)?,
+        },
+        Opcode::VecQuant => Instruction::VecQuant {
+            src: decode_reg(word, 21)?,
+            shift: decode_reg(word, 16)?,
+            dst: decode_reg(word, 11)?,
+            len: decode_reg(word, 6)?,
+        },
+        Opcode::VecMac => Instruction::VecMac {
+            src: decode_reg(word, 21)?,
+            scale: decode_reg(word, 16)?,
+            acc: decode_reg(word, 11)?,
+            len: decode_reg(word, 6)?,
+        },
+        Opcode::ScAlu => Instruction::ScAlu {
+            op: ScalarAluOp::from_funct(funct6)
+                .ok_or(IsaError::UnknownFunct { opcode: code, funct: funct6 })?,
+            a: decode_reg(word, 21)?,
+            b: decode_reg(word, 16)?,
+            dst: decode_reg(word, 11)?,
+        },
+        Opcode::ScAlui => {
+            let funct = ((word >> 10) & 0x3F) as u8;
+            Instruction::ScAlui {
+                op: ScalarAluOp::from_funct(funct)
+                    .ok_or(IsaError::UnknownFunct { opcode: code, funct })?,
+                src: decode_reg(word, 21)?,
+                dst: decode_reg(word, 16)?,
+                imm: sign_extend(word & 0x3FF, 10) as i16,
+            }
+        }
+        Opcode::ScLi => Instruction::ScLi { dst: decode_reg(word, 21)?, imm: imm16 as u16 },
+        Opcode::ScLui => Instruction::ScLui { dst: decode_reg(word, 21)?, imm: imm16 as u16 },
+        Opcode::ScRdSpecial => Instruction::ScRdSpecial {
+            dst: decode_reg(word, 16)?,
+            sreg: SReg::from_index(funct6)
+                .ok_or(IsaError::UnknownFunct { opcode: code, funct: funct6 })?,
+        },
+        Opcode::ScWrSpecial => Instruction::ScWrSpecial {
+            src: decode_reg(word, 21)?,
+            sreg: SReg::from_index(funct6)
+                .ok_or(IsaError::UnknownFunct { opcode: code, funct: funct6 })?,
+        },
+        Opcode::MemCpy => Instruction::MemCpy {
+            src: decode_reg(word, 21)?,
+            dst: decode_reg(word, 16)?,
+            len: decode_reg(word, 11)?,
+            offset: sign_extend(imm11, 11) as i16,
+        },
+        Opcode::Send => Instruction::Send {
+            addr: decode_reg(word, 21)?,
+            len: decode_reg(word, 16)?,
+            dst_core: decode_reg(word, 11)?,
+            tag: imm11 as u16,
+        },
+        Opcode::Recv => Instruction::Recv {
+            addr: decode_reg(word, 21)?,
+            len: decode_reg(word, 16)?,
+            src_core: decode_reg(word, 11)?,
+            tag: imm11 as u16,
+        },
+        Opcode::Jmp => Instruction::Jmp { offset: sign_extend(imm16, 16) },
+        Opcode::Beq => Instruction::Beq {
+            a: decode_reg(word, 21)?,
+            b: decode_reg(word, 16)?,
+            offset: sign_extend(imm16, 16),
+        },
+        Opcode::Bne => Instruction::Bne {
+            a: decode_reg(word, 21)?,
+            b: decode_reg(word, 16)?,
+            offset: sign_extend(imm16, 16),
+        },
+        Opcode::Barrier => Instruction::Barrier { id: imm16 as u16 },
+        Opcode::Halt => Instruction::Halt,
+        Opcode::Nop => Instruction::Nop,
+        Opcode::Custom => {
+            return Err(IsaError::UnknownOpcode { opcode: code });
+        }
+    };
+    Ok(inst)
+}
+
+/// Encodes a full instruction sequence into binary words.
+///
+/// # Errors
+///
+/// Fails on the first instruction that cannot be encoded; the error
+/// identifies the offending field.
+pub fn encode_program(instructions: &[Instruction]) -> Result<Vec<u32>, IsaError> {
+    instructions.iter().map(encode).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u8) -> GReg {
+        GReg::new(i).unwrap()
+    }
+
+    fn representative_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::CimMvm { input: g(7), rows: g(10), output: g(9), mg: 5 },
+            Instruction::CimLoad { weights: g(1), rows: g(2), mg: 63 },
+            Instruction::CimStoreAcc { output: g(3), len: g(4), mg: 0 },
+            Instruction::VecOp { kind: VectorOpKind::Relu, a: g(1), b: g(0), dst: g(2), len: g(3) },
+            Instruction::VecOp { kind: VectorOpKind::Add, a: g(1), b: g(5), dst: g(2), len: g(3) },
+            Instruction::VecPool { kind: PoolKind::Average, src: g(1), dst: g(2), window: g(4), len: g(3) },
+            Instruction::VecQuant { src: g(1), dst: g(2), shift: g(6), len: g(3) },
+            Instruction::VecMac { src: g(1), acc: g(2), scale: g(7), len: g(3) },
+            Instruction::ScAlu { op: ScalarAluOp::Mul, dst: g(4), a: g(5), b: g(6) },
+            Instruction::ScAlui { op: ScalarAluOp::Add, dst: g(2), src: g(2), imm: -7 },
+            Instruction::ScLi { dst: g(9), imm: 65535 },
+            Instruction::ScLui { dst: g(9), imm: 1024 },
+            Instruction::ScRdSpecial { dst: g(8), sreg: SReg::CoreId },
+            Instruction::ScWrSpecial { sreg: SReg::MacroGroupSelect, src: g(8) },
+            Instruction::MemCpy { src: g(1), dst: g(2), len: g(3), offset: -1024 },
+            Instruction::Send { addr: g(1), len: g(2), dst_core: g(3), tag: 2047 },
+            Instruction::Recv { addr: g(1), len: g(2), src_core: g(3), tag: 0 },
+            Instruction::Jmp { offset: -26 },
+            Instruction::Beq { a: g(1), b: g(2), offset: 12 },
+            Instruction::Bne { a: g(1), b: g(2), offset: -12 },
+            Instruction::Barrier { id: 77 },
+            Instruction::Halt,
+            Instruction::Nop,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_for_every_variant() {
+        for inst in representative_instructions() {
+            let word = encode(&inst).unwrap();
+            assert_eq!(decode(word).unwrap(), inst, "round trip failed for {inst}");
+        }
+    }
+
+    #[test]
+    fn opcode_occupies_top_six_bits() {
+        for inst in representative_instructions() {
+            let word = encode(&inst).unwrap();
+            assert_eq!((word >> 26) as u8, inst.opcode().code());
+        }
+    }
+
+    #[test]
+    fn out_of_range_immediates_are_rejected() {
+        assert!(matches!(
+            encode(&Instruction::ScAlui { op: ScalarAluOp::Add, dst: g(1), src: g(1), imm: 512 }),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            encode(&Instruction::MemCpy { src: g(1), dst: g(2), len: g(3), offset: 1024 }),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            encode(&Instruction::Send { addr: g(1), len: g(2), dst_core: g(3), tag: 4000 }),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+        assert!(matches!(
+            encode(&Instruction::Jmp { offset: 40000 }),
+            Err(IsaError::ImmediateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_macro_group_is_rejected() {
+        assert_eq!(
+            encode(&Instruction::CimMvm { input: g(1), rows: g(2), output: g(3), mg: 64 }),
+            Err(IsaError::InvalidMacroGroup { index: 64 })
+        );
+    }
+
+    #[test]
+    fn unknown_words_fail_to_decode() {
+        assert!(decode(0x3E << 26).is_err());
+        let bad_funct = (u32::from(Opcode::VecOp.code()) << 26) | 0x3F;
+        assert!(matches!(decode(bad_funct), Err(IsaError::UnknownFunct { .. })));
+    }
+
+    #[test]
+    fn encode_program_encodes_all_or_fails() {
+        let prog = representative_instructions();
+        let words = encode_program(&prog).unwrap();
+        assert_eq!(words.len(), prog.len());
+        let bad = vec![Instruction::Nop, Instruction::Jmp { offset: 1 << 20 }];
+        assert!(encode_program(&bad).is_err());
+    }
+
+    #[test]
+    fn negative_offsets_sign_extend() {
+        let word = encode(&Instruction::Jmp { offset: -26 }).unwrap();
+        match decode(word).unwrap() {
+            Instruction::Jmp { offset } => assert_eq!(offset, -26),
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

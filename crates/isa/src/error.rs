@@ -1,0 +1,134 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, encoding, decoding or assembling
+/// CIMFlow instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A register index was outside the architectural register file.
+    InvalidRegister {
+        /// The offending index.
+        index: u8,
+        /// Number of architectural registers of that class.
+        limit: u8,
+    },
+    /// A macro-group index did not fit into the 4-bit flag field.
+    InvalidMacroGroup {
+        /// The offending macro-group index.
+        index: u8,
+    },
+    /// An immediate value did not fit into its encoding field.
+    ImmediateOutOfRange {
+        /// The value that was requested.
+        value: i32,
+        /// Number of bits available in the encoding.
+        bits: u8,
+    },
+    /// A 32-bit word did not correspond to any known opcode.
+    UnknownOpcode {
+        /// The 6-bit opcode field extracted from the word.
+        opcode: u8,
+    },
+    /// A funct field value was not valid for the decoded opcode.
+    UnknownFunct {
+        /// The opcode being decoded.
+        opcode: u8,
+        /// The offending funct value.
+        funct: u8,
+    },
+    /// An assembler parse failure.
+    ParseInstruction {
+        /// Line number (1-based) where the failure occurred.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A label was referenced but never defined.
+    UndefinedLabel {
+        /// The missing label name.
+        name: String,
+    },
+    /// A label was defined more than once.
+    DuplicateLabel {
+        /// The duplicated label name.
+        name: String,
+    },
+    /// A custom instruction descriptor collided with an existing mnemonic.
+    DuplicateExtension {
+        /// The mnemonic that is already registered.
+        mnemonic: String,
+    },
+    /// A branch or jump target was too far away to encode.
+    BranchOutOfRange {
+        /// The requested offset in instructions.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::InvalidRegister { index, limit } => {
+                write!(f, "register index {index} exceeds register file size {limit}")
+            }
+            IsaError::InvalidMacroGroup { index } => {
+                write!(f, "macro group index {index} does not fit the 4-bit flag field")
+            }
+            IsaError::ImmediateOutOfRange { value, bits } => {
+                write!(f, "immediate {value} does not fit into {bits} bits")
+            }
+            IsaError::UnknownOpcode { opcode } => {
+                write!(f, "unknown opcode 0b{opcode:06b}")
+            }
+            IsaError::UnknownFunct { opcode, funct } => {
+                write!(f, "unknown funct 0b{funct:06b} for opcode 0b{opcode:06b}")
+            }
+            IsaError::ParseInstruction { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+            IsaError::UndefinedLabel { name } => write!(f, "undefined label `{name}`"),
+            IsaError::DuplicateLabel { name } => write!(f, "duplicate label `{name}`"),
+            IsaError::DuplicateExtension { mnemonic } => {
+                write!(f, "instruction mnemonic `{mnemonic}` is already registered")
+            }
+            IsaError::BranchOutOfRange { offset } => {
+                write!(f, "branch offset {offset} instructions is out of encodable range")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<IsaError> = vec![
+            IsaError::InvalidRegister { index: 40, limit: 32 },
+            IsaError::InvalidMacroGroup { index: 99 },
+            IsaError::ImmediateOutOfRange { value: 70000, bits: 16 },
+            IsaError::UnknownOpcode { opcode: 63 },
+            IsaError::UnknownFunct { opcode: 1, funct: 63 },
+            IsaError::ParseInstruction { line: 3, reason: "bad operand".into() },
+            IsaError::UndefinedLabel { name: "loop".into() },
+            IsaError::DuplicateLabel { name: "loop".into() },
+            IsaError::DuplicateExtension { mnemonic: "cim_fma".into() },
+            IsaError::BranchOutOfRange { offset: 1 << 40 },
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IsaError>();
+    }
+}

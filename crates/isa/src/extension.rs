@@ -1,0 +1,291 @@
+//! Instruction-description template for ISA extensibility.
+//!
+//! The paper emphasizes that the instruction set is "designed for
+//! extensibility through incorporating a customized instruction description
+//! template, which enables seamless integration of new operations into the
+//! framework when provided with their associated performance parameters."
+//!
+//! This module implements that template: an [`InstructionDescriptor`]
+//! bundles a mnemonic, the execution unit it occupies, its latency /
+//! initiation interval and its energy cost, and an [`IsaExtension`]
+//! registry collects descriptors so that both the compiler (for cost
+//! estimation) and the simulator (for timing and energy accounting) can
+//! consume them without code changes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::format::InstructionFormat;
+use crate::IsaError;
+
+/// The execution unit a (custom) instruction occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ExecutionUnit {
+    /// The in-memory CIM compute unit (macro groups).
+    Cim,
+    /// The element-wise vector unit.
+    Vector,
+    /// The scalar ALU.
+    Scalar,
+    /// The memory / NoC transfer unit.
+    Transfer,
+}
+
+impl fmt::Display for ExecutionUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ExecutionUnit::Cim => "cim",
+            ExecutionUnit::Vector => "vector",
+            ExecutionUnit::Scalar => "scalar",
+            ExecutionUnit::Transfer => "transfer",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Performance description of one (custom) operation.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_isa::{ExecutionUnit, InstructionDescriptor, InstructionFormat};
+///
+/// let softmax = InstructionDescriptor::new("vec_softmax", ExecutionUnit::Vector, InstructionFormat::Vector)
+///     .with_latency(24)
+///     .with_initiation_interval(8)
+///     .with_energy_pj(14.5);
+/// assert_eq!(softmax.latency_cycles(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstructionDescriptor {
+    mnemonic: String,
+    unit: ExecutionUnit,
+    format: InstructionFormat,
+    latency_cycles: u32,
+    initiation_interval: u32,
+    energy_pj: f64,
+    throughput_elems_per_cycle: u32,
+}
+
+impl InstructionDescriptor {
+    /// Creates a descriptor with default single-cycle timing and zero energy.
+    pub fn new(mnemonic: impl Into<String>, unit: ExecutionUnit, format: InstructionFormat) -> Self {
+        InstructionDescriptor {
+            mnemonic: mnemonic.into(),
+            unit,
+            format,
+            latency_cycles: 1,
+            initiation_interval: 1,
+            energy_pj: 0.0,
+            throughput_elems_per_cycle: 1,
+        }
+    }
+
+    /// Sets the end-to-end latency in cycles.
+    pub fn with_latency(mut self, cycles: u32) -> Self {
+        self.latency_cycles = cycles.max(1);
+        self
+    }
+
+    /// Sets the pipelined initiation interval in cycles.
+    pub fn with_initiation_interval(mut self, cycles: u32) -> Self {
+        self.initiation_interval = cycles.max(1);
+        self
+    }
+
+    /// Sets the per-invocation energy in picojoules.
+    pub fn with_energy_pj(mut self, energy_pj: f64) -> Self {
+        self.energy_pj = energy_pj.max(0.0);
+        self
+    }
+
+    /// Sets the number of elements processed per cycle (vector-style ops).
+    pub fn with_throughput(mut self, elems_per_cycle: u32) -> Self {
+        self.throughput_elems_per_cycle = elems_per_cycle.max(1);
+        self
+    }
+
+    /// The assembler mnemonic of the operation.
+    pub fn mnemonic(&self) -> &str {
+        &self.mnemonic
+    }
+
+    /// The execution unit occupied by the operation.
+    pub fn unit(&self) -> ExecutionUnit {
+        self.unit
+    }
+
+    /// The encoding format family used by the operation.
+    pub fn format(&self) -> InstructionFormat {
+        self.format
+    }
+
+    /// End-to-end latency in cycles.
+    pub fn latency_cycles(&self) -> u32 {
+        self.latency_cycles
+    }
+
+    /// Pipelined initiation interval in cycles.
+    pub fn initiation_interval(&self) -> u32 {
+        self.initiation_interval
+    }
+
+    /// Per-invocation energy in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy_pj
+    }
+
+    /// Elements processed per cycle.
+    pub fn throughput_elems_per_cycle(&self) -> u32 {
+        self.throughput_elems_per_cycle
+    }
+
+    /// Number of cycles needed to process `elems` elements, including the
+    /// pipeline fill latency.
+    pub fn cycles_for(&self, elems: u64) -> u64 {
+        if elems == 0 {
+            return 0;
+        }
+        let issue = elems.div_ceil(u64::from(self.throughput_elems_per_cycle));
+        issue
+            .saturating_mul(u64::from(self.initiation_interval))
+            .saturating_add(u64::from(self.latency_cycles.saturating_sub(1)))
+    }
+}
+
+/// A registry of custom instruction descriptors.
+///
+/// Both the compiler and the simulator accept an `IsaExtension` so that new
+/// operations participate in cost estimation and timing/energy accounting
+/// without modifications to either component.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IsaExtension {
+    descriptors: BTreeMap<String, InstructionDescriptor>,
+}
+
+impl IsaExtension {
+    /// Creates an empty extension registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::DuplicateExtension`] if the mnemonic is already
+    /// registered.
+    pub fn register(&mut self, descriptor: InstructionDescriptor) -> Result<(), IsaError> {
+        let key = descriptor.mnemonic().to_owned();
+        if self.descriptors.contains_key(&key) {
+            return Err(IsaError::DuplicateExtension { mnemonic: key });
+        }
+        self.descriptors.insert(key, descriptor);
+        Ok(())
+    }
+
+    /// Looks a descriptor up by mnemonic.
+    pub fn get(&self, mnemonic: &str) -> Option<&InstructionDescriptor> {
+        self.descriptors.get(mnemonic)
+    }
+
+    /// Number of registered descriptors.
+    pub fn len(&self) -> usize {
+        self.descriptors.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.descriptors.is_empty()
+    }
+
+    /// Iterates over descriptors in mnemonic order.
+    pub fn iter(&self) -> impl Iterator<Item = &InstructionDescriptor> {
+        self.descriptors.values()
+    }
+}
+
+impl Extend<InstructionDescriptor> for IsaExtension {
+    fn extend<T: IntoIterator<Item = InstructionDescriptor>>(&mut self, iter: T) {
+        for d in iter {
+            let _ = self.register(d);
+        }
+    }
+}
+
+impl FromIterator<InstructionDescriptor> for IsaExtension {
+    fn from_iter<T: IntoIterator<Item = InstructionDescriptor>>(iter: T) -> Self {
+        let mut ext = IsaExtension::new();
+        ext.extend(iter);
+        ext
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn softmax() -> InstructionDescriptor {
+        InstructionDescriptor::new("vec_softmax", ExecutionUnit::Vector, InstructionFormat::Vector)
+            .with_latency(24)
+            .with_initiation_interval(2)
+            .with_energy_pj(14.5)
+            .with_throughput(16)
+    }
+
+    #[test]
+    fn descriptor_accessors() {
+        let d = softmax();
+        assert_eq!(d.mnemonic(), "vec_softmax");
+        assert_eq!(d.unit(), ExecutionUnit::Vector);
+        assert_eq!(d.format(), InstructionFormat::Vector);
+        assert_eq!(d.latency_cycles(), 24);
+        assert_eq!(d.initiation_interval(), 2);
+        assert!((d.energy_pj() - 14.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_for_accounts_for_pipeline_fill() {
+        let d = softmax();
+        assert_eq!(d.cycles_for(0), 0);
+        // 16 elems per cycle, II=2: 32 elems -> 2 issues -> 4 cycles + 23 fill.
+        assert_eq!(d.cycles_for(32), 27);
+        // One element still pays the full latency.
+        assert_eq!(d.cycles_for(1), 25);
+    }
+
+    #[test]
+    fn builders_clamp_degenerate_values() {
+        let d = InstructionDescriptor::new("x", ExecutionUnit::Scalar, InstructionFormat::ScalarReg)
+            .with_latency(0)
+            .with_initiation_interval(0)
+            .with_throughput(0)
+            .with_energy_pj(-3.0);
+        assert_eq!(d.latency_cycles(), 1);
+        assert_eq!(d.initiation_interval(), 1);
+        assert_eq!(d.throughput_elems_per_cycle(), 1);
+        assert_eq!(d.energy_pj(), 0.0);
+    }
+
+    #[test]
+    fn registry_rejects_duplicates() {
+        let mut ext = IsaExtension::new();
+        ext.register(softmax()).unwrap();
+        assert_eq!(
+            ext.register(softmax()),
+            Err(IsaError::DuplicateExtension { mnemonic: "vec_softmax".into() })
+        );
+        assert_eq!(ext.len(), 1);
+        assert!(ext.get("vec_softmax").is_some());
+        assert!(ext.get("vec_gelu").is_none());
+    }
+
+    #[test]
+    fn registry_collects_from_iterator() {
+        let gelu = InstructionDescriptor::new("vec_gelu", ExecutionUnit::Vector, InstructionFormat::Vector);
+        let ext: IsaExtension = vec![softmax(), gelu].into_iter().collect();
+        assert_eq!(ext.len(), 2);
+        assert_eq!(ext.iter().count(), 2);
+        assert!(!ext.is_empty());
+    }
+}

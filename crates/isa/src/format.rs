@@ -1,0 +1,194 @@
+use std::fmt;
+
+/// The bit-level layout families of the unified 32-bit instruction word.
+///
+/// Every instruction starts with a 6-bit opcode in bits `[31:26]`.
+/// Operand registers occupy 5-bit fields; some formats carry a 6-bit
+/// functionality specifier, execution flags, or immediates of 10 or 16
+/// bits, mirroring Fig. 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstructionFormat {
+    /// `opcode | rs | rt | re | flags(11)` — CIM compute instructions.
+    Cim,
+    /// `opcode | rs | rt | rd | re | funct(6)` — vector compute instructions.
+    Vector,
+    /// `opcode | rs | rt | rd | funct(6) | unused` — scalar register-register.
+    ScalarReg,
+    /// `opcode | rs | rt | funct(6) | imm(10)` — scalar register-immediate.
+    ScalarImm,
+    /// `opcode | rs | rt | rd | offset(11)` — communication instructions.
+    Communication,
+    /// `opcode | rs | rt | offset(16)` — control-flow instructions.
+    Control,
+}
+
+impl InstructionFormat {
+    /// All format families.
+    pub const ALL: [InstructionFormat; 6] = [
+        InstructionFormat::Cim,
+        InstructionFormat::Vector,
+        InstructionFormat::ScalarReg,
+        InstructionFormat::ScalarImm,
+        InstructionFormat::Communication,
+        InstructionFormat::Control,
+    ];
+
+    /// Returns the field layout (bit positions and widths) of the format.
+    pub fn layout(self) -> FieldLayout {
+        match self {
+            InstructionFormat::Cim => FieldLayout {
+                rs: Some((21, 5)),
+                rt: Some((16, 5)),
+                rd: None,
+                re: Some((11, 5)),
+                funct: None,
+                imm: Some((0, 11)),
+            },
+            InstructionFormat::Vector => FieldLayout {
+                rs: Some((21, 5)),
+                rt: Some((16, 5)),
+                rd: Some((11, 5)),
+                re: Some((6, 5)),
+                funct: Some((0, 6)),
+                imm: None,
+            },
+            InstructionFormat::ScalarReg => FieldLayout {
+                rs: Some((21, 5)),
+                rt: Some((16, 5)),
+                rd: Some((11, 5)),
+                re: None,
+                funct: Some((0, 6)),
+                imm: None,
+            },
+            InstructionFormat::ScalarImm => FieldLayout {
+                rs: Some((21, 5)),
+                rt: Some((16, 5)),
+                rd: None,
+                re: None,
+                funct: Some((10, 6)),
+                imm: Some((0, 10)),
+            },
+            InstructionFormat::Communication => FieldLayout {
+                rs: Some((21, 5)),
+                rt: Some((16, 5)),
+                rd: Some((11, 5)),
+                re: None,
+                funct: None,
+                imm: Some((0, 11)),
+            },
+            InstructionFormat::Control => FieldLayout {
+                rs: Some((21, 5)),
+                rt: Some((16, 5)),
+                rd: None,
+                re: None,
+                funct: None,
+                imm: Some((0, 16)),
+            },
+        }
+    }
+
+    /// Maximum number of register operands carried by this format.
+    pub fn register_operands(self) -> usize {
+        let l = self.layout();
+        [l.rs, l.rt, l.rd, l.re].iter().filter(|f| f.is_some()).count()
+    }
+}
+
+impl fmt::Display for InstructionFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstructionFormat::Cim => "cim",
+            InstructionFormat::Vector => "vector",
+            InstructionFormat::ScalarReg => "scalar-reg",
+            InstructionFormat::ScalarImm => "scalar-imm",
+            InstructionFormat::Communication => "communication",
+            InstructionFormat::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Bit positions (`(lsb, width)`) of every field of an instruction format.
+///
+/// `None` means the field does not exist in the format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// First source register.
+    pub rs: Option<(u8, u8)>,
+    /// Second source register.
+    pub rt: Option<(u8, u8)>,
+    /// Destination register.
+    pub rd: Option<(u8, u8)>,
+    /// Extra operand register (lengths, counts).
+    pub re: Option<(u8, u8)>,
+    /// Functionality specifier.
+    pub funct: Option<(u8, u8)>,
+    /// Immediate / offset / flags field.
+    pub imm: Option<(u8, u8)>,
+}
+
+impl FieldLayout {
+    /// Checks that no two fields of the layout overlap and that all fields
+    /// fit below the 6-bit opcode at bits `[31:26]`.
+    pub fn is_consistent(&self) -> bool {
+        let mut used = 0u32;
+        let fields = [self.rs, self.rt, self.rd, self.re, self.funct, self.imm];
+        for (lsb, width) in fields.into_iter().flatten() {
+            if u32::from(lsb) + u32::from(width) > 26 {
+                return false;
+            }
+            let mask = ((1u32 << width) - 1) << lsb;
+            if used & mask != 0 {
+                return false;
+            }
+            used |= mask;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_layouts_are_consistent() {
+        for fmt in InstructionFormat::ALL {
+            assert!(fmt.layout().is_consistent(), "layout of {fmt} overlaps or exceeds 26 bits");
+        }
+    }
+
+    #[test]
+    fn control_format_has_sixteen_bit_immediate() {
+        let layout = InstructionFormat::Control.layout();
+        assert_eq!(layout.imm, Some((0, 16)));
+    }
+
+    #[test]
+    fn vector_format_supports_four_register_operands() {
+        assert_eq!(InstructionFormat::Vector.register_operands(), 4);
+        assert_eq!(InstructionFormat::Control.register_operands(), 2);
+    }
+
+    #[test]
+    fn inconsistent_layout_is_detected() {
+        let bad = FieldLayout {
+            rs: Some((21, 5)),
+            rt: Some((23, 5)),
+            rd: None,
+            re: None,
+            funct: None,
+            imm: None,
+        };
+        assert!(!bad.is_consistent());
+        let too_wide = FieldLayout {
+            rs: Some((22, 5)),
+            rt: None,
+            rd: None,
+            re: None,
+            funct: None,
+            imm: None,
+        };
+        assert!(!too_wide.is_consistent());
+    }
+}

@@ -1,0 +1,71 @@
+//! # cimflow-isa
+//!
+//! Instruction set architecture for the CIMFlow digital compute-in-memory
+//! (CIM) framework, reproducing Sec. III-B of the CIMFlow paper (DAC 2025).
+//!
+//! The ISA bridges the compiler (`cimflow-compiler`) and the cycle-level
+//! simulator (`cimflow-sim`) with a unified 32-bit instruction word and a
+//! small number of format variations for the different operation classes:
+//!
+//! * **CIM compute** — in-memory matrix-vector multiplication and weight
+//!   loading on macro groups,
+//! * **vector compute** — element-wise auxiliary DNN operations
+//!   (activation, pooling, quantization, accumulation),
+//! * **scalar compute** — address arithmetic and control-flow support,
+//! * **communication** — local/global memory copies and inter-core
+//!   send/receive over the NoC,
+//! * **control flow** — branches, jumps, barriers and halt.
+//!
+//! The crate offers:
+//!
+//! * a typed, high-level [`Instruction`] enum used throughout the compiler
+//!   and simulator,
+//! * exact 32-bit binary [`encode`]/[`decode`] round-trips,
+//! * a textual assembler / disassembler ([`asm`]),
+//! * a [`Program`] container with labels,
+//! * an [`extension`] registry implementing the paper's "customized
+//!   instruction description template" for adding new operations together
+//!   with their performance parameters.
+//!
+//! # Example
+//!
+//! ```
+//! use cimflow_isa::{Instruction, GReg, encode, decode};
+//!
+//! # fn main() -> Result<(), cimflow_isa::IsaError> {
+//! let inst = Instruction::CimMvm {
+//!     input: GReg::new(7)?,
+//!     rows: GReg::new(10)?,
+//!     output: GReg::new(9)?,
+//!     mg: 3,
+//! };
+//! let word = encode(&inst)?;
+//! assert_eq!(decode(word)?, inst);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod encode;
+mod error;
+pub mod extension;
+mod format;
+mod inst;
+mod opcode;
+mod program;
+mod register;
+
+pub use encode::{decode, encode, encode_program};
+pub use error::IsaError;
+pub use extension::{ExecutionUnit, InstructionDescriptor, IsaExtension};
+pub use format::{FieldLayout, InstructionFormat};
+pub use inst::{Instruction, PoolKind, ScalarAluOp, VectorOpKind};
+pub use opcode::{Opcode, OpcodeClass};
+pub use program::{Label, Program, ProgramBuilder};
+pub use register::{GReg, Register, SReg, GENERAL_REGISTER_COUNT};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,429 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::inst::Instruction;
+use crate::opcode::OpcodeClass;
+use crate::register::GReg;
+use crate::IsaError;
+
+/// A symbolic label used by the [`ProgramBuilder`] to express branch
+/// targets before the final instruction layout is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(usize);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A finished, position-resolved instruction sequence for one core.
+///
+/// A `Program` is what the compiler hands to the simulator: a flat list of
+/// [`Instruction`]s whose branch offsets are already relative, plus the
+/// optional label map retained for debugging and disassembly.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_isa::{Instruction, Program};
+///
+/// let program = Program::from_instructions(vec![Instruction::Nop, Instruction::Halt]);
+/// assert_eq!(program.len(), 2);
+/// assert!(program.is_halting());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+    labels: BTreeMap<usize, String>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an already-resolved instruction sequence.
+    pub fn from_instructions(instructions: Vec<Instruction>) -> Self {
+        Program { instructions, labels: BTreeMap::new() }
+    }
+
+    /// Returns the instructions in execution order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions in the program.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Whether the final reachable instruction is a [`Instruction::Halt`].
+    pub fn is_halting(&self) -> bool {
+        matches!(self.instructions.last(), Some(Instruction::Halt))
+    }
+
+    /// Returns the debug name attached to an instruction index, if any.
+    pub fn label_at(&self, index: usize) -> Option<&str> {
+        self.labels.get(&index).map(String::as_str)
+    }
+
+    /// Iterates over the instructions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instruction> {
+        self.instructions.iter()
+    }
+
+    /// Counts instructions per operation class; useful for static program
+    /// statistics and for the compilation reports.
+    pub fn class_histogram(&self) -> BTreeMap<OpcodeClass, usize> {
+        let mut histogram = BTreeMap::new();
+        for inst in &self.instructions {
+            *histogram.entry(inst.class()).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Verifies structural well-formedness: every branch target lands inside
+    /// the program and the program terminates with a halt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::BranchOutOfRange`] for a branch that escapes the
+    /// program body.
+    pub fn validate(&self) -> Result<(), IsaError> {
+        for (pc, inst) in self.instructions.iter().enumerate() {
+            let offset = match inst {
+                Instruction::Jmp { offset }
+                | Instruction::Beq { offset, .. }
+                | Instruction::Bne { offset, .. } => Some(*offset),
+                _ => None,
+            };
+            if let Some(offset) = offset {
+                let target = pc as i64 + 1 + i64::from(offset);
+                if target < 0 || target > self.instructions.len() as i64 {
+                    return Err(IsaError::BranchOutOfRange { offset: i64::from(offset) });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.instructions.iter().enumerate() {
+            if let Some(label) = self.label_at(i) {
+                writeln!(f, "{label}:")?;
+            }
+            writeln!(f, "  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = Instruction;
+    type IntoIter = std::vec::IntoIter<Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a Instruction;
+    type IntoIter = std::slice::Iter<'a, Instruction>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.instructions.iter()
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program::from_instructions(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+/// Incrementally builds a [`Program`] with symbolic labels.
+///
+/// The builder is the code-generation interface used by
+/// `cimflow-compiler`: instructions are emitted sequentially, branch
+/// targets are named with [`Label`]s, and `finish` resolves all label
+/// references into relative offsets.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_isa::{GReg, Instruction, ProgramBuilder, ScalarAluOp};
+///
+/// # fn main() -> Result<(), cimflow_isa::IsaError> {
+/// let mut b = ProgramBuilder::new();
+/// let counter = GReg::new(1)?;
+/// let limit = GReg::new(2)?;
+/// b.load_immediate(counter, 0)?;
+/// b.load_immediate(limit, 4)?;
+/// let top = b.bind_label("loop");
+/// b.push(Instruction::ScAlui { op: ScalarAluOp::Add, dst: counter, src: counter, imm: 1 });
+/// b.branch_if_not_equal(counter, limit, top);
+/// b.push(Instruction::Halt);
+/// let program = b.finish()?;
+/// assert!(program.is_halting());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instructions: Vec<Instruction>,
+    label_positions: Vec<Option<usize>>,
+    label_names: Vec<String>,
+    pending_branches: Vec<(usize, Label)>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether no instruction has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Appends an already-resolved instruction.
+    pub fn push(&mut self, inst: Instruction) -> &mut Self {
+        self.instructions.push(inst);
+        self
+    }
+
+    /// Declares a label that will be bound later with [`Self::place_label`].
+    pub fn declare_label(&mut self, name: &str) -> Label {
+        self.label_positions.push(None);
+        self.label_names.push(name.to_owned());
+        Label(self.label_positions.len() - 1)
+    }
+
+    /// Declares a label bound to the current position.
+    pub fn bind_label(&mut self, name: &str) -> Label {
+        let label = self.declare_label(name);
+        self.place_label(label);
+        label
+    }
+
+    /// Binds a previously declared label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label belongs to a different builder.
+    pub fn place_label(&mut self, label: Label) {
+        self.label_positions[label.0] = Some(self.instructions.len());
+    }
+
+    /// Emits an unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        self.pending_branches.push((self.instructions.len(), target));
+        self.instructions.push(Instruction::Jmp { offset: 0 });
+        self
+    }
+
+    /// Emits a `beq` to `target`.
+    pub fn branch_if_equal(&mut self, a: GReg, b: GReg, target: Label) -> &mut Self {
+        self.pending_branches.push((self.instructions.len(), target));
+        self.instructions.push(Instruction::Beq { a, b, offset: 0 });
+        self
+    }
+
+    /// Emits a `bne` to `target`.
+    pub fn branch_if_not_equal(&mut self, a: GReg, b: GReg, target: Label) -> &mut Self {
+        self.pending_branches.push((self.instructions.len(), target));
+        self.instructions.push(Instruction::Bne { a, b, offset: 0 });
+        self
+    }
+
+    /// Emits the shortest sequence loading an arbitrary 32-bit value into
+    /// `dst` (one `sc_li`, optionally followed by `sc_lui`).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for 32-bit values; the `Result` mirrors the fallible
+    /// encoding API for forward compatibility.
+    pub fn load_immediate(&mut self, dst: GReg, value: u32) -> Result<&mut Self, IsaError> {
+        let low = (value & 0xFFFF) as u16;
+        let high = (value >> 16) as u16;
+        self.instructions.push(Instruction::ScLi { dst, imm: low });
+        if high != 0 {
+            self.instructions.push(Instruction::ScLui { dst, imm: high });
+        }
+        Ok(self)
+    }
+
+    /// Resolves all labels and returns the finished [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::UndefinedLabel`] if a referenced label was never
+    /// placed, or [`IsaError::BranchOutOfRange`] if a resolved offset does
+    /// not fit the 16-bit branch field.
+    pub fn finish(mut self) -> Result<Program, IsaError> {
+        for (pc, label) in &self.pending_branches {
+            let target = self.label_positions[label.0].ok_or_else(|| IsaError::UndefinedLabel {
+                name: self.label_names[label.0].clone(),
+            })?;
+            let offset = target as i64 - (*pc as i64 + 1);
+            if offset < i64::from(i16::MIN) || offset > i64::from(i16::MAX) {
+                return Err(IsaError::BranchOutOfRange { offset });
+            }
+            let offset = offset as i32;
+            match &mut self.instructions[*pc] {
+                Instruction::Jmp { offset: o }
+                | Instruction::Beq { offset: o, .. }
+                | Instruction::Bne { offset: o, .. } => *o = offset,
+                other => unreachable!("pending branch points at non-branch {other}"),
+            }
+        }
+        let mut labels = BTreeMap::new();
+        for (i, pos) in self.label_positions.iter().enumerate() {
+            if let Some(pos) = pos {
+                labels.entry(*pos).or_insert_with(|| self.label_names[i].clone());
+            }
+        }
+        let program = Program { instructions: self.instructions, labels };
+        program.validate()?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::ScalarAluOp;
+
+    fn g(i: u8) -> GReg {
+        GReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn empty_program_properties() {
+        let p = Program::new();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(!p.is_halting());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_resolves_backward_branch() {
+        let mut b = ProgramBuilder::new();
+        b.load_immediate(g(1), 0).unwrap();
+        b.load_immediate(g(2), 3).unwrap();
+        let top = b.bind_label("loop");
+        b.push(Instruction::ScAlui { op: ScalarAluOp::Add, dst: g(1), src: g(1), imm: 1 });
+        b.branch_if_not_equal(g(1), g(2), top);
+        b.push(Instruction::Halt);
+        let p = b.finish().unwrap();
+        match p.instructions()[3] {
+            Instruction::Bne { offset, .. } => assert_eq!(offset, -2),
+            ref other => panic!("expected bne, got {other}"),
+        }
+        assert!(p.is_halting());
+        assert_eq!(p.label_at(2), Some("loop"));
+    }
+
+    #[test]
+    fn builder_resolves_forward_branch() {
+        let mut b = ProgramBuilder::new();
+        let done = b.declare_label("done");
+        b.branch_if_equal(g(1), g(1), done);
+        b.push(Instruction::Nop);
+        b.push(Instruction::Nop);
+        b.place_label(done);
+        b.push(Instruction::Halt);
+        let p = b.finish().unwrap();
+        match p.instructions()[0] {
+            Instruction::Beq { offset, .. } => assert_eq!(offset, 2),
+            ref other => panic!("expected beq, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unplaced_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let missing = b.declare_label("missing");
+        b.jump(missing);
+        assert_eq!(b.finish(), Err(IsaError::UndefinedLabel { name: "missing".into() }));
+    }
+
+    #[test]
+    fn load_immediate_splits_wide_values() {
+        let mut b = ProgramBuilder::new();
+        b.load_immediate(g(7), 418_816).unwrap();
+        b.load_immediate(g(8), 12).unwrap();
+        let p = b.finish().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.instructions()[0], Instruction::ScLi { dst: g(7), imm: (418_816 & 0xFFFF) as u16 });
+        assert_eq!(p.instructions()[1], Instruction::ScLui { dst: g(7), imm: (418_816 >> 16) as u16 });
+        assert_eq!(p.instructions()[2], Instruction::ScLi { dst: g(8), imm: 12 });
+    }
+
+    #[test]
+    fn out_of_body_branch_fails_validation() {
+        let p = Program::from_instructions(vec![Instruction::Jmp { offset: 5 }]);
+        assert!(matches!(p.validate(), Err(IsaError::BranchOutOfRange { .. })));
+        let ok = Program::from_instructions(vec![Instruction::Jmp { offset: -1 }]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn class_histogram_counts_units() {
+        let p = Program::from_instructions(vec![
+            Instruction::Nop,
+            Instruction::CimMvm { input: g(1), rows: g(2), output: g(3), mg: 0 },
+            Instruction::CimLoad { weights: g(1), rows: g(2), mg: 0 },
+            Instruction::Halt,
+        ]);
+        let h = p.class_histogram();
+        assert_eq!(h[&OpcodeClass::Cim], 2);
+        assert_eq!(h[&OpcodeClass::Control], 2);
+    }
+
+    #[test]
+    fn program_iteration_and_collection() {
+        let p: Program = vec![Instruction::Nop, Instruction::Halt].into_iter().collect();
+        assert_eq!(p.iter().count(), 2);
+        let mut q = Program::new();
+        q.extend(p.clone());
+        assert_eq!(q.len(), 2);
+        let owned: Vec<Instruction> = p.into_iter().collect();
+        assert_eq!(owned.len(), 2);
+    }
+
+    #[test]
+    fn display_includes_labels() {
+        let mut b = ProgramBuilder::new();
+        let top = b.bind_label("entry");
+        b.push(Instruction::Nop);
+        b.jump(top);
+        b.push(Instruction::Halt);
+        let text = b.finish().unwrap().to_string();
+        assert!(text.contains("entry:"));
+        assert!(text.contains("nop"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the ISA: encoding and assembly round-trips.
+
+use proptest::prelude::*;
+
+use crate::asm;
+use crate::inst::{Instruction, PoolKind, ScalarAluOp, VectorOpKind};
+use crate::program::Program;
+use crate::register::{GReg, SReg, GENERAL_REGISTER_COUNT};
+use crate::{decode, encode};
+
+fn arb_greg() -> impl Strategy<Value = GReg> {
+    (0..GENERAL_REGISTER_COUNT).prop_map(|i| GReg::new(i).expect("index below limit"))
+}
+
+fn arb_sreg() -> impl Strategy<Value = SReg> {
+    (0..SReg::ALL.len()).prop_map(|i| SReg::ALL[i])
+}
+
+fn arb_vector_kind() -> impl Strategy<Value = VectorOpKind> {
+    (0..VectorOpKind::ALL.len()).prop_map(|i| VectorOpKind::ALL[i])
+}
+
+fn arb_scalar_op() -> impl Strategy<Value = ScalarAluOp> {
+    (0..ScalarAluOp::ALL.len()).prop_map(|i| ScalarAluOp::ALL[i])
+}
+
+prop_compose! {
+    fn arb_pool_kind()(is_max in any::<bool>()) -> PoolKind {
+        if is_max { PoolKind::Max } else { PoolKind::Average }
+    }
+}
+
+/// Generates any encodable instruction with field values inside their
+/// architectural ranges.
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        (arb_greg(), arb_greg(), arb_greg(), 0u8..64)
+            .prop_map(|(input, rows, output, mg)| Instruction::CimMvm { input, rows, output, mg }),
+        (arb_greg(), arb_greg(), 0u8..64)
+            .prop_map(|(weights, rows, mg)| Instruction::CimLoad { weights, rows, mg }),
+        (arb_greg(), arb_greg(), 0u8..64)
+            .prop_map(|(output, len, mg)| Instruction::CimStoreAcc { output, len, mg }),
+        (arb_vector_kind(), arb_greg(), arb_greg(), arb_greg(), arb_greg())
+            .prop_map(|(kind, a, b, dst, len)| Instruction::VecOp { kind, a, b, dst, len }),
+        (arb_pool_kind(), arb_greg(), arb_greg(), arb_greg(), arb_greg())
+            .prop_map(|(kind, src, dst, window, len)| Instruction::VecPool { kind, src, dst, window, len }),
+        (arb_greg(), arb_greg(), arb_greg(), arb_greg())
+            .prop_map(|(src, dst, shift, len)| Instruction::VecQuant { src, dst, shift, len }),
+        (arb_greg(), arb_greg(), arb_greg(), arb_greg())
+            .prop_map(|(src, acc, scale, len)| Instruction::VecMac { src, acc, scale, len }),
+        (arb_scalar_op(), arb_greg(), arb_greg(), arb_greg())
+            .prop_map(|(op, dst, a, b)| Instruction::ScAlu { op, dst, a, b }),
+        (arb_scalar_op(), arb_greg(), arb_greg(), -512i16..512)
+            .prop_map(|(op, dst, src, imm)| Instruction::ScAlui { op, dst, src, imm }),
+        (arb_greg(), any::<u16>()).prop_map(|(dst, imm)| Instruction::ScLi { dst, imm }),
+        (arb_greg(), any::<u16>()).prop_map(|(dst, imm)| Instruction::ScLui { dst, imm }),
+        (arb_greg(), arb_sreg()).prop_map(|(dst, sreg)| Instruction::ScRdSpecial { dst, sreg }),
+        (arb_greg(), arb_sreg()).prop_map(|(src, sreg)| Instruction::ScWrSpecial { sreg, src }),
+        (arb_greg(), arb_greg(), arb_greg(), -1024i16..1024)
+            .prop_map(|(src, dst, len, offset)| Instruction::MemCpy { src, dst, len, offset }),
+        (arb_greg(), arb_greg(), arb_greg(), 0u16..2048)
+            .prop_map(|(addr, len, dst_core, tag)| Instruction::Send { addr, len, dst_core, tag }),
+        (arb_greg(), arb_greg(), arb_greg(), 0u16..2048)
+            .prop_map(|(addr, len, src_core, tag)| Instruction::Recv { addr, len, src_core, tag }),
+        (-32768i32..32768).prop_map(|offset| Instruction::Jmp { offset }),
+        (arb_greg(), arb_greg(), -32768i32..32768)
+            .prop_map(|(a, b, offset)| Instruction::Beq { a, b, offset }),
+        (arb_greg(), arb_greg(), -32768i32..32768)
+            .prop_map(|(a, b, offset)| Instruction::Bne { a, b, offset }),
+        any::<u16>().prop_map(|id| Instruction::Barrier { id }),
+        Just(Instruction::Halt),
+        Just(Instruction::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Binary encoding is lossless for every encodable instruction.
+    #[test]
+    fn encode_decode_round_trip(inst in arb_instruction()) {
+        let word = encode(&inst).expect("arbitrary instruction must encode");
+        let back = decode(word).expect("encoded word must decode");
+        prop_assert_eq!(back, inst);
+    }
+
+    /// The opcode field always occupies the top six bits.
+    #[test]
+    fn opcode_field_position(inst in arb_instruction()) {
+        let word = encode(&inst).expect("arbitrary instruction must encode");
+        prop_assert_eq!((word >> 26) as u8, inst.opcode().code());
+    }
+
+    /// Textual assembly is lossless for arbitrary programs.
+    #[test]
+    fn assembly_round_trip(instructions in prop::collection::vec(arb_instruction(), 0..40)) {
+        let program = Program::from_instructions(instructions);
+        let text = asm::disassemble(&program);
+        let parsed = asm::assemble(&text).expect("disassembled text must re-assemble");
+        prop_assert_eq!(parsed.instructions(), program.instructions());
+    }
+
+    /// `defs` and `uses` only ever report architectural registers.
+    #[test]
+    fn defs_uses_are_architectural(inst in arb_instruction()) {
+        for r in inst.defs().into_iter().chain(inst.uses()) {
+            prop_assert!(r.index() < GENERAL_REGISTER_COUNT);
+        }
+    }
+
+    /// Scalar ALU evaluation never panics on any operand pair.
+    #[test]
+    fn scalar_eval_total(op in arb_scalar_op(), a in any::<i32>(), b in any::<i32>()) {
+        let _ = op.eval(a, b);
+    }
+}

@@ -1,0 +1,511 @@
+//! The computation graph: a validated DAG of operators over named tensors.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::OpKind;
+use crate::stats::{OpStats, WorkloadStats};
+use crate::tensor::{DataType, TensorShape};
+use crate::NnError;
+
+/// Identifier of a tensor inside one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TensorId(pub usize);
+
+/// Identifier of an operator (node) inside one [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct OpId(pub usize);
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Metadata of an activation tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TensorInfo {
+    /// Human-readable name.
+    pub name: String,
+    /// Shape in `N × C × H × W` layout.
+    pub shape: TensorShape,
+    /// Element type.
+    pub dtype: DataType,
+}
+
+/// One operator instance in the graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Identifier of the node.
+    pub id: OpId,
+    /// Human-readable name (e.g. `layer2.0.conv1`).
+    pub name: String,
+    /// Operator kind and attributes.
+    pub op: OpKind,
+    /// Activation inputs (weights are implicit / synthetic).
+    pub inputs: Vec<TensorId>,
+    /// The single activation output.
+    pub output: TensorId,
+}
+
+/// A validated directed acyclic computation graph.
+///
+/// Graphs are constructed through [`GraphBuilder`], which performs shape
+/// inference, or deserialized from the JSON model-description format and
+/// then validated with [`Graph::validate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    tensors: Vec<TensorInfo>,
+    nodes: Vec<Node>,
+    inputs: Vec<TensorId>,
+    outputs: Vec<TensorId>,
+}
+
+impl Graph {
+    /// All tensors of the graph, indexable by [`TensorId`].
+    pub fn tensors(&self) -> &[TensorInfo] {
+        &self.tensors
+    }
+
+    /// All nodes of the graph, indexable by [`OpId`].
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The graph-level input tensors.
+    pub fn inputs(&self) -> &[TensorId] {
+        &self.inputs
+    }
+
+    /// The graph-level output tensors.
+    pub fn outputs(&self) -> &[TensorId] {
+        &self.outputs
+    }
+
+    /// Looks up a tensor.
+    pub fn tensor(&self, id: TensorId) -> &TensorInfo {
+        &self.tensors[id.0]
+    }
+
+    /// Looks up a node.
+    pub fn node(&self, id: OpId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Number of operators in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node producing a tensor, if any (graph inputs have none).
+    pub fn producer(&self, tensor: TensorId) -> Option<OpId> {
+        self.nodes.iter().find(|n| n.output == tensor).map(|n| n.id)
+    }
+
+    /// The nodes consuming a tensor.
+    pub fn consumers(&self, tensor: TensorId) -> Vec<OpId> {
+        self.nodes.iter().filter(|n| n.inputs.contains(&tensor)).map(|n| n.id).collect()
+    }
+
+    /// Direct predecessors (producers of this node's inputs).
+    pub fn predecessors(&self, id: OpId) -> Vec<OpId> {
+        let mut preds: Vec<OpId> = self.node(id)
+            .inputs
+            .iter()
+            .filter_map(|t| self.producer(*t))
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+
+    /// Direct successors (consumers of this node's output).
+    pub fn successors(&self, id: OpId) -> Vec<OpId> {
+        self.consumers(self.node(id).output)
+    }
+
+    /// The shape of a node's primary input.
+    pub fn input_shape(&self, id: OpId) -> TensorShape {
+        self.tensor(self.node(id).inputs[0]).shape
+    }
+
+    /// The shape of a node's output.
+    pub fn output_shape(&self, id: OpId) -> TensorShape {
+        self.tensor(self.node(id).output).shape
+    }
+
+    /// Returns the node identifiers in a dependency-preserving topological
+    /// order (Kahn's algorithm; ties broken by node id for determinism).
+    pub fn topological_order(&self) -> Vec<OpId> {
+        let mut in_degree: BTreeMap<OpId, usize> =
+            self.nodes.iter().map(|n| (n.id, self.predecessors(n.id).len())).collect();
+        let mut ready: VecDeque<OpId> = in_degree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(id) = ready.pop_front() {
+            order.push(id);
+            for succ in self.successors(id) {
+                let d = in_degree.get_mut(&succ).expect("successor exists");
+                *d -= 1;
+                if *d == 0 {
+                    ready.push_back(succ);
+                }
+            }
+        }
+        order
+    }
+
+    /// Validates structural invariants: identifiers are dense and
+    /// consistent, every non-input tensor has exactly one producer, shapes
+    /// agree with shape inference, and the graph is acyclic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<(), NnError> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.id.0 != i {
+                return Err(NnError::InvalidGraph { reason: format!("node {i} has id {}", node.id) });
+            }
+            if node.inputs.is_empty() {
+                return Err(NnError::InvalidGraph { reason: format!("node `{}` has no inputs", node.name) });
+            }
+            for t in node.inputs.iter().chain(std::iter::once(&node.output)) {
+                if t.0 >= self.tensors.len() {
+                    return Err(NnError::UnknownId { what: format!("tensor {t} of node `{}`", node.name) });
+                }
+            }
+            let inferred = node.op.output_shape(self.tensor(node.inputs[0]).shape)?;
+            let declared = self.tensor(node.output).shape;
+            if inferred != declared {
+                return Err(NnError::ShapeMismatch {
+                    op: node.name.clone(),
+                    reason: format!("declared output {declared} but inferred {inferred}"),
+                });
+            }
+            if node.op.is_binary() {
+                if node.inputs.len() != 2 {
+                    return Err(NnError::InvalidGraph {
+                        reason: format!("binary node `{}` has {} inputs", node.name, node.inputs.len()),
+                    });
+                }
+            }
+        }
+        // Exactly one producer per produced tensor.
+        let mut produced = vec![0usize; self.tensors.len()];
+        for node in &self.nodes {
+            produced[node.output.0] += 1;
+        }
+        for (i, count) in produced.iter().enumerate() {
+            if *count > 1 {
+                return Err(NnError::InvalidGraph {
+                    reason: format!("tensor t{i} has {count} producers"),
+                });
+            }
+        }
+        for input in &self.inputs {
+            if produced[input.0] != 0 {
+                return Err(NnError::InvalidGraph {
+                    reason: format!("graph input {input} is produced by a node"),
+                });
+            }
+        }
+        // Acyclicity: the topological order must cover every node.
+        if self.topological_order().len() != self.nodes.len() {
+            return Err(NnError::InvalidGraph { reason: "graph contains a cycle".into() });
+        }
+        Ok(())
+    }
+
+    /// Aggregated workload statistics over all operators.
+    pub fn stats(&self) -> WorkloadStats {
+        let per_op: Vec<OpStats> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let input = self.tensor(n.inputs[0]).shape;
+                OpStats {
+                    id: n.id,
+                    name: n.name.clone(),
+                    macs: n.op.macs(input),
+                    weight_bytes: n.op.weight_bytes(input),
+                    input_bytes: n.inputs.iter().map(|t| self.tensor(*t).shape.bytes(self.tensor(*t).dtype)).sum(),
+                    output_bytes: self.tensor(n.output).shape.bytes(self.tensor(n.output).dtype),
+                    vector_elems: n.op.vector_elems(input),
+                    is_mvm: n.op.is_mvm_based(),
+                }
+            })
+            .collect();
+        WorkloadStats::from_ops(per_op)
+    }
+
+    /// Serializes the graph to the JSON model-description format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("graph serialization cannot fail")
+    }
+
+    /// Parses and validates a graph from its JSON model description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ParseModel`] for malformed JSON or a validation
+    /// error for structurally broken graphs.
+    pub fn from_json(text: &str) -> Result<Self, NnError> {
+        let graph: Graph =
+            serde_json::from_str(text).map_err(|e| NnError::ParseModel { reason: e.to_string() })?;
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+/// A named model: a graph plus the benchmark name used in reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Benchmark name (e.g. `resnet18`).
+    pub name: String,
+    /// The computation graph.
+    pub graph: Graph,
+}
+
+impl Model {
+    /// Creates a model from a name and a graph.
+    pub fn new(name: impl Into<String>, graph: Graph) -> Self {
+        Model { name: name.into(), graph }
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.graph.stats();
+        write!(
+            f,
+            "{}: {} ops, {:.1} MMACs, {:.1} MB weights",
+            self.name,
+            self.graph.len(),
+            stats.total_macs as f64 / 1e6,
+            stats.total_weight_bytes as f64 / 1e6
+        )
+    }
+}
+
+/// Incremental graph constructor with shape inference.
+///
+/// # Example
+///
+/// ```
+/// use cimflow_nn::{ActivationKind, GraphBuilder, OpKind, TensorShape};
+///
+/// # fn main() -> Result<(), cimflow_nn::NnError> {
+/// let mut b = GraphBuilder::new();
+/// let input = b.input("image", TensorShape::feature_map(3, 32, 32));
+/// let conv = b.node(
+///     "conv1",
+///     OpKind::Conv2d { out_channels: 16, kernel: (3, 3), stride: (1, 1), padding: (1, 1), groups: 1 },
+///     &[input],
+/// )?;
+/// let relu = b.node("relu1", OpKind::Activation(ActivationKind::Relu), &[conv])?;
+/// let graph = b.finish(&[relu])?;
+/// assert_eq!(graph.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    tensors: Vec<TensorInfo>,
+    nodes: Vec<Node>,
+    inputs: Vec<TensorId>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a graph input tensor and returns its identifier.
+    pub fn input(&mut self, name: &str, shape: TensorShape) -> TensorId {
+        let id = TensorId(self.tensors.len());
+        self.tensors.push(TensorInfo { name: name.to_owned(), shape, dtype: DataType::Int8 });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Appends an operator consuming `inputs` and returns its output
+    /// tensor identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape-inference error if the operator rejects its input
+    /// shape, or [`NnError::UnknownId`] if an input identifier is foreign.
+    pub fn node(&mut self, name: &str, op: OpKind, inputs: &[TensorId]) -> Result<TensorId, NnError> {
+        if inputs.is_empty() {
+            return Err(NnError::InvalidGraph { reason: format!("node `{name}` needs at least one input") });
+        }
+        for t in inputs {
+            if t.0 >= self.tensors.len() {
+                return Err(NnError::UnknownId { what: format!("tensor {t} used by `{name}`") });
+            }
+        }
+        let input_shape = self.tensors[inputs[0].0].shape;
+        let output_shape = op.output_shape(input_shape)?;
+        let output = TensorId(self.tensors.len());
+        self.tensors.push(TensorInfo {
+            name: format!("{name}.out"),
+            shape: output_shape,
+            dtype: DataType::Int8,
+        });
+        let id = OpId(self.nodes.len());
+        self.nodes.push(Node { id, name: name.to_owned(), op, inputs: inputs.to_vec(), output });
+        Ok(output)
+    }
+
+    /// Shape of an already-declared tensor (useful while building).
+    pub fn shape(&self, tensor: TensorId) -> TensorShape {
+        self.tensors[tensor.0].shape
+    }
+
+    /// Finishes the graph, declaring `outputs` as graph outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a validation error if the assembled graph violates a
+    /// structural invariant.
+    pub fn finish(self, outputs: &[TensorId]) -> Result<Graph, NnError> {
+        let graph = Graph {
+            tensors: self.tensors,
+            nodes: self.nodes,
+            inputs: self.inputs,
+            outputs: outputs.to_vec(),
+        };
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::ActivationKind;
+
+    fn conv(out: u32, k: u32, s: u32, p: u32) -> OpKind {
+        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p), groups: 1 }
+    }
+
+    fn small_residual_graph() -> Graph {
+        let mut b = GraphBuilder::new();
+        let input = b.input("image", TensorShape::feature_map(8, 16, 16));
+        let c1 = b.node("conv1", conv(8, 3, 1, 1), &[input]).unwrap();
+        let r1 = b.node("relu1", OpKind::Activation(ActivationKind::Relu), &[c1]).unwrap();
+        let c2 = b.node("conv2", conv(8, 3, 1, 1), &[r1]).unwrap();
+        let add = b.node("add", OpKind::Add, &[c2, input]).unwrap();
+        let gap = b.node("gap", OpKind::GlobalAvgPool, &[add]).unwrap();
+        let fc = b.node("fc", OpKind::Linear { out_features: 10 }, &[gap]).unwrap();
+        b.finish(&[fc]).unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let g = small_residual_graph();
+        assert_eq!(g.len(), 6);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.inputs().len(), 1);
+        assert_eq!(g.outputs().len(), 1);
+    }
+
+    #[test]
+    fn producers_consumers_and_neighbors() {
+        let g = small_residual_graph();
+        let input = g.inputs()[0];
+        // The graph input feeds conv1 and the residual add.
+        assert_eq!(g.consumers(input).len(), 2);
+        assert_eq!(g.producer(input), None);
+        let add = g.nodes().iter().find(|n| n.name == "add").unwrap().id;
+        let preds = g.predecessors(add);
+        assert_eq!(preds.len(), 1, "only conv2 is a produced predecessor");
+        let conv2 = g.nodes().iter().find(|n| n.name == "conv2").unwrap().id;
+        assert!(preds.contains(&conv2));
+        assert_eq!(g.successors(conv2), vec![add]);
+    }
+
+    #[test]
+    fn topological_order_respects_dependencies() {
+        let g = small_residual_graph();
+        let order = g.topological_order();
+        assert_eq!(order.len(), g.len());
+        let pos: BTreeMap<OpId, usize> = order.iter().enumerate().map(|(i, id)| (*id, i)).collect();
+        for node in g.nodes() {
+            for pred in g.predecessors(node.id) {
+                assert!(pos[&pred] < pos[&node.id], "{pred} must precede {}", node.id);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_aggregate_macs_and_weights() {
+        let g = small_residual_graph();
+        let stats = g.stats();
+        assert!(stats.total_macs > 0);
+        assert!(stats.total_weight_bytes > 0);
+        assert_eq!(stats.per_op.len(), 6);
+        assert_eq!(stats.mvm_op_count, 3);
+        assert!(stats.max_weight_bytes >= stats.per_op.iter().map(|o| o.weight_bytes).max().unwrap());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = small_residual_graph();
+        let text = g.to_json();
+        let back = Graph::from_json(&text).unwrap();
+        assert_eq!(back, g);
+        assert!(Graph::from_json("{").is_err());
+    }
+
+    #[test]
+    fn builder_rejects_foreign_and_empty_inputs() {
+        let mut b = GraphBuilder::new();
+        let _ = b.input("x", TensorShape::feature_map(3, 8, 8));
+        assert!(b.node("bad", OpKind::Add, &[TensorId(42), TensorId(43)]).is_err());
+        assert!(b.node("empty", OpKind::Add, &[]).is_err());
+    }
+
+    #[test]
+    fn validation_catches_shape_corruption() {
+        let mut g = small_residual_graph();
+        // Corrupt a declared output shape.
+        let out = g.nodes[0].output;
+        g.tensors[out.0].shape = TensorShape::feature_map(99, 1, 1);
+        assert!(matches!(g.validate(), Err(NnError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn validation_catches_duplicate_producers() {
+        let mut g = small_residual_graph();
+        let dup_output = g.nodes[1].output;
+        g.nodes[2].output = dup_output;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn model_display_summarizes() {
+        let m = Model::new("tiny", small_residual_graph());
+        let text = m.to_string();
+        assert!(text.contains("tiny"));
+        assert!(text.contains("ops"));
+    }
+}

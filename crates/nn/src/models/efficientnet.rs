@@ -1,0 +1,146 @@
+//! EfficientNetB0 (Tan & Le, ICML 2019) for INT8 inference.
+
+use crate::graph::{GraphBuilder, Model, TensorId};
+use crate::op::{ActivationKind, OpKind};
+use crate::tensor::TensorShape;
+
+fn conv(out: u32, k: u32, s: u32, p: u32, groups: u32) -> OpKind {
+    OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p), groups }
+}
+
+/// Squeeze-and-excitation gate: global average pooling, a reduction 1×1
+/// convolution, an expansion 1×1 convolution with a sigmoid, and a
+/// broadcast multiplication back onto the feature map.
+fn squeeze_excite(b: &mut GraphBuilder, name: &str, input: TensorId, reduced: u32) -> TensorId {
+    let channels = b.shape(input).c;
+    let squeezed = b.node(&format!("{name}.se_gap"), OpKind::GlobalAvgPool, &[input]).expect("valid se gap");
+    let reduce = b
+        .node(&format!("{name}.se_reduce"), conv(reduced.max(1), 1, 1, 0, 1), &[squeezed])
+        .expect("valid se reduce");
+    let act = b
+        .node(&format!("{name}.se_act"), OpKind::Activation(ActivationKind::HardSwish), &[reduce])
+        .expect("valid se activation");
+    let expand = b
+        .node(&format!("{name}.se_expand"), conv(channels, 1, 1, 0, 1), &[act])
+        .expect("valid se expand");
+    let gate = b
+        .node(&format!("{name}.se_sigmoid"), OpKind::Activation(ActivationKind::Sigmoid), &[expand])
+        .expect("valid se sigmoid");
+    b.node(&format!("{name}.se_mul"), OpKind::Mul, &[input, gate]).expect("valid se multiply")
+}
+
+/// One MBConv block: 1×1 expansion, k×k depth-wise convolution,
+/// squeeze-and-excitation, 1×1 linear projection, optional residual.
+#[allow(clippy::too_many_arguments)]
+fn mbconv(
+    b: &mut GraphBuilder,
+    name: &str,
+    input: TensorId,
+    expansion: u32,
+    out_channels: u32,
+    kernel: u32,
+    stride: u32,
+) -> TensorId {
+    let in_channels = b.shape(input).c;
+    let hidden = in_channels * expansion;
+    let mut x = input;
+    if expansion != 1 {
+        x = b.node(&format!("{name}.expand"), conv(hidden, 1, 1, 0, 1), &[x]).expect("valid expand");
+        x = b
+            .node(&format!("{name}.expand_act"), OpKind::Activation(ActivationKind::HardSwish), &[x])
+            .expect("valid expand act");
+    }
+    let padding = kernel / 2;
+    x = b
+        .node(&format!("{name}.dwconv"), conv(hidden, kernel, stride, padding, hidden), &[x])
+        .expect("valid depthwise");
+    x = b
+        .node(&format!("{name}.dw_act"), OpKind::Activation(ActivationKind::HardSwish), &[x])
+        .expect("valid depthwise act");
+    x = squeeze_excite(b, name, x, in_channels / 4);
+    x = b
+        .node(&format!("{name}.project"), conv(out_channels, 1, 1, 0, 1), &[x])
+        .expect("valid projection");
+    if stride == 1 && in_channels == out_channels {
+        x = b.node(&format!("{name}.add"), OpKind::Add, &[x, input]).expect("valid residual add");
+    }
+    x
+}
+
+/// Builds EfficientNetB0 at the given square input resolution.
+pub fn efficientnet_b0(resolution: u32) -> Model {
+    let mut b = GraphBuilder::new();
+    let input = b.input("image", TensorShape::feature_map(3, resolution, resolution));
+
+    let mut x = b.node("stem", conv(32, 3, 2, 1, 1), &[input]).expect("valid stem");
+    x = b
+        .node("stem_act", OpKind::Activation(ActivationKind::HardSwish), &[x])
+        .expect("valid stem act");
+
+    // (expansion, out_channels, repeats, first stride, kernel) — B0 config.
+    let blocks: [(u32, u32, u32, u32, u32); 7] = [
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    let mut index = 0;
+    for (expansion, out_channels, repeats, first_stride, kernel) in blocks {
+        for repeat in 0..repeats {
+            let stride = if repeat == 0 { first_stride } else { 1 };
+            x = mbconv(&mut b, &format!("mbconv{index}"), x, expansion, out_channels, kernel, stride);
+            index += 1;
+        }
+    }
+
+    x = b.node("head", conv(1280, 1, 1, 0, 1), &[x]).expect("valid head");
+    x = b
+        .node("head_act", OpKind::Activation(ActivationKind::HardSwish), &[x])
+        .expect("valid head act");
+    let pooled = b.node("gap", OpKind::GlobalAvgPool, &[x]).expect("valid gap");
+    let logits = b.node("fc", OpKind::Linear { out_features: 1000 }, &[pooled]).expect("valid classifier");
+
+    let graph = b.finish(&[logits]).expect("efficientnetb0 graph is structurally valid");
+    Model::new("efficientnetb0", graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficientnet_b0_has_sixteen_mbconv_blocks() {
+        let model = efficientnet_b0(224);
+        let dwconvs = model
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Conv2d { groups, .. } if groups > 1))
+            .count();
+        assert_eq!(dwconvs, 16);
+    }
+
+    #[test]
+    fn squeeze_excitation_present_in_every_block() {
+        let model = efficientnet_b0(224);
+        let se_muls = model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Mul)).count();
+        assert_eq!(se_muls, 16);
+        let sigmoids = model
+            .graph
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.op, OpKind::Activation(ActivationKind::Sigmoid)))
+            .count();
+        assert_eq!(sigmoids, 16);
+    }
+
+    #[test]
+    fn branching_graph_still_validates_and_orders() {
+        let model = efficientnet_b0(64);
+        assert!(model.graph.validate().is_ok());
+        assert_eq!(model.graph.topological_order().len(), model.graph.len());
+    }
+}

@@ -1,0 +1,341 @@
+//! DNN operator kinds with shape inference, weight footprints and MAC
+//! counts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tensor::TensorShape;
+use crate::NnError;
+
+/// Element-wise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActivationKind {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clipped at 6.
+    Relu6,
+    /// Hard-swish (`x · relu6(x + 3) / 6`).
+    HardSwish,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl fmt::Display for ActivationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActivationKind::Relu => "relu",
+            ActivationKind::Relu6 => "relu6",
+            ActivationKind::HardSwish => "hardswish",
+            ActivationKind::Sigmoid => "sigmoid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The operator vocabulary needed by the four benchmark models
+/// (ResNet18, VGG19, MobileNetV2, EfficientNetB0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// 2-D convolution (`groups == in_channels` expresses depth-wise
+    /// convolution).
+    Conv2d {
+        /// Number of output channels.
+        out_channels: u32,
+        /// Kernel height and width.
+        kernel: (u32, u32),
+        /// Stride along height and width.
+        stride: (u32, u32),
+        /// Zero padding along height and width.
+        padding: (u32, u32),
+        /// Channel groups (1 = dense, `in_channels` = depth-wise).
+        groups: u32,
+    },
+    /// Fully connected layer.
+    Linear {
+        /// Number of output features.
+        out_features: u32,
+    },
+    /// Max pooling.
+    MaxPool {
+        /// Pooling window.
+        kernel: (u32, u32),
+        /// Stride along height and width.
+        stride: (u32, u32),
+        /// Zero padding along height and width.
+        padding: (u32, u32),
+    },
+    /// Average pooling.
+    AvgPool {
+        /// Pooling window.
+        kernel: (u32, u32),
+        /// Stride along height and width.
+        stride: (u32, u32),
+        /// Zero padding along height and width.
+        padding: (u32, u32),
+    },
+    /// Global average pooling down to `C × 1 × 1`.
+    GlobalAvgPool,
+    /// Element-wise activation.
+    Activation(ActivationKind),
+    /// Element-wise addition of two tensors (residual connections).
+    Add,
+    /// Element-wise multiplication, broadcasting `C × 1 × 1` gates
+    /// (squeeze-and-excitation).
+    Mul,
+    /// Batch normalization (folded into the preceding convolution by the
+    /// compiler's preprocessing, kept for model fidelity).
+    BatchNorm,
+    /// Flatten the feature map into a vector.
+    Flatten,
+}
+
+impl OpKind {
+    /// Whether the operator is an MVM-based operator mapped onto the CIM
+    /// arrays (the compiler partitions the graph around these).
+    pub fn is_mvm_based(&self) -> bool {
+        matches!(self, OpKind::Conv2d { .. } | OpKind::Linear { .. })
+    }
+
+    /// Whether the operator has two activation inputs.
+    pub fn is_binary(&self) -> bool {
+        matches!(self, OpKind::Add | OpKind::Mul)
+    }
+
+    /// Short human-readable kind name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Conv2d { groups, .. } if *groups > 1 => "dwconv",
+            OpKind::Conv2d { .. } => "conv",
+            OpKind::Linear { .. } => "linear",
+            OpKind::MaxPool { .. } => "maxpool",
+            OpKind::AvgPool { .. } => "avgpool",
+            OpKind::GlobalAvgPool => "gap",
+            OpKind::Activation(_) => "act",
+            OpKind::Add => "add",
+            OpKind::Mul => "mul",
+            OpKind::BatchNorm => "batchnorm",
+            OpKind::Flatten => "flatten",
+        }
+    }
+
+    /// Infers the output shape from the (primary) input shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the input shape is not
+    /// compatible with the operator attributes.
+    pub fn output_shape(&self, input: TensorShape) -> Result<TensorShape, NnError> {
+        let err = |reason: String| NnError::ShapeMismatch { op: self.name().to_owned(), reason };
+        match *self {
+            OpKind::Conv2d { out_channels, kernel, stride, padding, groups } => {
+                if groups == 0 || input.c % groups != 0 || out_channels % groups != 0 {
+                    return Err(err(format!(
+                        "groups {groups} must divide in_channels {} and out_channels {out_channels}",
+                        input.c
+                    )));
+                }
+                let (oh, ow) = conv_spatial(input.h, input.w, kernel, stride, padding)
+                    .ok_or_else(|| err("kernel larger than padded input".into()))?;
+                Ok(TensorShape::new(input.n, out_channels, oh, ow))
+            }
+            OpKind::Linear { out_features } => {
+                Ok(TensorShape::new(input.n, out_features, 1, 1))
+            }
+            OpKind::MaxPool { kernel, stride, padding } | OpKind::AvgPool { kernel, stride, padding } => {
+                let (oh, ow) = conv_spatial(input.h, input.w, kernel, stride, padding)
+                    .ok_or_else(|| err("pooling window larger than padded input".into()))?;
+                Ok(TensorShape::new(input.n, input.c, oh, ow))
+            }
+            OpKind::GlobalAvgPool => Ok(TensorShape::new(input.n, input.c, 1, 1)),
+            OpKind::Activation(_) | OpKind::Add | OpKind::Mul | OpKind::BatchNorm => Ok(input),
+            OpKind::Flatten => Ok(TensorShape::new(input.n, (input.elements_per_item()) as u32, 1, 1)),
+        }
+    }
+
+    /// Number of weight parameters (INT8 values) owned by the operator,
+    /// including biases (stored as INT32 but counted in bytes separately
+    /// by [`Self::weight_bytes`]).
+    pub fn weight_count(&self, input: TensorShape) -> u64 {
+        match *self {
+            OpKind::Conv2d { out_channels, kernel, groups, .. } => {
+                u64::from(out_channels) * u64::from(input.c / groups.max(1))
+                    * u64::from(kernel.0) * u64::from(kernel.1)
+            }
+            OpKind::Linear { out_features } => {
+                u64::from(out_features) * input.elements_per_item()
+            }
+            OpKind::BatchNorm => u64::from(input.c) * 2,
+            _ => 0,
+        }
+    }
+
+    /// Weight footprint in bytes (INT8 weights plus INT32 biases).
+    pub fn weight_bytes(&self, input: TensorShape) -> u64 {
+        let bias = match *self {
+            OpKind::Conv2d { out_channels, .. } => u64::from(out_channels) * 4,
+            OpKind::Linear { out_features } => u64::from(out_features) * 4,
+            _ => 0,
+        };
+        self.weight_count(input) + bias
+    }
+
+    /// Number of multiply-accumulate operations performed on one input.
+    pub fn macs(&self, input: TensorShape) -> u64 {
+        match *self {
+            OpKind::Conv2d { kernel, groups, .. } => {
+                let output = self
+                    .output_shape(input)
+                    .unwrap_or(TensorShape::new(input.n, 0, 0, 0));
+                output.elements()
+                    * u64::from(input.c / groups.max(1))
+                    * u64::from(kernel.0)
+                    * u64::from(kernel.1)
+            }
+            OpKind::Linear { out_features } => {
+                u64::from(input.n) * u64::from(out_features) * input.elements_per_item()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Element operations (activations, additions, pooling comparisons)
+    /// handled by the vector unit.
+    pub fn vector_elems(&self, input: TensorShape) -> u64 {
+        match self {
+            OpKind::Activation(_) | OpKind::Add | OpKind::Mul | OpKind::BatchNorm => input.elements(),
+            OpKind::MaxPool { kernel, .. } | OpKind::AvgPool { kernel, .. } => {
+                let out = self.output_shape(input).map(|s| s.elements()).unwrap_or(0);
+                out * u64::from(kernel.0) * u64::from(kernel.1)
+            }
+            OpKind::GlobalAvgPool => input.elements(),
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            OpKind::Conv2d { out_channels, kernel, stride, groups, .. } => write!(
+                f,
+                "{} {out_channels}ch {}x{}/{} g{groups}",
+                self.name(),
+                kernel.0,
+                kernel.1,
+                stride.0
+            ),
+            OpKind::Linear { out_features } => write!(f, "linear {out_features}"),
+            OpKind::Activation(kind) => write!(f, "{kind}"),
+            _ => f.write_str(self.name()),
+        }
+    }
+}
+
+fn conv_spatial(
+    h: u32,
+    w: u32,
+    kernel: (u32, u32),
+    stride: (u32, u32),
+    padding: (u32, u32),
+) -> Option<(u32, u32)> {
+    let padded_h = h + 2 * padding.0;
+    let padded_w = w + 2 * padding.1;
+    if padded_h < kernel.0 || padded_w < kernel.1 || stride.0 == 0 || stride.1 == 0 {
+        return None;
+    }
+    Some(((padded_h - kernel.0) / stride.0 + 1, (padded_w - kernel.1) / stride.1 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(out: u32, k: u32, s: u32, p: u32, groups: u32) -> OpKind {
+        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p), groups }
+    }
+
+    #[test]
+    fn conv_shape_inference() {
+        let input = TensorShape::feature_map(3, 224, 224);
+        let c = conv(64, 7, 2, 3, 1);
+        assert_eq!(c.output_shape(input).unwrap(), TensorShape::feature_map(64, 112, 112));
+        let same = conv(64, 3, 1, 1, 1);
+        let x = TensorShape::feature_map(64, 56, 56);
+        assert_eq!(same.output_shape(x).unwrap(), x);
+    }
+
+    #[test]
+    fn depthwise_conv_shapes_and_weights() {
+        let input = TensorShape::feature_map(32, 112, 112);
+        let dw = conv(32, 3, 1, 1, 32);
+        assert_eq!(dw.output_shape(input).unwrap(), input);
+        assert_eq!(dw.weight_count(input), 32 * 3 * 3);
+        assert_eq!(dw.name(), "dwconv");
+        assert!(dw.is_mvm_based());
+    }
+
+    #[test]
+    fn invalid_conv_groups_are_rejected() {
+        let input = TensorShape::feature_map(30, 10, 10);
+        assert!(conv(64, 3, 1, 1, 4).output_shape(input).is_err());
+        assert!(conv(64, 3, 1, 1, 0).output_shape(input).is_err());
+        assert!(conv(64, 13, 1, 1, 1).output_shape(TensorShape::feature_map(30, 8, 8)).is_err());
+    }
+
+    #[test]
+    fn linear_weights_and_macs() {
+        let input = TensorShape::vector(512);
+        let fc = OpKind::Linear { out_features: 1000 };
+        assert_eq!(fc.output_shape(input).unwrap(), TensorShape::vector(1000));
+        assert_eq!(fc.weight_count(input), 512 * 1000);
+        assert_eq!(fc.macs(input), 512 * 1000);
+        assert_eq!(fc.weight_bytes(input), 512 * 1000 + 4000);
+    }
+
+    #[test]
+    fn conv_mac_count_matches_formula() {
+        let input = TensorShape::feature_map(64, 56, 56);
+        let c = conv(128, 3, 2, 1, 1);
+        // output 128×28×28, each from 64×3×3 MACs.
+        assert_eq!(c.macs(input), 128 * 28 * 28 * 64 * 9);
+    }
+
+    #[test]
+    fn pooling_and_elementwise_shapes() {
+        let input = TensorShape::feature_map(64, 112, 112);
+        let pool = OpKind::MaxPool { kernel: (3, 3), stride: (2, 2), padding: (1, 1) };
+        assert_eq!(pool.output_shape(input).unwrap(), TensorShape::feature_map(64, 56, 56));
+        assert_eq!(OpKind::GlobalAvgPool.output_shape(input).unwrap(), TensorShape::vector(64));
+        assert_eq!(OpKind::Add.output_shape(input).unwrap(), input);
+        assert_eq!(
+            OpKind::Flatten.output_shape(TensorShape::feature_map(512, 7, 7)).unwrap(),
+            TensorShape::vector(512 * 49)
+        );
+        assert!(OpKind::Add.is_binary());
+        assert!(!OpKind::Add.is_mvm_based());
+        assert!(pool.vector_elems(input) > 0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(conv(64, 3, 1, 1, 1).to_string(), "conv 64ch 3x3/1 g1");
+        assert_eq!(OpKind::Linear { out_features: 10 }.to_string(), "linear 10");
+        assert_eq!(OpKind::Activation(ActivationKind::Relu).to_string(), "relu");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ops = vec![
+            conv(64, 3, 1, 1, 1),
+            OpKind::Linear { out_features: 10 },
+            OpKind::Activation(ActivationKind::HardSwish),
+            OpKind::GlobalAvgPool,
+        ];
+        for op in ops {
+            let back: OpKind = serde_json::from_str(&serde_json::to_string(&op).unwrap()).unwrap();
+            assert_eq!(back, op);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! INT8 quantization parameters and helpers.
+//!
+//! The paper quantizes weights and activations of every benchmark model to
+//! INT8. This module provides the per-tensor affine quantization
+//! parameters used by the reference executor and by the compiler when it
+//! emits requantization (`vec_quant`) instructions.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-tensor affine quantization parameters (`real = scale · (q - zero)`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Scale factor.
+    pub scale: f32,
+    /// Zero point.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Symmetric INT8 quantization with the given scale.
+    pub fn symmetric(scale: f32) -> Self {
+        QuantParams { scale, zero_point: 0 }
+    }
+
+    /// Identity quantization (scale 1, zero point 0).
+    pub fn identity() -> Self {
+        QuantParams::symmetric(1.0)
+    }
+
+    /// Quantizes a real value to INT8 with saturation.
+    pub fn quantize(&self, value: f32) -> i8 {
+        let q = (value / self.scale).round() as i32 + self.zero_point;
+        q.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+    }
+
+    /// Dequantizes an INT8 value back to a real value.
+    pub fn dequantize(&self, value: i8) -> f32 {
+        (i32::from(value) - self.zero_point) as f32 * self.scale
+    }
+
+    /// The power-of-two right-shift that best approximates the
+    /// requantization from an INT32 accumulator back to INT8, as used by
+    /// the hardware `vec_quant` instruction.
+    pub fn requant_shift(accumulator_scale: f32, output_scale: f32) -> u32 {
+        if output_scale <= 0.0 || accumulator_scale <= 0.0 {
+            return 0;
+        }
+        let ratio = output_scale / accumulator_scale;
+        ratio.log2().round().max(0.0) as u32
+    }
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        Self::identity()
+    }
+}
+
+/// Requantizes an INT32 accumulator to INT8 by arithmetic right shift with
+/// saturation — the exact operation implemented by the `vec_quant`
+/// instruction and the reference executor.
+pub fn requantize(acc: i32, shift: u32) -> i8 {
+    let shifted = acc >> shift.min(31);
+    shifted.clamp(i32::from(i8::MIN), i32::from(i8::MAX)) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_round_trips_within_one_step() {
+        let q = QuantParams::symmetric(0.05);
+        for value in [-3.0f32, -0.07, 0.0, 0.04, 1.3, 6.0] {
+            let quantized = q.quantize(value);
+            let restored = q.dequantize(quantized);
+            assert!((restored - value.clamp(-6.4, 6.35)).abs() <= 0.05 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let q = QuantParams::symmetric(0.01);
+        assert_eq!(q.quantize(100.0), i8::MAX);
+        assert_eq!(q.quantize(-100.0), i8::MIN);
+    }
+
+    #[test]
+    fn requantize_shifts_and_saturates() {
+        assert_eq!(requantize(1024, 4), 64);
+        assert_eq!(requantize(-1024, 4), -64);
+        assert_eq!(requantize(1 << 20, 2), i8::MAX);
+        assert_eq!(requantize(-(1 << 20), 2), i8::MIN);
+        assert_eq!(requantize(100, 0), 100);
+    }
+
+    #[test]
+    fn requant_shift_estimates_ratio() {
+        assert_eq!(QuantParams::requant_shift(1.0, 256.0), 8);
+        assert_eq!(QuantParams::requant_shift(1.0, 1.0), 0);
+        assert_eq!(QuantParams::requant_shift(0.0, 1.0), 0);
+    }
+
+    #[test]
+    fn identity_default() {
+        assert_eq!(QuantParams::default(), QuantParams::identity());
+        assert_eq!(QuantParams::identity().quantize(5.0), 5);
+    }
+}

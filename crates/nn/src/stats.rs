@@ -1,0 +1,105 @@
+//! Workload statistics used by the compiler's cost model and the
+//! experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::OpId;
+
+/// Per-operator statistics.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// The operator.
+    pub id: OpId,
+    /// Operator name.
+    pub name: String,
+    /// Multiply-accumulate count.
+    pub macs: u64,
+    /// Weight footprint in bytes (INT8 weights + INT32 biases).
+    pub weight_bytes: u64,
+    /// Total activation input bytes.
+    pub input_bytes: u64,
+    /// Activation output bytes.
+    pub output_bytes: u64,
+    /// Element-wise operations handled by the vector unit.
+    pub vector_elems: u64,
+    /// Whether the operator maps onto the CIM arrays.
+    pub is_mvm: bool,
+}
+
+/// Aggregated statistics of a whole workload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Per-operator breakdown in node order.
+    pub per_op: Vec<OpStats>,
+    /// Total multiply-accumulate count.
+    pub total_macs: u64,
+    /// Total weight footprint in bytes.
+    pub total_weight_bytes: u64,
+    /// Total activation traffic (inputs + outputs) in bytes.
+    pub total_activation_bytes: u64,
+    /// Number of MVM-based operators.
+    pub mvm_op_count: usize,
+    /// Largest single-operator weight footprint in bytes.
+    pub max_weight_bytes: u64,
+}
+
+impl WorkloadStats {
+    /// Aggregates per-operator statistics.
+    pub fn from_ops(per_op: Vec<OpStats>) -> Self {
+        let total_macs = per_op.iter().map(|o| o.macs).sum();
+        let total_weight_bytes = per_op.iter().map(|o| o.weight_bytes).sum();
+        let total_activation_bytes = per_op.iter().map(|o| o.input_bytes + o.output_bytes).sum();
+        let mvm_op_count = per_op.iter().filter(|o| o.is_mvm).count();
+        let max_weight_bytes = per_op.iter().map(|o| o.weight_bytes).max().unwrap_or(0);
+        WorkloadStats {
+            per_op,
+            total_macs,
+            total_weight_bytes,
+            total_activation_bytes,
+            mvm_op_count,
+            max_weight_bytes,
+        }
+    }
+
+    /// Total operation count (2 × MACs), the numerator of TOPS figures.
+    pub fn total_ops(&self) -> u64 {
+        self.total_macs * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(id: usize, macs: u64, weights: u64, mvm: bool) -> OpStats {
+        OpStats {
+            id: OpId(id),
+            name: format!("op{id}"),
+            macs,
+            weight_bytes: weights,
+            input_bytes: 10,
+            output_bytes: 20,
+            vector_elems: 5,
+            is_mvm: mvm,
+        }
+    }
+
+    #[test]
+    fn aggregation_sums_and_maxima() {
+        let stats = WorkloadStats::from_ops(vec![op(0, 100, 50, true), op(1, 0, 0, false), op(2, 300, 200, true)]);
+        assert_eq!(stats.total_macs, 400);
+        assert_eq!(stats.total_ops(), 800);
+        assert_eq!(stats.total_weight_bytes, 250);
+        assert_eq!(stats.total_activation_bytes, 90);
+        assert_eq!(stats.mvm_op_count, 2);
+        assert_eq!(stats.max_weight_bytes, 200);
+    }
+
+    #[test]
+    fn empty_workload_is_zero() {
+        let stats = WorkloadStats::from_ops(vec![]);
+        assert_eq!(stats.total_macs, 0);
+        assert_eq!(stats.max_weight_bytes, 0);
+        assert_eq!(stats.mvm_op_count, 0);
+    }
+}

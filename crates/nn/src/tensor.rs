@@ -1,0 +1,128 @@
+//! Tensor shapes and element data types.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Element data types supported by the INT8 inference flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 8-bit signed integer (weights and activations).
+    Int8,
+    /// 32-bit signed integer (accumulators and biases).
+    Int32,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            DataType::Int8 => 1,
+            DataType::Int32 => 4,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int8 => f.write_str("int8"),
+            DataType::Int32 => f.write_str("int32"),
+        }
+    }
+}
+
+/// The shape of an activation tensor in `N × C × H × W` layout.
+///
+/// All four benchmark models use batch size 1 in the paper's evaluation;
+/// the batch dimension is nevertheless carried explicitly so that batched
+/// design-space studies remain possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Batch size.
+    pub n: u32,
+    /// Channels.
+    pub c: u32,
+    /// Height.
+    pub h: u32,
+    /// Width.
+    pub w: u32,
+}
+
+impl TensorShape {
+    /// Creates an `N × C × H × W` shape.
+    pub fn new(n: u32, c: u32, h: u32, w: u32) -> Self {
+        TensorShape { n, c, h, w }
+    }
+
+    /// Creates a feature-map shape with batch size one.
+    pub fn feature_map(c: u32, h: u32, w: u32) -> Self {
+        TensorShape::new(1, c, h, w)
+    }
+
+    /// Creates a flat vector shape (`1 × c × 1 × 1`).
+    pub fn vector(c: u32) -> Self {
+        TensorShape::new(1, c, 1, 1)
+    }
+
+    /// Number of elements in the tensor.
+    pub fn elements(&self) -> u64 {
+        u64::from(self.n) * u64::from(self.c) * u64::from(self.h) * u64::from(self.w)
+    }
+
+    /// Number of elements in one batch item.
+    pub fn elements_per_item(&self) -> u64 {
+        u64::from(self.c) * u64::from(self.h) * u64::from(self.w)
+    }
+
+    /// Size of the tensor in bytes for the given element type.
+    pub fn bytes(&self, dtype: DataType) -> u64 {
+        self.elements() * dtype.bytes()
+    }
+
+    /// Number of spatial positions (`h × w`).
+    pub fn spatial(&self) -> u64 {
+        u64::from(self.h) * u64::from(self.w)
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_and_byte_counts() {
+        let s = TensorShape::new(1, 64, 56, 56);
+        assert_eq!(s.elements(), 64 * 56 * 56);
+        assert_eq!(s.bytes(DataType::Int8), 64 * 56 * 56);
+        assert_eq!(s.bytes(DataType::Int32), 4 * 64 * 56 * 56);
+        assert_eq!(s.spatial(), 56 * 56);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(TensorShape::feature_map(3, 224, 224).n, 1);
+        let v = TensorShape::vector(1000);
+        assert_eq!(v.elements(), 1000);
+        assert_eq!(v.h, 1);
+    }
+
+    #[test]
+    fn display_formats_dimensions() {
+        assert_eq!(TensorShape::new(1, 3, 224, 224).to_string(), "1x3x224x224");
+        assert_eq!(DataType::Int8.to_string(), "int8");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = TensorShape::new(2, 16, 8, 8);
+        let back: TensorShape = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,392 @@
+//! # cimflow-noc
+//!
+//! A 2-D mesh network-on-chip model for the CIMFlow framework — the role
+//! Noxim plays in the original paper's methodology (it models "the NoC
+//! interconnection costs").
+//!
+//! The model is a flit-level, XY-routed, virtual-cut-through mesh with
+//! per-link contention tracked at packet granularity:
+//!
+//! * a packet of `bytes` is segmented into flits of the configured size
+//!   (the paper's "flit size per cycle" link-bandwidth parameter),
+//! * the head flit advances one hop per [`NocConfig::hop_latency`] cycles,
+//! * each traversed link is occupied for the packet's serialization time,
+//!   so concurrent packets sharing a link queue behind each other,
+//! * per-transfer latency, flit-hop counts and per-link occupancy are
+//!   accumulated into [`NocStats`] for the energy model and the reports.
+//!
+//! The chip-level global memory is reached through a configurable memory
+//! port node, matching the paper's organization where cores access global
+//! memory over the NoC.
+//!
+//! # Example
+//!
+//! ```
+//! use cimflow_noc::{Mesh, NocConfig};
+//!
+//! let mut mesh = Mesh::new(NocConfig::new(4, 4, 8));
+//! let outcome = mesh.transfer(0, 15, 64, 0);
+//! assert_eq!(outcome.hops, 6);
+//! assert!(outcome.arrival > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a mesh node (row-major core index).
+pub type NodeId = u32;
+
+/// Configuration of the mesh NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh width (columns).
+    pub width: u32,
+    /// Mesh height (rows).
+    pub height: u32,
+    /// Flit size in bytes (link bandwidth per cycle).
+    pub flit_bytes: u32,
+    /// Cycles for the head flit to traverse one router + link.
+    pub hop_latency: u32,
+    /// Node to which the global-memory port is attached.
+    pub memory_port: NodeId,
+}
+
+impl NocConfig {
+    /// Creates a mesh configuration with 1-cycle hops and the memory port
+    /// at node 0.
+    pub fn new(width: u32, height: u32, flit_bytes: u32) -> Self {
+        NocConfig { width, height, flit_bytes, hop_latency: 1, memory_port: 0 }
+    }
+
+    /// Number of nodes in the mesh.
+    pub fn nodes(&self) -> u32 {
+        self.width * self.height
+    }
+
+    /// Returns the `(x, y)` coordinate of a node.
+    pub fn coordinates(&self, node: NodeId) -> (u32, u32) {
+        (node % self.width.max(1), node / self.width.max(1))
+    }
+
+    /// Manhattan distance between two nodes (the XY-routing hop count).
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        let (fx, fy) = self.coordinates(from);
+        let (tx, ty) = self.coordinates(to);
+        fx.abs_diff(tx) + fy.abs_diff(ty)
+    }
+
+    /// Number of flits needed to carry `bytes`.
+    pub fn flits_for(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(u64::from(self.flit_bytes.max(1)))
+        }
+    }
+}
+
+/// A directed link between two adjacent routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Link {
+    /// Upstream router.
+    pub from: NodeId,
+    /// Downstream router.
+    pub to: NodeId,
+}
+
+/// Outcome of one packet transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferOutcome {
+    /// Cycle at which the packet was injected.
+    pub departure: u64,
+    /// Cycle at which the tail flit arrives at the destination.
+    pub arrival: u64,
+    /// Number of hops traversed.
+    pub hops: u32,
+    /// Number of flits transferred.
+    pub flits: u64,
+    /// Cycles the packet spent waiting for busy links.
+    pub contention: u64,
+}
+
+impl TransferOutcome {
+    /// End-to-end latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.arrival - self.departure
+    }
+}
+
+/// Accumulated NoC statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NocStats {
+    /// Packets transferred.
+    pub packets: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Total flits injected.
+    pub flits: u64,
+    /// Total flit-hops (flits × hops), the NoC energy proxy.
+    pub flit_hops: u64,
+    /// Total byte-hops (bytes × hops), the link-energy proxy.
+    pub byte_hops: u64,
+    /// Sum of packet latencies.
+    pub total_latency: u64,
+    /// Sum of contention (queueing) cycles.
+    pub total_contention: u64,
+    /// Largest observed packet latency.
+    pub max_latency: u64,
+}
+
+impl NocStats {
+    /// Mean packet latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.packets as f64
+        }
+    }
+}
+
+/// The mesh NoC with per-link contention state.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    config: NocConfig,
+    link_free: BTreeMap<Link, u64>,
+    stats: NocStats,
+}
+
+impl Mesh {
+    /// Creates an idle mesh.
+    pub fn new(config: NocConfig) -> Self {
+        Mesh { config, link_free: BTreeMap::new(), stats: NocStats::default() }
+    }
+
+    /// The mesh configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// Clears contention state and statistics.
+    pub fn reset(&mut self) {
+        self.link_free.clear();
+        self.stats = NocStats::default();
+    }
+
+    /// The XY route from `src` to `dst` as a list of directed links.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<Link> {
+        let mut links = Vec::new();
+        let (mut x, mut y) = self.config.coordinates(src);
+        let (tx, ty) = self.config.coordinates(dst);
+        let mut current = src;
+        while x != tx {
+            let next_x = if x < tx { x + 1 } else { x - 1 };
+            let next = y * self.config.width + next_x;
+            links.push(Link { from: current, to: next });
+            current = next;
+            x = next_x;
+        }
+        while y != ty {
+            let next_y = if y < ty { y + 1 } else { y - 1 };
+            let next = next_y * self.config.width + x;
+            links.push(Link { from: current, to: next });
+            current = next;
+            y = next_y;
+        }
+        links
+    }
+
+    /// Simulates one packet transfer of `bytes` from `src` to `dst`
+    /// injected at cycle `now`, updating link contention and statistics.
+    ///
+    /// Transfers with `src == dst` (or zero bytes) complete immediately
+    /// without touching the network.
+    pub fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome {
+        let flits = self.config.flits_for(bytes);
+        if src == dst || flits == 0 {
+            let outcome = TransferOutcome { departure: now, arrival: now, hops: 0, flits, contention: 0 };
+            self.stats.packets += 1;
+            self.stats.bytes += bytes;
+            self.stats.flits += flits;
+            return outcome;
+        }
+        let route = self.route(src, dst);
+        let hops = route.len() as u32;
+        let hop_latency = u64::from(self.config.hop_latency);
+        let mut head_time = now;
+        let mut contention = 0u64;
+        for link in &route {
+            let free_at = self.link_free.get(link).copied().unwrap_or(0);
+            let start = head_time.max(free_at);
+            contention += start - head_time;
+            // The link is busy until the tail flit has crossed it.
+            self.link_free.insert(*link, start + flits);
+            head_time = start + hop_latency;
+        }
+        // The tail flit arrives `flits - 1` cycles after the head.
+        let arrival = head_time + flits.saturating_sub(1);
+        let outcome = TransferOutcome { departure: now, arrival, hops, flits, contention };
+
+        self.stats.packets += 1;
+        self.stats.bytes += bytes;
+        self.stats.flits += flits;
+        self.stats.flit_hops += flits * u64::from(hops);
+        self.stats.byte_hops += bytes * u64::from(hops);
+        self.stats.total_latency += outcome.latency();
+        self.stats.total_contention += contention;
+        self.stats.max_latency = self.stats.max_latency.max(outcome.latency());
+        outcome
+    }
+
+    /// Convenience wrapper for a transfer to the global-memory port.
+    pub fn transfer_to_memory(&mut self, src: NodeId, bytes: u64, now: u64) -> TransferOutcome {
+        self.transfer(src, self.config.memory_port, bytes, now)
+    }
+
+    /// Convenience wrapper for a transfer from the global-memory port.
+    pub fn transfer_from_memory(&mut self, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome {
+        self.transfer(self.config.memory_port, dst, bytes, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4() -> Mesh {
+        Mesh::new(NocConfig::new(4, 4, 8))
+    }
+
+    #[test]
+    fn route_follows_xy_order_and_length() {
+        let mesh = mesh4();
+        let route = mesh.route(0, 15);
+        assert_eq!(route.len(), 6);
+        // X first: 0 -> 1 -> 2 -> 3, then Y: 3 -> 7 -> 11 -> 15.
+        assert_eq!(route[0], Link { from: 0, to: 1 });
+        assert_eq!(route[2], Link { from: 2, to: 3 });
+        assert_eq!(route[3], Link { from: 3, to: 7 });
+        assert_eq!(route[5], Link { from: 11, to: 15 });
+        assert!(mesh.route(5, 5).is_empty());
+    }
+
+    #[test]
+    fn transfer_latency_combines_hops_and_serialization() {
+        let mut mesh = mesh4();
+        // 64 bytes = 8 flits over 6 hops: 6 cycles head latency + 7 tail.
+        let outcome = mesh.transfer(0, 15, 64, 0);
+        assert_eq!(outcome.hops, 6);
+        assert_eq!(outcome.flits, 8);
+        assert_eq!(outcome.latency(), 6 + 7);
+        assert_eq!(outcome.contention, 0);
+    }
+
+    #[test]
+    fn local_and_empty_transfers_are_free() {
+        let mut mesh = mesh4();
+        let same = mesh.transfer(3, 3, 1024, 10);
+        assert_eq!(same.latency(), 0);
+        let empty = mesh.transfer(0, 5, 0, 10);
+        assert_eq!(empty.latency(), 0);
+        assert_eq!(mesh.stats().flit_hops, 0);
+    }
+
+    #[test]
+    fn contention_queues_packets_on_shared_links() {
+        let mut mesh = mesh4();
+        let first = mesh.transfer(0, 3, 256, 0);
+        let second = mesh.transfer(0, 3, 256, 0);
+        assert!(second.arrival > first.arrival);
+        assert!(second.contention > 0);
+        // A packet on a disjoint path is unaffected.
+        let third = mesh.transfer(12, 15, 256, 0);
+        assert_eq!(third.contention, 0);
+    }
+
+    #[test]
+    fn wider_flits_reduce_serialization_latency() {
+        let narrow = Mesh::new(NocConfig::new(4, 4, 8)).transfer(0, 15, 128, 0).latency();
+        let wide = Mesh::new(NocConfig::new(4, 4, 16)).transfer(0, 15, 128, 0).latency();
+        assert!(wide < narrow);
+    }
+
+    #[test]
+    fn memory_port_helpers_route_to_the_port() {
+        let mut config = NocConfig::new(4, 4, 8);
+        config.memory_port = 5;
+        let mut mesh = Mesh::new(config);
+        let to = mesh.transfer_to_memory(15, 32, 0);
+        assert_eq!(to.hops, mesh.config().hops(15, 5));
+        let from = mesh.transfer_from_memory(0, 32, 0);
+        assert_eq!(from.hops, mesh.config().hops(5, 0));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut mesh = mesh4();
+        mesh.transfer(0, 15, 64, 0);
+        mesh.transfer(1, 2, 16, 5);
+        let stats = mesh.stats();
+        assert_eq!(stats.packets, 2);
+        assert_eq!(stats.bytes, 80);
+        assert!(stats.flit_hops > 0);
+        assert!(stats.mean_latency() > 0.0);
+        assert!(stats.max_latency >= stats.mean_latency() as u64);
+        mesh.reset();
+        assert_eq!(mesh.stats().packets, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The route always ends at the destination and has the
+            /// Manhattan length.
+            #[test]
+            fn route_is_connected_and_minimal(src in 0u32..16, dst in 0u32..16) {
+                let mesh = mesh4();
+                let route = mesh.route(src, dst);
+                prop_assert_eq!(route.len() as u32, mesh.config().hops(src, dst));
+                let mut current = src;
+                for link in &route {
+                    prop_assert_eq!(link.from, current);
+                    prop_assert_eq!(mesh.config().hops(link.from, link.to), 1);
+                    current = link.to;
+                }
+                prop_assert_eq!(current, dst);
+            }
+
+            /// Latency is monotone in the payload size.
+            #[test]
+            fn latency_monotone_in_bytes(src in 0u32..16, dst in 0u32..16, bytes in 1u64..4096) {
+                let small = Mesh::new(NocConfig::new(4, 4, 8)).transfer(src, dst, bytes, 0).latency();
+                let large = Mesh::new(NocConfig::new(4, 4, 8)).transfer(src, dst, bytes * 2, 0).latency();
+                prop_assert!(large >= small);
+            }
+
+            /// Every transfer arrives no earlier than it departs, and
+            /// statistics never lose packets.
+            #[test]
+            fn transfers_are_causal(transfers in prop::collection::vec((0u32..16, 0u32..16, 1u64..2048), 1..50)) {
+                let mut mesh = mesh4();
+                let mut now = 0u64;
+                for (src, dst, bytes) in &transfers {
+                    let outcome = mesh.transfer(*src, *dst, *bytes, now);
+                    prop_assert!(outcome.arrival >= outcome.departure);
+                    now += 3;
+                }
+                prop_assert_eq!(mesh.stats().packets, transfers.len() as u64);
+            }
+        }
+    }
+}

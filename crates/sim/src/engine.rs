@@ -1,0 +1,499 @@
+//! The multi-core simulation engine: conservative discrete-event
+//! execution of the per-core programs with NoC, global-memory and barrier
+//! coordination.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use cimflow_arch::{AddressMap, ArchConfig};
+use cimflow_compiler::CompiledProgram;
+use cimflow_energy::EnergyModel;
+use cimflow_isa::{Instruction, OpcodeClass, Program};
+use cimflow_noc::{Mesh, NocConfig};
+
+use crate::core::{BlockReason, CoreState};
+use crate::report::{SimReport, UnitActivity};
+use crate::SimError;
+
+/// Maximum dynamically executed instructions before the simulator aborts
+/// (a defence against runaway generated code).
+const INSTRUCTION_BUDGET: u64 = 2_000_000_000;
+/// Number of instructions a core may execute before control returns to the
+/// scheduler (keeps NoC contention interleaving reasonably accurate).
+const SLICE: u64 = 4096;
+
+/// A message in flight between two cores.
+#[derive(Debug, Clone, Copy)]
+struct Message {
+    arrival: u64,
+    bytes: u64,
+}
+
+/// The CIMFlow cycle-level simulator.
+///
+/// See the crate-level documentation for the modelled behaviour and the
+/// crate example for typical usage.
+#[derive(Debug)]
+pub struct Simulator {
+    arch: ArchConfig,
+    programs: Vec<Program>,
+    cores: Vec<CoreState>,
+    mesh: Mesh,
+    energy_model: EnergyModel,
+    address_map: AddressMap,
+    channels: HashMap<(u32, u32), VecDeque<Message>>,
+    global_port_free: u64,
+    dynamic: BTreeMap<OpcodeClass, u64>,
+    cim_ops: u64,
+    vector_ops: u64,
+    total_macs: u64,
+    executed: u64,
+}
+
+impl Simulator {
+    /// Prepares a simulation of a compiled program.
+    pub fn new(compiled: &CompiledProgram) -> Self {
+        let arch = compiled.arch;
+        let noc_config = NocConfig {
+            width: arch.chip.mesh.width,
+            height: arch.chip.mesh.height,
+            flit_bytes: arch.chip.noc_flit_bytes,
+            hop_latency: arch.chip.noc_hop_latency,
+            memory_port: 0,
+        };
+        let cores = (0..arch.chip.core_count).map(|id| CoreState::new(id, &arch)).collect();
+        let total_macs = compiled.condensed.groups().iter().map(|g| g.metrics.macs).sum();
+        Simulator {
+            arch,
+            programs: compiled.per_core.clone(),
+            cores,
+            mesh: Mesh::new(noc_config),
+            energy_model: EnergyModel::calibrated_28nm(),
+            address_map: arch.address_map(),
+            channels: HashMap::new(),
+            global_port_free: 0,
+            dynamic: BTreeMap::new(),
+            cim_ops: 0,
+            vector_ops: 0,
+            total_macs,
+            executed: 0,
+        }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Deadlock`] if no core can make progress,
+    /// [`SimError::InvalidCore`] for out-of-range core references and
+    /// [`SimError::CycleLimitExceeded`] when the instruction budget is
+    /// exhausted.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        loop {
+            if self.cores.iter().all(CoreState::is_halted) {
+                break;
+            }
+            match self.pick_core() {
+                Some(core) => self.run_slice(core)?,
+                None => {
+                    if self.release_barrier() {
+                        continue;
+                    }
+                    return Err(self.deadlock());
+                }
+            }
+            if self.executed > INSTRUCTION_BUDGET {
+                return Err(SimError::CycleLimitExceeded { limit: INSTRUCTION_BUDGET });
+            }
+        }
+        Ok(self.finish())
+    }
+
+    /// Chooses the runnable core with the smallest local time.
+    fn pick_core(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, core) in self.cores.iter().enumerate() {
+            let runnable = match core.block {
+                BlockReason::None => true,
+                BlockReason::Recv { src } => self
+                    .channels
+                    .get(&(src, core.id))
+                    .is_some_and(|q| !q.is_empty()),
+                _ => false,
+            };
+            if runnable {
+                best = match best {
+                    Some(b) if self.cores[b].now <= core.now => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        best
+    }
+
+    /// Releases the set of cores waiting at the lowest pending barrier if
+    /// every non-halted core has reached a barrier. Returns whether any
+    /// core was released.
+    fn release_barrier(&mut self) -> bool {
+        let mut waiting: Vec<(usize, u16)> = Vec::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            match core.block {
+                BlockReason::Barrier { id } => waiting.push((i, id)),
+                BlockReason::Halted => {}
+                _ => return false,
+            }
+        }
+        if waiting.is_empty() {
+            return false;
+        }
+        let min_id = waiting.iter().map(|(_, id)| *id).min().expect("non-empty");
+        let members: Vec<usize> =
+            waiting.iter().filter(|(_, id)| *id == min_id).map(|(i, _)| *i).collect();
+        // A barrier only opens once every participant has arrived; with the
+        // codegen emitting every barrier on every core this means all
+        // non-halted cores share the minimum id.
+        if members.len() + self.cores.iter().filter(|c| c.is_halted()).count() != self.cores.len() {
+            // Some core waits at a later barrier — structurally impossible
+            // with the current code generator; treat as deadlock.
+            return false;
+        }
+        let release = members.iter().map(|i| self.cores[*i].now).max().unwrap_or(0) + 1;
+        for i in members {
+            self.cores[i].now = release;
+            self.cores[i].block = BlockReason::None;
+        }
+        true
+    }
+
+    fn deadlock(&self) -> SimError {
+        let mut recv = Vec::new();
+        let mut barrier = Vec::new();
+        for core in &self.cores {
+            match core.block {
+                BlockReason::Recv { .. } => recv.push(core.id),
+                BlockReason::Barrier { .. } => barrier.push(core.id),
+                _ => {}
+            }
+        }
+        SimError::Deadlock { blocked_on_recv: recv, blocked_on_barrier: barrier }
+    }
+
+    /// Executes up to [`SLICE`] instructions on one core.
+    fn run_slice(&mut self, index: usize) -> Result<(), SimError> {
+        self.cores[index].block = BlockReason::None;
+        for _ in 0..SLICE {
+            if !self.cores[index].is_runnable() {
+                break;
+            }
+            self.step(index)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one instruction on one core.
+    fn step(&mut self, index: usize) -> Result<(), SimError> {
+        let pc = self.cores[index].pc;
+        let program = &self.programs[index];
+        let Some(&inst) = program.instructions().get(pc) else {
+            self.cores[index].block = BlockReason::Halted;
+            return Ok(());
+        };
+
+        // Issue cost of the three-stage pipeline front end.
+        let issue_pj = self.energy_model.digital.issue_pj_per_inst;
+        let unit = self.arch.core.cim_unit;
+        let local = self.arch.core.local_memory;
+        let vector = self.arch.core.vector_unit;
+        let core_id = self.cores[index].id;
+
+        let mut advance = true;
+        match inst {
+            Instruction::CimMvm { rows, output: _, mg, input: _ } => {
+                let core = &mut self.cores[index];
+                let rows_value = core.read_unsigned(rows).clamp(1, u64::from(unit.rows_per_operation())) as u32;
+                let issue = unit.mvm_issue_cycles(rows_value);
+                let latency = unit.mvm_latency_cycles(rows_value);
+                let start = core.now;
+                core.occupy_macro_group(mg as usize, start, issue, latency);
+                core.now += 1;
+                let macs = unit.macs_per_group_operation(rows_value);
+                core.energy.compute_pj += self.energy_model.cim.compute_pj(macs);
+                core.energy.local_memory_pj +=
+                    self.energy_model.sram.local_read_pj(u64::from(rows_value));
+                self.cim_ops += 1;
+            }
+            Instruction::CimLoad { rows, mg, weights: _ } => {
+                let core = &mut self.cores[index];
+                let rows_value = core.read_unsigned(rows).clamp(1, u64::from(unit.rows_per_operation())) as u32;
+                let cycles = unit.weight_load_cycles(rows_value);
+                let start = core.now;
+                core.occupy_macro_group(mg as usize, start, cycles, cycles);
+                core.now += 1;
+                let bytes = u64::from(rows_value) * u64::from(unit.output_channels_per_group());
+                core.energy.compute_pj += self.energy_model.cim.weight_load_pj(bytes);
+                core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(bytes);
+            }
+            Instruction::CimStoreAcc { len, mg, output: _ } => {
+                let core = &mut self.cores[index];
+                let lanes = core.read_unsigned(len).max(1);
+                let count = core.macro_groups.len().max(1);
+                let ready = core.macro_groups[mg as usize % count].acc_ready;
+                core.now = core.now.max(ready) + 1;
+                core.energy.local_memory_pj += self.energy_model.sram.local_write_pj(lanes * 4);
+            }
+            Instruction::VecOp { len, .. }
+            | Instruction::VecQuant { len, .. }
+            | Instruction::VecMac { len, .. } => {
+                let core = &mut self.cores[index];
+                let elems = core.read_unsigned(len).max(1);
+                let cycles = vector.cycles_for(elems);
+                let start = core.now;
+                core.occupy_vector_unit(start, cycles);
+                core.now += 1;
+                core.energy.compute_pj += self.energy_model.digital.vector_pj_per_elem * elems as f64;
+                core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(elems)
+                    + self.energy_model.sram.local_write_pj(elems);
+                self.vector_ops += elems;
+            }
+            Instruction::VecPool { len, window, .. } => {
+                let core = &mut self.cores[index];
+                let elems = core.read_unsigned(len).max(1) * core.read_unsigned(window).max(1);
+                let cycles = vector.cycles_for(elems);
+                let start = core.now;
+                core.occupy_vector_unit(start, cycles);
+                core.now += 1;
+                core.energy.compute_pj += self.energy_model.digital.vector_pj_per_elem * elems as f64;
+                core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(elems);
+                self.vector_ops += elems;
+            }
+            Instruction::MemCpy { src, dst, len, offset } => {
+                let bytes = self.cores[index].read_unsigned(len).max(1);
+                let src_addr = (self.cores[index].read(src) + i64::from(offset)).max(0) as u64;
+                let dst_addr = self.cores[index].read_unsigned(dst);
+                let src_global = self.address_map.is_global(src_addr);
+                let dst_global = self.address_map.is_global(dst_addr);
+                if src_global || dst_global {
+                    let now = self.cores[index].now;
+                    let outcome = if src_global {
+                        self.mesh.transfer_from_memory(core_id, bytes, now)
+                    } else {
+                        self.mesh.transfer_to_memory(core_id, bytes, now)
+                    };
+                    let port_start = outcome.arrival.max(self.global_port_free);
+                    let completion = port_start + self.arch.chip.global_memory.transfer_cycles(bytes);
+                    self.global_port_free = completion;
+                    let core = &mut self.cores[index];
+                    core.now = completion;
+                    core.energy.global_memory_pj += self.energy_model.sram.global_pj(bytes);
+                    core.energy.noc_pj += self
+                        .energy_model
+                        .noc
+                        .transfer_pj(outcome.flits, self.arch.chip.noc_flit_bytes, outcome.hops.max(1));
+                    core.energy.local_memory_pj += self.energy_model.sram.local_write_pj(bytes);
+                } else {
+                    let core = &mut self.cores[index];
+                    core.now += local.transfer_cycles(bytes);
+                    core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(bytes)
+                        + self.energy_model.sram.local_write_pj(bytes);
+                }
+            }
+            Instruction::Send { len, dst_core, .. } => {
+                let bytes = self.cores[index].read_unsigned(len).max(1);
+                let dst = self.cores[index].read_unsigned(dst_core) as u32;
+                if dst >= self.arch.chip.core_count {
+                    return Err(SimError::InvalidCore { core: dst });
+                }
+                let now = self.cores[index].now;
+                let outcome = self.mesh.transfer(core_id, dst, bytes, now);
+                self.channels
+                    .entry((core_id, dst))
+                    .or_default()
+                    .push_back(Message { arrival: outcome.arrival, bytes });
+                let core = &mut self.cores[index];
+                core.now += 1;
+                core.energy.noc_pj += self
+                    .energy_model
+                    .noc
+                    .transfer_pj(outcome.flits, self.arch.chip.noc_flit_bytes, outcome.hops.max(1));
+                core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(bytes);
+            }
+            Instruction::Recv { src_core, .. } => {
+                let src = self.cores[index].read_unsigned(src_core) as u32;
+                if src >= self.arch.chip.core_count {
+                    return Err(SimError::InvalidCore { core: src });
+                }
+                let queue = self.channels.entry((src, core_id)).or_default();
+                match queue.pop_front() {
+                    Some(message) => {
+                        let core = &mut self.cores[index];
+                        core.now = core.now.max(message.arrival) + local.transfer_cycles(message.bytes);
+                        core.energy.local_memory_pj +=
+                            self.energy_model.sram.local_write_pj(message.bytes);
+                    }
+                    None => {
+                        // Stay at this instruction until a message arrives.
+                        self.cores[index].block = BlockReason::Recv { src };
+                        return Ok(());
+                    }
+                }
+            }
+            Instruction::Jmp { offset } => {
+                let core = &mut self.cores[index];
+                core.now += 1;
+                core.branch_penalty();
+                core.pc = (core.pc as i64 + 1 + i64::from(offset)).max(0) as usize;
+                advance = false;
+            }
+            Instruction::Beq { a, b, offset } | Instruction::Bne { a, b, offset } => {
+                let core = &mut self.cores[index];
+                let equal = core.read(a) == core.read(b);
+                let taken = match inst {
+                    Instruction::Beq { .. } => equal,
+                    _ => !equal,
+                };
+                core.now += 1;
+                if taken {
+                    core.branch_penalty();
+                    core.pc = (core.pc as i64 + 1 + i64::from(offset)).max(0) as usize;
+                    advance = false;
+                }
+            }
+            Instruction::Barrier { id } => {
+                let core = &mut self.cores[index];
+                core.now += 1;
+                core.pc += 1;
+                core.block = BlockReason::Barrier { id };
+                advance = false;
+            }
+            Instruction::Halt => {
+                self.cores[index].block = BlockReason::Halted;
+                advance = false;
+            }
+            Instruction::Nop => {
+                self.cores[index].now += 1;
+            }
+            _ => {
+                // Scalar instructions: functional register update, one cycle.
+                let core = &mut self.cores[index];
+                core.execute_scalar(&inst);
+                core.now += 1;
+                core.energy.control_pj += self.energy_model.digital.scalar_pj_per_op;
+            }
+        }
+
+        let core = &mut self.cores[index];
+        core.energy.control_pj += issue_pj;
+        core.executed += 1;
+        self.executed += 1;
+        *self.dynamic.entry(inst.class()).or_insert(0) += 1;
+        if advance {
+            core.pc += 1;
+        }
+        Ok(())
+    }
+
+    /// Collects the final report.
+    fn finish(self) -> SimReport {
+        let total_cycles = self.cores.iter().map(|c| c.now).max().unwrap_or(0).max(1);
+        let mut energy = cimflow_energy::EnergyBreakdown::new();
+        for core in &self.cores {
+            energy.accumulate(&core.energy);
+        }
+        energy.accumulate(&self.energy_model.static_energy(&self.arch, total_cycles));
+
+        let mg_per_core = self.arch.core.cim_unit.macro_groups.max(1) as f64;
+        let core_utilization: Vec<f64> = self
+            .cores
+            .iter()
+            .map(|c| {
+                let busy: u64 = c.macro_groups.iter().map(|m| m.busy_cycles).sum();
+                (busy as f64 / mg_per_core / total_cycles as f64).min(1.0)
+            })
+            .collect();
+        let cim_busy: u64 = self
+            .cores
+            .iter()
+            .flat_map(|c| c.macro_groups.iter().map(|m| m.busy_cycles))
+            .sum();
+        let vector_busy: u64 = self.cores.iter().map(|c| c.vector_busy_cycles).sum();
+
+        let mut report = SimReport {
+            total_cycles,
+            energy,
+            dynamic_instructions: self
+                .dynamic
+                .into_iter()
+                .map(|(class, count)| (class.to_string(), count))
+                .collect(),
+            cim_activity: UnitActivity { busy_cycles: cim_busy, operations: self.cim_ops },
+            vector_activity: UnitActivity { busy_cycles: vector_busy, operations: self.vector_ops },
+            noc: self.mesh.stats().clone(),
+            core_utilization,
+            total_macs: self.total_macs,
+            frequency_mhz: 0,
+        };
+        report.attach_arch(&self.arch);
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_compiler::{compile, Strategy};
+    use cimflow_nn::models;
+
+    fn simulate(model: cimflow_nn::Model, strategy: Strategy) -> SimReport {
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&model, &arch, strategy).unwrap();
+        Simulator::new(&compiled).run().unwrap()
+    }
+
+    #[test]
+    fn mobilenet_simulation_completes_with_sane_metrics() {
+        let report = simulate(models::mobilenet_v2(32), Strategy::DpOptimized);
+        assert!(report.total_cycles > 0);
+        assert!(report.energy.total_pj() > 0.0);
+        assert!(report.energy.compute_pj > 0.0);
+        assert!(report.energy.local_memory_pj > 0.0);
+        assert!(report.energy.noc_pj > 0.0);
+        assert!(report.throughput_tops() > 0.0);
+        assert!(report.mean_utilization() > 0.0 && report.mean_utilization() <= 1.0);
+        assert!(report.total_dynamic_instructions() > 0);
+        assert!(report.cim_activity.operations > 0);
+    }
+
+    #[test]
+    fn dp_strategy_is_faster_than_generic_on_compact_models() {
+        let generic = simulate(models::mobilenet_v2(32), Strategy::GenericMapping);
+        let dp = simulate(models::mobilenet_v2(32), Strategy::DpOptimized);
+        assert!(
+            dp.total_cycles < generic.total_cycles,
+            "dp {} !< generic {}",
+            dp.total_cycles,
+            generic.total_cycles
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate(models::resnet18(32), Strategy::DpOptimized);
+        let b = simulate(models::resnet18(32), Strategy::DpOptimized);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.noc, b.noc);
+        assert!((a.energy.total_pj() - b.energy.total_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_macro_groups_do_not_hurt_resnet_throughput() {
+        let arch_small = ArchConfig::paper_default().with_macros_per_group(4);
+        let arch_large = ArchConfig::paper_default().with_macros_per_group(16);
+        let model = models::resnet18(32);
+        let small = Simulator::new(&compile(&model, &arch_small, Strategy::GenericMapping).unwrap())
+            .run()
+            .unwrap();
+        let large = Simulator::new(&compile(&model, &arch_large, Strategy::GenericMapping).unwrap())
+            .run()
+            .unwrap();
+        assert!(large.throughput_tops() >= small.throughput_tops() * 0.9);
+    }
+}

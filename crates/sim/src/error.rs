@@ -1,0 +1,62 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the cycle-level simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// No core can make progress but not every core has halted.
+    Deadlock {
+        /// Cores blocked on a receive with no matching message.
+        blocked_on_recv: Vec<u32>,
+        /// Cores waiting at a barrier.
+        blocked_on_barrier: Vec<u32>,
+    },
+    /// The compiled program references a core outside the architecture.
+    InvalidCore {
+        /// The offending core identifier.
+        core: u32,
+    },
+    /// A safety limit on simulated cycles was exceeded (runaway program).
+    CycleLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { blocked_on_recv, blocked_on_barrier } => write!(
+                f,
+                "simulation dead-locked: {} cores blocked on recv, {} on barriers",
+                blocked_on_recv.len(),
+                blocked_on_barrier.len()
+            ),
+            SimError::InvalidCore { core } => write!(f, "program references nonexistent core {core}"),
+            SimError::CycleLimitExceeded { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Deadlock { blocked_on_recv: vec![1, 2], blocked_on_barrier: vec![] };
+        assert!(e.to_string().contains("2 cores blocked on recv"));
+        assert!(SimError::CycleLimitExceeded { limit: 10 }.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

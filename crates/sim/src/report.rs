@@ -1,0 +1,166 @@
+//! The detailed simulation report: latency, energy breakdown, utilization
+//! and traffic statistics (the paper's "Detailed Report" output).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cimflow_arch::ArchConfig;
+use cimflow_energy::EnergyBreakdown;
+use cimflow_noc::NocStats;
+use serde::{Deserialize, Serialize};
+
+/// Busy-cycle accounting of one execution unit family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct UnitActivity {
+    /// Cycles during which at least one instance of the unit was busy.
+    pub busy_cycles: u64,
+    /// Operations executed by the unit.
+    pub operations: u64,
+}
+
+/// The result of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total execution latency in cycles (the slowest core's finish time).
+    pub total_cycles: u64,
+    /// Per-component energy in picojoules.
+    pub energy: EnergyBreakdown,
+    /// Dynamically executed instructions per operation class (keyed by the
+    /// class name: `cim`, `vector`, `scalar`, `communication`, `control`).
+    pub dynamic_instructions: BTreeMap<String, u64>,
+    /// Aggregate macro-group busy cycles across all cores.
+    pub cim_activity: UnitActivity,
+    /// Aggregate vector-unit activity across all cores.
+    pub vector_activity: UnitActivity,
+    /// NoC traffic statistics.
+    pub noc: NocStats,
+    /// Per-core busy fraction (0..1) relative to the total latency.
+    pub core_utilization: Vec<f64>,
+    /// Multiply-accumulate operations represented by the workload.
+    pub total_macs: u64,
+    /// Clock frequency used for time/throughput conversions, in MHz.
+    pub frequency_mhz: u32,
+}
+
+impl SimReport {
+    /// Execution latency in seconds.
+    pub fn latency_seconds(&self) -> f64 {
+        self.total_cycles as f64 / (f64::from(self.frequency_mhz.max(1)) * 1.0e6)
+    }
+
+    /// Achieved throughput in tera-operations per second (2 ops per MAC),
+    /// i.e. the metric plotted on the Fig. 6 / Fig. 7 throughput axes.
+    pub fn throughput_tops(&self) -> f64 {
+        let seconds = self.latency_seconds();
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.total_macs as f64 * 2.0) / seconds / 1.0e12
+    }
+
+    /// Total energy in millijoules (the Fig. 6 energy axis).
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_mj()
+    }
+
+    /// Energy efficiency in TOPS per watt.
+    pub fn tops_per_watt(&self) -> f64 {
+        let joules = self.energy.total_pj() * 1.0e-12;
+        if joules <= 0.0 {
+            return 0.0;
+        }
+        (self.total_macs as f64 * 2.0) / joules / 1.0e12
+    }
+
+    /// Mean core utilization.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.core_utilization.is_empty() {
+            return 0.0;
+        }
+        self.core_utilization.iter().sum::<f64>() / self.core_utilization.len() as f64
+    }
+
+    /// Total dynamically executed instructions.
+    pub fn total_dynamic_instructions(&self) -> u64 {
+        self.dynamic_instructions.values().sum()
+    }
+
+    /// Records the architecture-derived constants of the run.
+    pub(crate) fn attach_arch(&mut self, arch: &ArchConfig) {
+        self.frequency_mhz = arch.chip.frequency_mhz;
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cycles:          {}", self.total_cycles)?;
+        writeln!(f, "latency:         {:.3} ms", self.latency_seconds() * 1e3)?;
+        writeln!(f, "throughput:      {:.3} TOPS", self.throughput_tops())?;
+        writeln!(f, "energy:          {:.3} mJ", self.energy_mj())?;
+        writeln!(f, "  compute:       {:.3} mJ", self.energy.compute_pj * 1e-9)?;
+        writeln!(f, "  local memory:  {:.3} mJ", self.energy.local_memory_pj * 1e-9)?;
+        writeln!(f, "  noc:           {:.3} mJ", self.energy.noc_pj * 1e-9)?;
+        writeln!(f, "  global memory: {:.3} mJ", self.energy.global_memory_pj * 1e-9)?;
+        writeln!(f, "  control:       {:.3} mJ", self.energy.control_pj * 1e-9)?;
+        writeln!(f, "mean core util.: {:.1} %", self.mean_utilization() * 100.0)?;
+        writeln!(f, "dyn. instr.:     {}", self.total_dynamic_instructions())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimReport {
+        SimReport {
+            total_cycles: 1_000_000,
+            energy: EnergyBreakdown {
+                compute_pj: 4.0e9,
+                local_memory_pj: 2.0e9,
+                noc_pj: 1.0e9,
+                global_memory_pj: 0.5e9,
+                control_pj: 0.5e9,
+            },
+            total_macs: 1_800_000_000,
+            frequency_mhz: 1000,
+            core_utilization: vec![0.5, 0.25, 0.75],
+            ..SimReport::default()
+        }
+    }
+
+    #[test]
+    fn derived_metrics_are_consistent() {
+        let r = sample();
+        assert!((r.latency_seconds() - 1.0e-3).abs() < 1e-12);
+        // 3.6 GOP in 1 ms = 3.6 TOPS.
+        assert!((r.throughput_tops() - 3.6).abs() < 1e-9);
+        assert!((r.energy_mj() - 8.0).abs() < 1e-9);
+        assert!(r.tops_per_watt() > 0.0);
+        assert!((r.mean_utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_report_is_well_behaved() {
+        let r = SimReport::default();
+        assert_eq!(r.throughput_tops(), 0.0);
+        assert_eq!(r.tops_per_watt(), 0.0);
+        assert_eq!(r.mean_utilization(), 0.0);
+        assert_eq!(r.total_dynamic_instructions(), 0);
+    }
+
+    #[test]
+    fn display_reports_all_components() {
+        let text = sample().to_string();
+        for needle in ["cycles", "throughput", "local memory", "noc", "global memory"] {
+            assert!(text.contains(needle), "missing `{needle}`");
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample();
+        let back: SimReport = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,33 @@
+//! Compare the three compilation strategies of the paper (generic
+//! mapping, CIM-MLC-style operator duplication, DP-based optimization) on
+//! the benchmark suite — a miniature version of the Fig. 5 experiment.
+//!
+//! Run with `cargo run --release --example compiler_strategies`.
+
+use cimflow::{models, CimFlow, Strategy};
+
+fn main() -> Result<(), cimflow::CimFlowError> {
+    let flow = CimFlow::with_default_arch();
+    let resolution = 32;
+
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>12} {:>8}",
+        "model", "strategy", "cycles", "speedup", "energy (mJ)", "stages"
+    );
+    for model in models::benchmark_suite(resolution) {
+        let baseline = flow.evaluate(&model, Strategy::GenericMapping)?;
+        for strategy in Strategy::ALL {
+            let evaluation = flow.evaluate(&model, strategy)?;
+            println!(
+                "{:<16} {:>12} {:>14} {:>12.2} {:>12.3} {:>8}",
+                model.name,
+                strategy.to_string(),
+                evaluation.simulation.total_cycles,
+                evaluation.speedup_over(&baseline),
+                evaluation.simulation.energy_mj(),
+                evaluation.stages
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,37 @@
+//! Architectural design-space exploration: sweep the macro-group size and
+//! the NoC flit size for a compact model — a miniature version of the
+//! Fig. 6 / Fig. 7 experiments.
+//!
+//! Run with `cargo run --release --example design_space_exploration`.
+
+use cimflow::dse;
+use cimflow::{models, ArchConfig, Strategy};
+
+fn main() -> Result<(), cimflow::CimFlowError> {
+    let base = ArchConfig::paper_default();
+    let model = models::efficientnet_b0(32);
+
+    println!(
+        "{:<10} {:>8} {:>8} {:>14} {:>12} {:>10}",
+        "strategy", "MG size", "flit", "TOPS", "energy (mJ)", "NoC share"
+    );
+    let points = dse::sweep_strategies(
+        &base,
+        &model,
+        &[4, 8, 12, 16],
+        &[8, 16],
+        &[Strategy::GenericMapping, Strategy::DpOptimized],
+    )?;
+    for point in &points {
+        println!(
+            "{:<10} {:>8} {:>8} {:>14.3} {:>12.3} {:>9.1}%",
+            point.strategy.to_string(),
+            point.mg_size,
+            point.flit_bytes,
+            point.throughput_tops(),
+            point.energy_mj(),
+            point.evaluation.simulation.energy.noc_share() * 100.0
+        );
+    }
+    Ok(())
+}

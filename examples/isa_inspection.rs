@@ -1,0 +1,53 @@
+//! Inspect the code the CIMFlow compiler generates: compile a small model
+//! and disassemble the busiest core's program, then demonstrate the ISA
+//! extension template.
+//!
+//! Run with `cargo run --release --example isa_inspection`.
+
+use cimflow::isa::{
+    asm, encode_program, ExecutionUnit, InstructionDescriptor, InstructionFormat, IsaExtension,
+};
+use cimflow::{models, CimFlow, Strategy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = CimFlow::with_default_arch();
+    let compiled = flow.compile(&models::mobilenet_v2(32), Strategy::DpOptimized)?;
+
+    // Find the core with the largest program and disassemble a window.
+    let (core, program) = compiled
+        .per_core
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, p)| p.len())
+        .expect("at least one core exists");
+    println!("busiest core: {core} with {} static instructions", program.len());
+    println!("instruction mix: {:?}", program.class_histogram());
+
+    let text = asm::disassemble(program);
+    println!("\nfirst 25 lines of the generated assembly:");
+    for line in text.lines().take(25) {
+        println!("  {line}");
+    }
+
+    let words = encode_program(program.instructions())?;
+    println!("\nbinary encoding: {} words, first word = {:#010x}", words.len(), words[0]);
+
+    // The instruction description template: register a custom operation
+    // with its performance parameters, as Sec. III-B describes.
+    let mut extension = IsaExtension::new();
+    extension.register(
+        InstructionDescriptor::new("vec_softmax", ExecutionUnit::Vector, InstructionFormat::Vector)
+            .with_latency(24)
+            .with_initiation_interval(2)
+            .with_throughput(16)
+            .with_energy_pj(14.5),
+    )?;
+    let softmax = extension.get("vec_softmax").expect("just registered");
+    println!(
+        "\nregistered custom op `{}`: {} cycles for 1024 elements, {:.1} pJ each",
+        softmax.mnemonic(),
+        softmax.cycles_for(1024),
+        softmax.energy_pj()
+    );
+    Ok(())
+}

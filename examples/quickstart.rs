@@ -1,0 +1,23 @@
+//! Quick start: compile and simulate one benchmark model on the default
+//! CIMFlow architecture (Table I) and print the detailed report.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use cimflow::{models, CimFlow, Strategy};
+
+fn main() -> Result<(), cimflow::CimFlowError> {
+    // The default architecture of Table I: 64 cores, 16 MGs × 8 macros of
+    // 512×64 bit-cells per core, 512 KB local memory, 8-byte NoC flits.
+    let flow = CimFlow::with_default_arch();
+
+    // A reduced-resolution ResNet18 keeps the quick start fast; use 224
+    // for the full ImageNet geometry.
+    let model = models::resnet18(64);
+    println!("workload: {model}");
+
+    let evaluation = flow.evaluate(&model, Strategy::DpOptimized)?;
+    println!("\n=== evaluation ===");
+    println!("{evaluation}");
+    println!("compilation: {}", evaluation.compilation);
+    Ok(())
+}

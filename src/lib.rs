@@ -1,0 +1,6 @@
+//! Workspace umbrella crate: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`) of the CIMFlow
+//! reproduction. The library surface simply re-exports the [`cimflow`]
+//! facade crate; depend on `cimflow` directly in downstream projects.
+
+pub use cimflow::*;

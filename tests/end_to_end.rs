@@ -1,0 +1,93 @@
+//! End-to-end integration tests: every benchmark model compiles and
+//! simulates with every strategy on the default architecture, and the
+//! headline qualitative results of the paper hold.
+
+use cimflow::{models, CimFlow, Strategy};
+
+/// Reduced input resolution used throughout the integration tests; the
+/// graph structures (and therefore the compiler decisions) are identical
+/// to the 224-pixel models, only the spatial extents shrink.
+const RESOLUTION: u32 = 32;
+
+#[test]
+fn every_model_compiles_and_simulates_with_every_strategy() {
+    let flow = CimFlow::with_default_arch();
+    for model in models::benchmark_suite(RESOLUTION) {
+        for strategy in Strategy::ALL {
+            let evaluation = flow
+                .evaluate(&model, strategy)
+                .unwrap_or_else(|e| panic!("{} with {strategy} failed: {e}", model.name));
+            assert!(evaluation.simulation.total_cycles > 0);
+            assert!(evaluation.simulation.energy.total_pj() > 0.0);
+            assert!(evaluation.simulation.throughput_tops() > 0.0);
+            assert!(evaluation.compilation.active_cores > 0);
+            assert!(evaluation.stages >= 1);
+        }
+    }
+}
+
+#[test]
+fn dp_optimization_never_loses_to_generic_mapping() {
+    let flow = CimFlow::with_default_arch();
+    for model in models::benchmark_suite(RESOLUTION) {
+        let generic = flow.evaluate(&model, Strategy::GenericMapping).unwrap();
+        let dp = flow.evaluate(&model, Strategy::DpOptimized).unwrap();
+        let speedup = dp.speedup_over(&generic);
+        assert!(
+            speedup >= 0.99,
+            "{}: DP-based optimization is slower than generic mapping ({speedup:.3}x)",
+            model.name
+        );
+    }
+}
+
+#[test]
+fn compact_models_benefit_most_from_dp_optimization() {
+    // The paper highlights MobileNetV2 / EfficientNetB0 as the models
+    // where the DP-based approach helps most, because their small weight
+    // footprints leave many cores vacant for duplication.
+    let flow = CimFlow::with_default_arch();
+    let resnet_speedup = {
+        let model = models::resnet18(RESOLUTION);
+        let generic = flow.evaluate(&model, Strategy::GenericMapping).unwrap();
+        flow.evaluate(&model, Strategy::DpOptimized).unwrap().speedup_over(&generic)
+    };
+    let mobilenet_speedup = {
+        let model = models::mobilenet_v2(RESOLUTION);
+        let generic = flow.evaluate(&model, Strategy::GenericMapping).unwrap();
+        flow.evaluate(&model, Strategy::DpOptimized).unwrap().speedup_over(&generic)
+    };
+    assert!(mobilenet_speedup > 1.0);
+    assert!(
+        mobilenet_speedup >= resnet_speedup * 0.8,
+        "compact model speedup {mobilenet_speedup:.2} should be comparable to or larger than {resnet_speedup:.2}"
+    );
+}
+
+#[test]
+fn simulation_results_are_deterministic_across_runs() {
+    let flow = CimFlow::with_default_arch();
+    let model = models::efficientnet_b0(RESOLUTION);
+    let a = flow.evaluate(&model, Strategy::DpOptimized).unwrap();
+    let b = flow.evaluate(&model, Strategy::DpOptimized).unwrap();
+    assert_eq!(a.simulation.total_cycles, b.simulation.total_cycles);
+    assert_eq!(a.simulation.noc, b.simulation.noc);
+    assert!((a.simulation.energy.total_pj() - b.simulation.energy.total_pj()).abs() < 1e-6);
+}
+
+#[test]
+fn utilization_and_energy_breakdown_are_physical() {
+    let flow = CimFlow::with_default_arch();
+    let evaluation = flow.evaluate(&models::resnet18(RESOLUTION), Strategy::DpOptimized).unwrap();
+    let sim = &evaluation.simulation;
+    for utilization in &sim.core_utilization {
+        assert!((0.0..=1.0).contains(utilization));
+    }
+    assert!(sim.energy.compute_pj > 0.0);
+    assert!(sim.energy.local_memory_pj > 0.0);
+    assert!(sim.energy.noc_pj > 0.0);
+    assert!(sim.energy.global_memory_pj > 0.0);
+    assert!(sim.energy.noc_share() < 1.0);
+    assert!(sim.cim_activity.operations > 0);
+    assert!(sim.vector_activity.operations > 0);
+}
