@@ -140,7 +140,7 @@ fn squarest_mesh(cores: u32) -> MeshDimensions {
     let mut best = MeshDimensions::new(cores, 1);
     let mut w = 1;
     while w * w <= cores {
-        if cores % w == 0 {
+        if cores.is_multiple_of(w) {
             best = MeshDimensions::new(cores / w, w);
         }
         w += 1;
@@ -213,7 +213,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let chip = ChipConfig::paper_default();
-        let back: ChipConfig = serde_json::from_str(&serde_json::to_string(&chip).unwrap()).unwrap();
+        let back: ChipConfig =
+            serde_json::from_str(&serde_json::to_string(&chip).unwrap()).unwrap();
         assert_eq!(back, chip);
     }
 }

@@ -96,6 +96,26 @@ impl ArchConfig {
         self
     }
 
+    /// Returns a copy with a different per-core local-memory capacity in
+    /// bytes (the capacity must stay divisible by the segment count to
+    /// validate).
+    pub fn with_local_memory_bytes(mut self, size_bytes: u64) -> Self {
+        self.core.local_memory.size_bytes = size_bytes;
+        self
+    }
+
+    /// Returns a copy with a different per-core local-memory capacity in
+    /// KiB (the sweep axis used by `cimflow-dse`).
+    pub fn with_local_memory_kib(self, size_kib: u64) -> Self {
+        self.with_local_memory_bytes(size_kib * 1024)
+    }
+
+    /// Returns a copy with a different clock frequency in MHz.
+    pub fn with_frequency_mhz(mut self, frequency_mhz: u32) -> Self {
+        self.chip.frequency_mhz = frequency_mhz;
+        self
+    }
+
     /// Total CIM weight capacity of the chip in bytes.
     pub fn chip_weight_capacity_bytes(&self) -> u64 {
         u64::from(self.chip.core_count) * self.core.weight_capacity_bytes()
@@ -149,8 +169,8 @@ impl ArchConfig {
     /// [`ArchError::InvalidConfig`] if the parsed configuration violates a
     /// structural invariant.
     pub fn from_json(text: &str) -> Result<Self, ArchError> {
-        let config: ArchConfig =
-            serde_json::from_str(text).map_err(|e| ArchError::ParseConfig { reason: e.to_string() })?;
+        let config: ArchConfig = serde_json::from_str(text)
+            .map_err(|e| ArchError::ParseConfig { reason: e.to_string() })?;
         config.validate()?;
         Ok(config)
     }
@@ -221,9 +241,25 @@ mod tests {
     }
 
     #[test]
+    fn dse_builder_setters_change_only_their_field() {
+        let base = ArchConfig::paper_default();
+        let swept = base.with_local_memory_kib(256).with_frequency_mhz(800);
+        assert_eq!(swept.core.local_memory.size_bytes, 256 * 1024);
+        assert_eq!(swept.chip.frequency_mhz, 800);
+        assert_eq!(swept.chip.core_count, base.chip.core_count);
+        assert!(swept.validate().is_ok());
+        // Capacities that break the segment invariant are caught by
+        // validation rather than silently accepted.
+        assert!(base.with_local_memory_bytes(1022).validate().is_err());
+    }
+
+    #[test]
     fn smaller_core_count_reduces_capacity() {
         let small = ArchConfig::paper_default().with_core_count(16);
-        assert!(small.chip_weight_capacity_bytes() < ArchConfig::paper_default().chip_weight_capacity_bytes());
+        assert!(
+            small.chip_weight_capacity_bytes()
+                < ArchConfig::paper_default().chip_weight_capacity_bytes()
+        );
         assert!(small.validate().is_ok());
     }
 }

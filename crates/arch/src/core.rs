@@ -169,7 +169,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let core = CoreConfig::paper_default();
-        let back: CoreConfig = serde_json::from_str(&serde_json::to_string(&core).unwrap()).unwrap();
+        let back: CoreConfig =
+            serde_json::from_str(&serde_json::to_string(&core).unwrap()).unwrap();
         assert_eq!(back, core);
     }
 }

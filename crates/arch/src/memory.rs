@@ -78,7 +78,7 @@ impl LocalMemoryConfig {
         if self.segments == 0 {
             return Err(ArchError::invalid("local_memory.segments", "must be positive"));
         }
-        if self.size_bytes % u64::from(self.segments) != 0 {
+        if !self.size_bytes.is_multiple_of(u64::from(self.segments)) {
             return Err(ArchError::invalid(
                 "local_memory.segments",
                 "segment count must divide the capacity",
@@ -206,7 +206,8 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let m = LocalMemoryConfig::paper_default();
-        let back: LocalMemoryConfig = serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
+        let back: LocalMemoryConfig =
+            serde_json::from_str(&serde_json::to_string(&m).unwrap()).unwrap();
         assert_eq!(back, m);
     }
 }

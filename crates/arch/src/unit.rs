@@ -201,18 +201,24 @@ impl CimUnitConfig {
             return Err(ArchError::invalid("cim_unit.macros_per_group", "must be positive"));
         }
         if self.macro_geometry.rows == 0 || self.macro_geometry.cols == 0 {
-            return Err(ArchError::invalid("cim_unit.macro_geometry", "rows and cols must be positive"));
+            return Err(ArchError::invalid(
+                "cim_unit.macro_geometry",
+                "rows and cols must be positive",
+            ));
         }
         if self.element_geometry.rows == 0 || self.element_geometry.cols == 0 {
-            return Err(ArchError::invalid("cim_unit.element_geometry", "rows and cols must be positive"));
+            return Err(ArchError::invalid(
+                "cim_unit.element_geometry",
+                "rows and cols must be positive",
+            ));
         }
-        if self.macro_geometry.rows % self.element_geometry.rows != 0 {
+        if !self.macro_geometry.rows.is_multiple_of(self.element_geometry.rows) {
             return Err(ArchError::invalid(
                 "cim_unit.element_geometry.rows",
                 "element rows must divide macro rows",
             ));
         }
-        if self.macro_geometry.cols % self.element_geometry.cols != 0 {
+        if !self.macro_geometry.cols.is_multiple_of(self.element_geometry.cols) {
             return Err(ArchError::invalid(
                 "cim_unit.element_geometry.cols",
                 "element cols must divide macro cols",
@@ -221,7 +227,7 @@ impl CimUnitConfig {
         if self.weight_bits == 0 || self.input_bits == 0 {
             return Err(ArchError::invalid("cim_unit.precision", "precisions must be positive"));
         }
-        if self.macro_geometry.cols % self.weight_bits != 0 {
+        if !self.macro_geometry.cols.is_multiple_of(self.weight_bits) {
             return Err(ArchError::invalid(
                 "cim_unit.weight_bits",
                 "weight bits must divide macro columns",
@@ -263,7 +269,8 @@ impl VectorUnitConfig {
         if elems == 0 {
             return 0;
         }
-        elems.div_ceil(u64::from(self.lanes.max(1))) + u64::from(self.pipeline_depth.saturating_sub(1))
+        elems.div_ceil(u64::from(self.lanes.max(1)))
+            + u64::from(self.pipeline_depth.saturating_sub(1))
     }
 
     /// Validates vector-unit invariants.

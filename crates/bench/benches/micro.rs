@@ -37,7 +37,9 @@ fn bench_frontend(c: &mut Criterion) {
     });
     let model = models::efficientnet_b0(64);
     c.bench_function("compiler/condense_efficientnet_b0", |b| {
-        b.iter(|| black_box(CondensedGraph::from_graph(black_box(&model.graph)).expect("condensable")))
+        b.iter(|| {
+            black_box(CondensedGraph::from_graph(black_box(&model.graph)).expect("condensable"))
+        })
     });
 }
 
@@ -45,10 +47,16 @@ fn bench_partitioning(c: &mut Criterion) {
     let arch = ArchConfig::paper_default();
     let model = models::mobilenet_v2(64);
     c.bench_function("compiler/dp_compile_mobilenet_v2", |b| {
-        b.iter(|| black_box(compile(black_box(&model), &arch, Strategy::DpOptimized).expect("compilable")))
+        b.iter(|| {
+            black_box(compile(black_box(&model), &arch, Strategy::DpOptimized).expect("compilable"))
+        })
     });
     c.bench_function("compiler/generic_compile_mobilenet_v2", |b| {
-        b.iter(|| black_box(compile(black_box(&model), &arch, Strategy::GenericMapping).expect("compilable")))
+        b.iter(|| {
+            black_box(
+                compile(black_box(&model), &arch, Strategy::GenericMapping).expect("compilable"),
+            )
+        })
     });
 }
 

@@ -22,9 +22,7 @@ fn main() {
     println!("{:<28} {:>12}", "Unit level", "");
     println!(
         "{:<28} {:>9}x{}",
-        "  Macro",
-        arch.core.cim_unit.macro_geometry.rows,
-        arch.core.cim_unit.macro_geometry.cols
+        "  Macro", arch.core.cim_unit.macro_geometry.rows, arch.core.cim_unit.macro_geometry.cols
     );
     println!(
         "{:<28} {:>10}x{}",
@@ -34,8 +32,16 @@ fn main() {
     );
     println!();
     println!("=== derived quantities ===");
-    println!("{:<28} {:>9} KB", "CIM weight capacity / core", arch.core.weight_capacity_bytes() >> 10);
-    println!("{:<28} {:>9} MB", "CIM weight capacity / chip", arch.chip_weight_capacity_bytes() >> 20);
+    println!(
+        "{:<28} {:>9} KB",
+        "CIM weight capacity / core",
+        arch.core.weight_capacity_bytes() >> 10
+    );
+    println!(
+        "{:<28} {:>9} MB",
+        "CIM weight capacity / chip",
+        arch.chip_weight_capacity_bytes() >> 20
+    );
     println!("{:<28} {:>9.1}", "peak INT8 TOPS", arch.peak_tops());
     println!("{:<28} {:>9} MHz", "clock", arch.chip.frequency_mhz);
 }

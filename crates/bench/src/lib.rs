@@ -15,10 +15,30 @@ use cimflow::{CimFlow, CimFlowError, Model, Strategy};
 /// decision — stay identical. Override with the `CIMFLOW_RESOLUTION`
 /// environment variable for full-resolution runs.
 pub fn resolution() -> u32 {
-    std::env::var("CIMFLOW_RESOLUTION")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
+    std::env::var("CIMFLOW_RESOLUTION").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
+}
+
+/// Location of the on-disk evaluation cache shared by the figure
+/// harnesses (`fig6`, `fig7`), so points appearing in several figures are
+/// evaluated once per machine rather than once per figure.
+///
+/// Defaults to `target/cimflow-dse-cache.json` under the **workspace**
+/// root (bench binaries run with the package directory as their working
+/// directory, so a relative path would silently land in
+/// `crates/bench/`); override with the `CIMFLOW_DSE_CACHE` environment
+/// variable (an empty value keeps the default).
+pub fn dse_cache_path() -> std::path::PathBuf {
+    match std::env::var("CIMFLOW_DSE_CACHE") {
+        Ok(path) if !path.is_empty() => std::path::PathBuf::from(path),
+        _ => {
+            // crates/bench -> workspace root.
+            let workspace = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("bench crate lives two levels below the workspace root");
+            workspace.join("target").join("cimflow-dse-cache.json")
+        }
+    }
 }
 
 /// A single measured data point of an experiment.
@@ -47,7 +67,11 @@ pub struct Measurement {
 /// # Errors
 ///
 /// Propagates compilation and simulation failures.
-pub fn measure(flow: &CimFlow, model: &Model, strategy: Strategy) -> Result<Measurement, CimFlowError> {
+pub fn measure(
+    flow: &CimFlow,
+    model: &Model,
+    strategy: Strategy,
+) -> Result<Measurement, CimFlowError> {
     let evaluation = flow.evaluate(model, strategy)?;
     let sim = &evaluation.simulation;
     let total = sim.energy.total_pj().max(f64::MIN_POSITIVE);
@@ -71,6 +95,11 @@ mod tests {
     #[test]
     fn resolution_defaults_to_sixty_four() {
         assert_eq!(resolution(), 64);
+    }
+
+    #[test]
+    fn cache_path_has_a_default() {
+        assert!(dse_cache_path().to_string_lossy().contains("cimflow-dse-cache"));
     }
 
     #[test]

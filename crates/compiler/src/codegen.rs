@@ -19,7 +19,9 @@
 use std::collections::BTreeMap;
 
 use cimflow_arch::{ArchConfig, SegmentKind};
-use cimflow_isa::{GReg, Instruction, PoolKind, Program, ProgramBuilder, ScalarAluOp, VectorOpKind};
+use cimflow_isa::{
+    GReg, Instruction, PoolKind, Program, ProgramBuilder, ScalarAluOp, VectorOpKind,
+};
 
 use crate::frontend::{CondensedGraph, OpGroup};
 use crate::oplevel::OpTiling;
@@ -78,7 +80,8 @@ pub fn generate(
     arch: &ArchConfig,
 ) -> Result<GeneratedCode, CompileError> {
     let core_count = arch.chip.core_count as usize;
-    let mut builders: Vec<ProgramBuilder> = (0..core_count).map(|_| ProgramBuilder::new()).collect();
+    let mut builders: Vec<ProgramBuilder> =
+        (0..core_count).map(|_| ProgramBuilder::new()).collect();
     let mut manifest = TransferManifest::default();
     let layout = GlobalLayout::new(condensed, arch);
     let map = arch.address_map();
@@ -88,7 +91,8 @@ pub fn generate(
         for placement in &stage.placements {
             let group = &condensed.groups()[placement.group];
             for cluster in &placement.clusters {
-                let tiling = OpTiling::plan(group, arch, cluster.cores.len() as u32, cluster.pixels());
+                let tiling =
+                    OpTiling::plan(group, arch, cluster.cores.len() as u32, cluster.pixels());
                 for core in &cluster.cores {
                     let b = &mut builders[*core as usize];
                     emit_weight_load(b, group, &tiling, arch, &layout)?;
@@ -105,7 +109,8 @@ pub fn generate(
             let group = &condensed.groups()[placement.group];
             let stage_groups = stage.group_indices();
             for cluster in &placement.clusters {
-                let tiling = OpTiling::plan(group, arch, cluster.cores.len() as u32, cluster.pixels());
+                let tiling =
+                    OpTiling::plan(group, arch, cluster.cores.len() as u32, cluster.pixels());
                 for (slice_index, core) in cluster.cores.iter().enumerate() {
                     emit_group_inputs(
                         &mut builders,
@@ -317,7 +322,12 @@ fn emit_group_inputs(
             b.load_immediate(r(GLOBAL_SRC), layout.output_addr(dep.group))?;
             b.load_immediate(r(OUT_PTR), in_seg)?;
             b.load_immediate(r(LEN), share)?;
-            b.push(Instruction::MemCpy { src: r(GLOBAL_SRC), dst: r(OUT_PTR), len: r(LEN), offset: 0 });
+            b.push(Instruction::MemCpy {
+                src: r(GLOBAL_SRC),
+                dst: r(OUT_PTR),
+                len: r(LEN),
+                offset: 0,
+            });
             continue;
         }
         // Same stage: receive the needed tiles from every producer core.
@@ -388,13 +398,14 @@ fn emit_group_body(
     let consumers: Vec<&OpGroup> = condensed
         .groups()
         .iter()
-        .filter(|g| stage_groups.contains(&g.index) && g.preds.iter().any(|d| d.group == group.index))
+        .filter(|g| {
+            stage_groups.contains(&g.index) && g.preds.iter().any(|d| d.group == group.index)
+        })
         .collect();
     let spills_to_global = group.writes_graph_output
-        || condensed
-            .groups()
-            .iter()
-            .any(|g| !stage_groups.contains(&g.index) && g.preds.iter().any(|d| d.group == group.index));
+        || condensed.groups().iter().any(|g| {
+            !stage_groups.contains(&g.index) && g.preds.iter().any(|d| d.group == group.index)
+        });
 
     // Loop-invariant register setup (hoisted out of the tile loops).
     b.load_immediate(r(ROWS), rows)?;
@@ -424,7 +435,8 @@ fn emit_group_body(
             b.push(Instruction::MemCpy { src: r(IN_PTR), dst: r(GATHER), len: r(ROWS), offset: 0 });
             for rt in 0..tiling.row_tiles {
                 for ct in 0..tiling.channel_tiles_per_core {
-                    let slot = copy * tiling.macro_groups_used + rt * tiling.channel_tiles_per_core + ct;
+                    let slot =
+                        copy * tiling.macro_groups_used + rt * tiling.channel_tiles_per_core + ct;
                     b.push(Instruction::CimMvm {
                         input: r(GATHER),
                         rows: r(ROWS),
@@ -435,9 +447,18 @@ fn emit_group_body(
             }
             for ct in 0..tiling.channel_tiles_per_core {
                 let slot = copy * tiling.macro_groups_used + ct;
-                b.push(Instruction::CimStoreAcc { output: r(ACC), len: r(CH_LEN), mg: (slot % 64) as u8 });
+                b.push(Instruction::CimStoreAcc {
+                    output: r(ACC),
+                    len: r(CH_LEN),
+                    mg: (slot % 64) as u8,
+                });
             }
-            b.push(Instruction::VecQuant { src: r(ACC), dst: r(OUT_PTR), shift: r(SHIFT), len: r(CH_LEN) });
+            b.push(Instruction::VecQuant {
+                src: r(ACC),
+                dst: r(OUT_PTR),
+                shift: r(SHIFT),
+                len: r(CH_LEN),
+            });
             if group.metrics.vector_elems > 0 {
                 b.push(Instruction::VecOp {
                     kind: VectorOpKind::Relu,
@@ -447,8 +468,18 @@ fn emit_group_body(
                     len: r(CH_LEN),
                 });
             }
-            b.push(Instruction::ScAlu { op: ScalarAluOp::Add, dst: r(IN_PTR), a: r(IN_PTR), b: r(IN_STRIDE) });
-            b.push(Instruction::ScAlu { op: ScalarAluOp::Add, dst: r(OUT_PTR), a: r(OUT_PTR), b: r(OUT_STRIDE) });
+            b.push(Instruction::ScAlu {
+                op: ScalarAluOp::Add,
+                dst: r(IN_PTR),
+                a: r(IN_PTR),
+                b: r(IN_STRIDE),
+            });
+            b.push(Instruction::ScAlu {
+                op: ScalarAluOp::Add,
+                dst: r(OUT_PTR),
+                a: r(OUT_PTR),
+                b: r(OUT_STRIDE),
+            });
         }
         b.push(Instruction::ScAlui { op: ScalarAluOp::Add, dst: r(PIX), src: r(PIX), imm: 1 });
         b.branch_if_not_equal(r(PIX), r(PIX_LIMIT), top);
@@ -467,8 +498,7 @@ fn emit_group_body(
         }
 
         // Ship the finished tile to its consumers.
-        let my_bytes =
-            u64::from(pixels) * u64::from(tiling.output_bytes_per_pixel_per_core);
+        let my_bytes = u64::from(pixels) * u64::from(tiling.output_bytes_per_pixel_per_core);
         for consumer in &consumers {
             let (_, consumer_placement) =
                 plan.placement_of(consumer.index).expect("same-stage consumer must be placed");
@@ -504,7 +534,12 @@ fn emit_group_body(
             b.load_immediate(r(GLOBAL_SRC), out_seg)?;
             b.load_immediate(r(OUT_PTR), layout.output_addr(group.index))?;
             b.load_immediate(r(LEN), my_bytes.min(u64::from(u32::MAX)) as u32)?;
-            b.push(Instruction::MemCpy { src: r(GLOBAL_SRC), dst: r(OUT_PTR), len: r(LEN), offset: 0 });
+            b.push(Instruction::MemCpy {
+                src: r(GLOBAL_SRC),
+                dst: r(OUT_PTR),
+                len: r(LEN),
+                offset: 0,
+            });
         }
     }
     Ok(())

@@ -88,7 +88,8 @@ impl CostModel {
         let capacity = self.core_capacity_bytes().max(1);
         let by_capacity = group.metrics.weight_bytes.div_ceil(capacity) as u32;
         let tiles = self.row_tiles(group) as u64 * u64::from(self.channel_tiles(group));
-        let by_macro_groups = tiles.div_ceil(u64::from(self.arch.core.cim_unit.macro_groups)) as u32;
+        let by_macro_groups =
+            tiles.div_ceil(u64::from(self.arch.core.cim_unit.macro_groups)) as u32;
         by_capacity.max(by_macro_groups).max(1)
     }
 
@@ -147,9 +148,11 @@ impl CostModel {
     /// capacity constraint).
     pub fn weight_reload_cycles(&self, stage_weight_bytes: u64) -> u64 {
         self.arch.chip.global_memory.transfer_cycles(stage_weight_bytes)
-            + self.arch.core.local_memory.transfer_cycles(
-                stage_weight_bytes / u64::from(self.arch.chip.core_count.max(1)),
-            )
+            + self
+                .arch
+                .core
+                .local_memory
+                .transfer_cycles(stage_weight_bytes / u64::from(self.arch.chip.core_count.max(1)))
     }
 
     /// Estimates the cost of one stage under a concrete mapping.
@@ -212,7 +215,11 @@ impl CostModel {
         let total = self.total_cores();
         let mut mapping: Vec<GroupMapping> = groups
             .iter()
-            .map(|g| GroupMapping { group: g.index, cores_per_replica: self.min_cores(g), replicas: 1 })
+            .map(|g| GroupMapping {
+                group: g.index,
+                cores_per_replica: self.min_cores(g),
+                replicas: 1,
+            })
             .collect();
         let used: u32 = mapping.iter().map(GroupMapping::total_cores).sum();
         if used > total {
@@ -282,11 +289,7 @@ mod tests {
     fn group_cycles_decrease_with_more_replicas() {
         let model = CostModel::new(&cimflow_arch::ArchConfig::paper_default());
         let condensed = condensed(64);
-        let heavy = condensed
-            .groups()
-            .iter()
-            .max_by_key(|g| g.metrics.macs)
-            .unwrap();
+        let heavy = condensed.groups().iter().max_by_key(|g| g.metrics.macs).unwrap();
         let one = model.group_cycles(heavy, model.min_cores(heavy), 1);
         let four = model.group_cycles(heavy, model.min_cores(heavy), 4);
         assert!(four < one, "duplication must reduce the bottleneck ({four} !< {one})");
@@ -314,7 +317,10 @@ mod tests {
         let model = CostModel::new(&arch);
         let vgg = CondensedGraph::from_graph(&models::vgg19(224).graph).unwrap();
         let groups: Vec<&OpGroup> = vgg.groups().iter().collect();
-        assert!(model.optimal_mapping(&groups).is_none(), "VGG19 cannot fit four cores in one stage");
+        assert!(
+            model.optimal_mapping(&groups).is_none(),
+            "VGG19 cannot fit four cores in one stage"
+        );
     }
 
     #[test]
@@ -324,7 +330,11 @@ mod tests {
         let groups: Vec<&OpGroup> = condensed.groups().iter().collect();
         let single_mapping: Vec<GroupMapping> = groups
             .iter()
-            .map(|g| GroupMapping { group: g.index, cores_per_replica: model.min_cores(g), replicas: 1 })
+            .map(|g| GroupMapping {
+                group: g.index,
+                cores_per_replica: model.min_cores(g),
+                replicas: 1,
+            })
             .collect();
         let whole = model.stage_cost(&groups, &single_mapping);
         // Splitting into two stages pays the reload twice and pipelines less.

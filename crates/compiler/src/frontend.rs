@@ -113,9 +113,11 @@ impl CondensedGraph {
                 if parts > 1 {
                     piece.name = format!("{}.part{part}", group.name);
                     piece.metrics.out_channels = (group.metrics.out_channels / parts).max(1);
-                    piece.metrics.weight_bytes = (group.metrics.weight_bytes / u64::from(parts)).max(1);
+                    piece.metrics.weight_bytes =
+                        (group.metrics.weight_bytes / u64::from(parts)).max(1);
                     piece.metrics.macs = (group.metrics.macs / u64::from(parts)).max(1);
-                    piece.metrics.output_bytes = (group.metrics.output_bytes / u64::from(parts)).max(1);
+                    piece.metrics.output_bytes =
+                        (group.metrics.output_bytes / u64::from(parts)).max(1);
                     piece.metrics.vector_elems = group.metrics.vector_elems / u64::from(parts);
                 }
                 indices.push(piece.index);
@@ -233,7 +235,8 @@ impl CondensedGraph {
                     Some(producer) => {
                         let pg = node_group[&producer];
                         if pg != gi {
-                            let bytes = graph.tensor(*input).shape.bytes(graph.tensor(*input).dtype);
+                            let bytes =
+                                graph.tensor(*input).shape.bytes(graph.tensor(*input).dtype);
                             let deps = &mut groups[gi].preds;
                             if let Some(existing) = deps.iter_mut().find(|d| d.group == pg) {
                                 existing.bytes = existing.bytes.max(bytes);

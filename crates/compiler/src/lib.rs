@@ -66,5 +66,7 @@ pub mod validate;
 pub use bitset::BitMask256;
 pub use error::CompileError;
 pub use frontend::{CondensedGraph, OpGroup};
-pub use plan::{ClusterPlan, CompilationPlan, CompileReport, CompiledProgram, GroupPlacement, StagePlan};
+pub use plan::{
+    ClusterPlan, CompilationPlan, CompileReport, CompiledProgram, GroupPlacement, StagePlan,
+};
 pub use strategy::{compile, compile_with_options, CompileOptions, Strategy};

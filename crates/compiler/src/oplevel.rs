@@ -50,9 +50,21 @@ impl LoopNest {
     /// unlimited rows and columns).
     pub fn virtual_mapping(group: &OpGroup) -> Self {
         LoopNest {
-            pixels: LoopDim { label: 'p', extent: group.metrics.out_pixels, tile: group.metrics.out_pixels },
-            reduction: LoopDim { label: 'k', extent: group.metrics.k_rows, tile: group.metrics.k_rows },
-            channels: LoopDim { label: 'm', extent: group.metrics.out_channels, tile: group.metrics.out_channels },
+            pixels: LoopDim {
+                label: 'p',
+                extent: group.metrics.out_pixels,
+                tile: group.metrics.out_pixels,
+            },
+            reduction: LoopDim {
+                label: 'k',
+                extent: group.metrics.k_rows,
+                tile: group.metrics.k_rows,
+            },
+            channels: LoopDim {
+                label: 'm',
+                extent: group.metrics.out_channels,
+                tile: group.metrics.out_channels,
+            },
         }
     }
 
@@ -70,7 +82,9 @@ impl LoopNest {
 
     /// Total multiply-accumulates expressed by the nest.
     pub fn macs(&self) -> u64 {
-        u64::from(self.pixels.extent) * u64::from(self.reduction.extent) * u64::from(self.channels.extent)
+        u64::from(self.pixels.extent)
+            * u64::from(self.reduction.extent)
+            * u64::from(self.channels.extent)
     }
 }
 
@@ -110,12 +124,19 @@ impl OpTiling {
     /// "loop tiling based on resource capacity constraints ... determines
     /// the optimal tile sizes ... while respecting resource limitations at
     /// each memory hierarchy".
-    pub fn plan(group: &OpGroup, arch: &ArchConfig, cores_per_replica: u32, cluster_pixels: u32) -> Self {
+    pub fn plan(
+        group: &OpGroup,
+        arch: &ArchConfig,
+        cores_per_replica: u32,
+        cluster_pixels: u32,
+    ) -> Self {
         let unit = &arch.core.cim_unit;
         let k_rows = group.metrics.k_rows.max(1);
         let row_tiles = k_rows.div_ceil(unit.rows_per_operation());
-        let out_channels_per_core = group.metrics.out_channels.div_ceil(cores_per_replica.max(1)).max(1);
-        let channel_tiles_per_core = out_channels_per_core.div_ceil(unit.output_channels_per_group());
+        let out_channels_per_core =
+            group.metrics.out_channels.div_ceil(cores_per_replica.max(1)).max(1);
+        let channel_tiles_per_core =
+            out_channels_per_core.div_ceil(unit.output_channels_per_group());
         let macro_groups_used = (row_tiles * channel_tiles_per_core).min(unit.macro_groups);
 
         let segment = arch.core.local_memory.segment_bytes().max(1);
@@ -203,8 +224,10 @@ mod tests {
         let condensed = groups();
         for group in condensed.groups() {
             let tiling = OpTiling::plan(group, &arch, 2, group.metrics.out_pixels);
-            assert!(u64::from(tiling.pixel_tile) * u64::from(tiling.input_bytes_per_pixel)
-                <= arch.core.local_memory.segment_bytes());
+            assert!(
+                u64::from(tiling.pixel_tile) * u64::from(tiling.input_bytes_per_pixel)
+                    <= arch.core.local_memory.segment_bytes()
+            );
             assert!(tiling.pixel_tiles * tiling.pixel_tile >= tiling.cluster_pixels);
             assert!(tiling.macro_groups_used <= arch.core.cim_unit.macro_groups);
             assert!(tiling.mvms_per_pixel() >= 1);

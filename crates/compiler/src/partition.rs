@@ -12,13 +12,17 @@ use crate::CompileError;
 /// the prefix closures of the linearization.
 const CLOSURE_CAP: usize = 1024;
 
+/// One planned stage: its group indices, the chosen mapping and the
+/// estimated cost (the element type of [`PartitionDecision::stages`]).
+pub type PlannedStage = (Vec<usize>, Vec<GroupMapping>, StageCost);
+
 /// A partitioning decision: the stages in execution order, each with its
 /// group mapping and estimated cost.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionDecision {
     /// Groups of each stage (indices into the condensed graph) together
     /// with the chosen mapping and the stage cost estimate.
-    pub stages: Vec<(Vec<usize>, Vec<GroupMapping>, StageCost)>,
+    pub stages: Vec<PlannedStage>,
 }
 
 impl PartitionDecision {
@@ -103,8 +107,9 @@ pub fn dp_partition(
     let full = BitMask256::full(condensed.len());
     let mut dp: Vec<f64> = vec![f64::INFINITY; closures.len()];
     let mut prev: Vec<Option<usize>> = vec![None; closures.len()];
-    let mut stage_of: Vec<Option<(Vec<usize>, Vec<GroupMapping>, StageCost)>> = vec![None; closures.len()];
-    let mut mapping_cache: HashMap<BitMask256, Option<(StageCost, Vec<GroupMapping>)>> = HashMap::new();
+    let mut stage_of: Vec<Option<PlannedStage>> = vec![None; closures.len()];
+    let mut mapping_cache: HashMap<BitMask256, Option<(StageCost, Vec<GroupMapping>)>> =
+        HashMap::new();
 
     for (i, closure) in closures.iter().enumerate() {
         if closure.is_empty() {
@@ -212,7 +217,8 @@ fn check_individual_capacity(
             return Err(CompileError::CapacityExceeded {
                 group: group.name.clone(),
                 required_bytes: group.metrics.weight_bytes,
-                available_bytes: u64::from(cost_model.total_cores()) * cost_model.core_capacity_bytes(),
+                available_bytes: u64::from(cost_model.total_cores())
+                    * cost_model.core_capacity_bytes(),
             });
         }
     }
@@ -260,7 +266,10 @@ mod tests {
         for closure in &closures {
             for member in closure.iter() {
                 for pred in resnet.pred_indices(member) {
-                    assert!(closure.contains(pred), "closure {closure} misses pred {pred} of {member}");
+                    assert!(
+                        closure.contains(pred),
+                        "closure {closure} misses pred {pred} of {member}"
+                    );
                 }
             }
         }
@@ -277,7 +286,8 @@ mod tests {
                 duplication_partition(&graph, &cost).unwrap(),
                 dp_partition(&graph, &cost).unwrap(),
             ] {
-                let mut covered: Vec<usize> = decision.stages.iter().flat_map(|(g, _, _)| g.clone()).collect();
+                let mut covered: Vec<usize> =
+                    decision.stages.iter().flat_map(|(g, _, _)| g.clone()).collect();
                 covered.sort_unstable();
                 let expected: Vec<usize> = (0..graph.len()).collect();
                 assert_eq!(covered, expected);
@@ -318,12 +328,8 @@ mod tests {
         let dp = dp_partition(&mobilenet, &cost).unwrap();
         let generic = generic_partition(&mobilenet, &cost).unwrap();
         assert!(dp.stages.len() <= generic.stages.len().max(4));
-        let duplicated: u32 = dp
-            .stages
-            .iter()
-            .flat_map(|(_, m, _)| m.iter().map(|g| g.replicas))
-            .max()
-            .unwrap();
+        let duplicated: u32 =
+            dp.stages.iter().flat_map(|(_, m, _)| m.iter().map(|g| g.replicas)).max().unwrap();
         assert!(duplicated > 1, "vacant cores must be used for duplication");
     }
 
@@ -346,10 +352,7 @@ mod tests {
         let arch = ArchConfig::paper_default().with_core_count(1);
         let cost = CostModel::new(&arch);
         let vgg = condensed(models::vgg19(224));
-        assert!(matches!(
-            dp_partition(&vgg, &cost),
-            Err(CompileError::CapacityExceeded { .. })
-        ));
+        assert!(matches!(dp_partition(&vgg, &cost), Err(CompileError::CapacityExceeded { .. })));
         assert!(matches!(
             generic_partition(&vgg, &cost),
             Err(CompileError::CapacityExceeded { .. })

@@ -48,7 +48,8 @@ impl GroupPlacement {
 
     /// All cores used by the group across clusters.
     pub fn cores(&self) -> Vec<u32> {
-        let mut cores: Vec<u32> = self.clusters.iter().flat_map(|c| c.cores.iter().copied()).collect();
+        let mut cores: Vec<u32> =
+            self.clusters.iter().flat_map(|c| c.cores.iter().copied()).collect();
         cores.sort_unstable();
         cores.dedup();
         cores
@@ -101,14 +102,15 @@ impl CompilationPlan {
 
     /// The placement of a given group, if it appears in the plan.
     pub fn placement_of(&self, group: usize) -> Option<(&StagePlan, &GroupPlacement)> {
-        self.stages.iter().find_map(|s| {
-            s.placements.iter().find(|p| p.group == group).map(|p| (s, p))
-        })
+        self.stages
+            .iter()
+            .find_map(|s| s.placements.iter().find(|p| p.group == group).map(|p| (s, p)))
     }
 
     /// Mean weight-duplication factor across groups.
     pub fn mean_duplication(&self) -> f64 {
-        let placements: Vec<&GroupPlacement> = self.stages.iter().flat_map(|s| &s.placements).collect();
+        let placements: Vec<&GroupPlacement> =
+            self.stages.iter().flat_map(|s| &s.placements).collect();
         if placements.is_empty() {
             return 0.0;
         }
@@ -146,6 +148,57 @@ impl fmt::Display for CompileReport {
     }
 }
 
+// Manual serde impls: the opcode-class histogram is keyed by
+// `OpcodeClass`, which serializes through its stable lowercase name so
+// cached evaluation artifacts stay human-readable JSON objects.
+impl serde::Serialize for CompileReport {
+    fn serialize(&self) -> serde::Content {
+        let histogram = self
+            .instructions_by_class
+            .iter()
+            .map(|(class, count)| (class.name().to_owned(), serde::Serialize::serialize(count)))
+            .collect();
+        serde::Content::Map(vec![
+            (
+                "total_instructions".to_owned(),
+                serde::Serialize::serialize(&self.total_instructions),
+            ),
+            ("instructions_by_class".to_owned(), serde::Content::Map(histogram)),
+            ("stage_count".to_owned(), serde::Serialize::serialize(&self.stage_count)),
+            ("group_count".to_owned(), serde::Serialize::serialize(&self.group_count)),
+            ("active_cores".to_owned(), serde::Serialize::serialize(&self.active_cores)),
+        ])
+    }
+}
+
+impl serde::Deserialize for CompileReport {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let map =
+            content.as_map().ok_or_else(|| serde::Error::new("expected map for CompileReport"))?;
+        let field = |name: &str| {
+            map.iter().find(|(k, _)| k == name).map(|(_, v)| v).ok_or_else(|| {
+                serde::Error::new(format!("missing field `{name}` in CompileReport"))
+            })
+        };
+        let mut instructions_by_class = BTreeMap::new();
+        let histogram = field("instructions_by_class")?
+            .as_map()
+            .ok_or_else(|| serde::Error::new("expected map for instructions_by_class"))?;
+        for (name, count) in histogram {
+            let class = OpcodeClass::from_name(name)
+                .ok_or_else(|| serde::Error::new(format!("unknown opcode class `{name}`")))?;
+            instructions_by_class.insert(class, serde::Deserialize::deserialize(count)?);
+        }
+        Ok(CompileReport {
+            total_instructions: serde::Deserialize::deserialize(field("total_instructions")?)?,
+            instructions_by_class,
+            stage_count: serde::Deserialize::deserialize(field("stage_count")?)?,
+            group_count: serde::Deserialize::deserialize(field("group_count")?)?,
+            active_cores: serde::Deserialize::deserialize(field("active_cores")?)?,
+        })
+    }
+}
+
 /// The complete compilation artifact consumed by the simulator.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -164,7 +217,11 @@ pub struct CompiledProgram {
 impl CompiledProgram {
     /// Builds the static instruction-count report for a set of per-core
     /// programs.
-    pub fn build_report(per_core: &[Program], plan: &CompilationPlan, condensed: &CondensedGraph) -> CompileReport {
+    pub fn build_report(
+        per_core: &[Program],
+        plan: &CompilationPlan,
+        condensed: &CondensedGraph,
+    ) -> CompileReport {
         let mut by_class: BTreeMap<OpcodeClass, usize> = BTreeMap::new();
         let mut total = 0usize;
         let mut active = 0usize;
@@ -197,8 +254,17 @@ mod tests {
             group,
             clusters: (0..clusters)
                 .map(|i| {
-                    let cores: Vec<u32> = (0..cores_each).map(|_| { next += 1; next - 1 }).collect();
-                    ClusterPlan { cores, pixel_start: (i as u32) * 10, pixel_end: (i as u32) * 10 + 10 }
+                    let cores: Vec<u32> = (0..cores_each)
+                        .map(|_| {
+                            next += 1;
+                            next - 1
+                        })
+                        .collect();
+                    ClusterPlan {
+                        cores,
+                        pixel_start: (i as u32) * 10,
+                        pixel_end: (i as u32) * 10 + 10,
+                    }
                 })
                 .collect(),
         }
@@ -234,5 +300,24 @@ mod tests {
         let plan = CompilationPlan { strategy: "generic".into(), stages: vec![] };
         assert_eq!(plan.mean_duplication(), 0.0);
         assert_eq!(plan.estimated_cycles(), 0);
+    }
+
+    #[test]
+    fn compile_report_serde_round_trip() {
+        let mut instructions_by_class = BTreeMap::new();
+        instructions_by_class.insert(OpcodeClass::Cim, 120usize);
+        instructions_by_class.insert(OpcodeClass::Control, 7usize);
+        let report = CompileReport {
+            total_instructions: 127,
+            instructions_by_class,
+            stage_count: 3,
+            group_count: 9,
+            active_cores: 42,
+        };
+        let text = serde_json::to_string(&report).unwrap();
+        assert!(text.contains("\"cim\""), "histogram keys use class names: {text}");
+        let back: CompileReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        assert!(serde_json::from_str::<CompileReport>("{\"total_instructions\": 1}").is_err());
     }
 }

@@ -41,6 +41,33 @@ impl Strategy {
             Strategy::DpOptimized => "dp",
         }
     }
+
+    /// Parses a strategy from either its short report name (`generic`,
+    /// `duplication`, `dp`) or its variant name (used by sweep
+    /// configuration files).
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "generic" | "GenericMapping" => Some(Strategy::GenericMapping),
+            "duplication" | "OperatorDuplication" => Some(Strategy::OperatorDuplication),
+            "dp" | "DpOptimized" => Some(Strategy::DpOptimized),
+            _ => None,
+        }
+    }
+}
+
+impl serde::Serialize for Strategy {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for Strategy {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let text =
+            content.as_str().ok_or_else(|| serde::Error::new("expected strategy name string"))?;
+        Strategy::from_name(text)
+            .ok_or_else(|| serde::Error::new(format!("unknown strategy `{text}`")))
+    }
 }
 
 impl fmt::Display for Strategy {
@@ -85,7 +112,11 @@ impl Default for CompileOptions {
 /// # Ok(())
 /// # }
 /// ```
-pub fn compile(model: &Model, arch: &ArchConfig, strategy: Strategy) -> Result<CompiledProgram, CompileError> {
+pub fn compile(
+    model: &Model,
+    arch: &ArchConfig,
+    strategy: Strategy,
+) -> Result<CompiledProgram, CompileError> {
     compile_with_options(model, arch, CompileOptions { strategy, ..CompileOptions::default() })
 }
 
@@ -219,5 +250,19 @@ mod tests {
         assert_eq!(Strategy::OperatorDuplication.to_string(), "duplication");
         assert_eq!(Strategy::DpOptimized.to_string(), "dp");
         assert_eq!(CompileOptions::default().strategy, Strategy::DpOptimized);
+    }
+
+    #[test]
+    fn strategy_serde_round_trip_accepts_both_spellings() {
+        for strategy in Strategy::ALL {
+            let text = serde_json::to_string(&strategy).unwrap();
+            let back: Strategy = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, strategy);
+        }
+        assert_eq!(
+            serde_json::from_str::<Strategy>("\"DpOptimized\"").unwrap(),
+            Strategy::DpOptimized
+        );
+        assert!(serde_json::from_str::<Strategy>("\"warp\"").is_err());
     }
 }

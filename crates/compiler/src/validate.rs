@@ -81,7 +81,10 @@ fn check_coverage(
         for placement in &stage.placements {
             let group = &condensed.groups()[placement.group];
             if seen_groups[placement.group] {
-                return Err(fail(format!("group `{}` is placed in more than one stage", group.name)));
+                return Err(fail(format!(
+                    "group `{}` is placed in more than one stage",
+                    group.name
+                )));
             }
             seen_groups[placement.group] = true;
             if placement.clusters.is_empty() {
@@ -101,7 +104,8 @@ fn check_coverage(
                     return Err(fail(format!("group `{}` has an empty cluster", group.name)));
                 }
                 // Channel/weight capacity per core.
-                let tiling = OpTiling::plan(group, arch, cluster.cores.len() as u32, cluster.pixels());
+                let tiling =
+                    OpTiling::plan(group, arch, cluster.cores.len() as u32, cluster.pixels());
                 if tiling.weight_bytes_per_core() > arch.core.cim_unit.weight_capacity_bytes() {
                     return Err(fail(format!(
                         "group `{}` needs {} weight bytes per core, capacity is {}",

@@ -1,11 +1,21 @@
 //! Design-space-exploration helpers: the architectural sweeps behind the
 //! paper's Figs. 6 and 7.
+//!
+//! These helpers are a thin compatibility layer over the
+//! [`cimflow_dse`] engine (re-exported as [`crate::dse_engine`]): the
+//! grid is expanded into engine jobs and evaluated by the parallel
+//! executor, so callers get worker fan-out, per-point error capture and
+//! deterministic result ordering for free. New code exploring more than
+//! the two classic axes should use [`cimflow_dse::SweepSpec`] directly.
+
+use std::sync::Arc;
 
 use cimflow_arch::ArchConfig;
 use cimflow_compiler::Strategy;
+use cimflow_dse::{DseError, EvalCache, Executor, Job, ModelSpec, PointSpec};
 use cimflow_nn::Model;
 
-use crate::{CimFlow, CimFlowError, Evaluation};
+use crate::{CimFlowError, Evaluation};
 
 /// One point of an architectural design-space sweep.
 #[derive(Debug, Clone)]
@@ -32,15 +42,88 @@ impl DsePoint {
     }
 }
 
+/// The outcome of one sweep point: the swept parameters plus either the
+/// evaluation or the error that stopped this single point.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Macro-group size of the point.
+    pub mg_size: u32,
+    /// NoC flit size in bytes of the point.
+    pub flit_bytes: u32,
+    /// The compilation strategy used.
+    pub strategy: Strategy,
+    /// The evaluation, or the per-point failure.
+    pub result: Result<Evaluation, DseError>,
+}
+
+/// Builds the engine jobs of one `mg × flit` grid for an explicit model.
+fn grid_jobs(
+    base: &ArchConfig,
+    model: &Arc<Model>,
+    mg_sizes: &[u32],
+    flit_sizes: &[u32],
+    strategy: Strategy,
+) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(mg_sizes.len() * flit_sizes.len());
+    for &flit in flit_sizes {
+        for &mg in mg_sizes {
+            let arch = base.with_macros_per_group(mg).with_flit_bytes(flit);
+            let spec = PointSpec {
+                model: ModelSpec::new(&model.name, 0),
+                strategy,
+                core_count: u64::from(base.chip.core_count),
+                local_memory_kib: base.core.local_memory.size_bytes / 1024,
+                flit_bytes: u64::from(flit),
+                mg_size: u64::from(mg),
+            };
+            jobs.push(Job::from_model(spec, arch, Arc::clone(model)));
+        }
+    }
+    jobs
+}
+
+/// Sweeps macro-group sizes and NoC flit sizes for one model and one
+/// compilation strategy, reporting every point's outcome individually.
+///
+/// A configuration that cannot be compiled or simulated yields an `Err`
+/// **for that point only** — the rest of the sweep still runs (this
+/// replaces the historic fail-fast behaviour that discarded a whole sweep
+/// on the first invalid configuration). Points are evaluated by the
+/// parallel [`cimflow_dse::Executor`] and returned in `flit`-major,
+/// `mg`-minor grid order.
+pub fn sweep_outcomes(
+    base: &ArchConfig,
+    model: &Model,
+    mg_sizes: &[u32],
+    flit_sizes: &[u32],
+    strategy: Strategy,
+) -> Vec<SweepOutcome> {
+    let model = Arc::new(model.clone());
+    let jobs = grid_jobs(base, &model, mg_sizes, flit_sizes, strategy);
+    Executor::new()
+        .run_jobs(jobs, &EvalCache::new())
+        .into_iter()
+        .map(|outcome| SweepOutcome {
+            mg_size: outcome.point.mg_size as u32,
+            flit_bytes: outcome.point.flit_bytes as u32,
+            strategy: outcome.point.strategy,
+            result: outcome.result,
+        })
+        .collect()
+}
+
 /// Sweeps macro-group sizes and NoC flit sizes for one model and one
 /// compilation strategy, starting from a base architecture.
 ///
 /// This is the experiment behind Fig. 6 (generic mapping) and, combined
-/// over two strategies, Fig. 7.
+/// over two strategies, Fig. 7. Thin backward-compatible wrapper over
+/// [`sweep_outcomes`]: failing points are dropped from the result instead
+/// of aborting the sweep.
 ///
 /// # Errors
 ///
-/// Fails on the first configuration that cannot be compiled or simulated.
+/// Fails only when **every** configuration of the grid fails, returning
+/// the first point's error.
 pub fn sweep(
     base: &ArchConfig,
     model: &Model,
@@ -48,13 +131,24 @@ pub fn sweep(
     flit_sizes: &[u32],
     strategy: Strategy,
 ) -> Result<Vec<DsePoint>, CimFlowError> {
-    let mut points = Vec::with_capacity(mg_sizes.len() * flit_sizes.len());
-    for &flit in flit_sizes {
-        for &mg in mg_sizes {
-            let arch = base.with_macros_per_group(mg).with_flit_bytes(flit);
-            let flow = CimFlow::new(arch)?;
-            let evaluation = flow.evaluate(model, strategy)?;
-            points.push(DsePoint { mg_size: mg, flit_bytes: flit, strategy, evaluation });
+    let outcomes = sweep_outcomes(base, model, mg_sizes, flit_sizes, strategy);
+    let total = outcomes.len();
+    let mut first_error = None;
+    let mut points = Vec::with_capacity(total);
+    for outcome in outcomes {
+        match outcome.result {
+            Ok(evaluation) => points.push(DsePoint {
+                mg_size: outcome.mg_size,
+                flit_bytes: outcome.flit_bytes,
+                strategy: outcome.strategy,
+                evaluation,
+            }),
+            Err(e) => first_error = first_error.or(Some(e)),
+        }
+    }
+    if points.is_empty() && total > 0 {
+        if let Some(e) = first_error {
+            return Err(e.into());
         }
     }
     Ok(points)
@@ -115,5 +209,33 @@ mod tests {
         let generic = points.iter().find(|p| p.strategy == Strategy::GenericMapping).unwrap();
         let dp = points.iter().find(|p| p.strategy == Strategy::DpOptimized).unwrap();
         assert!(dp.throughput_tops() >= generic.throughput_tops());
+    }
+
+    #[test]
+    fn one_bad_configuration_no_longer_discards_the_sweep() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        // mg = 0 is invalid; the historic implementation would have
+        // returned Err for the whole sweep.
+        let outcomes = sweep_outcomes(&base, &model, &[0, 8], &[8], Strategy::GenericMapping);
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].result.is_err());
+        assert!(outcomes[1].result.is_ok());
+
+        let points = sweep(&base, &model, &[0, 8], &[8], Strategy::GenericMapping).unwrap();
+        assert_eq!(points.len(), 1, "the valid point survives");
+        assert_eq!(points[0].mg_size, 8);
+
+        // All-failing grids still surface an error.
+        assert!(sweep(&base, &model, &[0], &[8], Strategy::GenericMapping).is_err());
+    }
+
+    #[test]
+    fn outcome_grid_order_is_flit_major() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let outcomes = sweep_outcomes(&base, &model, &[4, 8], &[8, 16], Strategy::GenericMapping);
+        let grid: Vec<(u32, u32)> = outcomes.iter().map(|o| (o.flit_bytes, o.mg_size)).collect();
+        assert_eq!(grid, vec![(8, 4), (8, 8), (16, 4), (16, 8)]);
     }
 }

@@ -3,6 +3,7 @@ use std::fmt;
 
 use cimflow_arch::ArchError;
 use cimflow_compiler::CompileError;
+use cimflow_dse::DseError;
 use cimflow_nn::NnError;
 use cimflow_sim::SimError;
 
@@ -18,6 +19,9 @@ pub enum CimFlowError {
     Compile(CompileError),
     /// Simulation failed.
     Simulation(SimError),
+    /// A design-space-exploration sweep failed (spec or I/O level;
+    /// point-level failures are reported per point, not as this error).
+    Dse(DseError),
 }
 
 impl fmt::Display for CimFlowError {
@@ -27,6 +31,7 @@ impl fmt::Display for CimFlowError {
             CimFlowError::Model(e) => write!(f, "model error: {e}"),
             CimFlowError::Compile(e) => write!(f, "compilation error: {e}"),
             CimFlowError::Simulation(e) => write!(f, "simulation error: {e}"),
+            CimFlowError::Dse(e) => write!(f, "design-space exploration error: {e}"),
         }
     }
 }
@@ -38,6 +43,7 @@ impl Error for CimFlowError {
             CimFlowError::Model(e) => Some(e),
             CimFlowError::Compile(e) => Some(e),
             CimFlowError::Simulation(e) => Some(e),
+            CimFlowError::Dse(e) => Some(e),
         }
     }
 }
@@ -66,6 +72,19 @@ impl From<SimError> for CimFlowError {
     }
 }
 
+impl From<DseError> for CimFlowError {
+    fn from(value: DseError) -> Self {
+        // Point-level pipeline failures map onto the precise workflow
+        // variants; engine-level failures keep their own variant.
+        match value {
+            DseError::Arch(e) => CimFlowError::Arch(e),
+            DseError::Compile(e) => CimFlowError::Compile(e),
+            DseError::Simulation(e) => CimFlowError::Simulation(e),
+            other => CimFlowError::Dse(other),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -81,5 +100,18 @@ mod tests {
         assert!(e.to_string().contains("simulation error"));
         let e: CimFlowError = NnError::InvalidGraph { reason: "cycle".into() }.into();
         assert!(e.to_string().contains("model error"));
+    }
+
+    #[test]
+    fn dse_errors_map_onto_precise_variants() {
+        let arch: CimFlowError =
+            DseError::Arch(ArchError::invalid("chip.core_count", "must be positive")).into();
+        assert!(matches!(arch, CimFlowError::Arch(_)));
+        let compile: CimFlowError = DseError::Compile(CompileError::EmptyWorkload).into();
+        assert!(matches!(compile, CimFlowError::Compile(_)));
+        let spec: CimFlowError = DseError::spec("no axes").into();
+        assert!(matches!(spec, CimFlowError::Dse(_)));
+        assert!(spec.to_string().contains("design-space exploration"));
+        assert!(spec.source().is_some());
     }
 }

@@ -19,7 +19,10 @@
 //! The [`CimFlow`] workflow object exposes the `model + architecture +
 //! strategy → compile → simulate → report` pipeline of Fig. 2, and the
 //! [`dse`] module provides the architectural sweep helpers used to
-//! regenerate the paper's Figs. 6 and 7.
+//! regenerate the paper's Figs. 6 and 7. The sweep helpers run on the
+//! [`cimflow_dse`] batch engine (re-exported as [`dse_engine`]), which
+//! adds declarative sweep grids, a parallel executor, evaluation caching
+//! and Pareto analysis for larger explorations.
 //!
 //! # Quick start
 //!
@@ -50,9 +53,10 @@ pub use workflow::{CimFlow, Evaluation};
 // dependency.
 pub use cimflow_arch::{self as arch, ArchConfig};
 pub use cimflow_compiler::{self as compiler, CompiledProgram, Strategy};
+pub use cimflow_dse as dse_engine;
 pub use cimflow_energy::{self as energy, EnergyBreakdown};
 pub use cimflow_isa as isa;
-pub use cimflow_nn::{self as nn, Model};
 pub use cimflow_nn::models;
+pub use cimflow_nn::{self as nn, Model};
 pub use cimflow_noc as noc;
 pub use cimflow_sim::{self as sim, SimReport};

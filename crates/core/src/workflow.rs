@@ -1,65 +1,15 @@
 //! The end-to-end `compile → validate → simulate → report` workflow.
 
-use std::fmt;
-
 use cimflow_arch::ArchConfig;
-use cimflow_compiler::{compile, CompileReport, CompiledProgram, Strategy};
+use cimflow_compiler::{compile, CompiledProgram, Strategy};
 use cimflow_nn::Model;
-use cimflow_sim::{SimReport, Simulator};
 
 use crate::CimFlowError;
 
-/// The result of evaluating one model on one architecture with one
-/// compilation strategy.
-#[derive(Debug, Clone)]
-pub struct Evaluation {
-    /// Name of the evaluated model.
-    pub model: String,
-    /// The compilation strategy used.
-    pub strategy: Strategy,
-    /// The architecture the evaluation ran on.
-    pub arch: ArchConfig,
-    /// Static compilation statistics.
-    pub compilation: CompileReport,
-    /// Number of execution stages chosen by the partitioner.
-    pub stages: usize,
-    /// Mean weight-duplication factor chosen by the mapper.
-    pub mean_duplication: f64,
-    /// The detailed simulation report.
-    pub simulation: SimReport,
-}
-
-impl Evaluation {
-    /// Normalized-speed helper: the speedup of this evaluation relative to
-    /// a baseline evaluation of the same model (Fig. 5's y-axis).
-    pub fn speedup_over(&self, baseline: &Evaluation) -> f64 {
-        if self.simulation.total_cycles == 0 {
-            return 0.0;
-        }
-        baseline.simulation.total_cycles as f64 / self.simulation.total_cycles as f64
-    }
-
-    /// Normalized-energy helper: the energy of this evaluation relative to
-    /// a baseline evaluation of the same model (Fig. 5's lower panel).
-    pub fn energy_ratio_over(&self, baseline: &Evaluation) -> f64 {
-        let base = baseline.simulation.energy.total_pj();
-        if base <= 0.0 {
-            return 0.0;
-        }
-        self.simulation.energy.total_pj() / base
-    }
-}
-
-impl fmt::Display for Evaluation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{} [{}] — {} stages, mean duplication {:.2}",
-            self.model, self.strategy, self.stages, self.mean_duplication
-        )?;
-        write!(f, "{}", self.simulation)
-    }
-}
+// The evaluation record (and the underlying compile→simulate primitive)
+// lives in `cimflow-dse`, where the batch engine fans it out; the facade
+// re-exports it so existing `cimflow::Evaluation` users are unaffected.
+pub use cimflow_dse::Evaluation;
 
 /// The CIMFlow workflow object: holds an architecture configuration and
 /// runs the full compile-and-simulate pipeline on models.
@@ -109,27 +59,25 @@ impl CimFlow {
     ///
     /// Propagates compilation failures (invalid model, capacity overflow,
     /// validation failures).
-    pub fn compile(&self, model: &Model, strategy: Strategy) -> Result<CompiledProgram, CimFlowError> {
+    pub fn compile(
+        &self,
+        model: &Model,
+        strategy: Strategy,
+    ) -> Result<CompiledProgram, CimFlowError> {
         Ok(compile(model, &self.arch, strategy)?)
     }
 
     /// Compiles and simulates a model, producing the full evaluation.
     ///
+    /// This is the single-point primitive the `cimflow-dse` batch engine
+    /// fans out across sweeps; the facade delegates to it so both paths
+    /// share one pipeline.
+    ///
     /// # Errors
     ///
     /// Propagates compilation and simulation failures.
     pub fn evaluate(&self, model: &Model, strategy: Strategy) -> Result<Evaluation, CimFlowError> {
-        let compiled = self.compile(model, strategy)?;
-        let simulation = Simulator::new(&compiled).run()?;
-        Ok(Evaluation {
-            model: model.name.clone(),
-            strategy,
-            arch: self.arch,
-            compilation: compiled.report.clone(),
-            stages: compiled.plan.stages.len(),
-            mean_duplication: compiled.plan.mean_duplication(),
-            simulation,
-        })
+        Ok(cimflow_dse::evaluate(&self.arch, model, strategy)?)
     }
 }
 

@@ -1,0 +1,188 @@
+//! Sweep analysis: Pareto-frontier extraction over (cycles, energy) and
+//! best-configuration selection per model.
+
+use std::collections::BTreeMap;
+
+use crate::DseOutcome;
+
+/// Whether point `a` dominates point `b` under minimization of both
+/// objectives: no worse in both, strictly better in at least one.
+pub fn dominates(a: (u64, f64), b: (u64, f64)) -> bool {
+    (a.0 <= b.0 && a.1 <= b.1) && (a.0 < b.0 || a.1 < b.1)
+}
+
+/// Indices of the non-dominated points of a `(cycles, energy)` set,
+/// sorted by ascending cycles (ties broken by ascending energy, then by
+/// index, so the result is deterministic).
+///
+/// Duplicated objective vectors are all kept — they dominate each other
+/// in neither direction.
+pub fn pareto_indices(points: &[(u64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a].0.cmp(&points[b].0).then(points[a].1.total_cmp(&points[b].1)).then(a.cmp(&b))
+    });
+    let mut frontier = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for index in order {
+        let (_, energy) = points[index];
+        // Scanning by ascending cycles: a point is non-dominated iff its
+        // energy beats every faster-or-equal point seen so far. Equal
+        // objective vectors are kept (mutually non-dominating).
+        let duplicate_of_kept =
+            frontier.last().map(|&last: &usize| points[last] == points[index]).unwrap_or(false);
+        if energy < best_energy || duplicate_of_kept {
+            frontier.push(index);
+            best_energy = best_energy.min(energy);
+        }
+    }
+    frontier
+}
+
+/// Indices (into `outcomes`) of the successful points on the
+/// (cycles, energy) Pareto frontier, sorted by ascending cycles.
+pub fn pareto_frontier(outcomes: &[DseOutcome]) -> Vec<usize> {
+    let successful: Vec<usize> =
+        (0..outcomes.len()).filter(|&i| outcomes[i].result.is_ok()).collect();
+    let objectives: Vec<(u64, f64)> = successful
+        .iter()
+        .map(|&i| {
+            let evaluation = outcomes[i].evaluation().expect("filtered to successes");
+            (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj())
+        })
+        .collect();
+    pareto_indices(&objectives).into_iter().map(|local| successful[local]).collect()
+}
+
+/// Per-model Pareto frontiers: maps each model name to the indices (into
+/// `outcomes`) of its non-dominated successful points, sorted by
+/// ascending cycles.
+///
+/// Comparing cycles/energy *across* workloads is meaningless (a compact
+/// model dominates a large one on both axes by construction), so
+/// reporting surfaces should use this per-model grouping;
+/// [`pareto_frontier`] remains for single-model outcome sets and global
+/// "is anything optimal at all" checks.
+pub fn pareto_frontier_by_model(outcomes: &[DseOutcome]) -> BTreeMap<String, Vec<usize>> {
+    let mut by_model: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (index, outcome) in outcomes.iter().enumerate() {
+        if outcome.result.is_ok() {
+            by_model.entry(outcome.point.model.name.clone()).or_default().push(index);
+        }
+    }
+    by_model
+        .into_iter()
+        .map(|(model, indices)| {
+            let objectives: Vec<(u64, f64)> = indices
+                .iter()
+                .map(|&i| {
+                    let evaluation = outcomes[i].evaluation().expect("filtered to successes");
+                    (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj())
+                })
+                .collect();
+            let frontier =
+                pareto_indices(&objectives).into_iter().map(|local| indices[local]).collect();
+            (model, frontier)
+        })
+        .collect()
+}
+
+/// The fastest (minimum-cycles) successful point per model name; maps the
+/// model name to an index into `outcomes`.
+pub fn best_per_model(outcomes: &[DseOutcome]) -> BTreeMap<String, usize> {
+    let mut best: BTreeMap<String, usize> = BTreeMap::new();
+    for (index, outcome) in outcomes.iter().enumerate() {
+        let Some(evaluation) = outcome.evaluation() else { continue };
+        let cycles = evaluation.simulation.total_cycles;
+        match best.get(&outcome.point.model.name) {
+            Some(&current)
+                if outcomes[current]
+                    .evaluation()
+                    .map(|e| e.simulation.total_cycles <= cycles)
+                    .unwrap_or(false) => {}
+            _ => {
+                best.insert(outcome.point.model.name.clone(), index);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination_is_strict_somewhere() {
+        assert!(dominates((10, 1.0), (20, 2.0)));
+        assert!(dominates((10, 1.0), (10, 2.0)));
+        assert!(dominates((10, 1.0), (20, 1.0)));
+        assert!(!dominates((10, 1.0), (10, 1.0)), "equal points do not dominate");
+        assert!(!dominates((10, 2.0), (20, 1.0)), "trade-off points do not dominate");
+        assert!(!dominates((20, 2.0), (10, 1.0)));
+    }
+
+    #[test]
+    fn frontier_of_hand_built_set_is_exact() {
+        // Hand-built set. The frontier is (10,9), (20,4), (40,1):
+        //   (30,5) is dominated by (20,4); (40,2) by (40,1);
+        //   (50,8) by everything cheap; (10,9) survives as the fastest.
+        let points = vec![(30u64, 5.0), (10, 9.0), (40, 1.0), (20, 4.0), (50, 8.0), (40, 2.0)];
+        let frontier = pareto_indices(&points);
+        let values: Vec<(u64, f64)> = frontier.iter().map(|&i| points[i]).collect();
+        assert_eq!(values, vec![(10, 9.0), (20, 4.0), (40, 1.0)]);
+        // Every excluded point is dominated by some frontier point.
+        for (i, &p) in points.iter().enumerate() {
+            if !frontier.contains(&i) {
+                assert!(
+                    frontier.iter().any(|&f| dominates(points[f], p)),
+                    "point {p:?} excluded but not dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_keeps_duplicates_and_single_points() {
+        assert_eq!(pareto_indices(&[]), Vec::<usize>::new());
+        assert_eq!(pareto_indices(&[(5, 5.0)]), vec![0]);
+        // Duplicated optimal point: both copies are non-dominated.
+        let frontier = pareto_indices(&[(5, 5.0), (5, 5.0), (9, 9.0)]);
+        assert_eq!(frontier, vec![0, 1]);
+    }
+
+    #[test]
+    fn frontier_of_a_monotone_chain_is_everything() {
+        let chain = vec![(10u64, 9.0), (20, 7.0), (30, 5.0), (40, 3.0)];
+        assert_eq!(pareto_indices(&chain), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn frontier_of_a_dominated_chain_is_one_point() {
+        let chain = vec![(40u64, 9.0), (30, 7.0), (20, 5.0), (10, 3.0)];
+        assert_eq!(pareto_indices(&chain), vec![3]);
+    }
+
+    #[test]
+    fn per_model_frontiers_do_not_compare_across_workloads() {
+        use crate::{EvalCache, Executor, SweepSpec};
+        use cimflow_compiler::Strategy;
+
+        // Two workloads of very different size: globally, every resnet18
+        // point is "dominated" by the compact model, which is meaningless.
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_model("resnet18", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8]);
+        let outcomes = Executor::sequential().run_spec(&spec, &EvalCache::new()).unwrap();
+        let by_model = pareto_frontier_by_model(&outcomes);
+        assert_eq!(by_model.len(), 2);
+        for (model, frontier) in &by_model {
+            assert!(!frontier.is_empty(), "{model} has a non-empty frontier");
+            for &index in frontier {
+                assert_eq!(&outcomes[index].point.model.name, model);
+            }
+        }
+    }
+}

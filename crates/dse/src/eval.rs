@@ -1,0 +1,140 @@
+//! The single-point evaluation primitive: `model + architecture +
+//! strategy → compile → simulate → Evaluation`.
+//!
+//! This is the unit of work the parallel executor fans out and the value
+//! the evaluation cache stores. The [`Evaluation`] record used to live in
+//! the `cimflow` facade crate; it moved here so that both the facade's
+//! `CimFlow` workflow object and the batch engine share one definition
+//! (the facade re-exports it).
+
+use std::fmt;
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::{compile, CompileReport, Strategy};
+use cimflow_nn::Model;
+use cimflow_sim::{SimReport, Simulator};
+use serde::{Deserialize, Serialize};
+
+use crate::DseError;
+
+/// The result of evaluating one model on one architecture with one
+/// compilation strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Name of the evaluated model.
+    pub model: String,
+    /// The compilation strategy used.
+    pub strategy: Strategy,
+    /// The architecture the evaluation ran on.
+    pub arch: ArchConfig,
+    /// Static compilation statistics.
+    pub compilation: CompileReport,
+    /// Number of execution stages chosen by the partitioner.
+    pub stages: usize,
+    /// Mean weight-duplication factor chosen by the mapper.
+    pub mean_duplication: f64,
+    /// The detailed simulation report.
+    pub simulation: SimReport,
+}
+
+impl Evaluation {
+    /// Normalized-speed helper: the speedup of this evaluation relative to
+    /// a baseline evaluation of the same model (Fig. 5's y-axis).
+    pub fn speedup_over(&self, baseline: &Evaluation) -> f64 {
+        if self.simulation.total_cycles == 0 {
+            return 0.0;
+        }
+        baseline.simulation.total_cycles as f64 / self.simulation.total_cycles as f64
+    }
+
+    /// Normalized-energy helper: the energy of this evaluation relative to
+    /// a baseline evaluation of the same model (Fig. 5's lower panel).
+    pub fn energy_ratio_over(&self, baseline: &Evaluation) -> f64 {
+        let base = baseline.simulation.energy.total_pj();
+        if base <= 0.0 {
+            return 0.0;
+        }
+        self.simulation.energy.total_pj() / base
+    }
+}
+
+impl fmt::Display for Evaluation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} [{}] — {} stages, mean duplication {:.2}",
+            self.model, self.strategy, self.stages, self.mean_duplication
+        )?;
+        write!(f, "{}", self.simulation)
+    }
+}
+
+/// Runs the full `compile → simulate` pipeline for one design point.
+///
+/// # Errors
+///
+/// Returns the architecture-validation, compilation or simulation failure
+/// of the point. Callers sweeping a grid should capture this per point
+/// (see [`Executor`](crate::Executor)) rather than aborting the sweep.
+pub fn evaluate(
+    arch: &ArchConfig,
+    model: &Model,
+    strategy: Strategy,
+) -> Result<Evaluation, DseError> {
+    arch.validate()?;
+    let compiled = compile(model, arch, strategy)?;
+    let simulation = Simulator::new(&compiled).run()?;
+    Ok(Evaluation {
+        model: model.name.clone(),
+        strategy,
+        arch: *arch,
+        compilation: compiled.report.clone(),
+        stages: compiled.plan.stages.len(),
+        mean_duplication: compiled.plan.mean_duplication(),
+        simulation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_nn::models;
+
+    #[test]
+    fn evaluate_produces_consistent_metrics() {
+        let arch = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let evaluation = evaluate(&arch, &model, Strategy::GenericMapping).unwrap();
+        assert_eq!(evaluation.model, "mobilenetv2");
+        assert!(evaluation.simulation.total_cycles > 0);
+        assert!(evaluation.simulation.throughput_tops() > 0.0);
+        assert!(evaluation.stages >= 1);
+        let text = evaluation.to_string();
+        assert!(text.contains("mobilenetv2") && text.contains("TOPS"));
+    }
+
+    #[test]
+    fn invalid_architectures_fail_without_panicking() {
+        let arch = ArchConfig::paper_default().with_macros_per_group(0);
+        let model = models::mobilenet_v2(32);
+        assert!(matches!(
+            evaluate(&arch, &model, Strategy::GenericMapping),
+            Err(DseError::Arch(_))
+        ));
+    }
+
+    #[test]
+    fn evaluation_serde_round_trip() {
+        let arch = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let evaluation = evaluate(&arch, &model, Strategy::DpOptimized).unwrap();
+        let text = serde_json::to_string(&evaluation).unwrap();
+        let back: Evaluation = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.model, evaluation.model);
+        assert_eq!(back.strategy, evaluation.strategy);
+        assert_eq!(back.arch, evaluation.arch);
+        assert_eq!(back.compilation, evaluation.compilation);
+        assert_eq!(back.simulation, evaluation.simulation);
+        assert_eq!(back.stages, evaluation.stages);
+    }
+}

@@ -1,0 +1,358 @@
+//! The parallel sweep executor: fans grid points out across a worker
+//! pool, captures per-point failures, keeps result order deterministic
+//! and reports progress.
+//!
+//! Design, in the style of compiler-infrastructure job runners:
+//!
+//! * the grid is expanded up front into an indexed job list;
+//! * workers claim jobs through one atomic cursor (dynamic load
+//!   balancing — expensive points do not stall a fixed partition);
+//! * every result is written to its job's slot, so the output order
+//!   equals the grid order no matter which worker finished first;
+//! * a failing point produces an `Err` outcome in its slot — it never
+//!   aborts the sweep (the historic `cimflow::dse::sweep` fail-fast bug);
+//! * all workers share one [`EvalCache`], so repeated points across and
+//!   within sweeps cost a map lookup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cimflow_arch::ArchConfig;
+
+use cimflow_nn::{models, Model};
+
+use crate::{evaluate, CacheKey, DseError, EvalCache, Evaluation, PointSpec, SweepSpec};
+
+/// One schedulable unit: a resolved design point.
+///
+/// The model is behind an `Arc` so that the hundreds of points sharing a
+/// model do not clone its graph; `model` is an `Err` when the spec named
+/// a model the zoo cannot resolve (the executor turns that into a
+/// per-point error outcome).
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The descriptive point.
+    pub spec: PointSpec,
+    /// The concrete architecture of the point.
+    pub arch: ArchConfig,
+    /// The resolved model, or the resolution error.
+    pub model: Result<Arc<Model>, DseError>,
+}
+
+impl Job {
+    /// Builds a job from an explicit model object (used by the
+    /// backward-compatible `cimflow::dse` wrappers).
+    pub fn from_model(spec: PointSpec, arch: ArchConfig, model: Arc<Model>) -> Self {
+        Job { spec, arch, model: Ok(model) }
+    }
+}
+
+/// The outcome of one grid point: the point description plus either its
+/// evaluation or the error that stopped it.
+#[derive(Debug, Clone)]
+pub struct DseOutcome {
+    /// Which design point this is.
+    pub point: PointSpec,
+    /// The evaluation, or the per-point failure.
+    pub result: Result<Evaluation, DseError>,
+    /// Whether the result came out of the evaluation cache.
+    pub cached: bool,
+}
+
+impl DseOutcome {
+    /// The evaluation if the point succeeded.
+    pub fn evaluation(&self) -> Option<&Evaluation> {
+        self.result.as_ref().ok()
+    }
+}
+
+/// A progress event, delivered once per finished point (in completion
+/// order, possibly from multiple threads).
+#[derive(Debug, Clone)]
+pub struct Progress {
+    /// Points finished so far (including this one).
+    pub completed: usize,
+    /// Total points of the sweep.
+    pub total: usize,
+    /// Index of the finished point in grid order.
+    pub index: usize,
+    /// Label of the finished point.
+    pub label: String,
+    /// Whether the point succeeded.
+    pub ok: bool,
+    /// Whether the result was served from the cache.
+    pub cached: bool,
+}
+
+/// The parallel sweep executor.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// An executor sized to the machine (one worker per available core).
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        Executor { workers }
+    }
+
+    /// An executor with an explicit worker count (`1` = sequential).
+    pub fn with_workers(workers: usize) -> Self {
+        Executor { workers: workers.max(1) }
+    }
+
+    /// A strictly sequential executor (the baseline the parallel runs are
+    /// compared against).
+    pub fn sequential() -> Self {
+        Self::with_workers(1)
+    }
+
+    /// The worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Expands a [`SweepSpec`] and runs every point, sharing `cache`.
+    ///
+    /// Outcomes are returned in grid order. Unknown models and invalid
+    /// configurations surface as per-point errors, not sweep failures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] only when the spec expands to an empty
+    /// grid (no models or no strategies).
+    pub fn run_spec(
+        &self,
+        spec: &SweepSpec,
+        cache: &EvalCache,
+    ) -> Result<Vec<DseOutcome>, DseError> {
+        self.run_spec_with_progress(spec, cache, |_| {})
+    }
+
+    /// [`Self::run_spec`] with a progress callback.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_spec`].
+    pub fn run_spec_with_progress(
+        &self,
+        spec: &SweepSpec,
+        cache: &EvalCache,
+        progress: impl Fn(&Progress) + Sync,
+    ) -> Result<Vec<DseOutcome>, DseError> {
+        let jobs = expand_jobs(spec)?;
+        Ok(self.run_jobs_with_progress(jobs, cache, progress))
+    }
+
+    /// Runs an explicit job list, sharing `cache`; outcomes are in job
+    /// order.
+    pub fn run_jobs(&self, jobs: Vec<Job>, cache: &EvalCache) -> Vec<DseOutcome> {
+        self.run_jobs_with_progress(jobs, cache, |_| {})
+    }
+
+    /// [`Self::run_jobs`] with a progress callback.
+    pub fn run_jobs_with_progress(
+        &self,
+        jobs: Vec<Job>,
+        cache: &EvalCache,
+        progress: impl Fn(&Progress) + Sync,
+    ) -> Vec<DseOutcome> {
+        let total = jobs.len();
+        let mut slots: Vec<Option<DseOutcome>> = Vec::new();
+        slots.resize_with(total, || None);
+        let slots = Mutex::new(slots);
+        let cursor = AtomicUsize::new(0);
+        let completed = AtomicUsize::new(0);
+        let progress = &progress;
+
+        let worker_loop = |_worker: usize| loop {
+            let index = cursor.fetch_add(1, Ordering::Relaxed);
+            let Some(job) = jobs.get(index) else { break };
+            let outcome = run_one(job, cache);
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            progress(&Progress {
+                completed: done,
+                total,
+                index,
+                label: job.spec.label(),
+                ok: outcome.result.is_ok(),
+                cached: outcome.cached,
+            });
+            slots.lock().expect("result slots poisoned")[index] = Some(outcome);
+        };
+
+        let workers = self.workers.min(total.max(1));
+        if workers <= 1 {
+            worker_loop(0);
+        } else {
+            let worker_loop = &worker_loop;
+            std::thread::scope(|scope| {
+                for worker in 0..workers {
+                    scope.spawn(move || worker_loop(worker));
+                }
+            });
+        }
+
+        slots
+            .into_inner()
+            .expect("result slots poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every job slot is filled"))
+            .collect()
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn run_one(job: &Job, cache: &EvalCache) -> DseOutcome {
+    let (result, cached) = match &job.model {
+        Err(e) => (Err(e.clone()), false),
+        Ok(model) => {
+            let key = CacheKey::of(&job.arch, model, job.spec.strategy);
+            match cache.get_or_insert_with(key, || evaluate(&job.arch, model, job.spec.strategy)) {
+                Ok((evaluation, was_hit)) => (Ok(evaluation), was_hit),
+                Err(e) => (Err(e), false),
+            }
+        }
+    };
+    DseOutcome { point: job.spec.clone(), result, cached }
+}
+
+/// Expands a spec into concrete jobs, resolving each distinct model once.
+///
+/// # Errors
+///
+/// Returns [`DseError::Spec`] when the spec expands to an empty grid.
+pub fn expand_jobs(spec: &SweepSpec) -> Result<Vec<Job>, DseError> {
+    type ResolvedModel = Result<Arc<Model>, DseError>;
+    let base = spec.base_arch();
+    let points = spec.expand()?;
+    let mut resolved: Vec<((String, u32), ResolvedModel)> = Vec::new();
+    let mut jobs = Vec::with_capacity(points.len());
+    for point in points {
+        let id = (point.model.name.clone(), point.model.resolution);
+        let model = match resolved.iter().find(|(key, _)| *key == id) {
+            Some((_, model)) => model.clone(),
+            None => {
+                let model = models::by_name(&point.model.name, point.model.resolution)
+                    .map(Arc::new)
+                    .ok_or_else(|| DseError::UnknownModel { name: point.model.name.clone() });
+                resolved.push((id, model.clone()));
+                model
+            }
+        };
+        let arch = point.arch(&base);
+        jobs.push(Job { spec: point, arch, model });
+    }
+    Ok(jobs)
+}
+
+/// Runs a spec with a fresh (non-shared) cache: a convenience for
+/// one-shot sweeps. Honors `spec.workers` when set and otherwise uses
+/// one worker per available core; pass `workers: Some(1)` (or use
+/// [`Executor::sequential`] directly) for single-threaded execution.
+///
+/// # Errors
+///
+/// See [`Executor::run_spec`].
+pub fn run_sweep(spec: &SweepSpec) -> Result<Vec<DseOutcome>, DseError> {
+    let executor = match spec.workers {
+        Some(workers) => Executor::with_workers(workers),
+        None => Executor::new(),
+    };
+    executor.run_spec(spec, &EvalCache::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_compiler::Strategy;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8])
+            .with_flit_sizes(&[8, 16])
+    }
+
+    #[test]
+    fn outcomes_follow_grid_order_and_progress_counts() {
+        let cache = EvalCache::new();
+        let seen = Mutex::new(Vec::new());
+        let outcomes = Executor::with_workers(4)
+            .run_spec_with_progress(&small_spec(), &cache, |p: &Progress| {
+                seen.lock().unwrap().push((p.completed, p.total));
+            })
+            .unwrap();
+        assert_eq!(outcomes.len(), 4);
+        let mg: Vec<u64> = outcomes.iter().map(|o| o.point.mg_size).collect();
+        assert_eq!(mg, vec![4, 8, 4, 8], "grid order is independent of completion order");
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 4);
+        assert!(seen.iter().all(|(_, total)| *total == 4));
+        let mut counts: Vec<usize> = seen.iter().map(|(done, _)| *done).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn invalid_points_are_reported_not_fatal() {
+        // mg size 0 is an invalid configuration; the model axis also
+        // contains an unknown model. Neither may sink the sweep.
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_model("not-a-model", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[8, 0]);
+        let outcomes = Executor::sequential().run_spec(&spec, &EvalCache::new()).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes[0].result.is_ok());
+        assert!(matches!(outcomes[1].result, Err(DseError::Arch(_))));
+        assert!(matches!(outcomes[2].result, Err(DseError::UnknownModel { .. })));
+        assert!(matches!(outcomes[3].result, Err(DseError::UnknownModel { .. })));
+    }
+
+    #[test]
+    fn parallel_and_sequential_sweeps_agree() {
+        let spec = small_spec();
+        let sequential = Executor::sequential().run_spec(&spec, &EvalCache::new()).unwrap();
+        let parallel = Executor::with_workers(8).run_spec(&spec, &EvalCache::new()).unwrap();
+        assert_eq!(sequential.len(), parallel.len());
+        for (s, p) in sequential.iter().zip(&parallel) {
+            assert_eq!(s.point, p.point);
+            let (s, p) = (s.evaluation().unwrap(), p.evaluation().unwrap());
+            assert_eq!(s.simulation.total_cycles, p.simulation.total_cycles);
+            assert!((s.simulation.energy.total_pj() - p.simulation.energy.total_pj()).abs() < 1e-6);
+            assert_eq!(s.compilation, p.compilation);
+        }
+    }
+
+    #[test]
+    fn shared_cache_makes_rerun_free_of_recompilation() {
+        let cache = EvalCache::new();
+        let spec = small_spec();
+        let executor = Executor::with_workers(2);
+        let cold = executor.run_spec(&spec, &cache).unwrap();
+        assert!(cold.iter().all(|o| !o.cached), "first run must evaluate everything");
+        let warm = executor.run_spec(&spec, &cache).unwrap();
+        assert!(warm.iter().all(|o| o.cached), "warm run must be 100% cache hits");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 4);
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_models_resolve_once() {
+        let jobs = expand_jobs(&small_spec()).unwrap();
+        let first = jobs[0].model.as_ref().unwrap();
+        assert!(jobs[1..].iter().all(|job| Arc::ptr_eq(first, job.model.as_ref().unwrap())));
+    }
+}

@@ -1,0 +1,60 @@
+//! # cimflow-dse
+//!
+//! A batch design-space-exploration engine for the CIMFlow framework: the
+//! subsystem behind the paper's architectural sweeps (Figs. 6–7) and any
+//! larger exploration built on top of them.
+//!
+//! The engine is organized as a staged pipeline:
+//!
+//! 1. **Specify** — a [`SweepSpec`] declares the grid (models, strategies,
+//!    macro-group sizes, flit sizes, core counts, local-memory
+//!    capacities) as *data*; sweeps are JSON config files, not code.
+//! 2. **Expand** — the spec expands deterministically into [`PointSpec`]
+//!    grid points and concrete [`Job`]s.
+//! 3. **Execute** — an [`Executor`] fans the jobs out across a worker
+//!    pool; every point's failure is captured in its [`DseOutcome`]
+//!    instead of aborting the sweep, and results keep grid order.
+//! 4. **Memoize** — a content-hashed [`EvalCache`] (keyed by
+//!    architecture, model and strategy content) makes repeated points —
+//!    common across figures and warm re-runs — a map lookup.
+//! 5. **Analyze/export** — Pareto-frontier extraction over
+//!    (cycles, energy), best-per-model selection, CSV/JSON exporters.
+//!
+//! The `cimflow-dse` binary drives the whole pipeline from a sweep file:
+//! `cargo run -p cimflow-dse -- sweep.json`.
+//!
+//! # Example
+//!
+//! ```
+//! use cimflow_dse::{analysis, Executor, EvalCache, SweepSpec};
+//! use cimflow_compiler::Strategy;
+//!
+//! # fn main() -> Result<(), cimflow_dse::DseError> {
+//! let spec = SweepSpec::new()
+//!     .with_model("mobilenetv2", 32)
+//!     .with_strategies(&[Strategy::GenericMapping])
+//!     .with_mg_sizes(&[4, 8]);
+//! let cache = EvalCache::new();
+//! let outcomes = Executor::with_workers(2).run_spec(&spec, &cache)?;
+//! assert_eq!(outcomes.len(), 2);
+//! assert!(!analysis::pareto_frontier(&outcomes).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod cache;
+mod error;
+mod eval;
+mod executor;
+pub mod export;
+mod spec;
+
+pub use cache::{arch_content_hash, model_content_hash, CacheKey, CacheStats, EvalCache};
+pub use error::DseError;
+pub use eval::{evaluate, Evaluation};
+pub use executor::{expand_jobs, run_sweep, DseOutcome, Executor, Job, Progress};
+pub use spec::{ModelSpec, PointSpec, SweepSpec};

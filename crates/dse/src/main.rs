@@ -1,0 +1,198 @@
+//! The `cimflow-dse` CLI: runs a JSON sweep specification end-to-end
+//! through the parallel executor and reports/export the results.
+//!
+//! ```text
+//! cargo run --release -p cimflow-dse -- sweep.json \
+//!     [--workers N] [--sequential] [--csv out.csv] [--json out.json] \
+//!     [--cache cache.json] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 when at least one point evaluated successfully, 1 for a
+//! usage/spec error, 2 when every point failed.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use cimflow_dse::{analysis, export, DseError, EvalCache, Executor, Progress, SweepSpec};
+
+struct Args {
+    spec_path: PathBuf,
+    workers: Option<usize>,
+    csv: Option<PathBuf>,
+    json: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: cimflow-dse <sweep.json> [--workers N] [--sequential] \
+[--csv PATH] [--json PATH] [--cache PATH] [--quiet]";
+
+/// `Ok(None)` means `--help` was requested: print usage to stdout, exit 0.
+fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
+    argv.next(); // program name
+    let mut spec_path = None;
+    let mut workers = None;
+    let mut csv = None;
+    let mut json = None;
+    let mut cache = None;
+    let mut quiet = false;
+    let take_value = |argv: &mut std::env::Args, flag: &str| {
+        argv.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    };
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let value = take_value(&mut argv, "--workers")?;
+                workers = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|_| format!("--workers expects a number, got `{value}`"))?,
+                );
+            }
+            "--sequential" => workers = Some(1),
+            "--csv" => csv = Some(PathBuf::from(take_value(&mut argv, "--csv")?)),
+            "--json" => json = Some(PathBuf::from(take_value(&mut argv, "--json")?)),
+            "--cache" => cache = Some(PathBuf::from(take_value(&mut argv, "--cache")?)),
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Ok(None),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            other if spec_path.is_none() => spec_path = Some(PathBuf::from(other)),
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let spec_path = spec_path.ok_or_else(|| USAGE.to_owned())?;
+    Ok(Some(Args { spec_path, workers, csv, json, cache, quiet }))
+}
+
+fn run(args: &Args) -> Result<ExitCode, DseError> {
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| DseError::io(format!("cannot read {}: {e}", args.spec_path.display())))?;
+    let spec = SweepSpec::from_json(&text)?;
+    let name = spec.name.clone().unwrap_or_else(|| args.spec_path.display().to_string());
+
+    let cache = match &args.cache {
+        Some(path) => EvalCache::load(path)?,
+        None => EvalCache::new(),
+    };
+    let executor = match args.workers.or(spec.workers) {
+        Some(workers) => Executor::with_workers(workers),
+        None => Executor::new(),
+    };
+
+    println!(
+        "sweep `{name}`: {} points on {} worker(s), {} cached evaluation(s) loaded",
+        spec.point_count(),
+        executor.workers(),
+        cache.len()
+    );
+
+    let quiet = args.quiet;
+    let started = Instant::now();
+    let outcomes = executor.run_spec_with_progress(&spec, &cache, |p: &Progress| {
+        if !quiet {
+            let status = match (p.ok, p.cached) {
+                (true, true) => "hit ",
+                (true, false) => "ok  ",
+                (false, _) => "FAIL",
+            };
+            println!("[{:>4}/{}] {status} {}", p.completed, p.total, p.label);
+        }
+    })?;
+    let elapsed = started.elapsed();
+
+    let succeeded = outcomes.iter().filter(|o| o.result.is_ok()).count();
+    let failed = outcomes.len() - succeeded;
+    let stats = cache.stats();
+    println!(
+        "\n{} points in {:.2?}: {succeeded} ok, {failed} failed; cache {} hits / {} misses ({:.0}% hit)",
+        outcomes.len(),
+        elapsed,
+        stats.hits,
+        stats.misses,
+        stats.hit_ratio() * 100.0
+    );
+
+    if failed > 0 {
+        println!("\nfailed points:");
+        for outcome in outcomes.iter().filter(|o| o.result.is_err()) {
+            if let Err(e) = &outcome.result {
+                println!("  {} -> {e}", outcome.point.label());
+            }
+        }
+    }
+
+    let frontiers = analysis::pareto_frontier_by_model(&outcomes);
+    let frontier_points: usize = frontiers.values().map(Vec::len).sum();
+    println!("\nPareto frontier over (cycles, energy), per model: {frontier_points} point(s)");
+    for (model, frontier) in &frontiers {
+        println!("  {model}:");
+        for &index in frontier {
+            let outcome = &outcomes[index];
+            if let Some(evaluation) = outcome.evaluation() {
+                println!(
+                    "    {:<52} {:>12} cycles {:>10.3} mJ {:>8.3} TOPS",
+                    outcome.point.label(),
+                    evaluation.simulation.total_cycles,
+                    evaluation.simulation.energy_mj(),
+                    evaluation.simulation.throughput_tops()
+                );
+            }
+        }
+    }
+
+    let best = analysis::best_per_model(&outcomes);
+    if !best.is_empty() {
+        println!("\nfastest configuration per model:");
+        for (model, index) in &best {
+            let outcome = &outcomes[*index];
+            if let Some(evaluation) = outcome.evaluation() {
+                println!(
+                    "  {model:<16} {} ({} cycles)",
+                    outcome.point.label(),
+                    evaluation.simulation.total_cycles
+                );
+            }
+        }
+    }
+
+    if let Some(path) = &args.csv {
+        std::fs::write(path, export::to_csv(&outcomes))
+            .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+        println!("\nwrote CSV -> {}", path.display());
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, export::to_json(&outcomes))
+            .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+        println!("wrote JSON -> {}", path.display());
+    }
+    if let Some(path) = &args.cache {
+        cache.save(path)?;
+        println!("saved cache ({} entries) -> {}", cache.len(), path.display());
+    }
+
+    Ok(if succeeded > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cimflow-dse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

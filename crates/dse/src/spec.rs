@@ -1,0 +1,412 @@
+//! Declarative sweep grids: the serializable [`SweepSpec`] and its
+//! expansion into concrete design points.
+//!
+//! A sweep is data, not code: it can be written as a JSON file and fed to
+//! the `cimflow-dse` CLI, or built programmatically with the builder
+//! methods. Every axis left empty pins the corresponding parameter to the
+//! base architecture's value, so a spec only names the axes it actually
+//! explores.
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::Strategy;
+use serde::{Content, Deserialize, Serialize};
+
+use crate::DseError;
+
+/// A benchmark model reference: zoo name plus input resolution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Model-zoo name (`resnet18`, `vgg19`, `mobilenetv2`,
+    /// `efficientnetb0`).
+    pub name: String,
+    /// Input resolution in pixels (the paper uses 224; 32–64 keeps the
+    /// graph structure while running in seconds).
+    pub resolution: u32,
+}
+
+impl ModelSpec {
+    /// Creates a model reference.
+    pub fn new(name: impl Into<String>, resolution: u32) -> Self {
+        ModelSpec { name: name.into(), resolution }
+    }
+}
+
+/// A declarative architectural sweep over the CIMFlow design space.
+///
+/// The grid is the cartesian product of all non-empty axes, expanded in a
+/// fixed order (model, strategy, core count, local memory, flit size,
+/// macro-group size) so results are deterministic regardless of how many
+/// workers evaluate them.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Optional sweep name (used in report headers).
+    pub name: Option<String>,
+    /// Base architecture; `None` means the paper's Table I default.
+    pub base: Option<ArchConfig>,
+    /// Models to evaluate (at least one required).
+    pub models: Vec<ModelSpec>,
+    /// Compilation strategies (at least one required).
+    pub strategies: Vec<Strategy>,
+    /// Macro-group sizes (macros per MG); empty keeps the base value.
+    pub mg_sizes: Vec<u32>,
+    /// NoC flit sizes in bytes; empty keeps the base value.
+    pub flit_sizes: Vec<u32>,
+    /// Core counts (the mesh is re-derived); empty keeps the base value.
+    pub core_counts: Vec<u32>,
+    /// Per-core local-memory capacities in KiB; empty keeps the base
+    /// value.
+    pub local_memory_kib: Vec<u64>,
+    /// Worker threads for the executor; `None` lets the executor decide.
+    pub workers: Option<usize>,
+}
+
+impl SweepSpec {
+    /// Creates an empty sweep over the paper-default base architecture.
+    pub fn new() -> Self {
+        SweepSpec {
+            name: None,
+            base: None,
+            models: Vec::new(),
+            strategies: Vec::new(),
+            mg_sizes: Vec::new(),
+            flit_sizes: Vec::new(),
+            core_counts: Vec::new(),
+            local_memory_kib: Vec::new(),
+            workers: None,
+        }
+    }
+
+    /// Sets the sweep name.
+    #[must_use]
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the base architecture.
+    #[must_use]
+    pub fn with_base(mut self, base: ArchConfig) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Adds a model axis entry.
+    #[must_use]
+    pub fn with_model(mut self, name: impl Into<String>, resolution: u32) -> Self {
+        self.models.push(ModelSpec::new(name, resolution));
+        self
+    }
+
+    /// Sets the strategy axis.
+    #[must_use]
+    pub fn with_strategies(mut self, strategies: &[Strategy]) -> Self {
+        self.strategies = strategies.to_vec();
+        self
+    }
+
+    /// Sets the macro-group-size axis.
+    #[must_use]
+    pub fn with_mg_sizes(mut self, sizes: &[u32]) -> Self {
+        self.mg_sizes = sizes.to_vec();
+        self
+    }
+
+    /// Sets the flit-size axis.
+    #[must_use]
+    pub fn with_flit_sizes(mut self, sizes: &[u32]) -> Self {
+        self.flit_sizes = sizes.to_vec();
+        self
+    }
+
+    /// Sets the core-count axis.
+    #[must_use]
+    pub fn with_core_counts(mut self, counts: &[u32]) -> Self {
+        self.core_counts = counts.to_vec();
+        self
+    }
+
+    /// Sets the local-memory-capacity axis (KiB).
+    #[must_use]
+    pub fn with_local_memory_kib(mut self, capacities: &[u64]) -> Self {
+        self.local_memory_kib = capacities.to_vec();
+        self
+    }
+
+    /// The base architecture of the sweep.
+    pub fn base_arch(&self) -> ArchConfig {
+        self.base.unwrap_or_else(ArchConfig::paper_default)
+    }
+
+    /// Number of grid points the spec expands to.
+    pub fn point_count(&self) -> usize {
+        let axis = |len: usize| len.max(1);
+        self.models.len()
+            * axis(self.strategies.len())
+            * axis(self.core_counts.len())
+            * axis(self.local_memory_kib.len())
+            * axis(self.flit_sizes.len())
+            * axis(self.mg_sizes.len())
+    }
+
+    /// Expands the cartesian grid into concrete points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] when the spec names no model or no
+    /// strategy (an empty grid is almost certainly a config mistake).
+    pub fn expand(&self) -> Result<Vec<PointSpec>, DseError> {
+        if self.models.is_empty() {
+            return Err(DseError::spec("the `models` axis must name at least one model"));
+        }
+        if self.strategies.is_empty() {
+            return Err(DseError::spec("the `strategies` axis must name at least one strategy"));
+        }
+        let base = self.base_arch();
+        let core_counts = effective_axis(&self.core_counts, base.chip.core_count);
+        let local_memories =
+            effective_axis(&self.local_memory_kib, base.core.local_memory.size_bytes / 1024);
+        let flit_sizes = effective_axis(&self.flit_sizes, base.chip.noc_flit_bytes);
+        let mg_sizes = effective_axis(&self.mg_sizes, base.core.cim_unit.macros_per_group);
+
+        let mut points = Vec::with_capacity(self.point_count());
+        for model in &self.models {
+            for &strategy in &self.strategies {
+                for &core_count in &core_counts {
+                    for &local_memory_kib in &local_memories {
+                        for &flit_bytes in &flit_sizes {
+                            for &mg_size in &mg_sizes {
+                                points.push(PointSpec {
+                                    model: model.clone(),
+                                    strategy,
+                                    core_count,
+                                    local_memory_kib,
+                                    flit_bytes,
+                                    mg_size,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(points)
+    }
+
+    /// Serializes the spec to pretty JSON (the on-disk sweep file format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("SweepSpec serialization cannot fail")
+    }
+
+    /// Parses a spec from JSON.
+    ///
+    /// All axes and the `base`/`name`/`workers` fields may be omitted;
+    /// omitted axes pin the corresponding parameter to the base value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] for malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, DseError> {
+        serde_json::from_str(text).map_err(|e| DseError::spec(e.to_string()))
+    }
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Manual Deserialize so that every axis (and the optional fields) may be
+// omitted from sweep files; the derive would make all fields mandatory.
+impl Deserialize for SweepSpec {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let map =
+            content.as_map().ok_or_else(|| serde::Error::new("expected map for SweepSpec"))?;
+        fn opt<T: Deserialize>(
+            map: &[(String, Content)],
+            name: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match map.iter().find(|(k, _)| k == name) {
+                Some((_, Content::Null)) | None => Ok(None),
+                Some((_, v)) => T::deserialize(v)
+                    .map(Some)
+                    .map_err(|e| serde::Error::new(format!("SweepSpec.{name}: {e}"))),
+            }
+        }
+        Ok(SweepSpec {
+            name: opt(map, "name")?,
+            base: opt(map, "base")?,
+            models: opt(map, "models")?.unwrap_or_default(),
+            strategies: opt(map, "strategies")?.unwrap_or_default(),
+            mg_sizes: opt(map, "mg_sizes")?.unwrap_or_default(),
+            flit_sizes: opt(map, "flit_sizes")?.unwrap_or_default(),
+            core_counts: opt(map, "core_counts")?.unwrap_or_default(),
+            local_memory_kib: opt(map, "local_memory_kib")?.unwrap_or_default(),
+            workers: opt(map, "workers")?,
+        })
+    }
+}
+
+fn effective_axis<T: Copy + Into<u64>>(values: &[T], base: T) -> Vec<u64> {
+    if values.is_empty() {
+        vec![base.into()]
+    } else {
+        values.iter().map(|&v| v.into()).collect()
+    }
+}
+
+/// One fully resolved design point of a sweep grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PointSpec {
+    /// The model evaluated at this point.
+    pub model: ModelSpec,
+    /// The compilation strategy.
+    pub strategy: Strategy,
+    /// Chip core count.
+    pub core_count: u64,
+    /// Per-core local memory in KiB.
+    pub local_memory_kib: u64,
+    /// NoC flit size in bytes.
+    pub flit_bytes: u64,
+    /// Macro-group size (macros per MG).
+    pub mg_size: u64,
+}
+
+impl PointSpec {
+    /// Builds the concrete architecture of this point from a base
+    /// configuration.
+    ///
+    /// Axes whose value equals the base's are **not** re-applied, so a
+    /// pinned (or matching) axis leaves the base untouched: a custom
+    /// base with, say, a hand-picked non-squarest mesh or a non-KiB
+    /// local-memory capacity is never silently normalized by the
+    /// builder setters.
+    pub fn arch(&self, base: &ArchConfig) -> ArchConfig {
+        let mut arch = *base;
+        if self.core_count != u64::from(base.chip.core_count) {
+            arch = arch.with_core_count(self.core_count as u32);
+        }
+        if self.local_memory_kib != base.core.local_memory.size_bytes / 1024 {
+            arch = arch.with_local_memory_kib(self.local_memory_kib);
+        }
+        if self.flit_bytes != u64::from(base.chip.noc_flit_bytes) {
+            arch = arch.with_flit_bytes(self.flit_bytes as u32);
+        }
+        if self.mg_size != u64::from(base.core.cim_unit.macros_per_group) {
+            arch = arch.with_macros_per_group(self.mg_size as u32);
+        }
+        arch
+    }
+
+    /// Compact human-readable label (used in progress lines).
+    pub fn label(&self) -> String {
+        format!(
+            "{}@{} {} cores={} lmem={}KiB flit={}B mg={}",
+            self.model.name,
+            self.model.resolution,
+            self.strategy,
+            self.core_count,
+            self.local_memory_kib,
+            self.flit_bytes,
+            self.mg_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec3() -> SweepSpec {
+        SweepSpec::new()
+            .named("unit")
+            .with_model("mobilenetv2", 32)
+            .with_model("resnet18", 32)
+            .with_strategies(&[Strategy::GenericMapping, Strategy::DpOptimized])
+            .with_mg_sizes(&[4, 8])
+            .with_flit_sizes(&[8, 16])
+            .with_core_counts(&[16, 64])
+    }
+
+    #[test]
+    fn expansion_covers_the_cartesian_product_in_order() {
+        let spec = spec3();
+        let points = spec.expand().unwrap();
+        assert_eq!(points.len(), spec.point_count());
+        assert_eq!(points.len(), 2 * 2 * 2 * 2 * 2);
+        // Innermost axis varies fastest.
+        assert_eq!(points[0].mg_size, 4);
+        assert_eq!(points[1].mg_size, 8);
+        assert_eq!(points[0].flit_bytes, points[1].flit_bytes);
+        // Empty axes pin to the base architecture's value.
+        assert!(points.iter().all(|p| p.local_memory_kib == 512));
+        // Outermost axis is the model.
+        assert_eq!(points.first().unwrap().model.name, "mobilenetv2");
+        assert_eq!(points.last().unwrap().model.name, "resnet18");
+    }
+
+    #[test]
+    fn empty_model_or_strategy_axes_are_rejected() {
+        assert!(SweepSpec::new().expand().is_err());
+        assert!(SweepSpec::new().with_model("resnet18", 32).expand().is_err());
+        assert!(SweepSpec::new().with_strategies(&[Strategy::DpOptimized]).expand().is_err());
+    }
+
+    #[test]
+    fn json_round_trip_and_partial_files() {
+        let spec = spec3();
+        let text = spec.to_json();
+        let back = SweepSpec::from_json(&text).unwrap();
+        assert_eq!(back, spec);
+
+        // Sweeps are config files: omitted axes default.
+        let partial = SweepSpec::from_json(
+            "{\"models\": [{\"name\": \"resnet18\", \"resolution\": 32}],\
+              \"strategies\": [\"dp\"], \"mg_sizes\": [4, 16]}",
+        )
+        .unwrap();
+        assert_eq!(partial.point_count(), 2);
+        let points = partial.expand().unwrap();
+        assert_eq!(points[0].flit_bytes, 8);
+        assert_eq!(points[0].strategy, Strategy::DpOptimized);
+
+        assert!(SweepSpec::from_json("{oops").is_err());
+    }
+
+    #[test]
+    fn pinned_axes_never_normalize_a_custom_base() {
+        // A hand-picked non-squarest mesh (16 cores as 16x1) must survive
+        // a sweep that does not touch the core-count axis.
+        let mut base = ArchConfig::paper_default().with_core_count(16);
+        base.chip.mesh = cimflow_arch::MeshDimensions::new(16, 1);
+        assert!(base.validate().is_ok());
+        let spec = SweepSpec::new()
+            .with_base(base)
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8]);
+        for point in spec.expand().unwrap() {
+            let arch = point.arch(&spec.base_arch());
+            assert_eq!(arch.chip.mesh, base.chip.mesh, "pinned core count keeps the custom mesh");
+            assert_eq!(arch.core.local_memory, base.core.local_memory);
+        }
+    }
+
+    #[test]
+    fn point_arch_applies_every_axis() {
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4])
+            .with_flit_sizes(&[16])
+            .with_core_counts(&[16])
+            .with_local_memory_kib(&[256]);
+        let point = &spec.expand().unwrap()[0];
+        let arch = point.arch(&spec.base_arch());
+        assert_eq!(arch.core.cim_unit.macros_per_group, 4);
+        assert_eq!(arch.chip.noc_flit_bytes, 16);
+        assert_eq!(arch.chip.core_count, 16);
+        assert_eq!(arch.core.local_memory.size_bytes, 256 * 1024);
+        assert!(arch.validate().is_ok());
+    }
+}

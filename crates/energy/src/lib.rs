@@ -209,7 +209,11 @@ impl EnergyBreakdown {
 
     /// Total energy in picojoules.
     pub fn total_pj(&self) -> f64 {
-        self.compute_pj + self.local_memory_pj + self.noc_pj + self.global_memory_pj + self.control_pj
+        self.compute_pj
+            + self.local_memory_pj
+            + self.noc_pj
+            + self.global_memory_pj
+            + self.control_pj
     }
 
     /// Total energy in millijoules (the unit of Fig. 6).
@@ -264,7 +268,8 @@ impl EnergyModel {
     pub fn mvm_energy(&self, macs: u64, input_bytes: u64, output_bytes: u64) -> EnergyBreakdown {
         EnergyBreakdown {
             compute_pj: self.cim.compute_pj(macs),
-            local_memory_pj: self.sram.local_read_pj(input_bytes) + self.sram.local_write_pj(output_bytes),
+            local_memory_pj: self.sram.local_read_pj(input_bytes)
+                + self.sram.local_write_pj(output_bytes),
             ..EnergyBreakdown::default()
         }
     }
@@ -280,7 +285,10 @@ impl EnergyModel {
 
     /// Estimated energy of a global-memory transfer of `bytes`.
     pub fn global_memory_energy(&self, bytes: u64) -> EnergyBreakdown {
-        EnergyBreakdown { global_memory_pj: self.sram.global_pj(bytes), ..EnergyBreakdown::default() }
+        EnergyBreakdown {
+            global_memory_pj: self.sram.global_pj(bytes),
+            ..EnergyBreakdown::default()
+        }
     }
 
     /// Static + leakage energy of the whole chip over `cycles` cycles.
@@ -305,7 +313,10 @@ mod tests {
         let model = CimEnergyModel::calibrated_28nm();
         // 27.4 TOPS/W <=> about 0.073 pJ per MAC (2 OPs per MAC).
         let tops_per_watt = 2.0 / model.mac_pj;
-        assert!((25.0..30.0).contains(&tops_per_watt), "calibration drifted: {tops_per_watt} TOPS/W");
+        assert!(
+            (25.0..30.0).contains(&tops_per_watt),
+            "calibration drifted: {tops_per_watt} TOPS/W"
+        );
         assert_eq!(model.compute_pj(0), 0.0);
         assert!(model.compute_pj(1_000_000) > 0.0);
     }
@@ -324,7 +335,11 @@ mod tests {
     fn breakdown_accumulates_and_totals() {
         let mut total = EnergyBreakdown::new();
         total.accumulate(&EnergyBreakdown { compute_pj: 10.0, ..Default::default() });
-        total.accumulate(&EnergyBreakdown { noc_pj: 30.0, local_memory_pj: 20.0, ..Default::default() });
+        total.accumulate(&EnergyBreakdown {
+            noc_pj: 30.0,
+            local_memory_pj: 20.0,
+            ..Default::default()
+        });
         assert_eq!(total.total_pj(), 60.0);
         assert!((total.noc_share() - 0.5).abs() < 1e-12);
         assert!((total.total_mj() - 60.0e-9).abs() < 1e-18);

@@ -58,11 +58,7 @@ struct LineParser<'a> {
 
 impl<'a> LineParser<'a> {
     fn new(line: usize, rest: &'a str) -> Self {
-        let operands = rest
-            .split(',')
-            .map(str::trim)
-            .filter(|s| !s.is_empty())
-            .collect();
+        let operands = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         LineParser { line, operands, cursor: 0 }
     }
 
@@ -71,11 +67,8 @@ impl<'a> LineParser<'a> {
     }
 
     fn next(&mut self) -> Result<&'a str, IsaError> {
-        let tok = self
-            .operands
-            .get(self.cursor)
-            .copied()
-            .ok_or_else(|| self.error("missing operand"))?;
+        let tok =
+            self.operands.get(self.cursor).copied().ok_or_else(|| self.error("missing operand"))?;
         self.cursor += 1;
         Ok(tok)
     }
@@ -99,9 +92,8 @@ impl<'a> LineParser<'a> {
 
     fn int<T: TryFrom<i64>>(&mut self) -> Result<T, IsaError> {
         let tok = self.next()?;
-        let value: i64 = tok
-            .parse()
-            .map_err(|_| self.error(format!("expected integer, found `{tok}`")))?;
+        let value: i64 =
+            tok.parse().map_err(|_| self.error(format!("expected integer, found `{tok}`")))?;
         T::try_from(value).map_err(|_| self.error(format!("integer `{tok}` out of range")))
     }
 
@@ -139,28 +131,21 @@ fn parse_line(line: &str, line_no: usize) -> Result<Instruction, IsaError> {
             output: p.greg()?,
             mg: p.keyed_int("mg")?,
         },
-        "cim_load" => Instruction::CimLoad {
-            weights: p.greg()?,
-            rows: p.greg()?,
-            mg: p.keyed_int("mg")?,
-        },
-        "cim_store" => Instruction::CimStoreAcc {
-            output: p.greg()?,
-            len: p.greg()?,
-            mg: p.keyed_int("mg")?,
-        },
+        "cim_load" => {
+            Instruction::CimLoad { weights: p.greg()?, rows: p.greg()?, mg: p.keyed_int("mg")? }
+        }
+        "cim_store" => {
+            Instruction::CimStoreAcc { output: p.greg()?, len: p.greg()?, mg: p.keyed_int("mg")? }
+        }
         "vec_quant" => Instruction::VecQuant {
             src: p.greg()?,
             dst: p.greg()?,
             shift: p.greg()?,
             len: p.greg()?,
         },
-        "vec_mac" => Instruction::VecMac {
-            src: p.greg()?,
-            acc: p.greg()?,
-            scale: p.greg()?,
-            len: p.greg()?,
-        },
+        "vec_mac" => {
+            Instruction::VecMac { src: p.greg()?, acc: p.greg()?, scale: p.greg()?, len: p.greg()? }
+        }
         "vec_pool_max" | "vec_pool_avg" => Instruction::VecPool {
             kind: if mnemonic.ends_with("max") { PoolKind::Max } else { PoolKind::Average },
             src: p.greg()?,
@@ -172,12 +157,9 @@ fn parse_line(line: &str, line_no: usize) -> Result<Instruction, IsaError> {
         "sc_lui" => Instruction::ScLui { dst: p.greg()?, imm: p.int()? },
         "sc_rds" => Instruction::ScRdSpecial { dst: p.greg()?, sreg: p.sreg()? },
         "sc_wrs" => Instruction::ScWrSpecial { sreg: p.sreg()?, src: p.greg()? },
-        "mem_cpy" => Instruction::MemCpy {
-            src: p.greg()?,
-            dst: p.greg()?,
-            len: p.greg()?,
-            offset: p.int()?,
-        },
+        "mem_cpy" => {
+            Instruction::MemCpy { src: p.greg()?, dst: p.greg()?, len: p.greg()?, offset: p.int()? }
+        }
         "send" => Instruction::Send {
             addr: p.greg()?,
             len: p.greg()?,
@@ -248,8 +230,20 @@ mod tests {
             Instruction::CimLoad { weights: g(7), rows: g(10), mg: 2 },
             Instruction::CimMvm { input: g(7), rows: g(10), output: g(9), mg: 2 },
             Instruction::CimStoreAcc { output: g(9), len: g(10), mg: 2 },
-            Instruction::VecOp { kind: VectorOpKind::Relu, a: g(9), b: g(0), dst: g(9), len: g(10) },
-            Instruction::VecPool { kind: PoolKind::Max, src: g(9), dst: g(8), window: g(3), len: g(10) },
+            Instruction::VecOp {
+                kind: VectorOpKind::Relu,
+                a: g(9),
+                b: g(0),
+                dst: g(9),
+                len: g(10),
+            },
+            Instruction::VecPool {
+                kind: PoolKind::Max,
+                src: g(9),
+                dst: g(8),
+                window: g(3),
+                len: g(10),
+            },
             Instruction::VecQuant { src: g(9), dst: g(8), shift: g(4), len: g(10) },
             Instruction::VecMac { src: g(9), acc: g(8), scale: g(4), len: g(10) },
             Instruction::ScAlu { op: ScalarAluOp::Add, dst: g(1), a: g(2), b: g(3) },

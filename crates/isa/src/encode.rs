@@ -103,12 +103,8 @@ pub fn encode(inst: &Instruction) -> Result<u32, IsaError> {
         }
         Instruction::ScLi { dst, imm } => op | reg_field(dst, 21) | u32::from(imm),
         Instruction::ScLui { dst, imm } => op | reg_field(dst, 21) | u32::from(imm),
-        Instruction::ScRdSpecial { dst, sreg } => {
-            op | reg_field(dst, 16) | u32::from(sreg.index())
-        }
-        Instruction::ScWrSpecial { sreg, src } => {
-            op | reg_field(src, 21) | u32::from(sreg.index())
-        }
+        Instruction::ScRdSpecial { dst, sreg } => op | reg_field(dst, 16) | u32::from(sreg.index()),
+        Instruction::ScWrSpecial { sreg, src } => op | reg_field(src, 21) | u32::from(sreg.index()),
         Instruction::MemCpy { src, dst, len, offset } => {
             op | reg_field(src, 21)
                 | reg_field(dst, 16)
@@ -287,7 +283,13 @@ mod tests {
             Instruction::CimStoreAcc { output: g(3), len: g(4), mg: 0 },
             Instruction::VecOp { kind: VectorOpKind::Relu, a: g(1), b: g(0), dst: g(2), len: g(3) },
             Instruction::VecOp { kind: VectorOpKind::Add, a: g(1), b: g(5), dst: g(2), len: g(3) },
-            Instruction::VecPool { kind: PoolKind::Average, src: g(1), dst: g(2), window: g(4), len: g(3) },
+            Instruction::VecPool {
+                kind: PoolKind::Average,
+                src: g(1),
+                dst: g(2),
+                window: g(4),
+                len: g(3),
+            },
             Instruction::VecQuant { src: g(1), dst: g(2), shift: g(6), len: g(3) },
             Instruction::VecMac { src: g(1), acc: g(2), scale: g(7), len: g(3) },
             Instruction::ScAlu { op: ScalarAluOp::Mul, dst: g(4), a: g(5), b: g(6) },

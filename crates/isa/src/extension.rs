@@ -69,7 +69,11 @@ pub struct InstructionDescriptor {
 
 impl InstructionDescriptor {
     /// Creates a descriptor with default single-cycle timing and zero energy.
-    pub fn new(mnemonic: impl Into<String>, unit: ExecutionUnit, format: InstructionFormat) -> Self {
+    pub fn new(
+        mnemonic: impl Into<String>,
+        unit: ExecutionUnit,
+        format: InstructionFormat,
+    ) -> Self {
         InstructionDescriptor {
             mnemonic: mnemonic.into(),
             unit,
@@ -256,11 +260,12 @@ mod tests {
 
     #[test]
     fn builders_clamp_degenerate_values() {
-        let d = InstructionDescriptor::new("x", ExecutionUnit::Scalar, InstructionFormat::ScalarReg)
-            .with_latency(0)
-            .with_initiation_interval(0)
-            .with_throughput(0)
-            .with_energy_pj(-3.0);
+        let d =
+            InstructionDescriptor::new("x", ExecutionUnit::Scalar, InstructionFormat::ScalarReg)
+                .with_latency(0)
+                .with_initiation_interval(0)
+                .with_throughput(0)
+                .with_energy_pj(-3.0);
         assert_eq!(d.latency_cycles(), 1);
         assert_eq!(d.initiation_interval(), 1);
         assert_eq!(d.throughput_elems_per_cycle(), 1);
@@ -282,7 +287,11 @@ mod tests {
 
     #[test]
     fn registry_collects_from_iterator() {
-        let gelu = InstructionDescriptor::new("vec_gelu", ExecutionUnit::Vector, InstructionFormat::Vector);
+        let gelu = InstructionDescriptor::new(
+            "vec_gelu",
+            ExecutionUnit::Vector,
+            InstructionFormat::Vector,
+        );
         let ext: IsaExtension = vec![softmax(), gelu].into_iter().collect();
         assert_eq!(ext.len(), 2);
         assert_eq!(ext.iter().count(), 2);

@@ -181,14 +181,8 @@ mod tests {
             imm: None,
         };
         assert!(!bad.is_consistent());
-        let too_wide = FieldLayout {
-            rs: Some((22, 5)),
-            rt: None,
-            rd: None,
-            re: None,
-            funct: None,
-            imm: None,
-        };
+        let too_wide =
+            FieldLayout { rs: Some((22, 5)), rt: None, rd: None, re: None, funct: None, imm: None };
         assert!(!too_wide.is_consistent());
     }
 }

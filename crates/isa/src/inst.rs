@@ -547,10 +547,8 @@ impl Instruction {
     /// Whether the instruction has externally visible effects beyond
     /// register writes (memory, NoC, CIM state, synchronization).
     pub fn has_side_effects(&self) -> bool {
-        !matches!(
-            self.class(),
-            OpcodeClass::Scalar
-        ) || matches!(self, Instruction::ScWrSpecial { .. })
+        !matches!(self.class(), OpcodeClass::Scalar)
+            || matches!(self, Instruction::ScWrSpecial { .. })
     }
 }
 
@@ -664,13 +662,8 @@ mod tests {
         assert_eq!(alu.defs(), vec![g(5)]);
         assert_eq!(alu.uses(), vec![g(1), g(2)]);
 
-        let unary = Instruction::VecOp {
-            kind: VectorOpKind::Relu,
-            a: g(1),
-            b: g(9),
-            dst: g(2),
-            len: g(3),
-        };
+        let unary =
+            Instruction::VecOp { kind: VectorOpKind::Relu, a: g(1), b: g(9), dst: g(2), len: g(3) };
         assert!(!unary.uses().contains(&g(9)), "unary vector op must not depend on b");
     }
 
@@ -691,11 +684,13 @@ mod tests {
 
     #[test]
     fn side_effect_classification() {
-        assert!(Instruction::CimMvm { input: g(1), rows: g(2), output: g(3), mg: 0 }
-            .has_side_effects());
+        assert!(
+            Instruction::CimMvm { input: g(1), rows: g(2), output: g(3), mg: 0 }.has_side_effects()
+        );
         assert!(!Instruction::ScLi { dst: g(1), imm: 5 }.has_side_effects());
-        assert!(Instruction::ScWrSpecial { sreg: SReg::MacroGroupSelect, src: g(1) }
-            .has_side_effects());
+        assert!(
+            Instruction::ScWrSpecial { sreg: SReg::MacroGroupSelect, src: g(1) }.has_side_effects()
+        );
         assert!(Instruction::Barrier { id: 0 }.has_side_effects());
     }
 

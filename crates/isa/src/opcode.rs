@@ -24,14 +24,35 @@ pub enum OpcodeClass {
 
 impl fmt::Display for OpcodeClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+        f.write_str(self.name())
+    }
+}
+
+impl OpcodeClass {
+    /// All operation classes in report order.
+    pub const ALL: [OpcodeClass; 5] = [
+        OpcodeClass::Cim,
+        OpcodeClass::Vector,
+        OpcodeClass::Scalar,
+        OpcodeClass::Communication,
+        OpcodeClass::Control,
+    ];
+
+    /// The stable lowercase name used in reports and serialized artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
             OpcodeClass::Cim => "cim",
             OpcodeClass::Vector => "vector",
             OpcodeClass::Scalar => "scalar",
             OpcodeClass::Communication => "communication",
             OpcodeClass::Control => "control",
-        };
-        f.write_str(s)
+        }
+    }
+
+    /// Parses a class back from its [`Self::name`] (used when
+    /// deserializing cached compilation reports).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|class| class.name() == name)
     }
 }
 
@@ -202,7 +223,11 @@ impl Opcode {
             Opcode::ScLi | Opcode::ScLui => InstructionFormat::Control,
             Opcode::ScRdSpecial | Opcode::ScWrSpecial => InstructionFormat::ScalarImm,
             Opcode::MemCpy | Opcode::Send | Opcode::Recv => InstructionFormat::Communication,
-            Opcode::Jmp | Opcode::Beq | Opcode::Bne | Opcode::Barrier | Opcode::Halt
+            Opcode::Jmp
+            | Opcode::Beq
+            | Opcode::Bne
+            | Opcode::Barrier
+            | Opcode::Halt
             | Opcode::Nop => InstructionFormat::Control,
             Opcode::Custom => InstructionFormat::Vector,
         }
@@ -248,6 +273,15 @@ impl fmt::Display for Opcode {
 mod tests {
     use super::*;
     use std::collections::HashSet;
+
+    #[test]
+    fn class_names_round_trip() {
+        for class in OpcodeClass::ALL {
+            assert_eq!(OpcodeClass::from_name(class.name()), Some(class));
+            assert_eq!(class.to_string(), class.name());
+        }
+        assert_eq!(OpcodeClass::from_name("warp-drive"), None);
+    }
 
     #[test]
     fn opcode_codes_are_unique_and_fit_six_bits() {

@@ -378,8 +378,14 @@ mod tests {
         b.load_immediate(g(8), 12).unwrap();
         let p = b.finish().unwrap();
         assert_eq!(p.len(), 3);
-        assert_eq!(p.instructions()[0], Instruction::ScLi { dst: g(7), imm: (418_816 & 0xFFFF) as u16 });
-        assert_eq!(p.instructions()[1], Instruction::ScLui { dst: g(7), imm: (418_816 >> 16) as u16 });
+        assert_eq!(
+            p.instructions()[0],
+            Instruction::ScLi { dst: g(7), imm: (418_816 & 0xFFFF) as u16 }
+        );
+        assert_eq!(
+            p.instructions()[1],
+            Instruction::ScLui { dst: g(7), imm: (418_816 >> 16) as u16 }
+        );
         assert_eq!(p.instructions()[2], Instruction::ScLi { dst: g(8), imm: 12 });
     }
 

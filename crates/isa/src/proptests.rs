@@ -36,14 +36,21 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
     prop_oneof![
         (arb_greg(), arb_greg(), arb_greg(), 0u8..64)
             .prop_map(|(input, rows, output, mg)| Instruction::CimMvm { input, rows, output, mg }),
-        (arb_greg(), arb_greg(), 0u8..64)
-            .prop_map(|(weights, rows, mg)| Instruction::CimLoad { weights, rows, mg }),
-        (arb_greg(), arb_greg(), 0u8..64)
-            .prop_map(|(output, len, mg)| Instruction::CimStoreAcc { output, len, mg }),
+        (arb_greg(), arb_greg(), 0u8..64).prop_map(|(weights, rows, mg)| Instruction::CimLoad {
+            weights,
+            rows,
+            mg
+        }),
+        (arb_greg(), arb_greg(), 0u8..64).prop_map(|(output, len, mg)| Instruction::CimStoreAcc {
+            output,
+            len,
+            mg
+        }),
         (arb_vector_kind(), arb_greg(), arb_greg(), arb_greg(), arb_greg())
             .prop_map(|(kind, a, b, dst, len)| Instruction::VecOp { kind, a, b, dst, len }),
-        (arb_pool_kind(), arb_greg(), arb_greg(), arb_greg(), arb_greg())
-            .prop_map(|(kind, src, dst, window, len)| Instruction::VecPool { kind, src, dst, window, len }),
+        (arb_pool_kind(), arb_greg(), arb_greg(), arb_greg(), arb_greg()).prop_map(
+            |(kind, src, dst, window, len)| Instruction::VecPool { kind, src, dst, window, len }
+        ),
         (arb_greg(), arb_greg(), arb_greg(), arb_greg())
             .prop_map(|(src, dst, shift, len)| Instruction::VecQuant { src, dst, shift, len }),
         (arb_greg(), arb_greg(), arb_greg(), arb_greg())
@@ -63,10 +70,16 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         (arb_greg(), arb_greg(), arb_greg(), 0u16..2048)
             .prop_map(|(addr, len, src_core, tag)| Instruction::Recv { addr, len, src_core, tag }),
         (-32768i32..32768).prop_map(|offset| Instruction::Jmp { offset }),
-        (arb_greg(), arb_greg(), -32768i32..32768)
-            .prop_map(|(a, b, offset)| Instruction::Beq { a, b, offset }),
-        (arb_greg(), arb_greg(), -32768i32..32768)
-            .prop_map(|(a, b, offset)| Instruction::Bne { a, b, offset }),
+        (arb_greg(), arb_greg(), -32768i32..32768).prop_map(|(a, b, offset)| Instruction::Beq {
+            a,
+            b,
+            offset
+        }),
+        (arb_greg(), arb_greg(), -32768i32..32768).prop_map(|(a, b, offset)| Instruction::Bne {
+            a,
+            b,
+            offset
+        }),
         any::<u16>().prop_map(|id| Instruction::Barrier { id }),
         Just(Instruction::Halt),
         Just(Instruction::Nop),

@@ -173,7 +173,10 @@ mod tests {
         assert!(GReg::new(GENERAL_REGISTER_COUNT - 1).is_ok());
         assert_eq!(
             GReg::new(GENERAL_REGISTER_COUNT),
-            Err(IsaError::InvalidRegister { index: GENERAL_REGISTER_COUNT, limit: GENERAL_REGISTER_COUNT })
+            Err(IsaError::InvalidRegister {
+                index: GENERAL_REGISTER_COUNT,
+                limit: GENERAL_REGISTER_COUNT
+            })
         );
     }
 

@@ -38,7 +38,9 @@ impl fmt::Display for NnError {
             }
             NnError::UnknownId { what } => write!(f, "unknown identifier: {what}"),
             NnError::InvalidGraph { reason } => write!(f, "invalid computation graph: {reason}"),
-            NnError::ParseModel { reason } => write!(f, "failed to parse model description: {reason}"),
+            NnError::ParseModel { reason } => {
+                write!(f, "failed to parse model description: {reason}")
+            }
         }
     }
 }

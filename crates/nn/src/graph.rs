@@ -122,11 +122,8 @@ impl Graph {
 
     /// Direct predecessors (producers of this node's inputs).
     pub fn predecessors(&self, id: OpId) -> Vec<OpId> {
-        let mut preds: Vec<OpId> = self.node(id)
-            .inputs
-            .iter()
-            .filter_map(|t| self.producer(*t))
-            .collect();
+        let mut preds: Vec<OpId> =
+            self.node(id).inputs.iter().filter_map(|t| self.producer(*t)).collect();
         preds.sort_unstable();
         preds.dedup();
         preds
@@ -152,11 +149,8 @@ impl Graph {
     pub fn topological_order(&self) -> Vec<OpId> {
         let mut in_degree: BTreeMap<OpId, usize> =
             self.nodes.iter().map(|n| (n.id, self.predecessors(n.id).len())).collect();
-        let mut ready: VecDeque<OpId> = in_degree
-            .iter()
-            .filter(|(_, d)| **d == 0)
-            .map(|(id, _)| *id)
-            .collect();
+        let mut ready: VecDeque<OpId> =
+            in_degree.iter().filter(|(_, d)| **d == 0).map(|(id, _)| *id).collect();
         let mut order = Vec::with_capacity(self.nodes.len());
         while let Some(id) = ready.pop_front() {
             order.push(id);
@@ -181,14 +175,20 @@ impl Graph {
     pub fn validate(&self) -> Result<(), NnError> {
         for (i, node) in self.nodes.iter().enumerate() {
             if node.id.0 != i {
-                return Err(NnError::InvalidGraph { reason: format!("node {i} has id {}", node.id) });
+                return Err(NnError::InvalidGraph {
+                    reason: format!("node {i} has id {}", node.id),
+                });
             }
             if node.inputs.is_empty() {
-                return Err(NnError::InvalidGraph { reason: format!("node `{}` has no inputs", node.name) });
+                return Err(NnError::InvalidGraph {
+                    reason: format!("node `{}` has no inputs", node.name),
+                });
             }
             for t in node.inputs.iter().chain(std::iter::once(&node.output)) {
                 if t.0 >= self.tensors.len() {
-                    return Err(NnError::UnknownId { what: format!("tensor {t} of node `{}`", node.name) });
+                    return Err(NnError::UnknownId {
+                        what: format!("tensor {t} of node `{}`", node.name),
+                    });
                 }
             }
             let inferred = node.op.output_shape(self.tensor(node.inputs[0]).shape)?;
@@ -199,12 +199,10 @@ impl Graph {
                     reason: format!("declared output {declared} but inferred {inferred}"),
                 });
             }
-            if node.op.is_binary() {
-                if node.inputs.len() != 2 {
-                    return Err(NnError::InvalidGraph {
-                        reason: format!("binary node `{}` has {} inputs", node.name, node.inputs.len()),
-                    });
-                }
+            if node.op.is_binary() && node.inputs.len() != 2 {
+                return Err(NnError::InvalidGraph {
+                    reason: format!("binary node `{}` has {} inputs", node.name, node.inputs.len()),
+                });
             }
         }
         // Exactly one producer per produced tensor.
@@ -245,7 +243,11 @@ impl Graph {
                     name: n.name.clone(),
                     macs: n.op.macs(input),
                     weight_bytes: n.op.weight_bytes(input),
-                    input_bytes: n.inputs.iter().map(|t| self.tensor(*t).shape.bytes(self.tensor(*t).dtype)).sum(),
+                    input_bytes: n
+                        .inputs
+                        .iter()
+                        .map(|t| self.tensor(*t).shape.bytes(self.tensor(*t).dtype))
+                        .sum(),
                     output_bytes: self.tensor(n.output).shape.bytes(self.tensor(n.output).dtype),
                     vector_elems: n.op.vector_elems(input),
                     is_mvm: n.op.is_mvm_based(),
@@ -267,8 +269,8 @@ impl Graph {
     /// Returns [`NnError::ParseModel`] for malformed JSON or a validation
     /// error for structurally broken graphs.
     pub fn from_json(text: &str) -> Result<Self, NnError> {
-        let graph: Graph =
-            serde_json::from_str(text).map_err(|e| NnError::ParseModel { reason: e.to_string() })?;
+        let graph: Graph = serde_json::from_str(text)
+            .map_err(|e| NnError::ParseModel { reason: e.to_string() })?;
         graph.validate()?;
         Ok(graph)
     }
@@ -353,9 +355,16 @@ impl GraphBuilder {
     ///
     /// Returns a shape-inference error if the operator rejects its input
     /// shape, or [`NnError::UnknownId`] if an input identifier is foreign.
-    pub fn node(&mut self, name: &str, op: OpKind, inputs: &[TensorId]) -> Result<TensorId, NnError> {
+    pub fn node(
+        &mut self,
+        name: &str,
+        op: OpKind,
+        inputs: &[TensorId],
+    ) -> Result<TensorId, NnError> {
         if inputs.is_empty() {
-            return Err(NnError::InvalidGraph { reason: format!("node `{name}` needs at least one input") });
+            return Err(NnError::InvalidGraph {
+                reason: format!("node `{name}` needs at least one input"),
+            });
         }
         for t in inputs {
             if t.0 >= self.tensors.len() {
@@ -404,7 +413,13 @@ mod tests {
     use crate::op::ActivationKind;
 
     fn conv(out: u32, k: u32, s: u32, p: u32) -> OpKind {
-        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p), groups: 1 }
+        OpKind::Conv2d {
+            out_channels: out,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+            groups: 1,
+        }
     }
 
     fn small_residual_graph() -> Graph {
@@ -464,7 +479,9 @@ mod tests {
         assert!(stats.total_weight_bytes > 0);
         assert_eq!(stats.per_op.len(), 6);
         assert_eq!(stats.mvm_op_count, 3);
-        assert!(stats.max_weight_bytes >= stats.per_op.iter().map(|o| o.weight_bytes).max().unwrap());
+        assert!(
+            stats.max_weight_bytes >= stats.per_op.iter().map(|o| o.weight_bytes).max().unwrap()
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ fn conv(out: u32, k: u32, s: u32, p: u32, groups: u32) -> OpKind {
 /// broadcast multiplication back onto the feature map.
 fn squeeze_excite(b: &mut GraphBuilder, name: &str, input: TensorId, reduced: u32) -> TensorId {
     let channels = b.shape(input).c;
-    let squeezed = b.node(&format!("{name}.se_gap"), OpKind::GlobalAvgPool, &[input]).expect("valid se gap");
+    let squeezed =
+        b.node(&format!("{name}.se_gap"), OpKind::GlobalAvgPool, &[input]).expect("valid se gap");
     let reduce = b
         .node(&format!("{name}.se_reduce"), conv(reduced.max(1), 1, 1, 0, 1), &[squeezed])
         .expect("valid se reduce");
@@ -45,9 +46,15 @@ fn mbconv(
     let hidden = in_channels * expansion;
     let mut x = input;
     if expansion != 1 {
-        x = b.node(&format!("{name}.expand"), conv(hidden, 1, 1, 0, 1), &[x]).expect("valid expand");
         x = b
-            .node(&format!("{name}.expand_act"), OpKind::Activation(ActivationKind::HardSwish), &[x])
+            .node(&format!("{name}.expand"), conv(hidden, 1, 1, 0, 1), &[x])
+            .expect("valid expand");
+        x = b
+            .node(
+                &format!("{name}.expand_act"),
+                OpKind::Activation(ActivationKind::HardSwish),
+                &[x],
+            )
             .expect("valid expand act");
     }
     let padding = kernel / 2;
@@ -91,7 +98,15 @@ pub fn efficientnet_b0(resolution: u32) -> Model {
     for (expansion, out_channels, repeats, first_stride, kernel) in blocks {
         for repeat in 0..repeats {
             let stride = if repeat == 0 { first_stride } else { 1 };
-            x = mbconv(&mut b, &format!("mbconv{index}"), x, expansion, out_channels, kernel, stride);
+            x = mbconv(
+                &mut b,
+                &format!("mbconv{index}"),
+                x,
+                expansion,
+                out_channels,
+                kernel,
+                stride,
+            );
             index += 1;
         }
     }
@@ -101,7 +116,8 @@ pub fn efficientnet_b0(resolution: u32) -> Model {
         .node("head_act", OpKind::Activation(ActivationKind::HardSwish), &[x])
         .expect("valid head act");
     let pooled = b.node("gap", OpKind::GlobalAvgPool, &[x]).expect("valid gap");
-    let logits = b.node("fc", OpKind::Linear { out_features: 1000 }, &[pooled]).expect("valid classifier");
+    let logits =
+        b.node("fc", OpKind::Linear { out_features: 1000 }, &[pooled]).expect("valid classifier");
 
     let graph = b.finish(&[logits]).expect("efficientnetb0 graph is structurally valid");
     Model::new("efficientnetb0", graph)

@@ -22,7 +22,9 @@ fn inverted_residual(
     let hidden = in_channels * expansion;
     let mut x = input;
     if expansion != 1 {
-        x = b.node(&format!("{name}.expand"), conv(hidden, 1, 1, 0, 1), &[x]).expect("valid expand conv");
+        x = b
+            .node(&format!("{name}.expand"), conv(hidden, 1, 1, 0, 1), &[x])
+            .expect("valid expand conv");
         x = b
             .node(&format!("{name}.expand_relu"), OpKind::Activation(ActivationKind::Relu6), &[x])
             .expect("valid expand relu");
@@ -49,7 +51,9 @@ pub fn mobilenet_v2(resolution: u32) -> Model {
     let input = b.input("image", TensorShape::feature_map(3, resolution, resolution));
 
     let mut x = b.node("stem", conv(32, 3, 2, 1, 1), &[input]).expect("valid stem");
-    x = b.node("stem_relu", OpKind::Activation(ActivationKind::Relu6), &[x]).expect("valid stem relu");
+    x = b
+        .node("stem_relu", OpKind::Activation(ActivationKind::Relu6), &[x])
+        .expect("valid stem relu");
 
     // (expansion, out_channels, repeats, first stride) — Table 2 of the paper.
     let blocks: [(u32, u32, u32, u32); 7] = [
@@ -65,15 +69,25 @@ pub fn mobilenet_v2(resolution: u32) -> Model {
     for (expansion, out_channels, repeats, first_stride) in blocks {
         for repeat in 0..repeats {
             let stride = if repeat == 0 { first_stride } else { 1 };
-            x = inverted_residual(&mut b, &format!("block{block_index}"), x, expansion, out_channels, stride);
+            x = inverted_residual(
+                &mut b,
+                &format!("block{block_index}"),
+                x,
+                expansion,
+                out_channels,
+                stride,
+            );
             block_index += 1;
         }
     }
 
     x = b.node("head", conv(1280, 1, 1, 0, 1), &[x]).expect("valid head conv");
-    x = b.node("head_relu", OpKind::Activation(ActivationKind::Relu6), &[x]).expect("valid head relu");
+    x = b
+        .node("head_relu", OpKind::Activation(ActivationKind::Relu6), &[x])
+        .expect("valid head relu");
     let pooled = b.node("gap", OpKind::GlobalAvgPool, &[x]).expect("valid gap");
-    let logits = b.node("fc", OpKind::Linear { out_features: 1000 }, &[pooled]).expect("valid classifier");
+    let logits =
+        b.node("fc", OpKind::Linear { out_features: 1000 }, &[pooled]).expect("valid classifier");
 
     let graph = b.finish(&[logits]).expect("mobilenetv2 graph is structurally valid");
     Model::new("mobilenetv2", graph)

@@ -87,10 +87,12 @@ mod tests {
     #[test]
     fn compact_models_use_depthwise_convolutions() {
         for model in [mobilenet_v2(224), efficientnet_b0(224)] {
-            let has_dw = model.graph.nodes().iter().any(|n| matches!(
-                n.op,
-                crate::OpKind::Conv2d { groups, .. } if groups > 1
-            ));
+            let has_dw = model.graph.nodes().iter().any(|n| {
+                matches!(
+                    n.op,
+                    crate::OpKind::Conv2d { groups, .. } if groups > 1
+                )
+            });
             assert!(has_dw, "{} must contain depth-wise convolutions", model.name);
         }
     }

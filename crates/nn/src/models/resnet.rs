@@ -18,18 +18,23 @@ fn basic_block(
     stride: u32,
     project: bool,
 ) -> TensorId {
-    let c1 = b.node(&format!("{name}.conv1"), conv(channels, 3, stride, 1), &[input]).expect("valid block conv1");
+    let c1 = b
+        .node(&format!("{name}.conv1"), conv(channels, 3, stride, 1), &[input])
+        .expect("valid block conv1");
     let r1 = b
         .node(&format!("{name}.relu1"), OpKind::Activation(ActivationKind::Relu), &[c1])
         .expect("valid block relu1");
-    let c2 = b.node(&format!("{name}.conv2"), conv(channels, 3, 1, 1), &[r1]).expect("valid block conv2");
+    let c2 = b
+        .node(&format!("{name}.conv2"), conv(channels, 3, 1, 1), &[r1])
+        .expect("valid block conv2");
     let shortcut = if project {
         b.node(&format!("{name}.downsample"), conv(channels, 1, stride, 0), &[input])
             .expect("valid downsample")
     } else {
         input
     };
-    let sum = b.node(&format!("{name}.add"), OpKind::Add, &[c2, shortcut]).expect("valid residual add");
+    let sum =
+        b.node(&format!("{name}.add"), OpKind::Add, &[c2, shortcut]).expect("valid residual add");
     b.node(&format!("{name}.relu2"), OpKind::Activation(ActivationKind::Relu), &[sum])
         .expect("valid block relu2")
 }
@@ -41,9 +46,15 @@ pub fn resnet18(resolution: u32) -> Model {
     let input = b.input("image", TensorShape::feature_map(3, resolution, resolution));
 
     let stem = b.node("conv1", conv(64, 7, 2, 3), &[input]).expect("valid stem");
-    let stem = b.node("relu1", OpKind::Activation(ActivationKind::Relu), &[stem]).expect("valid stem relu");
+    let stem = b
+        .node("relu1", OpKind::Activation(ActivationKind::Relu), &[stem])
+        .expect("valid stem relu");
     let mut x = b
-        .node("maxpool", OpKind::MaxPool { kernel: (3, 3), stride: (2, 2), padding: (1, 1) }, &[stem])
+        .node(
+            "maxpool",
+            OpKind::MaxPool { kernel: (3, 3), stride: (2, 2), padding: (1, 1) },
+            &[stem],
+        )
         .expect("valid stem pool");
 
     let stages: [(u32, u32, &str); 4] =
@@ -55,7 +66,8 @@ pub fn resnet18(resolution: u32) -> Model {
     }
 
     let pooled = b.node("gap", OpKind::GlobalAvgPool, &[x]).expect("valid gap");
-    let logits = b.node("fc", OpKind::Linear { out_features: 1000 }, &[pooled]).expect("valid classifier");
+    let logits =
+        b.node("fc", OpKind::Linear { out_features: 1000 }, &[pooled]).expect("valid classifier");
     let graph = b.finish(&[logits]).expect("resnet18 graph is structurally valid");
     Model::new("resnet18", graph)
 }
@@ -67,17 +79,17 @@ mod tests {
     #[test]
     fn resnet18_has_expected_structure() {
         let model = resnet18(224);
-        let convs = model
-            .graph
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.op, OpKind::Conv2d { .. }))
-            .count();
+        let convs =
+            model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Conv2d { .. })).count();
         // 1 stem + 16 block convs + 3 downsample projections.
         assert_eq!(convs, 20);
-        let fcs = model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Linear { .. })).count();
+        let fcs =
+            model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Linear { .. })).count();
         assert_eq!(fcs, 1);
-        assert_eq!(model.graph.output_shape(model.graph.nodes().last().unwrap().id), TensorShape::vector(1000));
+        assert_eq!(
+            model.graph.output_shape(model.graph.nodes().last().unwrap().id),
+            TensorShape::vector(1000)
+        );
     }
 
     #[test]

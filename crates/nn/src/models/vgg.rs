@@ -42,10 +42,15 @@ pub fn vgg19(resolution: u32) -> Model {
 
     let flat = b.node("flatten", OpKind::Flatten, &[x]).expect("valid flatten");
     let fc1 = b.node("fc1", OpKind::Linear { out_features: 4096 }, &[flat]).expect("valid fc1");
-    let relu_fc1 = b.node("relu_fc1", OpKind::Activation(ActivationKind::Relu), &[fc1]).expect("valid fc relu");
+    let relu_fc1 = b
+        .node("relu_fc1", OpKind::Activation(ActivationKind::Relu), &[fc1])
+        .expect("valid fc relu");
     let fc2 = b.node("fc2", OpKind::Linear { out_features: 4096 }, &[relu_fc1]).expect("valid fc2");
-    let relu_fc2 = b.node("relu_fc2", OpKind::Activation(ActivationKind::Relu), &[fc2]).expect("valid fc relu");
-    let logits = b.node("fc3", OpKind::Linear { out_features: 1000 }, &[relu_fc2]).expect("valid fc3");
+    let relu_fc2 = b
+        .node("relu_fc2", OpKind::Activation(ActivationKind::Relu), &[fc2])
+        .expect("valid fc relu");
+    let logits =
+        b.node("fc3", OpKind::Linear { out_features: 1000 }, &[relu_fc2]).expect("valid fc3");
 
     let graph = b.finish(&[logits]).expect("vgg19 graph is structurally valid");
     Model::new("vgg19", graph)
@@ -58,8 +63,10 @@ mod tests {
     #[test]
     fn vgg19_has_sixteen_convs_and_three_fcs() {
         let model = vgg19(224);
-        let convs = model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Conv2d { .. })).count();
-        let fcs = model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Linear { .. })).count();
+        let convs =
+            model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Conv2d { .. })).count();
+        let fcs =
+            model.graph.nodes().iter().filter(|n| matches!(n.op, OpKind::Linear { .. })).count();
         assert_eq!(convs, 16);
         assert_eq!(fcs, 3);
     }
@@ -68,12 +75,8 @@ mod tests {
     fn fully_connected_layers_dominate_weights_at_full_resolution() {
         let model = vgg19(224);
         let stats = model.graph.stats();
-        let fc_weights: u64 = stats
-            .per_op
-            .iter()
-            .filter(|o| o.name.starts_with("fc"))
-            .map(|o| o.weight_bytes)
-            .sum();
+        let fc_weights: u64 =
+            stats.per_op.iter().filter(|o| o.name.starts_with("fc")).map(|o| o.weight_bytes).sum();
         assert!(fc_weights * 2 > stats.total_weight_bytes, "VGG19 FC layers hold most parameters");
     }
 

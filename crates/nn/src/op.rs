@@ -130,7 +130,7 @@ impl OpKind {
         let err = |reason: String| NnError::ShapeMismatch { op: self.name().to_owned(), reason };
         match *self {
             OpKind::Conv2d { out_channels, kernel, stride, padding, groups } => {
-                if groups == 0 || input.c % groups != 0 || out_channels % groups != 0 {
+                if groups == 0 || !input.c.is_multiple_of(groups) || out_channels % groups != 0 {
                     return Err(err(format!(
                         "groups {groups} must divide in_channels {} and out_channels {out_channels}",
                         input.c
@@ -140,17 +140,18 @@ impl OpKind {
                     .ok_or_else(|| err("kernel larger than padded input".into()))?;
                 Ok(TensorShape::new(input.n, out_channels, oh, ow))
             }
-            OpKind::Linear { out_features } => {
-                Ok(TensorShape::new(input.n, out_features, 1, 1))
-            }
-            OpKind::MaxPool { kernel, stride, padding } | OpKind::AvgPool { kernel, stride, padding } => {
+            OpKind::Linear { out_features } => Ok(TensorShape::new(input.n, out_features, 1, 1)),
+            OpKind::MaxPool { kernel, stride, padding }
+            | OpKind::AvgPool { kernel, stride, padding } => {
                 let (oh, ow) = conv_spatial(input.h, input.w, kernel, stride, padding)
                     .ok_or_else(|| err("pooling window larger than padded input".into()))?;
                 Ok(TensorShape::new(input.n, input.c, oh, ow))
             }
             OpKind::GlobalAvgPool => Ok(TensorShape::new(input.n, input.c, 1, 1)),
             OpKind::Activation(_) | OpKind::Add | OpKind::Mul | OpKind::BatchNorm => Ok(input),
-            OpKind::Flatten => Ok(TensorShape::new(input.n, (input.elements_per_item()) as u32, 1, 1)),
+            OpKind::Flatten => {
+                Ok(TensorShape::new(input.n, (input.elements_per_item()) as u32, 1, 1))
+            }
         }
     }
 
@@ -160,12 +161,12 @@ impl OpKind {
     pub fn weight_count(&self, input: TensorShape) -> u64 {
         match *self {
             OpKind::Conv2d { out_channels, kernel, groups, .. } => {
-                u64::from(out_channels) * u64::from(input.c / groups.max(1))
-                    * u64::from(kernel.0) * u64::from(kernel.1)
+                u64::from(out_channels)
+                    * u64::from(input.c / groups.max(1))
+                    * u64::from(kernel.0)
+                    * u64::from(kernel.1)
             }
-            OpKind::Linear { out_features } => {
-                u64::from(out_features) * input.elements_per_item()
-            }
+            OpKind::Linear { out_features } => u64::from(out_features) * input.elements_per_item(),
             OpKind::BatchNorm => u64::from(input.c) * 2,
             _ => 0,
         }
@@ -185,9 +186,7 @@ impl OpKind {
     pub fn macs(&self, input: TensorShape) -> u64 {
         match *self {
             OpKind::Conv2d { kernel, groups, .. } => {
-                let output = self
-                    .output_shape(input)
-                    .unwrap_or(TensorShape::new(input.n, 0, 0, 0));
+                let output = self.output_shape(input).unwrap_or(TensorShape::new(input.n, 0, 0, 0));
                 output.elements()
                     * u64::from(input.c / groups.max(1))
                     * u64::from(kernel.0)
@@ -204,7 +203,9 @@ impl OpKind {
     /// handled by the vector unit.
     pub fn vector_elems(&self, input: TensorShape) -> u64 {
         match self {
-            OpKind::Activation(_) | OpKind::Add | OpKind::Mul | OpKind::BatchNorm => input.elements(),
+            OpKind::Activation(_) | OpKind::Add | OpKind::Mul | OpKind::BatchNorm => {
+                input.elements()
+            }
             OpKind::MaxPool { kernel, .. } | OpKind::AvgPool { kernel, .. } => {
                 let out = self.output_shape(input).map(|s| s.elements()).unwrap_or(0);
                 out * u64::from(kernel.0) * u64::from(kernel.1)
@@ -253,7 +254,13 @@ mod tests {
     use super::*;
 
     fn conv(out: u32, k: u32, s: u32, p: u32, groups: u32) -> OpKind {
-        OpKind::Conv2d { out_channels: out, kernel: (k, k), stride: (s, s), padding: (p, p), groups }
+        OpKind::Conv2d {
+            out_channels: out,
+            kernel: (k, k),
+            stride: (s, s),
+            padding: (p, p),
+            groups,
+        }
     }
 
     #[test]

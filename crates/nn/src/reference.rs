@@ -54,7 +54,8 @@ impl Tensor {
         if h < 0 || w < 0 || h >= i64::from(self.shape.h) || w >= i64::from(self.shape.w) {
             return 0;
         }
-        let idx = ((u64::from(n) * u64::from(self.shape.c) + u64::from(c)) * u64::from(self.shape.h)
+        let idx = ((u64::from(n) * u64::from(self.shape.c) + u64::from(c))
+            * u64::from(self.shape.h)
             + h as u64)
             * u64::from(self.shape.w)
             + w as u64;
@@ -62,7 +63,8 @@ impl Tensor {
     }
 
     fn set(&mut self, n: u32, c: u32, h: u32, w: u32, value: i8) {
-        let idx = ((u64::from(n) * u64::from(self.shape.c) + u64::from(c)) * u64::from(self.shape.h)
+        let idx = ((u64::from(n) * u64::from(self.shape.c) + u64::from(c))
+            * u64::from(self.shape.h)
             + u64::from(h))
             * u64::from(self.shape.w)
             + u64::from(w);
@@ -145,7 +147,12 @@ pub fn conv2d(
 /// This is the transformation the compiler's virtual-mapping phase applies
 /// before mapping the weight matrix onto the 2-D CIM array; the unit test
 /// in this module proves `im2col + matmul == direct convolution`.
-pub fn im2col(input: &Tensor, kernel: (u32, u32), stride: (u32, u32), padding: (u32, u32)) -> (Vec<i8>, usize, usize) {
+pub fn im2col(
+    input: &Tensor,
+    kernel: (u32, u32),
+    stride: (u32, u32),
+    padding: (u32, u32),
+) -> (Vec<i8>, usize, usize) {
     let op = OpKind::Conv2d { out_channels: 1, kernel, stride, padding, groups: 1 };
     let out = op.output_shape(input.shape).expect("caller validated the geometry");
     let rows = (out.h * out.w * input.shape.n) as usize;
@@ -256,7 +263,8 @@ pub fn mul_broadcast(a: &Tensor, gate: &Tensor) -> Tensor {
             let g = i32::from(gate.at(n, c, 0, 0));
             for h in 0..a.shape.h {
                 for w in 0..a.shape.w {
-                    let v = (i32::from(a.at(n, c, i64::from(h), i64::from(w))) * g / 64).clamp(-128, 127);
+                    let v = (i32::from(a.at(n, c, i64::from(h), i64::from(w))) * g / 64)
+                        .clamp(-128, 127);
                     out.set(n, c, h, w, v as i8);
                 }
             }
@@ -266,7 +274,13 @@ pub fn mul_broadcast(a: &Tensor, gate: &Tensor) -> Tensor {
 }
 
 /// Window pooling (max or average).
-pub fn pool(input: &Tensor, kernel: (u32, u32), stride: (u32, u32), padding: (u32, u32), max: bool) -> Result<Tensor, NnError> {
+pub fn pool(
+    input: &Tensor,
+    kernel: (u32, u32),
+    stride: (u32, u32),
+    padding: (u32, u32),
+    max: bool,
+) -> Result<Tensor, NnError> {
     let op = if max {
         OpKind::MaxPool { kernel, stride, padding }
     } else {
@@ -334,14 +348,17 @@ pub fn execute(graph: &Graph, input: &Tensor) -> Result<Vec<Tensor>, NnError> {
         let result = execute_node(graph, node, &values)?;
         values[node.output.0] = Some(result);
     }
-    Ok(values.into_iter().map(|v| v.unwrap_or_else(|| Tensor::zeros(TensorShape::vector(1)))).collect())
+    Ok(values
+        .into_iter()
+        .map(|v| v.unwrap_or_else(|| Tensor::zeros(TensorShape::vector(1))))
+        .collect())
 }
 
 fn execute_node(graph: &Graph, node: &Node, values: &[Option<Tensor>]) -> Result<Tensor, NnError> {
     let fetch = |t: crate::graph::TensorId| -> Result<&Tensor, NnError> {
-        values[t.0]
-            .as_ref()
-            .ok_or_else(|| NnError::InvalidGraph { reason: format!("tensor {t} used before production") })
+        values[t.0].as_ref().ok_or_else(|| NnError::InvalidGraph {
+            reason: format!("tensor {t} used before production"),
+        })
     };
     let input = fetch(node.inputs[0])?;
     let input_shape = graph.tensor(node.inputs[0]).shape;
@@ -361,10 +378,9 @@ fn execute_node(graph: &Graph, node: &Node, values: &[Option<Tensor>]) -> Result
         OpKind::Add => Ok(add(input, fetch(node.inputs[1])?)),
         OpKind::Mul => Ok(mul_broadcast(input, fetch(node.inputs[1])?)),
         OpKind::BatchNorm => Ok(input.clone()),
-        OpKind::Flatten => Ok(Tensor {
-            shape: node.op.output_shape(input_shape)?,
-            data: input.data.clone(),
-        }),
+        OpKind::Flatten => {
+            Ok(Tensor { shape: node.op.output_shape(input_shape)?, data: input.data.clone() })
+        }
     }
 }
 
@@ -396,7 +412,8 @@ mod tests {
         // Re-layout: rows are (oh, ow), columns are oc; direct output is (oc, oh, ow).
         for oc in 0..out_channels {
             for pos in 0..(direct.shape.h * direct.shape.w) as usize {
-                let from_matmul = requantize(acc[pos * out_channels as usize + oc as usize], REQUANT_SHIFT);
+                let from_matmul =
+                    requantize(acc[pos * out_channels as usize + oc as usize], REQUANT_SHIFT);
                 let oh = pos as u32 / direct.shape.w;
                 let ow = pos as u32 % direct.shape.w;
                 assert_eq!(from_matmul, direct.at(0, oc, i64::from(oh), i64::from(ow)));
@@ -415,7 +432,7 @@ mod tests {
         for kh in 0..3i64 {
             for kw in 0..3i64 {
                 let x = input.at(0, 2, 1 + kh - 1, 1 + kw - 1);
-                let w = weights[(2 * 9 + (kh * 3 + kw) as usize) as usize];
+                let w = weights[2 * 9 + (kh * 3 + kw) as usize];
                 acc += i32::from(x) * i32::from(w);
             }
         }
@@ -432,7 +449,7 @@ mod tests {
         assert_eq!(max.shape, TensorShape::feature_map(1, 2, 2));
         assert_eq!(max.at(0, 0, 0, 0), 5);
         let avg = pool(&input, (2, 2), (2, 2), (0, 0), false).unwrap();
-        assert_eq!(avg.at(0, 0, 0, 0), (0 + 1 + 4 + 5) / 4);
+        assert_eq!(avg.at(0, 0, 0, 0), (1 + 4 + 5) / 4);
         let gap = global_avg_pool(&input);
         assert_eq!(gap.shape, TensorShape::vector(1));
         assert_eq!(i32::from(gap.data[0]), (0..16).sum::<i32>() / 16);
@@ -463,14 +480,25 @@ mod tests {
         let mut b = GraphBuilder::new();
         let input = b.input("x", TensorShape::feature_map(3, 8, 8));
         let c1 = b
-            .node("conv1", OpKind::Conv2d { out_channels: 4, kernel: (3, 3), stride: (1, 1), padding: (1, 1), groups: 1 }, &[input])
+            .node(
+                "conv1",
+                OpKind::Conv2d {
+                    out_channels: 4,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                    groups: 1,
+                },
+                &[input],
+            )
             .unwrap();
         let r1 = b.node("relu", OpKind::Activation(ActivationKind::Relu), &[c1]).unwrap();
         let g1 = b.node("gap", OpKind::GlobalAvgPool, &[r1]).unwrap();
         let fc = b.node("fc", OpKind::Linear { out_features: 10 }, &[g1]).unwrap();
         let graph = b.finish(&[fc]).unwrap();
 
-        let values = execute(&graph, &Tensor::synthetic(TensorShape::feature_map(3, 8, 8), 1)).unwrap();
+        let values =
+            execute(&graph, &Tensor::synthetic(TensorShape::feature_map(3, 8, 8), 1)).unwrap();
         let out = &values[graph.outputs()[0].0];
         assert_eq!(out.shape, TensorShape::vector(10));
         // ReLU output must be non-negative.

@@ -86,7 +86,11 @@ mod tests {
 
     #[test]
     fn aggregation_sums_and_maxima() {
-        let stats = WorkloadStats::from_ops(vec![op(0, 100, 50, true), op(1, 0, 0, false), op(2, 300, 200, true)]);
+        let stats = WorkloadStats::from_ops(vec![
+            op(0, 100, 50, true),
+            op(1, 0, 0, false),
+            op(2, 300, 200, true),
+        ]);
         assert_eq!(stats.total_macs, 400);
         assert_eq!(stats.total_ops(), 800);
         assert_eq!(stats.total_weight_bytes, 250);

@@ -213,7 +213,8 @@ impl Mesh {
     pub fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome {
         let flits = self.config.flits_for(bytes);
         if src == dst || flits == 0 {
-            let outcome = TransferOutcome { departure: now, arrival: now, hops: 0, flits, contention: 0 };
+            let outcome =
+                TransferOutcome { departure: now, arrival: now, hops: 0, flits, contention: 0 };
             self.stats.packets += 1;
             self.stats.bytes += bytes;
             self.stats.flits += flits;

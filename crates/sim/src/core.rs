@@ -74,7 +74,10 @@ impl CoreState {
             now: 0,
             regs: [0; 32],
             sregs,
-            macro_groups: vec![MacroGroupState::default(); arch.core.cim_unit.macro_groups as usize],
+            macro_groups: vec![
+                MacroGroupState::default();
+                arch.core.cim_unit.macro_groups as usize
+            ],
             vector_busy_until: 0,
             vector_busy_cycles: 0,
             block: BlockReason::None,
@@ -206,7 +209,12 @@ mod tests {
         c.execute_scalar(&Instruction::ScLi { dst: g(1), imm: 0x1234 });
         c.execute_scalar(&Instruction::ScLui { dst: g(1), imm: 0x6 });
         assert_eq!(c.read(g(1)), 0x0006_1234);
-        c.execute_scalar(&Instruction::ScAlui { op: ScalarAluOp::Add, dst: g(2), src: g(1), imm: 4 });
+        c.execute_scalar(&Instruction::ScAlui {
+            op: ScalarAluOp::Add,
+            dst: g(2),
+            src: g(1),
+            imm: 4,
+        });
         assert_eq!(c.read(g(2)), 0x0006_1238);
         c.execute_scalar(&Instruction::ScAlu { op: ScalarAluOp::Sub, dst: g(3), a: g(2), b: g(1) });
         assert_eq!(c.read(g(3)), 4);

@@ -114,10 +114,9 @@ impl Simulator {
         for (i, core) in self.cores.iter().enumerate() {
             let runnable = match core.block {
                 BlockReason::None => true,
-                BlockReason::Recv { src } => self
-                    .channels
-                    .get(&(src, core.id))
-                    .is_some_and(|q| !q.is_empty()),
+                BlockReason::Recv { src } => {
+                    self.channels.get(&(src, core.id)).is_some_and(|q| !q.is_empty())
+                }
                 _ => false,
             };
             if runnable {
@@ -209,7 +208,8 @@ impl Simulator {
         match inst {
             Instruction::CimMvm { rows, output: _, mg, input: _ } => {
                 let core = &mut self.cores[index];
-                let rows_value = core.read_unsigned(rows).clamp(1, u64::from(unit.rows_per_operation())) as u32;
+                let rows_value =
+                    core.read_unsigned(rows).clamp(1, u64::from(unit.rows_per_operation())) as u32;
                 let issue = unit.mvm_issue_cycles(rows_value);
                 let latency = unit.mvm_latency_cycles(rows_value);
                 let start = core.now;
@@ -223,7 +223,8 @@ impl Simulator {
             }
             Instruction::CimLoad { rows, mg, weights: _ } => {
                 let core = &mut self.cores[index];
-                let rows_value = core.read_unsigned(rows).clamp(1, u64::from(unit.rows_per_operation())) as u32;
+                let rows_value =
+                    core.read_unsigned(rows).clamp(1, u64::from(unit.rows_per_operation())) as u32;
                 let cycles = unit.weight_load_cycles(rows_value);
                 let start = core.now;
                 core.occupy_macro_group(mg as usize, start, cycles, cycles);
@@ -249,7 +250,8 @@ impl Simulator {
                 let start = core.now;
                 core.occupy_vector_unit(start, cycles);
                 core.now += 1;
-                core.energy.compute_pj += self.energy_model.digital.vector_pj_per_elem * elems as f64;
+                core.energy.compute_pj +=
+                    self.energy_model.digital.vector_pj_per_elem * elems as f64;
                 core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(elems)
                     + self.energy_model.sram.local_write_pj(elems);
                 self.vector_ops += elems;
@@ -261,7 +263,8 @@ impl Simulator {
                 let start = core.now;
                 core.occupy_vector_unit(start, cycles);
                 core.now += 1;
-                core.energy.compute_pj += self.energy_model.digital.vector_pj_per_elem * elems as f64;
+                core.energy.compute_pj +=
+                    self.energy_model.digital.vector_pj_per_elem * elems as f64;
                 core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(elems);
                 self.vector_ops += elems;
             }
@@ -279,15 +282,17 @@ impl Simulator {
                         self.mesh.transfer_to_memory(core_id, bytes, now)
                     };
                     let port_start = outcome.arrival.max(self.global_port_free);
-                    let completion = port_start + self.arch.chip.global_memory.transfer_cycles(bytes);
+                    let completion =
+                        port_start + self.arch.chip.global_memory.transfer_cycles(bytes);
                     self.global_port_free = completion;
                     let core = &mut self.cores[index];
                     core.now = completion;
                     core.energy.global_memory_pj += self.energy_model.sram.global_pj(bytes);
-                    core.energy.noc_pj += self
-                        .energy_model
-                        .noc
-                        .transfer_pj(outcome.flits, self.arch.chip.noc_flit_bytes, outcome.hops.max(1));
+                    core.energy.noc_pj += self.energy_model.noc.transfer_pj(
+                        outcome.flits,
+                        self.arch.chip.noc_flit_bytes,
+                        outcome.hops.max(1),
+                    );
                     core.energy.local_memory_pj += self.energy_model.sram.local_write_pj(bytes);
                 } else {
                     let core = &mut self.cores[index];
@@ -310,10 +315,11 @@ impl Simulator {
                     .push_back(Message { arrival: outcome.arrival, bytes });
                 let core = &mut self.cores[index];
                 core.now += 1;
-                core.energy.noc_pj += self
-                    .energy_model
-                    .noc
-                    .transfer_pj(outcome.flits, self.arch.chip.noc_flit_bytes, outcome.hops.max(1));
+                core.energy.noc_pj += self.energy_model.noc.transfer_pj(
+                    outcome.flits,
+                    self.arch.chip.noc_flit_bytes,
+                    outcome.hops.max(1),
+                );
                 core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(bytes);
             }
             Instruction::Recv { src_core, .. } => {
@@ -325,7 +331,8 @@ impl Simulator {
                 match queue.pop_front() {
                     Some(message) => {
                         let core = &mut self.cores[index];
-                        core.now = core.now.max(message.arrival) + local.transfer_cycles(message.bytes);
+                        core.now =
+                            core.now.max(message.arrival) + local.transfer_cycles(message.bytes);
                         core.energy.local_memory_pj +=
                             self.energy_model.sram.local_write_pj(message.bytes);
                     }
@@ -409,11 +416,8 @@ impl Simulator {
                 (busy as f64 / mg_per_core / total_cycles as f64).min(1.0)
             })
             .collect();
-        let cim_busy: u64 = self
-            .cores
-            .iter()
-            .flat_map(|c| c.macro_groups.iter().map(|m| m.busy_cycles))
-            .sum();
+        let cim_busy: u64 =
+            self.cores.iter().flat_map(|c| c.macro_groups.iter().map(|m| m.busy_cycles)).sum();
         let vector_busy: u64 = self.cores.iter().map(|c| c.vector_busy_cycles).sum();
 
         let mut report = SimReport {
@@ -488,12 +492,14 @@ mod tests {
         let arch_small = ArchConfig::paper_default().with_macros_per_group(4);
         let arch_large = ArchConfig::paper_default().with_macros_per_group(16);
         let model = models::resnet18(32);
-        let small = Simulator::new(&compile(&model, &arch_small, Strategy::GenericMapping).unwrap())
-            .run()
-            .unwrap();
-        let large = Simulator::new(&compile(&model, &arch_large, Strategy::GenericMapping).unwrap())
-            .run()
-            .unwrap();
+        let small =
+            Simulator::new(&compile(&model, &arch_small, Strategy::GenericMapping).unwrap())
+                .run()
+                .unwrap();
+        let large =
+            Simulator::new(&compile(&model, &arch_large, Strategy::GenericMapping).unwrap())
+                .run()
+                .unwrap();
         assert!(large.throughput_tops() >= small.throughput_tops() * 0.9);
     }
 }

@@ -33,7 +33,9 @@ impl fmt::Display for SimError {
                 blocked_on_recv.len(),
                 blocked_on_barrier.len()
             ),
-            SimError::InvalidCore { core } => write!(f, "program references nonexistent core {core}"),
+            SimError::InvalidCore { core } => {
+                write!(f, "program references nonexistent core {core}")
+            }
             SimError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
             }

@@ -39,8 +39,8 @@ fn invalid_configurations_are_rejected_before_compilation() {
 fn mg_size_sweep_changes_capacity_and_performance() {
     let base = ArchConfig::paper_default();
     let model = models::resnet18(32);
-    let points =
-        dse::sweep(&base, &model, &[4, 16], &[8], Strategy::GenericMapping).expect("sweep succeeds");
+    let points = dse::sweep(&base, &model, &[4, 16], &[8], Strategy::GenericMapping)
+        .expect("sweep succeeds");
     assert_eq!(points.len(), 2);
     let small = points.iter().find(|p| p.mg_size == 4).unwrap();
     let large = points.iter().find(|p| p.mg_size == 16).unwrap();

@@ -1,0 +1,454 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The build environment of this repository cannot reach crates.io, so the
+//! real serde is unavailable. This vendored replacement keeps the parts of
+//! the surface the CIMFlow workspace uses — `#[derive(Serialize,
+//! Deserialize)]` plus `serde_json::{to_string, to_string_pretty,
+//! from_str}` — while swapping serde's visitor machinery for a simple tree
+//! data model ([`Content`]).
+//!
+//! Semantics intentionally mirror real serde where the workspace depends
+//! on them: structs serialize as maps, newtype structs are transparent,
+//! enums are externally tagged, unknown map keys are ignored, missing
+//! fields are errors (except `Option`, which defaults to `None`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialized form of any value: a JSON-like tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (any integer that does not fit a `u64`).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Content>),
+    /// Ordered key/value map (keys are strings, like JSON objects).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Short name of the content kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+
+    /// The map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string value if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the tree data model.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can be reconstructed from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from the tree data model.
+    fn deserialize(content: &Content) -> Result<Self, Error>;
+
+    /// The value to use when a struct field of this type is missing.
+    ///
+    /// `None` means "missing field is an error" (the default, matching
+    /// real serde); `Option<T>` overrides this to default to `None`.
+    #[doc(hidden)]
+    fn missing_field_value() -> Option<Self> {
+        None
+    }
+}
+
+// --------------------------------------------------------------------------
+// Helpers used by the generated derive code
+// --------------------------------------------------------------------------
+
+/// Looks a struct field up in a serialized map (derive helper).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    map: &[(String, Content)],
+    name: &str,
+    type_name: &str,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => {
+            T::deserialize(v).map_err(|e| Error::new(format!("{type_name}.{name}: {e}")))
+        }
+        None => T::missing_field_value()
+            .ok_or_else(|| Error::new(format!("missing field `{name}` in {type_name}"))),
+    }
+}
+
+/// Asserts map-shaped content (derive helper).
+#[doc(hidden)]
+pub fn __expect_map<'c>(
+    content: &'c Content,
+    type_name: &str,
+) -> Result<&'c [(String, Content)], Error> {
+    content.as_map().ok_or_else(|| {
+        Error::new(format!("expected map for {type_name}, found {}", content.kind_name()))
+    })
+}
+
+/// Asserts sequence-shaped content of an exact length (derive helper).
+#[doc(hidden)]
+pub fn __expect_seq<'c>(
+    content: &'c Content,
+    len: usize,
+    type_name: &str,
+) -> Result<&'c [Content], Error> {
+    let seq = content.as_seq().ok_or_else(|| {
+        Error::new(format!("expected sequence for {type_name}, found {}", content.kind_name()))
+    })?;
+    if seq.len() != len {
+        return Err(Error::new(format!(
+            "expected {len} elements for {type_name}, found {}",
+            seq.len()
+        )));
+    }
+    Ok(seq)
+}
+
+/// Deserializes one element of an exact-length sequence (derive helper).
+#[doc(hidden)]
+pub fn __seq_element<T: Deserialize>(
+    seq: &[Content],
+    index: usize,
+    type_name: &str,
+) -> Result<T, Error> {
+    T::deserialize(&seq[index]).map_err(|e| Error::new(format!("{type_name}[{index}]: {e}")))
+}
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
+// --------------------------------------------------------------------------
+// Primitive impls
+// --------------------------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let value: i128 = match content {
+                    Content::U64(v) => *v as i128,
+                    Content::I64(v) => *v as i128,
+                    _ => return Err(Error::new(format!(
+                        "expected integer, found {}", content.kind_name()))),
+                };
+                <$t>::try_from(value).map_err(|_| Error::new(format!(
+                    "integer {value} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                let value: i128 = match content {
+                    Content::U64(v) => *v as i128,
+                    Content::I64(v) => *v as i128,
+                    _ => return Err(Error::new(format!(
+                        "expected integer, found {}", content.kind_name()))),
+                };
+                <$t>::try_from(value).map_err(|_| Error::new(format!(
+                    "integer {value} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::F64(f64::from(*self as $t) as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    _ => Err(Error::new(format!(
+                        "expected number, found {}", content.kind_name()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::new(format!("expected bool, found {}", content.kind_name()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(Error::new(format!("expected string, found {}", content.kind_name()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::new("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+
+    fn missing_field_value() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let seq = content.as_seq().ok_or_else(|| {
+            Error::new(format!("expected sequence, found {}", content.kind_name()))
+        })?;
+        seq.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| Error::new(format!("expected map, found {}", content.kind_name())))?;
+        map.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Content {
+        // Sort for deterministic output.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Content::Map(entries.into_iter().map(|(k, v)| (k.clone(), v.serialize())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize(content: &Content) -> Result<Self, Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| Error::new(format!("expected map, found {}", content.kind_name())))?;
+        map.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let seq = __expect_seq(content, LEN, "tuple")?;
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-7i32).serialize()).unwrap(), -7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let v: Vec<u64> = Deserialize::deserialize(&vec![1u64, 2, 3].serialize()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let t: (u32, u32) = Deserialize::deserialize(&(4u32, 5u32).serialize()).unwrap();
+        assert_eq!(t, (4, 5));
+    }
+
+    #[test]
+    fn option_defaults_to_none_when_missing() {
+        let empty: [(String, Content); 0] = [];
+        let missing: Option<u32> = __field(&empty, "x", "T").unwrap();
+        assert_eq!(missing, None);
+        assert!(__field::<u32>(&empty, "x", "T").is_err());
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        assert!(u8::deserialize(&Content::U64(300)).is_err());
+        assert!(u32::deserialize(&Content::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! Minimal offline stand-in for `serde_derive`.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the real `serde`/`serde_derive` crates cannot be fetched. This crate
+//! implements just enough of the `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` surface for the types used in the CIMFlow
+//! workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde).
+//!
+//! Generics, lifetimes and `#[serde(...)]` attributes are intentionally
+//! unsupported; the derive panics with a clear message if it meets them.
+//! The generated code targets the data model of the sibling vendored
+//! `serde` crate (`serde::Content`), not the real serde trait machinery.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// Field layout of a struct or an enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields; the payload is the field count.
+    Unnamed(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("serde_derive generated invalid Deserialize impl")
+}
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+fn skip_attributes_and_visibility(it: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The bracketed attribute body.
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive: expected attribute body, found {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                // Optional `pub(crate)` / `pub(super)` restriction.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attributes_and_visibility(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+        }
+    }
+    match (kind.as_str(), it.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct { name, fields: Fields::Named(parse_named_fields(g.stream())) }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::Struct { name, fields: Fields::Unnamed(split_top_level(g.stream()).len()) }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => {
+            Item::Struct { name, fields: Fields::Unit }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Enum { name, variants: parse_variants(g.stream()) }
+        }
+        (kind, other) => panic!("serde_derive: unsupported item `{kind}` body: {other:?}"),
+    }
+}
+
+/// Splits a token stream at top-level commas, tracking `<...>` depth so
+/// that commas inside generic arguments (e.g. `BTreeMap<String, u64>`) do
+/// not split. Commas inside `(...)`, `[...]`, `{...}` are already hidden
+/// inside `TokenTree::Group`s.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut it = chunk.into_iter().peekable();
+        skip_attributes_and_visibility(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut it = chunk.into_iter().peekable();
+        skip_attributes_and_visibility(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other:?}"),
+        };
+        let fields = match it.next() {
+            None => Fields::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Unnamed(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive: explicit discriminants are not supported (variant `{name}`)")
+            }
+            other => panic!("serde_derive: unsupported variant body for `{name}`: {other:?}"),
+        };
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// --------------------------------------------------------------------------
+// Code generation
+// --------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Content::Null".to_string(),
+                Fields::Unnamed(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+                Fields::Unnamed(n) => {
+                    let mut elems = String::new();
+                    for i in 0..*n {
+                        let _ = write!(elems, "::serde::Serialize::serialize(&self.{i}),");
+                    }
+                    format!("::serde::Content::Seq(::std::vec![{elems}])")
+                }
+                Fields::Named(names) => {
+                    let mut entries = String::new();
+                    for f in names {
+                        let _ = write!(
+                            entries,
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f})),"
+                        );
+                    }
+                    format!("::serde::Content::Map(::std::vec![{entries}])")
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Content {{ {body} }}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} => ::serde::Content::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let pat = binds.join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let elems: String = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                                .collect();
+                            format!("::serde::Content::Seq(::std::vec![{elems}])")
+                        };
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname}({pat}) => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vname}\"), {inner})]),"
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let entries: String = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::serialize({f})),"
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} {{ {pat} }} => ::serde::Content::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Content::Map(::std::vec![{entries}]))]),"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Content {{\n        #[allow(unreachable_patterns)]\n        match self {{\n{arms}        }}\n    }}\n}}\n"
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Unnamed(1) => {
+                    format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__c)?))")
+                }
+                Fields::Unnamed(n) => {
+                    let mut elems = String::new();
+                    for i in 0..*n {
+                        let _ = write!(elems, "::serde::__seq_element(__s, {i}, \"{name}\")?,");
+                    }
+                    format!(
+                        "let __s = ::serde::__expect_seq(__c, {n}, \"{name}\")?;\n        ::std::result::Result::Ok({name}({elems}))"
+                    )
+                }
+                Fields::Named(names) => {
+                    let mut inits = String::new();
+                    for f in names {
+                        let _ = write!(inits, "{f}: ::serde::__field(__m, \"{f}\", \"{name}\")?,");
+                    }
+                    format!(
+                        "let __m = ::serde::__expect_map(__c, \"{name}\")?;\n        ::std::result::Result::Ok({name} {{ {inits} }})"
+                    )
+                }
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n    fn deserialize(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n        {body}\n    }}\n}}\n"
+            );
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        let _ = writeln!(
+                            unit_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                        );
+                    }
+                    Fields::Unnamed(1) => {
+                        let _ = writeln!(
+                            tagged_arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(__inner)?)),"
+                        );
+                    }
+                    Fields::Unnamed(n) => {
+                        let mut elems = String::new();
+                        for i in 0..*n {
+                            let _ = write!(
+                                elems,
+                                "::serde::__seq_element(__s, {i}, \"{name}::{vname}\")?,"
+                            );
+                        }
+                        let _ = writeln!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ let __s = ::serde::__expect_seq(__inner, {n}, \"{name}::{vname}\")?; ::std::result::Result::Ok({name}::{vname}({elems})) }}"
+                        );
+                    }
+                    Fields::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            let _ = write!(
+                                inits,
+                                "{f}: ::serde::__field(__vm, \"{f}\", \"{name}::{vname}\")?,"
+                            );
+                        }
+                        let _ = writeln!(
+                            tagged_arms,
+                            "\"{vname}\" => {{ let __vm = ::serde::__expect_map(__inner, \"{name}::{vname}\")?; ::std::result::Result::Ok({name}::{vname} {{ {inits} }}) }}"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n    fn deserialize(__c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n        match __c {{\n            ::serde::Content::Str(__s) => match __s.as_str() {{\n{unit_arms}                __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown unit variant `{{__other}}` for {name}\"))),\n            }},\n            ::serde::Content::Map(__m) if __m.len() == 1 => {{\n                let (__tag, __inner) = &__m[0];\n                match __tag.as_str() {{\n{tagged_arms}                    __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n                }}\n            }}\n            __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"expected variant of {name}, found {{}}\", ::serde::Content::kind_name(__other)))),\n        }}\n    }}\n}}\n"
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,433 @@
+//! Minimal offline stand-in for `serde_json`.
+//!
+//! Writes and parses JSON against the tree data model of the vendored
+//! `serde` crate. Supports everything the CIMFlow workspace serializes:
+//! objects, arrays, strings (with escapes), booleans, null, and numbers.
+//! Integers round-trip exactly (they are never routed through `f64`);
+//! floats are printed with Rust's shortest round-trip formatting.
+
+use serde::{Content, Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed JSON value (alias of the vendored serde data model).
+pub type Value = Content;
+
+/// JSON serialization/parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(value: serde::Error) -> Self {
+        Error::new(value.to_string())
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the supported data model; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.serialize(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Never fails for the supported data model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.serialize(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Converts a value into a JSON [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Reconstructs a typed value from a JSON [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error if the tree does not match the target type.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    Ok(T::deserialize(value)?)
+}
+
+/// Parses a typed value from JSON text.
+///
+/// # Errors
+///
+/// Returns an error for malformed JSON or a shape mismatch with `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse_value_from_str(text)?;
+    Ok(T::deserialize(&value)?)
+}
+
+fn parse_value_from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_whitespace(bytes, &mut pos);
+    let value = parse_value(bytes, &mut pos)?;
+    skip_whitespace(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {pos}")));
+    }
+    Ok(value)
+}
+
+// --------------------------------------------------------------------------
+// Writer
+// --------------------------------------------------------------------------
+
+fn write_content(content: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Content::I64(v) => {
+            out.push_str(&v.to_string());
+        }
+        Content::F64(v) => write_f64(*v, out),
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(value, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_f64(value: f64, out: &mut String) {
+    if value.is_finite() {
+        // Rust's Display produces the shortest string that round-trips.
+        let text = value.to_string();
+        out.push_str(&text);
+        // "1" would re-parse as an integer; that is fine because numeric
+        // deserialization accepts integers for floats.
+    } else {
+        // Non-finite floats are not representable in JSON; mirror
+        // serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+fn skip_whitespace(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    match bytes.get(*pos) {
+        None => Err(Error::new("unexpected end of input")),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Content::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Content::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Content::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Content::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        Some(c) => {
+            Err(Error::new(format!("unexpected character `{}` at byte {}", *c as char, *pos)))
+        }
+    }
+}
+
+fn parse_keyword(
+    bytes: &[u8],
+    pos: &mut usize,
+    keyword: &str,
+    value: Value,
+) -> Result<Value, Error> {
+    if bytes[*pos..].starts_with(keyword.as_bytes()) {
+        *pos += keyword.len();
+        Ok(value)
+    } else {
+        Err(Error::new(format!("invalid token at byte {}", *pos)))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // consume '{'
+    let mut entries = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Content::Map(entries));
+    }
+    loop {
+        skip_whitespace(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(Error::new(format!("expected object key at byte {}", *pos)));
+        }
+        let key = parse_string(bytes, pos)?;
+        skip_whitespace(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(Error::new(format!("expected `:` at byte {}", *pos)));
+        }
+        *pos += 1;
+        skip_whitespace(bytes, pos);
+        let value = parse_value(bytes, pos)?;
+        entries.push((key, value));
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Content::Map(entries));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `}}` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    *pos += 1; // consume '['
+    let mut items = Vec::new();
+    skip_whitespace(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Content::Seq(items));
+    }
+    loop {
+        skip_whitespace(bytes, pos);
+        items.push(parse_value(bytes, pos)?);
+        skip_whitespace(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Content::Seq(items));
+            }
+            _ => return Err(Error::new(format!("expected `,` or `]` at byte {}", *pos))),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    *pos += 1; // consume '"'
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(Error::new("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| Error::new("invalid \\u escape"))?;
+                        // Surrogate pairs are not produced by the writer;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(Error::new("invalid escape sequence")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar value.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(c) = bytes.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text =
+        std::str::from_utf8(&bytes[start..*pos]).map_err(|_| Error::new("invalid number"))?;
+    if !is_float {
+        if text.starts_with('-') {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+        } else if let Ok(v) = text.parse::<u64>() {
+            return Ok(Content::U64(v));
+        }
+    }
+    text.parse::<f64>()
+        .map(Content::F64)
+        .map_err(|_| Error::new(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(from_str::<u32>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-9").unwrap(), -9);
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert_eq!(from_str::<f64>("7").unwrap(), 7.0);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<u64>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for value in [0.1f64, 1.0, -3.25, 1e-9, 123456.789] {
+            let text = to_string(&value).unwrap();
+            assert_eq!(from_str::<f64>(&text).unwrap(), value, "text {text}");
+        }
+        let small = 0.1f32;
+        let text = to_string(&small).unwrap();
+        assert_eq!(from_str::<f32>(&text).unwrap(), small);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(from_str::<u32>("{not json").is_err());
+        assert!(from_str::<u32>("").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+        assert!(from_str::<Vec<u32>>("[1,").is_err());
+    }
+
+    #[test]
+    fn large_integers_survive() {
+        let big = u64::MAX;
+        assert_eq!(from_str::<u64>(&to_string(&big).unwrap()).unwrap(), big);
+        let neg = i64::MIN + 1;
+        assert_eq!(from_str::<i64>(&to_string(&neg).unwrap()).unwrap(), neg);
+    }
+}
