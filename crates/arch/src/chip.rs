@@ -1,7 +1,7 @@
 //! Chip-level abstraction: the multi-core organization, the NoC and the
 //! global memory.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 
 use crate::memory::GlobalMemoryConfig;
 use crate::ArchError;
@@ -27,8 +27,12 @@ impl MeshDimensions {
     }
 
     /// Returns the `(x, y)` coordinate of a core identifier (row-major).
+    ///
+    /// Zero-dimension meshes are rejected by [`ChipConfig::validate`]
+    /// (and therefore `ArchConfig::validate`) before any coordinate
+    /// arithmetic runs, so no silent clamping happens here.
     pub fn coordinates(&self, core: u32) -> (u32, u32) {
-        (core % self.width.max(1), core / self.width.max(1))
+        (core % self.width, core / self.width)
     }
 
     /// Manhattan hop distance between two cores under XY routing.
@@ -40,7 +44,7 @@ impl MeshDimensions {
 }
 
 /// Chip-level hardware description (Table I defaults).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChipConfig {
     /// Number of cores on the chip (Table I: 64).
     pub core_count: u32,
@@ -54,6 +58,11 @@ pub struct ChipConfig {
     pub global_memory: GlobalMemoryConfig,
     /// Clock frequency in MHz used to convert cycles into seconds.
     pub frequency_mhz: u32,
+    /// Mesh node the global-memory port (and the off-chip gateway) is
+    /// attached to. Historically hardcoded to node 0 inside the
+    /// simulator; now part of the configuration and validated against
+    /// the mesh extent.
+    pub memory_port: u32,
 }
 
 impl ChipConfig {
@@ -67,7 +76,15 @@ impl ChipConfig {
             noc_hop_latency: 1,
             global_memory: GlobalMemoryConfig::paper_default(),
             frequency_mhz: 1000,
+            memory_port: 0,
         }
+    }
+
+    /// Returns a copy with the global-memory port at a different mesh
+    /// node.
+    pub fn with_memory_port(mut self, node: u32) -> Self {
+        self.memory_port = node;
+        self
     }
 
     /// Returns a copy with a different NoC flit size (the Fig. 6 link
@@ -107,6 +124,12 @@ impl ChipConfig {
         if self.core_count == 0 {
             return Err(ArchError::invalid("chip.core_count", "must be positive"));
         }
+        if self.mesh.width == 0 || self.mesh.height == 0 {
+            return Err(ArchError::invalid(
+                "chip.mesh",
+                format!("mesh of {}x{} has a zero dimension", self.mesh.width, self.mesh.height),
+            ));
+        }
         if self.mesh.nodes() < self.core_count {
             return Err(ArchError::invalid(
                 "chip.mesh",
@@ -122,7 +145,63 @@ impl ChipConfig {
         if self.frequency_mhz == 0 {
             return Err(ArchError::invalid("chip.frequency_mhz", "must be positive"));
         }
+        if self.memory_port >= self.mesh.nodes() {
+            return Err(ArchError::invalid(
+                "chip.memory_port",
+                format!(
+                    "node {} is outside the {}x{} mesh",
+                    self.memory_port, self.mesh.width, self.mesh.height
+                ),
+            ));
+        }
         self.global_memory.validate()
+    }
+}
+
+// Manual serde: `memory_port` is emitted only when it differs from the
+// historical hardwired node 0, so the serialized form — and therefore
+// the content hash the evaluation cache keys on — of every pre-existing
+// configuration is byte-identical to what older engines produced.
+// Deserialization accepts files that omit the field.
+impl Serialize for ChipConfig {
+    fn serialize(&self) -> Content {
+        let mut map = vec![
+            ("core_count".to_owned(), Serialize::serialize(&self.core_count)),
+            ("mesh".to_owned(), Serialize::serialize(&self.mesh)),
+            ("noc_flit_bytes".to_owned(), Serialize::serialize(&self.noc_flit_bytes)),
+            ("noc_hop_latency".to_owned(), Serialize::serialize(&self.noc_hop_latency)),
+            ("global_memory".to_owned(), Serialize::serialize(&self.global_memory)),
+            ("frequency_mhz".to_owned(), Serialize::serialize(&self.frequency_mhz)),
+        ];
+        if self.memory_port != 0 {
+            map.push(("memory_port".to_owned(), Serialize::serialize(&self.memory_port)));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for ChipConfig {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let map =
+            content.as_map().ok_or_else(|| serde::Error::new("expected map for ChipConfig"))?;
+        let required = |name: &str| {
+            map.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::Error::new(format!("missing field `{name}` in ChipConfig")))
+        };
+        Ok(ChipConfig {
+            core_count: Deserialize::deserialize(required("core_count")?)?,
+            mesh: Deserialize::deserialize(required("mesh")?)?,
+            noc_flit_bytes: Deserialize::deserialize(required("noc_flit_bytes")?)?,
+            noc_hop_latency: Deserialize::deserialize(required("noc_hop_latency")?)?,
+            global_memory: Deserialize::deserialize(required("global_memory")?)?,
+            frequency_mhz: Deserialize::deserialize(required("frequency_mhz")?)?,
+            memory_port: match map.iter().find(|(k, _)| k == "memory_port") {
+                Some((_, v)) => Deserialize::deserialize(v)?,
+                None => 0,
+            },
+        })
     }
 }
 
@@ -213,8 +292,36 @@ mod tests {
     #[test]
     fn serde_round_trip() {
         let chip = ChipConfig::paper_default();
-        let back: ChipConfig =
-            serde_json::from_str(&serde_json::to_string(&chip).unwrap()).unwrap();
+        let text = serde_json::to_string(&chip).unwrap();
+        assert!(
+            !text.contains("memory_port"),
+            "port node 0 keeps the historical serialized form: {text}"
+        );
+        let back: ChipConfig = serde_json::from_str(&text).unwrap();
         assert_eq!(back, chip);
+
+        let moved = chip.with_memory_port(27);
+        let text = serde_json::to_string(&moved).unwrap();
+        assert!(text.contains("memory_port"));
+        let back: ChipConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, moved);
+    }
+
+    #[test]
+    fn zero_dimension_meshes_are_rejected_by_validation() {
+        for mesh in [MeshDimensions::new(0, 8), MeshDimensions::new(8, 0)] {
+            let mut chip = ChipConfig::paper_default();
+            chip.mesh = mesh;
+            let error = chip.validate().unwrap_err();
+            assert!(error.to_string().contains("zero dimension"), "{error}");
+        }
+    }
+
+    #[test]
+    fn memory_port_must_be_a_mesh_node() {
+        let chip = ChipConfig::paper_default().with_memory_port(63);
+        assert!(chip.validate().is_ok());
+        let chip = ChipConfig::paper_default().with_memory_port(64);
+        assert!(chip.validate().is_err());
     }
 }

@@ -1,11 +1,12 @@
 //! The complete architecture configuration: the paper's "Arch. Config"
-//! user input.
+//! user input, extended with an explicit system level.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, Deserialize, Serialize};
 
 use crate::chip::ChipConfig;
 use crate::core::CoreConfig;
 use crate::memory::SegmentKind;
+use crate::system::{InterChipTopology, SystemConfig};
 use crate::ArchError;
 
 /// The unified address map shared by the compiler and the simulator.
@@ -13,7 +14,8 @@ use crate::ArchError;
 /// CIMFlow "implements a unified address space across both global and local
 /// memories" (Sec. III-B): every core sees its own local memory at low
 /// addresses and the chip-level global memory above
-/// [`AddressMap::global_base`].
+/// [`AddressMap::global_base`]. In a multi-chip system every chip has its
+/// own instance of this map (chips are homogeneous).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AddressMap {
     /// Size of the per-core local memory in bytes.
@@ -46,9 +48,10 @@ impl AddressMap {
 
 /// The complete CIMFlow architecture configuration.
 ///
-/// Combines the chip-level and core-level descriptions (all cores are
-/// homogeneous) and is the single hardware input consumed by the compiler
-/// and the simulator.
+/// Combines the system-level description (the chip, how many chips, and
+/// the inter-chip interconnect) with the core-level description (all
+/// cores of all chips are homogeneous). It is the single hardware input
+/// consumed by the compiler and the simulator.
 ///
 /// # Example
 ///
@@ -58,24 +61,45 @@ impl AddressMap {
 /// # fn main() -> Result<(), cimflow_arch::ArchError> {
 /// let arch = ArchConfig::paper_default()
 ///     .with_macros_per_group(4)
-///     .with_flit_bytes(16);
+///     .with_flit_bytes(16)
+///     .with_chip_count(2);
 /// arch.validate()?;
 /// assert_eq!(arch.core.cim_unit.macros_per_group, 4);
+/// assert_eq!(arch.system.chip_count, 2);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ArchConfig {
-    /// Chip-level configuration (cores, NoC, global memory, clock).
-    pub chip: ChipConfig,
-    /// Core-level configuration (identical for every core).
+    /// System-level configuration: the chip (cores, NoC, global memory,
+    /// clock), the chip count and the inter-chip interconnect.
+    pub system: SystemConfig,
+    /// Core-level configuration (identical for every core of every chip).
     pub core: CoreConfig,
 }
 
 impl ArchConfig {
-    /// The default architecture of Table I.
+    /// The default architecture of Table I (a single chip).
     pub fn paper_default() -> Self {
-        ArchConfig { chip: ChipConfig::paper_default(), core: CoreConfig::paper_default() }
+        ArchConfig {
+            system: SystemConfig::single_chip(ChipConfig::paper_default()),
+            core: CoreConfig::paper_default(),
+        }
+    }
+
+    /// The chip-level configuration (shared by all chips of the system).
+    pub fn chip(&self) -> &ChipConfig {
+        &self.system.chip
+    }
+
+    /// Number of chips in the system.
+    pub fn chip_count(&self) -> u32 {
+        self.system.chip_count
+    }
+
+    /// Total cores across all chips.
+    pub fn total_cores(&self) -> u32 {
+        self.system.total_cores()
     }
 
     /// Returns a copy with a different macro-group size (macros per MG).
@@ -86,13 +110,47 @@ impl ArchConfig {
 
     /// Returns a copy with a different NoC flit size in bytes.
     pub fn with_flit_bytes(mut self, flit_bytes: u32) -> Self {
-        self.chip.noc_flit_bytes = flit_bytes;
+        self.system.chip.noc_flit_bytes = flit_bytes;
         self
     }
 
-    /// Returns a copy with a different core count (mesh re-derived).
+    /// Returns a copy with a different per-chip core count (mesh
+    /// re-derived).
     pub fn with_core_count(mut self, core_count: u32) -> Self {
-        self.chip = self.chip.with_core_count(core_count);
+        self.system.chip = self.system.chip.with_core_count(core_count);
+        self
+    }
+
+    /// Returns a copy with a different chip count (the `cimflow-dse`
+    /// scale-out sweep axis).
+    pub fn with_chip_count(mut self, chip_count: u32) -> Self {
+        self.system.chip_count = chip_count;
+        self
+    }
+
+    /// Returns a copy with a different inter-chip link bandwidth in bytes
+    /// per cycle.
+    pub fn with_interchip_link_bytes(mut self, bytes_per_cycle: u32) -> Self {
+        self.system.interconnect.link_bytes_per_cycle = bytes_per_cycle;
+        self
+    }
+
+    /// Returns a copy with a different inter-chip link latency in cycles.
+    pub fn with_interchip_link_latency(mut self, cycles: u32) -> Self {
+        self.system.interconnect.link_latency_cycles = cycles;
+        self
+    }
+
+    /// Returns a copy with a different inter-chip topology.
+    pub fn with_interchip_topology(mut self, topology: InterChipTopology) -> Self {
+        self.system.interconnect.topology = topology;
+        self
+    }
+
+    /// Returns a copy with the global-memory port at a different mesh
+    /// node.
+    pub fn with_memory_port(mut self, node: u32) -> Self {
+        self.system.chip.memory_port = node;
         self
     }
 
@@ -112,23 +170,29 @@ impl ArchConfig {
 
     /// Returns a copy with a different clock frequency in MHz.
     pub fn with_frequency_mhz(mut self, frequency_mhz: u32) -> Self {
-        self.chip.frequency_mhz = frequency_mhz;
+        self.system.chip.frequency_mhz = frequency_mhz;
         self
     }
 
-    /// Total CIM weight capacity of the chip in bytes.
+    /// Total CIM weight capacity of one chip in bytes.
     pub fn chip_weight_capacity_bytes(&self) -> u64 {
-        u64::from(self.chip.core_count) * self.core.weight_capacity_bytes()
+        u64::from(self.system.chip.core_count) * self.core.weight_capacity_bytes()
     }
 
-    /// Peak INT8 throughput of the chip in tera-operations per second
+    /// Total CIM weight capacity of the whole system in bytes.
+    pub fn system_weight_capacity_bytes(&self) -> u64 {
+        u64::from(self.system.chip_count) * self.chip_weight_capacity_bytes()
+    }
+
+    /// Peak INT8 throughput of the system in tera-operations per second
     /// (counting one multiply and one add as two operations).
     pub fn peak_tops(&self) -> f64 {
-        let macs_per_cycle = self.core.peak_macs_per_cycle() * f64::from(self.chip.core_count);
-        macs_per_cycle * 2.0 * f64::from(self.chip.frequency_mhz) * 1.0e6 / 1.0e12
+        let macs_per_cycle = self.core.peak_macs_per_cycle() * f64::from(self.total_cores());
+        macs_per_cycle * 2.0 * f64::from(self.system.chip.frequency_mhz) * 1.0e6 / 1.0e12
     }
 
-    /// The unified address map implied by this configuration.
+    /// The unified address map implied by this configuration (identical
+    /// on every chip).
     pub fn address_map(&self) -> AddressMap {
         let local_size = self.core.local_memory.size_bytes;
         // Round the global base up to the next power of two above local
@@ -138,7 +202,7 @@ impl ArchConfig {
         AddressMap {
             local_size,
             global_base,
-            global_size: self.chip.global_memory.size_bytes,
+            global_size: self.system.chip.global_memory.size_bytes,
             segment_size: self.core.local_memory.segment_bytes(),
         }
     }
@@ -150,7 +214,7 @@ impl ArchConfig {
     /// Returns the first violated invariant as an
     /// [`ArchError::InvalidConfig`].
     pub fn validate(&self) -> Result<(), ArchError> {
-        self.chip.validate()?;
+        self.system.validate()?;
         self.core.validate()?;
         Ok(())
     }
@@ -162,6 +226,10 @@ impl ArchConfig {
     }
 
     /// Parses a configuration from JSON and validates it.
+    ///
+    /// Both the historical single-chip shape (`{"chip": …, "core": …}`)
+    /// and the system shape (`{"system": …, "core": …}`) are accepted; a
+    /// file without a system level describes a single chip.
     ///
     /// # Errors
     ///
@@ -182,6 +250,48 @@ impl Default for ArchConfig {
     }
 }
 
+// Manual serde keeps single-chip configurations byte-compatible with the
+// historical chip-level format: a plain single-chip system (chip count 1,
+// default interconnect) serializes as `{"chip": …, "core": …}` exactly as
+// older engines wrote it — so existing configuration files, and the
+// content hashes the evaluation cache derives from them, are unchanged —
+// while any true multi-chip system serializes through its system level.
+impl Serialize for ArchConfig {
+    fn serialize(&self) -> Content {
+        if self.system.is_single_chip_default() {
+            Content::Map(vec![
+                ("chip".to_owned(), Serialize::serialize(&self.system.chip)),
+                ("core".to_owned(), Serialize::serialize(&self.core)),
+            ])
+        } else {
+            Content::Map(vec![
+                ("system".to_owned(), Serialize::serialize(&self.system)),
+                ("core".to_owned(), Serialize::serialize(&self.core)),
+            ])
+        }
+    }
+}
+
+impl Deserialize for ArchConfig {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let map =
+            content.as_map().ok_or_else(|| serde::Error::new("expected map for ArchConfig"))?;
+        let field = |name: &str| map.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let system = match (field("system"), field("chip")) {
+            (Some(system), _) => SystemConfig::deserialize(system)?,
+            (None, Some(chip)) => SystemConfig::single_chip(ChipConfig::deserialize(chip)?),
+            (None, None) => {
+                return Err(serde::Error::new(
+                    "ArchConfig needs either a `system` or a `chip` level",
+                ))
+            }
+        };
+        let core =
+            field("core").ok_or_else(|| serde::Error::new("missing field `core` in ArchConfig"))?;
+        Ok(ArchConfig { system, core: Deserialize::deserialize(core)? })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,11 +300,13 @@ mod tests {
     fn default_is_valid_and_matches_table_i() {
         let arch = ArchConfig::paper_default();
         assert!(arch.validate().is_ok());
-        assert_eq!(arch.chip.core_count, 64);
+        assert_eq!(arch.chip().core_count, 64);
+        assert_eq!(arch.system.chip_count, 1);
         assert_eq!(arch.core.local_memory.size_bytes, 512 * 1024);
-        assert_eq!(arch.chip.global_memory.size_bytes, 16 * 1024 * 1024);
+        assert_eq!(arch.chip().global_memory.size_bytes, 16 * 1024 * 1024);
         // 64 cores × 512 KiB of weights.
         assert_eq!(arch.chip_weight_capacity_bytes(), 32 * 1024 * 1024);
+        assert_eq!(arch.system_weight_capacity_bytes(), 32 * 1024 * 1024);
     }
 
     #[test]
@@ -203,6 +315,10 @@ mod tests {
         let tops = arch.peak_tops();
         // 64 cores × 16 MGs × (512×64 MACs / 256 cycles) × 2 at 1 GHz ≈ 262 TOPS.
         assert!(tops > 10.0 && tops < 500.0, "peak {tops} TOPS out of plausible range");
+        // The system level scales capacity and peak throughput linearly.
+        let four = arch.with_chip_count(4);
+        assert!((four.peak_tops() - 4.0 * tops).abs() < 1e-9);
+        assert_eq!(four.system_weight_capacity_bytes(), 4 * arch.chip_weight_capacity_bytes());
     }
 
     #[test]
@@ -210,9 +326,30 @@ mod tests {
         let base = ArchConfig::paper_default();
         let swept = base.with_macros_per_group(12).with_flit_bytes(16);
         assert_eq!(swept.core.cim_unit.macros_per_group, 12);
-        assert_eq!(swept.chip.noc_flit_bytes, 16);
-        assert_eq!(swept.chip.core_count, base.chip.core_count);
+        assert_eq!(swept.chip().noc_flit_bytes, 16);
+        assert_eq!(swept.chip().core_count, base.chip().core_count);
         assert!(swept.validate().is_ok());
+    }
+
+    #[test]
+    fn system_builders_change_only_their_field() {
+        let base = ArchConfig::paper_default();
+        let swept = base
+            .with_chip_count(4)
+            .with_interchip_link_bytes(64)
+            .with_interchip_link_latency(100)
+            .with_interchip_topology(InterChipTopology::Ring)
+            .with_memory_port(9);
+        assert_eq!(swept.system.chip_count, 4);
+        assert_eq!(swept.system.interconnect.link_bytes_per_cycle, 64);
+        assert_eq!(swept.system.interconnect.link_latency_cycles, 100);
+        assert_eq!(swept.system.interconnect.topology, InterChipTopology::Ring);
+        assert_eq!(swept.chip().memory_port, 9);
+        assert_eq!(swept.chip().core_count, base.chip().core_count);
+        assert_eq!(swept.total_cores(), 256);
+        assert!(swept.validate().is_ok());
+        assert!(base.with_chip_count(0).validate().is_err());
+        assert!(base.with_memory_port(64).validate().is_err());
     }
 
     #[test]
@@ -236,8 +373,44 @@ mod tests {
         assert!(matches!(ArchConfig::from_json("{not json"), Err(ArchError::ParseConfig { .. })));
 
         let mut broken = arch;
-        broken.chip.core_count = 0;
+        broken.system.chip.core_count = 0;
         assert!(ArchConfig::from_json(&broken.to_json()).is_err());
+    }
+
+    #[test]
+    fn single_chip_systems_keep_the_historical_serialized_form() {
+        // A plain single-chip configuration must serialize exactly as the
+        // pre-system-level engine did: a top-level `chip` object and no
+        // `system` key, so content hashes of cached evaluations for all
+        // historical configurations are stable.
+        let arch = ArchConfig::paper_default();
+        let text = arch.to_json();
+        assert!(text.contains("\"chip\""));
+        assert!(!text.contains("\"system\""));
+        assert!(!text.contains("chip_count"));
+
+        // Multi-chip (or custom-interconnect) systems use the new shape …
+        let multi = arch.with_chip_count(2);
+        let text = multi.to_json();
+        assert!(text.contains("\"system\""));
+        assert_eq!(ArchConfig::from_json(&text).unwrap(), multi);
+
+        // … and each chip count serializes distinctly.
+        assert_ne!(arch.to_json(), arch.with_chip_count(2).to_json());
+        assert_ne!(arch.with_chip_count(2).to_json(), arch.with_chip_count(4).to_json());
+    }
+
+    #[test]
+    fn legacy_config_files_parse_as_single_chip() {
+        let legacy = "{\"chip\": {\"core_count\": 64, \"mesh\": {\"width\": 8, \"height\": 8},\
+            \"noc_flit_bytes\": 8, \"noc_hop_latency\": 1, \"global_memory\":\
+            {\"size_bytes\": 16777216, \"bandwidth_bytes_per_cycle\": 128,\
+            \"access_latency\": 20}, \"frequency_mhz\": 1000},\
+            \"core\": CORE}"
+            .replace("CORE", &serde_json::to_string(&CoreConfig::paper_default()).unwrap());
+        let arch = ArchConfig::from_json(&legacy).unwrap();
+        assert_eq!(arch, ArchConfig::paper_default());
+        assert_eq!(arch.system.chip_count, 1);
     }
 
     #[test]
@@ -245,8 +418,8 @@ mod tests {
         let base = ArchConfig::paper_default();
         let swept = base.with_local_memory_kib(256).with_frequency_mhz(800);
         assert_eq!(swept.core.local_memory.size_bytes, 256 * 1024);
-        assert_eq!(swept.chip.frequency_mhz, 800);
-        assert_eq!(swept.chip.core_count, base.chip.core_count);
+        assert_eq!(swept.chip().frequency_mhz, 800);
+        assert_eq!(swept.chip().core_count, base.chip().core_count);
         assert!(swept.validate().is_ok());
         // Capacities that break the segment invariant are caught by
         // validation rather than silently accepted.

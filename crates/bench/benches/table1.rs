@@ -12,9 +12,9 @@ fn main() {
 
     println!("=== Table I: architecture parameters of the default architecture ===");
     println!("{:<28} {:>12}", "Chip level", "");
-    println!("{:<28} {:>12}", "  Core num.", arch.chip.core_count);
-    println!("{:<28} {:>9} B", "  NoC flit size", arch.chip.noc_flit_bytes);
-    println!("{:<28} {:>9} MB", "  Global mem.", arch.chip.global_memory.size_bytes >> 20);
+    println!("{:<28} {:>12}", "  Core num.", arch.chip().core_count);
+    println!("{:<28} {:>9} B", "  NoC flit size", arch.chip().noc_flit_bytes);
+    println!("{:<28} {:>9} MB", "  Global mem.", arch.chip().global_memory.size_bytes >> 20);
     println!("{:<28} {:>12}", "Core level", "");
     println!("{:<28} {:>7} # MG", "  CIM comp. unit", arch.core.cim_unit.macro_groups);
     println!("{:<28} {:>4} # macro", "  Macro group", arch.core.cim_unit.macros_per_group);
@@ -43,5 +43,5 @@ fn main() {
         arch.chip_weight_capacity_bytes() >> 20
     );
     println!("{:<28} {:>9.1}", "peak INT8 TOPS", arch.peak_tops());
-    println!("{:<28} {:>9} MHz", "clock", arch.chip.frequency_mhz);
+    println!("{:<28} {:>9} MHz", "clock", arch.chip().frequency_mhz);
 }

@@ -79,7 +79,7 @@ pub fn generate(
     plan: &CompilationPlan,
     arch: &ArchConfig,
 ) -> Result<GeneratedCode, CompileError> {
-    let core_count = arch.chip.core_count as usize;
+    let core_count = arch.chip().core_count as usize;
     let mut builders: Vec<ProgramBuilder> =
         (0..core_count).map(|_| ProgramBuilder::new()).collect();
     let mut manifest = TransferManifest::default();

@@ -69,7 +69,7 @@ impl CostModel {
 
     /// Number of cores on the chip.
     pub fn total_cores(&self) -> u32 {
-        self.arch.chip.core_count
+        self.arch.chip().core_count
     }
 
     /// Reduction-dimension tiles needed for a group (`ceil(K / macro rows)`).
@@ -121,7 +121,7 @@ impl CostModel {
             .cycles_for(group.metrics.vector_elems / u64::from(replicas.max(1)));
         // Activation input must reach every core of the replica over the NoC.
         let input_slice = group.metrics.input_bytes / u64::from(replicas.max(1));
-        let flit = u64::from(self.arch.chip.noc_flit_bytes.max(1));
+        let flit = u64::from(self.arch.chip().noc_flit_bytes.max(1));
         let comm_cycles = input_slice.div_ceil(flit)
             + (group.metrics.output_bytes / u64::from(replicas.max(1))).div_ceil(flit);
         cim_cycles.max(issue_cycles).max(vector_cycles).max(comm_cycles)
@@ -135,24 +135,39 @@ impl CostModel {
             group.metrics.input_bytes,
             group.metrics.output_bytes,
         );
-        let mean_hops = (self.arch.chip.mesh.width + self.arch.chip.mesh.height) / 3;
+        let mean_hops = (self.arch.chip().mesh.width + self.arch.chip().mesh.height) / 3;
         let broadcast_bytes = group.metrics.input_bytes * u64::from(cores_per_replica.max(1));
-        let flits = self.arch.chip.flits_for(broadcast_bytes) * u64::from(replicas.max(1)).min(4);
-        let noc = self.energy.noc_energy(flits, self.arch.chip.noc_flit_bytes, mean_hops.max(1));
+        let flits = self.arch.chip().flits_for(broadcast_bytes) * u64::from(replicas.max(1)).min(4);
+        let noc = self.energy.noc_energy(flits, self.arch.chip().noc_flit_bytes, mean_hops.max(1));
         let vector_pj = self.energy.digital.vector_pj_per_elem * group.metrics.vector_elems as f64;
         compute.total_pj() + noc.total_pj() + vector_pj
+    }
+
+    /// Cycles for `bytes` of activations to cross `hops` inter-chip links
+    /// and land in the consumer chip's global memory — the cost the
+    /// system-level partitioner charges each cut edge, mirroring the
+    /// simulator's fabric timing (head latency per hop, flit
+    /// serialization, then the consumer's memory port).
+    pub fn interchip_transfer_cycles(&self, bytes: u64, hops: u32) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        let link = &self.arch.system.interconnect;
+        u64::from(link.link_latency_cycles) * u64::from(hops.max(1))
+            + link.flits_for(bytes)
+            + self.arch.chip().global_memory.transfer_cycles(bytes)
     }
 
     /// Cycles to bring a stage's weights from global memory into the CIM
     /// arrays (the dominant stage-transition overhead under the SRAM
     /// capacity constraint).
     pub fn weight_reload_cycles(&self, stage_weight_bytes: u64) -> u64 {
-        self.arch.chip.global_memory.transfer_cycles(stage_weight_bytes)
+        self.arch.chip().global_memory.transfer_cycles(stage_weight_bytes)
             + self
                 .arch
                 .core
                 .local_memory
-                .transfer_cycles(stage_weight_bytes / u64::from(self.arch.chip.core_count.max(1)))
+                .transfer_cycles(stage_weight_bytes / u64::from(self.arch.chip().core_count.max(1)))
     }
 
     /// Estimates the cost of one stage under a concrete mapping.
@@ -182,7 +197,7 @@ impl CostModel {
             }
         }
         let reload = self.weight_reload_cycles(stage_weight_bytes)
-            + self.arch.chip.global_memory.transfer_cycles(boundary_bytes);
+            + self.arch.chip().global_memory.transfer_cycles(boundary_bytes);
         energy += self.energy.cim.weight_load_pj(stage_weight_bytes)
             + self.energy.global_memory_energy(stage_weight_bytes + boundary_bytes).total_pj();
         // Pipelined stage latency: the bottleneck group dominates, the
@@ -303,7 +318,7 @@ mod tests {
         let groups: Vec<&OpGroup> = condensed.groups().iter().collect();
         let (_, mapping) = model.optimal_mapping(&groups).unwrap();
         let used: u32 = mapping.iter().map(GroupMapping::total_cores).sum();
-        assert!(used <= arch.chip.core_count);
+        assert!(used <= arch.chip().core_count);
         assert!(mapping.iter().any(|m| m.replicas > 1), "ResNet18 leaves room for duplication");
         // The no-duplication mapping must never be faster.
         let (without, _) = model.mapping_with_duplication(&groups, false).unwrap();
@@ -349,5 +364,22 @@ mod tests {
     fn weight_reload_scales_with_bytes() {
         let model = CostModel::new(&cimflow_arch::ArchConfig::paper_default());
         assert!(model.weight_reload_cycles(10 << 20) > model.weight_reload_cycles(1 << 20));
+    }
+
+    #[test]
+    fn interchip_transfers_cost_latency_plus_serialization() {
+        let arch = cimflow_arch::ArchConfig::paper_default().with_chip_count(2);
+        let model = CostModel::new(&arch);
+        assert_eq!(model.interchip_transfer_cycles(0, 1), 0);
+        let small = model.interchip_transfer_cycles(64, 1);
+        let large = model.interchip_transfer_cycles(64 * 1024, 1);
+        assert!(small >= u64::from(arch.system.interconnect.link_latency_cycles));
+        assert!(large > small);
+        // Every additional hop pays the head latency again …
+        let two_hops = model.interchip_transfer_cycles(64, 2);
+        assert_eq!(two_hops - small, u64::from(arch.system.interconnect.link_latency_cycles));
+        // … and a faster link reduces the serialization share.
+        let fast = CostModel::new(&arch.with_interchip_link_bytes(256));
+        assert!(fast.interchip_transfer_cycles(64 * 1024, 1) < large);
     }
 }

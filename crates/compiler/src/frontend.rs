@@ -282,6 +282,48 @@ impl CondensedGraph {
     pub fn pred_indices(&self, index: usize) -> Vec<usize> {
         self.groups[index].preds.iter().map(|d| d.group).collect()
     }
+
+    /// The restriction of the condensed graph to the groups `assignment`
+    /// maps to `chip`, densely re-indexed. Returns the subgraph together
+    /// with the global index of every subgraph group.
+    ///
+    /// Cut edges are rewritten for per-chip compilation: a predecessor on
+    /// another chip becomes a graph-input fetch (its activation arrives
+    /// in this chip's global memory over the interconnect), and a group
+    /// whose consumer lives on another chip is marked as writing a graph
+    /// output so code generation spills its activation to global memory,
+    /// where the inter-chip transfer picks it up.
+    pub fn chip_subgraph(&self, assignment: &[u32], chip: u32) -> (CondensedGraph, Vec<usize>) {
+        assert_eq!(assignment.len(), self.groups.len(), "one chip per group");
+        let selected: Vec<usize> =
+            (0..self.groups.len()).filter(|i| assignment[*i] == chip).collect();
+        let mut remap = vec![usize::MAX; self.groups.len()];
+        for (new, &old) in selected.iter().enumerate() {
+            remap[old] = new;
+        }
+        let mut groups = Vec::with_capacity(selected.len());
+        for &old in &selected {
+            let mut group = self.groups[old].clone();
+            group.index = remap[old];
+            let preds = std::mem::take(&mut group.preds);
+            for dep in preds {
+                if assignment[dep.group] == chip {
+                    group.preds.push(GroupDep { group: remap[dep.group], bytes: dep.bytes });
+                } else {
+                    group.reads_graph_input = true;
+                }
+            }
+            let feeds_other_chip = self
+                .groups
+                .iter()
+                .any(|g| assignment[g.index] != chip && g.preds.iter().any(|d| d.group == old));
+            if feeds_other_chip {
+                group.writes_graph_output = true;
+            }
+            groups.push(group);
+        }
+        (CondensedGraph { groups }, selected)
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +390,32 @@ mod tests {
             assert!(group.metrics.output_bytes > 0);
         }
         assert!(condensed.groups().iter().any(|g| g.metrics.is_depthwise));
+    }
+
+    #[test]
+    fn chip_subgraphs_cover_the_graph_and_rewrite_cut_edges() {
+        let model = models::resnet18(64);
+        let condensed = CondensedGraph::from_graph(&model.graph).unwrap();
+        let n = condensed.len();
+        // Contiguous halves.
+        let assignment: Vec<u32> = (0..n).map(|i| u32::from(i >= n / 2)).collect();
+        let (first, first_ids) = condensed.chip_subgraph(&assignment, 0);
+        let (second, second_ids) = condensed.chip_subgraph(&assignment, 1);
+        assert_eq!(first.len() + second.len(), n);
+        assert_eq!(first_ids.last().copied().unwrap() + 1, second_ids[0]);
+        // Subgraph dependencies are internal and backward.
+        for sub in [&first, &second] {
+            for group in sub.groups() {
+                for dep in &group.preds {
+                    assert!(dep.group < group.index);
+                }
+            }
+        }
+        // The boundary producer spills for the next chip, the boundary
+        // consumer fetches from global memory.
+        assert!(first.groups().last().unwrap().writes_graph_output);
+        assert!(second.groups().first().unwrap().reads_graph_input);
+        assert!(second.groups().first().unwrap().preds.is_empty());
     }
 
     #[test]

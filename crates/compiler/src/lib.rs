@@ -5,6 +5,13 @@
 //! CIM instruction sequences (`cimflow-isa`) through a two-level
 //! optimization strategy.
 //!
+//! **System-level partitioning** ([`system`]): when the architecture
+//! integrates more than one chip, the condensed graph is first split into
+//! one contiguous segment per chip (balancing estimated latency and
+//! weight staging against the inter-chip transfer cost of the cut edges)
+//! and every later pass runs per chip; the cut activations travel over
+//! the inter-chip interconnect. With one chip the pass is the identity.
+//!
 //! **CG-level optimization** ([`frontend`], [`partition`], [`cost`]):
 //!
 //! 1. *Preprocessing* — MVM-based operators (convolutions, fully connected
@@ -61,6 +68,7 @@ pub mod oplevel;
 pub mod partition;
 mod plan;
 mod strategy;
+pub mod system;
 pub mod validate;
 
 pub use bitset::BitMask256;
@@ -70,3 +78,4 @@ pub use plan::{
     ClusterPlan, CompilationPlan, CompileReport, CompiledProgram, GroupPlacement, StagePlan,
 };
 pub use strategy::{compile, compile_with_options, CompileOptions, Strategy};
+pub use system::{partition_chips, InterChipTransferPlan, SystemPlan};

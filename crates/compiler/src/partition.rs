@@ -38,7 +38,7 @@ impl PartitionDecision {
 /// "Each dependency closure represents a self-contained set of operators
 /// whose dependencies are fully enclosed within the set, serving as basic
 /// building blocks for candidate partitions." The enumeration is breadth
-/// first over the closure lattice and capped at [`CLOSURE_CAP`] entries;
+/// first over the closure lattice and capped at `CLOSURE_CAP` entries;
 /// when the cap is hit the function falls back to the prefix closures of
 /// the dependency-preserving linearization, which are always valid.
 pub fn dependency_closures(condensed: &CondensedGraph) -> Vec<BitMask256> {
@@ -311,7 +311,7 @@ mod tests {
     fn vgg19_requires_multiple_stages() {
         let arch = ArchConfig::paper_default();
         let cost = CostModel::new(&arch);
-        let limit = u64::from(arch.chip.core_count) * cost.core_capacity_bytes() * 3 / 4;
+        let limit = u64::from(arch.chip().core_count) * cost.core_capacity_bytes() * 3 / 4;
         let vgg =
             CondensedGraph::from_graph_with_capacity(&models::vgg19(224).graph, limit).unwrap();
         let generic = generic_partition(&vgg, &cost).unwrap();

@@ -8,6 +8,7 @@ use cimflow_arch::ArchConfig;
 use cimflow_isa::{OpcodeClass, Program};
 
 use crate::frontend::CondensedGraph;
+use crate::system::SystemPlan;
 
 /// One replica (cluster) of an operator group: the cores it occupies and
 /// the output-pixel range it is responsible for.
@@ -202,12 +203,19 @@ impl serde::Deserialize for CompileReport {
 /// The complete compilation artifact consumed by the simulator.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    /// One ISA program per core (indexed by core id).
+    /// One ISA program per core, indexed by the **global** core id
+    /// `chip * cores_per_chip + local_core` (plain core id on a
+    /// single-chip system).
     pub per_core: Vec<Program>,
-    /// The CG-level plan that produced the code.
+    /// The CG-level plan that produced the code. On multi-chip systems
+    /// this is the merged view across chips: group indices refer to the
+    /// global condensed graph and cluster cores are global core ids.
     pub plan: CompilationPlan,
     /// The condensed graph the plan refers to.
     pub condensed: CondensedGraph,
+    /// The system-level plan: chip assignment of every group and the
+    /// inter-chip transfers at cut edges (trivial on a single chip).
+    pub system: SystemPlan,
     /// The architecture the program was compiled for.
     pub arch: ArchConfig,
     /// Static code statistics.

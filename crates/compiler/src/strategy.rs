@@ -11,6 +11,7 @@ use crate::cost::CostModel;
 use crate::frontend::CondensedGraph;
 use crate::partition::{self, PartitionDecision};
 use crate::plan::{ClusterPlan, CompilationPlan, CompiledProgram, GroupPlacement, StagePlan};
+use crate::system::{self, SystemPlan};
 use crate::validate;
 use crate::CompileError;
 
@@ -131,24 +132,110 @@ pub fn compile_with_options(
     options: CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
     arch.validate().map_err(|e| CompileError::ValidationFailed { reason: e.to_string() })?;
-    // Operators larger than ~3/4 of the chip's CIM capacity are split into
-    // output-channel slices so that every group fits some execution stage.
+    // Operators larger than ~3/4 of one chip's CIM capacity are split into
+    // output-channel slices so that every group fits some execution stage
+    // of some chip.
     let capacity_limit =
-        u64::from(arch.chip.core_count) * arch.core.cim_unit.weight_capacity_bytes() * 3 / 4;
+        u64::from(arch.chip().core_count) * arch.core.cim_unit.weight_capacity_bytes() * 3 / 4;
     let condensed = CondensedGraph::from_graph_with_capacity(&model.graph, capacity_limit)?;
     let cost_model = CostModel::new(arch);
-    let decision = match options.strategy {
-        Strategy::GenericMapping => partition::generic_partition(&condensed, &cost_model)?,
-        Strategy::OperatorDuplication => partition::duplication_partition(&condensed, &cost_model)?,
-        Strategy::DpOptimized => partition::dp_partition(&condensed, &cost_model)?,
-    };
+    if arch.chip_count() > 1 {
+        return compile_multichip(condensed, &cost_model, arch, options);
+    }
+    let decision = chip_decision(&condensed, &cost_model, options.strategy)?;
     let plan = build_plan(&condensed, &decision, options.strategy, arch);
     let generated = codegen::generate(&condensed, &plan, arch)?;
     if options.validate {
         validate::check(&generated, &plan, &condensed, arch)?;
     }
     let report = CompiledProgram::build_report(&generated.per_core, &plan, &condensed);
-    Ok(CompiledProgram { per_core: generated.per_core, plan, condensed, arch: *arch, report })
+    let system = SystemPlan::single_chip(condensed.len());
+    Ok(CompiledProgram {
+        per_core: generated.per_core,
+        plan,
+        condensed,
+        system,
+        arch: *arch,
+        report,
+    })
+}
+
+/// Runs the per-chip CG-level partitioning of one strategy.
+fn chip_decision(
+    condensed: &CondensedGraph,
+    cost_model: &CostModel,
+    strategy: Strategy,
+) -> Result<PartitionDecision, CompileError> {
+    match strategy {
+        Strategy::GenericMapping => partition::generic_partition(condensed, cost_model),
+        Strategy::OperatorDuplication => partition::duplication_partition(condensed, cost_model),
+        Strategy::DpOptimized => partition::dp_partition(condensed, cost_model),
+    }
+}
+
+/// The multi-chip compilation path: system-level partitioning first, then
+/// the unchanged per-chip flow on every chip's subgraph, finally merged
+/// into one artifact with globally indexed cores and groups.
+fn compile_multichip(
+    condensed: CondensedGraph,
+    cost_model: &CostModel,
+    arch: &ArchConfig,
+    options: CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    let system = system::partition_chips(&condensed, cost_model);
+    let cores_per_chip = arch.chip().core_count;
+    let mut per_core = Vec::with_capacity((arch.total_cores()) as usize);
+    let mut stages = Vec::new();
+    for chip in 0..system.chip_count {
+        let (subgraph, global_ids) = condensed.chip_subgraph(&system.assignment, chip);
+        if subgraph.is_empty() {
+            // A chip without work still needs well-formed (halting)
+            // programs so the simulator's core indexing stays uniform.
+            for _ in 0..cores_per_chip {
+                let mut builder = cimflow_isa::ProgramBuilder::new();
+                builder.push(cimflow_isa::Instruction::Halt);
+                per_core.push(builder.finish()?);
+            }
+            continue;
+        }
+        let decision = chip_decision(&subgraph, cost_model, options.strategy)?;
+        let plan = build_plan(&subgraph, &decision, options.strategy, arch);
+        let generated = codegen::generate(&subgraph, &plan, arch)?;
+        if options.validate {
+            validate::check(&generated, &plan, &subgraph, arch)?;
+        }
+        per_core.extend(generated.per_core);
+        // Lift the chip-local plan into the global index spaces for the
+        // merged report/analysis view.
+        let core_base = chip * cores_per_chip;
+        for stage in plan.stages {
+            let placements = stage
+                .placements
+                .into_iter()
+                .map(|placement| GroupPlacement {
+                    group: global_ids[placement.group],
+                    clusters: placement
+                        .clusters
+                        .into_iter()
+                        .map(|cluster| ClusterPlan {
+                            cores: cluster.cores.iter().map(|c| c + core_base).collect(),
+                            pixel_start: cluster.pixel_start,
+                            pixel_end: cluster.pixel_end,
+                        })
+                        .collect(),
+                })
+                .collect();
+            stages.push(StagePlan {
+                index: stages.len(),
+                placements,
+                estimated_cycles: stage.estimated_cycles,
+                estimated_energy_pj: stage.estimated_energy_pj,
+            });
+        }
+    }
+    let plan = CompilationPlan { strategy: options.strategy.name().to_owned(), stages };
+    let report = CompiledProgram::build_report(&per_core, &plan, &condensed);
+    Ok(CompiledProgram { per_core, plan, condensed, system, arch: *arch, report })
 }
 
 /// Turns a partition decision into a concrete plan with physical core
@@ -172,7 +259,7 @@ fn build_plan(
             let mut clusters = Vec::with_capacity(replicas as usize);
             for replica in 0..replicas {
                 let cores: Vec<u32> = (0..m.cores_per_replica)
-                    .map(|i| (next_core + i) % arch.chip.core_count)
+                    .map(|i| (next_core + i) % arch.chip().core_count)
                     .collect();
                 next_core += m.cores_per_replica;
                 let pixel_start = (replica * chunk).min(pixels);
@@ -241,6 +328,45 @@ mod tests {
                 let covered: u32 = placement.clusters.iter().map(ClusterPlan::pixels).sum();
                 assert_eq!(covered, group.metrics.out_pixels, "group {}", group.name);
             }
+        }
+    }
+
+    #[test]
+    fn single_chip_compilation_carries_the_trivial_system_plan() {
+        let compiled =
+            compile(&models::mobilenet_v2(32), &ArchConfig::paper_default(), Strategy::DpOptimized)
+                .unwrap();
+        assert_eq!(compiled.system.chip_count, 1);
+        assert!(compiled.system.transfers.is_empty());
+        assert_eq!(compiled.system.assignment.len(), compiled.condensed.len());
+    }
+
+    #[test]
+    fn multichip_compilation_emits_programs_for_every_chip() {
+        let arch = ArchConfig::paper_default().with_chip_count(2);
+        for strategy in Strategy::ALL {
+            let compiled = compile(&models::resnet18(32), &arch, strategy).unwrap();
+            assert_eq!(compiled.per_core.len(), 128, "64 cores per chip x 2 chips");
+            assert_eq!(compiled.system.chip_count, 2);
+            assert!(!compiled.system.transfers.is_empty(), "the split cuts at least one edge");
+            for program in &compiled.per_core {
+                assert!(program.is_halting());
+                program.validate().unwrap();
+            }
+            // The merged plan covers every condensed group exactly once,
+            // in global group/core index spaces.
+            let mut covered: Vec<usize> = compiled
+                .plan
+                .stages
+                .iter()
+                .flat_map(|s| s.placements.iter().map(|p| p.group))
+                .collect();
+            covered.sort_unstable();
+            assert_eq!(covered, (0..compiled.condensed.len()).collect::<Vec<_>>());
+            // Chip 1's placements reference chip 1's core range.
+            let chip1_groups = compiled.system.chip_groups(1);
+            let (_, placement) = compiled.plan.placement_of(chip1_groups[0]).unwrap();
+            assert!(placement.cores().iter().all(|c| (64..128).contains(c)));
         }
     }
 

@@ -1,0 +1,255 @@
+//! System-level (chip-granularity) partitioning: the pass that runs
+//! *before* the per-chip CG-level optimization when the architecture
+//! integrates more than one chip.
+//!
+//! The condensed graph's dependency-preserving linearization is split
+//! into one contiguous segment per chip. Contiguity keeps every cut edge
+//! pointing forward (chip `k` only ever feeds chips `> k`), so a single
+//! inference flows through the chips as a pipeline and consecutive
+//! inferences overlap chip-by-chip. The split is chosen by dynamic
+//! programming to minimize the bottleneck chip — the estimated segment
+//! latency plus the cost of the inter-chip transfers feeding it — which
+//! is exactly the steady-state pipeline initiation interval.
+
+use crate::cost::CostModel;
+use crate::frontend::CondensedGraph;
+
+/// One activation transfer crossing a chip boundary (a cut edge of the
+/// chip partition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterChipTransferPlan {
+    /// Global condensed-graph index of the producing group.
+    pub producer: usize,
+    /// Global condensed-graph index of the consuming group.
+    pub consumer: usize,
+    /// Chip executing the producer.
+    pub from_chip: u32,
+    /// Chip executing the consumer.
+    pub to_chip: u32,
+    /// Activation bytes moved over the interconnect.
+    pub bytes: u64,
+}
+
+/// The system-level plan: which chip executes each condensed group and
+/// which transfers cross chip boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemPlan {
+    /// Number of chips in the system.
+    pub chip_count: u32,
+    /// Executing chip of every condensed group (indexed by group).
+    pub assignment: Vec<u32>,
+    /// The cut edges, in (producer, consumer) order.
+    pub transfers: Vec<InterChipTransferPlan>,
+}
+
+impl SystemPlan {
+    /// The trivial plan of a single-chip system.
+    pub fn single_chip(group_count: usize) -> Self {
+        SystemPlan { chip_count: 1, assignment: vec![0; group_count], transfers: Vec::new() }
+    }
+
+    /// Global group indices assigned to `chip`, in linear order.
+    pub fn chip_groups(&self, chip: u32) -> Vec<usize> {
+        (0..self.assignment.len()).filter(|i| self.assignment[*i] == chip).collect()
+    }
+
+    /// Total bytes crossing chip boundaries per inference.
+    pub fn cut_bytes(&self) -> u64 {
+        self.transfers.iter().map(|t| t.bytes).sum()
+    }
+
+    /// The chips that feed `chip` through the interconnect.
+    pub fn producer_chips(&self, chip: u32) -> Vec<u32> {
+        let mut chips: Vec<u32> =
+            self.transfers.iter().filter(|t| t.to_chip == chip).map(|t| t.from_chip).collect();
+        chips.sort_unstable();
+        chips.dedup();
+        chips
+    }
+}
+
+/// Splits the condensed graph across the chips of `cost_model`'s
+/// architecture.
+///
+/// The linearization is partitioned into `chip_count` contiguous segments
+/// minimizing the most expensive segment, where a segment's cost is its
+/// estimated execution latency (per-group compute plus the weight
+/// staging its stages pay) plus the serialization cost of the cut
+/// activations entering it. With one chip this degenerates to the
+/// identity plan.
+pub fn partition_chips(condensed: &CondensedGraph, cost_model: &CostModel) -> SystemPlan {
+    let chip_count = cost_model.arch().chip_count();
+    let n = condensed.len();
+    if chip_count <= 1 || n == 0 {
+        let mut plan = SystemPlan::single_chip(n);
+        plan.chip_count = chip_count.max(1);
+        return plan;
+    }
+    let chips = chip_count as usize;
+
+    // Per-group estimates, computed once: execution cycles assuming the
+    // chip's cores are available for duplication (the per-chip mapping
+    // pass will spend vacant cores exactly this way), and the weight
+    // footprint.
+    let group_cycles: Vec<u64> = condensed
+        .groups()
+        .iter()
+        .map(|group| {
+            let cores = cost_model.min_cores(group).min(cost_model.total_cores());
+            let replicas = (cost_model.total_cores() / cores).max(1);
+            cost_model.group_cycles(group, cores, replicas)
+        })
+        .collect();
+    let mut compute_prefix = vec![0u64; n + 1];
+    let mut weight_prefix = vec![0u64; n + 1];
+    for index in 0..n {
+        compute_prefix[index + 1] = compute_prefix[index] + group_cycles[index];
+        weight_prefix[index + 1] =
+            weight_prefix[index] + condensed.groups()[index].metrics.weight_bytes;
+    }
+
+    // Segment cost for the contiguous range [start, end). Cut edges are
+    // priced at one hop: the DP does not know which earlier segment a
+    // producer lands on, and with a contiguous split cut edges
+    // overwhelmingly connect adjacent chips — exact for point-to-point
+    // fabrics, a mild underestimate for long ring skips.
+    let segment_cost = |start: usize, end: usize| -> u64 {
+        let cut_in_bytes: u64 = condensed.groups()[start..end]
+            .iter()
+            .flat_map(|g| g.preds.iter())
+            .filter(|d| d.group < start)
+            .map(|d| d.bytes)
+            .sum();
+        (compute_prefix[end] - compute_prefix[start])
+            + cost_model.weight_reload_cycles(weight_prefix[end] - weight_prefix[start])
+            + cost_model.interchip_transfer_cycles(cut_in_bytes, 1)
+    };
+
+    // dp[k][i]: minimal bottleneck of placing the first `i` groups on the
+    // first `k + 1` chips; cut[k][i] reconstructs the split points.
+    let mut dp = vec![vec![u64::MAX; n + 1]; chips];
+    let mut cut = vec![vec![0usize; n + 1]; chips];
+    for (i, slot) in dp[0].iter_mut().enumerate() {
+        *slot = segment_cost(0, i);
+    }
+    for k in 1..chips {
+        for i in 0..=n {
+            for j in 0..=i {
+                let candidate = dp[k - 1][j].max(segment_cost(j, i));
+                if candidate < dp[k][i] {
+                    dp[k][i] = candidate;
+                    cut[k][i] = j;
+                }
+            }
+        }
+    }
+
+    // Reconstruct the boundaries and build the assignment.
+    let mut boundaries = vec![0usize; chips + 1];
+    boundaries[chips] = n;
+    let mut end = n;
+    for k in (1..chips).rev() {
+        end = cut[k][end];
+        boundaries[k] = end;
+    }
+    let mut assignment = vec![0u32; n];
+    for chip in 0..chips {
+        assignment[boundaries[chip]..boundaries[chip + 1]].fill(chip as u32);
+    }
+
+    let transfers = cut_transfers(condensed, &assignment);
+    SystemPlan { chip_count, assignment, transfers }
+}
+
+/// The cut edges of an assignment, in (producer, consumer) order.
+fn cut_transfers(condensed: &CondensedGraph, assignment: &[u32]) -> Vec<InterChipTransferPlan> {
+    let mut transfers = Vec::new();
+    for group in condensed.groups() {
+        for dep in &group.preds {
+            if assignment[dep.group] != assignment[group.index] {
+                transfers.push(InterChipTransferPlan {
+                    producer: dep.group,
+                    consumer: group.index,
+                    from_chip: assignment[dep.group],
+                    to_chip: assignment[group.index],
+                    bytes: dep.bytes,
+                });
+            }
+        }
+    }
+    transfers.sort_by_key(|t| (t.producer, t.consumer));
+    transfers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_arch::ArchConfig;
+    use cimflow_nn::models;
+
+    fn condensed(model: cimflow_nn::Model) -> CondensedGraph {
+        CondensedGraph::from_graph(&model.graph).unwrap()
+    }
+
+    #[test]
+    fn single_chip_is_the_identity_plan() {
+        let graph = condensed(models::resnet18(64));
+        let cost = CostModel::new(&ArchConfig::paper_default());
+        let plan = partition_chips(&graph, &cost);
+        assert_eq!(plan.chip_count, 1);
+        assert!(plan.assignment.iter().all(|c| *c == 0));
+        assert!(plan.transfers.is_empty());
+        assert_eq!(plan.cut_bytes(), 0);
+    }
+
+    #[test]
+    fn multichip_split_is_contiguous_and_forward() {
+        for chips in [2u32, 4, 8] {
+            let graph = condensed(models::vgg19(64));
+            let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(chips));
+            let plan = partition_chips(&graph, &cost);
+            assert_eq!(plan.chip_count, chips);
+            assert_eq!(plan.assignment.len(), graph.len());
+            // Contiguity: the assignment is non-decreasing.
+            assert!(plan.assignment.windows(2).all(|w| w[0] <= w[1]));
+            // Every transfer points forward through the pipeline.
+            for transfer in &plan.transfers {
+                assert!(transfer.from_chip < transfer.to_chip);
+                assert!(transfer.producer < transfer.consumer);
+                assert!(transfer.bytes > 0);
+            }
+            assert!(!plan.transfers.is_empty(), "a chain split must cut at least one edge");
+        }
+    }
+
+    #[test]
+    fn split_balances_the_weight_footprint() {
+        let graph = condensed(models::vgg19(64));
+        let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(2));
+        let plan = partition_chips(&graph, &cost);
+        let weight_of = |chip: u32| -> u64 {
+            plan.chip_groups(chip).iter().map(|i| graph.groups()[*i].metrics.weight_bytes).sum()
+        };
+        let (a, b) = (weight_of(0), weight_of(1));
+        let total = a + b;
+        assert!(a > 0 && b > 0, "both chips get work");
+        // Neither chip carries (almost) everything.
+        assert!(a < total * 9 / 10 && b < total * 9 / 10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn more_chips_than_groups_leaves_trailing_chips_idle() {
+        // A 3-group toy model on 8 chips: every chip gets at most one
+        // group and the plan stays well-formed.
+        let graph = condensed(models::mobilenet_v2(32));
+        let chips = graph.len() as u32 + 3;
+        let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(chips));
+        let plan = partition_chips(&graph, &cost);
+        assert_eq!(plan.assignment.len(), graph.len());
+        assert!(plan.assignment.iter().all(|c| *c < chips));
+        // Producer chips of any chip are earlier chips only.
+        for chip in 0..chips {
+            assert!(plan.producer_chips(chip).iter().all(|p| *p < chip));
+        }
+    }
+}

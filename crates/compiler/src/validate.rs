@@ -45,10 +45,10 @@ fn fail(reason: impl Into<String>) -> CompileError {
 }
 
 fn check_programs(generated: &GeneratedCode, arch: &ArchConfig) -> Result<(), CompileError> {
-    if generated.per_core.len() != arch.chip.core_count as usize {
+    if generated.per_core.len() != arch.chip().core_count as usize {
         return Err(fail(format!(
             "expected {} per-core programs, found {}",
-            arch.chip.core_count,
+            arch.chip().core_count,
             generated.per_core.len()
         )));
     }
@@ -129,7 +129,7 @@ fn check_coverage(
         if before != used_cores.len() {
             return Err(fail(format!("stage {} assigns a core to two groups", stage.index)));
         }
-        if used_cores.len() > arch.chip.core_count as usize {
+        if used_cores.len() > arch.chip().core_count as usize {
             return Err(fail(format!("stage {} uses more cores than the chip has", stage.index)));
         }
     }
@@ -212,7 +212,7 @@ mod tests {
         assert!(check_programs(&generated, &arch).is_err());
 
         let generated = GeneratedCode {
-            per_core: vec![Program::new(); arch.chip.core_count as usize],
+            per_core: vec![Program::new(); arch.chip().core_count as usize],
             manifest: TransferManifest::default(),
         };
         assert!(check_programs(&generated, &arch).is_err(), "empty programs never halt");

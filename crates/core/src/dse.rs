@@ -71,7 +71,8 @@ fn grid_jobs(
             let spec = PointSpec {
                 model: ModelSpec::new(&model.name, 0),
                 strategy,
-                core_count: u64::from(base.chip.core_count),
+                chip_count: u64::from(base.chip_count()),
+                core_count: u64::from(base.chip().core_count),
                 local_memory_kib: base.core.local_memory.size_bytes / 1024,
                 flit_bytes: u64::from(flit),
                 mg_size: u64::from(mg),

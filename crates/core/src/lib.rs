@@ -51,8 +51,10 @@ pub use workflow::{CimFlow, Evaluation};
 
 // Re-export the component crates so that downstream users need a single
 // dependency.
-pub use cimflow_arch::{self as arch, ArchConfig};
-pub use cimflow_compiler::{self as compiler, CompiledProgram, Strategy};
+pub use cimflow_arch::{
+    self as arch, ArchConfig, InterChipConfig, InterChipTopology, SystemConfig,
+};
+pub use cimflow_compiler::{self as compiler, CompiledProgram, Strategy, SystemPlan};
 pub use cimflow_dse as dse_engine;
 pub use cimflow_energy::{self as energy, EnergyBreakdown};
 pub use cimflow_isa as isa;

@@ -95,7 +95,7 @@ mod tests {
     #[test]
     fn workflow_rejects_invalid_architectures() {
         let mut arch = ArchConfig::paper_default();
-        arch.chip.core_count = 0;
+        arch.system.chip.core_count = 0;
         assert!(CimFlow::new(arch).is_err());
         assert!(CimFlow::new(ArchConfig::paper_default()).is_ok());
     }
@@ -118,6 +118,6 @@ mod tests {
     #[test]
     fn default_workflow_uses_table_i() {
         let flow = CimFlow::default();
-        assert_eq!(flow.arch().chip.core_count, 64);
+        assert_eq!(flow.arch().chip().core_count, 64);
     }
 }

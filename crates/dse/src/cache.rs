@@ -32,9 +32,11 @@ use serde::{Deserialize, Serialize};
 use crate::{DseError, Evaluation};
 
 /// On-disk cache format version; bump on any change to the evaluation
-/// semantics (simulator timing, energy model, compiler cost model) that
-/// should invalidate previously persisted results.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// semantics (simulator timing, energy model, compiler cost model) or
+/// the persisted schema that should invalidate previously persisted
+/// results. Version 2: the system level (multi-chip) — `SimReport` and
+/// `EnergyBreakdown` gained inter-chip fields.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// Engine identity stamped into persisted cache files (the `cimflow-dse`
 /// crate version); a mismatch makes [`EvalCache::load`] start cold.
@@ -375,6 +377,32 @@ mod tests {
         // Strategy and model are part of the key too.
         assert_ne!(CacheKey::of(&base, &model, Strategy::DpOptimized), key);
         assert_ne!(CacheKey::of(&base, &models::mobilenet_v2(64), Strategy::GenericMapping), key);
+    }
+
+    #[test]
+    fn every_chip_count_gets_its_own_cache_key() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let mut keys: Vec<_> = [1u32, 2, 4, 8]
+            .iter()
+            .map(|chips| CacheKey::of(&base.with_chip_count(*chips), &model, Strategy::DpOptimized))
+            .collect();
+        // chip_count = 1 must key identically to the historical
+        // single-chip serialization (warm caches stay warm) …
+        assert_eq!(keys[0], CacheKey::of(&base, &model, Strategy::DpOptimized));
+        // … while every scale-out point is distinct.
+        keys.sort_by_key(|k| k.arch);
+        keys.dedup_by_key(|k| k.arch);
+        assert_eq!(keys.len(), 4);
+        // The interconnect is part of the key as well.
+        assert_ne!(
+            CacheKey::of(&base.with_chip_count(2), &model, Strategy::DpOptimized),
+            CacheKey::of(
+                &base.with_chip_count(2).with_interchip_link_bytes(64),
+                &model,
+                Strategy::DpOptimized
+            )
+        );
     }
 
     #[test]

@@ -350,6 +350,23 @@ mod tests {
     }
 
     #[test]
+    fn chip_count_sweeps_run_end_to_end() {
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::DpOptimized])
+            .with_chip_counts(&[1, 2]);
+        let outcomes = Executor::with_workers(2).run_spec(&spec, &EvalCache::new()).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        let single = outcomes[0].evaluation().unwrap();
+        let dual = outcomes[1].evaluation().unwrap();
+        assert_eq!(single.simulation.chip_count, 1);
+        assert_eq!(dual.simulation.chip_count, 2);
+        assert_eq!(dual.arch.total_cores(), 128);
+        assert!(dual.simulation.energy.interchip_pj > 0.0);
+        assert_eq!(single.simulation.energy.interchip_pj, 0.0);
+    }
+
+    #[test]
     fn duplicate_models_resolve_once() {
         let jobs = expand_jobs(&small_spec()).unwrap();
         let first = jobs[0].model.as_ref().unwrap();

@@ -15,7 +15,9 @@ pub struct SweepRow {
     pub resolution: u32,
     /// Strategy short name.
     pub strategy: String,
-    /// Chip core count.
+    /// Number of chips.
+    pub chip_count: u64,
+    /// Per-chip core count.
     pub core_count: u64,
     /// Per-core local memory in KiB.
     pub local_memory_kib: u64,
@@ -62,6 +64,7 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
                 model: point.model.name.clone(),
                 resolution: point.model.resolution,
                 strategy: point.strategy.name().to_owned(),
+                chip_count: point.chip_count,
                 core_count: point.core_count,
                 local_memory_kib: point.local_memory_kib,
                 flit_bytes: point.flit_bytes,
@@ -97,9 +100,9 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
 }
 
 /// CSV column order (kept in sync with [`to_csv`]).
-pub const CSV_HEADER: &str = "index,model,resolution,strategy,core_count,local_memory_kib,\
-flit_bytes,mg_size,status,cached,cycles,energy_mj,tops,tops_per_watt,stages,mean_duplication,\
-pareto,error";
+pub const CSV_HEADER: &str = "index,model,resolution,strategy,chip_count,core_count,\
+local_memory_kib,flit_bytes,mg_size,status,cached,cycles,energy_mj,tops,tops_per_watt,stages,\
+mean_duplication,pareto,error";
 
 /// Renders outcomes as a CSV document (header + one row per point).
 pub fn to_csv(outcomes: &[DseOutcome]) -> String {
@@ -108,11 +111,12 @@ pub fn to_csv(outcomes: &[DseOutcome]) -> String {
     for row in rows(outcomes) {
         let error = row.error.as_deref().unwrap_or("");
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},{}\n",
             row.index,
             csv_escape(&row.model),
             row.resolution,
             row.strategy,
+            row.chip_count,
             row.core_count,
             row.local_memory_kib,
             row.flit_bytes,

@@ -34,8 +34,8 @@ impl ModelSpec {
 /// A declarative architectural sweep over the CIMFlow design space.
 ///
 /// The grid is the cartesian product of all non-empty axes, expanded in a
-/// fixed order (model, strategy, core count, local memory, flit size,
-/// macro-group size) so results are deterministic regardless of how many
+/// fixed order (model, strategy, chip count, core count, local memory,
+/// flit size, macro-group size) so results are deterministic regardless of how many
 /// workers evaluate them.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepSpec {
@@ -51,6 +51,8 @@ pub struct SweepSpec {
     pub mg_sizes: Vec<u32>,
     /// NoC flit sizes in bytes; empty keeps the base value.
     pub flit_sizes: Vec<u32>,
+    /// Chip counts (the scale-out axis); empty keeps the base value.
+    pub chip_counts: Vec<u32>,
     /// Core counts (the mesh is re-derived); empty keeps the base value.
     pub core_counts: Vec<u32>,
     /// Per-core local-memory capacities in KiB; empty keeps the base
@@ -70,6 +72,7 @@ impl SweepSpec {
             strategies: Vec::new(),
             mg_sizes: Vec::new(),
             flit_sizes: Vec::new(),
+            chip_counts: Vec::new(),
             core_counts: Vec::new(),
             local_memory_kib: Vec::new(),
             workers: None,
@@ -118,6 +121,13 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the chip-count axis.
+    #[must_use]
+    pub fn with_chip_counts(mut self, counts: &[u32]) -> Self {
+        self.chip_counts = counts.to_vec();
+        self
+    }
+
     /// Sets the core-count axis.
     #[must_use]
     pub fn with_core_counts(mut self, counts: &[u32]) -> Self {
@@ -142,6 +152,7 @@ impl SweepSpec {
         let axis = |len: usize| len.max(1);
         self.models.len()
             * axis(self.strategies.len())
+            * axis(self.chip_counts.len())
             * axis(self.core_counts.len())
             * axis(self.local_memory_kib.len())
             * axis(self.flit_sizes.len())
@@ -162,27 +173,31 @@ impl SweepSpec {
             return Err(DseError::spec("the `strategies` axis must name at least one strategy"));
         }
         let base = self.base_arch();
-        let core_counts = effective_axis(&self.core_counts, base.chip.core_count);
+        let chip_counts = effective_axis(&self.chip_counts, base.chip_count());
+        let core_counts = effective_axis(&self.core_counts, base.chip().core_count);
         let local_memories =
             effective_axis(&self.local_memory_kib, base.core.local_memory.size_bytes / 1024);
-        let flit_sizes = effective_axis(&self.flit_sizes, base.chip.noc_flit_bytes);
+        let flit_sizes = effective_axis(&self.flit_sizes, base.chip().noc_flit_bytes);
         let mg_sizes = effective_axis(&self.mg_sizes, base.core.cim_unit.macros_per_group);
 
         let mut points = Vec::with_capacity(self.point_count());
         for model in &self.models {
             for &strategy in &self.strategies {
-                for &core_count in &core_counts {
-                    for &local_memory_kib in &local_memories {
-                        for &flit_bytes in &flit_sizes {
-                            for &mg_size in &mg_sizes {
-                                points.push(PointSpec {
-                                    model: model.clone(),
-                                    strategy,
-                                    core_count,
-                                    local_memory_kib,
-                                    flit_bytes,
-                                    mg_size,
-                                });
+                for &chip_count in &chip_counts {
+                    for &core_count in &core_counts {
+                        for &local_memory_kib in &local_memories {
+                            for &flit_bytes in &flit_sizes {
+                                for &mg_size in &mg_sizes {
+                                    points.push(PointSpec {
+                                        model: model.clone(),
+                                        strategy,
+                                        chip_count,
+                                        core_count,
+                                        local_memory_kib,
+                                        flit_bytes,
+                                        mg_size,
+                                    });
+                                }
                             }
                         }
                     }
@@ -240,6 +255,7 @@ impl Deserialize for SweepSpec {
             strategies: opt(map, "strategies")?.unwrap_or_default(),
             mg_sizes: opt(map, "mg_sizes")?.unwrap_or_default(),
             flit_sizes: opt(map, "flit_sizes")?.unwrap_or_default(),
+            chip_counts: opt(map, "chip_counts")?.unwrap_or_default(),
             core_counts: opt(map, "core_counts")?.unwrap_or_default(),
             local_memory_kib: opt(map, "local_memory_kib")?.unwrap_or_default(),
             workers: opt(map, "workers")?,
@@ -262,7 +278,9 @@ pub struct PointSpec {
     pub model: ModelSpec,
     /// The compilation strategy.
     pub strategy: Strategy,
-    /// Chip core count.
+    /// Number of chips in the system.
+    pub chip_count: u64,
+    /// Per-chip core count.
     pub core_count: u64,
     /// Per-core local memory in KiB.
     pub local_memory_kib: u64,
@@ -283,13 +301,16 @@ impl PointSpec {
     /// builder setters.
     pub fn arch(&self, base: &ArchConfig) -> ArchConfig {
         let mut arch = *base;
-        if self.core_count != u64::from(base.chip.core_count) {
+        if self.chip_count != u64::from(base.chip_count()) {
+            arch = arch.with_chip_count(self.chip_count as u32);
+        }
+        if self.core_count != u64::from(base.chip().core_count) {
             arch = arch.with_core_count(self.core_count as u32);
         }
         if self.local_memory_kib != base.core.local_memory.size_bytes / 1024 {
             arch = arch.with_local_memory_kib(self.local_memory_kib);
         }
-        if self.flit_bytes != u64::from(base.chip.noc_flit_bytes) {
+        if self.flit_bytes != u64::from(base.chip().noc_flit_bytes) {
             arch = arch.with_flit_bytes(self.flit_bytes as u32);
         }
         if self.mg_size != u64::from(base.core.cim_unit.macros_per_group) {
@@ -301,10 +322,11 @@ impl PointSpec {
     /// Compact human-readable label (used in progress lines).
     pub fn label(&self) -> String {
         format!(
-            "{}@{} {} cores={} lmem={}KiB flit={}B mg={}",
+            "{}@{} {} chips={} cores={} lmem={}KiB flit={}B mg={}",
             self.model.name,
             self.model.resolution,
             self.strategy,
+            self.chip_count,
             self.core_count,
             self.local_memory_kib,
             self.flit_bytes,
@@ -374,11 +396,50 @@ mod tests {
     }
 
     #[test]
+    fn chip_axis_round_trips_and_expands_between_strategy_and_cores() {
+        let spec = SweepSpec::new()
+            .named("multichip")
+            .with_model("vgg19", 32)
+            .with_strategies(&[Strategy::DpOptimized])
+            .with_chip_counts(&[1, 2, 4]);
+        assert_eq!(spec.point_count(), 3);
+        let back = SweepSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let points = spec.expand().unwrap();
+        assert_eq!(points.iter().map(|p| p.chip_count).collect::<Vec<_>>(), vec![1, 2, 4]);
+        // The chip axis varies slower than every per-chip axis …
+        let spec = spec.with_mg_sizes(&[4, 8]);
+        let points = spec.expand().unwrap();
+        assert_eq!(
+            points.iter().map(|p| (p.chip_count, p.mg_size)).collect::<Vec<_>>(),
+            vec![(1, 4), (1, 8), (2, 4), (2, 8), (4, 4), (4, 8)]
+        );
+        // … and the point architecture scales out.
+        let quad = points.last().unwrap().arch(&spec.base_arch());
+        assert_eq!(quad.chip_count(), 4);
+        assert_eq!(quad.total_cores(), 256);
+        assert!(points.last().unwrap().label().contains("chips=4"));
+    }
+
+    #[test]
+    fn sweep_files_without_a_chip_axis_default_to_one_chip() {
+        // The pre-existing example sweep file predates the chip axis; it
+        // must keep parsing and pin every point to a single chip.
+        let text = include_str!("../../../sweeps/example.json");
+        let spec = SweepSpec::from_json(text).unwrap();
+        assert!(spec.chip_counts.is_empty());
+        let points = spec.expand().unwrap();
+        assert!(!points.is_empty());
+        assert!(points.iter().all(|p| p.chip_count == 1));
+        assert!(points.iter().all(|p| p.arch(&spec.base_arch()).system.is_single_chip_default()));
+    }
+
+    #[test]
     fn pinned_axes_never_normalize_a_custom_base() {
         // A hand-picked non-squarest mesh (16 cores as 16x1) must survive
         // a sweep that does not touch the core-count axis.
         let mut base = ArchConfig::paper_default().with_core_count(16);
-        base.chip.mesh = cimflow_arch::MeshDimensions::new(16, 1);
+        base.system.chip.mesh = cimflow_arch::MeshDimensions::new(16, 1);
         assert!(base.validate().is_ok());
         let spec = SweepSpec::new()
             .with_base(base)
@@ -387,7 +448,11 @@ mod tests {
             .with_mg_sizes(&[4, 8]);
         for point in spec.expand().unwrap() {
             let arch = point.arch(&spec.base_arch());
-            assert_eq!(arch.chip.mesh, base.chip.mesh, "pinned core count keeps the custom mesh");
+            assert_eq!(
+                arch.chip().mesh,
+                base.chip().mesh,
+                "pinned core count keeps the custom mesh"
+            );
             assert_eq!(arch.core.local_memory, base.core.local_memory);
         }
     }
@@ -404,8 +469,8 @@ mod tests {
         let point = &spec.expand().unwrap()[0];
         let arch = point.arch(&spec.base_arch());
         assert_eq!(arch.core.cim_unit.macros_per_group, 4);
-        assert_eq!(arch.chip.noc_flit_bytes, 16);
-        assert_eq!(arch.chip.core_count, 16);
+        assert_eq!(arch.chip().noc_flit_bytes, 16);
+        assert_eq!(arch.chip().core_count, 16);
         assert_eq!(arch.core.local_memory.size_bytes, 256 * 1024);
         assert!(arch.validate().is_ok());
     }

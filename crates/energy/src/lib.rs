@@ -149,6 +149,40 @@ impl Default for NocEnergyModel {
     }
 }
 
+/// Energy model of the chip-to-chip interconnect (package-level SerDes
+/// links), exercised only by multi-chip systems.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterChipEnergyModel {
+    /// Link traversal energy per byte per chip-to-chip hop in picojoules
+    /// (an order of magnitude above the on-chip mesh: SerDes plus package
+    /// traces).
+    pub link_pj_per_byte_hop: f64,
+    /// Per-packet protocol/framing overhead in picojoules.
+    pub packet_pj: f64,
+}
+
+impl InterChipEnergyModel {
+    /// Constants representative of short-reach package-level SerDes
+    /// (≈ 1.25 pJ/bit → 10 pJ/byte).
+    pub fn calibrated_28nm() -> Self {
+        InterChipEnergyModel { link_pj_per_byte_hop: 10.0, packet_pj: 40.0 }
+    }
+
+    /// Energy of moving `bytes` over `hops` chip-to-chip links.
+    pub fn transfer_pj(&self, bytes: u64, hops: u32) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.link_pj_per_byte_hop * bytes as f64 * f64::from(hops.max(1)) + self.packet_pj
+    }
+}
+
+impl Default for InterChipEnergyModel {
+    fn default() -> Self {
+        Self::calibrated_28nm()
+    }
+}
+
 /// Energy model of the remaining digital logic (vector unit, scalar unit,
 /// instruction fetch/decode) — the parts the paper synthesizes with Design
 /// Compiler and measures with PrimeTime PX.
@@ -195,6 +229,8 @@ pub struct EnergyBreakdown {
     pub local_memory_pj: f64,
     /// NoC transfer energy.
     pub noc_pj: f64,
+    /// Chip-to-chip interconnect energy (zero on single-chip systems).
+    pub interchip_pj: f64,
     /// Global-memory access energy.
     pub global_memory_pj: f64,
     /// Instruction issue and static energy.
@@ -212,6 +248,7 @@ impl EnergyBreakdown {
         self.compute_pj
             + self.local_memory_pj
             + self.noc_pj
+            + self.interchip_pj
             + self.global_memory_pj
             + self.control_pj
     }
@@ -226,6 +263,7 @@ impl EnergyBreakdown {
         self.compute_pj += other.compute_pj;
         self.local_memory_pj += other.local_memory_pj;
         self.noc_pj += other.noc_pj;
+        self.interchip_pj += other.interchip_pj;
         self.global_memory_pj += other.global_memory_pj;
         self.control_pj += other.control_pj;
     }
@@ -252,6 +290,8 @@ pub struct EnergyModel {
     pub sram: SramEnergyModel,
     /// NoC model.
     pub noc: NocEnergyModel,
+    /// Chip-to-chip interconnect model.
+    pub interchip: InterChipEnergyModel,
     /// Remaining digital logic model.
     pub digital: DigitalEnergyModel,
 }
@@ -291,14 +331,23 @@ impl EnergyModel {
         }
     }
 
-    /// Static + leakage energy of the whole chip over `cycles` cycles.
+    /// Estimated energy of an inter-chip transfer of `bytes` over `hops`
+    /// chip-to-chip links.
+    pub fn interchip_energy(&self, bytes: u64, hops: u32) -> EnergyBreakdown {
+        EnergyBreakdown {
+            interchip_pj: self.interchip.transfer_pj(bytes, hops),
+            ..EnergyBreakdown::default()
+        }
+    }
+
+    /// Static + leakage energy of the whole system (all chips) over
+    /// `cycles` cycles.
     pub fn static_energy(&self, arch: &ArchConfig, cycles: u64) -> EnergyBreakdown {
-        let macros = u64::from(arch.chip.core_count) * u64::from(arch.core.cim_unit.total_macros());
+        let cores = u64::from(arch.total_cores());
+        let macros = cores * u64::from(arch.core.cim_unit.total_macros());
         EnergyBreakdown {
             compute_pj: self.cim.static_pj_per_macro_cycle * macros as f64 * cycles as f64,
-            control_pj: self.digital.static_pj_per_core_cycle
-                * f64::from(arch.chip.core_count)
-                * cycles as f64,
+            control_pj: self.digital.static_pj_per_core_cycle * cores as f64 * cycles as f64,
             ..EnergyBreakdown::default()
         }
     }
@@ -378,6 +427,21 @@ mod tests {
         assert!(long.total_pj() > 9.0 * small.total_pj());
         let fewer_cores = m.static_energy(&arch.with_core_count(16), 1_000);
         assert!(fewer_cores.total_pj() < small.total_pj());
+        // A multi-chip system leaks on every chip.
+        let two_chips = m.static_energy(&arch.with_chip_count(2), 1_000);
+        assert!((two_chips.total_pj() - 2.0 * small.total_pj()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interchip_energy_dwarfs_onchip_per_byte() {
+        let m = EnergyModel::calibrated_28nm();
+        assert!(m.interchip.link_pj_per_byte_hop > m.noc.link_pj_per_byte_hop);
+        let transfer = m.interchip_energy(1024, 1);
+        assert!(transfer.interchip_pj > 0.0);
+        assert_eq!(m.interchip_energy(0, 1).interchip_pj, 0.0);
+        let two_hops = m.interchip_energy(1024, 2);
+        assert!(two_hops.interchip_pj > transfer.interchip_pj);
+        assert!(transfer.total_pj() >= transfer.interchip_pj);
     }
 
     #[test]

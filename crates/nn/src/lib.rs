@@ -16,7 +16,7 @@
 //! * workload statistics ([`WorkloadStats`]),
 //! * a model zoo ([`models`]) building ResNet18, VGG19, MobileNetV2 and
 //!   EfficientNetB0 — the four evaluation benchmarks of the paper,
-//! * a golden reference executor ([`reference`]) used by compiler and
+//! * a golden reference executor ([`mod@reference`]) used by compiler and
 //!   simulator tests for functional validation.
 //!
 //! # Example

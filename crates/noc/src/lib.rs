@@ -19,6 +19,12 @@
 //! port node, matching the paper's organization where cores access global
 //! memory over the NoC.
 //!
+//! For multi-chip systems the crate additionally models the chip-to-chip
+//! interconnect ([`InterChipFabric`]): a point-to-point or ring fabric of
+//! full-duplex links, flit-serialized exactly like the mesh but with a
+//! wider flit and a much larger per-hop latency. Both networks implement
+//! the [`Interconnect`] trait so the simulator drives them uniformly.
+//!
 //! # Example
 //!
 //! ```
@@ -150,6 +156,88 @@ impl NocStats {
             self.total_latency as f64 / self.packets as f64
         }
     }
+
+    /// Folds another accumulator into this one (used to aggregate the
+    /// per-chip meshes of a multi-chip system into one report entry).
+    pub fn merge(&mut self, other: &NocStats) {
+        self.packets += other.packets;
+        self.bytes += other.bytes;
+        self.flits += other.flits;
+        self.flit_hops += other.flit_hops;
+        self.byte_hops += other.byte_hops;
+        self.total_latency += other.total_latency;
+        self.total_contention += other.total_contention;
+        self.max_latency = self.max_latency.max(other.max_latency);
+    }
+}
+
+/// Walks a packet of `flits` flits (carrying `bytes` payload bytes) over
+/// `route`, queueing on busy links and accounting into `stats` — the one
+/// contention/serialization model shared by the on-chip [`Mesh`] and the
+/// chip-to-chip [`InterChipFabric`], which differ only in how they route.
+///
+/// An empty route or a zero-flit packet completes immediately without
+/// touching the network (the packet is still counted).
+fn transfer_over(
+    route: &[Link],
+    flits: u64,
+    bytes: u64,
+    hop_latency: u64,
+    now: u64,
+    link_free: &mut BTreeMap<Link, u64>,
+    stats: &mut NocStats,
+) -> TransferOutcome {
+    if route.is_empty() || flits == 0 {
+        let outcome =
+            TransferOutcome { departure: now, arrival: now, hops: 0, flits, contention: 0 };
+        stats.packets += 1;
+        stats.bytes += bytes;
+        stats.flits += flits;
+        return outcome;
+    }
+    let hops = route.len() as u32;
+    let mut head_time = now;
+    let mut contention = 0u64;
+    for link in route {
+        let free_at = link_free.get(link).copied().unwrap_or(0);
+        let start = head_time.max(free_at);
+        contention += start - head_time;
+        // The link is busy until the tail flit has crossed it.
+        link_free.insert(*link, start + flits);
+        head_time = start + hop_latency;
+    }
+    // The tail flit arrives `flits - 1` cycles after the head.
+    let arrival = head_time + flits.saturating_sub(1);
+    let outcome = TransferOutcome { departure: now, arrival, hops, flits, contention };
+
+    stats.packets += 1;
+    stats.bytes += bytes;
+    stats.flits += flits;
+    stats.flit_hops += flits * u64::from(hops);
+    stats.byte_hops += bytes * u64::from(hops);
+    stats.total_latency += outcome.latency();
+    stats.total_contention += contention;
+    stats.max_latency = stats.max_latency.max(outcome.latency());
+    outcome
+}
+
+/// A packet-switched interconnect: something that can carry one packet
+/// from `src` to `dst` with contention, and account the traffic.
+///
+/// Implemented by the on-chip [`Mesh`] (node = core/router) and the
+/// chip-to-chip [`InterChipFabric`] (node = chip), so the simulator
+/// drives per-chip meshes and the system-level fabric through one
+/// interface.
+pub trait Interconnect {
+    /// Simulates one packet transfer of `bytes` from `src` to `dst`
+    /// injected at cycle `now`, updating link contention and statistics.
+    fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome;
+
+    /// Accumulated statistics.
+    fn stats(&self) -> &NocStats;
+
+    /// Clears contention state and statistics.
+    fn reset(&mut self);
 }
 
 /// The mesh NoC with per-link contention state.
@@ -212,40 +300,16 @@ impl Mesh {
     /// without touching the network.
     pub fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome {
         let flits = self.config.flits_for(bytes);
-        if src == dst || flits == 0 {
-            let outcome =
-                TransferOutcome { departure: now, arrival: now, hops: 0, flits, contention: 0 };
-            self.stats.packets += 1;
-            self.stats.bytes += bytes;
-            self.stats.flits += flits;
-            return outcome;
-        }
-        let route = self.route(src, dst);
-        let hops = route.len() as u32;
-        let hop_latency = u64::from(self.config.hop_latency);
-        let mut head_time = now;
-        let mut contention = 0u64;
-        for link in &route {
-            let free_at = self.link_free.get(link).copied().unwrap_or(0);
-            let start = head_time.max(free_at);
-            contention += start - head_time;
-            // The link is busy until the tail flit has crossed it.
-            self.link_free.insert(*link, start + flits);
-            head_time = start + hop_latency;
-        }
-        // The tail flit arrives `flits - 1` cycles after the head.
-        let arrival = head_time + flits.saturating_sub(1);
-        let outcome = TransferOutcome { departure: now, arrival, hops, flits, contention };
-
-        self.stats.packets += 1;
-        self.stats.bytes += bytes;
-        self.stats.flits += flits;
-        self.stats.flit_hops += flits * u64::from(hops);
-        self.stats.byte_hops += bytes * u64::from(hops);
-        self.stats.total_latency += outcome.latency();
-        self.stats.total_contention += contention;
-        self.stats.max_latency = self.stats.max_latency.max(outcome.latency());
-        outcome
+        let route = if src == dst { Vec::new() } else { self.route(src, dst) };
+        transfer_over(
+            &route,
+            flits,
+            bytes,
+            u64::from(self.config.hop_latency),
+            now,
+            &mut self.link_free,
+            &mut self.stats,
+        )
     }
 
     /// Convenience wrapper for a transfer to the global-memory port.
@@ -256,6 +320,144 @@ impl Mesh {
     /// Convenience wrapper for a transfer from the global-memory port.
     pub fn transfer_from_memory(&mut self, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome {
         self.transfer(self.config.memory_port, dst, bytes, now)
+    }
+}
+
+impl Interconnect for Mesh {
+    fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome {
+        Mesh::transfer(self, src, dst, bytes, now)
+    }
+
+    fn stats(&self) -> &NocStats {
+        Mesh::stats(self)
+    }
+
+    fn reset(&mut self) {
+        Mesh::reset(self)
+    }
+}
+
+/// Configuration of the chip-to-chip fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InterChipConfig {
+    /// Number of chips connected by the fabric.
+    pub chips: u32,
+    /// Link bandwidth in bytes per core-clock cycle (the inter-chip
+    /// "flit" size).
+    pub link_bytes: u32,
+    /// Head latency of one link traversal in cycles (SerDes plus time of
+    /// flight) — the inter-chip analogue of [`NocConfig::hop_latency`].
+    pub link_latency: u32,
+    /// Whether the chips form a ring (`true`) or a full point-to-point
+    /// fabric with a dedicated link per chip pair (`false`).
+    pub ring: bool,
+}
+
+impl InterChipConfig {
+    /// Creates a point-to-point fabric configuration.
+    pub fn point_to_point(chips: u32, link_bytes: u32, link_latency: u32) -> Self {
+        InterChipConfig { chips, link_bytes, link_latency, ring: false }
+    }
+
+    /// Creates a ring fabric configuration.
+    pub fn ring(chips: u32, link_bytes: u32, link_latency: u32) -> Self {
+        InterChipConfig { chips, link_bytes, link_latency, ring: true }
+    }
+
+    /// Number of link-serialization flits needed to carry `bytes`.
+    pub fn flits_for(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(u64::from(self.link_bytes.max(1)))
+        }
+    }
+
+    /// Hop count from chip `from` to chip `to`.
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        if from == to {
+            return 0;
+        }
+        if self.ring {
+            let d = from.abs_diff(to);
+            d.min(self.chips.max(1) - d)
+        } else {
+            1
+        }
+    }
+}
+
+/// The chip-to-chip interconnect: full-duplex links between chips with
+/// per-link contention, flit-serialized like the mesh.
+///
+/// Point-to-point fabrics route every packet over the single direct link
+/// of the `(src, dst)` pair; ring fabrics walk the shorter ring direction
+/// one chip at a time, occupying every traversed link for the packet's
+/// serialization time so concurrent packets queue behind each other.
+#[derive(Debug, Clone)]
+pub struct InterChipFabric {
+    config: InterChipConfig,
+    link_free: BTreeMap<Link, u64>,
+    stats: NocStats,
+}
+
+impl InterChipFabric {
+    /// Creates an idle fabric.
+    pub fn new(config: InterChipConfig) -> Self {
+        InterChipFabric { config, link_free: BTreeMap::new(), stats: NocStats::default() }
+    }
+
+    /// The fabric configuration.
+    pub fn config(&self) -> &InterChipConfig {
+        &self.config
+    }
+
+    /// The route from chip `src` to chip `dst` as a list of directed
+    /// links.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<Link> {
+        if src == dst {
+            return Vec::new();
+        }
+        if !self.config.ring {
+            return vec![Link { from: src, to: dst }];
+        }
+        let chips = self.config.chips.max(1);
+        let forward = (dst + chips - src) % chips;
+        let step_forward = forward <= chips - forward;
+        let mut links = Vec::new();
+        let mut current = src;
+        while current != dst {
+            let next =
+                if step_forward { (current + 1) % chips } else { (current + chips - 1) % chips };
+            links.push(Link { from: current, to: next });
+            current = next;
+        }
+        links
+    }
+}
+
+impl Interconnect for InterChipFabric {
+    fn transfer(&mut self, src: NodeId, dst: NodeId, bytes: u64, now: u64) -> TransferOutcome {
+        let flits = self.config.flits_for(bytes);
+        let route = self.route(src, dst);
+        transfer_over(
+            &route,
+            flits,
+            bytes,
+            u64::from(self.config.link_latency),
+            now,
+            &mut self.link_free,
+            &mut self.stats,
+        )
+    }
+
+    fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    fn reset(&mut self) {
+        self.link_free.clear();
+        self.stats = NocStats::default();
     }
 }
 
@@ -332,6 +534,25 @@ mod tests {
     }
 
     #[test]
+    fn stats_merge_aggregates_every_field() {
+        let mut a = mesh4();
+        a.transfer(0, 15, 64, 0);
+        let mut b = mesh4();
+        b.transfer(0, 3, 256, 0);
+        b.transfer(0, 3, 256, 0); // contention on the shared path
+        let mut merged = a.stats().clone();
+        merged.merge(b.stats());
+        assert_eq!(merged.packets, 3);
+        assert_eq!(merged.bytes, 64 + 512);
+        assert_eq!(merged.flits, a.stats().flits + b.stats().flits);
+        assert_eq!(merged.flit_hops, a.stats().flit_hops + b.stats().flit_hops);
+        assert_eq!(merged.byte_hops, a.stats().byte_hops + b.stats().byte_hops);
+        assert_eq!(merged.total_latency, a.stats().total_latency + b.stats().total_latency);
+        assert!(merged.total_contention > 0);
+        assert_eq!(merged.max_latency, a.stats().max_latency.max(b.stats().max_latency));
+    }
+
+    #[test]
     fn stats_accumulate() {
         let mut mesh = mesh4();
         mesh.transfer(0, 15, 64, 0);
@@ -346,11 +567,110 @@ mod tests {
         assert_eq!(mesh.stats().packets, 0);
     }
 
+    #[test]
+    fn point_to_point_fabric_is_single_hop() {
+        let mut fabric = InterChipFabric::new(InterChipConfig::point_to_point(4, 32, 64));
+        let outcome = fabric.transfer(0, 3, 64, 0);
+        assert_eq!(outcome.hops, 1);
+        assert_eq!(outcome.flits, 2);
+        assert_eq!(outcome.latency(), 64 + 1);
+        // Distinct pairs use distinct links: no contention.
+        let other = fabric.transfer(1, 2, 64, 0);
+        assert_eq!(other.contention, 0);
+        // The same pair queues on its link.
+        let queued = fabric.transfer(0, 3, 64, 0);
+        assert!(queued.contention > 0);
+    }
+
+    #[test]
+    fn ring_fabric_routes_the_short_way_around() {
+        let fabric = InterChipFabric::new(InterChipConfig::ring(4, 32, 64));
+        assert_eq!(fabric.route(0, 1), vec![Link { from: 0, to: 1 }]);
+        assert_eq!(fabric.route(0, 3), vec![Link { from: 0, to: 3 }], "wraps backwards");
+        assert_eq!(fabric.route(0, 2).len(), 2);
+        assert_eq!(fabric.config().hops(1, 3), 2);
+        let mut fabric = fabric;
+        let two_hops = fabric.transfer(0, 2, 32, 0);
+        assert_eq!(two_hops.hops, 2);
+        assert_eq!(two_hops.latency(), 2 * 64);
+    }
+
+    #[test]
+    fn fabric_local_and_empty_transfers_are_free() {
+        let mut fabric = InterChipFabric::new(InterChipConfig::point_to_point(2, 32, 64));
+        assert_eq!(fabric.transfer(1, 1, 4096, 5).latency(), 0);
+        assert_eq!(fabric.transfer(0, 1, 0, 5).latency(), 0);
+        assert_eq!(fabric.stats().flit_hops, 0);
+        fabric.reset();
+        assert_eq!(fabric.stats().packets, 0);
+    }
+
+    #[test]
+    fn interconnect_trait_drives_both_networks_uniformly() {
+        fn ship(net: &mut dyn Interconnect, src: NodeId, dst: NodeId) -> u64 {
+            net.transfer(src, dst, 256, 0).latency()
+        }
+        let mut mesh = mesh4();
+        let mut fabric = InterChipFabric::new(InterChipConfig::point_to_point(4, 32, 64));
+        assert!(ship(&mut mesh, 0, 15) > 0);
+        assert!(ship(&mut fabric, 0, 3) > 0);
+        assert_eq!(Interconnect::stats(&mesh).packets, 1);
+        assert_eq!(fabric.stats().packets, 1);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
 
         proptest! {
+            /// Hop distance is symmetric on the mesh and on both fabric
+            /// topologies.
+            #[test]
+            fn hop_distance_is_symmetric(a in 0u32..16, b in 0u32..16) {
+                let mesh = mesh4();
+                prop_assert_eq!(mesh.config().hops(a, b), mesh.config().hops(b, a));
+                let chips = 8;
+                let ring = InterChipConfig::ring(chips, 32, 64);
+                let p2p = InterChipConfig::point_to_point(chips, 32, 64);
+                let (a, b) = (a % chips, b % chips);
+                prop_assert_eq!(ring.hops(a, b), ring.hops(b, a));
+                prop_assert_eq!(p2p.hops(a, b), p2p.hops(b, a));
+            }
+
+            /// Inter-chip transfer latency is monotone in the payload size.
+            #[test]
+            fn fabric_latency_monotone_in_bytes(
+                src in 0u32..4,
+                dst in 0u32..4,
+                bytes in 1u64..8192,
+                ring in any::<bool>(),
+            ) {
+                let config = InterChipConfig { chips: 4, link_bytes: 32, link_latency: 64, ring };
+                let small = InterChipFabric::new(config).transfer(src, dst, bytes, 0).latency();
+                let large = InterChipFabric::new(config).transfer(src, dst, bytes * 2, 0).latency();
+                prop_assert!(large >= small);
+            }
+
+            /// With a link no wider than the mesh flit and a hop latency
+            /// at least the mesh diameter, crossing chips is never faster
+            /// than crossing the mesh for the same payload: the off-chip
+            /// fabric cannot beat the on-chip network it bridges.
+            #[test]
+            fn interchip_transfers_cost_at_least_intrachip(
+                src in 0u32..16,
+                dst in 0u32..16,
+                bytes in 1u64..16384,
+            ) {
+                let mesh_config = NocConfig::new(4, 4, 8);
+                let intra = Mesh::new(mesh_config).transfer(src, dst, bytes, 0).latency();
+                let fabric_config = InterChipConfig::point_to_point(2, mesh_config.flit_bytes, 64);
+                let inter = InterChipFabric::new(fabric_config).transfer(0, 1, bytes, 0).latency();
+                prop_assert!(
+                    inter >= intra,
+                    "inter-chip {} < intra-chip {} for {} bytes", inter, intra, bytes
+                );
+            }
+
             /// The route always ends at the destination and has the
             /// Manhattan length.
             #[test]

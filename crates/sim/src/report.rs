@@ -32,14 +32,22 @@ pub struct SimReport {
     pub cim_activity: UnitActivity,
     /// Aggregate vector-unit activity across all cores.
     pub vector_activity: UnitActivity,
-    /// NoC traffic statistics.
+    /// NoC traffic statistics, aggregated over all chips' meshes.
     pub noc: NocStats,
-    /// Per-core busy fraction (0..1) relative to the total latency.
+    /// Inter-chip fabric traffic statistics (all-zero on one chip).
+    pub interchip: NocStats,
+    /// Per-core busy fraction (0..1) relative to the total latency,
+    /// chip-major across all chips.
     pub core_utilization: Vec<f64>,
+    /// Busy span of each chip (finish minus start); one entry equal to
+    /// [`SimReport::total_cycles`] on a single chip.
+    pub chip_cycles: Vec<u64>,
     /// Multiply-accumulate operations represented by the workload.
     pub total_macs: u64,
     /// Clock frequency used for time/throughput conversions, in MHz.
     pub frequency_mhz: u32,
+    /// Number of chips the workload ran on.
+    pub chip_count: u32,
 }
 
 impl SimReport {
@@ -72,6 +80,26 @@ impl SimReport {
         (self.total_macs as f64 * 2.0) / joules / 1.0e12
     }
 
+    /// Steady-state pipeline initiation interval in cycles: the busy span
+    /// of the bottleneck chip. On a single chip this is the total
+    /// latency; on a multi-chip pipeline consecutive inferences overlap
+    /// chip-by-chip, so one inference completes every interval.
+    pub fn pipeline_interval_cycles(&self) -> u64 {
+        self.chip_cycles.iter().copied().max().unwrap_or(self.total_cycles).max(1)
+    }
+
+    /// Steady-state pipelined throughput in TOPS: the rate sustained when
+    /// consecutive inferences stream through the chip pipeline (equals
+    /// [`SimReport::throughput_tops`] on one chip).
+    pub fn pipelined_throughput_tops(&self) -> f64 {
+        let seconds =
+            self.pipeline_interval_cycles() as f64 / (f64::from(self.frequency_mhz.max(1)) * 1.0e6);
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        (self.total_macs as f64 * 2.0) / seconds / 1.0e12
+    }
+
     /// Mean core utilization.
     pub fn mean_utilization(&self) -> f64 {
         if self.core_utilization.is_empty() {
@@ -87,7 +115,8 @@ impl SimReport {
 
     /// Records the architecture-derived constants of the run.
     pub(crate) fn attach_arch(&mut self, arch: &ArchConfig) {
-        self.frequency_mhz = arch.chip.frequency_mhz;
+        self.frequency_mhz = arch.chip().frequency_mhz;
+        self.chip_count = arch.chip_count();
     }
 }
 
@@ -102,6 +131,12 @@ impl fmt::Display for SimReport {
         writeln!(f, "  noc:           {:.3} mJ", self.energy.noc_pj * 1e-9)?;
         writeln!(f, "  global memory: {:.3} mJ", self.energy.global_memory_pj * 1e-9)?;
         writeln!(f, "  control:       {:.3} mJ", self.energy.control_pj * 1e-9)?;
+        if self.chip_count > 1 {
+            writeln!(f, "  inter-chip:    {:.3} mJ", self.energy.interchip_pj * 1e-9)?;
+            writeln!(f, "chips:           {}", self.chip_count)?;
+            writeln!(f, "pipeline intvl.: {} cycles", self.pipeline_interval_cycles())?;
+            writeln!(f, "pipelined tput.: {:.3} TOPS", self.pipelined_throughput_tops())?;
+        }
         writeln!(f, "mean core util.: {:.1} %", self.mean_utilization() * 100.0)?;
         writeln!(f, "dyn. instr.:     {}", self.total_dynamic_instructions())?;
         Ok(())
@@ -121,10 +156,13 @@ mod tests {
                 noc_pj: 1.0e9,
                 global_memory_pj: 0.5e9,
                 control_pj: 0.5e9,
+                ..EnergyBreakdown::default()
             },
             total_macs: 1_800_000_000,
             frequency_mhz: 1000,
+            chip_count: 1,
             core_utilization: vec![0.5, 0.25, 0.75],
+            chip_cycles: vec![1_000_000],
             ..SimReport::default()
         }
     }
@@ -147,6 +185,23 @@ mod tests {
         assert_eq!(r.tops_per_watt(), 0.0);
         assert_eq!(r.mean_utilization(), 0.0);
         assert_eq!(r.total_dynamic_instructions(), 0);
+        assert_eq!(r.pipelined_throughput_tops(), 0.0);
+        assert_eq!(r.pipeline_interval_cycles(), 1, "the interval never divides by zero");
+    }
+
+    #[test]
+    fn pipeline_metrics_follow_the_bottleneck_chip() {
+        let mut r = sample();
+        assert_eq!(r.pipeline_interval_cycles(), r.total_cycles);
+        assert!((r.pipelined_throughput_tops() - r.throughput_tops()).abs() < 1e-12);
+        // Two chips whose spans halve the bottleneck double the rate.
+        r.chip_count = 2;
+        r.chip_cycles = vec![500_000, 400_000];
+        assert_eq!(r.pipeline_interval_cycles(), 500_000);
+        assert!(r.pipelined_throughput_tops() > r.throughput_tops());
+        let text = r.to_string();
+        assert!(text.contains("pipeline intvl."));
+        assert!(text.contains("inter-chip"));
     }
 
     #[test]

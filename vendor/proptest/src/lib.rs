@@ -1,7 +1,7 @@
 //! Minimal offline stand-in for the `proptest` crate.
 //!
 //! The build environment cannot reach crates.io, so this crate implements
-//! the subset of proptest used by the CIMFlow workspace: the [`Strategy`]
+//! the subset of proptest used by the CIMFlow workspace: the [`Strategy`](strategy::Strategy)
 //! trait with `prop_map`, range and `any::<T>()` strategies, tuple
 //! composition, `Just`, `prop_oneof!`, `prop_compose!`, collection
 //! strategies, and the `proptest!` test macro.
