@@ -22,7 +22,12 @@
 //! regenerate the paper's Figs. 6 and 7. The sweep helpers run on the
 //! [`cimflow_dse`] batch engine (re-exported as [`dse_engine`]), which
 //! adds declarative sweep grids, a parallel executor, evaluation caching
-//! and Pareto analysis for larger explorations.
+//! and Pareto analysis for larger explorations. For long-running,
+//! multi-client workloads the engine's service core — [`EvalService`],
+//! [`EvalRequest`], [`JobHandle`] (re-exported here, served over the
+//! wire by the `cimflow-serve` crate and the `cimflow-dse serve`
+//! subcommand) — adds non-blocking submission, admission control and
+//! per-tenant quotas on one shared worker pool and cache.
 //!
 //! # Quick start
 //!
@@ -56,6 +61,12 @@ pub use cimflow_arch::{
 };
 pub use cimflow_compiler::{self as compiler, CompiledProgram, Strategy, SystemPlan};
 pub use cimflow_dse as dse_engine;
+// The service-oriented evaluation API (async job handles, admission
+// control, per-tenant quotas) — the core the blocking surfaces run on.
+pub use cimflow_dse::{
+    BatchHandle, EvalRequest, EvalService, JobEvent, JobHandle, JobStatus, Priority, Rejected,
+    ServiceConfig, ServiceStats, SweepJournal,
+};
 pub use cimflow_energy::{self as energy, EnergyBreakdown};
 pub use cimflow_isa as isa;
 pub use cimflow_nn::models;

@@ -106,8 +106,20 @@ impl CacheStats {
 }
 
 /// A thread-safe, content-addressed store of finished evaluations.
-#[derive(Debug, Default)]
+///
+/// The store lives behind an [`Arc`](std::sync::Arc), so `Clone` is
+/// shallow: every clone
+/// shares the same entries and counters. That is what lets the long-lived
+/// [`EvalService`](crate::EvalService) worker threads and a caller holding
+/// `&EvalCache` (the blocking [`Executor`](crate::Executor) API) operate
+/// on one cache.
+#[derive(Debug, Clone, Default)]
 pub struct EvalCache {
+    inner: std::sync::Arc<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
     entries: Mutex<HashMap<CacheKey, Evaluation>>,
     /// Keys currently being evaluated by some worker; concurrent lookups
     /// of the same key wait on [`Self::in_flight_done`] instead of
@@ -126,7 +138,7 @@ impl EvalCache {
 
     /// Number of stored evaluations.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("cache poisoned").len()
+        self.inner.entries.lock().expect("cache poisoned").len()
     }
 
     /// Whether the cache holds no evaluations.
@@ -137,8 +149,8 @@ impl EvalCache {
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
         }
     }
 
@@ -146,21 +158,21 @@ impl EvalCache {
     pub fn get(&self, key: &CacheKey) -> Option<Evaluation> {
         let found = self.lookup(key);
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.inner.hits.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.inner.misses.fetch_add(1, Ordering::Relaxed);
         }
         found
     }
 
     /// Uncounted lookup.
     fn lookup(&self, key: &CacheKey) -> Option<Evaluation> {
-        self.entries.lock().expect("cache poisoned").get(key).cloned()
+        self.inner.entries.lock().expect("cache poisoned").get(key).cloned()
     }
 
     /// Stores an evaluation.
     pub fn insert(&self, key: CacheKey, evaluation: Evaluation) {
-        self.entries.lock().expect("cache poisoned").insert(key, evaluation);
+        self.inner.entries.lock().expect("cache poisoned").insert(key, evaluation);
     }
 
     /// Looks up, or evaluates-and-stores on a miss.
@@ -182,23 +194,23 @@ impl EvalCache {
     ) -> Result<(Evaluation, bool), DseError> {
         loop {
             if let Some(hit) = self.lookup(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok((hit, true));
             }
-            let mut in_flight = self.in_flight.lock().expect("cache poisoned");
+            let mut in_flight = self.inner.in_flight.lock().expect("cache poisoned");
             if in_flight.insert(key) {
                 break; // this caller owns the evaluation
             }
             // Another worker is evaluating this key: wait for it to
             // finish (or fail), then re-check the entries.
-            let guard = self.in_flight_done.wait(in_flight).expect("cache poisoned");
+            let guard = self.inner.in_flight_done.wait(in_flight).expect("cache poisoned");
             drop(guard);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.inner.misses.fetch_add(1, Ordering::Relaxed);
         // Release the marker even if `evaluate` panics, so waiters are
         // woken instead of deadlocking (one of them takes over).
         struct InFlightGuard<'a> {
-            cache: &'a EvalCache,
+            cache: &'a CacheInner,
             key: CacheKey,
         }
         impl Drop for InFlightGuard<'_> {
@@ -209,7 +221,7 @@ impl EvalCache {
                 self.cache.in_flight_done.notify_all();
             }
         }
-        let guard = InFlightGuard { cache: self, key };
+        let guard = InFlightGuard { cache: &self.inner, key };
         let result = evaluate();
         if let Ok(evaluation) = &result {
             // Publish before releasing the in-flight marker so waiters
@@ -222,7 +234,7 @@ impl EvalCache {
 
     /// Serializes all entries to JSON (counters are not persisted).
     pub fn to_json(&self) -> String {
-        let entries = self.entries.lock().expect("cache poisoned");
+        let entries = self.inner.entries.lock().expect("cache poisoned");
         let mut rows: Vec<(CacheKey, Evaluation)> =
             entries.iter().map(|(k, v)| (*k, v.clone())).collect();
         // Deterministic file contents regardless of hash-map order.
@@ -256,7 +268,7 @@ impl EvalCache {
         }
         let cache = EvalCache::new();
         {
-            let mut entries = cache.entries.lock().expect("cache poisoned");
+            let mut entries = cache.inner.entries.lock().expect("cache poisoned");
             for entry in file.entries {
                 entries.insert(entry.key, entry.evaluation);
             }
@@ -353,6 +365,19 @@ mod tests {
         assert_eq!(first.simulation.total_cycles, second.simulation.total_cycles);
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_one_store() {
+        let cache = EvalCache::new();
+        let clone = cache.clone();
+        let arch = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        clone.insert(key, evaluate(&arch, &model, Strategy::GenericMapping).unwrap());
+        assert_eq!(cache.len(), 1, "a clone writes into the same store");
+        assert!(cache.get(&key).is_some());
+        assert_eq!(clone.stats(), cache.stats(), "counters are shared too");
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub enum DseError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The job was cancelled before it ran (service job handles only;
+    /// the blocking executor never produces this).
+    Cancelled,
 }
 
 impl DseError {
@@ -59,6 +62,7 @@ impl fmt::Display for DseError {
             DseError::UnknownModel { name } => write!(f, "unknown benchmark model `{name}`"),
             DseError::Spec { reason } => write!(f, "invalid sweep specification: {reason}"),
             DseError::Io { reason } => write!(f, "sweep I/O error: {reason}"),
+            DseError::Cancelled => write!(f, "evaluation cancelled before it ran"),
         }
     }
 }

@@ -1,27 +1,34 @@
-//! The parallel sweep executor: fans grid points out across a worker
-//! pool, captures per-point failures, keeps result order deterministic
-//! and reports progress.
+//! The blocking sweep executor: the batch-compatibility surface over the
+//! [`EvalService`] request/response core.
 //!
-//! Design, in the style of compiler-infrastructure job runners:
+//! Historically the executor owned its own scoped worker pool; since the
+//! service-oriented API redesign it is a thin wrapper — `run_spec` is
+//! literally "submit the sweep to an ephemeral [`EvalService`] sharing
+//! the caller's cache, then wait for the batch" — so every evaluation in
+//! the workspace flows through one pipeline. The observable contract is
+//! unchanged:
 //!
 //! * the grid is expanded up front into an indexed job list;
-//! * workers claim jobs through one atomic cursor (dynamic load
-//!   balancing — expensive points do not stall a fixed partition);
-//! * every result is written to its job's slot, so the output order
-//!   equals the grid order no matter which worker finished first;
+//! * workers claim jobs dynamically (expensive points do not stall a
+//!   fixed partition);
+//! * every result lands in its job's slot, so the output order equals
+//!   the grid order no matter which worker finished first;
 //! * a failing point produces an `Err` outcome in its slot — it never
 //!   aborts the sweep (the historic `cimflow::dse::sweep` fail-fast bug);
 //! * all workers share one [`EvalCache`], so repeated points across and
 //!   within sweeps cost a map lookup.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
 
 use cimflow_arch::ArchConfig;
 
 use cimflow_nn::{models, Model};
 
-use crate::{evaluate, CacheKey, DseError, EvalCache, Evaluation, PointSpec, SweepSpec};
+use crate::journal::SweepJournal;
+use crate::service::{EvalService, ServiceConfig};
+use crate::{DseError, EvalCache, Evaluation, PointSpec, SweepSpec};
 
 /// One schedulable unit: a resolved design point.
 ///
@@ -158,48 +165,60 @@ impl Executor {
         cache: &EvalCache,
         progress: impl Fn(&Progress) + Sync,
     ) -> Vec<DseOutcome> {
-        let total = jobs.len();
-        let mut slots: Vec<Option<DseOutcome>> = Vec::new();
-        slots.resize_with(total, || None);
-        let slots = Mutex::new(slots);
-        let cursor = AtomicUsize::new(0);
-        let completed = AtomicUsize::new(0);
-        let progress = &progress;
+        let service = self.service(jobs.len(), cache);
+        let batch = service.submit_jobs(jobs).expect("a fresh service admits its batch");
+        batch.wait_with(|event| progress(event))
+    }
 
-        let worker_loop = |_worker: usize| loop {
-            let index = cursor.fetch_add(1, Ordering::Relaxed);
-            let Some(job) = jobs.get(index) else { break };
-            let outcome = run_one(job, cache);
-            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-            progress(&Progress {
-                completed: done,
-                total,
-                index,
-                label: job.spec.label(),
-                ok: outcome.result.is_ok(),
-                cached: outcome.cached,
-            });
-            slots.lock().expect("result slots poisoned")[index] = Some(outcome);
-        };
+    /// [`Self::run_spec`] against a [`SweepJournal`] at `journal`: points
+    /// recorded by a previous (possibly interrupted) run are served from
+    /// the journal, and every newly finished point is appended to it.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::Spec`] for an empty grid, [`DseError::Io`] when the
+    /// journal cannot be opened.
+    pub fn run_spec_journaled(
+        &self,
+        spec: &SweepSpec,
+        cache: &EvalCache,
+        journal: &Path,
+    ) -> Result<Vec<DseOutcome>, DseError> {
+        self.run_spec_journaled_with_progress(spec, cache, journal, |_| {})
+    }
 
-        let workers = self.workers.min(total.max(1));
-        if workers <= 1 {
-            worker_loop(0);
-        } else {
-            let worker_loop = &worker_loop;
-            std::thread::scope(|scope| {
-                for worker in 0..workers {
-                    scope.spawn(move || worker_loop(worker));
-                }
-            });
-        }
+    /// [`Self::run_spec_journaled`] with a progress callback (resumed
+    /// points report as cached).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::run_spec_journaled`].
+    pub fn run_spec_journaled_with_progress(
+        &self,
+        spec: &SweepSpec,
+        cache: &EvalCache,
+        journal: &Path,
+        progress: impl Fn(&Progress) + Sync,
+    ) -> Result<Vec<DseOutcome>, DseError> {
+        let journal = Arc::new(SweepJournal::open(journal)?);
+        let service = self.service(spec.point_count(), cache);
+        let batch = service.submit_sweep_journaled(spec, &journal).map_err(|rejected| {
+            // A fresh private service cannot reject for capacity, so the
+            // only reachable arm is the grid-expansion failure; surface
+            // it as the usual spec error.
+            match rejected {
+                crate::Rejected::InvalidSpec { reason } => DseError::spec(reason),
+                other => DseError::io(other.to_string()),
+            }
+        })?;
+        Ok(batch.wait_with(|event| progress(event)))
+    }
 
-        slots
-            .into_inner()
-            .expect("result slots poisoned")
-            .into_iter()
-            .map(|slot| slot.expect("every job slot is filled"))
-            .collect()
+    /// An ephemeral service sharing `cache`, sized like the historic
+    /// scoped worker pool (never more workers than jobs).
+    fn service(&self, jobs: usize, cache: &EvalCache) -> EvalService {
+        let workers = self.workers.min(jobs.max(1));
+        EvalService::with_cache(ServiceConfig::new().with_workers(workers), cache.clone())
     }
 }
 
@@ -209,21 +228,9 @@ impl Default for Executor {
     }
 }
 
-fn run_one(job: &Job, cache: &EvalCache) -> DseOutcome {
-    let (result, cached) = match &job.model {
-        Err(e) => (Err(e.clone()), false),
-        Ok(model) => {
-            let key = CacheKey::of(&job.arch, model, job.spec.strategy);
-            match cache.get_or_insert_with(key, || evaluate(&job.arch, model, job.spec.strategy)) {
-                Ok((evaluation, was_hit)) => (Ok(evaluation), was_hit),
-                Err(e) => (Err(e), false),
-            }
-        }
-    };
-    DseOutcome { point: job.spec.clone(), result, cached }
-}
-
-/// Expands a spec into concrete jobs, resolving each distinct model once.
+/// Expands a spec into concrete jobs, resolving each distinct model once
+/// (a `HashMap` keyed by `(name, resolution)`, so a 10k-point grid does
+/// not pay a linear scan per point).
 ///
 /// # Errors
 ///
@@ -232,20 +239,18 @@ pub fn expand_jobs(spec: &SweepSpec) -> Result<Vec<Job>, DseError> {
     type ResolvedModel = Result<Arc<Model>, DseError>;
     let base = spec.base_arch();
     let points = spec.expand()?;
-    let mut resolved: Vec<((String, u32), ResolvedModel)> = Vec::new();
+    let mut resolved: HashMap<(String, u32), ResolvedModel> = HashMap::new();
     let mut jobs = Vec::with_capacity(points.len());
     for point in points {
         let id = (point.model.name.clone(), point.model.resolution);
-        let model = match resolved.iter().find(|(key, _)| *key == id) {
-            Some((_, model)) => model.clone(),
-            None => {
-                let model = models::by_name(&point.model.name, point.model.resolution)
+        let model = resolved
+            .entry(id)
+            .or_insert_with(|| {
+                models::by_name(&point.model.name, point.model.resolution)
                     .map(Arc::new)
-                    .ok_or_else(|| DseError::UnknownModel { name: point.model.name.clone() });
-                resolved.push((id, model.clone()));
-                model
-            }
-        };
+                    .ok_or_else(|| DseError::UnknownModel { name: point.model.name.clone() })
+            })
+            .clone();
         let arch = point.arch(&base);
         jobs.push(Job { spec: point, arch, model });
     }
@@ -272,6 +277,7 @@ pub fn run_sweep(spec: &SweepSpec) -> Result<Vec<DseOutcome>, DseError> {
 mod tests {
     use super::*;
     use cimflow_compiler::Strategy;
+    use std::sync::Mutex;
 
     fn small_spec() -> SweepSpec {
         SweepSpec::new()

@@ -1,0 +1,346 @@
+//! Sweep journaling: an append-only JSONL record of finished
+//! [`DseOutcome`]s, so an interrupted sweep resumes from the journal
+//! instead of re-running warm points.
+//!
+//! The journal complements the [`EvalCache`](crate::EvalCache): the cache
+//! is a content-addressed store that must be explicitly saved, while the
+//! journal is written incrementally — one line per finished point, flushed
+//! as it lands — so even a killed process loses at most the point it was
+//! evaluating. Successful entries are keyed by the same content-hashed
+//! [`CacheKey`] the cache uses, so resumption is immune to grid reordering
+//! and spec edits that keep a point's content identical. Failed points are
+//! recorded for the log but always re-run on resume (their failure may
+//! have been transient), matching the cache's errors-are-not-cached
+//! policy.
+//!
+//! A journal file starts with a header line carrying the engine and
+//! format versions; a mismatching or missing header makes
+//! [`SweepJournal::open`] start a fresh journal (stale results must not
+//! be resumed across engine changes). A malformed trailing line — the
+//! signature of a crash mid-write — is dropped, and everything before it
+//! is kept.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CACHE_ENGINE_VERSION, CACHE_FORMAT_VERSION};
+use crate::{CacheKey, DseError, DseOutcome, Evaluation, PointSpec};
+
+/// On-disk journal format version; bumped together with the cache format
+/// (journal entries embed the same [`Evaluation`] schema).
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+#[derive(Serialize, Deserialize)]
+struct JournalHeader {
+    journal: String,
+    format: u32,
+    /// Evaluation-semantics version (shared with the cache).
+    cache_format: u32,
+    engine: String,
+}
+
+impl JournalHeader {
+    fn current() -> Self {
+        JournalHeader {
+            journal: "cimflow-dse-sweep".to_owned(),
+            format: JOURNAL_FORMAT_VERSION,
+            cache_format: CACHE_FORMAT_VERSION,
+            engine: CACHE_ENGINE_VERSION.to_owned(),
+        }
+    }
+
+    fn is_current(&self) -> bool {
+        let current = Self::current();
+        self.journal == current.journal
+            && self.format == current.format
+            && self.cache_format == current.cache_format
+            && self.engine == current.engine
+    }
+}
+
+/// One journaled point. `evaluation` is present for successes (resumable),
+/// `error` for failures (log-only).
+#[derive(Serialize, Deserialize)]
+struct JournalEntry {
+    key: Option<CacheKey>,
+    point: PointSpec,
+    evaluation: Option<Evaluation>,
+    error: Option<String>,
+    cached: bool,
+}
+
+/// An append-only JSONL journal of finished sweep points.
+///
+/// Thread-safe: service workers append concurrently. Appends are
+/// best-effort from the workers' perspective — an I/O failure must never
+/// fail the sweep itself — but [`SweepJournal::record`] surfaces the
+/// error for callers that want to know.
+#[derive(Debug)]
+pub struct SweepJournal {
+    path: PathBuf,
+    entries: Mutex<HashMap<CacheKey, Evaluation>>,
+    file: Mutex<std::fs::File>,
+}
+
+impl SweepJournal {
+    /// Opens (or creates) a journal at `path`, loading every resumable
+    /// point recorded by a previous run of the same engine/format.
+    ///
+    /// A journal written by a different engine or format version — or a
+    /// file without a journal header — is discarded and restarted fresh.
+    /// A malformed trailing line (crash mid-write) is dropped; the valid
+    /// prefix is kept and the file is rewritten without the garbage tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] when the file cannot be read, rewritten
+    /// or created.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, DseError> {
+        let path = path.into();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(DseError::io(format!("cannot read {}: {e}", path.display()))),
+        };
+        let mut lines = text.lines();
+        let header_ok = lines
+            .next()
+            .and_then(|line| serde_json::from_str::<JournalHeader>(line).ok())
+            .is_some_and(|header| header.is_current());
+        let mut entries = HashMap::new();
+        let mut kept = Vec::new();
+        if header_ok {
+            for line in lines {
+                match serde_json::from_str::<JournalEntry>(line) {
+                    Ok(entry) => {
+                        if let (Some(key), Some(evaluation)) = (entry.key, &entry.evaluation) {
+                            entries.insert(key, evaluation.clone());
+                        }
+                        kept.push(line.to_owned());
+                    }
+                    // A malformed line is a crash-truncated tail: keep the
+                    // valid prefix, drop the rest.
+                    Err(_) => break,
+                }
+            }
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| {
+                    DseError::io(format!("cannot create {}: {e}", parent.display()))
+                })?;
+            }
+        }
+        // Rewrite the normalized journal (fresh header, valid entries
+        // only) and keep the handle open for appending.
+        let mut contents = serde_json::to_string(&JournalHeader::current())
+            .expect("journal header serialization cannot fail");
+        contents.push('\n');
+        for line in &kept {
+            contents.push_str(line);
+            contents.push('\n');
+        }
+        std::fs::write(&path, contents)
+            .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| DseError::io(format!("cannot open {}: {e}", path.display())))?;
+        Ok(SweepJournal { path, entries: Mutex::new(entries), file: Mutex::new(file) })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of resumable (successful) points in the journal.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("journal poisoned").len()
+    }
+
+    /// Whether the journal holds no resumable points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The journaled evaluation of a point, if any.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Evaluation> {
+        self.entries.lock().expect("journal poisoned").get(key).cloned()
+    }
+
+    /// Appends one finished outcome (flushed immediately). `key` is the
+    /// point's content hash when its model resolved; keyless entries are
+    /// log-only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] when the append fails. Workers treat this
+    /// as best-effort.
+    pub fn record(&self, key: Option<CacheKey>, outcome: &DseOutcome) -> Result<(), DseError> {
+        let entry = JournalEntry {
+            key,
+            point: outcome.point.clone(),
+            evaluation: outcome.result.as_ref().ok().cloned(),
+            error: outcome.result.as_ref().err().map(ToString::to_string),
+            cached: outcome.cached,
+        };
+        let mut line =
+            serde_json::to_string(&entry).expect("journal entry serialization cannot fail");
+        line.push('\n');
+        {
+            let mut file = self.file.lock().expect("journal poisoned");
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.flush())
+                .map_err(|e| DseError::io(format!("cannot append {}: {e}", self.path.display())))?;
+        }
+        if let (Some(key), Ok(evaluation)) = (key, &outcome.result) {
+            self.entries.lock().expect("journal poisoned").insert(key, evaluation.clone());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{evaluate, EvalCache, Executor, SweepSpec};
+    use cimflow_arch::ArchConfig;
+    use cimflow_compiler::Strategy;
+    use cimflow_nn::models;
+
+    fn journal_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("cimflow-dse-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::remove_file(&path).ok();
+        path
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8])
+    }
+
+    #[test]
+    fn interrupted_sweeps_resume_from_the_journal() {
+        let path = journal_path("resume.jsonl");
+        // First run journals both points.
+        let outcomes = Executor::with_workers(2)
+            .run_spec_journaled(&spec(), &EvalCache::new(), &path)
+            .unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.result.is_ok() && !o.cached));
+        assert_eq!(SweepJournal::open(&path).unwrap().len(), 2);
+
+        // "Interrupted" re-run on a *cold* cache: every point is served
+        // from the journal — zero evaluations, zero cache misses.
+        let cache = EvalCache::new();
+        let resumed = Executor::sequential().run_spec_journaled(&spec(), &cache, &path).unwrap();
+        assert!(resumed.iter().all(|o| o.cached), "journaled points must not re-run");
+        assert_eq!(cache.stats().misses, 0);
+        for (a, b) in outcomes.iter().zip(&resumed) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(
+                a.result.as_ref().unwrap().simulation.total_cycles,
+                b.result.as_ref().unwrap().simulation.total_cycles
+            );
+        }
+        // The journal also seeds the cache for non-journaled callers.
+        assert_eq!(cache.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_journals_resume_the_finished_prefix_only() {
+        let path = journal_path("partial.jsonl");
+        let wide = spec().with_mg_sizes(&[4, 8, 16]);
+        // Journal only the mg=4 point, then "crash".
+        Executor::sequential()
+            .run_spec_journaled(&spec().with_mg_sizes(&[4]), &EvalCache::new(), &path)
+            .unwrap();
+        // Corrupt the tail the way a killed process would.
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            write!(file, "{{\"key\": {{\"arch\": 1, \"mo").unwrap();
+        }
+        let cache = EvalCache::new();
+        let outcomes = Executor::with_workers(2).run_spec_journaled(&wide, &cache, &path).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].cached, "the journaled point resumes");
+        assert!(!outcomes[1].cached && !outcomes[2].cached, "unjournaled points run");
+        assert_eq!(cache.stats().misses, 2);
+        // The second run journaled the remaining points: now everything
+        // resumes.
+        assert_eq!(SweepJournal::open(&path).unwrap().len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_points_are_logged_but_always_re_run() {
+        let path = journal_path("failures.jsonl");
+        let bad = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[0]);
+        let outcomes =
+            Executor::sequential().run_spec_journaled(&bad, &EvalCache::new(), &path).unwrap();
+        assert!(outcomes[0].result.is_err());
+        let journal = SweepJournal::open(&path).unwrap();
+        assert_eq!(journal.len(), 0, "failures are not resumable");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("architecture error"), "failures are still logged");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn stale_engine_journals_start_fresh() {
+        let path = journal_path("stale.jsonl");
+        std::fs::write(
+            &path,
+            "{\"journal\": \"cimflow-dse-sweep\", \"format\": 1, \"cache_format\": 1, \
+             \"engine\": \"0.0.0-other\"}\n{\"not\": \"an entry\"}\n",
+        )
+        .unwrap();
+        let journal = SweepJournal::open(&path).unwrap();
+        assert!(journal.is_empty());
+        // The rewritten file carries the current header and nothing else.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains(CACHE_ENGINE_VERSION));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_and_lookup_round_trip() {
+        let path = journal_path("roundtrip.jsonl");
+        let journal = SweepJournal::open(&path).unwrap();
+        let arch = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        let evaluation = evaluate(&arch, &model, Strategy::GenericMapping).unwrap();
+        let outcome = crate::DseOutcome {
+            point: spec().expand().unwrap()[1].clone(),
+            result: Ok(evaluation.clone()),
+            cached: false,
+        };
+        journal.record(Some(key), &outcome).unwrap();
+        assert_eq!(
+            journal.lookup(&key).unwrap().simulation.total_cycles,
+            evaluation.simulation.total_cycles
+        );
+        // A reopened journal sees the same entry.
+        drop(journal);
+        let reopened = SweepJournal::open(&path).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.lookup(&key).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -51,10 +51,21 @@ mod error;
 mod eval;
 mod executor;
 pub mod export;
+mod journal;
+pub mod serve;
+mod service;
 mod spec;
 
-pub use cache::{arch_content_hash, model_content_hash, CacheKey, CacheStats, EvalCache};
+pub use cache::{
+    arch_content_hash, model_content_hash, CacheKey, CacheStats, EvalCache, CACHE_ENGINE_VERSION,
+    CACHE_FORMAT_VERSION,
+};
 pub use error::DseError;
 pub use eval::{evaluate, Evaluation};
 pub use executor::{expand_jobs, run_sweep, DseOutcome, Executor, Job, Progress};
+pub use journal::{SweepJournal, JOURNAL_FORMAT_VERSION};
+pub use service::{
+    BatchHandle, EvalRequest, EvalService, JobEvent, JobHandle, JobStatus, Priority, Rejected,
+    ServiceConfig, ServiceStats, DEFAULT_TENANT,
+};
 pub use spec::{ModelSpec, PointSpec, SweepSpec};

@@ -1,73 +1,148 @@
-//! The `cimflow-dse` CLI: runs a JSON sweep specification end-to-end
-//! through the parallel executor and reports/export the results.
+//! The `cimflow-dse` CLI: batch sweeps and the evaluation service.
+//!
+//! **Sweep mode** runs a JSON sweep specification end-to-end through the
+//! engine and reports/exports the results:
 //!
 //! ```text
 //! cargo run --release -p cimflow-dse -- sweep.json \
 //!     [--workers N] [--sequential] [--csv out.csv] [--json out.json] \
-//!     [--cache cache.json] [--quiet]
+//!     [--cache cache.json] [--journal sweep.jsonl] [--quiet]
 //! ```
 //!
-//! Exit codes: 0 when at least one point evaluated successfully, 1 for a
+//! `--journal` appends each finished point to a JSONL journal and resumes
+//! from it, so an interrupted sweep picks up where it stopped.
+//!
+//! **Serve mode** starts a long-lived [`EvalService`] speaking
+//! newline-delimited JSON (see `cimflow_dse::serve`) on stdin/stdout, or
+//! on a TCP loopback listener with `--tcp`:
+//!
+//! ```text
+//! cargo run --release -p cimflow-dse -- serve \
+//!     [--workers N] [--queue N] [--quota N] [--cache cache.json] [--tcp PORT]
+//! ```
+//!
+//! `--queue` bounds the admission queue (excess submissions are rejected
+//! with backpressure) and `--quota` caps each tenant's in-flight points.
+//!
+//! Exit codes: 0 when at least one point evaluated successfully (sweep
+//! mode) or the service shut down cleanly (serve mode), 1 for a
 //! usage/spec error, 2 when every point failed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-use cimflow_dse::{analysis, export, DseError, EvalCache, Executor, Progress, SweepSpec};
+use cimflow_dse::serve::{serve_stdio, TcpServer};
+use cimflow_dse::{
+    analysis, export, DseError, DseOutcome, EvalCache, EvalService, Executor, Progress,
+    ServiceConfig, SweepSpec,
+};
 
-struct Args {
+struct SweepArgs {
     spec_path: PathBuf,
     workers: Option<usize>,
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
     cache: Option<PathBuf>,
+    journal: Option<PathBuf>,
     quiet: bool,
 }
 
+struct ServeArgs {
+    workers: Option<usize>,
+    queue: Option<usize>,
+    quota: Option<usize>,
+    cache: Option<PathBuf>,
+    tcp: Option<u16>,
+}
+
+enum Args {
+    Sweep(SweepArgs),
+    Serve(ServeArgs),
+}
+
 const USAGE: &str = "usage: cimflow-dse <sweep.json> [--workers N] [--sequential] \
-[--csv PATH] [--json PATH] [--cache PATH] [--quiet]";
+[--csv PATH] [--json PATH] [--cache PATH] [--journal PATH] [--quiet]
+       cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT]";
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
+    value.parse::<T>().map_err(|_| format!("{flag} expects a number, got `{value}`"))
+}
 
 /// `Ok(None)` means `--help` was requested: print usage to stdout, exit 0.
 fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     argv.next(); // program name
-    let mut spec_path = None;
+    let take_value = |argv: &mut std::env::Args, flag: &str| {
+        argv.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    };
+
+    let mut positional = None;
+    let mut serve = false;
     let mut workers = None;
     let mut csv = None;
     let mut json = None;
     let mut cache = None;
+    let mut journal = None;
+    let mut queue = None;
+    let mut quota = None;
+    let mut tcp = None;
     let mut quiet = false;
-    let take_value = |argv: &mut std::env::Args, flag: &str| {
-        argv.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
-    };
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--workers" => {
                 let value = take_value(&mut argv, "--workers")?;
-                workers = Some(
-                    value
-                        .parse::<usize>()
-                        .map_err(|_| format!("--workers expects a number, got `{value}`"))?,
-                );
+                workers = Some(parse_number::<usize>("--workers", &value)?);
             }
             "--sequential" => workers = Some(1),
             "--csv" => csv = Some(PathBuf::from(take_value(&mut argv, "--csv")?)),
             "--json" => json = Some(PathBuf::from(take_value(&mut argv, "--json")?)),
             "--cache" => cache = Some(PathBuf::from(take_value(&mut argv, "--cache")?)),
+            "--journal" => journal = Some(PathBuf::from(take_value(&mut argv, "--journal")?)),
+            "--queue" => {
+                let value = take_value(&mut argv, "--queue")?;
+                queue = Some(parse_number::<usize>("--queue", &value)?);
+            }
+            "--quota" => {
+                let value = take_value(&mut argv, "--quota")?;
+                quota = Some(parse_number::<usize>("--quota", &value)?);
+            }
+            "--tcp" => {
+                let value = take_value(&mut argv, "--tcp")?;
+                tcp = Some(parse_number::<u16>("--tcp", &value)?);
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => return Ok(None),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{USAGE}"));
             }
-            other if spec_path.is_none() => spec_path = Some(PathBuf::from(other)),
+            "serve" if positional.is_none() && !serve => serve = true,
+            other if positional.is_none() && !serve => positional = Some(PathBuf::from(other)),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
-    let spec_path = spec_path.ok_or_else(|| USAGE.to_owned())?;
-    Ok(Some(Args { spec_path, workers, csv, json, cache, quiet }))
+    if serve {
+        for (set, flag) in
+            [(csv.is_some(), "--csv"), (json.is_some(), "--json"), (journal.is_some(), "--journal")]
+        {
+            if set {
+                return Err(format!("{flag} does not apply to serve mode\n{USAGE}"));
+            }
+        }
+        return Ok(Some(Args::Serve(ServeArgs { workers, queue, quota, cache, tcp })));
+    }
+    for (set, flag) in
+        [(queue.is_some(), "--queue"), (quota.is_some(), "--quota"), (tcp.is_some(), "--tcp")]
+    {
+        if set {
+            return Err(format!("{flag} only applies to serve mode\n{USAGE}"));
+        }
+    }
+    let spec_path = positional.ok_or_else(|| USAGE.to_owned())?;
+    Ok(Some(Args::Sweep(SweepArgs { spec_path, workers, csv, json, cache, journal, quiet })))
 }
 
-fn run(args: &Args) -> Result<ExitCode, DseError> {
+fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
     let text = std::fs::read_to_string(&args.spec_path)
         .map_err(|e| DseError::io(format!("cannot read {}: {e}", args.spec_path.display())))?;
     let spec = SweepSpec::from_json(&text)?;
@@ -90,8 +165,7 @@ fn run(args: &Args) -> Result<ExitCode, DseError> {
     );
 
     let quiet = args.quiet;
-    let started = Instant::now();
-    let outcomes = executor.run_spec_with_progress(&spec, &cache, |p: &Progress| {
+    let progress = |p: &Progress| {
         if !quiet {
             let status = match (p.ok, p.cached) {
                 (true, true) => "hit ",
@@ -100,7 +174,12 @@ fn run(args: &Args) -> Result<ExitCode, DseError> {
             };
             println!("[{:>4}/{}] {status} {}", p.completed, p.total, p.label);
         }
-    })?;
+    };
+    let started = Instant::now();
+    let outcomes = match &args.journal {
+        Some(path) => executor.run_spec_journaled_with_progress(&spec, &cache, path, progress)?,
+        None => executor.run_spec_with_progress(&spec, &cache, progress)?,
+    };
     let elapsed = started.elapsed();
 
     let succeeded = outcomes.iter().filter(|o| o.result.is_ok()).count();
@@ -114,6 +193,9 @@ fn run(args: &Args) -> Result<ExitCode, DseError> {
         stats.misses,
         stats.hit_ratio() * 100.0
     );
+    if let Some(path) = &args.journal {
+        println!("journal -> {}", path.display());
+    }
 
     if failed > 0 {
         println!("\nfailed points:");
@@ -124,39 +206,7 @@ fn run(args: &Args) -> Result<ExitCode, DseError> {
         }
     }
 
-    let frontiers = analysis::pareto_frontier_by_model(&outcomes);
-    let frontier_points: usize = frontiers.values().map(Vec::len).sum();
-    println!("\nPareto frontier over (cycles, energy), per model: {frontier_points} point(s)");
-    for (model, frontier) in &frontiers {
-        println!("  {model}:");
-        for &index in frontier {
-            let outcome = &outcomes[index];
-            if let Some(evaluation) = outcome.evaluation() {
-                println!(
-                    "    {:<52} {:>12} cycles {:>10.3} mJ {:>8.3} TOPS",
-                    outcome.point.label(),
-                    evaluation.simulation.total_cycles,
-                    evaluation.simulation.energy_mj(),
-                    evaluation.simulation.throughput_tops()
-                );
-            }
-        }
-    }
-
-    let best = analysis::best_per_model(&outcomes);
-    if !best.is_empty() {
-        println!("\nfastest configuration per model:");
-        for (model, index) in &best {
-            let outcome = &outcomes[*index];
-            if let Some(evaluation) = outcome.evaluation() {
-                println!(
-                    "  {model:<16} {} ({} cycles)",
-                    outcome.point.label(),
-                    evaluation.simulation.total_cycles
-                );
-            }
-        }
-    }
+    report(&outcomes);
 
     if let Some(path) = &args.csv {
         std::fs::write(path, export::to_csv(&outcomes))
@@ -176,6 +226,98 @@ fn run(args: &Args) -> Result<ExitCode, DseError> {
     Ok(if succeeded > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) })
 }
 
+fn report(outcomes: &[DseOutcome]) {
+    let frontiers = analysis::pareto_frontier_by_model(outcomes);
+    let frontier_points: usize = frontiers.values().map(Vec::len).sum();
+    println!("\nPareto frontier over (cycles, energy), per model: {frontier_points} point(s)");
+    for (model, frontier) in &frontiers {
+        println!("  {model}:");
+        for &index in frontier {
+            let outcome = &outcomes[index];
+            if let Some(evaluation) = outcome.evaluation() {
+                println!(
+                    "    {:<52} {:>12} cycles {:>10.3} mJ {:>8.3} TOPS",
+                    outcome.point.label(),
+                    evaluation.simulation.total_cycles,
+                    evaluation.simulation.energy_mj(),
+                    evaluation.simulation.throughput_tops()
+                );
+            }
+        }
+    }
+
+    let best = analysis::best_per_model(outcomes);
+    if !best.is_empty() {
+        println!("\nfastest configuration per model:");
+        for (model, index) in &best {
+            let outcome = &outcomes[*index];
+            if let Some(evaluation) = outcome.evaluation() {
+                println!(
+                    "  {model:<16} {} ({} cycles)",
+                    outcome.point.label(),
+                    evaluation.simulation.total_cycles
+                );
+            }
+        }
+    }
+}
+
+fn run_serve(args: &ServeArgs) -> Result<ExitCode, DseError> {
+    let cache = match &args.cache {
+        Some(path) => EvalCache::load(path)?,
+        None => EvalCache::new(),
+    };
+    let mut config = ServiceConfig::new();
+    if let Some(workers) = args.workers {
+        config = config.with_workers(workers);
+    }
+    if let Some(queue) = args.queue {
+        config = config.with_queue_capacity(queue);
+    }
+    if let Some(quota) = args.quota {
+        config = config.with_tenant_quota(quota);
+    }
+    let service = Arc::new(EvalService::with_cache(config, cache.clone()));
+    eprintln!(
+        "cimflow-dse serve: {} worker(s), queue {}, per-tenant quota {}, {} cached evaluation(s)",
+        service.workers(),
+        args.queue.map_or_else(|| "unbounded".to_owned(), |q| q.to_string()),
+        args.quota.map_or_else(|| "off".to_owned(), |q| q.to_string()),
+        cache.len()
+    );
+
+    match args.tcp {
+        Some(port) => {
+            let server = TcpServer::spawn(Arc::clone(&service), port)
+                .map_err(|e| DseError::io(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+            // Machine-readable so scripts/tests can discover an
+            // ephemeral port (--tcp 0).
+            println!("listening {}", server.addr());
+            server.wait_for_shutdown();
+        }
+        None => {
+            serve_stdio(&service)
+                .map_err(|e| DseError::io(format!("stdio transport failed: {e}")))?;
+        }
+    }
+
+    let stats = service.stats();
+    eprintln!(
+        "cimflow-dse serve: {} submitted, {} completed, {} cancelled, {} rejected; cache {} hits / {} misses",
+        stats.submitted,
+        stats.completed,
+        stats.cancelled,
+        stats.rejected,
+        cache.stats().hits,
+        cache.stats().misses
+    );
+    if let Some(path) = &args.cache {
+        cache.save(path)?;
+        eprintln!("saved cache ({} entries) -> {}", cache.len(), path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn main() -> ExitCode {
     let args = match parse_args(std::env::args()) {
         Ok(Some(args)) => args,
@@ -188,7 +330,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args) {
+    let outcome = match &args {
+        Args::Sweep(sweep) => run_sweep(sweep),
+        Args::Serve(serve) => run_serve(serve),
+    };
+    match outcome {
         Ok(code) => code,
         Err(e) => {
             eprintln!("cimflow-dse: {e}");

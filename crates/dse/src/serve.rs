@@ -1,0 +1,803 @@
+//! The serving front end of the [`EvalService`]: a
+//! newline-delimited JSON protocol, a per-connection handler, and a TCP
+//! loopback listener.
+//!
+//! Each request is one JSON object per line; each line produces exactly
+//! one JSON response line. The protocol is externally tagged:
+//!
+//! ```text
+//! -> {"submit": {"model": {"name": "resnet18", "resolution": 32},
+//!                "strategy": "dp", "tenant": "alice", "priority": "high"}}
+//! <- {"accepted": {"job": 1}}
+//! -> {"wait": {"job": 1}}
+//! <- {"result": {"job": 1, "label": "...", "ok": true, "cached": false,
+//!                "total_cycles": 123, "energy_mj": 0.5,
+//!                "throughput_tops": 1.2, "error": null}}
+//! -> {"sweep": {"spec": {...SweepSpec...}, "tenant": "bob"}}
+//! <- {"accepted_batch": {"batch": 1, "jobs": [2, 3], "points": 2, "resumed": 0}}
+//! -> {"stats": {}}
+//! <- {"stats": {"service": {...}, "cache": {...}, "cache_entries": 2}}
+//! ```
+//!
+//! Over-quota and queue-full submissions answer
+//! `{"rejected": {"kind": "quota_exceeded", "reason": "..."}}`; malformed
+//! lines answer `{"error": {"message": "..."}}` and keep the connection
+//! open. `{"shutdown": {}}` stops the service and (for the TCP listener)
+//! the accept loop.
+//!
+//! The module lives in `cimflow-dse` so the `cimflow-dse serve`
+//! subcommand can host it; the `cimflow-serve` crate re-exports it and
+//! adds the typed [`Client`](../../cimflow_serve/struct.Client.html).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Content, Deserialize, Serialize};
+
+use crate::service::{BatchHandle, EvalRequest, JobHandle, Priority, DEFAULT_TENANT};
+use crate::{DseOutcome, EvalService, SweepSpec};
+
+/// A protocol request: one per line, externally tagged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit one evaluation request.
+    Submit(EvalRequest),
+    /// Submit a sweep as a batch (always admitted: queue bounds and
+    /// quotas apply to every wire submission).
+    Sweep {
+        /// The sweep grid.
+        spec: SweepSpec,
+        /// Tenant to charge the batch to; `None` means
+        /// [`DEFAULT_TENANT`].
+        tenant: Option<String>,
+        /// Batch priority; `None` means normal.
+        priority: Option<Priority>,
+    },
+    /// Non-blocking status of a job or batch.
+    Poll(Target),
+    /// Block until a job or batch finishes, then return its result(s).
+    Wait(Target),
+    /// Cancel a queued job or every queued point of a batch.
+    Cancel(Target),
+    /// Service and cache counters.
+    Stats,
+    /// Stop the service (and the listener hosting this connection).
+    Shutdown,
+}
+
+/// What a poll/wait/cancel request addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// A single job by id.
+    Job(u64),
+    /// A batch by id.
+    Batch(u64),
+}
+
+/// A protocol response: one per request, externally tagged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The submission was admitted.
+    Accepted {
+        /// Service-wide job id.
+        job: u64,
+    },
+    /// The batch was admitted.
+    AcceptedBatch {
+        /// Connection-local batch id.
+        batch: u64,
+        /// Service-wide job ids in grid order.
+        jobs: Vec<u64>,
+        /// Number of points in the batch.
+        points: usize,
+        /// Points served from a journal without re-running.
+        resumed: usize,
+    },
+    /// Admission control rejected the submission (backpressure).
+    Rejected {
+        /// Machine-readable kind (`queue_full`, `quota_exceeded`, ...).
+        kind: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Non-blocking status snapshot.
+    Status {
+        /// `queued`/`running`/`done`/`cancelled` for jobs; batches report
+        /// `running` until every point is terminal.
+        state: String,
+        /// Finished points (for batches; 0/1 for jobs).
+        completed: usize,
+        /// Total points (1 for jobs).
+        total: usize,
+    },
+    /// A finished job.
+    Result(WireOutcome),
+    /// A finished batch, outcomes in grid order.
+    BatchResult {
+        /// The connection-local batch id.
+        batch: u64,
+        /// Per-point outcomes.
+        outcomes: Vec<WireOutcome>,
+    },
+    /// Cancellation acknowledgement.
+    Cancelled {
+        /// Number of points cancelled (0/1 for jobs).
+        cancelled: usize,
+    },
+    /// Service and cache counters.
+    Stats {
+        /// Service counters.
+        service: crate::ServiceStats,
+        /// Cache hit/miss counters.
+        cache: crate::CacheStats,
+        /// Number of stored evaluations.
+        cache_entries: usize,
+    },
+    /// Shutdown acknowledgement.
+    ShuttingDown,
+    /// The request was malformed or referenced an unknown id.
+    Error {
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+/// The wire projection of a [`DseOutcome`]: the point label plus headline
+/// metrics (the full [`Evaluation`](crate::Evaluation) record stays
+/// server-side; clients wanting raw reports use the library API).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireOutcome {
+    /// Service-wide job id (`None` in batch results before assignment —
+    /// never in practice; kept optional for schema evolution).
+    pub job: Option<u64>,
+    /// Human-readable point label.
+    pub label: String,
+    /// Whether the evaluation succeeded.
+    pub ok: bool,
+    /// Whether the result came from the cache (or a journal).
+    pub cached: bool,
+    /// The per-point error, when `ok` is false.
+    pub error: Option<String>,
+    /// Total execution cycles.
+    pub total_cycles: Option<u64>,
+    /// Total energy in millijoules.
+    pub energy_mj: Option<f64>,
+    /// Throughput in TOPS.
+    pub throughput_tops: Option<f64>,
+}
+
+impl WireOutcome {
+    /// Projects an outcome onto the wire schema.
+    pub fn of(job: u64, outcome: &DseOutcome) -> Self {
+        let evaluation = outcome.result.as_ref().ok();
+        WireOutcome {
+            job: Some(job),
+            label: outcome.point.label(),
+            ok: outcome.result.is_ok(),
+            cached: outcome.cached,
+            error: outcome.result.as_ref().err().map(ToString::to_string),
+            total_cycles: evaluation.map(|e| e.simulation.total_cycles),
+            energy_mj: evaluation.map(|e| e.simulation.energy_mj()),
+            throughput_tops: evaluation.map(|e| e.simulation.throughput_tops()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire serialization (hand-written: snake_case external tags)
+// ---------------------------------------------------------------------------
+
+fn tagged(tag: &str, value: Content) -> Content {
+    Content::Map(vec![(tag.to_owned(), value)])
+}
+
+fn untag(content: &Content) -> Result<(&str, &Content), serde::Error> {
+    let map = content.as_map().ok_or_else(|| serde::Error::new("expected a tagged object"))?;
+    match map {
+        [(tag, value)] => Ok((tag.as_str(), value)),
+        _ => Err(serde::Error::new("expected exactly one request/response tag")),
+    }
+}
+
+fn field<'c>(map: &'c [(String, Content)], name: &str) -> Option<&'c Content> {
+    map.iter().find(|(key, _)| key == name).map(|(_, value)| value)
+}
+
+impl serde::Serialize for Target {
+    fn serialize(&self) -> Content {
+        match self {
+            Target::Job(id) => Content::Map(vec![("job".to_owned(), Content::U64(*id))]),
+            Target::Batch(id) => Content::Map(vec![("batch".to_owned(), Content::U64(*id))]),
+        }
+    }
+}
+
+impl serde::Deserialize for Target {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let map = content.as_map().ok_or_else(|| serde::Error::new("expected a target object"))?;
+        match (field(map, "job"), field(map, "batch")) {
+            (Some(id), None) => Ok(Target::Job(u64::deserialize(id)?)),
+            (None, Some(id)) => Ok(Target::Batch(u64::deserialize(id)?)),
+            _ => Err(serde::Error::new("expected either a `job` or a `batch` id")),
+        }
+    }
+}
+
+impl serde::Serialize for Request {
+    fn serialize(&self) -> Content {
+        match self {
+            Request::Submit(request) => tagged("submit", request.serialize()),
+            Request::Sweep { spec, tenant, priority } => tagged(
+                "sweep",
+                Content::Map(vec![
+                    ("spec".to_owned(), spec.serialize()),
+                    ("tenant".to_owned(), tenant.serialize()),
+                    ("priority".to_owned(), priority.serialize()),
+                ]),
+            ),
+            Request::Poll(target) => tagged("poll", target.serialize()),
+            Request::Wait(target) => tagged("wait", target.serialize()),
+            Request::Cancel(target) => tagged("cancel", target.serialize()),
+            Request::Stats => tagged("stats", Content::Map(Vec::new())),
+            Request::Shutdown => tagged("shutdown", Content::Map(Vec::new())),
+        }
+    }
+}
+
+impl serde::Deserialize for Request {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let (tag, value) = untag(content)?;
+        match tag {
+            "submit" => Ok(Request::Submit(EvalRequest::deserialize(value)?)),
+            "sweep" => {
+                let map =
+                    value.as_map().ok_or_else(|| serde::Error::new("expected a sweep object"))?;
+                let spec = field(map, "spec")
+                    .ok_or_else(|| serde::Error::new("sweep request needs a `spec`"))?;
+                Ok(Request::Sweep {
+                    spec: SweepSpec::deserialize(spec)?,
+                    tenant: match field(map, "tenant") {
+                        None | Some(Content::Null) => None,
+                        Some(value) => Some(String::deserialize(value)?),
+                    },
+                    priority: match field(map, "priority") {
+                        None | Some(Content::Null) => None,
+                        Some(value) => Some(Priority::deserialize(value)?),
+                    },
+                })
+            }
+            "poll" => Ok(Request::Poll(Target::deserialize(value)?)),
+            "wait" => Ok(Request::Wait(Target::deserialize(value)?)),
+            "cancel" => Ok(Request::Cancel(Target::deserialize(value)?)),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(serde::Error::new(format!("unknown request `{other}`"))),
+        }
+    }
+}
+
+impl serde::Serialize for Response {
+    fn serialize(&self) -> Content {
+        match self {
+            Response::Accepted { job } => {
+                tagged("accepted", Content::Map(vec![("job".to_owned(), Content::U64(*job))]))
+            }
+            Response::AcceptedBatch { batch, jobs, points, resumed } => tagged(
+                "accepted_batch",
+                Content::Map(vec![
+                    ("batch".to_owned(), Content::U64(*batch)),
+                    ("jobs".to_owned(), jobs.serialize()),
+                    ("points".to_owned(), points.serialize()),
+                    ("resumed".to_owned(), resumed.serialize()),
+                ]),
+            ),
+            Response::Rejected { kind, reason } => tagged(
+                "rejected",
+                Content::Map(vec![
+                    ("kind".to_owned(), kind.serialize()),
+                    ("reason".to_owned(), reason.serialize()),
+                ]),
+            ),
+            Response::Status { state, completed, total } => tagged(
+                "status",
+                Content::Map(vec![
+                    ("state".to_owned(), state.serialize()),
+                    ("completed".to_owned(), completed.serialize()),
+                    ("total".to_owned(), total.serialize()),
+                ]),
+            ),
+            Response::Result(outcome) => tagged("result", outcome.serialize()),
+            Response::BatchResult { batch, outcomes } => tagged(
+                "batch_result",
+                Content::Map(vec![
+                    ("batch".to_owned(), Content::U64(*batch)),
+                    ("outcomes".to_owned(), outcomes.serialize()),
+                ]),
+            ),
+            Response::Cancelled { cancelled } => tagged(
+                "cancelled",
+                Content::Map(vec![("cancelled".to_owned(), cancelled.serialize())]),
+            ),
+            Response::Stats { service, cache, cache_entries } => tagged(
+                "stats",
+                Content::Map(vec![
+                    ("service".to_owned(), service.serialize()),
+                    ("cache".to_owned(), cache.serialize()),
+                    ("cache_entries".to_owned(), cache_entries.serialize()),
+                ]),
+            ),
+            Response::ShuttingDown => tagged("shutting_down", Content::Map(Vec::new())),
+            Response::Error { message } => {
+                tagged("error", Content::Map(vec![("message".to_owned(), message.serialize())]))
+            }
+        }
+    }
+}
+
+impl serde::Deserialize for Response {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let (tag, value) = untag(content)?;
+        let map = value.as_map().unwrap_or(&[]);
+        let req = |name: &str| {
+            field(map, name).ok_or_else(|| serde::Error::new(format!("missing `{name}`")))
+        };
+        match tag {
+            "accepted" => Ok(Response::Accepted { job: u64::deserialize(req("job")?)? }),
+            "accepted_batch" => Ok(Response::AcceptedBatch {
+                batch: u64::deserialize(req("batch")?)?,
+                jobs: Vec::deserialize(req("jobs")?)?,
+                points: usize::deserialize(req("points")?)?,
+                resumed: usize::deserialize(req("resumed")?)?,
+            }),
+            "rejected" => Ok(Response::Rejected {
+                kind: String::deserialize(req("kind")?)?,
+                reason: String::deserialize(req("reason")?)?,
+            }),
+            "status" => Ok(Response::Status {
+                state: String::deserialize(req("state")?)?,
+                completed: usize::deserialize(req("completed")?)?,
+                total: usize::deserialize(req("total")?)?,
+            }),
+            "result" => Ok(Response::Result(WireOutcome::deserialize(value)?)),
+            "batch_result" => Ok(Response::BatchResult {
+                batch: u64::deserialize(req("batch")?)?,
+                outcomes: Vec::deserialize(req("outcomes")?)?,
+            }),
+            "cancelled" => {
+                Ok(Response::Cancelled { cancelled: usize::deserialize(req("cancelled")?)? })
+            }
+            "stats" => Ok(Response::Stats {
+                service: crate::ServiceStats::deserialize(req("service")?)?,
+                cache: crate::CacheStats::deserialize(req("cache")?)?,
+                cache_entries: usize::deserialize(req("cache_entries")?)?,
+            }),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error { message: String::deserialize(req("message")?)? }),
+            other => Err(serde::Error::new(format!("unknown response `{other}`"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling
+// ---------------------------------------------------------------------------
+
+/// Per-connection protocol state: the handles this session owns. Dropping
+/// the connection releases them (the service keeps running their jobs).
+pub struct Connection<'s> {
+    service: &'s EvalService,
+    jobs: HashMap<u64, JobHandle>,
+    batches: HashMap<u64, BatchHandle>,
+    next_batch: u64,
+}
+
+impl<'s> Connection<'s> {
+    /// A fresh session on `service`.
+    pub fn new(service: &'s EvalService) -> Self {
+        Connection { service, jobs: HashMap::new(), batches: HashMap::new(), next_batch: 0 }
+    }
+
+    /// Handles one request line and returns the response plus whether the
+    /// session asked the server to shut down.
+    pub fn handle_line(&mut self, line: &str) -> (Response, bool) {
+        match serde_json::from_str::<Request>(line) {
+            Ok(request) => self.handle(request),
+            Err(e) => (Response::Error { message: format!("bad request: {e}") }, false),
+        }
+    }
+
+    /// Handles one parsed request.
+    pub fn handle(&mut self, request: Request) -> (Response, bool) {
+        let response = match request {
+            Request::Submit(eval) => match self.service.submit(eval) {
+                Ok(handle) => {
+                    let job = handle.id();
+                    self.jobs.insert(job, handle);
+                    Response::Accepted { job }
+                }
+                Err(rejected) => Response::Rejected {
+                    kind: rejected.kind().to_owned(),
+                    reason: rejected.to_string(),
+                },
+            },
+            Request::Sweep { spec, tenant, priority } => {
+                // Every wire submission passes admission — otherwise the
+                // operator's --queue/--quota bounds would be bypassable
+                // by omitting the tenant. (The unadmitted surface is
+                // in-process only: `EvalService::submit_sweep`.)
+                let tenant = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+                let priority = priority.unwrap_or_default();
+                match self.service.submit_sweep_as(tenant, priority, &spec) {
+                    Ok(handle) => {
+                        self.next_batch += 1;
+                        let batch = self.next_batch;
+                        let response = Response::AcceptedBatch {
+                            batch,
+                            jobs: handle.ids().to_vec(),
+                            points: handle.len(),
+                            resumed: handle.completed(),
+                        };
+                        self.batches.insert(batch, handle);
+                        response
+                    }
+                    Err(rejected) => Response::Rejected {
+                        kind: rejected.kind().to_owned(),
+                        reason: rejected.to_string(),
+                    },
+                }
+            }
+            Request::Poll(Target::Job(job)) => match self.jobs.get(&job) {
+                Some(handle) => Response::Status {
+                    state: handle.status().name().to_owned(),
+                    completed: usize::from(handle.status().is_terminal()),
+                    total: 1,
+                },
+                None => unknown("job", job),
+            },
+            Request::Poll(Target::Batch(batch)) => match self.batches.get(&batch) {
+                Some(handle) => Response::Status {
+                    state: if handle.is_done() { "done" } else { "running" }.to_owned(),
+                    completed: handle.completed(),
+                    total: handle.len(),
+                },
+                None => unknown("batch", batch),
+            },
+            // A wait *consumes* the id (results are delivered exactly
+            // once): dropping the handle releases the server-side result
+            // slot, so a long-lived connection's memory is bounded by its
+            // in-flight work, not by everything it ever submitted. Poll
+            // before waiting if status is needed afterwards.
+            Request::Wait(Target::Job(job)) => match self.jobs.remove(&job) {
+                Some(handle) => Response::Result(WireOutcome::of(job, &handle.wait())),
+                None => unknown("job", job),
+            },
+            Request::Wait(Target::Batch(batch)) => match self.batches.remove(&batch) {
+                Some(handle) => Response::BatchResult {
+                    batch,
+                    outcomes: handle
+                        .wait()
+                        .iter()
+                        .zip(handle.ids())
+                        .map(|(outcome, id)| WireOutcome::of(*id, outcome))
+                        .collect(),
+                },
+                None => unknown("batch", batch),
+            },
+            Request::Cancel(Target::Job(job)) => match self.jobs.get(&job) {
+                Some(handle) => Response::Cancelled { cancelled: usize::from(handle.cancel()) },
+                None => unknown("job", job),
+            },
+            Request::Cancel(Target::Batch(batch)) => match self.batches.get(&batch) {
+                Some(handle) => Response::Cancelled { cancelled: handle.cancel() },
+                None => unknown("batch", batch),
+            },
+            Request::Stats => Response::Stats {
+                service: self.service.stats(),
+                cache: self.service.cache().stats(),
+                cache_entries: self.service.cache().len(),
+            },
+            Request::Shutdown => {
+                self.service.shutdown();
+                return (Response::ShuttingDown, true);
+            }
+        };
+        (response, false)
+    }
+}
+
+fn unknown(what: &str, id: u64) -> Response {
+    Response::Error {
+        message: format!("unknown {what} id {id} (not submitted on this connection)"),
+    }
+}
+
+/// Serves one connection: reads newline-delimited JSON requests from
+/// `reader` until EOF (or a shutdown request), writing one JSON response
+/// line each. Returns whether shutdown was requested.
+///
+/// # Errors
+///
+/// Propagates I/O errors on the transport.
+pub fn serve_connection(
+    service: &EvalService,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<bool> {
+    let mut connection = Connection::new(service);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = connection.handle_line(&line);
+        let response =
+            serde_json::to_string(&response).expect("response serialization cannot fail");
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Serves stdin → stdout (the `cimflow-dse serve` default transport).
+///
+/// # Errors
+///
+/// Propagates I/O errors on the standard streams.
+pub fn serve_stdio(service: &EvalService) -> std::io::Result<bool> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_connection(service, stdin.lock(), stdout.lock())
+}
+
+/// A loopback TCP listener serving the JSON protocol, one thread per
+/// connection.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `127.0.0.1:port` (`port` 0 picks a free port) and starts
+    /// accepting connections against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn spawn(service: Arc<EvalService>, port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("cimflow-serve-accept".to_owned())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let service = Arc::clone(&service);
+                            let stop = Arc::clone(&accept_stop);
+                            std::thread::spawn(move || {
+                                let reader = match stream.try_clone() {
+                                    Ok(clone) => BufReader::new(clone),
+                                    Err(_) => return,
+                                };
+                                if let Ok(true) = serve_connection(&service, reader, &stream) {
+                                    stop.store(true, Ordering::SeqCst);
+                                }
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(TcpServer { addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (`127.0.0.1:<port>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a connection requested shutdown.
+    pub fn shutdown_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting connections and joins the accept thread. Open
+    /// connections finish their in-flight request loop independently.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    /// Blocks until a connection requests shutdown, then stops accepting.
+    pub fn wait_for_shutdown(mut self) {
+        while !self.stop.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer").field("addr", &self.addr).finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EvalRequest, ServiceConfig};
+    use cimflow_compiler::Strategy;
+
+    fn lines(requests: &[Request]) -> String {
+        requests
+            .iter()
+            .map(|request| serde_json::to_string(request).unwrap())
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n"
+    }
+
+    fn responses(service: &EvalService, input: &str) -> Vec<Response> {
+        let mut output = Vec::new();
+        serve_connection(service, input.as_bytes(), &mut output).expect("in-memory transport");
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("well-formed response"))
+            .collect()
+    }
+
+    #[test]
+    fn request_and_response_round_trip_through_json() {
+        let requests = vec![
+            Request::Submit(
+                EvalRequest::new("resnet18", 32, Strategy::DpOptimized)
+                    .with_tenant("alice")
+                    .with_priority(Priority::High),
+            ),
+            Request::Sweep {
+                spec: SweepSpec::new()
+                    .with_model("mobilenetv2", 32)
+                    .with_strategies(&[Strategy::GenericMapping]),
+                tenant: Some("bob".to_owned()),
+                priority: None,
+            },
+            Request::Poll(Target::Job(3)),
+            Request::Wait(Target::Batch(1)),
+            Request::Cancel(Target::Job(9)),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let text = serde_json::to_string(&request).unwrap();
+            let back: Request = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, request, "{text}");
+        }
+        let responses = vec![
+            Response::Accepted { job: 4 },
+            Response::AcceptedBatch { batch: 1, jobs: vec![5, 6], points: 2, resumed: 1 },
+            Response::Rejected { kind: "queue_full".to_owned(), reason: "full".to_owned() },
+            Response::Status { state: "running".to_owned(), completed: 1, total: 4 },
+            Response::Cancelled { cancelled: 2 },
+            Response::ShuttingDown,
+            Response::Error { message: "nope".to_owned() },
+        ];
+        for response in responses {
+            let text = serde_json::to_string(&response).unwrap();
+            let back: Response = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, response, "{text}");
+        }
+    }
+
+    #[test]
+    fn connection_submits_waits_and_reports_stats() {
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let input = lines(&[
+            Request::Submit(EvalRequest::new("mobilenetv2", 32, Strategy::GenericMapping)),
+            Request::Poll(Target::Job(1)),
+            Request::Wait(Target::Job(1)),
+            Request::Poll(Target::Job(1)),
+            Request::Stats,
+        ]);
+        let responses = responses(&service, &input);
+        assert_eq!(responses[0], Response::Accepted { job: 1 });
+        match &responses[1] {
+            Response::Status { total: 1, .. } => {}
+            other => panic!("expected a pre-wait status, got {other:?}"),
+        }
+        match &responses[2] {
+            Response::Result(outcome) => {
+                assert!(outcome.ok);
+                assert!(outcome.total_cycles.unwrap() > 0);
+                assert!(outcome.error.is_none());
+            }
+            other => panic!("expected a result, got {other:?}"),
+        }
+        // The wait consumed the id: the result slot is released.
+        assert!(matches!(&responses[3], Response::Error { .. }));
+        match &responses[4] {
+            Response::Stats { service, cache, cache_entries } => {
+                assert_eq!(service.completed, 1);
+                assert_eq!(cache.misses, 1);
+                assert_eq!(*cache_entries, 1);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connection_runs_batches_and_survives_garbage() {
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let sweep = Request::Sweep {
+            spec: SweepSpec::new()
+                .with_model("mobilenetv2", 32)
+                .with_strategies(&[Strategy::GenericMapping])
+                .with_mg_sizes(&[4, 8]),
+            tenant: Some("alice".to_owned()),
+            priority: Some(Priority::High),
+        };
+        let input = format!(
+            "not json at all\n{}\n{}\n{}\n",
+            serde_json::to_string(&sweep).unwrap(),
+            serde_json::to_string(&Request::Wait(Target::Batch(1))).unwrap(),
+            serde_json::to_string(&Request::Wait(Target::Batch(77))).unwrap(),
+        );
+        let responses = responses(&service, &input);
+        assert!(matches!(&responses[0], Response::Error { .. }), "garbage gets an error line");
+        let jobs = match &responses[1] {
+            Response::AcceptedBatch { batch: 1, jobs, points: 2, resumed: 0 } => jobs.clone(),
+            other => panic!("expected an accepted batch, got {other:?}"),
+        };
+        match &responses[2] {
+            Response::BatchResult { batch: 1, outcomes } => {
+                assert_eq!(outcomes.len(), 2);
+                assert!(outcomes.iter().all(|o| o.ok));
+                assert_eq!(
+                    outcomes.iter().map(|o| o.job.unwrap()).collect::<Vec<_>>(),
+                    jobs,
+                    "outcomes are in grid order"
+                );
+            }
+            other => panic!("expected a batch result, got {other:?}"),
+        }
+        assert!(matches!(&responses[3], Response::Error { .. }), "unknown ids get an error");
+    }
+
+    #[test]
+    fn shutdown_request_stops_the_session_and_the_service() {
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        let input = lines(&[Request::Shutdown, Request::Stats]);
+        let responses = responses(&service, &input);
+        assert_eq!(responses, vec![Response::ShuttingDown], "no requests served past shutdown");
+        assert!(service.submit(EvalRequest::new("resnet18", 32, Strategy::DpOptimized)).is_err());
+    }
+}

@@ -1,0 +1,1498 @@
+//! The service core of the evaluation API: a long-lived [`EvalService`]
+//! that owns one worker pool and one shared [`EvalCache`], accepts
+//! [`EvalRequest`]s and sweeps through non-blocking submission, and hands
+//! back [`JobHandle`]s/[`BatchHandle`]s that support polling, blocking
+//! waits, cancellation and streamed progress events.
+//!
+//! This is the **one pipeline** behind every evaluation surface:
+//!
+//! * the blocking [`Executor`](crate::Executor) is a thin wrapper that
+//!   submits a batch to an ephemeral service and waits for it;
+//! * the `cimflow-dse serve` subcommand (and the `cimflow-serve` client
+//!   crate) speak a JSON protocol straight onto a long-lived service;
+//! * the `cimflow` facade re-exports the service types.
+//!
+//! The module lives in `cimflow-dse` (rather than in the `cimflow-serve`
+//! crate) so the executor can be rebased on it without a crate cycle;
+//! `cimflow-serve` re-exports everything here and adds the network front
+//! end.
+//!
+//! # Admission control
+//!
+//! [`submit`](EvalService::submit) and
+//! [`submit_sweep_as`](EvalService::submit_sweep_as) are *admitted*
+//! surfaces: a bounded queue ([`ServiceConfig::with_queue_capacity`])
+//! rejects submissions with [`Rejected::QueueFull`] backpressure when the
+//! backlog is full, and per-tenant quotas
+//! ([`ServiceConfig::with_tenant_quota`]) cap how many points one tenant
+//! may have in flight so a single heavy tenant cannot starve the others.
+//! The executor-compatibility surfaces
+//! ([`submit_jobs`](EvalService::submit_jobs),
+//! [`submit_sweep`](EvalService::submit_sweep)) bypass admission — they
+//! serve trusted in-process batch callers.
+//!
+//! # Coalescing
+//!
+//! All workers share one [`EvalCache`], whose in-flight deduplication
+//! means two tenants asking for the same design point share a single
+//! compile → simulate run: the second request blocks inside the cache
+//! until the first finishes and then takes the result as a hit.
+//!
+//! # Example
+//!
+//! ```
+//! use cimflow_dse::{EvalRequest, EvalService, Priority, ServiceConfig};
+//! use cimflow_compiler::Strategy;
+//!
+//! let service = EvalService::new(ServiceConfig::new().with_workers(2));
+//! let handle = service
+//!     .submit(
+//!         EvalRequest::new("mobilenetv2", 32, Strategy::GenericMapping)
+//!             .with_tenant("docs")
+//!             .with_priority(Priority::High),
+//!     )
+//!     .expect("an unconfigured service admits everything");
+//! let outcome = handle.wait();
+//! assert!(outcome.result.is_ok());
+//! ```
+
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::Strategy;
+use cimflow_nn::models;
+use serde::{Deserialize, Serialize};
+
+use crate::journal::SweepJournal;
+use crate::{
+    evaluate, CacheKey, DseError, DseOutcome, EvalCache, Job, ModelSpec, PointSpec, Progress,
+    SweepSpec,
+};
+
+/// Tenant name used when a request does not set one.
+pub const DEFAULT_TENANT: &str = "anonymous";
+
+/// Scheduling priority of a submitted job. Workers always claim the
+/// highest-priority queued job, FIFO within one priority class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Background work: claimed only when nothing else is queued.
+    Low,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Latency-sensitive work: claimed before everything else.
+    High,
+}
+
+impl Priority {
+    /// Wire name of the priority.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parses a wire name (accepts capitalized variants too).
+    pub fn from_name(text: &str) -> Option<Self> {
+        match text {
+            "low" | "Low" => Some(Priority::Low),
+            "normal" | "Normal" => Some(Priority::Normal),
+            "high" | "High" => Some(Priority::High),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl serde::Serialize for Priority {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for Priority {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let text =
+            content.as_str().ok_or_else(|| serde::Error::new("expected priority name string"))?;
+        Priority::from_name(text)
+            .ok_or_else(|| serde::Error::new(format!("unknown priority `{text}`")))
+    }
+}
+
+/// One evaluation request: which design point to evaluate, on behalf of
+/// which tenant, at which priority.
+///
+/// Every architecture field left `None` pins the corresponding parameter
+/// to the base architecture (the paper's Table I default unless
+/// [`base`](Self::base) overrides it) — the same semantics as an empty
+/// [`SweepSpec`] axis. Unknown model names are *accepted* and surface as
+/// a per-job [`DseError::UnknownModel`] outcome, mirroring the executor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalRequest {
+    /// The model to evaluate.
+    pub model: ModelSpec,
+    /// The compilation strategy.
+    pub strategy: Strategy,
+    /// Base architecture override; `None` means the paper default.
+    pub base: Option<ArchConfig>,
+    /// Chip-count override (the scale-out axis).
+    pub chip_count: Option<u32>,
+    /// Per-chip core-count override.
+    pub core_count: Option<u32>,
+    /// Per-core local-memory override in KiB.
+    pub local_memory_kib: Option<u64>,
+    /// NoC flit-size override in bytes.
+    pub flit_bytes: Option<u32>,
+    /// Macro-group-size override.
+    pub mg_size: Option<u32>,
+    /// Submitting tenant; `None` means [`DEFAULT_TENANT`].
+    pub tenant: Option<String>,
+    /// Scheduling priority; `None` means [`Priority::Normal`].
+    pub priority: Option<Priority>,
+}
+
+impl EvalRequest {
+    /// Creates a request for a model at the paper-default architecture.
+    pub fn new(model: impl Into<String>, resolution: u32, strategy: Strategy) -> Self {
+        EvalRequest {
+            model: ModelSpec::new(model, resolution),
+            strategy,
+            base: None,
+            chip_count: None,
+            core_count: None,
+            local_memory_kib: None,
+            flit_bytes: None,
+            mg_size: None,
+            tenant: None,
+            priority: None,
+        }
+    }
+
+    /// Sets the base architecture.
+    #[must_use]
+    pub fn with_base(mut self, base: ArchConfig) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Sets the chip count.
+    #[must_use]
+    pub fn with_chip_count(mut self, chips: u32) -> Self {
+        self.chip_count = Some(chips);
+        self
+    }
+
+    /// Sets the per-chip core count.
+    #[must_use]
+    pub fn with_core_count(mut self, cores: u32) -> Self {
+        self.core_count = Some(cores);
+        self
+    }
+
+    /// Sets the per-core local memory in KiB.
+    #[must_use]
+    pub fn with_local_memory_kib(mut self, kib: u64) -> Self {
+        self.local_memory_kib = Some(kib);
+        self
+    }
+
+    /// Sets the NoC flit size in bytes.
+    #[must_use]
+    pub fn with_flit_bytes(mut self, bytes: u32) -> Self {
+        self.flit_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the macro-group size.
+    #[must_use]
+    pub fn with_mg_size(mut self, mg: u32) -> Self {
+        self.mg_size = Some(mg);
+        self
+    }
+
+    /// Sets the tenant.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the priority.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// The effective tenant name.
+    pub fn tenant(&self) -> &str {
+        self.tenant.as_deref().unwrap_or(DEFAULT_TENANT)
+    }
+
+    /// The effective priority.
+    pub fn priority(&self) -> Priority {
+        self.priority.unwrap_or_default()
+    }
+
+    /// The effective base architecture.
+    pub fn base_arch(&self) -> ArchConfig {
+        self.base.unwrap_or_else(ArchConfig::paper_default)
+    }
+
+    /// The fully resolved design point of this request.
+    pub fn point(&self) -> PointSpec {
+        let base = self.base_arch();
+        PointSpec {
+            model: self.model.clone(),
+            strategy: self.strategy,
+            chip_count: self.chip_count.map_or_else(|| u64::from(base.chip_count()), u64::from),
+            core_count: self
+                .core_count
+                .map_or_else(|| u64::from(base.chip().core_count), u64::from),
+            local_memory_kib: self
+                .local_memory_kib
+                .unwrap_or(base.core.local_memory.size_bytes / 1024),
+            flit_bytes: self
+                .flit_bytes
+                .map_or_else(|| u64::from(base.chip().noc_flit_bytes), u64::from),
+            mg_size: self
+                .mg_size
+                .map_or_else(|| u64::from(base.core.cim_unit.macros_per_group), u64::from),
+        }
+    }
+
+    /// Resolves the request into a schedulable job (model resolution
+    /// failures stay inside the job, like [`expand_jobs`](crate::expand_jobs)).
+    pub(crate) fn to_job(&self) -> Job {
+        let base = self.base_arch();
+        let spec = self.point();
+        let arch = spec.arch(&base);
+        let model = models::by_name(&spec.model.name, spec.model.resolution)
+            .map(Arc::new)
+            .ok_or_else(|| DseError::UnknownModel { name: spec.model.name.clone() });
+        Job { spec, arch, model }
+    }
+}
+
+/// Static configuration of an [`EvalService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads of the pool.
+    pub workers: usize,
+    /// Maximum queued (not yet running) points; `None` is unbounded.
+    pub queue_capacity: Option<usize>,
+    /// Maximum in-flight (queued + running) points per tenant; `None`
+    /// disables quotas.
+    pub tenant_quota: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// A config sized to the machine: one worker per available core, no
+    /// queue bound, no quotas.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+        ServiceConfig { workers, queue_capacity: None, tenant_quota: None }
+    }
+
+    /// Sets the worker count (`1` = sequential).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Bounds the queue: admitted submissions beyond `capacity` queued
+    /// points are rejected with [`Rejected::QueueFull`].
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Caps every tenant at `quota` in-flight points; excess submissions
+    /// are rejected with [`Rejected::QuotaExceeded`].
+    #[must_use]
+    pub fn with_tenant_quota(mut self, quota: usize) -> Self {
+        self.tenant_quota = Some(quota);
+        self
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Rejected {
+    /// The bounded queue is full: back off and retry later.
+    QueueFull {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The tenant has too many points in flight.
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: String,
+        /// The configured per-tenant quota.
+        quota: usize,
+    },
+    /// The service is shutting down and admits nothing.
+    ShuttingDown,
+    /// The sweep specification could not be expanded.
+    InvalidSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl Rejected {
+    /// Machine-readable kind tag (used on the wire).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Rejected::QueueFull { .. } => "queue_full",
+            Rejected::QuotaExceeded { .. } => "quota_exceeded",
+            Rejected::ShuttingDown => "shutting_down",
+            Rejected::InvalidSpec { .. } => "invalid_spec",
+        }
+    }
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "queue full ({capacity} queued points); retry later")
+            }
+            Rejected::QuotaExceeded { tenant, quota } => {
+                write!(f, "tenant `{tenant}` exceeds its quota of {quota} in-flight point(s)")
+            }
+            Rejected::ShuttingDown => write!(f, "service is shutting down"),
+            Rejected::InvalidSpec { reason } => write!(f, "invalid sweep specification: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Lifecycle state of a submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is evaluating it.
+    Running,
+    /// Finished (successfully or with a per-point error).
+    Done,
+    /// Cancelled before a worker claimed it.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Cancelled)
+    }
+
+    /// Wire name of the status.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A streamed lifecycle event of one job (delivered over the handle's
+/// mpsc channel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// A worker claimed the job.
+    Started,
+    /// The job reached [`JobStatus::Done`].
+    Finished {
+        /// Whether the evaluation succeeded.
+        ok: bool,
+        /// Whether the result came from the cache.
+        cached: bool,
+    },
+    /// The job was cancelled while queued.
+    Cancelled,
+}
+
+/// Monotonic service counters plus a queue snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Jobs admitted over the service lifetime.
+    pub submitted: u64,
+    /// Jobs finished (successfully or with a per-point error).
+    pub completed: u64,
+    /// Jobs cancelled before running.
+    pub cancelled: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Currently queued jobs.
+    pub queued: usize,
+    /// Currently running jobs.
+    pub running: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Internal state
+// ---------------------------------------------------------------------------
+
+/// Per-batch bookkeeping shared by the handle and the entries.
+#[derive(Debug)]
+struct BatchState {
+    total: usize,
+    completed: AtomicUsize,
+    progress: mpsc::Sender<Progress>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    job: Job,
+    tenant: Option<String>,
+    status: JobStatus,
+    outcome: Option<DseOutcome>,
+    batch: Option<(Arc<BatchState>, usize)>,
+    events: Option<mpsc::Sender<JobEvent>>,
+    journal: Option<Arc<SweepJournal>>,
+    /// The handle was dropped: remove the entry once terminal.
+    detached: bool,
+}
+
+/// Heap reference used for priority-aware claiming: highest priority
+/// first, FIFO (lowest sequence number) within a priority class.
+#[derive(Debug, PartialEq, Eq)]
+struct ClaimRef {
+    priority: Priority,
+    seq: u64,
+    id: u64,
+}
+
+impl Ord for ClaimRef {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ClaimRef {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    entries: HashMap<u64, Entry>,
+    queue: BinaryHeap<ClaimRef>,
+    queued: usize,
+    running: usize,
+    /// Queued + running points per tenant (quota accounting).
+    in_flight: HashMap<String, usize>,
+    next_id: u64,
+    shutting_down: bool,
+    submitted: u64,
+    completed: u64,
+    cancelled: u64,
+    rejected: u64,
+}
+
+impl State {
+    fn allocate_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled when a job is enqueued or shutdown begins.
+    work: Condvar,
+    /// Signaled when any job reaches a terminal state.
+    done: Condvar,
+    cache: EvalCache,
+}
+
+const STATE_POISONED: &str = "service state poisoned";
+
+/// Runs one job through the shared pipeline (cache lookup or full
+/// compile → simulate). Panics inside the evaluator are converted into
+/// per-point errors so a bad point cannot kill a long-lived worker.
+pub(crate) fn run_point(job: &Job, cache: &EvalCache) -> DseOutcome {
+    let (result, cached) = match &job.model {
+        Err(e) => (Err(e.clone()), false),
+        Ok(model) => {
+            let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let key = CacheKey::of(&job.arch, model, job.spec.strategy);
+                cache.get_or_insert_with(key, || evaluate(&job.arch, model, job.spec.strategy))
+            }));
+            match evaluated {
+                Ok(Ok((evaluation, was_hit))) => (Ok(evaluation), was_hit),
+                Ok(Err(e)) => (Err(e), false),
+                Err(panic) => {
+                    let text = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_owned());
+                    (Err(DseError::io(format!("evaluation panicked: {text}"))), false)
+                }
+            }
+        }
+    };
+    DseOutcome { point: job.spec.clone(), result, cached }
+}
+
+/// Marks `id` terminal, updates quota/stat accounting, streams events and
+/// batch progress, and wakes waiters. Caller holds the state lock and has
+/// already adjusted the `queued`/`running` counters.
+fn finish_entry(st: &mut State, shared: &Shared, id: u64, outcome: DseOutcome, status: JobStatus) {
+    let entry = st.entries.get_mut(&id).expect("finished job has an entry");
+    entry.status = status;
+    if let Some(tenant) = &entry.tenant {
+        if let Some(count) = st.in_flight.get_mut(tenant) {
+            *count -= 1;
+            if *count == 0 {
+                st.in_flight.remove(tenant);
+            }
+        }
+    }
+    match status {
+        JobStatus::Done => st.completed += 1,
+        JobStatus::Cancelled => st.cancelled += 1,
+        JobStatus::Queued | JobStatus::Running => unreachable!("finish with non-terminal status"),
+    }
+    if let Some(tx) = &entry.events {
+        let event = match status {
+            JobStatus::Cancelled => JobEvent::Cancelled,
+            _ => JobEvent::Finished { ok: outcome.result.is_ok(), cached: outcome.cached },
+        };
+        let _ = tx.send(event);
+    }
+    if let Some((batch, index)) = &entry.batch {
+        let done = batch.completed.fetch_add(1, Ordering::SeqCst) + 1;
+        let _ = batch.progress.send(Progress {
+            completed: done,
+            total: batch.total,
+            index: *index,
+            label: entry.job.spec.label(),
+            ok: outcome.result.is_ok(),
+            cached: outcome.cached,
+        });
+    }
+    entry.outcome = Some(outcome);
+    if entry.detached {
+        st.entries.remove(&id);
+    }
+    shared.done.notify_all();
+}
+
+/// Cancels a queued entry; running/terminal entries are left alone.
+fn cancel_locked(st: &mut State, shared: &Shared, id: u64) -> bool {
+    match st.entries.get(&id) {
+        Some(entry) if entry.status == JobStatus::Queued => {
+            st.queued -= 1;
+            let outcome = DseOutcome {
+                point: entry.job.spec.clone(),
+                result: Err(DseError::Cancelled),
+                cached: false,
+            };
+            finish_entry(st, shared, id, outcome, JobStatus::Cancelled);
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Drops a handle's claim on its entries: terminal entries are removed
+/// immediately, live ones are marked for removal on completion.
+fn release(shared: &Shared, ids: &[u64]) {
+    let Ok(mut st) = shared.state.lock() else { return };
+    for id in ids {
+        match st.entries.get_mut(id) {
+            Some(entry) if entry.status.is_terminal() => {
+                st.entries.remove(id);
+            }
+            Some(entry) => entry.detached = true,
+            None => {}
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let claimed = {
+            let mut st = shared.state.lock().expect(STATE_POISONED);
+            loop {
+                // Pop past stale refs (cancelled or released entries).
+                let next = loop {
+                    match st.queue.pop() {
+                        Some(claim) => match st.entries.get(&claim.id) {
+                            Some(e) if e.status == JobStatus::Queued => break Some(claim.id),
+                            _ => {}
+                        },
+                        None => break None,
+                    }
+                };
+                match next {
+                    Some(id) => {
+                        let entry = st.entries.get_mut(&id).expect("claimed entry exists");
+                        entry.status = JobStatus::Running;
+                        if let Some(tx) = &entry.events {
+                            let _ = tx.send(JobEvent::Started);
+                        }
+                        let job = entry.job.clone();
+                        let journal = entry.journal.clone();
+                        st.queued -= 1;
+                        st.running += 1;
+                        break Some((id, job, journal));
+                    }
+                    None if st.shutting_down => break None,
+                    None => st = shared.work.wait(st).expect(STATE_POISONED),
+                }
+            }
+        };
+        let Some((id, job, journal)) = claimed else { return };
+        let outcome = run_point(&job, &shared.cache);
+        if let Some(journal) = &journal {
+            // Best effort: journaling must never fail the sweep itself.
+            let key = job
+                .model
+                .as_ref()
+                .ok()
+                .map(|model| CacheKey::of(&job.arch, model, job.spec.strategy));
+            let _ = journal.record(key, &outcome);
+        }
+        let mut st = shared.state.lock().expect(STATE_POISONED);
+        st.running -= 1;
+        finish_entry(&mut st, &shared, id, outcome, JobStatus::Done);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------------
+
+/// A handle to one submitted job.
+///
+/// The handle is the only reference to the job's result slot: dropping it
+/// releases the slot (the job itself still runs to completion).
+///
+/// # Example
+///
+/// ```
+/// use cimflow_dse::{EvalRequest, EvalService, JobStatus, ServiceConfig};
+/// use cimflow_compiler::Strategy;
+///
+/// let service = EvalService::new(ServiceConfig::new().with_workers(1));
+/// let handle = service
+///     .submit(EvalRequest::new("resnet18", 32, Strategy::DpOptimized))
+///     .expect("admitted");
+/// // Non-blocking: `status`/`poll` observe the job...
+/// assert!(handle.poll().is_none() || handle.status().is_terminal());
+/// // ...and `wait` blocks until the outcome lands.
+/// assert!(handle.wait().result.is_ok());
+/// ```
+#[derive(Debug)]
+pub struct JobHandle {
+    shared: Arc<Shared>,
+    id: u64,
+    events: mpsc::Receiver<JobEvent>,
+}
+
+impl JobHandle {
+    /// Service-wide id of the job (stable over the service lifetime; used
+    /// as the wire id by the serve front end).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Current lifecycle state (non-blocking).
+    pub fn status(&self) -> JobStatus {
+        let st = self.shared.state.lock().expect(STATE_POISONED);
+        st.entries.get(&self.id).map_or(JobStatus::Done, |e| e.status)
+    }
+
+    /// The outcome if the job is already terminal (non-blocking).
+    pub fn poll(&self) -> Option<DseOutcome> {
+        let st = self.shared.state.lock().expect(STATE_POISONED);
+        st.entries.get(&self.id).and_then(|e| e.outcome.clone())
+    }
+
+    /// Blocks until the job is terminal and returns its outcome. A
+    /// cancelled job yields [`DseError::Cancelled`] in the outcome.
+    pub fn wait(&self) -> DseOutcome {
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        loop {
+            let entry = st.entries.get(&self.id).expect("job entry lives while its handle does");
+            if entry.status.is_terminal() {
+                return entry.outcome.clone().expect("terminal job has an outcome");
+            }
+            st = self.shared.done.wait(st).expect(STATE_POISONED);
+        }
+    }
+
+    /// Cancels the job if it is still queued. Returns whether it was
+    /// cancelled; a running job finishes normally (`false`).
+    pub fn cancel(&self) -> bool {
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        cancel_locked(&mut st, &self.shared, self.id)
+    }
+
+    /// The streamed lifecycle events ([`JobEvent::Started`], then
+    /// [`JobEvent::Finished`] or [`JobEvent::Cancelled`]).
+    pub fn events(&self) -> &mpsc::Receiver<JobEvent> {
+        &self.events
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        release(&self.shared, &[self.id]);
+    }
+}
+
+/// A handle to a submitted batch (sweep): per-point slots in grid order
+/// plus a streamed [`Progress`] channel.
+#[derive(Debug)]
+pub struct BatchHandle {
+    shared: Arc<Shared>,
+    ids: Vec<u64>,
+    batch: Arc<BatchState>,
+    progress: mpsc::Receiver<Progress>,
+}
+
+impl BatchHandle {
+    /// Number of points in the batch.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the batch has no points.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Service-wide job ids of the points, in grid order.
+    pub fn ids(&self) -> &[u64] {
+        &self.ids
+    }
+
+    /// Points finished so far (non-blocking).
+    pub fn completed(&self) -> usize {
+        self.batch.completed.load(Ordering::SeqCst)
+    }
+
+    /// Whether every point is terminal (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.completed() >= self.ids.len()
+    }
+
+    /// Blocks until every point is terminal; outcomes are in grid order.
+    pub fn wait(&self) -> Vec<DseOutcome> {
+        self.wait_with(|_| {})
+    }
+
+    /// [`Self::wait`], invoking `progress` (on the calling thread) for
+    /// each point as it finishes.
+    pub fn wait_with(&self, mut progress: impl FnMut(&Progress)) -> Vec<DseOutcome> {
+        let mut delivered = 0;
+        while delivered < self.ids.len() {
+            match self.progress.recv_timeout(Duration::from_millis(25)) {
+                Ok(event) => {
+                    delivered += 1;
+                    progress(&event);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if self.is_done() {
+                        // The counter can lead the event by a hair: a
+                        // finishing worker bumps it and queues the event
+                        // under one state-lock critical section, and this
+                        // unlocked read may land in between. Taking the
+                        // lock synchronizes with that worker, after which
+                        // the channel holds every outstanding event —
+                        // drain it so the callback still fires exactly
+                        // once per point.
+                        drop(self.shared.state.lock().expect(STATE_POISONED));
+                        while let Ok(event) = self.progress.try_recv() {
+                            progress(&event);
+                        }
+                        break;
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        loop {
+            let pending = self
+                .ids
+                .iter()
+                .any(|id| st.entries.get(id).is_some_and(|e| !e.status.is_terminal()));
+            if !pending {
+                break;
+            }
+            st = self.shared.done.wait(st).expect(STATE_POISONED);
+        }
+        self.ids
+            .iter()
+            .map(|id| {
+                st.entries
+                    .get(id)
+                    .expect("batch entry lives while its handle does")
+                    .outcome
+                    .clone()
+                    .expect("terminal job has an outcome")
+            })
+            .collect()
+    }
+
+    /// Cancels every still-queued point; running points finish normally.
+    /// Returns how many points were cancelled.
+    pub fn cancel(&self) -> usize {
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        self.ids.iter().filter(|id| cancel_locked(&mut st, &self.shared, **id)).count()
+    }
+
+    /// The streamed per-point [`Progress`] events (completion order).
+    pub fn progress_events(&self) -> &mpsc::Receiver<Progress> {
+        &self.progress
+    }
+}
+
+impl Drop for BatchHandle {
+    fn drop(&mut self) {
+        release(&self.shared, &self.ids);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A long-lived evaluation service: one worker pool, one shared cache,
+/// non-blocking request/batch submission with admission control.
+///
+/// Dropping the service shuts it down: queued jobs are cancelled, running
+/// jobs finish, workers are joined.
+#[derive(Debug)]
+pub struct EvalService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    config: ServiceConfig,
+}
+
+impl EvalService {
+    /// Starts a service with a fresh cache.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::with_cache(config, EvalCache::new())
+    }
+
+    /// Starts a service over an existing (possibly shared or persisted)
+    /// cache.
+    pub fn with_cache(config: ServiceConfig, cache: EvalCache) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::default(),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            cache,
+        });
+        let workers = (0..config.workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cimflow-serve-{index}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        EvalService { shared, workers, config }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The shared evaluation cache.
+    pub fn cache(&self) -> &EvalCache {
+        &self.shared.cache
+    }
+
+    /// The worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submits one request through admission control. Returns immediately
+    /// with a [`JobHandle`], or a [`Rejected`] backpressure signal.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::QueueFull`], [`Rejected::QuotaExceeded`] or
+    /// [`Rejected::ShuttingDown`]; never a model/architecture error —
+    /// those surface in the job's outcome.
+    pub fn submit(&self, request: EvalRequest) -> Result<JobHandle, Rejected> {
+        let tenant = request.tenant().to_owned();
+        let priority = request.priority();
+        let job = request.to_job();
+        let (tx, rx) = mpsc::channel();
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        if st.shutting_down {
+            st.rejected += 1;
+            return Err(Rejected::ShuttingDown);
+        }
+        if let Some(capacity) = self.config.queue_capacity {
+            if st.queued + 1 > capacity {
+                st.rejected += 1;
+                return Err(Rejected::QueueFull { capacity });
+            }
+        }
+        if let Some(quota) = self.config.tenant_quota {
+            let used = st.in_flight.get(&tenant).copied().unwrap_or(0);
+            if used + 1 > quota {
+                st.rejected += 1;
+                return Err(Rejected::QuotaExceeded { tenant, quota });
+            }
+        }
+        let id = st.allocate_id();
+        *st.in_flight.entry(tenant.clone()).or_insert(0) += 1;
+        st.entries.insert(
+            id,
+            Entry {
+                job,
+                tenant: Some(tenant),
+                status: JobStatus::Queued,
+                outcome: None,
+                batch: None,
+                events: Some(tx),
+                journal: None,
+                detached: false,
+            },
+        );
+        st.queue.push(ClaimRef { priority, seq: id, id });
+        st.queued += 1;
+        st.submitted += 1;
+        drop(st);
+        self.shared.work.notify_one();
+        Ok(JobHandle { shared: Arc::clone(&self.shared), id, events: rx })
+    }
+
+    /// Submits an explicit job list as one batch, bypassing admission
+    /// (the trusted in-process surface the [`Executor`](crate::Executor)
+    /// runs on).
+    ///
+    /// # Errors
+    ///
+    /// Only [`Rejected::ShuttingDown`].
+    pub fn submit_jobs(&self, jobs: Vec<Job>) -> Result<BatchHandle, Rejected> {
+        self.submit_batch(jobs, None, Priority::Normal, false, None)
+    }
+
+    /// Expands and submits a sweep, bypassing admission.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::InvalidSpec`] for an empty grid, or
+    /// [`Rejected::ShuttingDown`].
+    pub fn submit_sweep(&self, spec: &SweepSpec) -> Result<BatchHandle, Rejected> {
+        let jobs = expand(spec)?;
+        self.submit_batch(jobs, None, Priority::Normal, false, None)
+    }
+
+    /// Expands and submits a sweep on behalf of `tenant` at `priority`,
+    /// through admission control (the whole batch is admitted or rejected
+    /// atomically).
+    ///
+    /// # Errors
+    ///
+    /// Any [`Rejected`] variant.
+    pub fn submit_sweep_as(
+        &self,
+        tenant: &str,
+        priority: Priority,
+        spec: &SweepSpec,
+    ) -> Result<BatchHandle, Rejected> {
+        let jobs = expand(spec)?;
+        self.submit_batch(jobs, Some(tenant.to_owned()), priority, true, None)
+    }
+
+    /// Expands and submits a sweep against a [`SweepJournal`]: points
+    /// already journaled are served from the journal without re-running
+    /// (and seeded into the cache), and every newly finished point is
+    /// appended to the journal — an interrupted sweep resumes where it
+    /// stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::InvalidSpec`] for an empty grid, or
+    /// [`Rejected::ShuttingDown`].
+    pub fn submit_sweep_journaled(
+        &self,
+        spec: &SweepSpec,
+        journal: &Arc<SweepJournal>,
+    ) -> Result<BatchHandle, Rejected> {
+        let jobs = expand(spec)?;
+        self.submit_batch(jobs, None, Priority::Normal, false, Some(Arc::clone(journal)))
+    }
+
+    fn submit_batch(
+        &self,
+        jobs: Vec<Job>,
+        tenant: Option<String>,
+        priority: Priority,
+        admission: bool,
+        journal: Option<Arc<SweepJournal>>,
+    ) -> Result<BatchHandle, Rejected> {
+        // Journal resumption is resolved before taking the state lock:
+        // cache seeding must not nest the cache mutex inside it.
+        let resumed: Vec<Option<DseOutcome>> = jobs
+            .iter()
+            .map(|job| {
+                let journal = journal.as_ref()?;
+                let model = job.model.as_ref().ok()?;
+                let key = CacheKey::of(&job.arch, model, job.spec.strategy);
+                let evaluation = journal.lookup(&key)?;
+                self.shared.cache.insert(key, evaluation.clone());
+                Some(DseOutcome { point: job.spec.clone(), result: Ok(evaluation), cached: true })
+            })
+            .collect();
+        let live = resumed.iter().filter(|r| r.is_none()).count();
+
+        let (tx, rx) = mpsc::channel();
+        let batch = Arc::new(BatchState {
+            total: jobs.len(),
+            completed: AtomicUsize::new(0),
+            progress: tx,
+        });
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        if st.shutting_down {
+            st.rejected += jobs.len() as u64;
+            return Err(Rejected::ShuttingDown);
+        }
+        if admission {
+            if let Some(capacity) = self.config.queue_capacity {
+                if st.queued + live > capacity {
+                    st.rejected += jobs.len() as u64;
+                    return Err(Rejected::QueueFull { capacity });
+                }
+            }
+            if let (Some(quota), Some(tenant)) = (self.config.tenant_quota, tenant.as_ref()) {
+                let used = st.in_flight.get(tenant).copied().unwrap_or(0);
+                if used + live > quota {
+                    st.rejected += jobs.len() as u64;
+                    return Err(Rejected::QuotaExceeded { tenant: tenant.clone(), quota });
+                }
+            }
+        }
+        let mut ids = Vec::with_capacity(jobs.len());
+        for (index, (job, resumed)) in jobs.into_iter().zip(resumed).enumerate() {
+            let id = st.allocate_id();
+            ids.push(id);
+            st.submitted += 1;
+            match resumed {
+                Some(outcome) => {
+                    // Journal-resumed point: born terminal.
+                    let done = batch.completed.fetch_add(1, Ordering::SeqCst) + 1;
+                    let _ = batch.progress.send(Progress {
+                        completed: done,
+                        total: batch.total,
+                        index,
+                        label: job.spec.label(),
+                        ok: true,
+                        cached: true,
+                    });
+                    st.completed += 1;
+                    st.entries.insert(
+                        id,
+                        Entry {
+                            job,
+                            tenant: tenant.clone(),
+                            status: JobStatus::Done,
+                            outcome: Some(outcome),
+                            batch: Some((Arc::clone(&batch), index)),
+                            events: None,
+                            journal: None,
+                            detached: false,
+                        },
+                    );
+                }
+                None => {
+                    if let Some(tenant) = &tenant {
+                        *st.in_flight.entry(tenant.clone()).or_insert(0) += 1;
+                    }
+                    st.entries.insert(
+                        id,
+                        Entry {
+                            job,
+                            tenant: tenant.clone(),
+                            status: JobStatus::Queued,
+                            outcome: None,
+                            batch: Some((Arc::clone(&batch), index)),
+                            events: None,
+                            journal: journal.clone(),
+                            detached: false,
+                        },
+                    );
+                    st.queue.push(ClaimRef { priority, seq: id, id });
+                    st.queued += 1;
+                }
+            }
+        }
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(BatchHandle { shared: Arc::clone(&self.shared), ids, batch, progress: rx })
+    }
+
+    /// A snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.shared.state.lock().expect(STATE_POISONED);
+        ServiceStats {
+            submitted: st.submitted,
+            completed: st.completed,
+            cancelled: st.cancelled,
+            rejected: st.rejected,
+            queued: st.queued,
+            running: st.running,
+        }
+    }
+
+    /// Begins shutdown: queued jobs are cancelled (their waiters observe
+    /// [`DseError::Cancelled`]), running jobs finish, and every further
+    /// submission is rejected. Idempotent; [`Drop`] calls it and then
+    /// joins the workers.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect(STATE_POISONED);
+            st.shutting_down = true;
+            let queued: Vec<u64> = st
+                .entries
+                .iter()
+                .filter(|(_, e)| e.status == JobStatus::Queued)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in queued {
+                cancel_locked(&mut st, &self.shared, id);
+            }
+        }
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+    }
+}
+
+impl Drop for EvalService {
+    fn drop(&mut self) {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Expands a spec, mapping grid errors into [`Rejected::InvalidSpec`]
+/// (carrying the bare reason, so callers can reconstruct the original
+/// [`DseError::Spec`] without stacking display prefixes).
+fn expand(spec: &SweepSpec) -> Result<Vec<Job>, Rejected> {
+    crate::expand_jobs(spec).map_err(|e| Rejected::InvalidSpec {
+        reason: match e {
+            DseError::Spec { reason } => reason,
+            other => other.to_string(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_nn::Model;
+
+    fn request(model: &str, strategy: Strategy) -> EvalRequest {
+        EvalRequest::new(model, 32, strategy)
+    }
+
+    /// Holds the cache's in-flight marker for `(paper_default, model,
+    /// strategy)` until `release` fires, so a service worker claiming the
+    /// same point blocks deterministically inside the cache.
+    fn block_point(
+        cache: &EvalCache,
+        model: Model,
+        strategy: Strategy,
+        release: mpsc::Receiver<()>,
+    ) -> std::thread::JoinHandle<()> {
+        let cache = cache.clone();
+        std::thread::spawn(move || {
+            let arch = ArchConfig::paper_default();
+            let key = CacheKey::of(&arch, &model, strategy);
+            cache
+                .get_or_insert_with(key, || {
+                    release.recv().expect("release signal");
+                    evaluate(&arch, &model, strategy)
+                })
+                .expect("blocked evaluation succeeds");
+        })
+    }
+
+    fn wait_until(what: &str, predicate: impl Fn() -> bool) {
+        for _ in 0..1000 {
+            if predicate() {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("timed out waiting until {what}");
+    }
+
+    #[test]
+    fn submit_wait_round_trip_with_events() {
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let handle = service
+            .submit(request("mobilenetv2", Strategy::GenericMapping).with_tenant("t0"))
+            .expect("admitted");
+        let outcome = handle.wait();
+        assert!(outcome.result.is_ok());
+        assert!(!outcome.cached);
+        assert_eq!(handle.status(), JobStatus::Done);
+        assert_eq!(handle.poll().expect("terminal").point, outcome.point);
+        let events: Vec<JobEvent> = handle.events().try_iter().collect();
+        assert_eq!(events, vec![JobEvent::Started, JobEvent::Finished { ok: true, cached: false }]);
+        let stats = service.stats();
+        assert_eq!((stats.submitted, stats.completed), (1, 1));
+        assert_eq!((stats.queued, stats.running), (0, 0));
+    }
+
+    #[test]
+    fn unknown_models_fail_per_job_not_at_admission() {
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        let handle =
+            service.submit(request("not-a-model", Strategy::DpOptimized)).expect("admitted");
+        assert!(matches!(handle.wait().result, Err(DseError::UnknownModel { .. })));
+    }
+
+    #[test]
+    fn workers_claim_by_priority_then_fifo() {
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(ServiceConfig::new().with_workers(1), cache.clone());
+        // Occupy the single worker on a point whose evaluation is held
+        // open through the cache's in-flight marker.
+        let (go, release) = mpsc::channel();
+        let blocker =
+            block_point(&cache, models::mobilenet_v2(32), Strategy::GenericMapping, release);
+        let running = service.submit(request("mobilenetv2", Strategy::GenericMapping)).unwrap();
+        wait_until("the worker claims the blocked job", || running.status() == JobStatus::Running);
+        // Also hold the low-priority point's key hostage, so a wrong
+        // claim order would park the worker instead of racing the test.
+        let (go_low, release_low) = mpsc::channel();
+        let blocker_low =
+            block_point(&cache, models::resnet18(32), Strategy::GenericMapping, release_low);
+        let low = service
+            .submit(request("resnet18", Strategy::GenericMapping).with_priority(Priority::Low))
+            .unwrap();
+        let high = service
+            .submit(
+                request("efficientnetb0", Strategy::GenericMapping).with_priority(Priority::High),
+            )
+            .unwrap();
+        go.send(()).unwrap();
+        // The high-priority job must finish even though the low one was
+        // submitted first.
+        let mut high_events = Vec::new();
+        while !matches!(high_events.last(), Some(JobEvent::Finished { .. })) {
+            high_events.push(
+                high.events()
+                    .recv_timeout(Duration::from_secs(30))
+                    .expect("high-priority job finishes while the low one is blocked"),
+            );
+        }
+        assert!(!low.status().is_terminal(), "low priority must not overtake high");
+        go_low.send(()).unwrap();
+        assert!(low.wait().result.is_ok());
+        assert!(running.wait().result.is_ok());
+        blocker.join().unwrap();
+        blocker_low.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_queue_rejects_with_backpressure() {
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(
+            ServiceConfig::new().with_workers(1).with_queue_capacity(1),
+            cache.clone(),
+        );
+        let (go, release) = mpsc::channel();
+        let blocker =
+            block_point(&cache, models::mobilenet_v2(32), Strategy::GenericMapping, release);
+        let running = service.submit(request("mobilenetv2", Strategy::GenericMapping)).unwrap();
+        wait_until("the worker claims the blocked job", || running.status() == JobStatus::Running);
+        let queued = service.submit(request("resnet18", Strategy::GenericMapping)).unwrap();
+        assert_eq!(
+            service.submit(request("resnet18", Strategy::DpOptimized)).unwrap_err(),
+            Rejected::QueueFull { capacity: 1 }
+        );
+        assert_eq!(service.stats().rejected, 1);
+        go.send(()).unwrap();
+        assert!(running.wait().result.is_ok());
+        assert!(queued.wait().result.is_ok());
+        // Capacity freed: the same submission is admitted now.
+        assert!(service.submit(request("resnet18", Strategy::DpOptimized)).is_ok());
+        blocker.join().unwrap();
+    }
+
+    #[test]
+    fn quota_limits_one_tenant_while_others_flow() {
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(
+            ServiceConfig::new().with_workers(1).with_tenant_quota(2),
+            cache.clone(),
+        );
+        let (go, release) = mpsc::channel();
+        let blocker =
+            block_point(&cache, models::mobilenet_v2(32), Strategy::GenericMapping, release);
+        let a1 = service
+            .submit(request("mobilenetv2", Strategy::GenericMapping).with_tenant("a"))
+            .unwrap();
+        wait_until("the worker claims tenant a's job", || a1.status() == JobStatus::Running);
+        let a2 =
+            service.submit(request("resnet18", Strategy::GenericMapping).with_tenant("a")).unwrap();
+        // Tenant `a` is at its quota (1 running + 1 queued): backpressure.
+        assert_eq!(
+            service
+                .submit(request("resnet18", Strategy::DpOptimized).with_tenant("a"))
+                .unwrap_err(),
+            Rejected::QuotaExceeded { tenant: "a".to_owned(), quota: 2 }
+        );
+        // ...while tenant `b` keeps flowing.
+        let b1 = service
+            .submit(request("efficientnetb0", Strategy::GenericMapping).with_tenant("b"))
+            .unwrap();
+        go.send(()).unwrap();
+        assert!(a1.wait().result.is_ok());
+        assert!(a2.wait().result.is_ok());
+        assert!(b1.wait().result.is_ok());
+        // Quota released on completion: tenant `a` is admitted again.
+        assert!(service
+            .submit(request("resnet18", Strategy::DpOptimized).with_tenant("a"))
+            .is_ok());
+        blocker.join().unwrap();
+    }
+
+    #[test]
+    fn cancellation_does_not_poison_result_slots() {
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(ServiceConfig::new().with_workers(1), cache.clone());
+        let (go, release) = mpsc::channel();
+        let blocker =
+            block_point(&cache, models::mobilenet_v2(32), Strategy::GenericMapping, release);
+        let running = service.submit(request("mobilenetv2", Strategy::GenericMapping)).unwrap();
+        wait_until("the worker claims the blocked job", || running.status() == JobStatus::Running);
+        let doomed = service.submit(request("resnet18", Strategy::GenericMapping)).unwrap();
+        assert!(doomed.cancel(), "a queued job is cancellable");
+        assert!(!doomed.cancel(), "cancellation is idempotent");
+        assert_eq!(doomed.status(), JobStatus::Cancelled);
+        assert!(matches!(doomed.wait().result, Err(DseError::Cancelled)));
+        assert_eq!(doomed.events().try_iter().collect::<Vec<_>>(), vec![JobEvent::Cancelled]);
+        assert!(!running.cancel(), "a running job is not cancellable");
+        go.send(()).unwrap();
+        assert!(running.wait().result.is_ok());
+        // The service keeps serving after a cancellation.
+        let next = service.submit(request("resnet18", Strategy::GenericMapping)).unwrap();
+        assert!(next.wait().result.is_ok());
+        assert_eq!(service.stats().cancelled, 1);
+        blocker.join().unwrap();
+    }
+
+    #[test]
+    fn batches_keep_grid_order_and_share_the_cache() {
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8]);
+        let service = EvalService::new(ServiceConfig::new().with_workers(4));
+        let first = service.submit_sweep(&spec).expect("valid spec");
+        let second = service.submit_sweep(&spec).expect("valid spec");
+        let (a, b) = (first.wait(), second.wait());
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.iter().map(|o| o.point.mg_size).collect::<Vec<_>>(), vec![4, 8]);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.point, y.point);
+        }
+        // Duplicate in-flight/warm points coalesce onto one evaluation.
+        let stats = service.cache().stats();
+        assert_eq!(stats.misses, 2, "two unique points evaluate once each");
+        assert_eq!(stats.hits, 2, "the duplicate sweep is served by the cache");
+        assert_eq!(service.submit_sweep(&SweepSpec::new()).unwrap_err().kind(), "invalid_spec");
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_work_and_rejects_new_submissions() {
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(ServiceConfig::new().with_workers(1), cache.clone());
+        let (go, release) = mpsc::channel();
+        let blocker =
+            block_point(&cache, models::mobilenet_v2(32), Strategy::GenericMapping, release);
+        let running = service.submit(request("mobilenetv2", Strategy::GenericMapping)).unwrap();
+        wait_until("the worker claims the blocked job", || running.status() == JobStatus::Running);
+        let queued = service.submit(request("resnet18", Strategy::GenericMapping)).unwrap();
+        service.shutdown();
+        assert!(matches!(queued.wait().result, Err(DseError::Cancelled)));
+        assert_eq!(
+            service.submit(request("resnet18", Strategy::GenericMapping)).unwrap_err(),
+            Rejected::ShuttingDown
+        );
+        go.send(()).unwrap();
+        assert!(running.wait().result.is_ok(), "running jobs finish through shutdown");
+        blocker.join().unwrap();
+        drop(service);
+    }
+
+    #[test]
+    fn eval_request_resolves_like_a_sweep_point() {
+        let request = request("mobilenetv2", Strategy::DpOptimized)
+            .with_chip_count(2)
+            .with_mg_size(4)
+            .with_flit_bytes(16);
+        let point = request.point();
+        assert_eq!((point.chip_count, point.mg_size, point.flit_bytes), (2, 4, 16));
+        assert_eq!(point.core_count, 64, "unset axes pin to the base architecture");
+        let arch = point.arch(&request.base_arch());
+        assert_eq!(arch.chip_count(), 2);
+        assert_eq!(arch.core.cim_unit.macros_per_group, 4);
+        // Round-trips through the wire format, including the defaults.
+        let back: EvalRequest =
+            serde_json::from_str(&serde_json::to_string(&request).unwrap()).unwrap();
+        assert_eq!(back, request);
+        let partial: EvalRequest = serde_json::from_str(
+            "{\"model\": {\"name\": \"resnet18\", \"resolution\": 32}, \"strategy\": \"dp\", \
+             \"priority\": \"high\", \"tenant\": \"t\"}",
+        )
+        .unwrap();
+        assert_eq!(partial.priority(), Priority::High);
+        assert_eq!(partial.tenant(), "t");
+        assert_eq!(partial.point().mg_size, 8);
+    }
+}

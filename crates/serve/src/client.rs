@@ -1,0 +1,368 @@
+//! A typed synchronous client for the evaluation service's TCP
+//! transport: one JSON request line out, one JSON response line back.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use cimflow_dse::serve::{Request, Response, Target, WireOutcome};
+use cimflow_dse::{CacheStats, EvalRequest, Priority, ServiceStats, SweepSpec};
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The transport failed (connect, read, write).
+    Io {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The server answered something the client cannot parse, or a
+    /// response of an unexpected shape for the request.
+    Protocol {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Admission control rejected the submission: back off and retry.
+    Rejected {
+        /// Machine-readable kind (`queue_full`, `quota_exceeded`, ...).
+        kind: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The server reported a request error (unknown id, malformed line).
+    Remote {
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io { reason } => write!(f, "transport error: {reason}"),
+            ClientError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            ClientError::Rejected { kind, reason } => write!(f, "rejected ({kind}): {reason}"),
+            ClientError::Remote { message } => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(value: std::io::Error) -> Self {
+        ClientError::Io { reason: value.to_string() }
+    }
+}
+
+/// An admitted batch: the ids needed to poll/wait/cancel it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchTicket {
+    /// Connection-local batch id.
+    pub batch: u64,
+    /// Service-wide job ids in grid order.
+    pub jobs: Vec<u64>,
+    /// Number of points in the batch.
+    pub points: usize,
+    /// Points served from a journal without re-running.
+    pub resumed: usize,
+}
+
+/// A non-blocking status snapshot of a job or batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteStatus {
+    /// `queued`/`running`/`done`/`cancelled`.
+    pub state: String,
+    /// Finished points.
+    pub completed: usize,
+    /// Total points.
+    pub total: usize,
+}
+
+/// A server-side counters snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteStats {
+    /// Service counters.
+    pub service: ServiceStats,
+    /// Cache hit/miss counters.
+    pub cache: CacheStats,
+    /// Number of stored evaluations.
+    pub cache_entries: usize,
+}
+
+/// A synchronous connection to a `cimflow-dse serve --tcp` (or embedded
+/// [`TcpServer`](crate::TcpServer)) endpoint.
+///
+/// Job/batch ids are scoped to this connection: handles submitted here
+/// cannot be addressed from another connection.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the connection cannot be established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let line = serde_json::to_string(request).expect("request serialization cannot fail");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut answer = String::new();
+        if self.reader.read_line(&mut answer)? == 0 {
+            return Err(ClientError::Io { reason: "server closed the connection".to_owned() });
+        }
+        let response: Response = serde_json::from_str(answer.trim_end())
+            .map_err(|e| ClientError::Protocol { reason: format!("bad response: {e}") })?;
+        match response {
+            Response::Rejected { kind, reason } => Err(ClientError::Rejected { kind, reason }),
+            Response::Error { message } => Err(ClientError::Remote { message }),
+            other => Ok(other),
+        }
+    }
+
+    fn unexpected<T>(what: &str, response: Response) -> Result<T, ClientError> {
+        Err(ClientError::Protocol { reason: format!("expected {what}, got {response:?}") })
+    }
+
+    /// Submits one evaluation request; returns its job id immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on backpressure, transport/protocol
+    /// errors otherwise.
+    pub fn submit(&mut self, request: &EvalRequest) -> Result<u64, ClientError> {
+        match self.round_trip(&Request::Submit(request.clone()))? {
+            Response::Accepted { job } => Ok(job),
+            other => Self::unexpected("an acceptance", other),
+        }
+    }
+
+    /// Submits a sweep as one batch, charged to `tenant` (the server
+    /// defaults an omitted tenant to `anonymous`) at a priority. Every
+    /// wire submission passes admission control.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] on backpressure or an invalid spec.
+    pub fn submit_sweep(
+        &mut self,
+        spec: &SweepSpec,
+        tenant: Option<&str>,
+        priority: Option<Priority>,
+    ) -> Result<BatchTicket, ClientError> {
+        let request =
+            Request::Sweep { spec: spec.clone(), tenant: tenant.map(str::to_owned), priority };
+        match self.round_trip(&request)? {
+            Response::AcceptedBatch { batch, jobs, points, resumed } => {
+                Ok(BatchTicket { batch, jobs, points, resumed })
+            }
+            other => Self::unexpected("a batch acceptance", other),
+        }
+    }
+
+    fn poll(&mut self, target: Target) -> Result<RemoteStatus, ClientError> {
+        match self.round_trip(&Request::Poll(target))? {
+            Response::Status { state, completed, total } => {
+                Ok(RemoteStatus { state, completed, total })
+            }
+            other => Self::unexpected("a status", other),
+        }
+    }
+
+    /// Non-blocking status of a job.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors, or [`ClientError::Remote`] for an
+    /// unknown id.
+    pub fn poll_job(&mut self, job: u64) -> Result<RemoteStatus, ClientError> {
+        self.poll(Target::Job(job))
+    }
+
+    /// Non-blocking status of a batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::poll_job`].
+    pub fn poll_batch(&mut self, batch: u64) -> Result<RemoteStatus, ClientError> {
+        self.poll(Target::Batch(batch))
+    }
+
+    /// Blocks until a job finishes and returns its outcome. The wait
+    /// *consumes* the id (results are delivered exactly once; poll
+    /// before waiting if status is needed afterwards).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::poll_job`].
+    pub fn wait_job(&mut self, job: u64) -> Result<WireOutcome, ClientError> {
+        match self.round_trip(&Request::Wait(Target::Job(job)))? {
+            Response::Result(outcome) => Ok(outcome),
+            other => Self::unexpected("a result", other),
+        }
+    }
+
+    /// Blocks until a batch finishes; outcomes are in grid order. Like
+    /// [`Self::wait_job`], the wait consumes the batch id.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::poll_job`].
+    pub fn wait_batch(&mut self, batch: u64) -> Result<Vec<WireOutcome>, ClientError> {
+        match self.round_trip(&Request::Wait(Target::Batch(batch)))? {
+            Response::BatchResult { outcomes, .. } => Ok(outcomes),
+            other => Self::unexpected("a batch result", other),
+        }
+    }
+
+    /// Cancels a queued job; returns whether it was cancelled.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::poll_job`].
+    pub fn cancel_job(&mut self, job: u64) -> Result<bool, ClientError> {
+        match self.round_trip(&Request::Cancel(Target::Job(job)))? {
+            Response::Cancelled { cancelled } => Ok(cancelled > 0),
+            other => Self::unexpected("a cancellation", other),
+        }
+    }
+
+    /// Cancels every queued point of a batch; returns how many were
+    /// cancelled.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::poll_job`].
+    pub fn cancel_batch(&mut self, batch: u64) -> Result<usize, ClientError> {
+        match self.round_trip(&Request::Cancel(Target::Batch(batch)))? {
+            Response::Cancelled { cancelled } => Ok(cancelled),
+            other => Self::unexpected("a cancellation", other),
+        }
+    }
+
+    /// Fetches the service and cache counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn stats(&mut self) -> Result<RemoteStats, ClientError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats { service, cache, cache_entries } => {
+                Ok(RemoteStats { service, cache, cache_entries })
+            }
+            other => Self::unexpected("stats", other),
+        }
+    }
+
+    /// Asks the server to shut down (queued jobs are cancelled, running
+    /// jobs finish, the listener stops accepting).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Self::unexpected("a shutdown acknowledgement", other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_compiler::Strategy;
+    use cimflow_dse::serve::TcpServer;
+    use cimflow_dse::{EvalService, ServiceConfig};
+    use std::sync::Arc;
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8])
+    }
+
+    #[test]
+    fn client_round_trips_jobs_batches_and_stats_over_tcp() {
+        let service = Arc::new(EvalService::new(ServiceConfig::new().with_workers(2)));
+        let server = TcpServer::spawn(Arc::clone(&service), 0).expect("bind loopback");
+
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let job = client
+            .submit(&EvalRequest::new("mobilenetv2", 32, Strategy::DpOptimized))
+            .expect("admitted");
+        assert_eq!(client.poll_job(job).unwrap().total, 1);
+        let outcome = client.wait_job(job).expect("result");
+        assert!(outcome.ok && !outcome.cached);
+        // The wait consumed the id: the server released the result slot.
+        assert!(matches!(client.poll_job(job), Err(ClientError::Remote { .. })));
+
+        let ticket = client.submit_sweep(&spec(), Some("alice"), None).expect("admitted");
+        assert_eq!(ticket.points, 2);
+        let outcomes = client.wait_batch(ticket.batch).expect("batch result");
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes.iter().all(|o| o.ok));
+        assert!(matches!(client.poll_batch(ticket.batch), Err(ClientError::Remote { .. })));
+
+        // A second connection shares the service (and its cache) but not
+        // the first connection's ids; a tenant-less sweep is admitted
+        // under the default tenant.
+        let mut second = Client::connect(server.addr()).expect("connect");
+        assert!(matches!(second.wait_job(job), Err(ClientError::Remote { .. })));
+        let warm = second.submit_sweep(&spec(), None, None).expect("admitted as `anonymous`");
+        assert!(second.wait_batch(warm.batch).unwrap().iter().all(|o| o.cached));
+
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.service.completed, 5);
+        assert_eq!(stats.cache.hits, 2);
+        server.stop();
+    }
+
+    #[test]
+    fn quota_rejections_surface_as_client_backpressure() {
+        let service =
+            Arc::new(EvalService::new(ServiceConfig::new().with_workers(1).with_tenant_quota(2)));
+        let server = TcpServer::spawn(Arc::clone(&service), 0).expect("bind loopback");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        // The 3-point sweep exceeds tenant `a`'s quota of 2 atomically.
+        let wide = spec().with_mg_sizes(&[4, 8, 16]);
+        match client.submit_sweep(&wide, Some("a"), Some(Priority::High)) {
+            Err(ClientError::Rejected { kind, .. }) => assert_eq!(kind, "quota_exceeded"),
+            other => panic!("expected quota backpressure, got {other:?}"),
+        }
+        // A tenant-less sweep is charged to `anonymous` — the operator's
+        // quota binds every wire submission.
+        match client.submit_sweep(&wide, None, None) {
+            Err(ClientError::Rejected { kind, .. }) => assert_eq!(kind, "quota_exceeded"),
+            other => panic!("expected quota backpressure, got {other:?}"),
+        }
+        // Within quota, tenant `b` flows through the same pool.
+        let ticket = client.submit_sweep(&spec(), Some("b"), None).expect("admitted");
+        assert_eq!(client.wait_batch(ticket.batch).unwrap().len(), 2);
+        server.stop();
+    }
+
+    #[test]
+    fn shutdown_stops_the_listener() {
+        let service = Arc::new(EvalService::new(ServiceConfig::new().with_workers(1)));
+        let server = TcpServer::spawn(Arc::clone(&service), 0).expect("bind loopback");
+        let mut client = Client::connect(server.addr()).expect("connect");
+        client.shutdown().expect("acknowledged");
+        assert!(server.shutdown_requested());
+        server.wait_for_shutdown();
+        assert!(service.submit(EvalRequest::new("resnet18", 32, Strategy::DpOptimized)).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! The evaluation service end to end: an in-process [`EvalService`] with
+//! a bounded queue and per-tenant quotas, served over a TCP loopback
+//! listener, driven by two typed [`Client`]s — non-blocking submission,
+//! streamed batch progress, quota backpressure, duplicate-point
+//! coalescing through the shared cache, and a clean shutdown.
+//!
+//! Run with `cargo run --release --example serve`.
+
+use std::sync::Arc;
+
+use cimflow::Strategy;
+use cimflow_serve::{
+    Client, ClientError, EvalRequest, EvalService, Priority, ServiceConfig, SweepSpec, TcpServer,
+};
+
+fn main() -> Result<(), ClientError> {
+    // A service sized like a small deployment: 4 workers, at most 64
+    // queued points, and no tenant may hold more than 8 points in flight.
+    let service = Arc::new(EvalService::new(
+        ServiceConfig::new().with_workers(4).with_queue_capacity(64).with_tenant_quota(8),
+    ));
+    let server = TcpServer::spawn(Arc::clone(&service), 0).expect("bind a loopback port");
+    println!("serving on {} with {} workers\n", server.addr(), service.workers());
+
+    // --- Tenant `alice`: a single high-priority request, then a sweep. --
+    let mut alice = Client::connect(server.addr())?;
+    let job = alice.submit(
+        &EvalRequest::new("mobilenetv2", 32, Strategy::DpOptimized)
+            .with_tenant("alice")
+            .with_priority(Priority::High),
+    )?;
+    println!("alice: job {job} accepted (returns immediately; the pool works in background)");
+    let outcome = alice.wait_job(job)?;
+    println!(
+        "alice: job {job} -> {} cycles, {:.3} mJ ({})",
+        outcome.total_cycles.expect("success"),
+        outcome.energy_mj.expect("success"),
+        if outcome.cached { "cache hit" } else { "evaluated" },
+    );
+
+    let sweep = SweepSpec::new()
+        .named("serve example")
+        .with_model("mobilenetv2", 32)
+        .with_strategies(&[Strategy::GenericMapping, Strategy::DpOptimized])
+        .with_mg_sizes(&[4, 8]);
+    let ticket = alice.submit_sweep(&sweep, Some("alice"), None)?;
+    println!(
+        "alice: batch {} accepted with {} points (jobs {:?})",
+        ticket.batch, ticket.points, ticket.jobs
+    );
+    let outcomes = alice.wait_batch(ticket.batch)?;
+    assert_eq!(outcomes.len(), 4);
+    for outcome in &outcomes {
+        println!(
+            "alice:   {:<56} {:>9} cycles {}",
+            outcome.label,
+            outcome.total_cycles.expect("success"),
+            if outcome.cached { "(hit)" } else { "" },
+        );
+    }
+
+    // --- Tenant `bob`: the same sweep coalesces onto warm results. -----
+    let mut bob = Client::connect(server.addr())?;
+    let ticket = bob.submit_sweep(&sweep, Some("bob"), None)?;
+    let warm = bob.wait_batch(ticket.batch)?;
+    assert!(warm.iter().all(|o| o.ok && o.cached), "bob shares alice's evaluations");
+    println!("\nbob: same {} points, all served from the shared cache", warm.len());
+
+    // --- Quota backpressure: a 16-point burst exceeds bob's quota of 8,
+    //     atomically, while alice keeps flowing. ------------------------
+    let burst = SweepSpec::new()
+        .with_model("resnet18", 32)
+        .with_strategies(&[Strategy::GenericMapping])
+        .with_mg_sizes(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16]);
+    match bob.submit_sweep(&burst, Some("bob"), None) {
+        Err(ClientError::Rejected { kind, reason }) => {
+            assert_eq!(kind, "quota_exceeded");
+            println!("bob: 16-point burst rejected with backpressure: {reason}");
+        }
+        other => panic!("expected quota backpressure, got {other:?}"),
+    }
+    let job = alice
+        .submit(&EvalRequest::new("resnet18", 32, Strategy::DpOptimized).with_tenant("alice"))?;
+    assert!(alice.wait_job(job)?.ok);
+    println!("alice: still admitted while bob backs off");
+
+    // --- Counters, then a clean shutdown. ------------------------------
+    let stats = alice.stats()?;
+    println!(
+        "\nservice: {} submitted, {} completed, {} rejected; cache {} hits / {} misses ({} entries)",
+        stats.service.submitted,
+        stats.service.completed,
+        stats.service.rejected,
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache_entries,
+    );
+    assert_eq!(stats.service.completed, 10, "1 + 4 + 4 warm + 1 follow-up");
+    assert!(stats.cache.hits >= 4, "bob's whole batch coalesced");
+
+    alice.shutdown()?;
+    server.wait_for_shutdown();
+    println!("shutdown acknowledged; listener stopped");
+    Ok(())
+}
