@@ -10,10 +10,18 @@
 //! authoritative latency/energy numbers always come from the cycle-level
 //! simulator.
 
-use cimflow_arch::ArchConfig;
+use cimflow_arch::{ArchConfig, InterChipTopology};
 use cimflow_energy::EnergyModel;
 
 use crate::frontend::OpGroup;
+
+/// Granularity at which cut activations stream over the inter-chip
+/// fabric — roughly one output pixel's channel vector, the natural unit
+/// the producing stage emits. Both the simulator's tile-granular
+/// hand-off and the search's interval estimator charge a consumer chip
+/// only the residual of one tile, because the remaining tiles overlap
+/// the producer's execution.
+pub const STREAM_TILE_BYTES: u64 = 512;
 
 /// Resource allocation chosen for one operator group inside a stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -156,6 +164,22 @@ impl CostModel {
         u64::from(link.link_latency_cycles) * u64::from(hops.max(1))
             + link.flits_for(bytes)
             + self.arch.chip().global_memory.transfer_cycles(bytes)
+    }
+
+    /// Inter-chip hop count between two chips under the configured
+    /// topology (1 for point-to-point, ring distance on a ring).
+    pub fn interchip_hops(&self, from_chip: u32, to_chip: u32) -> u32 {
+        if from_chip == to_chip {
+            return 0;
+        }
+        match self.arch.system.interconnect.topology {
+            InterChipTopology::PointToPoint => 1,
+            InterChipTopology::Ring => {
+                let chips = self.arch.chip_count().max(1);
+                let forward = (to_chip + chips - from_chip) % chips;
+                forward.min(chips - forward).max(1)
+            }
+        }
     }
 
     /// Cycles to bring a stage's weights from global memory into the CIM

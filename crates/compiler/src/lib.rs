@@ -5,12 +5,18 @@
 //! CIM instruction sequences (`cimflow-isa`) through a two-level
 //! optimization strategy.
 //!
-//! **System-level partitioning** ([`system`]): when the architecture
-//! integrates more than one chip, the condensed graph is first split into
-//! one contiguous segment per chip (balancing estimated latency and
-//! weight staging against the inter-chip transfer cost of the cut edges)
-//! and every later pass runs per chip; the cut activations travel over
-//! the inter-chip interconnect. With one chip the pass is the identity.
+//! **System-level partitioning** ([`system`], [`search`]): when the
+//! architecture integrates more than one chip, the condensed graph is
+//! split across chips and every later pass runs per chip; the cut
+//! activations travel over the inter-chip interconnect. Under the default
+//! [`SearchMode::Sequential`] the split is a fixed preprocessing step — a
+//! contiguous DP balancing estimated latency and weight staging against
+//! the inter-chip transfer cost. [`SearchMode::Joint`] instead runs the
+//! [`SystemSearch`]: candidate splits (including non-contiguous
+//! assignments for branchy graphs) are each lowered through the per-chip
+//! stage partitioner with per-chip strategy choice and scored by the
+//! end-to-end estimated pipeline interval. With one chip the pass is the
+//! identity.
 //!
 //! **CG-level optimization** ([`frontend`], [`partition`], [`cost`]):
 //!
@@ -67,15 +73,18 @@ pub mod frontend;
 pub mod oplevel;
 pub mod partition;
 mod plan;
+pub mod search;
 mod strategy;
 pub mod system;
 pub mod validate;
 
 pub use bitset::BitMask256;
+pub use cost::STREAM_TILE_BYTES;
 pub use error::CompileError;
 pub use frontend::{CondensedGraph, OpGroup};
 pub use plan::{
     ClusterPlan, CompilationPlan, CompileReport, CompiledProgram, GroupPlacement, StagePlan,
 };
+pub use search::{SearchMode, SearchOutcome, SystemSearch};
 pub use strategy::{compile, compile_with_options, CompileOptions, Strategy};
 pub use system::{partition_chips, InterChipTransferPlan, SystemPlan};

@@ -32,6 +32,26 @@ impl PartitionDecision {
     }
 }
 
+/// Runs the CG-level partitioner of one strategy — the per-chip stage
+/// partition both the sequential pipeline and the joint system search
+/// lower candidate chip subgraphs through.
+///
+/// # Errors
+///
+/// Returns [`CompileError::CapacityExceeded`] when the (sub)graph cannot
+/// fit the chip under any partition.
+pub fn partition_with_strategy(
+    condensed: &CondensedGraph,
+    cost_model: &CostModel,
+    strategy: crate::Strategy,
+) -> Result<PartitionDecision, CompileError> {
+    match strategy {
+        crate::Strategy::GenericMapping => generic_partition(condensed, cost_model),
+        crate::Strategy::OperatorDuplication => duplication_partition(condensed, cost_model),
+        crate::Strategy::DpOptimized => dp_partition(condensed, cost_model),
+    }
+}
+
 /// Enumerates the dependency closures (down-sets) of the condensed graph
 /// as bitmasks.
 ///

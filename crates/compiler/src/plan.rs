@@ -133,6 +133,10 @@ pub struct CompileReport {
     pub group_count: usize,
     /// Number of cores with a non-empty program.
     pub active_cores: usize,
+    /// System-level candidates scored before the chip split was chosen
+    /// (1 on the sequential pipeline and on single-chip systems; the
+    /// joint search reports its explored pool).
+    pub search_candidates: usize,
 }
 
 impl fmt::Display for CompileReport {
@@ -168,6 +172,7 @@ impl serde::Serialize for CompileReport {
             ("stage_count".to_owned(), serde::Serialize::serialize(&self.stage_count)),
             ("group_count".to_owned(), serde::Serialize::serialize(&self.group_count)),
             ("active_cores".to_owned(), serde::Serialize::serialize(&self.active_cores)),
+            ("search_candidates".to_owned(), serde::Serialize::serialize(&self.search_candidates)),
         ])
     }
 }
@@ -196,6 +201,13 @@ impl serde::Deserialize for CompileReport {
             stage_count: serde::Deserialize::deserialize(field("stage_count")?)?,
             group_count: serde::Deserialize::deserialize(field("group_count")?)?,
             active_cores: serde::Deserialize::deserialize(field("active_cores")?)?,
+            // Reports persisted before the search layer lack the field;
+            // they read back as the sequential pipeline's single
+            // candidate.
+            search_candidates: match field("search_candidates") {
+                Ok(content) => serde::Deserialize::deserialize(content)?,
+                Err(_) => 1,
+            },
         })
     }
 }
@@ -248,6 +260,7 @@ impl CompiledProgram {
             stage_count: plan.stages.len(),
             group_count: condensed.len(),
             active_cores: active,
+            search_candidates: 1,
         }
     }
 }
@@ -321,9 +334,11 @@ mod tests {
             stage_count: 3,
             group_count: 9,
             active_cores: 42,
+            search_candidates: 7,
         };
         let text = serde_json::to_string(&report).unwrap();
         assert!(text.contains("\"cim\""), "histogram keys use class names: {text}");
+        assert!(text.contains("search_candidates"));
         let back: CompileReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, report);
         assert!(serde_json::from_str::<CompileReport>("{\"total_instructions\": 1}").is_err());

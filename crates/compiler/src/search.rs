@@ -1,0 +1,649 @@
+//! The system-level search layer: joint optimization over (chip split ×
+//! per-chip stage partition × per-chip strategy).
+//!
+//! The sequential pipeline treats the chip split as a preprocessing step:
+//! [`partition_chips`](crate::system::partition_chips) picks one
+//! contiguous split minimizing a bottleneck-segment proxy, and every chip
+//! is then partitioned independently under one global
+//! [`Strategy`]. [`SystemSearch`] instead treats the split as a decision
+//! variable: a pool of candidate assignments — the contiguous DP seed,
+//! balance-driven contiguous alternatives, boundary perturbations, and
+//! non-contiguous group moves for branchy graphs — is each lowered
+//! through the per-chip stage partitioner (with per-chip strategy
+//! choice) and scored by the *end-to-end* estimated pipeline initiation
+//! interval, which prices cut activations at the tile-streaming residual
+//! the simulator's overlapped hand-off actually pays.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+
+use crate::cost::{CostModel, STREAM_TILE_BYTES};
+use crate::frontend::CondensedGraph;
+use crate::partition::{partition_with_strategy, PartitionDecision};
+use crate::strategy::Strategy;
+use crate::system::{self, SystemPlan};
+
+/// Upper bound on scored candidates per compilation, a guard against
+/// quadratic blow-up on very branchy graphs.
+const CANDIDATE_CAP: usize = 48;
+/// Rounds of greedy non-contiguous refinement.
+const MOVE_ROUNDS: usize = 2;
+
+/// How the compiler searches the system-level mapping space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SearchMode {
+    /// Today's fixed pass sequence: contiguous DP chip split, then one
+    /// global strategy per chip. The default; reproduces historical
+    /// plans bit-exactly.
+    #[default]
+    Sequential,
+    /// Joint search over chip split, per-chip stage partition and
+    /// per-chip strategy, scored by the estimated pipeline interval.
+    Joint,
+}
+
+impl SearchMode {
+    /// Both modes, in sweep-axis order.
+    pub const ALL: [SearchMode; 2] = [SearchMode::Sequential, SearchMode::Joint];
+
+    /// Short name used in plans, reports and sweep files.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchMode::Sequential => "sequential",
+            SearchMode::Joint => "joint",
+        }
+    }
+
+    /// Parses a mode from its short or variant name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sequential" | "Sequential" | "seq" => Some(SearchMode::Sequential),
+            "joint" | "Joint" => Some(SearchMode::Joint),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl serde::Serialize for SearchMode {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for SearchMode {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let text =
+            content.as_str().ok_or_else(|| serde::Error::new("expected search mode string"))?;
+        SearchMode::from_name(text)
+            .ok_or_else(|| serde::Error::new(format!("unknown search mode `{text}`")))
+    }
+}
+
+/// The per-chip lowering a scored candidate settled on.
+#[derive(Debug, Clone)]
+pub struct ChipLowering {
+    /// The CG-level strategy chosen for this chip.
+    pub strategy: Strategy,
+    /// The stage partition, or `None` for a chip without work.
+    pub decision: Option<PartitionDecision>,
+}
+
+/// The result of a system-level search: the chosen split with its
+/// per-chip lowerings, ready for code generation.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The chosen system plan (explored-candidate count and the interval
+    /// estimate are recorded on it).
+    pub system: SystemPlan,
+    /// Per-chip strategy and stage partition, indexed by chip.
+    pub chips: Vec<ChipLowering>,
+}
+
+/// Estimates the steady-state pipeline initiation interval of a chip
+/// assignment given each chip's estimated stage-partition latency.
+///
+/// Under the simulator's tile-granular hand-off a consumer chip starts
+/// once the first tiles of its cut inputs land, so a cut edge charges its
+/// consumer only the streaming residual of one tile — head latency plus
+/// one tile's serialization — rather than the full activation transfer.
+pub(crate) fn estimate_interval(
+    condensed: &CondensedGraph,
+    cost: &CostModel,
+    assignment: &[u32],
+    chip_latency: &[u64],
+) -> u64 {
+    let mut interval = 1u64;
+    for (chip, latency) in chip_latency.iter().enumerate() {
+        let mut residual = 0u64;
+        for group in condensed.groups() {
+            if assignment[group.index] as usize != chip {
+                continue;
+            }
+            for dep in &group.preds {
+                let from = assignment[dep.group];
+                if from as usize == chip {
+                    continue;
+                }
+                let hops = cost.interchip_hops(from, chip as u32);
+                residual += cost.interchip_transfer_cycles(dep.bytes.min(STREAM_TILE_BYTES), hops);
+            }
+        }
+        interval = interval.max(latency + residual);
+    }
+    interval
+}
+
+/// The joint system-level searcher (see the module docs).
+#[derive(Debug)]
+pub struct SystemSearch<'a> {
+    condensed: &'a CondensedGraph,
+    cost: &'a CostModel,
+    strategy: Strategy,
+}
+
+impl<'a> SystemSearch<'a> {
+    /// Prepares a search for one compilation.
+    pub fn new(condensed: &'a CondensedGraph, cost: &'a CostModel, strategy: Strategy) -> Self {
+        SystemSearch { condensed, cost, strategy }
+    }
+
+    /// Runs the search and returns the best candidate found.
+    ///
+    /// The contiguous DP seed is always candidate zero, so the result is
+    /// never worse (by the shared interval estimator) than what the
+    /// sequential pipeline would have chosen.
+    pub fn run(&self) -> SearchOutcome {
+        let chips = self.cost.arch().chip_count().max(1);
+        let n = self.condensed.len();
+        if chips <= 1 || n == 0 {
+            let mut system = SystemPlan::single_chip(n);
+            system.chip_count = chips.max(1);
+            let lowering = self.lower_chip(&vec![0; n], 0);
+            let latency = lowering.decision.as_ref().map_or(0, PartitionDecision::estimated_cycles);
+            system.estimated_interval_cycles = latency.max(1);
+            system.chip_strategies = vec![lowering.strategy];
+            return SearchOutcome { system, chips: vec![lowering] };
+        }
+
+        let mut seen: HashSet<Vec<u32>> = HashSet::new();
+        let mut pool: Vec<Vec<u32>> = Vec::new();
+        let enqueue = |pool: &mut Vec<Vec<u32>>, seen: &mut HashSet<Vec<u32>>, a: Vec<u32>| {
+            if a.len() == n && a.iter().all(|c| *c < chips) && seen.insert(a.clone()) {
+                pool.push(a);
+            }
+        };
+
+        // Candidate 0: the sequential pipeline's contiguous DP seed.
+        let seed = system::partition_chips(self.condensed, self.cost).assignment;
+        enqueue(&mut pool, &mut seen, seed.clone());
+        // Balance-driven contiguous alternatives.
+        enqueue(&mut pool, &mut seen, self.balanced_split(chips, BalanceBy::Compute));
+        enqueue(&mut pool, &mut seen, self.balanced_split(chips, BalanceBy::Weight));
+        // Boundary perturbations of the seed.
+        for candidate in boundary_moves(&seed, chips) {
+            enqueue(&mut pool, &mut seen, candidate);
+        }
+
+        let mut explored = 0usize;
+        let mut best: Option<(u64, Vec<u32>, Vec<ChipLowering>)> = None;
+        for assignment in &pool {
+            explored += 1;
+            if let Some((interval, lowerings)) = self.score(assignment) {
+                if best.as_ref().is_none_or(|(b, _, _)| interval < *b) {
+                    best = Some((interval, assignment.clone(), lowerings));
+                }
+            }
+        }
+
+        // Non-contiguous refinement for branchy graphs: greedily move the
+        // endpoints of cut edges between chips while the estimated
+        // interval keeps improving and the chip-level dependency graph
+        // stays acyclic (the simulator's hand-off needs a DAG of chips).
+        if self.is_branchy() {
+            'rounds: for _ in 0..MOVE_ROUNDS {
+                let Some((current_best, base, _)) = best.clone() else { break };
+                let mut improved = false;
+                for group in cut_endpoint_groups(self.condensed, &base) {
+                    for target in 0..chips {
+                        if explored >= CANDIDATE_CAP {
+                            break 'rounds;
+                        }
+                        if target == base[group] {
+                            continue;
+                        }
+                        let mut moved = base.clone();
+                        moved[group] = target;
+                        if !chip_dag_is_acyclic(self.condensed, &moved, chips)
+                            || !seen.insert(moved.clone())
+                        {
+                            continue;
+                        }
+                        explored += 1;
+                        if let Some((interval, lowerings)) = self.score(&moved) {
+                            if interval < current_best
+                                && best.as_ref().is_none_or(|(b, _, _)| interval < *b)
+                            {
+                                best = Some((interval, moved, lowerings));
+                                improved = true;
+                            }
+                        }
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+
+        // When not even the seed fits — some chip's subgraph exceeds
+        // capacity under every candidate strategy — fall back to the seed
+        // split with its (partially `None`) lowerings, so the caller
+        // surfaces the same per-chip capacity error the sequential
+        // pipeline reports instead of the search panicking.
+        let (interval, assignment, lowerings) = best.unwrap_or_else(|| {
+            let lowerings: Vec<ChipLowering> =
+                (0..chips).map(|chip| self.lower_chip(&seed, chip)).collect();
+            (0, seed, lowerings)
+        });
+        let mut system = SystemPlan::from_assignment(self.condensed, chips, assignment);
+        system.explored_candidates = explored as u32;
+        system.estimated_interval_cycles = interval;
+        system.chip_strategies = lowerings.iter().map(|l| l.strategy).collect();
+        SearchOutcome { system, chips: lowerings }
+    }
+
+    /// Whether the condensed graph has any branching (a group with more
+    /// than one predecessor), which is what makes non-contiguous chip
+    /// assignments potentially profitable.
+    fn is_branchy(&self) -> bool {
+        self.condensed.groups().iter().any(|g| g.preds.len() > 1)
+    }
+
+    /// Scores one candidate assignment: lowers every chip through the
+    /// stage partitioner with per-chip strategy choice and estimates the
+    /// end-to-end pipeline interval. `None` if some chip cannot fit its
+    /// subgraph under any candidate strategy.
+    fn score(&self, assignment: &[u32]) -> Option<(u64, Vec<ChipLowering>)> {
+        let chips = self.cost.arch().chip_count().max(1);
+        let mut lowerings = Vec::with_capacity(chips as usize);
+        let mut latencies = Vec::with_capacity(chips as usize);
+        for chip in 0..chips {
+            let lowering = self.lower_chip(assignment, chip);
+            if lowering.decision.is_none() && assignment.contains(&chip) {
+                return None; // non-empty chip that fits no partition
+            }
+            latencies
+                .push(lowering.decision.as_ref().map_or(0, PartitionDecision::estimated_cycles));
+            lowerings.push(lowering);
+        }
+        let interval = estimate_interval(self.condensed, self.cost, assignment, &latencies);
+        Some((interval, lowerings))
+    }
+
+    /// Lowers one chip's subgraph, choosing among the candidate
+    /// strategies (the requested one, plus the paper's DP optimization —
+    /// which the estimates never rank worse — when they differ).
+    fn lower_chip(&self, assignment: &[u32], chip: u32) -> ChipLowering {
+        let (subgraph, _) = self.condensed.chip_subgraph(assignment, chip);
+        if subgraph.is_empty() {
+            return ChipLowering { strategy: self.strategy, decision: None };
+        }
+        let mut candidates = vec![self.strategy];
+        if self.strategy != Strategy::DpOptimized {
+            candidates.push(Strategy::DpOptimized);
+        }
+        let mut best: Option<(u64, Strategy, PartitionDecision)> = None;
+        for strategy in candidates {
+            if let Ok(decision) = partition_with_strategy(&subgraph, self.cost, strategy) {
+                let cycles = decision.estimated_cycles();
+                if best.as_ref().is_none_or(|(b, _, _)| cycles < *b) {
+                    best = Some((cycles, strategy, decision));
+                }
+            }
+        }
+        match best {
+            Some((_, strategy, decision)) => ChipLowering { strategy, decision: Some(decision) },
+            None => ChipLowering { strategy: self.strategy, decision: None },
+        }
+    }
+
+    /// A contiguous split equalizing per-chip compute or weight load.
+    fn balanced_split(&self, chips: u32, by: BalanceBy) -> Vec<u32> {
+        let n = self.condensed.len();
+        let load: Vec<u64> = self
+            .condensed
+            .groups()
+            .iter()
+            .map(|group| match by {
+                BalanceBy::Weight => group.metrics.weight_bytes.max(1),
+                BalanceBy::Compute => {
+                    let cores = self.cost.min_cores(group).min(self.cost.total_cores());
+                    let replicas = (self.cost.total_cores() / cores).max(1);
+                    self.cost.group_cycles(group, cores, replicas).max(1)
+                }
+            })
+            .collect();
+        let total: u64 = load.iter().sum();
+        let per_chip = total.div_ceil(u64::from(chips)).max(1);
+        let mut assignment = vec![0u32; n];
+        let mut chip = 0u32;
+        let mut running = 0u64;
+        for (i, l) in load.iter().enumerate() {
+            if running + l > per_chip && running > 0 && chip + 1 < chips {
+                chip += 1;
+                running = 0;
+            }
+            assignment[i] = chip;
+            running += l;
+        }
+        assignment
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BalanceBy {
+    Compute,
+    Weight,
+}
+
+/// Contiguous candidates obtained by shifting each internal boundary of a
+/// contiguous assignment by one group in either direction.
+fn boundary_moves(assignment: &[u32], chips: u32) -> Vec<Vec<u32>> {
+    let n = assignment.len();
+    // Reconstruct the boundaries: boundaries[c] is the first group index
+    // assigned to a chip >= c.
+    let mut boundaries = vec![0usize; chips as usize + 1];
+    for (c, slot) in boundaries.iter_mut().enumerate().skip(1) {
+        *slot = assignment.iter().position(|&a| a >= c as u32).unwrap_or(n);
+    }
+    let mut moves = Vec::new();
+    for k in 1..chips as usize {
+        for delta in [-1i64, 1] {
+            let shifted = boundaries[k] as i64 + delta;
+            if shifted < boundaries[k - 1] as i64 || shifted > boundaries[k + 1] as i64 {
+                continue;
+            }
+            let mut candidate = boundaries.clone();
+            candidate[k] = shifted as usize;
+            let mut moved = vec![0u32; n];
+            for chip in 0..chips as usize {
+                for slot in
+                    moved.iter_mut().take(candidate[chip + 1].min(n)).skip(candidate[chip].min(n))
+                {
+                    *slot = chip as u32;
+                }
+            }
+            moves.push(moved);
+        }
+    }
+    moves
+}
+
+/// Groups adjacent to a cut edge of the assignment — the move candidates
+/// of the non-contiguous refinement.
+fn cut_endpoint_groups(condensed: &CondensedGraph, assignment: &[u32]) -> Vec<usize> {
+    let mut groups: Vec<usize> = condensed
+        .groups()
+        .iter()
+        .flat_map(|g| {
+            g.preds.iter().filter_map(|d| {
+                (assignment[d.group] != assignment[g.index]).then_some([d.group, g.index])
+            })
+        })
+        .flatten()
+        .collect();
+    groups.sort_unstable();
+    groups.dedup();
+    groups
+}
+
+/// Whether the chip-level condensation of the dependency graph is
+/// acyclic (a cycle between chips would deadlock the pipelined hand-off).
+fn chip_dag_is_acyclic(condensed: &CondensedGraph, assignment: &[u32], chips: u32) -> bool {
+    let chips = chips as usize;
+    let mut edges: HashSet<(u32, u32)> = HashSet::new();
+    for group in condensed.groups() {
+        for dep in &group.preds {
+            let (from, to) = (assignment[dep.group], assignment[group.index]);
+            if from != to {
+                edges.insert((from, to));
+            }
+        }
+    }
+    let mut indegree = vec![0usize; chips];
+    for (_, to) in &edges {
+        indegree[*to as usize] += 1;
+    }
+    let mut queue: VecDeque<u32> =
+        (0..chips as u32).filter(|c| indegree[*c as usize] == 0).collect();
+    let mut visited = 0usize;
+    while let Some(chip) = queue.pop_front() {
+        visited += 1;
+        for (from, to) in &edges {
+            if *from == chip {
+                indegree[*to as usize] -= 1;
+                if indegree[*to as usize] == 0 {
+                    queue.push_back(*to);
+                }
+            }
+        }
+    }
+    visited == chips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_arch::ArchConfig;
+    use cimflow_nn::models;
+
+    fn condensed(model: cimflow_nn::Model) -> CondensedGraph {
+        CondensedGraph::from_graph(&model.graph).unwrap()
+    }
+
+    #[test]
+    fn search_mode_names_round_trip() {
+        for mode in SearchMode::ALL {
+            assert_eq!(SearchMode::from_name(mode.name()), Some(mode));
+            let text = serde_json::to_string(&mode).unwrap();
+            assert_eq!(serde_json::from_str::<SearchMode>(&text).unwrap(), mode);
+        }
+        assert_eq!(SearchMode::default(), SearchMode::Sequential);
+        assert_eq!(SearchMode::Joint.to_string(), "joint");
+        assert!(SearchMode::from_name("warp").is_none());
+        assert!(serde_json::from_str::<SearchMode>("\"warp\"").is_err());
+    }
+
+    /// The sequential pipeline's estimated interval: its contiguous DP
+    /// seed lowered with the one global strategy, scored by the shared
+    /// estimator.
+    fn sequential_estimate(graph: &CondensedGraph, cost: &CostModel, strategy: Strategy) -> u64 {
+        let chips = cost.arch().chip_count();
+        let seed = system::partition_chips(graph, cost);
+        let latencies: Vec<u64> = (0..chips)
+            .map(|chip| {
+                let (sub, _) = graph.chip_subgraph(&seed.assignment, chip);
+                if sub.is_empty() {
+                    0
+                } else {
+                    partition_with_strategy(&sub, cost, strategy).unwrap().estimated_cycles()
+                }
+            })
+            .collect();
+        estimate_interval(graph, cost, &seed.assignment, &latencies)
+    }
+
+    #[test]
+    fn joint_search_is_never_worse_than_the_sequential_seed() {
+        for chips in [2u32, 4] {
+            for model in [models::resnet18(32), models::vgg19(32)] {
+                let graph = condensed(model);
+                let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(chips));
+                let search = SystemSearch::new(&graph, &cost, Strategy::DpOptimized);
+                let outcome = search.run();
+                assert!(outcome.system.explored_candidates >= 1);
+                assert_eq!(outcome.chips.len(), chips as usize);
+
+                // Score the sequential pipeline's plan with the same
+                // estimator: the search's choice must not be worse.
+                let sequential = sequential_estimate(&graph, &cost, Strategy::DpOptimized);
+                assert!(
+                    outcome.system.estimated_interval_cycles <= sequential,
+                    "joint {} !<= sequential {}",
+                    outcome.system.estimated_interval_cycles,
+                    sequential
+                );
+            }
+        }
+    }
+
+    /// A random branchy graph: a chain of channel-segments with residual
+    /// `Add` edges sprinkled inside each fixed-shape segment.
+    fn branchy_graph(segments: &[(u32, u8)]) -> CondensedGraph {
+        use cimflow_nn::{ActivationKind, GraphBuilder, OpKind, TensorShape};
+        let mut b = GraphBuilder::new();
+        let mut current = b.input("image", TensorShape::feature_map(8, 16, 16));
+        for (segment, (channels, residual_mask)) in segments.iter().enumerate() {
+            let conv = OpKind::Conv2d {
+                out_channels: *channels,
+                kernel: (3, 3),
+                stride: (1, 1),
+                padding: (1, 1),
+                groups: 1,
+            };
+            // Entering the segment changes the channel count.
+            current = b.node(&format!("s{segment}_enter"), conv, &[current]).unwrap();
+            let segment_entry = current;
+            for block in 0..3u8 {
+                current = b.node(&format!("s{segment}_conv{block}"), conv, &[current]).unwrap();
+                if residual_mask & (1 << block) != 0 {
+                    // Same-shape residual: branch from the segment entry.
+                    current = b
+                        .node(
+                            &format!("s{segment}_add{block}"),
+                            OpKind::Add,
+                            &[current, segment_entry],
+                        )
+                        .unwrap();
+                }
+                current = b
+                    .node(
+                        &format!("s{segment}_relu{block}"),
+                        OpKind::Activation(ActivationKind::Relu),
+                        &[current],
+                    )
+                    .unwrap();
+            }
+        }
+        let graph = b.finish(&[current]).unwrap();
+        CondensedGraph::from_graph(&graph).unwrap()
+    }
+
+    mod properties {
+        use super::*;
+        // `proptest::prelude::*` exports its own `Strategy` trait, which
+        // shadows the compiler's enum.
+        use crate::strategy::Strategy as CompileStrategy;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// On random branchy graphs the joint search's bottleneck
+            /// (estimated pipeline interval) is never worse than the
+            /// sequential DP's, and its chosen split stays executable.
+            #[test]
+            fn joint_bottleneck_never_exceeds_sequential_dp_on_random_branchy_graphs(
+                chips in 2u32..5,
+                mask_a in 0u8..8,
+                mask_b in 0u8..8,
+                mask_c in 0u8..8,
+                widen in any::<bool>(),
+            ) {
+                let wide = if widen { 32 } else { 16 };
+                let graph = branchy_graph(&[(16, mask_a), (wide, mask_b), (24, mask_c)]);
+                prop_assert!(
+                    graph.groups().iter().any(|g| g.preds.len() > 1)
+                        || (mask_a | mask_b | mask_c) == 0
+                );
+                let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(chips));
+                let outcome =
+                    SystemSearch::new(&graph, &cost, CompileStrategy::DpOptimized).run();
+                let sequential = sequential_estimate(&graph, &cost, CompileStrategy::DpOptimized);
+                prop_assert!(
+                    outcome.system.estimated_interval_cycles <= sequential,
+                    "joint {} !<= sequential {} on {} groups across {} chips",
+                    outcome.system.estimated_interval_cycles,
+                    sequential,
+                    graph.len(),
+                    chips
+                );
+                // The chosen split is executable: chip DAG acyclic.
+                prop_assert!(chip_dag_is_acyclic(&graph, &outcome.system.assignment, chips));
+            }
+        }
+    }
+
+    #[test]
+    fn search_keeps_the_chip_dag_acyclic_and_covers_every_group() {
+        let graph = condensed(models::resnet18(32));
+        let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(4));
+        let outcome = SystemSearch::new(&graph, &cost, Strategy::DpOptimized).run();
+        assert_eq!(outcome.system.assignment.len(), graph.len());
+        assert!(chip_dag_is_acyclic(&graph, &outcome.system.assignment, 4));
+        // Every non-empty chip has a decision covering its groups.
+        for chip in 0..4u32 {
+            let members = outcome.system.chip_groups(chip);
+            let lowering = &outcome.chips[chip as usize];
+            match &lowering.decision {
+                Some(decision) => {
+                    let planned: usize =
+                        decision.stages.iter().map(|(groups, _, _)| groups.len()).sum();
+                    assert_eq!(planned, members.len());
+                }
+                None => assert!(members.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn single_chip_search_degenerates_to_the_plain_partition() {
+        let graph = condensed(models::mobilenet_v2(32));
+        let cost = CostModel::new(&ArchConfig::paper_default());
+        let outcome = SystemSearch::new(&graph, &cost, Strategy::GenericMapping).run();
+        assert_eq!(outcome.system.chip_count, 1);
+        assert_eq!(outcome.system.explored_candidates, 1);
+        assert!(outcome.system.transfers.is_empty());
+        assert!(outcome.system.estimated_interval_cycles > 0);
+    }
+
+    #[test]
+    fn boundary_moves_stay_contiguous() {
+        let assignment = vec![0, 0, 1, 1, 2, 2];
+        for moved in boundary_moves(&assignment, 3) {
+            assert_eq!(moved.len(), assignment.len());
+            assert!(moved.windows(2).all(|w| w[0] <= w[1]), "{moved:?}");
+        }
+        assert!(!boundary_moves(&assignment, 3).is_empty());
+    }
+
+    #[test]
+    fn acyclicity_check_accepts_forward_and_rejects_cyclic_assignments() {
+        let graph = condensed(models::vgg19(32));
+        let n = graph.len();
+        let mut forward = vec![0u32; n];
+        for slot in forward.iter_mut().skip(n / 2) {
+            *slot = 1;
+        }
+        assert!(chip_dag_is_acyclic(&graph, &forward, 2));
+        // Alternating chips on a chain: 0 -> 1 and 1 -> 0 edges.
+        let alternating: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        assert!(!chip_dag_is_acyclic(&graph, &alternating, 2));
+    }
+}

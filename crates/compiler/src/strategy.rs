@@ -11,6 +11,7 @@ use crate::cost::CostModel;
 use crate::frontend::CondensedGraph;
 use crate::partition::{self, PartitionDecision};
 use crate::plan::{ClusterPlan, CompilationPlan, CompiledProgram, GroupPlacement, StagePlan};
+use crate::search::{self, ChipLowering, SearchMode, SystemSearch};
 use crate::system::{self, SystemPlan};
 use crate::validate;
 use crate::CompileError;
@@ -85,11 +86,20 @@ pub struct CompileOptions {
     /// Whether to run the post-codegen validation pass (enabled by
     /// default, matching the paper's "functional validation" stage).
     pub validate: bool,
+    /// How the system-level mapping space is searched on multi-chip
+    /// architectures. [`SearchMode::Sequential`] (the default) keeps the
+    /// historical fixed pass order; [`SearchMode::Joint`] searches chip
+    /// split, per-chip stage partition and per-chip strategy jointly.
+    pub search: SearchMode,
 }
 
 impl Default for CompileOptions {
     fn default() -> Self {
-        CompileOptions { strategy: Strategy::DpOptimized, validate: true }
+        CompileOptions {
+            strategy: Strategy::DpOptimized,
+            validate: true,
+            search: SearchMode::Sequential,
+        }
     }
 }
 
@@ -148,8 +158,11 @@ pub fn compile_with_options(
     if options.validate {
         validate::check(&generated, &plan, &condensed, arch)?;
     }
-    let report = CompiledProgram::build_report(&generated.per_core, &plan, &condensed);
-    let system = SystemPlan::single_chip(condensed.len());
+    let mut report = CompiledProgram::build_report(&generated.per_core, &plan, &condensed);
+    let mut system = SystemPlan::single_chip(condensed.len());
+    system.estimated_interval_cycles = plan.estimated_cycles().max(1);
+    system.chip_strategies = vec![options.strategy];
+    report.search_candidates = system.explored_candidates as usize;
     Ok(CompiledProgram {
         per_core: generated.per_core,
         plan,
@@ -166,29 +179,79 @@ fn chip_decision(
     cost_model: &CostModel,
     strategy: Strategy,
 ) -> Result<PartitionDecision, CompileError> {
-    match strategy {
-        Strategy::GenericMapping => partition::generic_partition(condensed, cost_model),
-        Strategy::OperatorDuplication => partition::duplication_partition(condensed, cost_model),
-        Strategy::DpOptimized => partition::dp_partition(condensed, cost_model),
-    }
+    partition::partition_with_strategy(condensed, cost_model, strategy)
 }
 
-/// The multi-chip compilation path: system-level partitioning first, then
-/// the unchanged per-chip flow on every chip's subgraph, finally merged
-/// into one artifact with globally indexed cores and groups.
+/// The multi-chip compilation path: choose the system-level plan — either
+/// the fixed sequential pass order or the joint search — then lower every
+/// chip's subgraph through the unchanged per-chip flow and merge the
+/// artifacts with globally indexed cores and groups.
 fn compile_multichip(
     condensed: CondensedGraph,
     cost_model: &CostModel,
     arch: &ArchConfig,
     options: CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
-    let system = system::partition_chips(&condensed, cost_model);
+    let (system, lowerings) = match options.search {
+        SearchMode::Sequential => {
+            // The historical pipeline: contiguous DP split first, then one
+            // global strategy per chip — kept call-for-call identical so
+            // sequential plans stay bit-exact.
+            let mut system = system::partition_chips(&condensed, cost_model);
+            let mut lowerings = Vec::with_capacity(system.chip_count as usize);
+            let mut latencies = Vec::with_capacity(system.chip_count as usize);
+            for chip in 0..system.chip_count {
+                let (subgraph, _) = condensed.chip_subgraph(&system.assignment, chip);
+                if subgraph.is_empty() {
+                    lowerings.push(ChipLowering { strategy: options.strategy, decision: None });
+                    latencies.push(0);
+                    continue;
+                }
+                let decision = chip_decision(&subgraph, cost_model, options.strategy)?;
+                latencies.push(decision.estimated_cycles());
+                lowerings
+                    .push(ChipLowering { strategy: options.strategy, decision: Some(decision) });
+            }
+            system.estimated_interval_cycles =
+                search::estimate_interval(&condensed, cost_model, &system.assignment, &latencies);
+            system.chip_strategies = lowerings.iter().map(|l| l.strategy).collect();
+            (system, lowerings)
+        }
+        SearchMode::Joint => {
+            let outcome = SystemSearch::new(&condensed, cost_model, options.strategy).run();
+            // The search only keeps candidates whose every chip fits; if
+            // even the seed failed, surface the per-chip capacity error
+            // the sequential path would have reported.
+            for (chip, lowering) in outcome.chips.iter().enumerate() {
+                if lowering.decision.is_none() && outcome.system.assignment.contains(&(chip as u32))
+                {
+                    let (subgraph, _) =
+                        condensed.chip_subgraph(&outcome.system.assignment, chip as u32);
+                    chip_decision(&subgraph, cost_model, options.strategy)?;
+                }
+            }
+            (outcome.system, outcome.chips)
+        }
+    };
+    lower_system(condensed, arch, options, system, lowerings)
+}
+
+/// Lowers a chosen system plan: per-chip code generation on each chip's
+/// subgraph, merged into one artifact with global core and group indices.
+fn lower_system(
+    condensed: CondensedGraph,
+    arch: &ArchConfig,
+    options: CompileOptions,
+    system: SystemPlan,
+    lowerings: Vec<ChipLowering>,
+) -> Result<CompiledProgram, CompileError> {
     let cores_per_chip = arch.chip().core_count;
     let mut per_core = Vec::with_capacity((arch.total_cores()) as usize);
     let mut stages = Vec::new();
     for chip in 0..system.chip_count {
         let (subgraph, global_ids) = condensed.chip_subgraph(&system.assignment, chip);
-        if subgraph.is_empty() {
+        let lowering = &lowerings[chip as usize];
+        let Some(decision) = lowering.decision.as_ref().filter(|_| !subgraph.is_empty()) else {
             // A chip without work still needs well-formed (halting)
             // programs so the simulator's core indexing stays uniform.
             for _ in 0..cores_per_chip {
@@ -197,9 +260,8 @@ fn compile_multichip(
                 per_core.push(builder.finish()?);
             }
             continue;
-        }
-        let decision = chip_decision(&subgraph, cost_model, options.strategy)?;
-        let plan = build_plan(&subgraph, &decision, options.strategy, arch);
+        };
+        let plan = build_plan(&subgraph, decision, lowering.strategy, arch);
         let generated = codegen::generate(&subgraph, &plan, arch)?;
         if options.validate {
             validate::check(&generated, &plan, &subgraph, arch)?;
@@ -234,7 +296,8 @@ fn compile_multichip(
         }
     }
     let plan = CompilationPlan { strategy: options.strategy.name().to_owned(), stages };
-    let report = CompiledProgram::build_report(&per_core, &plan, &condensed);
+    let mut report = CompiledProgram::build_report(&per_core, &plan, &condensed);
+    report.search_candidates = system.explored_candidates as usize;
     Ok(CompiledProgram { per_core, plan, condensed, system, arch: *arch, report })
 }
 
@@ -367,6 +430,86 @@ mod tests {
             let chip1_groups = compiled.system.chip_groups(1);
             let (_, placement) = compiled.plan.placement_of(chip1_groups[0]).unwrap();
             assert!(placement.cores().iter().all(|c| (64..128).contains(c)));
+        }
+    }
+
+    #[test]
+    fn joint_search_compiles_valid_programs_and_records_the_search() {
+        let arch = ArchConfig::paper_default().with_chip_count(2);
+        let model = models::resnet18(32);
+        let sequential = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+        let joint = compile_with_options(
+            &model,
+            &arch,
+            CompileOptions {
+                strategy: Strategy::DpOptimized,
+                search: SearchMode::Joint,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(joint.per_core.len(), 128);
+        for program in &joint.per_core {
+            assert!(program.is_halting());
+            program.validate().unwrap();
+        }
+        // The search explored beyond the sequential seed and recorded it.
+        assert!(joint.system.explored_candidates > 1);
+        assert_eq!(joint.report.search_candidates, joint.system.explored_candidates as usize);
+        assert_eq!(sequential.report.search_candidates, 1);
+        assert_eq!(joint.system.chip_strategies.len(), 2);
+        // Scored by the shared estimator, joint is never worse.
+        assert!(joint.system.estimated_interval_cycles > 0);
+        assert!(
+            joint.system.estimated_interval_cycles <= sequential.system.estimated_interval_cycles
+        );
+        // The merged plan still covers every condensed group exactly once.
+        let mut covered: Vec<usize> =
+            joint.plan.stages.iter().flat_map(|s| s.placements.iter().map(|p| p.group)).collect();
+        covered.sort_unstable();
+        assert_eq!(covered, (0..joint.condensed.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn joint_search_surfaces_capacity_errors_like_sequential() {
+        // An architecture no split can fit: both modes must report the
+        // per-chip capacity error (the joint search must not panic).
+        let arch = ArchConfig::paper_default().with_core_count(1).with_chip_count(2);
+        let model = models::vgg19(224);
+        for search in SearchMode::ALL {
+            let result = compile_with_options(
+                &model,
+                &arch,
+                CompileOptions {
+                    strategy: Strategy::DpOptimized,
+                    search,
+                    ..CompileOptions::default()
+                },
+            );
+            assert!(
+                matches!(result, Err(crate::CompileError::CapacityExceeded { .. })),
+                "{search}: expected CapacityExceeded, got {result:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_search_is_the_default_and_reproduces_plain_compiles() {
+        assert_eq!(CompileOptions::default().search, SearchMode::Sequential);
+        let arch = ArchConfig::paper_default().with_chip_count(2);
+        let model = models::vgg19(32);
+        let a = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+        let b = compile_with_options(
+            &model,
+            &arch,
+            CompileOptions { strategy: Strategy::DpOptimized, ..CompileOptions::default() },
+        )
+        .unwrap();
+        assert_eq!(a.plan, b.plan);
+        assert_eq!(a.system, b.system);
+        assert_eq!(a.per_core.len(), b.per_core.len());
+        for (x, y) in a.per_core.iter().zip(&b.per_core) {
+            assert_eq!(x.instructions(), y.instructions());
         }
     }
 

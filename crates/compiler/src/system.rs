@@ -13,6 +13,7 @@
 
 use crate::cost::CostModel;
 use crate::frontend::CondensedGraph;
+use crate::strategy::Strategy;
 
 /// One activation transfer crossing a chip boundary (a cut edge of the
 /// chip partition).
@@ -40,12 +41,48 @@ pub struct SystemPlan {
     pub assignment: Vec<u32>,
     /// The cut edges, in (producer, consumer) order.
     pub transfers: Vec<InterChipTransferPlan>,
+    /// How many system-level candidates the compiler scored before
+    /// settling on this split (1 for the sequential pipeline, which only
+    /// ever considers the contiguous DP seed).
+    pub explored_candidates: u32,
+    /// The search's end-to-end estimate of the steady-state pipeline
+    /// initiation interval under this split, in cycles (0 when the
+    /// estimator did not run, e.g. on legacy single-chip paths).
+    pub estimated_interval_cycles: u64,
+    /// The CG-level strategy chosen for each chip. Sequential compilation
+    /// uses one global strategy; the joint search may pick per chip.
+    pub chip_strategies: Vec<Strategy>,
 }
 
 impl SystemPlan {
     /// The trivial plan of a single-chip system.
     pub fn single_chip(group_count: usize) -> Self {
-        SystemPlan { chip_count: 1, assignment: vec![0; group_count], transfers: Vec::new() }
+        SystemPlan {
+            chip_count: 1,
+            assignment: vec![0; group_count],
+            transfers: Vec::new(),
+            explored_candidates: 1,
+            estimated_interval_cycles: 0,
+            chip_strategies: Vec::new(),
+        }
+    }
+
+    /// Builds a plan from an explicit chip assignment, deriving the cut
+    /// edges from the condensed graph.
+    pub fn from_assignment(
+        condensed: &CondensedGraph,
+        chip_count: u32,
+        assignment: Vec<u32>,
+    ) -> Self {
+        let transfers = cut_transfers(condensed, &assignment);
+        SystemPlan {
+            chip_count,
+            assignment,
+            transfers,
+            explored_candidates: 1,
+            estimated_interval_cycles: 0,
+            chip_strategies: Vec::new(),
+        }
     }
 
     /// Global group indices assigned to `chip`, in linear order.
@@ -157,12 +194,14 @@ pub fn partition_chips(condensed: &CondensedGraph, cost_model: &CostModel) -> Sy
         assignment[boundaries[chip]..boundaries[chip + 1]].fill(chip as u32);
     }
 
-    let transfers = cut_transfers(condensed, &assignment);
-    SystemPlan { chip_count, assignment, transfers }
+    SystemPlan::from_assignment(condensed, chip_count, assignment)
 }
 
 /// The cut edges of an assignment, in (producer, consumer) order.
-fn cut_transfers(condensed: &CondensedGraph, assignment: &[u32]) -> Vec<InterChipTransferPlan> {
+pub(crate) fn cut_transfers(
+    condensed: &CondensedGraph,
+    assignment: &[u32],
+) -> Vec<InterChipTransferPlan> {
     let mut transfers = Vec::new();
     for group in condensed.groups() {
         for dep in &group.preds {
@@ -235,6 +274,46 @@ mod tests {
         assert!(a > 0 && b > 0, "both chips get work");
         // Neither chip carries (almost) everything.
         assert!(a < total * 9 / 10 && b < total * 9 / 10, "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_group_graphs_partition_onto_one_chip() {
+        // A model condensing to exactly one group: every chip count must
+        // yield a well-formed plan with all the work on one chip, no
+        // transfers, and idle remaining chips.
+        use cimflow_nn::{GraphBuilder, Model, OpKind, TensorShape};
+        let mut b = GraphBuilder::new();
+        let input = b.input("image", TensorShape::feature_map(3, 16, 16));
+        let conv = b
+            .node(
+                "conv",
+                OpKind::Conv2d {
+                    out_channels: 8,
+                    kernel: (3, 3),
+                    stride: (1, 1),
+                    padding: (1, 1),
+                    groups: 1,
+                },
+                &[input],
+            )
+            .unwrap();
+        let model = Model::new("single", b.finish(&[conv]).unwrap());
+        let graph = condensed(model);
+        assert_eq!(graph.len(), 1);
+        for chips in [1u32, 2, 8] {
+            let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(chips));
+            let plan = partition_chips(&graph, &cost);
+            assert_eq!(plan.chip_count, chips);
+            assert_eq!(plan.assignment.len(), 1);
+            let owner = plan.assignment[0];
+            assert!(owner < chips, "the group lands on a real chip");
+            assert!(plan.transfers.is_empty(), "one group can never cut an edge");
+            assert_eq!(plan.cut_bytes(), 0);
+            for chip in (0..chips).filter(|c| *c != owner) {
+                assert!(plan.chip_groups(chip).is_empty());
+                assert!(plan.producer_chips(chip).is_empty());
+            }
+        }
     }
 
     #[test]

@@ -181,7 +181,7 @@ mod tests {
             let compiled = compile_with_options(
                 &models::resnet18(32),
                 &arch,
-                CompileOptions { strategy, validate: true },
+                CompileOptions { strategy, ..CompileOptions::default() },
             )
             .unwrap();
             assert!(compiled.report.total_instructions > 0);

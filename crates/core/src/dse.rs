@@ -71,6 +71,7 @@ fn grid_jobs(
             let spec = PointSpec {
                 model: ModelSpec::new(&model.name, 0),
                 strategy,
+                search: cimflow_compiler::SearchMode::Sequential,
                 chip_count: u64::from(base.chip_count()),
                 core_count: u64::from(base.chip().core_count),
                 local_memory_kib: base.core.local_memory.size_bytes / 1024,

@@ -59,7 +59,10 @@ pub use workflow::{CimFlow, Evaluation};
 pub use cimflow_arch::{
     self as arch, ArchConfig, InterChipConfig, InterChipTopology, SystemConfig,
 };
-pub use cimflow_compiler::{self as compiler, CompiledProgram, Strategy, SystemPlan};
+pub use cimflow_compiler::{
+    self as compiler, CompileOptions, CompiledProgram, SearchMode, Strategy, SystemPlan,
+    SystemSearch,
+};
 pub use cimflow_dse as dse_engine;
 // The service-oriented evaluation API (async job handles, admission
 // control, per-tenant quotas) — the core the blocking surfaces run on.

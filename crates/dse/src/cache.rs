@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use cimflow_arch::ArchConfig;
-use cimflow_compiler::Strategy;
+use cimflow_compiler::{SearchMode, Strategy};
 use cimflow_nn::Model;
 use serde::{Deserialize, Serialize};
 
@@ -35,8 +35,11 @@ use crate::{DseError, Evaluation};
 /// semantics (simulator timing, energy model, compiler cost model) or
 /// the persisted schema that should invalidate previously persisted
 /// results. Version 2: the system level (multi-chip) — `SimReport` and
-/// `EnergyBreakdown` gained inter-chip fields.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+/// `EnergyBreakdown` gained inter-chip fields. Version 3: the joint
+/// partition search — `CacheKey`/`Evaluation` gained the search mode,
+/// `SimReport` grew overlap/stall metrics, and the simulator's
+/// inter-chip hand-off became tile-streaming.
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// Engine identity stamped into persisted cache files (the `cimflow-dse`
 /// crate version); a mismatch makes [`EvalCache::load`] start cold.
@@ -66,8 +69,8 @@ pub fn model_content_hash(model: &Model) -> u64 {
     fnv1a(text.as_bytes())
 }
 
-/// Cache key identifying one (architecture, model, strategy) point by
-/// content.
+/// Cache key identifying one (architecture, model, strategy, search
+/// mode) point by content.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheKey {
     /// FNV-1a hash of the serialized architecture.
@@ -76,12 +79,20 @@ pub struct CacheKey {
     pub model: u64,
     /// The compilation strategy.
     pub strategy: Strategy,
+    /// The system-level search mode (joint and sequential compilations
+    /// of one point are distinct results).
+    pub search: SearchMode,
 }
 
 impl CacheKey {
     /// Computes the key of a design point.
-    pub fn of(arch: &ArchConfig, model: &Model, strategy: Strategy) -> Self {
-        CacheKey { arch: arch_content_hash(arch), model: model_content_hash(model), strategy }
+    pub fn of(arch: &ArchConfig, model: &Model, strategy: Strategy, search: SearchMode) -> Self {
+        CacheKey {
+            arch: arch_content_hash(arch),
+            model: model_content_hash(model),
+            strategy,
+            search,
+        }
     }
 }
 
@@ -238,7 +249,7 @@ impl EvalCache {
         let mut rows: Vec<(CacheKey, Evaluation)> =
             entries.iter().map(|(k, v)| (*k, v.clone())).collect();
         // Deterministic file contents regardless of hash-map order.
-        rows.sort_by_key(|(k, _)| (k.model, k.arch, k.strategy.name()));
+        rows.sort_by_key(|(k, _)| (k.model, k.arch, k.strategy.name(), k.search.name()));
         let rows: Vec<CacheEntry> =
             rows.into_iter().map(|(key, evaluation)| CacheEntry { key, evaluation }).collect();
         serde_json::to_string_pretty(&CacheFile {
@@ -348,7 +359,7 @@ mod tests {
         let cache = EvalCache::new();
         let arch = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
-        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
 
         let mut evaluations = 0u32;
         let mut run = || {
@@ -373,7 +384,7 @@ mod tests {
         let clone = cache.clone();
         let arch = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
-        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
         clone.insert(key, evaluate(&arch, &model, Strategy::GenericMapping).unwrap());
         assert_eq!(cache.len(), 1, "a clone writes into the same store");
         assert!(cache.get(&key).is_some());
@@ -384,7 +395,7 @@ mod tests {
     fn any_arch_change_invalidates_the_key() {
         let base = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
-        let key = CacheKey::of(&base, &model, Strategy::GenericMapping);
+        let key = CacheKey::of(&base, &model, Strategy::GenericMapping, SearchMode::Sequential);
         for changed in [
             base.with_macros_per_group(4),
             base.with_flit_bytes(16),
@@ -392,16 +403,32 @@ mod tests {
             base.with_local_memory_kib(256),
             base.with_frequency_mhz(500),
         ] {
-            assert_ne!(CacheKey::of(&changed, &model, Strategy::GenericMapping), key);
+            assert_ne!(
+                CacheKey::of(&changed, &model, Strategy::GenericMapping, SearchMode::Sequential),
+                key
+            );
         }
         // Same content, separately constructed value → same key.
         assert_eq!(
-            CacheKey::of(&ArchConfig::paper_default(), &model, Strategy::GenericMapping),
+            CacheKey::of(
+                &ArchConfig::paper_default(),
+                &model,
+                Strategy::GenericMapping,
+                SearchMode::Sequential
+            ),
             key
         );
         // Strategy and model are part of the key too.
-        assert_ne!(CacheKey::of(&base, &model, Strategy::DpOptimized), key);
-        assert_ne!(CacheKey::of(&base, &models::mobilenet_v2(64), Strategy::GenericMapping), key);
+        assert_ne!(CacheKey::of(&base, &model, Strategy::DpOptimized, SearchMode::Sequential), key);
+        assert_ne!(
+            CacheKey::of(
+                &base,
+                &models::mobilenet_v2(64),
+                Strategy::GenericMapping,
+                SearchMode::Sequential
+            ),
+            key
+        );
     }
 
     #[test]
@@ -410,24 +437,50 @@ mod tests {
         let model = models::mobilenet_v2(32);
         let mut keys: Vec<_> = [1u32, 2, 4, 8]
             .iter()
-            .map(|chips| CacheKey::of(&base.with_chip_count(*chips), &model, Strategy::DpOptimized))
+            .map(|chips| {
+                CacheKey::of(
+                    &base.with_chip_count(*chips),
+                    &model,
+                    Strategy::DpOptimized,
+                    SearchMode::Sequential,
+                )
+            })
             .collect();
         // chip_count = 1 must key identically to the historical
         // single-chip serialization (warm caches stay warm) …
-        assert_eq!(keys[0], CacheKey::of(&base, &model, Strategy::DpOptimized));
+        assert_eq!(
+            keys[0],
+            CacheKey::of(&base, &model, Strategy::DpOptimized, SearchMode::Sequential)
+        );
         // … while every scale-out point is distinct.
         keys.sort_by_key(|k| k.arch);
         keys.dedup_by_key(|k| k.arch);
         assert_eq!(keys.len(), 4);
         // The interconnect is part of the key as well.
         assert_ne!(
-            CacheKey::of(&base.with_chip_count(2), &model, Strategy::DpOptimized),
+            CacheKey::of(
+                &base.with_chip_count(2),
+                &model,
+                Strategy::DpOptimized,
+                SearchMode::Sequential
+            ),
             CacheKey::of(
                 &base.with_chip_count(2).with_interchip_link_bytes(64),
                 &model,
-                Strategy::DpOptimized
+                Strategy::DpOptimized,
+                SearchMode::Sequential
             )
         );
+    }
+
+    #[test]
+    fn search_modes_key_distinct_cache_slots() {
+        let arch = ArchConfig::paper_default().with_chip_count(2);
+        let model = models::mobilenet_v2(32);
+        let sequential = CacheKey::of(&arch, &model, Strategy::DpOptimized, SearchMode::Sequential);
+        let joint = CacheKey::of(&arch, &model, Strategy::DpOptimized, SearchMode::Joint);
+        assert_ne!(sequential, joint, "joint results must never serve sequential lookups");
+        assert_eq!(sequential.arch, joint.arch, "only the mode differs");
     }
 
     #[test]
@@ -437,7 +490,7 @@ mod tests {
         let cache = EvalCache::new();
         let arch = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
-        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
         let evaluations = AtomicU32::new(0);
 
         std::thread::scope(|scope| {
@@ -464,7 +517,7 @@ mod tests {
         let cache = EvalCache::new();
         let arch = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
-        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
         let evaluation = evaluate(&arch, &model, Strategy::GenericMapping).unwrap();
         cache.insert(key, evaluation.clone());
 
@@ -499,7 +552,7 @@ mod tests {
         let cache = EvalCache::new();
         let arch = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
-        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
         cache.insert(key, evaluate(&arch, &model, Strategy::GenericMapping).unwrap());
         cache.save(&path).unwrap();
         assert_eq!(EvalCache::load(&path).unwrap().len(), 1);

@@ -10,7 +10,7 @@
 use std::fmt;
 
 use cimflow_arch::ArchConfig;
-use cimflow_compiler::{compile, CompileReport, Strategy};
+use cimflow_compiler::{compile_with_options, CompileOptions, CompileReport, SearchMode, Strategy};
 use cimflow_nn::Model;
 use cimflow_sim::{SimReport, Simulator};
 use serde::{Deserialize, Serialize};
@@ -25,6 +25,8 @@ pub struct Evaluation {
     pub model: String,
     /// The compilation strategy used.
     pub strategy: Strategy,
+    /// The system-level search mode the compilation ran under.
+    pub search: SearchMode,
     /// The architecture the evaluation ran on.
     pub arch: ArchConfig,
     /// Static compilation statistics.
@@ -69,7 +71,8 @@ impl fmt::Display for Evaluation {
     }
 }
 
-/// Runs the full `compile → simulate` pipeline for one design point.
+/// Runs the full `compile → simulate` pipeline for one design point
+/// under the default [`SearchMode::Sequential`].
 ///
 /// # Errors
 ///
@@ -81,12 +84,28 @@ pub fn evaluate(
     model: &Model,
     strategy: Strategy,
 ) -> Result<Evaluation, DseError> {
+    evaluate_with_search(arch, model, strategy, SearchMode::Sequential)
+}
+
+/// [`evaluate`] with an explicit system-level [`SearchMode`].
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn evaluate_with_search(
+    arch: &ArchConfig,
+    model: &Model,
+    strategy: Strategy,
+    search: SearchMode,
+) -> Result<Evaluation, DseError> {
     arch.validate()?;
-    let compiled = compile(model, arch, strategy)?;
+    let options = CompileOptions { strategy, search, ..CompileOptions::default() };
+    let compiled = compile_with_options(model, arch, options)?;
     let simulation = Simulator::new(&compiled).run()?;
     Ok(Evaluation {
         model: model.name.clone(),
         strategy,
+        search,
         arch: *arch,
         compilation: compiled.report.clone(),
         stages: compiled.plan.stages.len(),

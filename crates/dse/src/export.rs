@@ -15,6 +15,8 @@ pub struct SweepRow {
     pub resolution: u32,
     /// Strategy short name.
     pub strategy: String,
+    /// System-level search mode (`sequential` or `joint`).
+    pub search: String,
     /// Number of chips.
     pub chip_count: u64,
     /// Per-chip core count.
@@ -64,6 +66,7 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
                 model: point.model.name.clone(),
                 resolution: point.model.resolution,
                 strategy: point.strategy.name().to_owned(),
+                search: point.search.name().to_owned(),
                 chip_count: point.chip_count,
                 core_count: point.core_count,
                 local_memory_kib: point.local_memory_kib,
@@ -100,7 +103,7 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
 }
 
 /// CSV column order (kept in sync with [`to_csv`]).
-pub const CSV_HEADER: &str = "index,model,resolution,strategy,chip_count,core_count,\
+pub const CSV_HEADER: &str = "index,model,resolution,strategy,search,chip_count,core_count,\
 local_memory_kib,flit_bytes,mg_size,status,cached,cycles,energy_mj,tops,tops_per_watt,stages,\
 mean_duplication,pareto,error";
 
@@ -111,11 +114,12 @@ pub fn to_csv(outcomes: &[DseOutcome]) -> String {
     for row in rows(outcomes) {
         let error = row.error.as_deref().unwrap_or("");
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},{}\n",
             row.index,
             csv_escape(&row.model),
             row.resolution,
             row.strategy,
+            row.search,
             row.chip_count,
             row.core_count,
             row.local_memory_kib,

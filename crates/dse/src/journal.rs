@@ -73,6 +73,18 @@ struct JournalEntry {
     cached: bool,
 }
 
+/// What a compaction pass dropped and kept (see
+/// [`SweepJournal::compact`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactionStats {
+    /// Resumable (successful, deduplicated) entries kept.
+    pub kept: usize,
+    /// Superseded or duplicate entries of an already-kept key dropped.
+    pub superseded: usize,
+    /// Failure/log-only lines dropped (they are always re-run on resume).
+    pub failures: usize,
+}
+
 /// An append-only JSONL journal of finished sweep points.
 ///
 /// Thread-safe: service workers append concurrently. Appends are
@@ -86,6 +98,77 @@ pub struct SweepJournal {
     file: Mutex<std::fs::File>,
 }
 
+/// The parsed prefix of a journal file: each kept line with its key (for
+/// successful entries) and evaluation.
+struct ParsedJournal {
+    lines: Vec<(String, Option<CacheKey>, Option<Evaluation>)>,
+}
+
+/// Reads the valid, header-checked prefix of a journal file. A stale or
+/// missing header yields an empty parse; a malformed trailing line (crash
+/// mid-write) drops the tail and keeps the prefix.
+fn parse_journal(path: &Path) -> Result<ParsedJournal, DseError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(DseError::io(format!("cannot read {}: {e}", path.display()))),
+    };
+    let mut lines = text.lines();
+    let header_ok = lines
+        .next()
+        .and_then(|line| serde_json::from_str::<JournalHeader>(line).ok())
+        .is_some_and(|header| header.is_current());
+    let mut parsed = Vec::new();
+    if header_ok {
+        for line in lines {
+            match serde_json::from_str::<JournalEntry>(line) {
+                Ok(entry) => {
+                    let key = entry.key.filter(|_| entry.evaluation.is_some());
+                    parsed.push((line.to_owned(), key, entry.evaluation));
+                }
+                // A malformed line is a crash-truncated tail: keep the
+                // valid prefix, drop the rest.
+                Err(_) => break,
+            }
+        }
+    }
+    Ok(ParsedJournal { lines: parsed })
+}
+
+/// Marks which lines survive deduplication: for every key only the
+/// *last* successful entry is kept (earlier ones are superseded);
+/// keyless/failure lines pass through untouched.
+fn dedup_mask(lines: &[(String, Option<CacheKey>, Option<Evaluation>)]) -> Vec<bool> {
+    let mut seen: std::collections::HashSet<CacheKey> = std::collections::HashSet::new();
+    let mut keep = vec![true; lines.len()];
+    for (index, (_, key, _)) in lines.iter().enumerate().rev() {
+        if let Some(key) = key {
+            if !seen.insert(*key) {
+                keep[index] = false;
+            }
+        }
+    }
+    keep
+}
+
+fn write_journal(path: &Path, lines: &[&str]) -> Result<(), DseError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| DseError::io(format!("cannot create {}: {e}", parent.display())))?;
+        }
+    }
+    let mut contents = serde_json::to_string(&JournalHeader::current())
+        .expect("journal header serialization cannot fail");
+    contents.push('\n');
+    for line in lines {
+        contents.push_str(line);
+        contents.push('\n');
+    }
+    std::fs::write(path, contents)
+        .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))
+}
+
 impl SweepJournal {
     /// Opens (or creates) a journal at `path`, loading every resumable
     /// point recorded by a previous run of the same engine/format.
@@ -94,6 +177,10 @@ impl SweepJournal {
     /// file without a journal header — is discarded and restarted fresh.
     /// A malformed trailing line (crash mid-write) is dropped; the valid
     /// prefix is kept and the file is rewritten without the garbage tail.
+    /// Superseded entries — an earlier success for a key a later line
+    /// also records — are dropped during the rewrite, so a journal that
+    /// accumulated duplicates across resumed runs shrinks back to one
+    /// line per point.
     ///
     /// # Errors
     ///
@@ -101,56 +188,57 @@ impl SweepJournal {
     /// or created.
     pub fn open(path: impl Into<PathBuf>) -> Result<Self, DseError> {
         let path = path.into();
-        let text = match std::fs::read_to_string(&path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
-            Err(e) => return Err(DseError::io(format!("cannot read {}: {e}", path.display()))),
-        };
-        let mut lines = text.lines();
-        let header_ok = lines
-            .next()
-            .and_then(|line| serde_json::from_str::<JournalHeader>(line).ok())
-            .is_some_and(|header| header.is_current());
+        let parsed = parse_journal(&path)?;
+        let keep = dedup_mask(&parsed.lines);
         let mut entries = HashMap::new();
         let mut kept = Vec::new();
-        if header_ok {
-            for line in lines {
-                match serde_json::from_str::<JournalEntry>(line) {
-                    Ok(entry) => {
-                        if let (Some(key), Some(evaluation)) = (entry.key, &entry.evaluation) {
-                            entries.insert(key, evaluation.clone());
-                        }
-                        kept.push(line.to_owned());
-                    }
-                    // A malformed line is a crash-truncated tail: keep the
-                    // valid prefix, drop the rest.
-                    Err(_) => break,
-                }
+        for ((line, key, evaluation), keep) in parsed.lines.iter().zip(&keep) {
+            if !keep {
+                continue;
             }
-        }
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).map_err(|e| {
-                    DseError::io(format!("cannot create {}: {e}", parent.display()))
-                })?;
+            if let (Some(key), Some(evaluation)) = (key, evaluation) {
+                entries.insert(*key, evaluation.clone());
             }
+            kept.push(line.as_str());
         }
-        // Rewrite the normalized journal (fresh header, valid entries
-        // only) and keep the handle open for appending.
-        let mut contents = serde_json::to_string(&JournalHeader::current())
-            .expect("journal header serialization cannot fail");
-        contents.push('\n');
-        for line in &kept {
-            contents.push_str(line);
-            contents.push('\n');
-        }
-        std::fs::write(&path, contents)
-            .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+        // Rewrite the normalized journal (fresh header, deduplicated
+        // valid entries only) and keep the handle open for appending.
+        write_journal(&path, &kept)?;
         let file = std::fs::OpenOptions::new()
             .append(true)
             .open(&path)
             .map_err(|e| DseError::io(format!("cannot open {}: {e}", path.display())))?;
         Ok(SweepJournal { path, entries: Mutex::new(entries), file: Mutex::new(file) })
+    }
+
+    /// Compacts a journal file in place without opening it for appending:
+    /// drops superseded/duplicate entries (keeping each key's latest
+    /// success) *and* failure/log-only lines, which resumption re-runs
+    /// anyway. The `cimflow-dse journal compact` subcommand is a thin
+    /// wrapper over this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Io`] when the file cannot be read or
+    /// rewritten.
+    pub fn compact(path: impl Into<PathBuf>) -> Result<CompactionStats, DseError> {
+        let path = path.into();
+        let parsed = parse_journal(&path)?;
+        let keep = dedup_mask(&parsed.lines);
+        let mut stats = CompactionStats::default();
+        let mut kept = Vec::new();
+        for ((line, key, _), keep) in parsed.lines.iter().zip(&keep) {
+            if key.is_none() {
+                stats.failures += 1;
+            } else if !keep {
+                stats.superseded += 1;
+            } else {
+                stats.kept += 1;
+                kept.push(line.as_str());
+            }
+        }
+        write_journal(&path, &kept)?;
+        Ok(stats)
     }
 
     /// The journal file path.
@@ -210,7 +298,7 @@ mod tests {
     use super::*;
     use crate::{evaluate, EvalCache, Executor, SweepSpec};
     use cimflow_arch::ArchConfig;
-    use cimflow_compiler::Strategy;
+    use cimflow_compiler::{SearchMode, Strategy};
     use cimflow_nn::models;
 
     fn journal_path(name: &str) -> PathBuf {
@@ -319,12 +407,77 @@ mod tests {
     }
 
     #[test]
+    fn reopening_drops_superseded_entries_and_compaction_drops_failures() {
+        let path = journal_path("compact.jsonl");
+        let journal = SweepJournal::open(&path).unwrap();
+        let arch = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
+        let evaluation = evaluate(&arch, &model, Strategy::GenericMapping).unwrap();
+        let point = spec().expand().unwrap()[0].clone();
+        // The same key recorded three times (as accumulating resumed runs
+        // do), plus one failure line.
+        for _ in 0..3 {
+            let outcome = crate::DseOutcome {
+                point: point.clone(),
+                result: Ok(evaluation.clone()),
+                cached: false,
+            };
+            journal.record(Some(key), &outcome).unwrap();
+        }
+        let failed = crate::DseOutcome {
+            point: point.clone(),
+            result: Err(crate::DseError::io("boom")),
+            cached: false,
+        };
+        journal.record(None, &failed).unwrap();
+        drop(journal);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 5, "header + 4");
+
+        // Reopening dedups the superseded duplicates but keeps the
+        // failure log line.
+        let reopened = SweepJournal::open(&path).unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.lookup(&key).is_some());
+        drop(reopened);
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 3, "header + 2");
+
+        // Full compaction also drops the failure line and reports what
+        // happened.
+        let stats = SweepJournal::compact(&path).unwrap();
+        assert_eq!(stats, CompactionStats { kept: 1, superseded: 0, failures: 1 });
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2, "header + 1");
+        // The compacted journal still resumes.
+        let after = SweepJournal::open(&path).unwrap();
+        assert_eq!(after.len(), 1);
+        assert!(after.lookup(&key).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compacting_a_missing_or_stale_journal_yields_an_empty_file() {
+        let path = journal_path("compact-stale.jsonl");
+        let stats = SweepJournal::compact(&path).unwrap();
+        assert_eq!(stats, CompactionStats::default());
+        std::fs::write(
+            &path,
+            "{\"journal\": \"cimflow-dse-sweep\", \"format\": 1, \"cache_format\": 1, \
+             \"engine\": \"0.0.0-other\"}\n{\"not\": \"an entry\"}\n",
+        )
+        .unwrap();
+        let stats = SweepJournal::compact(&path).unwrap();
+        assert_eq!(stats, CompactionStats::default(), "stale journals compact to empty");
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 1, "header only");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn record_and_lookup_round_trip() {
         let path = journal_path("roundtrip.jsonl");
         let journal = SweepJournal::open(&path).unwrap();
         let arch = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
-        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping);
+        let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
         let evaluation = evaluate(&arch, &model, Strategy::GenericMapping).unwrap();
         let outcome = crate::DseOutcome {
             point: spec().expand().unwrap()[1].clone(),

@@ -7,8 +7,9 @@
 //! The engine is organized as a staged pipeline:
 //!
 //! 1. **Specify** — a [`SweepSpec`] declares the grid (models, strategies,
-//!    macro-group sizes, flit sizes, core counts, local-memory
-//!    capacities) as *data*; sweeps are JSON config files, not code.
+//!    system-level search modes, chip counts, macro-group sizes, flit
+//!    sizes, core counts, local-memory capacities) as *data*; sweeps are
+//!    JSON config files, not code.
 //! 2. **Expand** — the spec expands deterministically into [`PointSpec`]
 //!    grid points and concrete [`Job`]s.
 //! 3. **Execute** — an [`Executor`] fans the jobs out across a worker
@@ -61,9 +62,9 @@ pub use cache::{
     CACHE_FORMAT_VERSION,
 };
 pub use error::DseError;
-pub use eval::{evaluate, Evaluation};
+pub use eval::{evaluate, evaluate_with_search, Evaluation};
 pub use executor::{expand_jobs, run_sweep, DseOutcome, Executor, Job, Progress};
-pub use journal::{SweepJournal, JOURNAL_FORMAT_VERSION};
+pub use journal::{CompactionStats, SweepJournal, JOURNAL_FORMAT_VERSION};
 pub use service::{
     BatchHandle, EvalRequest, EvalService, JobEvent, JobHandle, JobStatus, Priority, Rejected,
     ServiceConfig, ServiceStats, DEFAULT_TENANT,

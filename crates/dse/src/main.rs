@@ -5,12 +5,18 @@
 //!
 //! ```text
 //! cargo run --release -p cimflow-dse -- sweep.json \
-//!     [--workers N] [--sequential] [--csv out.csv] [--json out.json] \
+//!     [--workers N] [--sequential] [--search sequential|joint] \
+//!     [--csv out.csv] [--json out.json] \
 //!     [--cache cache.json] [--journal sweep.jsonl] [--quiet]
 //! ```
 //!
 //! `--journal` appends each finished point to a JSONL journal and resumes
-//! from it, so an interrupted sweep picks up where it stopped.
+//! from it, so an interrupted sweep picks up where it stopped, and
+//! `--search` overrides the spec's system-level search-mode axis.
+//!
+//! **Journal maintenance**: `cimflow-dse journal compact <path>` drops
+//! superseded/duplicate entries and failure log lines from a sweep
+//! journal, shrinking files that accumulated across resumed runs.
 //!
 //! **Serve mode** starts a long-lived [`EvalService`] speaking
 //! newline-delimited JSON (see `cimflow_dse::serve`) on stdin/stdout, or
@@ -33,15 +39,17 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
 
+use cimflow_compiler::SearchMode;
 use cimflow_dse::serve::{serve_stdio, TcpServer};
 use cimflow_dse::{
     analysis, export, DseError, DseOutcome, EvalCache, EvalService, Executor, Progress,
-    ServiceConfig, SweepSpec,
+    ServiceConfig, SweepJournal, SweepSpec,
 };
 
 struct SweepArgs {
     spec_path: PathBuf,
     workers: Option<usize>,
+    search: Option<SearchMode>,
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
     cache: Option<PathBuf>,
@@ -60,11 +68,13 @@ struct ServeArgs {
 enum Args {
     Sweep(SweepArgs),
     Serve(ServeArgs),
+    JournalCompact { path: PathBuf },
 }
 
 const USAGE: &str = "usage: cimflow-dse <sweep.json> [--workers N] [--sequential] \
-[--csv PATH] [--json PATH] [--cache PATH] [--journal PATH] [--quiet]
-       cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT]";
+[--search sequential|joint] [--csv PATH] [--json PATH] [--cache PATH] [--journal PATH] [--quiet]
+       cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT]
+       cimflow-dse journal compact <PATH>";
 
 fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
     value.parse::<T>().map_err(|_| format!("{flag} expects a number, got `{value}`"))
@@ -77,8 +87,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
         argv.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
     };
 
-    let mut positional = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut serve = false;
+    let mut journal_cmd = false;
+    let mut search = None;
     let mut workers = None;
     let mut csv = None;
     let mut json = None;
@@ -95,6 +107,12 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                 workers = Some(parse_number::<usize>("--workers", &value)?);
             }
             "--sequential" => workers = Some(1),
+            "--search" => {
+                let value = take_value(&mut argv, "--search")?;
+                search = Some(SearchMode::from_name(&value).ok_or_else(|| {
+                    format!("--search expects `sequential` or `joint`, got `{value}`")
+                })?);
+            }
             "--csv" => csv = Some(PathBuf::from(take_value(&mut argv, "--csv")?)),
             "--json" => json = Some(PathBuf::from(take_value(&mut argv, "--json")?)),
             "--cache" => cache = Some(PathBuf::from(take_value(&mut argv, "--cache")?)),
@@ -116,15 +134,43 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{USAGE}"));
             }
-            "serve" if positional.is_none() && !serve => serve = true,
-            other if positional.is_none() && !serve => positional = Some(PathBuf::from(other)),
+            "serve" if positionals.is_empty() && !serve && !journal_cmd => serve = true,
+            "journal" if positionals.is_empty() && !serve && !journal_cmd => journal_cmd = true,
+            other if !serve => positionals.push(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
     }
+    if journal_cmd {
+        for (set, flag) in [
+            (workers.is_some(), "--workers/--sequential"),
+            (search.is_some(), "--search"),
+            (csv.is_some(), "--csv"),
+            (json.is_some(), "--json"),
+            (cache.is_some(), "--cache"),
+            (journal.is_some(), "--journal"),
+            (queue.is_some(), "--queue"),
+            (quota.is_some(), "--quota"),
+            (tcp.is_some(), "--tcp"),
+            (quiet, "--quiet"),
+        ] {
+            if set {
+                return Err(format!("{flag} does not apply to journal mode\n{USAGE}"));
+            }
+        }
+        match positionals.as_slice() {
+            [action, path] if action == "compact" => {
+                return Ok(Some(Args::JournalCompact { path: PathBuf::from(path) }));
+            }
+            _ => return Err(format!("usage: cimflow-dse journal compact <PATH>\n{USAGE}")),
+        }
+    }
     if serve {
-        for (set, flag) in
-            [(csv.is_some(), "--csv"), (json.is_some(), "--json"), (journal.is_some(), "--journal")]
-        {
+        for (set, flag) in [
+            (csv.is_some(), "--csv"),
+            (json.is_some(), "--json"),
+            (journal.is_some(), "--journal"),
+            (search.is_some(), "--search"),
+        ] {
             if set {
                 return Err(format!("{flag} does not apply to serve mode\n{USAGE}"));
             }
@@ -138,14 +184,41 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             return Err(format!("{flag} only applies to serve mode\n{USAGE}"));
         }
     }
-    let spec_path = positional.ok_or_else(|| USAGE.to_owned())?;
-    Ok(Some(Args::Sweep(SweepArgs { spec_path, workers, csv, json, cache, journal, quiet })))
+    if positionals.len() > 1 {
+        return Err(format!("unexpected argument `{}`\n{USAGE}", positionals[1]));
+    }
+    let spec_path = positionals.pop().map(PathBuf::from).ok_or_else(|| USAGE.to_owned())?;
+    Ok(Some(Args::Sweep(SweepArgs {
+        spec_path,
+        workers,
+        search,
+        csv,
+        json,
+        cache,
+        journal,
+        quiet,
+    })))
+}
+
+fn run_journal_compact(path: &std::path::Path) -> Result<ExitCode, DseError> {
+    let stats = SweepJournal::compact(path)?;
+    println!(
+        "compacted {}: kept {} resumable point(s), dropped {} superseded and {} failure line(s)",
+        path.display(),
+        stats.kept,
+        stats.superseded,
+        stats.failures
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
     let text = std::fs::read_to_string(&args.spec_path)
         .map_err(|e| DseError::io(format!("cannot read {}: {e}", args.spec_path.display())))?;
-    let spec = SweepSpec::from_json(&text)?;
+    let mut spec = SweepSpec::from_json(&text)?;
+    if let Some(search) = args.search {
+        spec.search_modes = vec![search];
+    }
     let name = spec.name.clone().unwrap_or_else(|| args.spec_path.display().to_string());
 
     let cache = match &args.cache {
@@ -333,6 +406,7 @@ fn main() -> ExitCode {
     let outcome = match &args {
         Args::Sweep(sweep) => run_sweep(sweep),
         Args::Serve(serve) => run_serve(serve),
+        Args::JournalCompact { path } => run_journal_compact(path),
     };
     match outcome {
         Ok(code) => code,

@@ -63,14 +63,13 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use cimflow_arch::ArchConfig;
-use cimflow_compiler::Strategy;
+use cimflow_compiler::{SearchMode, Strategy};
 use cimflow_nn::models;
 use serde::{Deserialize, Serialize};
 
 use crate::journal::SweepJournal;
 use crate::{
-    evaluate, CacheKey, DseError, DseOutcome, EvalCache, Job, ModelSpec, PointSpec, Progress,
-    SweepSpec,
+    CacheKey, DseError, DseOutcome, EvalCache, Job, ModelSpec, PointSpec, Progress, SweepSpec,
 };
 
 /// Tenant name used when a request does not set one.
@@ -145,6 +144,9 @@ pub struct EvalRequest {
     pub model: ModelSpec,
     /// The compilation strategy.
     pub strategy: Strategy,
+    /// System-level search-mode override; `None` means
+    /// [`SearchMode::Sequential`].
+    pub search: Option<SearchMode>,
     /// Base architecture override; `None` means the paper default.
     pub base: Option<ArchConfig>,
     /// Chip-count override (the scale-out axis).
@@ -169,6 +171,7 @@ impl EvalRequest {
         EvalRequest {
             model: ModelSpec::new(model, resolution),
             strategy,
+            search: None,
             base: None,
             chip_count: None,
             core_count: None,
@@ -184,6 +187,13 @@ impl EvalRequest {
     #[must_use]
     pub fn with_base(mut self, base: ArchConfig) -> Self {
         self.base = Some(base);
+        self
+    }
+
+    /// Sets the system-level search mode.
+    #[must_use]
+    pub fn with_search(mut self, search: SearchMode) -> Self {
+        self.search = Some(search);
         self
     }
 
@@ -257,6 +267,7 @@ impl EvalRequest {
         PointSpec {
             model: self.model.clone(),
             strategy: self.strategy,
+            search: self.search.unwrap_or_default(),
             chip_count: self.chip_count.map_or_else(|| u64::from(base.chip_count()), u64::from),
             core_count: self
                 .core_count
@@ -549,8 +560,15 @@ pub(crate) fn run_point(job: &Job, cache: &EvalCache) -> DseOutcome {
         Err(e) => (Err(e.clone()), false),
         Ok(model) => {
             let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let key = CacheKey::of(&job.arch, model, job.spec.strategy);
-                cache.get_or_insert_with(key, || evaluate(&job.arch, model, job.spec.strategy))
+                let key = CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
+                cache.get_or_insert_with(key, || {
+                    crate::evaluate_with_search(
+                        &job.arch,
+                        model,
+                        job.spec.strategy,
+                        job.spec.search,
+                    )
+                })
             }));
             match evaluated {
                 Ok(Ok((evaluation, was_hit))) => (Ok(evaluation), was_hit),
@@ -682,11 +700,10 @@ fn worker_loop(shared: Arc<Shared>) {
         let outcome = run_point(&job, &shared.cache);
         if let Some(journal) = &journal {
             // Best effort: journaling must never fail the sweep itself.
-            let key = job
-                .model
-                .as_ref()
-                .ok()
-                .map(|model| CacheKey::of(&job.arch, model, job.spec.strategy));
+            let key =
+                job.model.as_ref().ok().map(|model| {
+                    CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search)
+                });
             let _ = journal.record(key, &outcome);
         }
         let mut st = shared.state.lock().expect(STATE_POISONED);
@@ -959,9 +976,72 @@ impl EvalService {
     /// [`Rejected::ShuttingDown`]; never a model/architecture error —
     /// those surface in the job's outcome.
     pub fn submit(&self, request: EvalRequest) -> Result<JobHandle, Rejected> {
+        self.submit_with_journal(request, None)
+    }
+
+    /// [`Self::submit`] against a [`SweepJournal`]: a point the journal
+    /// already records comes back as a born-terminal handle (its result
+    /// seeded into the cache, no admission consumed), and a fresh point
+    /// is admitted normally with its outcome appended to the journal —
+    /// the single-request counterpart of
+    /// [`Self::submit_sweep_journaled`].
+    ///
+    /// # Errors
+    ///
+    /// The same [`Rejected`] variants as [`Self::submit`].
+    pub fn submit_journaled(
+        &self,
+        request: EvalRequest,
+        journal: &Arc<SweepJournal>,
+    ) -> Result<JobHandle, Rejected> {
+        self.submit_with_journal(request, Some(Arc::clone(journal)))
+    }
+
+    fn submit_with_journal(
+        &self,
+        request: EvalRequest,
+        journal: Option<Arc<SweepJournal>>,
+    ) -> Result<JobHandle, Rejected> {
         let tenant = request.tenant().to_owned();
         let priority = request.priority();
         let job = request.to_job();
+        // Journal resumption is resolved before taking the state lock
+        // (cache seeding must not nest the cache mutex inside it).
+        let resumed: Option<DseOutcome> = journal.as_ref().and_then(|journal| {
+            let model = job.model.as_ref().ok()?;
+            let key = CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
+            let evaluation = journal.lookup(&key)?;
+            self.shared.cache.insert(key, evaluation.clone());
+            Some(DseOutcome { point: job.spec.clone(), result: Ok(evaluation), cached: true })
+        });
+        if let Some(outcome) = resumed {
+            let (tx, rx) = mpsc::channel();
+            let mut st = self.shared.state.lock().expect(STATE_POISONED);
+            if st.shutting_down {
+                st.rejected += 1;
+                return Err(Rejected::ShuttingDown);
+            }
+            let id = st.allocate_id();
+            st.submitted += 1;
+            st.completed += 1;
+            let _ = tx.send(JobEvent::Finished { ok: true, cached: true });
+            st.entries.insert(
+                id,
+                Entry {
+                    job,
+                    tenant: Some(tenant),
+                    status: JobStatus::Done,
+                    outcome: Some(outcome),
+                    batch: None,
+                    events: None,
+                    journal: None,
+                    detached: false,
+                },
+            );
+            drop(st);
+            self.shared.done.notify_all();
+            return Ok(JobHandle { shared: Arc::clone(&self.shared), id, events: rx });
+        }
         let (tx, rx) = mpsc::channel();
         let mut st = self.shared.state.lock().expect(STATE_POISONED);
         if st.shutting_down {
@@ -992,7 +1072,7 @@ impl EvalService {
                 outcome: None,
                 batch: None,
                 events: Some(tx),
-                journal: None,
+                journal,
                 detached: false,
             },
         );
@@ -1077,7 +1157,7 @@ impl EvalService {
             .map(|job| {
                 let journal = journal.as_ref()?;
                 let model = job.model.as_ref().ok()?;
-                let key = CacheKey::of(&job.arch, model, job.spec.strategy);
+                let key = CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
                 let evaluation = journal.lookup(&key)?;
                 self.shared.cache.insert(key, evaluation.clone());
                 Some(DseOutcome { point: job.spec.clone(), result: Ok(evaluation), cached: true })
@@ -1230,6 +1310,7 @@ fn expand(spec: &SweepSpec) -> Result<Vec<Job>, Rejected> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluate;
     use cimflow_nn::Model;
 
     fn request(model: &str, strategy: Strategy) -> EvalRequest {
@@ -1248,7 +1329,7 @@ mod tests {
         let cache = cache.clone();
         std::thread::spawn(move || {
             let arch = ArchConfig::paper_default();
-            let key = CacheKey::of(&arch, &model, strategy);
+            let key = CacheKey::of(&arch, &model, strategy, SearchMode::Sequential);
             cache
                 .get_or_insert_with(key, || {
                     release.recv().expect("release signal");
@@ -1471,6 +1552,49 @@ mod tests {
     }
 
     #[test]
+    fn single_submits_resume_from_and_append_to_the_journal() {
+        let dir = std::env::temp_dir().join("cimflow-dse-service-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("submit.jsonl");
+        std::fs::remove_file(&path).ok();
+
+        let journal = Arc::new(SweepJournal::open(&path).unwrap());
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        let cold = service
+            .submit_journaled(request("mobilenetv2", Strategy::GenericMapping), &journal)
+            .expect("admitted");
+        let outcome = cold.wait();
+        assert!(outcome.result.is_ok());
+        assert!(!outcome.cached, "first run evaluates");
+        assert_eq!(journal.len(), 1, "the worker journaled the point");
+        drop(service);
+
+        // A fresh service with a cold cache resumes the point from the
+        // journal: born terminal, zero evaluations, cache seeded.
+        let journal = Arc::new(SweepJournal::open(&path).unwrap());
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        let warm = service
+            .submit_journaled(request("mobilenetv2", Strategy::GenericMapping), &journal)
+            .expect("admitted");
+        assert_eq!(warm.status(), JobStatus::Done, "journaled submits are born terminal");
+        let outcome = warm.wait();
+        assert!(outcome.cached);
+        assert_eq!(
+            warm.events().try_iter().collect::<Vec<_>>(),
+            vec![JobEvent::Finished { ok: true, cached: true }]
+        );
+        assert_eq!(service.cache().len(), 1, "resumption seeds the shared cache");
+        assert_eq!(service.cache().stats().misses, 0);
+        // A different point still runs (and is journaled in turn).
+        let fresh = service
+            .submit_journaled(request("mobilenetv2", Strategy::DpOptimized), &journal)
+            .expect("admitted");
+        assert!(fresh.wait().result.is_ok());
+        assert_eq!(journal.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn eval_request_resolves_like_a_sweep_point() {
         let request = request("mobilenetv2", Strategy::DpOptimized)
             .with_chip_count(2)
@@ -1494,5 +1618,12 @@ mod tests {
         assert_eq!(partial.priority(), Priority::High);
         assert_eq!(partial.tenant(), "t");
         assert_eq!(partial.point().mg_size, 8);
+        assert_eq!(partial.point().search, SearchMode::Sequential, "the wire default");
+        let joint: EvalRequest = serde_json::from_str(
+            "{\"model\": {\"name\": \"resnet18\", \"resolution\": 32}, \"strategy\": \"dp\", \
+             \"search\": \"joint\"}",
+        )
+        .unwrap();
+        assert_eq!(joint.point().search, SearchMode::Joint);
     }
 }

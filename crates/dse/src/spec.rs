@@ -8,7 +8,7 @@
 //! explores.
 
 use cimflow_arch::ArchConfig;
-use cimflow_compiler::Strategy;
+use cimflow_compiler::{SearchMode, Strategy};
 use serde::{Content, Deserialize, Serialize};
 
 use crate::DseError;
@@ -34,9 +34,9 @@ impl ModelSpec {
 /// A declarative architectural sweep over the CIMFlow design space.
 ///
 /// The grid is the cartesian product of all non-empty axes, expanded in a
-/// fixed order (model, strategy, chip count, core count, local memory,
-/// flit size, macro-group size) so results are deterministic regardless of how many
-/// workers evaluate them.
+/// fixed order (model, strategy, search mode, chip count, core count,
+/// local memory, flit size, macro-group size) so results are
+/// deterministic regardless of how many workers evaluate them.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SweepSpec {
     /// Optional sweep name (used in report headers).
@@ -47,6 +47,9 @@ pub struct SweepSpec {
     pub models: Vec<ModelSpec>,
     /// Compilation strategies (at least one required).
     pub strategies: Vec<Strategy>,
+    /// System-level search modes; empty pins every point to the default
+    /// [`SearchMode::Sequential`].
+    pub search_modes: Vec<SearchMode>,
     /// Macro-group sizes (macros per MG); empty keeps the base value.
     pub mg_sizes: Vec<u32>,
     /// NoC flit sizes in bytes; empty keeps the base value.
@@ -70,6 +73,7 @@ impl SweepSpec {
             base: None,
             models: Vec::new(),
             strategies: Vec::new(),
+            search_modes: Vec::new(),
             mg_sizes: Vec::new(),
             flit_sizes: Vec::new(),
             chip_counts: Vec::new(),
@@ -104,6 +108,13 @@ impl SweepSpec {
     #[must_use]
     pub fn with_strategies(mut self, strategies: &[Strategy]) -> Self {
         self.strategies = strategies.to_vec();
+        self
+    }
+
+    /// Sets the search-mode axis.
+    #[must_use]
+    pub fn with_search_modes(mut self, modes: &[SearchMode]) -> Self {
+        self.search_modes = modes.to_vec();
         self
     }
 
@@ -152,6 +163,7 @@ impl SweepSpec {
         let axis = |len: usize| len.max(1);
         self.models.len()
             * axis(self.strategies.len())
+            * axis(self.search_modes.len())
             * axis(self.chip_counts.len())
             * axis(self.core_counts.len())
             * axis(self.local_memory_kib.len())
@@ -173,6 +185,11 @@ impl SweepSpec {
             return Err(DseError::spec("the `strategies` axis must name at least one strategy"));
         }
         let base = self.base_arch();
+        let search_modes = if self.search_modes.is_empty() {
+            vec![SearchMode::default()]
+        } else {
+            self.search_modes.clone()
+        };
         let chip_counts = effective_axis(&self.chip_counts, base.chip_count());
         let core_counts = effective_axis(&self.core_counts, base.chip().core_count);
         let local_memories =
@@ -183,20 +200,23 @@ impl SweepSpec {
         let mut points = Vec::with_capacity(self.point_count());
         for model in &self.models {
             for &strategy in &self.strategies {
-                for &chip_count in &chip_counts {
-                    for &core_count in &core_counts {
-                        for &local_memory_kib in &local_memories {
-                            for &flit_bytes in &flit_sizes {
-                                for &mg_size in &mg_sizes {
-                                    points.push(PointSpec {
-                                        model: model.clone(),
-                                        strategy,
-                                        chip_count,
-                                        core_count,
-                                        local_memory_kib,
-                                        flit_bytes,
-                                        mg_size,
-                                    });
+                for &search in &search_modes {
+                    for &chip_count in &chip_counts {
+                        for &core_count in &core_counts {
+                            for &local_memory_kib in &local_memories {
+                                for &flit_bytes in &flit_sizes {
+                                    for &mg_size in &mg_sizes {
+                                        points.push(PointSpec {
+                                            model: model.clone(),
+                                            strategy,
+                                            search,
+                                            chip_count,
+                                            core_count,
+                                            local_memory_kib,
+                                            flit_bytes,
+                                            mg_size,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -253,6 +273,7 @@ impl Deserialize for SweepSpec {
             base: opt(map, "base")?,
             models: opt(map, "models")?.unwrap_or_default(),
             strategies: opt(map, "strategies")?.unwrap_or_default(),
+            search_modes: opt(map, "search_modes")?.unwrap_or_default(),
             mg_sizes: opt(map, "mg_sizes")?.unwrap_or_default(),
             flit_sizes: opt(map, "flit_sizes")?.unwrap_or_default(),
             chip_counts: opt(map, "chip_counts")?.unwrap_or_default(),
@@ -278,6 +299,8 @@ pub struct PointSpec {
     pub model: ModelSpec,
     /// The compilation strategy.
     pub strategy: Strategy,
+    /// The system-level search mode the point compiles under.
+    pub search: SearchMode,
     /// Number of chips in the system.
     pub chip_count: u64,
     /// Per-chip core count.
@@ -319,10 +342,16 @@ impl PointSpec {
         arch
     }
 
-    /// Compact human-readable label (used in progress lines).
+    /// Compact human-readable label (used in progress lines). The search
+    /// mode is only spelled out when it deviates from the default, so
+    /// historical sweep logs keep their shape.
     pub fn label(&self) -> String {
+        let search = match self.search {
+            SearchMode::Sequential => String::new(),
+            other => format!(" search={other}"),
+        };
         format!(
-            "{}@{} {} chips={} cores={} lmem={}KiB flit={}B mg={}",
+            "{}@{} {}{search} chips={} cores={} lmem={}KiB flit={}B mg={}",
             self.model.name,
             self.model.resolution,
             self.strategy,
@@ -419,6 +448,39 @@ mod tests {
         assert_eq!(quad.chip_count(), 4);
         assert_eq!(quad.total_cores(), 256);
         assert!(points.last().unwrap().label().contains("chips=4"));
+    }
+
+    #[test]
+    fn search_axis_round_trips_and_expands_between_strategy_and_chips() {
+        let spec = SweepSpec::new()
+            .named("search")
+            .with_model("resnet18", 32)
+            .with_strategies(&[Strategy::DpOptimized])
+            .with_search_modes(&[SearchMode::Sequential, SearchMode::Joint])
+            .with_chip_counts(&[1, 2]);
+        assert_eq!(spec.point_count(), 4);
+        let back = SweepSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let points = spec.expand().unwrap();
+        // The search axis varies slower than the chip axis …
+        assert_eq!(
+            points.iter().map(|p| (p.search, p.chip_count)).collect::<Vec<_>>(),
+            vec![
+                (SearchMode::Sequential, 1),
+                (SearchMode::Sequential, 2),
+                (SearchMode::Joint, 1),
+                (SearchMode::Joint, 2),
+            ]
+        );
+        // … and only non-default modes surface in the label.
+        assert!(!points[0].label().contains("search="));
+        assert!(points[2].label().contains("search=joint"));
+        // Sweep files without the axis pin every point to Sequential.
+        let legacy = SweepSpec::from_json(
+            "{\"models\": [{\"name\": \"resnet18\", \"resolution\": 32}], \"strategies\": [\"dp\"]}",
+        )
+        .unwrap();
+        assert!(legacy.expand().unwrap().iter().all(|p| p.search == SearchMode::Sequential));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use cimflow_arch::{AddressMap, ArchConfig, InterChipTopology};
-use cimflow_compiler::{CompiledProgram, SystemPlan};
+use cimflow_compiler::{CompiledProgram, SystemPlan, STREAM_TILE_BYTES};
 use cimflow_energy::{EnergyBreakdown, EnergyModel};
 use cimflow_isa::{Instruction, OpcodeClass, Program};
 use cimflow_noc::{InterChipConfig, InterChipFabric, Interconnect, Mesh, NocConfig, NocStats};
@@ -21,6 +21,33 @@ const INSTRUCTION_BUDGET: u64 = 2_000_000_000;
 /// Number of instructions a core may execute before control returns to the
 /// scheduler (keeps NoC contention interleaving reasonably accurate).
 const SLICE: u64 = 4096;
+/// Upper bound on the tiles one cut activation streams as, so a huge
+/// transfer does not degenerate into millions of fabric packets.
+const MAX_STREAM_TILES: u64 = 64;
+
+/// How cut activations hand off between chips of a multi-chip system.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum HandoffMode {
+    /// The historical conservative model: a chip ships every cut
+    /// activation only when all of its cores have retired, and a consumer
+    /// chip starts once every input has fully landed in its global
+    /// memory.
+    AtRetirement,
+    /// Tile-granular streaming (the default): cut activations stream in
+    /// tiles across the producing stage's execution window, and a
+    /// consumer chip starts once the first tile of every input has
+    /// landed — chips overlap *within* one inference, not just across
+    /// consecutive inferences.
+    #[default]
+    TileStreaming,
+}
+
+/// Optional knobs of a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimOptions {
+    /// The inter-chip hand-off model.
+    pub handoff: HandoffMode,
+}
 
 /// A message in flight between two cores.
 #[derive(Debug, Clone, Copy)]
@@ -53,12 +80,26 @@ pub struct Simulator {
     meshes: Vec<Mesh>,
     fabric: InterChipFabric,
     system: SystemPlan,
+    options: SimOptions,
     chip_started: Vec<bool>,
     chip_dispatched: Vec<bool>,
     chip_ready: Vec<u64>,
     chip_start_time: Vec<u64>,
     chip_finish_time: Vec<u64>,
     incoming_remaining: Vec<usize>,
+    /// Whether each system transfer has been pushed onto the fabric yet.
+    transfer_dispatched: Vec<bool>,
+    /// Chip-local stage ordinal of each transfer's producing group
+    /// (`None` when the producer is unplaced, e.g. legacy plans).
+    transfer_stage: Vec<Option<usize>>,
+    /// Per chip: release time of each barrier id, recorded as barriers
+    /// open (stage `k` runs between barriers `2k` and `2k + 1`).
+    barrier_release: Vec<HashMap<u16, u64>>,
+    /// Per chip: the [port_start, landed) windows its incoming tiles
+    /// occupied on the global-memory port (input-stall accounting).
+    landing_windows: Vec<Vec<(u64, u64)>>,
+    /// Per chip: when the last byte of its cut inputs landed.
+    last_input_landed: Vec<u64>,
     energy_model: EnergyModel,
     /// System-level energy not attributable to one core (inter-chip
     /// links, the landing writes into consumer global memories).
@@ -74,8 +115,14 @@ pub struct Simulator {
 }
 
 impl Simulator {
-    /// Prepares a simulation of a compiled program.
+    /// Prepares a simulation of a compiled program with the default
+    /// options (tile-streaming inter-chip hand-off).
     pub fn new(compiled: &CompiledProgram) -> Self {
+        Self::with_options(compiled, SimOptions::default())
+    }
+
+    /// Prepares a simulation with explicit [`SimOptions`].
+    pub fn with_options(compiled: &CompiledProgram, options: SimOptions) -> Self {
         let arch = compiled.arch;
         let chip_count = compiled.system.chip_count.max(1) as usize;
         let cores_per_chip = arch.chip().core_count as usize;
@@ -102,6 +149,30 @@ impl Simulator {
         }
         let chip_started: Vec<bool> = incoming_remaining.iter().map(|n| *n == 0).collect();
         let total_macs = compiled.condensed.groups().iter().map(|g| g.metrics.macs).sum();
+
+        // Chip-local stage ordinal of every placed group: the merged plan
+        // lists each chip's stages contiguously, and the per-chip code
+        // generator emitted barrier pair (2k, 2k + 1) around its local
+        // stage k — that pairing is what lets the streaming hand-off tie
+        // a cut activation to the execution window producing it.
+        let mut group_stage: HashMap<usize, usize> = HashMap::new();
+        let mut stages_seen = vec![0usize; chip_count];
+        for stage in &compiled.plan.stages {
+            let Some(first) = stage.placements.first() else { continue };
+            let chip = compiled.system.assignment.get(first.group).copied().unwrap_or(0) as usize;
+            let ordinal = stages_seen[chip.min(chip_count - 1)];
+            stages_seen[chip.min(chip_count - 1)] += 1;
+            for placement in &stage.placements {
+                group_stage.insert(placement.group, ordinal);
+            }
+        }
+        let transfer_stage: Vec<Option<usize>> = compiled
+            .system
+            .transfers
+            .iter()
+            .map(|t| group_stage.get(&t.producer).copied())
+            .collect();
+
         Simulator {
             arch,
             programs: compiled.per_core.clone(),
@@ -110,12 +181,18 @@ impl Simulator {
             meshes: vec![Mesh::new(noc_config); chip_count],
             fabric,
             system: compiled.system.clone(),
+            options,
             chip_started,
             chip_dispatched: vec![false; chip_count],
             chip_ready: vec![0; chip_count],
             chip_start_time: vec![0; chip_count],
             chip_finish_time: vec![0; chip_count],
             incoming_remaining,
+            transfer_dispatched: vec![false; compiled.system.transfers.len()],
+            transfer_stage,
+            barrier_release: vec![HashMap::new(); chip_count],
+            landing_windows: vec![Vec::new(); chip_count],
+            last_input_landed: vec![0; chip_count],
             energy_model: EnergyModel::calibrated_28nm(),
             system_energy: EnergyBreakdown::new(),
             address_map: arch.address_map(),
@@ -169,9 +246,12 @@ impl Simulator {
         Ok(self.finish())
     }
 
-    /// Ships the cut activations of every chip that has just finished over
-    /// the inter-chip fabric, and starts every chip whose inputs have all
-    /// landed in its global memory.
+    /// Ships the remaining cut activations of every chip that has just
+    /// finished over the inter-chip fabric, and starts every chip whose
+    /// hand-off gate has opened. Under tile streaming most transfers have
+    /// already been dispatched at their producing stage's end barrier;
+    /// this pass catches whatever is left (and is the whole hand-off
+    /// under [`HandoffMode::AtRetirement`]).
     fn retire_finished_chips(&mut self) {
         if self.chip_count() == 1 {
             return;
@@ -183,14 +263,20 @@ impl Simulator {
             {
                 continue;
             }
-            let finish = self.chip_cores(chip).map(|g| self.cores[g].now).max().unwrap_or(0);
+            let cores_done = self.chip_cores(chip).map(|g| self.cores[g].now).max().unwrap_or(0);
+            // A streamed consumer may outrun the timing model's port
+            // coupling; it can never truly finish before its inputs
+            // exist, so the chip's retirement is clamped to the last
+            // landing.
+            let finish = cores_done.max(self.last_input_landed[chip]);
             self.chip_finish_time[chip] = finish;
             self.chip_dispatched[chip] = true;
             for index in 0..self.system.transfers.len() {
                 let transfer = self.system.transfers[index];
-                if transfer.from_chip as usize != chip {
+                if transfer.from_chip as usize != chip || self.transfer_dispatched[index] {
                     continue;
                 }
+                self.transfer_dispatched[index] = true;
                 let to = transfer.to_chip as usize;
                 let outcome = self.fabric.transfer(
                     transfer.from_chip,
@@ -204,15 +290,23 @@ impl Simulator {
                 let landed =
                     port_start + self.arch.chip().global_memory.transfer_cycles(transfer.bytes);
                 self.global_port_free[to] = landed;
+                self.landing_windows[to].push((port_start, landed));
                 self.system_energy.interchip_pj +=
                     self.energy_model.interchip.transfer_pj(transfer.bytes, outcome.hops);
                 self.system_energy.global_memory_pj +=
                     self.energy_model.sram.global_pj(transfer.bytes);
                 self.chip_ready[to] = self.chip_ready[to].max(landed);
+                self.last_input_landed[to] = self.last_input_landed[to].max(landed);
                 self.incoming_remaining[to] -= 1;
             }
         }
-        // Start every chip whose last input has arrived.
+        self.start_ready_chips();
+    }
+
+    /// Starts every chip whose hand-off gate has opened (all inputs fully
+    /// landed at retirement granularity; first tiles landed under
+    /// streaming).
+    fn start_ready_chips(&mut self) {
         for chip in 0..self.chip_count() {
             if self.chip_started[chip] || self.incoming_remaining[chip] != 0 {
                 continue;
@@ -223,6 +317,69 @@ impl Simulator {
                 self.cores[g].now = self.chip_ready[chip];
             }
         }
+    }
+
+    /// Streams every not-yet-dispatched transfer produced by local stage
+    /// `ordinal` of `chip`, whose execution window just closed at `end`.
+    fn stream_stage_transfers(&mut self, chip: usize, ordinal: usize, end: u64) {
+        if self.chip_count() == 1 {
+            return;
+        }
+        let window_start = self.barrier_release[chip]
+            .get(&((ordinal * 2) as u16))
+            .copied()
+            .unwrap_or(self.chip_start_time[chip])
+            .min(end);
+        for index in 0..self.system.transfers.len() {
+            let transfer = self.system.transfers[index];
+            if self.transfer_dispatched[index]
+                || transfer.from_chip as usize != chip
+                || self.transfer_stage[index] != Some(ordinal)
+            {
+                continue;
+            }
+            self.transfer_dispatched[index] = true;
+            self.dispatch_streamed(index, window_start, end);
+        }
+        self.start_ready_chips();
+    }
+
+    /// Ships one cut activation as tiles spread across the producing
+    /// stage's `[start, end]` window: the producer emits its output
+    /// pixels incrementally, so tile `i` enters the fabric once its share
+    /// of the stage has executed. The consumer's hand-off gate opens at
+    /// the first landed tile; the remaining tiles occupy its memory port
+    /// (and are tracked for the stall/overlap metrics).
+    fn dispatch_streamed(&mut self, index: usize, start: u64, end: u64) {
+        let transfer = self.system.transfers[index];
+        let to = transfer.to_chip as usize;
+        let tile = STREAM_TILE_BYTES.max(transfer.bytes.div_ceil(MAX_STREAM_TILES));
+        let tiles = transfer.bytes.div_ceil(tile).max(1);
+        let span = end.saturating_sub(start);
+        let mut remaining = transfer.bytes;
+        let mut first_landed = end;
+        let mut last_landed = end;
+        for i in 0..tiles {
+            let size = remaining.min(tile);
+            remaining -= size;
+            let available = start + (span * (i + 1)) / tiles;
+            let outcome =
+                self.fabric.transfer(transfer.from_chip, transfer.to_chip, size, available);
+            let port_start = outcome.arrival.max(self.global_port_free[to]);
+            let landed = port_start + self.arch.chip().global_memory.transfer_cycles(size);
+            self.global_port_free[to] = landed;
+            self.landing_windows[to].push((port_start, landed));
+            self.system_energy.interchip_pj +=
+                self.energy_model.interchip.transfer_pj(size, outcome.hops);
+            self.system_energy.global_memory_pj += self.energy_model.sram.global_pj(size);
+            if i == 0 {
+                first_landed = landed;
+            }
+            last_landed = landed;
+        }
+        self.chip_ready[to] = self.chip_ready[to].max(first_landed);
+        self.last_input_landed[to] = self.last_input_landed[to].max(last_landed);
+        self.incoming_remaining[to] -= 1;
     }
 
     /// Chooses the runnable core with the smallest local time.
@@ -293,6 +450,13 @@ impl Simulator {
         for i in members {
             self.cores[i].now = release;
             self.cores[i].block = BlockReason::None;
+        }
+        self.barrier_release[chip].insert(min_id, release);
+        // An odd barrier id closes local stage (id - 1) / 2; under tile
+        // streaming its cut activations enter the fabric now, backdated
+        // across the stage window they were produced in.
+        if self.options.handoff == HandoffMode::TileStreaming && min_id % 2 == 1 {
+            self.stream_stage_transfers(chip, (min_id as usize - 1) / 2, release);
         }
         true
     }
@@ -539,7 +703,18 @@ impl Simulator {
 
     /// Collects the final report.
     fn finish(self) -> SimReport {
-        let total_cycles = self.cores.iter().map(|c| c.now).max().unwrap_or(0).max(1);
+        // The per-inference latency covers the last core's retirement and
+        // the last landing of any streamed activation (a consumer cannot
+        // truly finish before its inputs exist).
+        let total_cycles = self
+            .cores
+            .iter()
+            .map(|c| c.now)
+            .chain(self.last_input_landed.iter().copied())
+            .chain(self.chip_finish_time.iter().copied())
+            .max()
+            .unwrap_or(0)
+            .max(1);
         let mut energy = cimflow_energy::EnergyBreakdown::new();
         for core in &self.cores {
             energy.accumulate(&core.energy);
@@ -563,14 +738,45 @@ impl Simulator {
         // Per-chip busy spans: the bottleneck chip bounds the steady-state
         // pipeline throughput of a multi-chip system. On a single chip the
         // one span equals the total latency.
-        let chip_cycles: Vec<u64> = (0..self.chip_count())
+        let chip_finish: Vec<u64> = (0..self.chip_count())
             .map(|chip| {
-                let finish = if self.chip_dispatched[chip] {
+                if self.chip_dispatched[chip] {
                     self.chip_finish_time[chip]
                 } else {
-                    self.chip_cores(chip).map(|g| self.cores[g].now).max().unwrap_or(0)
-                };
-                finish.saturating_sub(self.chip_start_time[chip])
+                    self.chip_cores(chip)
+                        .map(|g| self.cores[g].now)
+                        .max()
+                        .unwrap_or(0)
+                        .max(self.last_input_landed[chip])
+                }
+            })
+            .collect();
+        let chip_cycles: Vec<u64> = chip_finish
+            .iter()
+            .zip(&self.chip_start_time)
+            .map(|(finish, start)| finish.saturating_sub(*start))
+            .collect();
+        // Input-stall accounting: the port time incoming tiles consumed
+        // *inside* a chip's active span. In steady state those landings
+        // overlap the previous inference, so the pipeline interval
+        // excludes them; at-retirement hand-off lands everything before
+        // the chip starts and accrues zero.
+        let chip_stall_cycles: Vec<u64> = (0..self.chip_count())
+            .map(|chip| {
+                let (start, finish) = (self.chip_start_time[chip], chip_finish[chip]);
+                self.landing_windows[chip]
+                    .iter()
+                    .map(|(from, to)| to.min(&finish).saturating_sub(*from.max(&start)))
+                    .sum()
+            })
+            .collect();
+        // Intra-inference overlap: how long a chip ran while its cut
+        // inputs were still streaming in (zero without tile streaming).
+        let chip_overlap_cycles: Vec<u64> = (0..self.chip_count())
+            .map(|chip| {
+                self.last_input_landed[chip]
+                    .min(chip_finish[chip])
+                    .saturating_sub(self.chip_start_time[chip])
             })
             .collect();
 
@@ -593,6 +799,8 @@ impl Simulator {
             interchip: self.fabric.stats().clone(),
             core_utilization,
             chip_cycles,
+            chip_stall_cycles,
+            chip_overlap_cycles,
             total_macs: self.total_macs,
             frequency_mhz: 0,
             chip_count: 0,
@@ -680,8 +888,9 @@ mod tests {
         assert_eq!(report.chip_count, 2);
         assert_eq!(report.chip_cycles.len(), 2);
         assert_eq!(report.core_utilization.len(), 128);
-        // The inter-chip fabric carried every cut activation.
-        assert_eq!(report.interchip.packets, compiled.system.transfers.len() as u64);
+        // The inter-chip fabric carried every cut activation byte; with
+        // tile streaming one transfer may cross as several packets.
+        assert!(report.interchip.packets >= compiled.system.transfers.len() as u64);
         assert_eq!(report.interchip.bytes, compiled.system.cut_bytes());
         assert!(report.energy.interchip_pj > 0.0);
         // Per-inference latency covers both chips' spans; the pipeline
@@ -690,6 +899,55 @@ mod tests {
         assert!(report.pipeline_interval_cycles() < single.total_cycles);
         // Work actually executed on both chips.
         assert!(report.chip_cycles.iter().all(|c| *c > 0));
+    }
+
+    #[test]
+    fn tile_streaming_overlaps_chips_within_one_inference() {
+        // VGG19's chain split cuts activations large enough to stream as
+        // several tiles, so consumer chips start while producers run.
+        let model = models::vgg19(32);
+        let arch = ArchConfig::paper_default().with_chip_count(4);
+        let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+        let retire =
+            Simulator::with_options(&compiled, SimOptions { handoff: HandoffMode::AtRetirement })
+                .run()
+                .unwrap();
+        let stream = Simulator::new(&compiled).run().unwrap();
+
+        assert_eq!(retire.total_overlap_cycles(), 0, "at-retirement never overlaps");
+        assert!(stream.total_overlap_cycles() > 0, "streaming overlaps chips");
+        assert!(
+            stream.total_cycles < retire.total_cycles,
+            "overlap shortens the per-inference latency ({} !< {})",
+            stream.total_cycles,
+            retire.total_cycles
+        );
+        assert!(
+            stream.pipeline_interval_cycles() <= retire.pipeline_interval_cycles(),
+            "input-landing stalls are excluded from the steady-state interval"
+        );
+        // Same work either way: identical dynamic instruction streams and
+        // cut traffic, just re-timed.
+        assert_eq!(stream.total_dynamic_instructions(), retire.total_dynamic_instructions());
+        assert_eq!(stream.interchip.bytes, retire.interchip.bytes);
+        assert!(stream.interchip.packets > retire.interchip.packets, "tiles are packets");
+    }
+
+    #[test]
+    fn single_chip_runs_are_identical_across_handoff_modes() {
+        let model = models::mobilenet_v2(32);
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+        let stream = Simulator::new(&compiled).run().unwrap();
+        let retire =
+            Simulator::with_options(&compiled, SimOptions { handoff: HandoffMode::AtRetirement })
+                .run()
+                .unwrap();
+        assert_eq!(stream.total_cycles, retire.total_cycles);
+        assert_eq!(stream.noc, retire.noc);
+        assert!((stream.energy.total_pj() - retire.energy.total_pj()).abs() < 1e-9);
+        assert_eq!(stream.chip_stall_cycles, vec![0]);
+        assert_eq!(stream.chip_overlap_cycles, vec![0]);
     }
 
     #[test]

@@ -50,6 +50,6 @@ mod engine;
 mod error;
 mod report;
 
-pub use engine::Simulator;
+pub use engine::{HandoffMode, SimOptions, Simulator};
 pub use error::SimError;
 pub use report::{SimReport, UnitActivity};

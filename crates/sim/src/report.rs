@@ -39,9 +39,19 @@ pub struct SimReport {
     /// Per-core busy fraction (0..1) relative to the total latency,
     /// chip-major across all chips.
     pub core_utilization: Vec<f64>,
-    /// Busy span of each chip (finish minus start); one entry equal to
+    /// Active span of each chip (finish minus start); one entry equal to
     /// [`SimReport::total_cycles`] on a single chip.
     pub chip_cycles: Vec<u64>,
+    /// Per chip: memory-port cycles its incoming cut activations consumed
+    /// *inside* its active span (tile-streaming hand-off only; zero under
+    /// transfer-at-retirement, where every input lands before the chip
+    /// starts). The steady-state pipeline interval excludes these — in a
+    /// saturated pipeline the landings overlap the previous inference.
+    pub chip_stall_cycles: Vec<u64>,
+    /// Per chip: cycles it ran while its cut inputs were still streaming
+    /// in — the intra-inference overlap the tile-granular hand-off wins
+    /// over transfer-at-retirement (always zero for the latter).
+    pub chip_overlap_cycles: Vec<u64>,
     /// Multiply-accumulate operations represented by the workload.
     pub total_macs: u64,
     /// Clock frequency used for time/throughput conversions, in MHz.
@@ -81,11 +91,27 @@ impl SimReport {
     }
 
     /// Steady-state pipeline initiation interval in cycles: the busy span
-    /// of the bottleneck chip. On a single chip this is the total
-    /// latency; on a multi-chip pipeline consecutive inferences overlap
-    /// chip-by-chip, so one inference completes every interval.
+    /// of the bottleneck chip — its active span minus the input-landing
+    /// stalls that vanish once consecutive inferences overlap. On a
+    /// single chip this is the total latency; on a multi-chip pipeline
+    /// one inference completes every interval.
     pub fn pipeline_interval_cycles(&self) -> u64 {
-        self.chip_cycles.iter().copied().max().unwrap_or(self.total_cycles).max(1)
+        self.chip_cycles
+            .iter()
+            .enumerate()
+            .map(|(chip, span)| {
+                span.saturating_sub(self.chip_stall_cycles.get(chip).copied().unwrap_or(0))
+            })
+            .max()
+            .unwrap_or(self.total_cycles)
+            .max(1)
+    }
+
+    /// Total intra-inference overlap across chips: cycles chips spent
+    /// executing while their cut inputs were still streaming in. Zero on
+    /// a single chip and under the transfer-at-retirement hand-off.
+    pub fn total_overlap_cycles(&self) -> u64 {
+        self.chip_overlap_cycles.iter().sum()
     }
 
     /// Steady-state pipelined throughput in TOPS: the rate sustained when
@@ -136,6 +162,7 @@ impl fmt::Display for SimReport {
             writeln!(f, "chips:           {}", self.chip_count)?;
             writeln!(f, "pipeline intvl.: {} cycles", self.pipeline_interval_cycles())?;
             writeln!(f, "pipelined tput.: {:.3} TOPS", self.pipelined_throughput_tops())?;
+            writeln!(f, "chip overlap:    {} cycles", self.total_overlap_cycles())?;
         }
         writeln!(f, "mean core util.: {:.1} %", self.mean_utilization() * 100.0)?;
         writeln!(f, "dyn. instr.:     {}", self.total_dynamic_instructions())?;

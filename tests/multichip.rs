@@ -3,7 +3,7 @@
 //! per-chip compilation, the inter-chip fabric in the simulator, and the
 //! chip-count sweep axis of the DSE engine.
 
-use cimflow::{models, ArchConfig, CimFlow, Strategy};
+use cimflow::{models, ArchConfig, CimFlow, SearchMode, Strategy};
 use cimflow_dse::{export, CacheKey, EvalCache, Executor, SweepSpec};
 
 /// The headline workload class the system level unlocks: a model whose
@@ -52,8 +52,13 @@ fn single_chip_systems_reproduce_the_historical_numbers() {
     );
     // And it hits the same cache slot as the historical configuration.
     assert_eq!(
-        CacheKey::of(&explicit, &model, Strategy::DpOptimized),
-        CacheKey::of(&ArchConfig::paper_default(), &model, Strategy::DpOptimized),
+        CacheKey::of(&explicit, &model, Strategy::DpOptimized, SearchMode::Sequential),
+        CacheKey::of(
+            &ArchConfig::paper_default(),
+            &model,
+            Strategy::DpOptimized,
+            SearchMode::Sequential
+        ),
     );
 }
 
@@ -83,7 +88,7 @@ fn multichip_sweep_spec_runs_end_to_end_with_distinct_cache_keys() {
     for chips in [1, 2, 4] {
         for model in ["vgg19", "resnet18"] {
             assert!(
-                csv.lines().any(|l| l.contains(&format!("{model},32,dp,{chips},"))),
+                csv.lines().any(|l| l.contains(&format!("{model},32,dp,sequential,{chips},"))),
                 "CSV misses the {model} x {chips}-chip row:\n{csv}"
             );
         }
