@@ -65,10 +65,12 @@ pub use cimflow_compiler::{
 };
 pub use cimflow_dse as dse_engine;
 // The service-oriented evaluation API (async job handles, admission
-// control, per-tenant quotas) — the core the blocking surfaces run on.
+// control, per-tenant quotas) — the core the blocking surfaces run on —
+// plus the adaptive Pareto-guided exploration engine.
 pub use cimflow_dse::{
-    BatchHandle, EvalRequest, EvalService, JobEvent, JobHandle, JobStatus, Priority, Rejected,
-    ServiceConfig, ServiceStats, SweepJournal,
+    explore, explore_journaled, BatchHandle, EvalRequest, EvalService, ExploreAlgorithm,
+    ExploreReport, ExploreSpec, JobEvent, JobHandle, JobStatus, Priority, Rejected, ServiceConfig,
+    ServiceStats, SweepJournal,
 };
 pub use cimflow_energy::{self as energy, EnergyBreakdown};
 pub use cimflow_isa as isa;

@@ -1,5 +1,19 @@
-//! Sweep analysis: Pareto-frontier extraction over (cycles, energy) and
-//! best-configuration selection per model.
+//! Sweep analysis: Pareto-frontier extraction over (cycles, energy),
+//! best-configuration selection per model, and the frontier-quality
+//! helpers (non-dominated ranks, crowding distances, hypervolume) the
+//! adaptive exploration engine selects by.
+//!
+//! # The non-finite-objective contract
+//!
+//! Every function in this module minimizes the pair `(cycles, energy)`
+//! and treats a **non-finite energy (NaN or ±∞) as "not a valid
+//! objective"**: such points are never on a frontier, never dominate
+//! anything, receive the worst possible rank and a zero crowding
+//! distance, and contribute nothing to a hypervolume. A NaN energy would
+//! otherwise poison every `<` comparison silently (it compares false
+//! both ways, so a NaN point could shadow a real duplicate or slip
+//! through a domination test); filtering explicitly keeps the frontier
+//! semantics total.
 
 use std::collections::BTreeMap;
 
@@ -7,7 +21,14 @@ use crate::DseOutcome;
 
 /// Whether point `a` dominates point `b` under minimization of both
 /// objectives: no worse in both, strictly better in at least one.
+///
+/// A point with a non-finite energy neither dominates nor is dominated
+/// in a useful sense: if either energy is NaN or infinite this returns
+/// `false` (see the module-level contract).
 pub fn dominates(a: (u64, f64), b: (u64, f64)) -> bool {
+    if !a.1.is_finite() || !b.1.is_finite() {
+        return false;
+    }
     (a.0 <= b.0 && a.1 <= b.1) && (a.0 < b.0 || a.1 < b.1)
 }
 
@@ -16,9 +37,12 @@ pub fn dominates(a: (u64, f64), b: (u64, f64)) -> bool {
 /// index, so the result is deterministic).
 ///
 /// Duplicated objective vectors are all kept — they dominate each other
-/// in neither direction.
+/// in neither direction. Points with a non-finite energy are rejected
+/// up front and can never appear in the result (nor shadow a duplicate
+/// of a kept finite point); a set of only non-finite points has an
+/// empty frontier.
 pub fn pareto_indices(points: &[(u64, f64)]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..points.len()).collect();
+    let mut order: Vec<usize> = (0..points.len()).filter(|&i| points[i].1.is_finite()).collect();
     order.sort_by(|&a, &b| {
         points[a].0.cmp(&points[b].0).then(points[a].1.total_cmp(&points[b].1)).then(a.cmp(&b))
     });
@@ -37,6 +61,106 @@ pub fn pareto_indices(points: &[(u64, f64)]) -> Vec<usize> {
         }
     }
     frontier
+}
+
+/// Non-dominated sorting: the Pareto rank of every point (0 = on the
+/// frontier, 1 = on the frontier once rank-0 points are removed, and so
+/// on). Points with a non-finite energy get `usize::MAX` — they sort
+/// behind every ranked point (module-level contract).
+pub fn pareto_ranks(points: &[(u64, f64)]) -> Vec<usize> {
+    let mut ranks = vec![usize::MAX; points.len()];
+    let mut remaining: Vec<usize> =
+        (0..points.len()).filter(|&i| points[i].1.is_finite()).collect();
+    let mut rank = 0;
+    while !remaining.is_empty() {
+        let objectives: Vec<(u64, f64)> = remaining.iter().map(|&i| points[i]).collect();
+        let front = pareto_indices(&objectives);
+        for &local in &front {
+            ranks[remaining[local]] = rank;
+        }
+        let on_front: std::collections::HashSet<usize> = front.into_iter().collect();
+        remaining = remaining
+            .into_iter()
+            .enumerate()
+            .filter(|(local, _)| !on_front.contains(local))
+            .map(|(_, index)| index)
+            .collect();
+        rank += 1;
+    }
+    ranks
+}
+
+/// NSGA-II crowding distances computed within each rank class of
+/// `ranks` (as produced by [`pareto_ranks`] over the same points):
+/// boundary points of a front get `f64::INFINITY`, interior points the
+/// normalized neighbor gap summed over both objectives. Non-finite
+/// points (rank `usize::MAX`) get `0.0`.
+pub fn crowding_distances(points: &[(u64, f64)], ranks: &[usize]) -> Vec<f64> {
+    assert_eq!(points.len(), ranks.len(), "one rank per point");
+    let mut distance = vec![0.0_f64; points.len()];
+    let mut fronts: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (index, &rank) in ranks.iter().enumerate() {
+        if rank != usize::MAX {
+            fronts.entry(rank).or_default().push(index);
+        }
+    }
+    for front in fronts.values() {
+        if front.len() <= 2 {
+            for &index in front {
+                distance[index] = f64::INFINITY;
+            }
+            continue;
+        }
+        let mut by_cycles = front.clone();
+        by_cycles.sort_by(|&a, &b| {
+            points[a].0.cmp(&points[b].0).then(points[a].1.total_cmp(&points[b].1)).then(a.cmp(&b))
+        });
+        let first = points[*by_cycles.first().expect("non-empty front")];
+        let last = points[*by_cycles.last().expect("non-empty front")];
+        let cycle_range = (last.0.saturating_sub(first.0)).max(1) as f64;
+        let energy_range = {
+            let (mut low, mut high) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &index in front {
+                low = low.min(points[index].1);
+                high = high.max(points[index].1);
+            }
+            (high - low).max(f64::MIN_POSITIVE)
+        };
+        distance[by_cycles[0]] = f64::INFINITY;
+        distance[*by_cycles.last().expect("non-empty front")] = f64::INFINITY;
+        for window in by_cycles.windows(3) {
+            let (previous, middle, next) = (points[window[0]], window[1], points[window[2]]);
+            if distance[middle].is_infinite() {
+                continue;
+            }
+            distance[middle] += (next.0 - previous.0) as f64 / cycle_range
+                + (next.1 - previous.1).abs() / energy_range;
+        }
+    }
+    distance
+}
+
+/// The 2-D hypervolume (dominated area) of the Pareto frontier of
+/// `points` against a reference point `(ref_cycles, ref_energy)`: the
+/// area of the region dominated by at least one frontier point and
+/// bounded by the reference. A larger value is a better frontier;
+/// the reference must be weakly worse than every point of interest
+/// (points at or beyond it contribute nothing). Non-finite energies are
+/// excluded per the module contract.
+pub fn hypervolume(points: &[(u64, f64)], reference: (u64, f64)) -> f64 {
+    let frontier = pareto_indices(points);
+    let mut volume = 0.0;
+    for (position, &index) in frontier.iter().enumerate() {
+        let (cycles, energy) = points[index];
+        if cycles >= reference.0 {
+            break;
+        }
+        let next_cycles =
+            frontier.get(position + 1).map_or(reference.0, |&n| points[n].0.min(reference.0));
+        let height = (reference.1 - energy).max(0.0);
+        volume += (next_cycles - cycles) as f64 * height;
+    }
+    volume
 }
 
 /// Indices (into `outcomes`) of the successful points on the
@@ -87,22 +211,90 @@ pub fn pareto_frontier_by_model(outcomes: &[DseOutcome]) -> BTreeMap<String, Vec
         .collect()
 }
 
+/// The `(cycles, energy_mj)` objectives of every successful outcome,
+/// grouped by model name (the extraction behind every per-model
+/// comparison — frontier membership, hypervolume ratios, selection).
+/// Non-finite energies are excluded per the module contract.
+pub fn objectives_by_model(outcomes: &[DseOutcome]) -> BTreeMap<String, Vec<(u64, f64)>> {
+    let mut by_model: BTreeMap<String, Vec<(u64, f64)>> = BTreeMap::new();
+    for outcome in outcomes {
+        if let Some(evaluation) = outcome.evaluation() {
+            let objectives =
+                (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj());
+            if objectives.1.is_finite() {
+                by_model.entry(outcome.point.model.name.clone()).or_default().push(objectives);
+            }
+        }
+    }
+    by_model
+}
+
+/// Per-model reference points for hypervolume comparisons, weakly worse
+/// than every successful outcome: `(max cycles + 1, max energy ×
+/// energy_margin)`. Pass the same reference map to
+/// [`hypervolume_by_model`] for every outcome set being compared — the
+/// ratio between two frontiers is only meaningful against a shared
+/// reference.
+pub fn reference_points(
+    outcomes: &[DseOutcome],
+    energy_margin: f64,
+) -> BTreeMap<String, (u64, f64)> {
+    objectives_by_model(outcomes)
+        .into_iter()
+        .map(|(model, points)| {
+            let cycles = points.iter().map(|p| p.0).max().unwrap_or(0) + 1;
+            let energy = points.iter().map(|p| p.1).fold(0.0, f64::max) * energy_margin;
+            (model, (cycles, energy))
+        })
+        .collect()
+}
+
+/// The per-model frontier [`hypervolume`] of `outcomes` against shared
+/// per-model reference points (see [`reference_points`]); models absent
+/// from `outcomes` score `0.0`.
+pub fn hypervolume_by_model(
+    outcomes: &[DseOutcome],
+    references: &BTreeMap<String, (u64, f64)>,
+) -> BTreeMap<String, f64> {
+    let by_model = objectives_by_model(outcomes);
+    references
+        .iter()
+        .map(|(model, &reference)| {
+            let points = by_model.get(model).cloned().unwrap_or_default();
+            (model.clone(), hypervolume(&points, reference))
+        })
+        .collect()
+}
+
 /// The fastest (minimum-cycles) successful point per model name; maps the
 /// model name to an index into `outcomes`.
+///
+/// Cycle ties are broken by lower energy, then by lower index, so the
+/// reported best point is never Pareto-dominated by another point with
+/// equal cycles (keeping the first-seen point regardless of energy was
+/// a long-standing bug). Points with a non-finite energy are skipped
+/// entirely (module-level contract), even when they would win on
+/// cycles.
 pub fn best_per_model(outcomes: &[DseOutcome]) -> BTreeMap<String, usize> {
     let mut best: BTreeMap<String, usize> = BTreeMap::new();
     for (index, outcome) in outcomes.iter().enumerate() {
         let Some(evaluation) = outcome.evaluation() else { continue };
-        let cycles = evaluation.simulation.total_cycles;
-        match best.get(&outcome.point.model.name) {
-            Some(&current)
-                if outcomes[current]
-                    .evaluation()
-                    .map(|e| e.simulation.total_cycles <= cycles)
-                    .unwrap_or(false) => {}
-            _ => {
-                best.insert(outcome.point.model.name.clone(), index);
+        if !evaluation.simulation.energy_mj().is_finite() {
+            continue;
+        }
+        let objectives =
+            (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj(), index);
+        let better = match best.get(&outcome.point.model.name) {
+            Some(&current) => {
+                let held = outcomes[current].evaluation().expect("best points are successes");
+                let held = (held.simulation.total_cycles, held.simulation.energy_mj(), current);
+                objectives.0 < held.0
+                    || (objectives.0 == held.0 && objectives.1.total_cmp(&held.1).is_lt())
             }
+            None => true,
+        };
+        if better {
+            best.insert(outcome.point.model.name.clone(), index);
         }
     }
     best
@@ -152,6 +344,80 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_energies_are_rejected_everywhere() {
+        // NaN never dominates and is never dominated.
+        assert!(!dominates((10, f64::NAN), (20, 2.0)));
+        assert!(!dominates((10, 1.0), (20, f64::NAN)));
+        assert!(!dominates((10, f64::INFINITY), (20, f64::INFINITY)));
+
+        // A NaN point can never reach the frontier, even as the fastest
+        // point of the set, and it must not shadow a finite duplicate:
+        // (5, 5.0) at index 3 duplicates the kept index 0 and stays.
+        let poisoned = [(5u64, 5.0), (4, f64::NAN), (9, 2.0), (5, 5.0), (7, f64::NEG_INFINITY)];
+        assert_eq!(pareto_indices(&poisoned), vec![0, 3, 2]);
+
+        // An all-non-finite set has an empty frontier instead of a
+        // silently arbitrary one.
+        assert_eq!(pareto_indices(&[(1, f64::NAN), (2, f64::INFINITY)]), Vec::<usize>::new());
+
+        // An infinite-energy point is excluded even when it is the only
+        // point (the historical scan would also have dropped it, but by
+        // accident of the `< INFINITY` comparison).
+        assert_eq!(pareto_indices(&[(10, f64::INFINITY)]), Vec::<usize>::new());
+
+        // Ranks and crowding follow the same contract.
+        let ranks = pareto_ranks(&poisoned);
+        assert_eq!(ranks, vec![0, usize::MAX, 0, 0, usize::MAX]);
+        let crowding = crowding_distances(&poisoned, &ranks);
+        assert_eq!(crowding[1], 0.0);
+        assert_eq!(crowding[4], 0.0);
+
+        // And the hypervolume counts only the finite frontier.
+        let volume = hypervolume(&poisoned, (20, 10.0));
+        let finite_only = hypervolume(&[(5, 5.0), (9, 2.0)], (20, 10.0));
+        assert!((volume - finite_only).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_peel_fronts_in_order() {
+        // Front 0: (10, 1.0), (5, 2.0); front 1: (10, 2.0); front 2: (11, 3.0).
+        let points = [(10u64, 1.0), (5, 2.0), (10, 2.0), (11, 3.0)];
+        assert_eq!(pareto_ranks(&points), vec![0, 0, 1, 2]);
+        assert_eq!(pareto_ranks(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn crowding_rewards_isolated_points() {
+        // One front: boundary points are infinitely crowded-distant; the
+        // interior point near its neighbor scores below the isolated one.
+        let points = [(10u64, 9.0), (20, 7.0), (22, 6.5), (40, 1.0)];
+        let ranks = pareto_ranks(&points);
+        assert!(ranks.iter().all(|&r| r == 0));
+        let crowding = crowding_distances(&points, &ranks);
+        assert!(crowding[0].is_infinite() && crowding[3].is_infinite());
+        assert!(crowding[1].is_finite() && crowding[2].is_finite());
+        // Index 2's neighbors span a wider box than index 1's (its far
+        // side is the isolated (40, 1.0) point), so it is less crowded.
+        assert!(crowding[2] > crowding[1], "{crowding:?}");
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_frontier_quality() {
+        let reference = (100u64, 10.0);
+        let single = hypervolume(&[(50, 5.0)], reference);
+        assert!((single - (50.0 * 5.0)).abs() < 1e-9);
+        // Adding a trade-off point grows the dominated area; adding a
+        // dominated point changes nothing.
+        let pair = hypervolume(&[(50, 5.0), (20, 8.0)], reference);
+        assert!((pair - (30.0 * 2.0 + 50.0 * 5.0)).abs() < 1e-9);
+        let with_dominated = hypervolume(&[(50, 5.0), (20, 8.0), (60, 9.0)], reference);
+        assert!((with_dominated - pair).abs() < 1e-12);
+        // Points at or beyond the reference contribute nothing.
+        assert_eq!(hypervolume(&[(100, 5.0), (40, 12.0)], reference), 0.0);
+        assert_eq!(hypervolume(&[], reference), 0.0);
+    }
+
+    #[test]
     fn frontier_of_a_monotone_chain_is_everything() {
         let chain = vec![(10u64, 9.0), (20, 7.0), (30, 5.0), (40, 3.0)];
         assert_eq!(pareto_indices(&chain), vec![0, 1, 2, 3]);
@@ -161,6 +427,101 @@ mod tests {
     fn frontier_of_a_dominated_chain_is_one_point() {
         let chain = vec![(40u64, 9.0), (30, 7.0), (20, 5.0), (10, 3.0)];
         assert_eq!(pareto_indices(&chain), vec![3]);
+    }
+
+    /// Synthetic outcomes with pinned objectives: one real evaluation is
+    /// cloned and its simulation report rewritten, so the selection logic
+    /// is exercised on exact, controlled (cycles, energy) values.
+    fn synthetic_outcomes(objectives: &[(u64, f64)]) -> Vec<DseOutcome> {
+        use crate::{evaluate, SweepSpec};
+        use cimflow_arch::ArchConfig;
+        use cimflow_compiler::Strategy;
+        use cimflow_nn::models;
+
+        let template = evaluate(
+            &ArchConfig::paper_default(),
+            &models::mobilenet_v2(32),
+            Strategy::GenericMapping,
+        )
+        .expect("template evaluation succeeds");
+        let point = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .expand()
+            .unwrap()[0]
+            .clone();
+        objectives
+            .iter()
+            .map(|&(cycles, energy_mj)| {
+                let mut evaluation = template.clone();
+                evaluation.simulation.total_cycles = cycles;
+                evaluation.simulation.energy = Default::default();
+                // total_mj = total_pj * 1e-9.
+                evaluation.simulation.energy.compute_pj = energy_mj * 1.0e9;
+                DseOutcome { point: point.clone(), result: Ok(evaluation), cached: false }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn objectives_by_model_groups_and_filters_non_finite() {
+        let outcomes = synthetic_outcomes(&[(10, 1.0), (20, f64::NAN), (30, f64::INFINITY)]);
+        let grouped = objectives_by_model(&outcomes);
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(grouped["mobilenetv2"], vec![(10, 1.0)]);
+    }
+
+    #[test]
+    fn reference_points_bound_outcomes_and_hypervolume_by_model_scores_them() {
+        let outcomes = synthetic_outcomes(&[(10, 3.0), (30, 1.0)]);
+        let references = reference_points(&outcomes, 2.0);
+        let (cycles, energy) = references["mobilenetv2"];
+        assert_eq!(cycles, 31);
+        assert!((energy - 6.0).abs() < 1e-9);
+        let volumes = hypervolume_by_model(&outcomes, &references);
+        // Frontier (10,3), (30,1): (30-10)*(6-3) + (31-30)*(6-1) = 65.
+        assert!((volumes["mobilenetv2"] - 65.0).abs() < 1e-6, "{volumes:?}");
+        // A model missing from the compared set scores zero.
+        let empty = hypervolume_by_model(&[], &references);
+        assert_eq!(empty["mobilenetv2"], 0.0);
+    }
+
+    #[test]
+    fn best_per_model_breaks_cycle_ties_by_energy_then_index() {
+        // Three points tie on cycles; the middle one has the lowest
+        // energy and must win (the first-seen point is Pareto-dominated
+        // by it). A fourth, slower point never competes.
+        let outcomes = synthetic_outcomes(&[(100, 5.0), (100, 2.0), (100, 2.0), (90, 9.0)]);
+        let best = best_per_model(&outcomes);
+        assert_eq!(best.len(), 1);
+        // (90, 9.0) is strictly faster: minimum cycles still dominates
+        // the tie-break.
+        assert_eq!(best["mobilenetv2"], 3);
+
+        // Without the faster point, the tie resolves to the lowest
+        // energy, and among equal (cycles, energy) pairs to the lowest
+        // index.
+        let tied = synthetic_outcomes(&[(100, 5.0), (100, 2.0), (100, 2.0)]);
+        assert_eq!(best_per_model(&tied)["mobilenetv2"], 1);
+
+        // A poisoned (non-finite energy) point never wins, even with
+        // strictly minimum cycles — the module contract holds here too.
+        let poisoned = synthetic_outcomes(&[(50, f64::NAN), (100, 2.0), (80, f64::INFINITY)]);
+        assert_eq!(best_per_model(&poisoned)["mobilenetv2"], 1);
+        let all_poisoned = synthetic_outcomes(&[(50, f64::NAN)]);
+        assert!(best_per_model(&all_poisoned).is_empty());
+
+        // The selected point is never Pareto-dominated by an equal-cycles
+        // sibling.
+        let objectives: Vec<(u64, f64)> = tied
+            .iter()
+            .map(|o| {
+                let e = o.evaluation().unwrap();
+                (e.simulation.total_cycles, e.simulation.energy_mj())
+            })
+            .collect();
+        let chosen = objectives[best_per_model(&tied)["mobilenetv2"]];
+        assert!(objectives.iter().all(|&other| !dominates(other, chosen)));
     }
 
     #[test]

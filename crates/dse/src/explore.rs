@@ -1,0 +1,1078 @@
+//! Adaptive Pareto-guided exploration: budgeted search over a sweep grid
+//! that finds (most of) the per-model (cycles, energy) frontier at a
+//! fraction of the exhaustive grid's evaluations.
+//!
+//! A [`SweepSpec`] describes a cartesian *space*; exhaustively expanding
+//! it explodes combinatorially (models × strategies × search modes ×
+//! chip counts × cores × memory × flit × MG sizes) even though the
+//! Pareto frontier is tiny. An [`ExploreSpec`] wraps the same space with
+//! an evaluation **budget**, an **algorithm** and a **seed**, and
+//! [`explore`] spends the budget adaptively instead:
+//!
+//! * [`ExploreAlgorithm::SuccessiveHalving`] — generations of uniformly
+//!   sampled points are first evaluated at *coarse fidelity* (the model
+//!   resolution floored to 32 px, the search mode pinned to
+//!   [`SearchMode::Sequential`]) and only the per-model Pareto survivors
+//!   of the accumulated coarse pool are promoted to full fidelity. When
+//!   a point's coarse projection *is* the point itself, the evaluation
+//!   counts directly as full fidelity.
+//! * [`ExploreAlgorithm::Evolutionary`] — a population seeded from a
+//!   sparse (strided) grid sample evolves by mutation (step one axis to
+//!   an adjacent value) and crossover (per-axis mixing of two parents);
+//!   parents are selected by per-model Pareto rank, ties broken by
+//!   NSGA-II crowding distance over (cycles, energy).
+//!
+//! Every generation is submitted as one batch through the shared
+//! [`EvalService`] pipeline, so duplicate points coalesce in the
+//! [`EvalCache`](crate::EvalCache) and an attached [`SweepJournal`]
+//! makes an interrupted exploration resumable: re-running the same spec
+//! and seed replays the identical trajectory with journaled points
+//! served for free (no point is ever re-evaluated).
+//!
+//! Determinism: the engine carries its own xorshift64* PRNG seeded from
+//! the spec (no `rand` dependency), batches are waited on in submission
+//! order, and selection sorts with total orders — the same
+//! `(space, budget, algorithm, seed)` always explores the same points.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::SearchMode;
+use cimflow_nn::{models, Model};
+use serde::{Content, Deserialize, Serialize};
+
+use crate::journal::SweepJournal;
+use crate::spec::{SweepAxes, AXIS_COUNT};
+use crate::{analysis, DseError, DseOutcome, EvalService, Job, PointSpec, SweepSpec};
+
+/// The resolution coarse-fidelity evaluations are floored to: the
+/// smallest geometry the model zoo keeps structurally identical (the
+/// cross-crate tests pin it for the same reason).
+pub const COARSE_RESOLUTION: u32 = 32;
+
+/// Seed used when a spec does not carry one.
+pub const DEFAULT_SEED: u64 = 0x5EED_C1F1;
+
+/// The exploration strategy of an [`ExploreSpec`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ExploreAlgorithm {
+    /// Coarse-fidelity generations; per-model Pareto survivors are
+    /// promoted to full fidelity.
+    SuccessiveHalving,
+    /// Pareto-rank/crowding-selected population with axis mutation and
+    /// crossover.
+    #[default]
+    Evolutionary,
+}
+
+impl ExploreAlgorithm {
+    /// Wire name of the algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExploreAlgorithm::SuccessiveHalving => "successive_halving",
+            ExploreAlgorithm::Evolutionary => "evolutionary",
+        }
+    }
+
+    /// Parses a wire/CLI name (short aliases accepted).
+    pub fn from_name(text: &str) -> Option<Self> {
+        match text {
+            "successive_halving" | "successive-halving" | "sh" | "halving" => {
+                Some(ExploreAlgorithm::SuccessiveHalving)
+            }
+            "evolutionary" | "evo" | "genetic" => Some(ExploreAlgorithm::Evolutionary),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExploreAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl serde::Serialize for ExploreAlgorithm {
+    fn serialize(&self) -> Content {
+        Content::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for ExploreAlgorithm {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let text =
+            content.as_str().ok_or_else(|| serde::Error::new("expected algorithm name string"))?;
+        ExploreAlgorithm::from_name(text)
+            .ok_or_else(|| serde::Error::new(format!("unknown explore algorithm `{text}`")))
+    }
+}
+
+/// A budgeted, seeded exploration of a sweep space — the on-disk input
+/// of `cimflow-dse explore <spec.json>`.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExploreSpec {
+    /// The design space (the grid is *described*, never fully expanded
+    /// into evaluations).
+    pub space: SweepSpec,
+    /// Maximum number of evaluations (coarse + full fidelity) the
+    /// exploration may submit.
+    pub budget: u64,
+    /// The exploration algorithm.
+    pub algorithm: ExploreAlgorithm,
+    /// PRNG seed: the same `(space, budget, algorithm, seed)` explores
+    /// the same points.
+    pub seed: u64,
+}
+
+impl ExploreSpec {
+    /// Wraps a space with the default budget (a quarter of the grid, at
+    /// least 4), the default algorithm and the default seed.
+    pub fn new(space: SweepSpec) -> Self {
+        let budget = default_budget(&space);
+        ExploreSpec { space, budget, algorithm: ExploreAlgorithm::default(), seed: DEFAULT_SEED }
+    }
+
+    /// Sets the evaluation budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: ExploreAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the PRNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Serializes the spec to pretty JSON (the on-disk format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("ExploreSpec serialization cannot fail")
+    }
+
+    /// Parses a spec from JSON. Only `space` is required; an omitted
+    /// `budget` defaults to a quarter of the grid (at least 4), an
+    /// omitted `algorithm` to `evolutionary`, an omitted `seed` to
+    /// [`DEFAULT_SEED`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] for malformed JSON.
+    pub fn from_json(text: &str) -> Result<Self, DseError> {
+        serde_json::from_str(text).map_err(|e| DseError::spec(e.to_string()))
+    }
+}
+
+/// The default budget of a space: a quarter of the grid, at least 4.
+fn default_budget(space: &SweepSpec) -> u64 {
+    (space.point_count() as u64 / 4).max(4)
+}
+
+impl Deserialize for ExploreSpec {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let map =
+            content.as_map().ok_or_else(|| serde::Error::new("expected map for ExploreSpec"))?;
+        let field = |name: &str| map.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let space = match field("space") {
+            Some(value) => SweepSpec::deserialize(value)
+                .map_err(|e| serde::Error::new(format!("ExploreSpec.space: {e}")))?,
+            None => return Err(serde::Error::new("ExploreSpec needs a `space`")),
+        };
+        fn opt<T: Deserialize>(
+            value: Option<&Content>,
+            name: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match value {
+                Some(Content::Null) | None => Ok(None),
+                Some(value) => T::deserialize(value)
+                    .map(Some)
+                    .map_err(|e| serde::Error::new(format!("ExploreSpec.{name}: {e}"))),
+            }
+        }
+        let budget = opt(field("budget"), "budget")?.unwrap_or_else(|| default_budget(&space));
+        Ok(ExploreSpec {
+            space,
+            budget,
+            algorithm: opt(field("algorithm"), "algorithm")?.unwrap_or_default(),
+            seed: opt(field("seed"), "seed")?.unwrap_or(DEFAULT_SEED),
+        })
+    }
+}
+
+/// One generation of an exploration run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GenerationStats {
+    /// 0-based generation number.
+    pub index: usize,
+    /// What the generation did (`seed`, `generation`, `halving`).
+    pub phase: String,
+    /// Evaluations submitted (budget charged) this generation.
+    pub submitted: usize,
+    /// Of `submitted`, how many ran at coarse fidelity.
+    pub coarse: usize,
+    /// Cumulative per-model frontier size over the full-fidelity
+    /// outcomes after this generation.
+    pub frontier_points: usize,
+}
+
+/// The result of an exploration run.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The algorithm that ran.
+    pub algorithm: ExploreAlgorithm,
+    /// The seed it ran under.
+    pub seed: u64,
+    /// Size of the exhaustive grid the exploration avoided expanding.
+    pub space_points: usize,
+    /// The configured budget.
+    pub budget: u64,
+    /// Evaluations actually submitted (coarse + full; journal-resumed
+    /// submissions count — re-running them costs nothing but they were
+    /// part of the trajectory).
+    pub budget_used: u64,
+    /// Full-fidelity (in-space) points evaluated: `outcomes.len()`.
+    pub evaluated: usize,
+    /// Coarse-fidelity evaluations (successive halving only).
+    pub coarse_evaluated: usize,
+    /// Every full-fidelity outcome, in deterministic submission order.
+    /// Feed these to [`export`](crate::export) for CSV/JSON reports.
+    pub outcomes: Vec<DseOutcome>,
+    /// Per-model Pareto frontier: model name → indices into `outcomes`,
+    /// ascending cycles.
+    pub frontier: BTreeMap<String, Vec<usize>>,
+    /// Per-generation trajectory.
+    pub generations: Vec<GenerationStats>,
+}
+
+impl ExploreReport {
+    /// The `(cycles, energy_mj)` objectives of one model's frontier,
+    /// ascending cycles (empty for unknown models).
+    pub fn frontier_objectives(&self, model: &str) -> Vec<(u64, f64)> {
+        self.frontier
+            .get(model)
+            .map(|indices| {
+                indices
+                    .iter()
+                    .filter_map(|&i| self.outcomes[i].evaluation())
+                    .map(|e| (e.simulation.total_cycles, e.simulation.energy_mj()))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Explores `spec.space` within `spec.budget` evaluations on `service`.
+///
+/// # Errors
+///
+/// Returns [`DseError::Spec`] when the space names no model or no
+/// strategy, [`DseError::Io`] when the service refuses the batch (it is
+/// shutting down). Per-point failures stay inside their outcomes.
+pub fn explore(spec: &ExploreSpec, service: &EvalService) -> Result<ExploreReport, DseError> {
+    explore_inner(spec, service, None)
+}
+
+/// [`explore`] against a [`SweepJournal`]: journaled points are served
+/// without re-running and fresh outcomes are appended, so an interrupted
+/// exploration resumes — with the same spec and seed the trajectory is
+/// identical and every already-journaled point is free.
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn explore_journaled(
+    spec: &ExploreSpec,
+    service: &EvalService,
+    journal: &Arc<SweepJournal>,
+) -> Result<ExploreReport, DseError> {
+    explore_inner(spec, service, Some(Arc::clone(journal)))
+}
+
+fn explore_inner(
+    spec: &ExploreSpec,
+    service: &EvalService,
+    journal: Option<Arc<SweepJournal>>,
+) -> Result<ExploreReport, DseError> {
+    let axes = spec.space.axes()?;
+    let mut run = Run {
+        axes,
+        base: spec.space.base_arch(),
+        service,
+        journal,
+        rng: XorShift::new(spec.seed),
+        budget: spec.budget,
+        used: 0,
+        coarse_used: 0,
+        visited: HashSet::new(),
+        points: Vec::new(),
+        outcomes: Vec::new(),
+        generations: Vec::new(),
+        resolved: HashMap::new(),
+    };
+    match spec.algorithm {
+        ExploreAlgorithm::SuccessiveHalving => successive_halving(&mut run)?,
+        ExploreAlgorithm::Evolutionary => evolutionary(&mut run)?,
+    }
+    let frontier = analysis::pareto_frontier_by_model(&run.outcomes);
+    Ok(ExploreReport {
+        algorithm: spec.algorithm,
+        seed: spec.seed,
+        space_points: run.axes.point_count(),
+        budget: spec.budget,
+        budget_used: run.used,
+        evaluated: run.outcomes.len(),
+        coarse_evaluated: run.coarse_used as usize,
+        outcomes: run.outcomes,
+        frontier,
+        generations: run.generations,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------------
+
+/// xorshift64\* — deterministic, dependency-free randomness.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        // splitmix64 finalizer: a bijective mix, so every seed lands on
+        // a distinct, well-scrambled state and adjacent seeds diverge
+        // in every bit (a plain XOR against a constant would collapse
+        // each even/odd seed pair once the low bit is forced). The
+        // final `| 1` keeps the xorshift state nonzero.
+        let mut mixed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mixed = (mixed ^ (mixed >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        mixed = (mixed ^ (mixed >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        mixed ^= mixed >> 31;
+        XorShift(mixed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+
+    fn coin(&mut self) -> bool {
+        self.next() & 1 == 1
+    }
+}
+
+/// Generation/population size for a space: `⌈√space⌉` clamped to
+/// `[4, 32]` — big enough to cover every model of a sparse seed, small
+/// enough that a budgeted run gets several selection rounds.
+fn generation_size(space: usize) -> usize {
+    ((space as f64).sqrt().ceil() as usize).clamp(4, 32)
+}
+
+struct Run<'s> {
+    axes: SweepAxes,
+    base: ArchConfig,
+    service: &'s EvalService,
+    journal: Option<Arc<SweepJournal>>,
+    rng: XorShift,
+    budget: u64,
+    used: u64,
+    coarse_used: u64,
+    /// Flat indices of in-space points already submitted at full
+    /// fidelity (never resubmitted — revisits are free by construction).
+    visited: HashSet<usize>,
+    /// Index vectors aligned with `outcomes`.
+    points: Vec<[usize; AXIS_COUNT]>,
+    /// Full-fidelity outcomes in submission order.
+    outcomes: Vec<DseOutcome>,
+    generations: Vec<GenerationStats>,
+    resolved: HashMap<(String, u32), Result<Arc<Model>, DseError>>,
+}
+
+impl Run<'_> {
+    fn space(&self) -> usize {
+        self.axes.point_count()
+    }
+
+    fn remaining_budget(&self) -> u64 {
+        self.budget.saturating_sub(self.used)
+    }
+
+    fn job_of(&mut self, point: PointSpec) -> Job {
+        let arch = point.arch(&self.base);
+        let model = self
+            .resolved
+            .entry((point.model.name.clone(), point.model.resolution))
+            .or_insert_with(|| {
+                models::by_name(&point.model.name, point.model.resolution)
+                    .map(Arc::new)
+                    .ok_or_else(|| DseError::UnknownModel { name: point.model.name.clone() })
+            })
+            .clone();
+        Job { spec: point, arch, model }
+    }
+
+    /// Submits one batch through the service (journaled when attached)
+    /// and waits for it; charges one budget unit per point.
+    fn evaluate_batch(&mut self, points: Vec<PointSpec>) -> Result<Vec<DseOutcome>, DseError> {
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.used += points.len() as u64;
+        let jobs: Vec<Job> = points.into_iter().map(|point| self.job_of(point)).collect();
+        let batch = match &self.journal {
+            Some(journal) => self.service.submit_jobs_journaled(jobs, journal),
+            None => self.service.submit_jobs(jobs),
+        }
+        .map_err(|rejected| DseError::io(format!("exploration batch rejected: {rejected}")))?;
+        Ok(batch.wait())
+    }
+
+    /// Records full-fidelity outcomes and their index vectors.
+    fn record(&mut self, flats: &[usize], outcomes: Vec<DseOutcome>) {
+        debug_assert_eq!(flats.len(), outcomes.len());
+        for (&flat, outcome) in flats.iter().zip(outcomes) {
+            self.points.push(self.axes.indices_of(flat));
+            self.outcomes.push(outcome);
+        }
+    }
+
+    /// Cumulative per-model frontier size over the recorded outcomes.
+    fn frontier_points(&self) -> usize {
+        analysis::pareto_frontier_by_model(&self.outcomes).values().map(Vec::len).sum()
+    }
+
+    fn push_generation(&mut self, phase: &str, submitted: usize, coarse: usize) {
+        let stats = GenerationStats {
+            index: self.generations.len(),
+            phase: phase.to_owned(),
+            submitted,
+            coarse,
+            frontier_points: self.frontier_points(),
+        };
+        self.generations.push(stats);
+    }
+
+    /// The finite `(cycles, energy)` objectives of a recorded outcome.
+    fn objectives_of(outcome: &DseOutcome) -> Option<(u64, f64)> {
+        let evaluation = outcome.evaluation()?;
+        let objectives = (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj());
+        objectives.1.is_finite().then_some(objectives)
+    }
+
+    /// Takes a strided (stratified) sample of up to `count` members of
+    /// the ascending `pool`, removing them in one `retain` pass: even
+    /// coverage of the grid — every model's subspace gets scouts — with
+    /// the phase randomized from the run PRNG. A uniform sample of the
+    /// same size routinely leaves whole regions of a small scouting
+    /// budget unseen. (The pool is an index vector over the grid —
+    /// O(space) memory, fine up to ~10⁷ points; beyond that the strided
+    /// positions would need to be computed arithmetically like the
+    /// evolutionary fallback scan.)
+    fn sample_strided(&mut self, pool: &mut Vec<usize>, count: usize) -> Vec<usize> {
+        let count = count.min(pool.len());
+        if count == 0 {
+            return Vec::new();
+        }
+        let stride = pool.len() / count;
+        let start = self.rng.below(stride.max(1));
+        let positions: HashSet<usize> = (0..count).map(|i| start + i * stride).collect();
+        let picked: Vec<usize> = {
+            let mut ordered: Vec<usize> = positions.iter().copied().collect();
+            ordered.sort_unstable();
+            ordered.into_iter().map(|at| pool[at]).collect()
+        };
+        let mut at = 0;
+        pool.retain(|_| {
+            let keep = !positions.contains(&at);
+            at += 1;
+            keep
+        });
+        picked
+    }
+}
+
+/// The coarse-fidelity projection of a point: resolution floored to
+/// [`COARSE_RESOLUTION`], search mode pinned to `Sequential`.
+fn coarse_of(point: &PointSpec) -> PointSpec {
+    let mut coarse = point.clone();
+    coarse.model.resolution = coarse.model.resolution.min(COARSE_RESOLUTION);
+    coarse.search = SearchMode::Sequential;
+    coarse
+}
+
+// ---------------------------------------------------------------------------
+// Successive halving
+// ---------------------------------------------------------------------------
+
+/// The finite `(cycles, energy)` objectives of a point, or `None` for a
+/// failed/non-finite evaluation.
+type Objectives = Option<(u64, f64)>;
+
+/// Coarse evidence about one in-space point: its flat grid index, its
+/// model name, and the coarse objectives observed for it.
+type CoarseEvidence = (usize, String, Objectives);
+
+/// Selection candidates grouped per model: `(index, (cycles, energy))`
+/// pairs, where the index is a flat grid index (promotion) or an
+/// outcome index (parent selection).
+type CandidatesByModel<'a> = BTreeMap<&'a str, Vec<(usize, (u64, f64))>>;
+
+fn successive_halving(run: &mut Run) -> Result<(), DseError> {
+    let space = run.space();
+    let generation = generation_size(space);
+    // Flat indices never sampled at either fidelity; shrinks as
+    // generations consume it.
+    let mut unseen: Vec<usize> = (0..space).collect();
+    // Accumulated coarse evidence: one entry per sampled in-space point
+    // (points sharing a coarse projection share its objectives).
+    let mut pool: Vec<CoarseEvidence> = Vec::new();
+    let mut coarse_results: HashMap<String, Objectives> = HashMap::new();
+    // Full outcomes of the coarse evaluations, so an in-space point that
+    // *is* a previously scouted projection is recorded from the held
+    // outcome instead of being submitted (and charged) a second time.
+    let mut coarse_outcomes_by_label: HashMap<String, DseOutcome> = HashMap::new();
+
+    // *Coarse* scouting gets at most half the total budget; the other
+    // half is reserved for full-fidelity promotions of the survivors.
+    // Without the split, late generations keep paying for coarse
+    // evidence they no longer have the budget to act on. Sampled points
+    // that are their own coarse projection are full-fidelity evaluations
+    // and do not count against the scouting half.
+    let scout_budget = (run.budget as usize).div_ceil(2);
+
+    while run.remaining_budget() > 0 {
+        // --- Coarse rung: a strided sample of fresh points (skipped
+        // once the coarse half of the budget is spent). ---
+        let remaining = run.remaining_budget() as usize;
+        let sample_size =
+            if (run.coarse_used as usize) < scout_budget { generation.min(remaining) } else { 0 };
+        let sampled = run.sample_strided(&mut unseen, sample_size);
+        let mut direct = Vec::new(); // coarse == full: counts as in-space
+        let mut projected = Vec::new();
+        for &flat in &sampled {
+            let point = run.axes.point(run.axes.indices_of(flat));
+            let coarse = coarse_of(&point);
+            if coarse == point {
+                run.visited.insert(flat);
+                if let Some(outcome) = coarse_outcomes_by_label.get(&point.label()) {
+                    // This point was already evaluated as another
+                    // point's coarse projection: record the held
+                    // outcome for free instead of resubmitting.
+                    pool.push((flat, point.model.name.clone(), Run::objectives_of(outcome)));
+                    run.record(&[flat], vec![outcome.clone()]);
+                } else {
+                    direct.push((flat, point));
+                }
+            } else {
+                projected.push((flat, point, coarse));
+            }
+        }
+        // A direct point is its own coarse projection, so a sibling
+        // sampled in the same generation (e.g. the same model at a
+        // higher resolution) must share its evaluation, not submit a
+        // duplicate coarse job.
+        let direct_labels: HashSet<String> =
+            direct.iter().map(|(_, point)| point.label()).collect();
+        let mut coarse_jobs: Vec<(usize, String, PointSpec)> = Vec::new();
+        // Points whose coarse projection is evaluated by (or shared
+        // with) this generation's batches: their pool evidence is
+        // filled in *after* the batches land, so a same-generation
+        // label collision cannot freeze a placeholder into the pool.
+        let mut shared: Vec<(usize, String, String)> = Vec::new();
+        for (flat, point, coarse) in projected {
+            let label = coarse.label();
+            match coarse_results.get(&label) {
+                // A previous generation already paid for (or failed)
+                // this projection: reuse its evidence.
+                Some(&objectives) => pool.push((flat, point.model.name.clone(), objectives)),
+                None => {
+                    if !direct_labels.contains(&label)
+                        && !coarse_jobs.iter().any(|(_, pending, _)| pending == &label)
+                    {
+                        coarse_jobs.push((flat, label.clone(), coarse));
+                    }
+                    shared.push((flat, point.model.name.clone(), label));
+                }
+            }
+        }
+        // Enforce the scouting half-budget on the actual coarse jobs
+        // (their count is only known after classification): projections
+        // beyond the allowance are dropped and their points returned to
+        // the unseen pool, so the promotion rung always keeps its half.
+        let allowance = scout_budget.saturating_sub(run.coarse_used as usize);
+        if coarse_jobs.len() > allowance {
+            let dropped: HashSet<String> =
+                coarse_jobs[allowance..].iter().map(|(_, label, _)| label.clone()).collect();
+            coarse_jobs.truncate(allowance);
+            shared.retain(|(flat, _, label)| {
+                if dropped.contains(label) {
+                    unseen.push(*flat);
+                    false
+                } else {
+                    true
+                }
+            });
+            unseen.sort_unstable();
+        }
+
+        let direct_flats: Vec<usize> = direct.iter().map(|(flat, _)| *flat).collect();
+        let direct_points: Vec<PointSpec> = direct.into_iter().map(|(_, point)| point).collect();
+        let direct_outcomes = run.evaluate_batch(direct_points)?;
+        for (&flat, outcome) in direct_flats.iter().zip(&direct_outcomes) {
+            let objectives = Run::objectives_of(outcome);
+            pool.push((flat, outcome.point.model.name.clone(), objectives));
+            // A direct point is its own coarse projection: register it
+            // so a sibling projecting onto it (e.g. the same model at a
+            // higher resolution) reuses this evaluation instead of
+            // paying budget for a coarse job the cache already holds.
+            coarse_results.insert(outcome.point.label(), objectives);
+        }
+        run.record(&direct_flats, direct_outcomes);
+
+        let coarse_points: Vec<PointSpec> =
+            coarse_jobs.iter().map(|(_, _, coarse)| coarse.clone()).collect();
+        let coarse_count = coarse_points.len();
+        run.coarse_used += coarse_count as u64;
+        let coarse_outcomes = run.evaluate_batch(coarse_points)?;
+        for ((_, label, _), outcome) in coarse_jobs.iter().zip(&coarse_outcomes) {
+            coarse_results.insert(label.clone(), Run::objectives_of(outcome));
+            coarse_outcomes_by_label.insert(label.clone(), outcome.clone());
+        }
+        for (flat, model, label) in shared {
+            let objectives = coarse_results.get(&label).copied().flatten();
+            pool.push((flat, model, objectives));
+        }
+
+        // --- Promotion rung: full fidelity for the per-model survivors
+        // of the accumulated coarse pool, best coarse Pareto rank first
+        // (ascending cycles within a rank). The coarse objectives are a
+        // proxy, so the band behind the scouted frontier still earns a
+        // full-fidelity look while promotion budget remains. ---
+        let mut by_model: CandidatesByModel = BTreeMap::new();
+        for (flat, model, objectives) in &pool {
+            if let Some(objectives) = objectives {
+                by_model.entry(model).or_default().push((*flat, *objectives));
+            }
+        }
+        let mut queues: Vec<Vec<usize>> = by_model
+            .values()
+            .map(|candidates| {
+                let objectives: Vec<(u64, f64)> =
+                    candidates.iter().map(|(_, objectives)| *objectives).collect();
+                let ranks = analysis::pareto_ranks(&objectives);
+                let mut order: Vec<usize> = (0..candidates.len()).collect();
+                order.sort_by(|&a, &b| {
+                    ranks[a]
+                        .cmp(&ranks[b])
+                        .then(objectives[a].0.cmp(&objectives[b].0))
+                        .then(a.cmp(&b))
+                });
+                order
+                    .into_iter()
+                    .map(|local| candidates[local].0)
+                    .filter(|flat| !run.visited.contains(flat))
+                    .collect()
+            })
+            .collect();
+        // Round-robin across models so a tight budget still promotes
+        // every workload's best candidates.
+        let mut promoted: Vec<usize> = Vec::new();
+        let mut cursor = 0;
+        let lanes = queues.len().max(1);
+        while (promoted.len() as u64) < run.remaining_budget()
+            && queues.iter().any(|queue| !queue.is_empty())
+        {
+            let queue = &mut queues[cursor % lanes];
+            if let Some(flat) = queue.first().copied() {
+                queue.remove(0);
+                run.visited.insert(flat);
+                promoted.push(flat);
+            }
+            cursor += 1;
+        }
+        let promoted_points: Vec<PointSpec> =
+            promoted.iter().map(|&flat| run.axes.point(run.axes.indices_of(flat))).collect();
+        let promoted_outcomes = run.evaluate_batch(promoted_points)?;
+        run.record(&promoted, promoted_outcomes);
+
+        let submitted = direct_flats.len() + coarse_count + promoted.len();
+        run.push_generation("halving", submitted, coarse_count);
+        if submitted == 0 {
+            // Nothing left to sample and no survivor to promote: the
+            // space (or the promotable frontier) is exhausted.
+            break;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Evolutionary search
+// ---------------------------------------------------------------------------
+
+fn evolutionary(run: &mut Run) -> Result<(), DseError> {
+    let space = run.space();
+    let population = generation_size(space);
+
+    // Seed: a sparse strided sample of the grid. The model axis is the
+    // outermost, so the stride covers every workload.
+    let mut seeds: Vec<usize> =
+        (0..population.min(space)).map(|i| i * space / population.min(space)).collect();
+    seeds.dedup();
+    seeds.truncate(run.remaining_budget() as usize);
+    for &flat in &seeds {
+        run.visited.insert(flat);
+    }
+    let seed_points: Vec<PointSpec> =
+        seeds.iter().map(|&flat| run.axes.point(run.axes.indices_of(flat))).collect();
+    let submitted = seed_points.len();
+    let seed_outcomes = run.evaluate_batch(seed_points)?;
+    run.record(&seeds, seed_outcomes);
+    run.push_generation("seed", submitted, 0);
+
+    // Breed half a population per generation: twice the selection
+    // rounds per budget, which matters far more than brood size when
+    // the budget is a fraction of the space.
+    let brood = (population / 2).max(2);
+    while run.remaining_budget() > 0 && run.visited.len() < space {
+        let parents = select_parents(run, population);
+        let children = offspring(run, &parents, brood);
+        if children.is_empty() {
+            break;
+        }
+        for &flat in &children {
+            run.visited.insert(flat);
+        }
+        let child_points: Vec<PointSpec> =
+            children.iter().map(|&flat| run.axes.point(run.axes.indices_of(flat))).collect();
+        let submitted = child_points.len();
+        let child_outcomes = run.evaluate_batch(child_points)?;
+        run.record(&children, child_outcomes);
+        run.push_generation("generation", submitted, 0);
+    }
+    Ok(())
+}
+
+/// Selects up to `count` parents from the evaluated population: per
+/// model, sort by (Pareto rank, descending crowding distance, evaluation
+/// order), then interleave the models round-robin so every workload
+/// keeps breeding stock.
+fn select_parents(run: &Run, count: usize) -> Vec<[usize; AXIS_COUNT]> {
+    let mut by_model: CandidatesByModel = BTreeMap::new();
+    for (at, outcome) in run.outcomes.iter().enumerate() {
+        if let Some(objectives) = Run::objectives_of(outcome) {
+            by_model.entry(outcome.point.model.name.as_str()).or_default().push((at, objectives));
+        }
+    }
+    let mut queues: Vec<std::vec::IntoIter<usize>> = by_model
+        .values()
+        .map(|group| {
+            let objectives: Vec<(u64, f64)> = group.iter().map(|(_, o)| *o).collect();
+            let ranks = analysis::pareto_ranks(&objectives);
+            let crowding = analysis::crowding_distances(&objectives, &ranks);
+            let mut order: Vec<usize> = (0..group.len()).collect();
+            order.sort_by(|&a, &b| {
+                ranks[a]
+                    .cmp(&ranks[b])
+                    .then(crowding[b].total_cmp(&crowding[a]))
+                    .then(group[a].0.cmp(&group[b].0))
+            });
+            order.into_iter().map(|local| group[local].0).collect::<Vec<usize>>().into_iter()
+        })
+        .collect();
+    let mut parents = Vec::new();
+    let mut cursor = 0;
+    let lanes = queues.len().max(1);
+    while parents.len() < count && queues.iter().any(|queue| queue.len() > 0) {
+        if let Some(at) = queues[cursor % lanes].next() {
+            parents.push(run.points[at]);
+        }
+        cursor += 1;
+    }
+    parents
+}
+
+/// Breeds up to `count` fresh (unvisited) children: mutation steps one
+/// axis to an adjacent value, crossover mixes two parents per axis.
+/// When breeding stalls (tiny spaces, exhausted neighborhoods), the
+/// remainder is filled by a deterministic scan from a random grid
+/// offset, which guarantees a full-budget run exhausts the space.
+fn offspring(run: &mut Run, parents: &[[usize; AXIS_COUNT]], count: usize) -> Vec<usize> {
+    let space = run.space();
+    let unvisited = space - run.visited.len();
+    let target = count.min(run.remaining_budget() as usize).min(unvisited);
+    let mut children: Vec<usize> = Vec::new();
+    let mut fresh: HashSet<usize> = HashSet::new();
+    let mut tries = 0;
+    // Parents are rank-ordered (round-robin across models), so a
+    // min-of-two tournament on the index biases breeding toward the
+    // frontier without starving diversity.
+    let tournament = |rng: &mut XorShift, len: usize| rng.below(len).min(rng.below(len));
+    while children.len() < target && tries < 20 * count && !parents.is_empty() {
+        tries += 1;
+        let child = if parents.len() >= 2 && run.rng.coin() {
+            let a = parents[tournament(&mut run.rng, parents.len())];
+            let b = parents[tournament(&mut run.rng, parents.len())];
+            crossover(&mut run.rng, a, b)
+        } else {
+            let parent = parents[tournament(&mut run.rng, parents.len())];
+            mutate(&mut run.rng, &run.axes, parent)
+        };
+        let flat = run.axes.flat_of(child);
+        if !run.visited.contains(&flat) && fresh.insert(flat) {
+            children.push(flat);
+        }
+    }
+    if children.len() < target {
+        let start = run.rng.below(space.max(1));
+        for offset in 0..space {
+            if children.len() >= target {
+                break;
+            }
+            let flat = (start + offset) % space;
+            if !run.visited.contains(&flat) && fresh.insert(flat) {
+                children.push(flat);
+            }
+        }
+    }
+    children
+}
+
+fn mutate(
+    rng: &mut XorShift,
+    axes: &SweepAxes,
+    parent: [usize; AXIS_COUNT],
+) -> [usize; AXIS_COUNT] {
+    let dims = axes.dims();
+    let movable: Vec<usize> = (0..AXIS_COUNT).filter(|&axis| dims[axis] > 1).collect();
+    let mut child = parent;
+    if movable.is_empty() {
+        return child;
+    }
+    let axis = movable[rng.below(movable.len())];
+    let at = child[axis];
+    child[axis] = if at == 0 {
+        1
+    } else if at + 1 == dims[axis] {
+        at - 1
+    } else if rng.coin() {
+        at + 1
+    } else {
+        at - 1
+    };
+    child
+}
+
+fn crossover(
+    rng: &mut XorShift,
+    a: [usize; AXIS_COUNT],
+    b: [usize; AXIS_COUNT],
+) -> [usize; AXIS_COUNT] {
+    let mut child = a;
+    for axis in 0..AXIS_COUNT {
+        if rng.coin() {
+            child[axis] = b[axis];
+        }
+    }
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServiceConfig;
+    use cimflow_compiler::Strategy;
+
+    fn space() -> SweepSpec {
+        SweepSpec::new()
+            .named("explore-unit")
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8])
+            .with_flit_sizes(&[8, 16])
+    }
+
+    #[test]
+    fn spec_json_round_trips_and_defaults_apply() {
+        let spec = ExploreSpec::new(space())
+            .with_budget(3)
+            .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+            .with_seed(99);
+        let back = ExploreSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+
+        let partial = ExploreSpec::from_json(
+            "{\"space\": {\"models\": [{\"name\": \"resnet18\", \"resolution\": 32}], \
+             \"strategies\": [\"dp\"], \"mg_sizes\": [2, 4, 8, 16]}}",
+        )
+        .unwrap();
+        assert_eq!(partial.budget, 4, "a quarter of the 4-point grid, floored at 4");
+        assert_eq!(partial.algorithm, ExploreAlgorithm::Evolutionary);
+        assert_eq!(partial.seed, DEFAULT_SEED);
+        assert!(ExploreSpec::from_json("{\"budget\": 4}").is_err(), "space is required");
+
+        assert_eq!(ExploreAlgorithm::from_name("sh"), Some(ExploreAlgorithm::SuccessiveHalving));
+        assert_eq!(ExploreAlgorithm::from_name("evo"), Some(ExploreAlgorithm::Evolutionary));
+        assert_eq!(ExploreAlgorithm::from_name("annealing"), None);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_seed_sensitive() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        let mut c = XorShift::new(8);
+        let from_a: Vec<u64> = (0..8).map(|_| a.next()).collect();
+        let from_b: Vec<u64> = (0..8).map(|_| b.next()).collect();
+        let from_c: Vec<u64> = (0..8).map(|_| c.next()).collect();
+        assert_eq!(from_a, from_b);
+        assert_ne!(from_a, from_c);
+        // Adjacent even/odd seed pairs must diverge too (an unmixed
+        // `seed ^ CONST | 1` used to collapse each such pair onto one
+        // state).
+        for seed in 0..64u64 {
+            assert_ne!(
+                XorShift::new(seed).next(),
+                XorShift::new(seed + 1).next(),
+                "seeds {seed} and {} collide",
+                seed + 1
+            );
+        }
+        let mut d = XorShift::new(0);
+        assert!((0..8).all(|_| d.below(5) < 5));
+    }
+
+    #[test]
+    fn coarse_projection_floors_resolution_and_pins_search() {
+        let point = SweepSpec::new()
+            .with_model("vgg19", 64)
+            .with_strategies(&[Strategy::DpOptimized])
+            .with_search_modes(&[SearchMode::Joint])
+            .expand()
+            .unwrap()[0]
+            .clone();
+        let coarse = coarse_of(&point);
+        assert_eq!(coarse.model.resolution, COARSE_RESOLUTION);
+        assert_eq!(coarse.search, SearchMode::Sequential);
+        assert_ne!(coarse, point);
+        // A point already at the floor with the default search *is* its
+        // own coarse projection.
+        let fine = space().expand().unwrap()[0].clone();
+        assert_eq!(coarse_of(&fine), fine);
+    }
+
+    #[test]
+    fn generation_size_scales_with_the_space() {
+        assert_eq!(generation_size(1), 4);
+        assert_eq!(generation_size(16), 4);
+        assert_eq!(generation_size(100), 10);
+        assert_eq!(generation_size(100_000), 32);
+    }
+
+    #[test]
+    fn mutation_steps_one_axis_and_crossover_mixes() {
+        let axes = space().axes().unwrap();
+        let mut rng = XorShift::new(3);
+        let parent = axes.indices_of(0);
+        for _ in 0..32 {
+            let child = mutate(&mut rng, &axes, parent);
+            let moved: Vec<usize> =
+                (0..AXIS_COUNT).filter(|&axis| child[axis] != parent[axis]).collect();
+            assert_eq!(moved.len(), 1, "exactly one axis moves");
+            let axis = moved[0];
+            assert_eq!(child[axis].abs_diff(parent[axis]), 1, "the move is to an adjacent value");
+        }
+        let a = axes.indices_of(0);
+        let b = axes.indices_of(axes.point_count() - 1);
+        for _ in 0..32 {
+            let child = crossover(&mut rng, a, b);
+            for axis in 0..AXIS_COUNT {
+                assert!(child[axis] == a[axis] || child[axis] == b[axis]);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_coarse_projections_do_not_drop_points() {
+        // Two resolutions of one model project onto the *same* coarse
+        // point (both floor to 32 px). Sampled in the same generation,
+        // the projection must be scouted once and both siblings must
+        // still be promotable — a frozen placeholder used to drop the
+        // second sibling from the search forever.
+        let space = SweepSpec::new()
+            .with_model("mobilenetv2", 48)
+            .with_model("mobilenetv2", 64)
+            .with_strategies(&[Strategy::GenericMapping]);
+        let spec = ExploreSpec::new(space)
+            .with_budget(3)
+            .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+            .with_seed(1);
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let report = explore(&spec, &service).unwrap();
+        assert_eq!(report.coarse_evaluated, 1, "the shared projection is scouted once");
+        assert_eq!(report.evaluated, 2, "both siblings reach full fidelity");
+        assert_eq!(report.budget_used, 3);
+    }
+
+    #[test]
+    fn in_space_coarse_projections_share_the_direct_evaluation() {
+        // The 32 px point *is* the 64 px point's coarse projection and a
+        // grid point of its own: one evaluation serves both roles, no
+        // coarse job is submitted, and no budget is double-charged.
+        let space = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_model("mobilenetv2", 64)
+            .with_strategies(&[Strategy::GenericMapping]);
+        let spec = ExploreSpec::new(space)
+            .with_budget(2)
+            .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+            .with_seed(5);
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let report = explore(&spec, &service).unwrap();
+        assert_eq!(report.coarse_evaluated, 0, "the direct evaluation doubles as the scout");
+        assert_eq!(report.evaluated, 2, "both grid points reach full fidelity");
+        assert_eq!(report.budget_used, 2);
+        assert_eq!(service.cache().stats().misses, 2, "nothing evaluates twice");
+    }
+
+    #[test]
+    fn explore_respects_the_budget_and_reports_a_frontier() {
+        let spec = ExploreSpec::new(space()).with_budget(3).with_seed(11);
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let report = explore(&spec, &service).unwrap();
+        assert!(report.budget_used <= 3);
+        assert_eq!(report.evaluated, report.outcomes.len());
+        assert!(report.evaluated >= 1);
+        assert_eq!(report.space_points, 4);
+        assert!(!report.frontier["mobilenetv2"].is_empty());
+        assert!(!report.generations.is_empty());
+        let submitted: usize = report.generations.iter().map(|g| g.submitted).sum();
+        assert_eq!(submitted as u64, report.budget_used);
+
+        // The same seed explores the same points; a different seed is
+        // free to differ.
+        let again = explore(&spec, &service).unwrap();
+        assert_eq!(
+            report.outcomes.iter().map(|o| o.point.label()).collect::<Vec<_>>(),
+            again.outcomes.iter().map(|o| o.point.label()).collect::<Vec<_>>(),
+        );
+        // And the warm service served every revisit from the cache.
+        assert!(again.outcomes.iter().all(|o| o.cached));
+    }
+}

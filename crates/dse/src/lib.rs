@@ -51,6 +51,7 @@ mod cache;
 mod error;
 mod eval;
 mod executor;
+mod explore;
 pub mod export;
 mod journal;
 pub mod serve;
@@ -64,9 +65,13 @@ pub use cache::{
 pub use error::DseError;
 pub use eval::{evaluate, evaluate_with_search, Evaluation};
 pub use executor::{expand_jobs, run_sweep, DseOutcome, Executor, Job, Progress};
+pub use explore::{
+    explore, explore_journaled, ExploreAlgorithm, ExploreReport, ExploreSpec, GenerationStats,
+    COARSE_RESOLUTION, DEFAULT_SEED,
+};
 pub use journal::{CompactionStats, SweepJournal, JOURNAL_FORMAT_VERSION};
 pub use service::{
     BatchHandle, EvalRequest, EvalService, JobEvent, JobHandle, JobStatus, Priority, Rejected,
     ServiceConfig, ServiceStats, DEFAULT_TENANT,
 };
-pub use spec::{ModelSpec, PointSpec, SweepSpec};
+pub use spec::{ModelSpec, PointSpec, SweepAxes, SweepSpec, AXIS_COUNT};

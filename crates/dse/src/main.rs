@@ -14,6 +14,20 @@
 //! from it, so an interrupted sweep picks up where it stopped, and
 //! `--search` overrides the spec's system-level search-mode axis.
 //!
+//! **Explore mode** runs the adaptive Pareto-guided exploration engine
+//! over an `ExploreSpec` JSON file (a sweep *space* plus a budget, an
+//! algorithm and a seed) instead of exhaustively expanding the grid:
+//!
+//! ```text
+//! cargo run --release -p cimflow-dse -- explore space.json \
+//!     [--budget N] [--algorithm successive_halving|evolutionary] [--seed N] \
+//!     [--workers N] [--journal explore.jsonl] [--csv out.csv] [--json out.json] [--quiet]
+//! ```
+//!
+//! The flags override the spec's `budget`/`algorithm`/`seed`; `--journal`
+//! makes the exploration resumable (the same spec and seed replay their
+//! trajectory with journaled points served for free).
+//!
 //! **Journal maintenance**: `cimflow-dse journal compact <path>` drops
 //! superseded/duplicate entries and failure log lines from a sweep
 //! journal, shrinking files that accumulated across resumed runs.
@@ -42,8 +56,8 @@ use std::time::Instant;
 use cimflow_compiler::SearchMode;
 use cimflow_dse::serve::{serve_stdio, TcpServer};
 use cimflow_dse::{
-    analysis, export, DseError, DseOutcome, EvalCache, EvalService, Executor, Progress,
-    ServiceConfig, SweepJournal, SweepSpec,
+    analysis, explore, explore_journaled, export, DseError, DseOutcome, EvalCache, EvalService,
+    Executor, ExploreAlgorithm, ExploreSpec, Progress, ServiceConfig, SweepJournal, SweepSpec,
 };
 
 struct SweepArgs {
@@ -65,14 +79,29 @@ struct ServeArgs {
     tcp: Option<u16>,
 }
 
+struct ExploreArgs {
+    spec_path: PathBuf,
+    workers: Option<usize>,
+    budget: Option<u64>,
+    algorithm: Option<ExploreAlgorithm>,
+    seed: Option<u64>,
+    journal: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
 enum Args {
     Sweep(SweepArgs),
     Serve(ServeArgs),
+    Explore(ExploreArgs),
     JournalCompact { path: PathBuf },
 }
 
 const USAGE: &str = "usage: cimflow-dse <sweep.json> [--workers N] [--sequential] \
 [--search sequential|joint] [--csv PATH] [--json PATH] [--cache PATH] [--journal PATH] [--quiet]
+       cimflow-dse explore <space.json> [--budget N] [--algorithm successive_halving|evolutionary] \
+[--seed N] [--workers N] [--journal PATH] [--csv PATH] [--json PATH] [--quiet]
        cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT]
        cimflow-dse journal compact <PATH>";
 
@@ -90,6 +119,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     let mut positionals: Vec<String> = Vec::new();
     let mut serve = false;
     let mut journal_cmd = false;
+    let mut explore_cmd = false;
     let mut search = None;
     let mut workers = None;
     let mut csv = None;
@@ -99,6 +129,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     let mut queue = None;
     let mut quota = None;
     let mut tcp = None;
+    let mut budget = None;
+    let mut algorithm = None;
+    let mut seed = None;
     let mut quiet = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -129,13 +162,36 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                 let value = take_value(&mut argv, "--tcp")?;
                 tcp = Some(parse_number::<u16>("--tcp", &value)?);
             }
+            "--budget" => {
+                let value = take_value(&mut argv, "--budget")?;
+                budget = Some(parse_number::<u64>("--budget", &value)?);
+            }
+            "--algorithm" => {
+                let value = take_value(&mut argv, "--algorithm")?;
+                algorithm = Some(ExploreAlgorithm::from_name(&value).ok_or_else(|| {
+                    format!(
+                        "--algorithm expects `successive_halving` or `evolutionary`, got `{value}`"
+                    )
+                })?);
+            }
+            "--seed" => {
+                let value = take_value(&mut argv, "--seed")?;
+                seed = Some(parse_number::<u64>("--seed", &value)?);
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => return Ok(None),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`\n{USAGE}"));
             }
-            "serve" if positionals.is_empty() && !serve && !journal_cmd => serve = true,
-            "journal" if positionals.is_empty() && !serve && !journal_cmd => journal_cmd = true,
+            mode @ ("serve" | "journal" | "explore")
+                if positionals.is_empty() && !serve && !journal_cmd && !explore_cmd =>
+            {
+                match mode {
+                    "serve" => serve = true,
+                    "journal" => journal_cmd = true,
+                    _ => explore_cmd = true,
+                }
+            }
             other if !serve => positionals.push(other.to_owned()),
             other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
         }
@@ -151,6 +207,9 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             (queue.is_some(), "--queue"),
             (quota.is_some(), "--quota"),
             (tcp.is_some(), "--tcp"),
+            (budget.is_some(), "--budget"),
+            (algorithm.is_some(), "--algorithm"),
+            (seed.is_some(), "--seed"),
             (quiet, "--quiet"),
         ] {
             if set {
@@ -164,12 +223,43 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             _ => return Err(format!("usage: cimflow-dse journal compact <PATH>\n{USAGE}")),
         }
     }
+    if explore_cmd {
+        for (set, flag) in [
+            (search.is_some(), "--search"),
+            (cache.is_some(), "--cache"),
+            (queue.is_some(), "--queue"),
+            (quota.is_some(), "--quota"),
+            (tcp.is_some(), "--tcp"),
+        ] {
+            if set {
+                return Err(format!("{flag} does not apply to explore mode\n{USAGE}"));
+            }
+        }
+        if positionals.len() > 1 {
+            return Err(format!("unexpected argument `{}`\n{USAGE}", positionals[1]));
+        }
+        let spec_path = positionals.pop().map(PathBuf::from).ok_or_else(|| USAGE.to_owned())?;
+        return Ok(Some(Args::Explore(ExploreArgs {
+            spec_path,
+            workers,
+            budget,
+            algorithm,
+            seed,
+            journal,
+            csv,
+            json,
+            quiet,
+        })));
+    }
     if serve {
         for (set, flag) in [
             (csv.is_some(), "--csv"),
             (json.is_some(), "--json"),
             (journal.is_some(), "--journal"),
             (search.is_some(), "--search"),
+            (budget.is_some(), "--budget"),
+            (algorithm.is_some(), "--algorithm"),
+            (seed.is_some(), "--seed"),
         ] {
             if set {
                 return Err(format!("{flag} does not apply to serve mode\n{USAGE}"));
@@ -177,11 +267,16 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
         }
         return Ok(Some(Args::Serve(ServeArgs { workers, queue, quota, cache, tcp })));
     }
-    for (set, flag) in
-        [(queue.is_some(), "--queue"), (quota.is_some(), "--quota"), (tcp.is_some(), "--tcp")]
-    {
+    for (set, flag) in [
+        (queue.is_some(), "--queue"),
+        (quota.is_some(), "--quota"),
+        (tcp.is_some(), "--tcp"),
+        (budget.is_some(), "--budget"),
+        (algorithm.is_some(), "--algorithm"),
+        (seed.is_some(), "--seed"),
+    ] {
         if set {
-            return Err(format!("{flag} only applies to serve mode\n{USAGE}"));
+            return Err(format!("{flag} does not apply to sweep mode\n{USAGE}"));
         }
     }
     if positionals.len() > 1 {
@@ -279,7 +374,7 @@ fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
         }
     }
 
-    report(&outcomes);
+    report_outcomes(&outcomes);
 
     if let Some(path) = &args.csv {
         std::fs::write(path, export::to_csv(&outcomes))
@@ -299,7 +394,7 @@ fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
     Ok(if succeeded > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) })
 }
 
-fn report(outcomes: &[DseOutcome]) {
+fn report_outcomes(outcomes: &[DseOutcome]) {
     let frontiers = analysis::pareto_frontier_by_model(outcomes);
     let frontier_points: usize = frontiers.values().map(Vec::len).sum();
     println!("\nPareto frontier over (cycles, energy), per model: {frontier_points} point(s)");
@@ -333,6 +428,89 @@ fn report(outcomes: &[DseOutcome]) {
             }
         }
     }
+}
+
+fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
+    let text = std::fs::read_to_string(&args.spec_path)
+        .map_err(|e| DseError::io(format!("cannot read {}: {e}", args.spec_path.display())))?;
+    let mut spec = ExploreSpec::from_json(&text)?;
+    if let Some(budget) = args.budget {
+        spec = spec.with_budget(budget);
+    }
+    if let Some(algorithm) = args.algorithm {
+        spec = spec.with_algorithm(algorithm);
+    }
+    if let Some(seed) = args.seed {
+        spec = spec.with_seed(seed);
+    }
+    let name = spec.space.name.clone().unwrap_or_else(|| args.spec_path.display().to_string());
+
+    let workers = args
+        .workers
+        .or(spec.space.workers)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1));
+    let service = EvalService::new(ServiceConfig::new().with_workers(workers));
+    println!(
+        "explore `{name}`: {} algorithm, budget {} of a {}-point space, seed {}, {} worker(s)",
+        spec.algorithm,
+        spec.budget,
+        spec.space.point_count(),
+        spec.seed,
+        service.workers()
+    );
+
+    let started = Instant::now();
+    let report = match &args.journal {
+        Some(path) => {
+            let journal = Arc::new(SweepJournal::open(path)?);
+            explore_journaled(&spec, &service, &journal)?
+        }
+        None => explore(&spec, &service)?,
+    };
+    let elapsed = started.elapsed();
+
+    let succeeded = report.outcomes.iter().filter(|o| o.result.is_ok()).count();
+    let resumed = report.outcomes.iter().filter(|o| o.cached).count();
+    println!(
+        "\nused {} of {} budget in {elapsed:.2?}: {} full-fidelity point(s) ({succeeded} ok, \
+         {resumed} cached/resumed), {} coarse, {:.1}% of the exhaustive grid evaluated",
+        report.budget_used,
+        report.budget,
+        report.evaluated,
+        report.coarse_evaluated,
+        100.0 * report.budget_used as f64 / report.space_points.max(1) as f64,
+    );
+    if !args.quiet {
+        println!("\ngeneration trajectory:");
+        for generation in &report.generations {
+            println!(
+                "  [{:>3}] {:<10} +{:<3} point(s) ({} coarse) -> frontier {}",
+                generation.index,
+                generation.phase,
+                generation.submitted,
+                generation.coarse,
+                generation.frontier_points
+            );
+        }
+    }
+    if let Some(path) = &args.journal {
+        println!("journal -> {}", path.display());
+    }
+
+    report_outcomes(&report.outcomes);
+
+    if let Some(path) = &args.csv {
+        std::fs::write(path, export::to_csv(&report.outcomes))
+            .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+        println!("\nwrote CSV -> {}", path.display());
+    }
+    if let Some(path) = &args.json {
+        std::fs::write(path, export::to_json(&report.outcomes))
+            .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+        println!("wrote JSON -> {}", path.display());
+    }
+
+    Ok(if succeeded > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) })
 }
 
 fn run_serve(args: &ServeArgs) -> Result<ExitCode, DseError> {
@@ -406,6 +584,7 @@ fn main() -> ExitCode {
     let outcome = match &args {
         Args::Sweep(sweep) => run_sweep(sweep),
         Args::Serve(serve) => run_serve(serve),
+        Args::Explore(explore) => run_explore(explore),
         Args::JournalCompact { path } => run_journal_compact(path),
     };
     match outcome {

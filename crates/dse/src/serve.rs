@@ -32,8 +32,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use serde::{Content, Deserialize, Serialize};
@@ -60,7 +59,17 @@ pub enum Request {
     /// Non-blocking status of a job or batch.
     Poll(Target),
     /// Block until a job or batch finishes, then return its result(s).
-    Wait(Target),
+    /// With `timeout_ms` set the wait is bounded: on expiry the response
+    /// is the current `status` (the id is *not* consumed), so one slow
+    /// job no longer wedges every other request on the connection — a
+    /// client can lease the connection in bounded slices and interleave
+    /// polls, cancels or new submissions between them.
+    Wait {
+        /// The job or batch to wait on.
+        target: Target,
+        /// Optional deadline in milliseconds; `None` blocks until done.
+        timeout_ms: Option<u64>,
+    },
     /// Cancel a queued job or every queued point of a batch.
     Cancel(Target),
     /// Service and cache counters.
@@ -240,7 +249,16 @@ impl serde::Serialize for Request {
                 ]),
             ),
             Request::Poll(target) => tagged("poll", target.serialize()),
-            Request::Wait(target) => tagged("wait", target.serialize()),
+            Request::Wait { target, timeout_ms } => {
+                let mut map = match target.serialize() {
+                    Content::Map(map) => map,
+                    _ => unreachable!("targets serialize to maps"),
+                };
+                if timeout_ms.is_some() {
+                    map.push(("timeout_ms".to_owned(), timeout_ms.serialize()));
+                }
+                tagged("wait", Content::Map(map))
+            }
             Request::Cancel(target) => tagged("cancel", target.serialize()),
             Request::Stats => tagged("stats", Content::Map(Vec::new())),
             Request::Shutdown => tagged("shutdown", Content::Map(Vec::new())),
@@ -271,7 +289,17 @@ impl serde::Deserialize for Request {
                 })
             }
             "poll" => Ok(Request::Poll(Target::deserialize(value)?)),
-            "wait" => Ok(Request::Wait(Target::deserialize(value)?)),
+            "wait" => {
+                let map =
+                    value.as_map().ok_or_else(|| serde::Error::new("expected a wait object"))?;
+                Ok(Request::Wait {
+                    target: Target::deserialize(value)?,
+                    timeout_ms: match field(map, "timeout_ms") {
+                        None | Some(Content::Null) => None,
+                        Some(value) => Some(u64::deserialize(value)?),
+                    },
+                })
+            }
             "cancel" => Ok(Request::Cancel(Target::deserialize(value)?)),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
@@ -439,7 +467,10 @@ impl<'s> Connection<'s> {
                             batch,
                             jobs: handle.ids().to_vec(),
                             points: handle.len(),
-                            resumed: handle.completed(),
+                            // Journal-born points only: a point a fast
+                            // worker finished before this response was
+                            // built is completed, not "resumed".
+                            resumed: handle.resumed(),
                         };
                         self.batches.insert(batch, handle);
                         response
@@ -466,27 +497,64 @@ impl<'s> Connection<'s> {
                 },
                 None => unknown("batch", batch),
             },
-            // A wait *consumes* the id (results are delivered exactly
-            // once): dropping the handle releases the server-side result
-            // slot, so a long-lived connection's memory is bounded by its
-            // in-flight work, not by everything it ever submitted. Poll
-            // before waiting if status is needed afterwards.
-            Request::Wait(Target::Job(job)) => match self.jobs.remove(&job) {
-                Some(handle) => Response::Result(WireOutcome::of(job, &handle.wait())),
+            // A *completed* wait consumes the id (results are delivered
+            // exactly once): dropping the handle releases the
+            // server-side result slot, so a long-lived connection's
+            // memory is bounded by its in-flight work, not by everything
+            // it ever submitted. Poll before waiting if status is needed
+            // afterwards. A wait that expires on its `timeout_ms` does
+            // NOT consume the id: it answers the current status and the
+            // job/batch stays addressable.
+            Request::Wait { target: Target::Job(job), timeout_ms } => match self.jobs.get(&job) {
+                Some(handle) => {
+                    let outcome = match timeout_ms {
+                        None => Some(handle.wait()),
+                        Some(ms) => handle.wait_timeout(Duration::from_millis(ms)),
+                    };
+                    match outcome {
+                        Some(outcome) => {
+                            self.jobs.remove(&job);
+                            Response::Result(WireOutcome::of(job, &outcome))
+                        }
+                        None => Response::Status {
+                            state: handle.status().name().to_owned(),
+                            completed: usize::from(handle.status().is_terminal()),
+                            total: 1,
+                        },
+                    }
+                }
                 None => unknown("job", job),
             },
-            Request::Wait(Target::Batch(batch)) => match self.batches.remove(&batch) {
-                Some(handle) => Response::BatchResult {
-                    batch,
-                    outcomes: handle
-                        .wait()
-                        .iter()
-                        .zip(handle.ids())
-                        .map(|(outcome, id)| WireOutcome::of(*id, outcome))
-                        .collect(),
-                },
-                None => unknown("batch", batch),
-            },
+            Request::Wait { target: Target::Batch(batch), timeout_ms } => {
+                match self.batches.get(&batch) {
+                    Some(handle) => {
+                        let outcomes = match timeout_ms {
+                            None => Some(handle.wait()),
+                            Some(ms) => handle.wait_timeout(Duration::from_millis(ms)),
+                        };
+                        match outcomes {
+                            Some(outcomes) => {
+                                let response = Response::BatchResult {
+                                    batch,
+                                    outcomes: outcomes
+                                        .iter()
+                                        .zip(handle.ids())
+                                        .map(|(outcome, id)| WireOutcome::of(*id, outcome))
+                                        .collect(),
+                                };
+                                self.batches.remove(&batch);
+                                response
+                            }
+                            None => Response::Status {
+                                state: if handle.is_done() { "done" } else { "running" }.to_owned(),
+                                completed: handle.completed(),
+                                total: handle.len(),
+                            },
+                        }
+                    }
+                    None => unknown("batch", batch),
+                }
+            }
             Request::Cancel(Target::Job(job)) => match self.jobs.get(&job) {
                 Some(handle) => Response::Cancelled { cancelled: usize::from(handle.cancel()) },
                 None => unknown("job", job),
@@ -557,11 +625,53 @@ pub fn serve_stdio(service: &EvalService) -> std::io::Result<bool> {
     serve_connection(service, stdin.lock(), stdout.lock())
 }
 
+/// A condvar-backed shutdown latch: the accept loop and
+/// [`TcpServer::wait_for_shutdown`] *wait* on it instead of busy-polling
+/// a flag with fixed sleeps, so a shutdown request propagates at notify
+/// latency rather than lagging up to a full poll interval.
+#[derive(Debug, Default)]
+struct ShutdownLatch {
+    requested: Mutex<bool>,
+    signal: Condvar,
+}
+
+impl ShutdownLatch {
+    fn set(&self) {
+        *self.requested.lock().expect("shutdown latch poisoned") = true;
+        self.signal.notify_all();
+    }
+
+    fn is_set(&self) -> bool {
+        *self.requested.lock().expect("shutdown latch poisoned")
+    }
+
+    /// Waits until the latch is set or `timeout` elapses; returns
+    /// whether it is set.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
+        let requested = self.requested.lock().expect("shutdown latch poisoned");
+        let (requested, _) = self
+            .signal
+            .wait_timeout_while(requested, timeout, |requested| !*requested)
+            .expect("shutdown latch poisoned");
+        *requested
+    }
+
+    /// Blocks until the latch is set.
+    fn wait(&self) {
+        let requested = self.requested.lock().expect("shutdown latch poisoned");
+        drop(
+            self.signal
+                .wait_while(requested, |requested| !*requested)
+                .expect("shutdown latch poisoned"),
+        );
+    }
+}
+
 /// A loopback TCP listener serving the JSON protocol, one thread per
 /// connection.
 pub struct TcpServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: Arc<ShutdownLatch>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -576,12 +686,12 @@ impl TcpServer {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(ShutdownLatch::default());
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::Builder::new()
             .name("cimflow-serve-accept".to_owned())
             .spawn(move || {
-                while !accept_stop.load(Ordering::SeqCst) {
+                while !accept_stop.is_set() {
                     match listener.accept() {
                         Ok((stream, _)) => {
                             let service = Arc::clone(&service);
@@ -592,12 +702,18 @@ impl TcpServer {
                                     Err(_) => return,
                                 };
                                 if let Ok(true) = serve_connection(&service, reader, &stream) {
-                                    stop.store(true, Ordering::SeqCst);
+                                    stop.set();
                                 }
                             });
                         }
                         Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(Duration::from_millis(20));
+                            // The non-blocking listener still needs a poll
+                            // cadence for *new connections*, but the latch
+                            // wait means a shutdown interrupts the pause
+                            // immediately instead of sleeping through it.
+                            if accept_stop.wait_timeout(ACCEPT_POLL) {
+                                break;
+                            }
                         }
                         Err(_) => break,
                     }
@@ -614,7 +730,7 @@ impl TcpServer {
 
     /// Whether a connection requested shutdown.
     pub fn shutdown_requested(&self) -> bool {
-        self.stop.load(Ordering::SeqCst)
+        self.stop.is_set()
     }
 
     /// Stops accepting connections and joins the accept thread. Open
@@ -624,20 +740,24 @@ impl TcpServer {
     }
 
     /// Blocks until a connection requests shutdown, then stops accepting.
+    /// The wait is event-driven (woken by the shutdown notification),
+    /// not polled.
     pub fn wait_for_shutdown(mut self) {
-        while !self.stop.load(Ordering::SeqCst) {
-            std::thread::sleep(Duration::from_millis(50));
-        }
+        self.stop.wait();
         self.halt();
     }
 
     fn halt(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.set();
         if let Some(thread) = self.accept_thread.take() {
             let _ = thread.join();
         }
     }
 }
+
+/// How often the accept loop re-checks the non-blocking listener for new
+/// connections while idle (shutdown wakes it immediately regardless).
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
 impl Drop for TcpServer {
     fn drop(&mut self) {
@@ -692,7 +812,8 @@ mod tests {
                 priority: None,
             },
             Request::Poll(Target::Job(3)),
-            Request::Wait(Target::Batch(1)),
+            Request::Wait { target: Target::Batch(1), timeout_ms: None },
+            Request::Wait { target: Target::Job(7), timeout_ms: Some(250) },
             Request::Cancel(Target::Job(9)),
             Request::Stats,
             Request::Shutdown,
@@ -724,7 +845,7 @@ mod tests {
         let input = lines(&[
             Request::Submit(EvalRequest::new("mobilenetv2", 32, Strategy::GenericMapping)),
             Request::Poll(Target::Job(1)),
-            Request::Wait(Target::Job(1)),
+            Request::Wait { target: Target::Job(1), timeout_ms: None },
             Request::Poll(Target::Job(1)),
             Request::Stats,
         ]);
@@ -768,8 +889,10 @@ mod tests {
         let input = format!(
             "not json at all\n{}\n{}\n{}\n",
             serde_json::to_string(&sweep).unwrap(),
-            serde_json::to_string(&Request::Wait(Target::Batch(1))).unwrap(),
-            serde_json::to_string(&Request::Wait(Target::Batch(77))).unwrap(),
+            serde_json::to_string(&Request::Wait { target: Target::Batch(1), timeout_ms: None })
+                .unwrap(),
+            serde_json::to_string(&Request::Wait { target: Target::Batch(77), timeout_ms: None })
+                .unwrap(),
         );
         let responses = responses(&service, &input);
         assert!(matches!(&responses[0], Response::Error { .. }), "garbage gets an error line");
@@ -790,6 +913,82 @@ mod tests {
             other => panic!("expected a batch result, got {other:?}"),
         }
         assert!(matches!(&responses[3], Response::Error { .. }), "unknown ids get an error");
+    }
+
+    #[test]
+    fn bounded_waits_answer_status_within_the_deadline_without_consuming_ids() {
+        use crate::{evaluate, CacheKey, EvalCache};
+        use cimflow_arch::ArchConfig;
+        use cimflow_compiler::SearchMode;
+        use cimflow_nn::models;
+        use std::sync::mpsc;
+        use std::time::{Duration, Instant};
+
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(ServiceConfig::new().with_workers(1), cache.clone());
+        // Hold the design point's in-flight cache marker so the worker
+        // blocks deterministically (the marker is held before submit).
+        let (go, release) = mpsc::channel();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let blocked_cache = cache.clone();
+        let blocker = std::thread::spawn(move || {
+            let arch = ArchConfig::paper_default();
+            let model = models::mobilenet_v2(32);
+            let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
+            blocked_cache
+                .get_or_insert_with(key, || {
+                    entered_tx.send(()).expect("entered signal");
+                    release.recv().expect("release signal");
+                    evaluate(&arch, &model, Strategy::GenericMapping)
+                })
+                .expect("blocked evaluation succeeds");
+        });
+        entered_rx.recv().expect("blocker holds the marker");
+
+        let mut connection = Connection::new(&service);
+        let (response, _) = connection.handle(Request::Submit(EvalRequest::new(
+            "mobilenetv2",
+            32,
+            Strategy::GenericMapping,
+        )));
+        assert_eq!(response, Response::Accepted { job: 1 });
+
+        // The bounded wait returns the current status near its deadline —
+        // the job would otherwise block this connection indefinitely.
+        let started = Instant::now();
+        let (response, shutdown) =
+            connection.handle(Request::Wait { target: Target::Job(1), timeout_ms: Some(100) });
+        let elapsed = started.elapsed();
+        assert!(!shutdown);
+        match response {
+            Response::Status { state, completed, total } => {
+                assert!(state == "queued" || state == "running", "live state, got {state}");
+                assert_eq!((completed, total), (0, 1));
+            }
+            other => panic!("expected an expiry status, got {other:?}"),
+        }
+        assert!(elapsed >= Duration::from_millis(100), "the deadline is honored: {elapsed:?}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "the wait returns at the deadline, not at job completion: {elapsed:?}"
+        );
+
+        // The expired wait did not consume the id.
+        let (response, _) = connection.handle(Request::Poll(Target::Job(1)));
+        assert!(matches!(response, Response::Status { .. }));
+
+        // Released, a bounded wait resolves like an unbounded one and
+        // consumes the id.
+        go.send(()).unwrap();
+        let (response, _) =
+            connection.handle(Request::Wait { target: Target::Job(1), timeout_ms: Some(60_000) });
+        match response {
+            Response::Result(outcome) => assert!(outcome.ok),
+            other => panic!("expected a result, got {other:?}"),
+        }
+        let (response, _) = connection.handle(Request::Poll(Target::Job(1)));
+        assert!(matches!(response, Response::Error { .. }), "the completed wait consumed the id");
+        blocker.join().unwrap();
     }
 
     #[test]

@@ -60,7 +60,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cimflow_arch::ArchConfig;
 use cimflow_compiler::{SearchMode, Strategy};
@@ -775,6 +775,27 @@ impl JobHandle {
         }
     }
 
+    /// [`Self::wait`] bounded by a deadline: returns the outcome if the
+    /// job turns terminal within `timeout`, `None` on expiry (the job
+    /// keeps running and the handle stays usable — poll, wait again, or
+    /// cancel). The wire protocol's `wait` + `timeout_ms` runs on this,
+    /// so one slow job cannot wedge a whole serve connection forever.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<DseOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        loop {
+            let entry = st.entries.get(&self.id).expect("job entry lives while its handle does");
+            if entry.status.is_terminal() {
+                return Some(entry.outcome.clone().expect("terminal job has an outcome"));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            st = self.shared.done.wait_timeout(st, deadline - now).expect(STATE_POISONED).0;
+        }
+    }
+
     /// Cancels the job if it is still queued. Returns whether it was
     /// cancelled; a running job finishes normally (`false`).
     pub fn cancel(&self) -> bool {
@@ -803,12 +824,22 @@ pub struct BatchHandle {
     ids: Vec<u64>,
     batch: Arc<BatchState>,
     progress: mpsc::Receiver<Progress>,
+    resumed: usize,
 }
 
 impl BatchHandle {
     /// Number of points in the batch.
     pub fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// Points that were born terminal at submission because a journal
+    /// already recorded them. Unlike [`Self::completed`], this is a
+    /// property of the submission, not of scheduling progress — a point
+    /// a fast worker finished immediately after admission does not
+    /// count.
+    pub fn resumed(&self) -> usize {
+        self.resumed
     }
 
     /// Whether the batch has no points.
@@ -888,6 +919,43 @@ impl BatchHandle {
                     .expect("terminal job has an outcome")
             })
             .collect()
+    }
+
+    /// [`Self::wait`] bounded by a deadline: returns the grid-ordered
+    /// outcomes if every point turns terminal within `timeout`, `None`
+    /// on expiry (the batch keeps running; the handle stays usable and
+    /// the streamed [`Progress`] events are left undrained for a later
+    /// [`Self::wait_with`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Vec<DseOutcome>> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock().expect(STATE_POISONED);
+        loop {
+            let pending = self
+                .ids
+                .iter()
+                .any(|id| st.entries.get(id).is_some_and(|e| !e.status.is_terminal()));
+            if !pending {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            st = self.shared.done.wait_timeout(st, deadline - now).expect(STATE_POISONED).0;
+        }
+        Some(
+            self.ids
+                .iter()
+                .map(|id| {
+                    st.entries
+                        .get(id)
+                        .expect("batch entry lives while its handle does")
+                        .outcome
+                        .clone()
+                        .expect("terminal job has an outcome")
+                })
+                .collect(),
+        )
     }
 
     /// Cancels every still-queued point; running points finish normally.
@@ -1095,6 +1163,23 @@ impl EvalService {
         self.submit_batch(jobs, None, Priority::Normal, false, None)
     }
 
+    /// [`Self::submit_jobs`] against a [`SweepJournal`]: journaled points
+    /// come back born-terminal (cache seeded, nothing re-run) and fresh
+    /// outcomes are appended — the explicit-job-list counterpart of
+    /// [`Self::submit_sweep_journaled`], used by the adaptive
+    /// exploration engine whose batches are not grid expansions.
+    ///
+    /// # Errors
+    ///
+    /// Only [`Rejected::ShuttingDown`].
+    pub fn submit_jobs_journaled(
+        &self,
+        jobs: Vec<Job>,
+        journal: &Arc<SweepJournal>,
+    ) -> Result<BatchHandle, Rejected> {
+        self.submit_batch(jobs, None, Priority::Normal, false, Some(Arc::clone(journal)))
+    }
+
     /// Expands and submits a sweep, bypassing admission.
     ///
     /// # Errors
@@ -1163,7 +1248,8 @@ impl EvalService {
                 Some(DseOutcome { point: job.spec.clone(), result: Ok(evaluation), cached: true })
             })
             .collect();
-        let live = resumed.iter().filter(|r| r.is_none()).count();
+        let born_terminal = resumed.iter().filter(|r| r.is_some()).count();
+        let live = resumed.len() - born_terminal;
 
         let (tx, rx) = mpsc::channel();
         let batch = Arc::new(BatchState {
@@ -1247,7 +1333,13 @@ impl EvalService {
         }
         drop(st);
         self.shared.work.notify_all();
-        Ok(BatchHandle { shared: Arc::clone(&self.shared), ids, batch, progress: rx })
+        Ok(BatchHandle {
+            shared: Arc::clone(&self.shared),
+            ids,
+            batch,
+            progress: rx,
+            resumed: born_terminal,
+        })
     }
 
     /// A snapshot of the service counters.
@@ -1319,7 +1411,11 @@ mod tests {
 
     /// Holds the cache's in-flight marker for `(paper_default, model,
     /// strategy)` until `release` fires, so a service worker claiming the
-    /// same point blocks deterministically inside the cache.
+    /// same point blocks deterministically inside the cache. The marker
+    /// is guaranteed held before this returns (the closure signals from
+    /// inside the cache): submitting the point afterwards cannot race
+    /// the blocker, so a loaded test machine cannot see the worker win
+    /// the key and finish the job instantly.
     fn block_point(
         cache: &EvalCache,
         model: Model,
@@ -1327,16 +1423,20 @@ mod tests {
         release: mpsc::Receiver<()>,
     ) -> std::thread::JoinHandle<()> {
         let cache = cache.clone();
-        std::thread::spawn(move || {
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || {
             let arch = ArchConfig::paper_default();
             let key = CacheKey::of(&arch, &model, strategy, SearchMode::Sequential);
             cache
                 .get_or_insert_with(key, || {
+                    entered_tx.send(()).expect("entered signal");
                     release.recv().expect("release signal");
                     evaluate(&arch, &model, strategy)
                 })
                 .expect("blocked evaluation succeeds");
-        })
+        });
+        entered_rx.recv().expect("blocker holds the in-flight marker");
+        handle
     }
 
     fn wait_until(what: &str, predicate: impl Fn() -> bool) {
@@ -1479,6 +1579,44 @@ mod tests {
         assert!(service
             .submit(request("resnet18", Strategy::DpOptimized).with_tenant("a"))
             .is_ok());
+        blocker.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_expires_on_live_jobs_and_resolves_on_terminal_ones() {
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(ServiceConfig::new().with_workers(1), cache.clone());
+        let (go, release) = mpsc::channel();
+        let blocker =
+            block_point(&cache, models::mobilenet_v2(32), Strategy::GenericMapping, release);
+        let running = service.submit(request("mobilenetv2", Strategy::GenericMapping)).unwrap();
+        // A batch over the same (blocked) design point wedges with it.
+        let batch = service
+            .submit_sweep(
+                &SweepSpec::new()
+                    .with_model("mobilenetv2", 32)
+                    .with_strategies(&[Strategy::GenericMapping]),
+            )
+            .unwrap();
+        wait_until("the worker claims the blocked job", || running.status() == JobStatus::Running);
+
+        let started = std::time::Instant::now();
+        assert!(running.wait_timeout(Duration::from_millis(60)).is_none());
+        assert!(batch.wait_timeout(Duration::from_millis(60)).is_none());
+        let waited = started.elapsed();
+        assert!(waited >= Duration::from_millis(120), "both deadlines elapsed: {waited:?}");
+        assert_eq!(running.status(), JobStatus::Running, "expiry does not consume the job");
+
+        go.send(()).unwrap();
+        let outcome = running.wait_timeout(Duration::from_secs(60)).expect("released job lands");
+        assert!(outcome.result.is_ok());
+        // The batch resolves too, and its progress stream is intact for
+        // the regular wait path.
+        assert!(batch.wait_timeout(Duration::from_secs(60)).is_some());
+        let mut events = 0;
+        let outcomes = batch.wait_with(|_| events += 1);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(events, 1, "expired waits leave progress events undrained");
         blocker.join().unwrap();
     }
 

@@ -171,13 +171,16 @@ impl SweepSpec {
             * axis(self.mg_sizes.len())
     }
 
-    /// Expands the cartesian grid into concrete points.
+    /// Resolves every axis of the sweep against the base architecture:
+    /// the random-access view of the grid the adaptive exploration engine
+    /// navigates (axis-index vectors instead of a materialized cartesian
+    /// product).
     ///
     /// # Errors
     ///
     /// Returns [`DseError::Spec`] when the spec names no model or no
-    /// strategy (an empty grid is almost certainly a config mistake).
-    pub fn expand(&self) -> Result<Vec<PointSpec>, DseError> {
+    /// strategy (the same contract as [`Self::expand`]).
+    pub fn axes(&self) -> Result<SweepAxes, DseError> {
         if self.models.is_empty() {
             return Err(DseError::spec("the `models` axis must name at least one model"));
         }
@@ -185,46 +188,34 @@ impl SweepSpec {
             return Err(DseError::spec("the `strategies` axis must name at least one strategy"));
         }
         let base = self.base_arch();
-        let search_modes = if self.search_modes.is_empty() {
-            vec![SearchMode::default()]
-        } else {
-            self.search_modes.clone()
-        };
-        let chip_counts = effective_axis(&self.chip_counts, base.chip_count());
-        let core_counts = effective_axis(&self.core_counts, base.chip().core_count);
-        let local_memories =
-            effective_axis(&self.local_memory_kib, base.core.local_memory.size_bytes / 1024);
-        let flit_sizes = effective_axis(&self.flit_sizes, base.chip().noc_flit_bytes);
-        let mg_sizes = effective_axis(&self.mg_sizes, base.core.cim_unit.macros_per_group);
+        Ok(SweepAxes {
+            models: self.models.clone(),
+            strategies: self.strategies.clone(),
+            search_modes: if self.search_modes.is_empty() {
+                vec![SearchMode::default()]
+            } else {
+                self.search_modes.clone()
+            },
+            chip_counts: effective_axis(&self.chip_counts, base.chip_count()),
+            core_counts: effective_axis(&self.core_counts, base.chip().core_count),
+            local_memory_kib: effective_axis(
+                &self.local_memory_kib,
+                base.core.local_memory.size_bytes / 1024,
+            ),
+            flit_sizes: effective_axis(&self.flit_sizes, base.chip().noc_flit_bytes),
+            mg_sizes: effective_axis(&self.mg_sizes, base.core.cim_unit.macros_per_group),
+        })
+    }
 
-        let mut points = Vec::with_capacity(self.point_count());
-        for model in &self.models {
-            for &strategy in &self.strategies {
-                for &search in &search_modes {
-                    for &chip_count in &chip_counts {
-                        for &core_count in &core_counts {
-                            for &local_memory_kib in &local_memories {
-                                for &flit_bytes in &flit_sizes {
-                                    for &mg_size in &mg_sizes {
-                                        points.push(PointSpec {
-                                            model: model.clone(),
-                                            strategy,
-                                            search,
-                                            chip_count,
-                                            core_count,
-                                            local_memory_kib,
-                                            flit_bytes,
-                                            mg_size,
-                                        });
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(points)
+    /// Expands the cartesian grid into concrete points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::Spec`] when the spec names no model or no
+    /// strategy (an empty grid is almost certainly a config mistake).
+    pub fn expand(&self) -> Result<Vec<PointSpec>, DseError> {
+        let axes = self.axes()?;
+        Ok((0..axes.point_count()).map(|flat| axes.point(axes.indices_of(flat))).collect())
     }
 
     /// Serializes the spec to pretty JSON (the on-disk sweep file format).
@@ -289,6 +280,113 @@ fn effective_axis<T: Copy + Into<u64>>(values: &[T], base: T) -> Vec<u64> {
         vec![base.into()]
     } else {
         values.iter().map(|&v| v.into()).collect()
+    }
+}
+
+/// Number of independent axes of a sweep grid (the length of a
+/// [`SweepAxes`] index vector), in expansion order: model, strategy,
+/// search mode, chip count, core count, local memory, flit size, MG
+/// size.
+pub const AXIS_COUNT: usize = 8;
+
+/// The resolved axes of a sweep grid: every empty [`SweepSpec`] axis
+/// pinned to its base-architecture value, addressable by `(axis,
+/// value-index)` coordinates.
+///
+/// A grid point is an [`AXIS_COUNT`]-long index vector; `point` builds
+/// the concrete [`PointSpec`] and `indices_of` maps a flat grid-order
+/// index (the order [`SweepSpec::expand`] materializes — the last axis
+/// varies fastest) back to coordinates. This is the representation the
+/// exploration engine mutates and crosses over, so neighborhood moves
+/// are "step one axis to an adjacent value" rather than string surgery
+/// on labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepAxes {
+    /// The model axis (never empty).
+    pub models: Vec<ModelSpec>,
+    /// The strategy axis (never empty).
+    pub strategies: Vec<Strategy>,
+    /// The search-mode axis (defaulted to `[Sequential]` when unset).
+    pub search_modes: Vec<SearchMode>,
+    /// The chip-count axis.
+    pub chip_counts: Vec<u64>,
+    /// The core-count axis.
+    pub core_counts: Vec<u64>,
+    /// The local-memory axis in KiB.
+    pub local_memory_kib: Vec<u64>,
+    /// The flit-size axis in bytes.
+    pub flit_sizes: Vec<u64>,
+    /// The macro-group-size axis.
+    pub mg_sizes: Vec<u64>,
+}
+
+impl SweepAxes {
+    /// Axis lengths in expansion order.
+    pub fn dims(&self) -> [usize; AXIS_COUNT] {
+        [
+            self.models.len(),
+            self.strategies.len(),
+            self.search_modes.len(),
+            self.chip_counts.len(),
+            self.core_counts.len(),
+            self.local_memory_kib.len(),
+            self.flit_sizes.len(),
+            self.mg_sizes.len(),
+        ]
+    }
+
+    /// Number of grid points (the product of the axis lengths).
+    pub fn point_count(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// The concrete design point at an index vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any index is out of its axis' range.
+    pub fn point(&self, indices: [usize; AXIS_COUNT]) -> PointSpec {
+        PointSpec {
+            model: self.models[indices[0]].clone(),
+            strategy: self.strategies[indices[1]],
+            search: self.search_modes[indices[2]],
+            chip_count: self.chip_counts[indices[3]],
+            core_count: self.core_counts[indices[4]],
+            local_memory_kib: self.local_memory_kib[indices[5]],
+            flit_bytes: self.flit_sizes[indices[6]],
+            mg_size: self.mg_sizes[indices[7]],
+        }
+    }
+
+    /// Decodes a flat grid-order index (0-based, `< point_count()`) into
+    /// its index vector; the last axis varies fastest, matching
+    /// [`SweepSpec::expand`]'s nesting order exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `flat >= point_count()`.
+    pub fn indices_of(&self, flat: usize) -> [usize; AXIS_COUNT] {
+        assert!(flat < self.point_count(), "flat index {flat} out of the grid");
+        let dims = self.dims();
+        let mut indices = [0; AXIS_COUNT];
+        let mut remaining = flat;
+        for axis in (0..AXIS_COUNT).rev() {
+            indices[axis] = remaining % dims[axis];
+            remaining /= dims[axis];
+        }
+        indices
+    }
+
+    /// Encodes an index vector back to its flat grid-order index (the
+    /// inverse of [`Self::indices_of`]).
+    pub fn flat_of(&self, indices: [usize; AXIS_COUNT]) -> usize {
+        let dims = self.dims();
+        let mut flat = 0;
+        for axis in 0..AXIS_COUNT {
+            debug_assert!(indices[axis] < dims[axis]);
+            flat = flat * dims[axis] + indices[axis];
+        }
+        flat
     }
 }
 
@@ -401,6 +499,24 @@ mod tests {
         assert!(SweepSpec::new().expand().is_err());
         assert!(SweepSpec::new().with_model("resnet18", 32).expand().is_err());
         assert!(SweepSpec::new().with_strategies(&[Strategy::DpOptimized]).expand().is_err());
+        assert!(SweepSpec::new().axes().is_err());
+    }
+
+    #[test]
+    fn axes_index_arithmetic_round_trips_the_grid() {
+        let spec = spec3().with_chip_counts(&[1, 2]);
+        let axes = spec.axes().unwrap();
+        let points = spec.expand().unwrap();
+        assert_eq!(axes.point_count(), points.len());
+        assert_eq!(axes.point_count(), spec.point_count());
+        for (flat, point) in points.iter().enumerate() {
+            let indices = axes.indices_of(flat);
+            assert_eq!(&axes.point(indices), point, "grid order matches expand at {flat}");
+            assert_eq!(axes.flat_of(indices), flat);
+        }
+        // Pinned axes resolve to the base value.
+        assert_eq!(axes.local_memory_kib, vec![512]);
+        assert_eq!(axes.search_modes, vec![SearchMode::Sequential]);
     }
 
     #[test]

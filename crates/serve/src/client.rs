@@ -80,6 +80,28 @@ pub struct RemoteStatus {
     pub total: usize,
 }
 
+/// The answer of a deadline-bounded wait ([`Client::wait_job_timeout`],
+/// [`Client::wait_batch_timeout`]): either the finished result, or the
+/// status at expiry (the id stays addressable — poll, cancel or wait
+/// again).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waited<T> {
+    /// The job/batch finished within the deadline; the id is consumed.
+    Finished(T),
+    /// The deadline expired first; the id is *not* consumed.
+    TimedOut(RemoteStatus),
+}
+
+impl<T> Waited<T> {
+    /// The finished result, if the wait did not expire.
+    pub fn finished(self) -> Option<T> {
+        match self {
+            Waited::Finished(value) => Some(value),
+            Waited::TimedOut(_) => None,
+        }
+    }
+}
+
 /// A server-side counters snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RemoteStats {
@@ -208,9 +230,33 @@ impl Client {
     ///
     /// See [`Self::poll_job`].
     pub fn wait_job(&mut self, job: u64) -> Result<WireOutcome, ClientError> {
-        match self.round_trip(&Request::Wait(Target::Job(job)))? {
+        match self.round_trip(&Request::Wait { target: Target::Job(job), timeout_ms: None })? {
             Response::Result(outcome) => Ok(outcome),
             other => Self::unexpected("a result", other),
+        }
+    }
+
+    /// [`Self::wait_job`] bounded by `timeout_ms`: the server answers
+    /// within the deadline — the outcome if the job finished (consuming
+    /// the id), its current status otherwise (the id stays addressable).
+    /// Use this to lease the connection in bounded slices instead of
+    /// wedging it behind one slow job.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::poll_job`].
+    pub fn wait_job_timeout(
+        &mut self,
+        job: u64,
+        timeout_ms: u64,
+    ) -> Result<Waited<WireOutcome>, ClientError> {
+        let request = Request::Wait { target: Target::Job(job), timeout_ms: Some(timeout_ms) };
+        match self.round_trip(&request)? {
+            Response::Result(outcome) => Ok(Waited::Finished(outcome)),
+            Response::Status { state, completed, total } => {
+                Ok(Waited::TimedOut(RemoteStatus { state, completed, total }))
+            }
+            other => Self::unexpected("a result or an expiry status", other),
         }
     }
 
@@ -221,9 +267,30 @@ impl Client {
     ///
     /// See [`Self::poll_job`].
     pub fn wait_batch(&mut self, batch: u64) -> Result<Vec<WireOutcome>, ClientError> {
-        match self.round_trip(&Request::Wait(Target::Batch(batch)))? {
+        match self.round_trip(&Request::Wait { target: Target::Batch(batch), timeout_ms: None })? {
             Response::BatchResult { outcomes, .. } => Ok(outcomes),
             other => Self::unexpected("a batch result", other),
+        }
+    }
+
+    /// [`Self::wait_batch`] bounded by `timeout_ms` (see
+    /// [`Self::wait_job_timeout`] for the expiry semantics).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::poll_job`].
+    pub fn wait_batch_timeout(
+        &mut self,
+        batch: u64,
+        timeout_ms: u64,
+    ) -> Result<Waited<Vec<WireOutcome>>, ClientError> {
+        let request = Request::Wait { target: Target::Batch(batch), timeout_ms: Some(timeout_ms) };
+        match self.round_trip(&request)? {
+            Response::BatchResult { outcomes, .. } => Ok(Waited::Finished(outcomes)),
+            Response::Status { state, completed, total } => {
+                Ok(Waited::TimedOut(RemoteStatus { state, completed, total }))
+            }
+            other => Self::unexpected("a batch result or an expiry status", other),
         }
     }
 
@@ -356,13 +423,98 @@ mod tests {
     }
 
     #[test]
+    fn bounded_waits_lease_the_connection_in_slices() {
+        use cimflow_arch::ArchConfig;
+        use cimflow_compiler::SearchMode;
+        use cimflow_dse::{evaluate, CacheKey, EvalCache};
+        use cimflow_nn::models;
+        use std::sync::mpsc;
+        use std::time::{Duration, Instant};
+
+        // Hold the first sweep point's in-flight cache marker so the
+        // single worker blocks deterministically on it (the marker is
+        // guaranteed held before anything is submitted).
+        let cache = EvalCache::new();
+        let service =
+            Arc::new(EvalService::with_cache(ServiceConfig::new().with_workers(1), cache.clone()));
+        let server = TcpServer::spawn(Arc::clone(&service), 0).expect("bind loopback");
+        let (go, release) = mpsc::channel();
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let blocked_cache = cache.clone();
+        let blocker = std::thread::spawn(move || {
+            let arch = ArchConfig::paper_default().with_macros_per_group(4);
+            let model = models::mobilenet_v2(32);
+            let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
+            blocked_cache
+                .get_or_insert_with(key, || {
+                    entered_tx.send(()).expect("entered signal");
+                    release.recv().expect("release signal");
+                    evaluate(&arch, &model, Strategy::GenericMapping)
+                })
+                .expect("blocked evaluation succeeds");
+        });
+        entered_rx.recv().expect("blocker holds the marker");
+
+        let mut client = Client::connect(server.addr()).expect("connect");
+        let ticket = client.submit_sweep(&spec(), None, None).expect("admitted");
+        let started = Instant::now();
+        match client.wait_batch_timeout(ticket.batch, 50).expect("answered") {
+            Waited::TimedOut(status) => {
+                assert_eq!(status.total, 2);
+                assert_eq!(status.state, "running");
+            }
+            Waited::Finished(outcomes) => {
+                panic!("the blocked sweep cannot finish within its lease: {outcomes:?}")
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "the bounded wait answers within the deadline, not at completion"
+        );
+        // The expired wait left the batch addressable; once released, a
+        // generous lease finishes and consumes it.
+        assert!(client.poll_batch(ticket.batch).is_ok());
+        go.send(()).unwrap();
+        match client.wait_batch_timeout(ticket.batch, 120_000).expect("answered") {
+            Waited::Finished(outcomes) => {
+                assert_eq!(outcomes.len(), 2);
+                assert!(outcomes.iter().all(|o| o.ok));
+            }
+            Waited::TimedOut(status) => panic!("two minutes was not enough: {status:?}"),
+        }
+        assert!(matches!(client.poll_batch(ticket.batch), Err(ClientError::Remote { .. })));
+
+        // Job-level bounded waits share the semantics.
+        let job = client
+            .submit(&EvalRequest::new("mobilenetv2", 32, Strategy::DpOptimized))
+            .expect("admitted");
+        match client.wait_job_timeout(job, 120_000).expect("answered") {
+            Waited::Finished(outcome) => assert!(outcome.ok),
+            Waited::TimedOut(status) => panic!("two minutes was not enough: {status:?}"),
+        }
+        blocker.join().unwrap();
+        server.stop();
+    }
+
+    #[test]
     fn shutdown_stops_the_listener() {
+        use std::time::{Duration, Instant};
+
         let service = Arc::new(EvalService::new(ServiceConfig::new().with_workers(1)));
         let server = TcpServer::spawn(Arc::clone(&service), 0).expect("bind loopback");
         let mut client = Client::connect(server.addr()).expect("connect");
         client.shutdown().expect("acknowledged");
         assert!(server.shutdown_requested());
+        // The waiter and the accept loop are condvar-woken: with no work
+        // in flight the whole teardown completes promptly instead of
+        // lagging a poll interval per loop.
+        let started = Instant::now();
         server.wait_for_shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "shutdown must not lag on polling sleeps: {:?}",
+            started.elapsed()
+        );
         assert!(service.submit(EvalRequest::new("resnet18", 32, Strategy::DpOptimized)).is_err());
     }
 }

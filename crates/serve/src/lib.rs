@@ -39,7 +39,7 @@
 
 mod client;
 
-pub use client::{BatchTicket, Client, ClientError, RemoteStats, RemoteStatus};
+pub use client::{BatchTicket, Client, ClientError, RemoteStats, RemoteStatus, Waited};
 
 // The service core and wire protocol live in `cimflow-dse` (the blocking
 // `Executor` is rebased on them, which a `cimflow-serve` dependency cycle
