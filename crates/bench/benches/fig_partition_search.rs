@@ -153,10 +153,12 @@ fn main() {
         let arch = ArchConfig::paper_default().with_chip_count(*chips);
         let compiled = compile(&vgg, &arch, Strategy::DpOptimized).expect("vgg19 compiles");
         let stream = Simulator::new(&compiled).run().expect("streaming run");
-        let retire =
-            Simulator::with_options(&compiled, SimOptions { handoff: HandoffMode::AtRetirement })
-                .run()
-                .expect("retirement run");
+        let retire = Simulator::with_options(
+            &compiled,
+            SimOptions { handoff: HandoffMode::AtRetirement, ..SimOptions::default() },
+        )
+        .run()
+        .expect("retirement run");
         assert!(
             stream.total_cycles < retire.total_cycles,
             "vgg19@{chips}: streaming must cut the per-inference latency \

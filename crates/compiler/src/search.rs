@@ -17,6 +17,8 @@
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
 
+use cimflow_obs::Tracer;
+
 use crate::cost::{CostModel, STREAM_TILE_BYTES};
 use crate::frontend::CondensedGraph;
 use crate::partition::{partition_with_strategy, PartitionDecision};
@@ -159,6 +161,12 @@ impl<'a> SystemSearch<'a> {
     /// never worse (by the shared interval estimator) than what the
     /// sequential pipeline would have chosen.
     pub fn run(&self) -> SearchOutcome {
+        // When the calling thread carries an ambient tracer (the eval
+        // service installs one on its workers), the search leaves one
+        // span per compilation and one per scored candidate — no tracer,
+        // no cost beyond this thread-local read.
+        let mut search_span =
+            Tracer::ambient().map(|tracer| tracer.thread_span("system-search", "compiler"));
         let chips = self.cost.arch().chip_count().max(1);
         let n = self.condensed.len();
         if chips <= 1 || n == 0 {
@@ -168,6 +176,9 @@ impl<'a> SystemSearch<'a> {
             let latency = lowering.decision.as_ref().map_or(0, PartitionDecision::estimated_cycles);
             system.estimated_interval_cycles = latency.max(1);
             system.chip_strategies = vec![lowering.strategy];
+            if let Some(span) = search_span.as_mut() {
+                span.attr("explored", 1u64).attr("interval", system.estimated_interval_cycles);
+            }
             return SearchOutcome { system, chips: vec![lowering] };
         }
 
@@ -255,6 +266,12 @@ impl<'a> SystemSearch<'a> {
         system.explored_candidates = explored as u32;
         system.estimated_interval_cycles = interval;
         system.chip_strategies = lowerings.iter().map(|l| l.strategy).collect();
+        if let Some(span) = search_span.as_mut() {
+            span.attr("chips", u64::from(chips))
+                .attr("groups", n)
+                .attr("explored", explored)
+                .attr("interval", interval);
+        }
         SearchOutcome { system, chips: lowerings }
     }
 
@@ -270,12 +287,17 @@ impl<'a> SystemSearch<'a> {
     /// end-to-end pipeline interval. `None` if some chip cannot fit its
     /// subgraph under any candidate strategy.
     fn score(&self, assignment: &[u32]) -> Option<(u64, Vec<ChipLowering>)> {
+        let mut span =
+            Tracer::ambient().map(|tracer| tracer.thread_span("score-candidate", "compiler"));
         let chips = self.cost.arch().chip_count().max(1);
         let mut lowerings = Vec::with_capacity(chips as usize);
         let mut latencies = Vec::with_capacity(chips as usize);
         for chip in 0..chips {
             let lowering = self.lower_chip(assignment, chip);
             if lowering.decision.is_none() && assignment.contains(&chip) {
+                if let Some(span) = span.as_mut() {
+                    span.attr("fits", false);
+                }
                 return None; // non-empty chip that fits no partition
             }
             latencies
@@ -283,6 +305,9 @@ impl<'a> SystemSearch<'a> {
             lowerings.push(lowering);
         }
         let interval = estimate_interval(self.condensed, self.cost, assignment, &latencies);
+        if let Some(span) = span.as_mut() {
+            span.attr("fits", true).attr("interval", interval);
+        }
         Some((interval, lowerings))
     }
 
@@ -621,6 +646,41 @@ mod tests {
         assert_eq!(outcome.system.explored_candidates, 1);
         assert!(outcome.system.transfers.is_empty());
         assert!(outcome.system.estimated_interval_cycles > 0);
+    }
+
+    #[test]
+    fn ambient_tracer_collects_search_and_candidate_spans() {
+        let graph = condensed(models::resnet18(32));
+        let cost = CostModel::new(&ArchConfig::paper_default().with_chip_count(2));
+        // No ambient tracer: the search runs untraced (and must not
+        // panic reading the empty thread-local).
+        let untraced = SystemSearch::new(&graph, &cost, Strategy::DpOptimized).run();
+
+        let tracer = Tracer::new(4096);
+        Tracer::set_ambient(Some(tracer.clone()));
+        let outcome = SystemSearch::new(&graph, &cost, Strategy::DpOptimized).run();
+        Tracer::set_ambient(None);
+        assert_eq!(
+            outcome.system.estimated_interval_cycles, untraced.system.estimated_interval_cycles,
+            "tracing must not perturb the search"
+        );
+
+        let events = tracer.events();
+        let searches: Vec<_> = events.iter().filter(|e| e.name == "system-search").collect();
+        assert_eq!(searches.len(), 1);
+        assert!(searches[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "explored"
+                && matches!(v, cimflow_obs::AttrValue::U64(n) if *n == u64::from(outcome.system.explored_candidates))));
+        let scored = events.iter().filter(|e| e.name == "score-candidate").count();
+        assert_eq!(scored as u32, outcome.system.explored_candidates);
+        // Candidate spans nest inside the search span.
+        let search = searches[0];
+        for event in events.iter().filter(|e| e.name == "score-candidate") {
+            assert!(event.start >= search.start);
+            assert!(event.start + event.duration <= search.start + search.duration);
+        }
     }
 
     #[test]

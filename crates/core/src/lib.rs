@@ -14,7 +14,9 @@
 //! * [`cimflow_compiler`] — CG-level (DP partitioning, duplication) and
 //!   OP-level (im2col, tiling) optimization plus code generation,
 //! * [`cimflow_sim`] — the cycle-level multi-core simulator,
-//! * [`cimflow_energy`] / [`cimflow_noc`] — energy and interconnect models.
+//! * [`cimflow_energy`] / [`cimflow_noc`] — energy and interconnect models,
+//! * [`cimflow_obs`] — dependency-free metrics and span tracing shared by
+//!   the service, explorer, compiler and simulator.
 //!
 //! The [`CimFlow`] workflow object exposes the `model + architecture +
 //! strategy → compile → simulate → report` pipeline of Fig. 2, and the
@@ -77,4 +79,8 @@ pub use cimflow_isa as isa;
 pub use cimflow_nn::models;
 pub use cimflow_nn::{self as nn, Model};
 pub use cimflow_noc as noc;
+// Observability: a metrics registry and a span tracer shared by the
+// service, explorer, compiler and (via `SimOptions::profile`) the
+// simulator's cycle-domain timelines.
+pub use cimflow_obs::{self as obs, MetricsRegistry, Tracer};
 pub use cimflow_sim::{self as sim, SimReport};

@@ -97,12 +97,17 @@ impl CacheKey {
 }
 
 /// Hit/miss counters of a cache (monotonic over the cache's lifetime).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that required a fresh evaluation.
     pub misses: u64,
+    /// Lookups that arrived while the same key was already being
+    /// evaluated and waited for that in-flight result instead of
+    /// duplicating it (each such lookup also counts as a hit once the
+    /// result lands).
+    pub coalesced: u64,
 }
 
 impl CacheStats {
@@ -113,6 +118,41 @@ impl CacheStats {
             return 0.0;
         }
         self.hits as f64 / total as f64
+    }
+}
+
+// Manual (de)serialization so the wire format stays compatible in both
+// directions: `coalesced` defaults to 0 when absent, letting a new
+// client parse a `stats` reply from an old server (the derive would
+// reject the missing field).
+impl Serialize for CacheStats {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("hits".to_owned(), serde::Content::U64(self.hits)),
+            ("misses".to_owned(), serde::Content::U64(self.misses)),
+            ("coalesced".to_owned(), serde::Content::U64(self.coalesced)),
+        ])
+    }
+}
+
+impl Deserialize for CacheStats {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let map = content.as_map().ok_or_else(|| {
+            serde::Error::new(format!("CacheStats: expected map, got {}", content.kind_name()))
+        })?;
+        let field = |name: &str| -> Result<u64, serde::Error> {
+            match map.iter().find(|(k, _)| k == name) {
+                Some((_, v)) => u64::deserialize(v)
+                    .map_err(|e| serde::Error::new(format!("CacheStats.{name}: {e}"))),
+                None if name == "coalesced" => Ok(0),
+                None => Err(serde::Error::new(format!("missing field `{name}` in CacheStats"))),
+            }
+        };
+        Ok(CacheStats {
+            hits: field("hits")?,
+            misses: field("misses")?,
+            coalesced: field("coalesced")?,
+        })
     }
 }
 
@@ -139,6 +179,7 @@ struct CacheInner {
     in_flight_done: std::sync::Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    coalesced: AtomicU64,
 }
 
 impl EvalCache {
@@ -162,6 +203,7 @@ impl EvalCache {
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
+            coalesced: self.inner.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -203,9 +245,13 @@ impl EvalCache {
         key: CacheKey,
         evaluate: impl FnOnce() -> Result<Evaluation, DseError>,
     ) -> Result<(Evaluation, bool), DseError> {
+        let mut waited = false;
         loop {
             if let Some(hit) = self.lookup(&key) {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                if waited {
+                    self.inner.coalesced.fetch_add(1, Ordering::Relaxed);
+                }
                 return Ok((hit, true));
             }
             let mut in_flight = self.inner.in_flight.lock().expect("cache poisoned");
@@ -213,7 +259,10 @@ impl EvalCache {
                 break; // this caller owns the evaluation
             }
             // Another worker is evaluating this key: wait for it to
-            // finish (or fail), then re-check the entries.
+            // finish (or fail), then re-check the entries. Counted as a
+            // coalesced lookup (once, however many wakeups it takes) if
+            // the in-flight result ends up serving it.
+            waited = true;
             let guard = self.inner.in_flight_done.wait(in_flight).expect("cache poisoned");
             drop(guard);
         }
@@ -374,7 +423,7 @@ mod tests {
         assert!(was_hit, "second lookup must be served from the cache");
         assert_eq!(evaluations, 1, "warm lookup must not recompile");
         assert_eq!(first.simulation.total_cycles, second.simulation.total_cycles);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1, coalesced: 0 });
         assert_eq!(cache.len(), 1);
     }
 
@@ -510,6 +559,30 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 3);
+        assert_eq!(stats.coalesced, 3, "every waiter is a coalesced lookup");
+    }
+
+    #[test]
+    fn cache_stats_wire_format_tolerates_old_servers() {
+        use serde::{Deserialize as _, Serialize as _};
+
+        let stats = CacheStats { hits: 7, misses: 2, coalesced: 3 };
+        let round = CacheStats::deserialize(&stats.serialize()).unwrap();
+        assert_eq!(round, stats);
+
+        // A reply from a server predating the `coalesced` field still
+        // parses, defaulting the counter to 0.
+        let old = serde::Content::Map(vec![
+            ("hits".to_owned(), serde::Content::U64(7)),
+            ("misses".to_owned(), serde::Content::U64(2)),
+        ]);
+        assert_eq!(
+            CacheStats::deserialize(&old).unwrap(),
+            CacheStats { hits: 7, misses: 2, coalesced: 0 }
+        );
+        // Genuinely required fields still error when absent.
+        let broken = serde::Content::Map(vec![("hits".to_owned(), serde::Content::U64(7))]);
+        assert!(CacheStats::deserialize(&broken).is_err());
     }
 
     #[test]

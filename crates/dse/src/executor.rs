@@ -23,6 +23,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use cimflow_arch::ArchConfig;
+use cimflow_obs::{MetricsRegistry, Tracer};
 
 use cimflow_nn::{models, Model};
 
@@ -95,18 +96,36 @@ pub struct Progress {
 #[derive(Debug, Clone)]
 pub struct Executor {
     workers: usize,
+    metrics: Option<MetricsRegistry>,
+    tracer: Option<Tracer>,
 }
 
 impl Executor {
     /// An executor sized to the machine (one worker per available core).
     pub fn new() -> Self {
         let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-        Executor { workers }
+        Executor { workers, metrics: None, tracer: None }
     }
 
     /// An executor with an explicit worker count (`1` = sequential).
     pub fn with_workers(workers: usize) -> Self {
-        Executor { workers: workers.max(1) }
+        Executor { workers: workers.max(1), metrics: None, tracer: None }
+    }
+
+    /// Counts queue waits, latencies and cache traffic into `registry`
+    /// (one registry can aggregate over many sweeps).
+    #[must_use]
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Records per-evaluation spans (and compiler candidate-scoring
+    /// spans via the ambient tracer) into `tracer`.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// A strictly sequential executor (the baseline the parallel runs are
@@ -218,7 +237,14 @@ impl Executor {
     /// scoped worker pool (never more workers than jobs).
     fn service(&self, jobs: usize, cache: &EvalCache) -> EvalService {
         let workers = self.workers.min(jobs.max(1));
-        EvalService::with_cache(ServiceConfig::new().with_workers(workers), cache.clone())
+        let mut config = ServiceConfig::new().with_workers(workers);
+        if let Some(metrics) = &self.metrics {
+            config = config.with_metrics(metrics.clone());
+        }
+        if let Some(tracer) = &self.tracer {
+            config = config.with_tracer(tracer.clone());
+        }
+        EvalService::with_cache(config, cache.clone())
     }
 }
 
@@ -370,6 +396,26 @@ mod tests {
         assert_eq!(dual.arch.total_cores(), 128);
         assert!(dual.simulation.energy.interchip_pj > 0.0);
         assert_eq!(single.simulation.energy.interchip_pj, 0.0);
+    }
+
+    #[test]
+    fn executor_sweeps_feed_a_shared_registry_and_tracer() {
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::new(4096);
+        let executor =
+            Executor::with_workers(2).with_metrics(registry.clone()).with_tracer(tracer.clone());
+        let cache = EvalCache::new();
+        executor.run_spec(&small_spec(), &cache).unwrap();
+        executor.run_spec(&small_spec(), &cache).unwrap();
+        // Both sweeps (8 points, 4 warm) count into the one registry,
+        // even though each run used its own ephemeral service.
+        let snapshot = registry.snapshot();
+        match snapshot.get("service.evals_completed", &[]) {
+            Some(cimflow_obs::MetricValue::Counter(n)) => assert_eq!(*n, 8),
+            other => panic!("expected a completion counter, got {other:?}"),
+        }
+        let evals = tracer.events().iter().filter(|e| e.name == "eval").count();
+        assert_eq!(evals, 8, "every point leaves an eval span, cached or not");
     }
 
     #[test]

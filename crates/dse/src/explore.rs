@@ -41,6 +41,7 @@ use std::sync::Arc;
 use cimflow_arch::ArchConfig;
 use cimflow_compiler::SearchMode;
 use cimflow_nn::{models, Model};
+use cimflow_obs::{thread_track, AttrValue, Counter, Gauge, Tracer};
 use serde::{Content, Deserialize, Serialize};
 
 use crate::journal::SweepJournal;
@@ -308,6 +309,7 @@ fn explore_inner(
         axes,
         base: spec.space.base_arch(),
         service,
+        obs: ExploreObs::new(service, spec),
         journal,
         rng: XorShift::new(spec.seed),
         budget: spec.budget,
@@ -385,10 +387,71 @@ fn generation_size(space: usize) -> usize {
     ((space as f64).sqrt().ceil() as usize).clamp(4, 32)
 }
 
+/// Exploration-engine instruments, resolved once from the service's
+/// registry/tracer so each generation pays only atomic updates. The
+/// coarse-vs-full split and the budget burn-down are the signals that
+/// tell whether a run spent its budget scouting or promoting.
+struct ExploreObs {
+    tracer: Option<Tracer>,
+    evals_full: Counter,
+    evals_coarse: Counter,
+    budget_remaining: Gauge,
+    /// `now_us` at the start of the open generation (tracing only).
+    generation_start: Option<u64>,
+}
+
+impl ExploreObs {
+    fn new(service: &EvalService, spec: &ExploreSpec) -> Self {
+        let metrics = service.metrics();
+        let obs = ExploreObs {
+            tracer: service.tracer(),
+            evals_full: metrics.counter_with("explore.evals", &[("fidelity", "full")]),
+            evals_coarse: metrics.counter_with("explore.evals", &[("fidelity", "coarse")]),
+            budget_remaining: metrics.gauge("explore.budget_remaining"),
+            generation_start: None,
+        };
+        obs.budget_remaining.set(spec.budget as i64);
+        obs
+    }
+
+    /// Marks the start of a generation (the matching
+    /// [`Run::push_generation`] closes the span).
+    fn begin_generation(&mut self) {
+        if let Some(tracer) = &self.tracer {
+            self.generation_start = Some(tracer.now_us());
+        }
+    }
+
+    fn finish_generation(&mut self, stats: &GenerationStats, remaining: u64) {
+        self.evals_coarse.add(stats.coarse as u64);
+        self.evals_full.add((stats.submitted - stats.coarse) as u64);
+        self.budget_remaining.set(remaining as i64);
+        if let Some(tracer) = &self.tracer {
+            let end = tracer.now_us();
+            let start = self.generation_start.take().unwrap_or(end);
+            tracer.complete(
+                &format!("generation-{}", stats.index),
+                "explore",
+                thread_track(),
+                start,
+                end.saturating_sub(start),
+                vec![
+                    ("phase".to_owned(), AttrValue::from(stats.phase.as_str())),
+                    ("submitted".to_owned(), AttrValue::from(stats.submitted)),
+                    ("coarse".to_owned(), AttrValue::from(stats.coarse)),
+                    ("frontier_points".to_owned(), AttrValue::from(stats.frontier_points)),
+                    ("budget_remaining".to_owned(), AttrValue::from(remaining)),
+                ],
+            );
+        }
+    }
+}
+
 struct Run<'s> {
     axes: SweepAxes,
     base: ArchConfig,
     service: &'s EvalService,
+    obs: ExploreObs,
     journal: Option<Arc<SweepJournal>>,
     rng: XorShift,
     budget: u64,
@@ -466,6 +529,8 @@ impl Run<'_> {
             coarse,
             frontier_points: self.frontier_points(),
         };
+        let remaining = self.remaining_budget();
+        self.obs.finish_generation(&stats, remaining);
         self.generations.push(stats);
     }
 
@@ -558,6 +623,7 @@ fn successive_halving(run: &mut Run) -> Result<(), DseError> {
     let scout_budget = (run.budget as usize).div_ceil(2);
 
     while run.remaining_budget() > 0 {
+        run.obs.begin_generation();
         // --- Coarse rung: a strided sample of fresh points (skipped
         // once the coarse half of the budget is spent). ---
         let remaining = run.remaining_budget() as usize;
@@ -733,6 +799,7 @@ fn evolutionary(run: &mut Run) -> Result<(), DseError> {
 
     // Seed: a sparse strided sample of the grid. The model axis is the
     // outermost, so the stride covers every workload.
+    run.obs.begin_generation();
     let mut seeds: Vec<usize> =
         (0..population.min(space)).map(|i| i * space / population.min(space)).collect();
     seeds.dedup();
@@ -752,6 +819,7 @@ fn evolutionary(run: &mut Run) -> Result<(), DseError> {
     // the budget is a fraction of the space.
     let brood = (population / 2).max(2);
     while run.remaining_budget() > 0 && run.visited.len() < space {
+        run.obs.begin_generation();
         let parents = select_parents(run, population);
         let children = offspring(run, &parents, brood);
         if children.is_empty() {
@@ -1049,6 +1117,51 @@ mod tests {
         assert_eq!(report.evaluated, 2, "both grid points reach full fidelity");
         assert_eq!(report.budget_used, 2);
         assert_eq!(service.cache().stats().misses, 2, "nothing evaluates twice");
+    }
+
+    #[test]
+    fn explore_counts_fidelity_splits_and_burns_down_the_budget_gauge() {
+        use cimflow_obs::{MetricValue, MetricsRegistry};
+
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::new(4096);
+        let space = SweepSpec::new()
+            .with_model("mobilenetv2", 48)
+            .with_model("mobilenetv2", 64)
+            .with_strategies(&[Strategy::GenericMapping]);
+        let spec = ExploreSpec::new(space)
+            .with_budget(3)
+            .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+            .with_seed(1);
+        let service = EvalService::new(
+            ServiceConfig::new()
+                .with_workers(2)
+                .with_metrics(registry.clone())
+                .with_tracer(tracer.clone()),
+        );
+        let report = explore(&spec, &service).unwrap();
+
+        let snapshot = registry.snapshot();
+        let counter = |labels: &[(&str, &str)]| match snapshot.get("explore.evals", labels) {
+            Some(MetricValue::Counter(n)) => *n,
+            other => panic!("expected a counter at {labels:?}, got {other:?}"),
+        };
+        assert_eq!(counter(&[("fidelity", "coarse")]), report.coarse_evaluated as u64);
+        assert_eq!(
+            counter(&[("fidelity", "coarse")]) + counter(&[("fidelity", "full")]),
+            report.budget_used
+        );
+        match snapshot.get("explore.budget_remaining", &[]) {
+            Some(MetricValue::Gauge(left)) => {
+                assert_eq!(*left as u64, spec.budget - report.budget_used)
+            }
+            other => panic!("expected the burn-down gauge, got {other:?}"),
+        }
+        // One generation span per recorded generation, attrs intact.
+        let spans: Vec<_> =
+            tracer.events().into_iter().filter(|e| e.category == "explore").collect();
+        assert_eq!(spans.len(), report.generations.len());
+        assert!(spans[0].attrs.iter().any(|(k, _)| k == "budget_remaining"));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! cargo run --release -p cimflow-dse -- sweep.json \
 //!     [--workers N] [--sequential] [--search sequential|joint] \
 //!     [--csv out.csv] [--json out.json] \
-//!     [--cache cache.json] [--journal sweep.jsonl] [--quiet]
+//!     [--cache cache.json] [--journal sweep.jsonl] [--quiet] \
+//!     [--trace-out trace.json] [--metrics-out metrics.prom]
 //! ```
 //!
 //! `--journal` appends each finished point to a JSONL journal and resumes
@@ -44,6 +45,13 @@
 //! `--queue` bounds the admission queue (excess submissions are rejected
 //! with backpressure) and `--quota` caps each tenant's in-flight points.
 //!
+//! **Observability**: sweep, explore and serve all take
+//! `--trace-out PATH` (write a Chrome `trace_event` JSON timeline of the
+//! run, loadable in Perfetto or `chrome://tracing`) and
+//! `--metrics-out PATH` (write the final metrics in Prometheus text
+//! exposition format). A long-lived server additionally answers the
+//! `metrics` wire request with a live snapshot at any point.
+//!
 //! Exit codes: 0 when at least one point evaluated successfully (sweep
 //! mode) or the service shut down cleanly (serve mode), 1 for a
 //! usage/spec error, 2 when every point failed.
@@ -59,6 +67,10 @@ use cimflow_dse::{
     analysis, explore, explore_journaled, export, DseError, DseOutcome, EvalCache, EvalService,
     Executor, ExploreAlgorithm, ExploreSpec, Progress, ServiceConfig, SweepJournal, SweepSpec,
 };
+use cimflow_obs::{
+    HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot, Tracer,
+    DEFAULT_TRACE_CAPACITY,
+};
 
 struct SweepArgs {
     spec_path: PathBuf,
@@ -68,6 +80,8 @@ struct SweepArgs {
     json: Option<PathBuf>,
     cache: Option<PathBuf>,
     journal: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -77,6 +91,9 @@ struct ServeArgs {
     quota: Option<usize>,
     cache: Option<PathBuf>,
     tcp: Option<u16>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    quiet: bool,
 }
 
 struct ExploreArgs {
@@ -88,6 +105,8 @@ struct ExploreArgs {
     journal: Option<PathBuf>,
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -99,10 +118,13 @@ enum Args {
 }
 
 const USAGE: &str = "usage: cimflow-dse <sweep.json> [--workers N] [--sequential] \
-[--search sequential|joint] [--csv PATH] [--json PATH] [--cache PATH] [--journal PATH] [--quiet]
+[--search sequential|joint] [--csv PATH] [--json PATH] [--cache PATH] [--journal PATH] \
+[--trace-out PATH] [--metrics-out PATH] [--quiet]
        cimflow-dse explore <space.json> [--budget N] [--algorithm successive_halving|evolutionary] \
-[--seed N] [--workers N] [--journal PATH] [--csv PATH] [--json PATH] [--quiet]
-       cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT]
+[--seed N] [--workers N] [--journal PATH] [--csv PATH] [--json PATH] \
+[--trace-out PATH] [--metrics-out PATH] [--quiet]
+       cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT] \
+[--trace-out PATH] [--metrics-out PATH] [--quiet]
        cimflow-dse journal compact <PATH>";
 
 fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, String> {
@@ -132,6 +154,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     let mut budget = None;
     let mut algorithm = None;
     let mut seed = None;
+    let mut trace_out = None;
+    let mut metrics_out = None;
     let mut quiet = false;
     while let Some(arg) = argv.next() {
         match arg.as_str() {
@@ -178,6 +202,12 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                 let value = take_value(&mut argv, "--seed")?;
                 seed = Some(parse_number::<u64>("--seed", &value)?);
             }
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(take_value(&mut argv, "--trace-out")?));
+            }
+            "--metrics-out" => {
+                metrics_out = Some(PathBuf::from(take_value(&mut argv, "--metrics-out")?));
+            }
             "--quiet" => quiet = true,
             "--help" | "-h" => return Ok(None),
             other if other.starts_with('-') => {
@@ -210,6 +240,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             (budget.is_some(), "--budget"),
             (algorithm.is_some(), "--algorithm"),
             (seed.is_some(), "--seed"),
+            (trace_out.is_some(), "--trace-out"),
+            (metrics_out.is_some(), "--metrics-out"),
             (quiet, "--quiet"),
         ] {
             if set {
@@ -248,6 +280,8 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             journal,
             csv,
             json,
+            trace_out,
+            metrics_out,
             quiet,
         })));
     }
@@ -265,7 +299,16 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                 return Err(format!("{flag} does not apply to serve mode\n{USAGE}"));
             }
         }
-        return Ok(Some(Args::Serve(ServeArgs { workers, queue, quota, cache, tcp })));
+        return Ok(Some(Args::Serve(ServeArgs {
+            workers,
+            queue,
+            quota,
+            cache,
+            tcp,
+            trace_out,
+            metrics_out,
+            quiet,
+        })));
     }
     for (set, flag) in [
         (queue.is_some(), "--queue"),
@@ -291,8 +334,134 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
         json,
         cache,
         journal,
+        trace_out,
+        metrics_out,
         quiet,
     })))
+}
+
+/// Console reporting with a single `--quiet` policy across subcommands:
+/// `note` lines (banners, per-point progress, trajectories, frontier
+/// tables) are silenced by `--quiet`, while `machine` lines (one-line
+/// summaries, failure lists, export paths) always print so scripts and
+/// CI can grep them. Serve mode reports on stderr, keeping stdout clean
+/// for the wire protocol.
+struct Reporter {
+    quiet: bool,
+    to_stderr: bool,
+}
+
+impl Reporter {
+    fn stdout(quiet: bool) -> Self {
+        Reporter { quiet, to_stderr: false }
+    }
+
+    fn stderr(quiet: bool) -> Self {
+        Reporter { quiet, to_stderr: true }
+    }
+
+    /// Always printed: summaries and paths that scripts grep for.
+    fn machine(&self, line: &str) {
+        if self.to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+
+    /// Human narration; silenced by `--quiet`.
+    fn note(&self, line: &str) {
+        if !self.quiet {
+            self.machine(line);
+        }
+    }
+
+    /// One line per finished sweep point.
+    fn point(&self, p: &Progress) {
+        if self.quiet {
+            return;
+        }
+        let status = match (p.ok, p.cached) {
+            (true, true) => "hit ",
+            (true, false) => "ok  ",
+            (false, _) => "FAIL",
+        };
+        self.machine(&format!("[{:>4}/{}] {status} {}", p.completed, p.total, p.label));
+    }
+
+    /// End-of-run latency digest from the metrics registry, merged
+    /// across tenant/priority label sets.
+    fn latency_summary(&self, snapshot: &MetricsSnapshot) {
+        if self.quiet {
+            return;
+        }
+        let mut queue: Option<HistogramSnapshot> = None;
+        let mut latency: Option<HistogramSnapshot> = None;
+        for entry in &snapshot.entries {
+            if let MetricValue::Histogram(h) = &entry.value {
+                let acc = match entry.name.as_str() {
+                    "service.queue_wait_us" => &mut queue,
+                    "service.eval_latency_us" => &mut latency,
+                    _ => continue,
+                };
+                match acc {
+                    Some(acc) => acc.merge(h),
+                    None => *acc = Some(h.clone()),
+                }
+            }
+        }
+        if let Some(latency) = latency.filter(|h| h.count > 0) {
+            let queue_text = queue.filter(|h| h.count > 0).map_or_else(String::new, |q| {
+                format!("; queue wait p50 {}us p99 {}us", q.quantile(0.5), q.quantile(0.99))
+            });
+            self.machine(&format!(
+                "eval latency p50 {}us p90 {}us p99 {}us{queue_text}",
+                latency.quantile(0.5),
+                latency.quantile(0.9),
+                latency.quantile(0.99)
+            ));
+        }
+    }
+}
+
+/// Observability wiring shared by the subcommands: a metrics registry
+/// (always attached — the instruments are cheap atomics and feed the
+/// end-of-run summary) plus a tracer allocated only when `--trace-out`
+/// asks for a timeline.
+struct ObsSink {
+    registry: MetricsRegistry,
+    tracer: Option<Tracer>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+impl ObsSink {
+    fn new(trace_out: &Option<PathBuf>, metrics_out: &Option<PathBuf>) -> Self {
+        ObsSink {
+            registry: MetricsRegistry::new(),
+            tracer: trace_out.as_ref().map(|_| Tracer::new(DEFAULT_TRACE_CAPACITY)),
+            trace_out: trace_out.clone(),
+            metrics_out: metrics_out.clone(),
+        }
+    }
+
+    /// Writes the Chrome trace and Prometheus exposition files, if
+    /// requested. `exposition` is passed in so serve/explore can use the
+    /// service's own rendering (which mirrors cache gauges) instead of
+    /// the raw registry's.
+    fn write(&self, reporter: &Reporter, exposition: &str) -> Result<(), DseError> {
+        if let (Some(path), Some(tracer)) = (&self.trace_out, &self.tracer) {
+            std::fs::write(path, tracer.to_chrome_json())
+                .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+            reporter.machine(&format!("wrote trace -> {}", path.display()));
+        }
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, exposition)
+                .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
+            reporter.machine(&format!("wrote metrics -> {}", path.display()));
+        }
+        Ok(())
+    }
 }
 
 fn run_journal_compact(path: &std::path::Path) -> Result<ExitCode, DseError> {
@@ -320,111 +489,119 @@ fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
         Some(path) => EvalCache::load(path)?,
         None => EvalCache::new(),
     };
-    let executor = match args.workers.or(spec.workers) {
+    let obs = ObsSink::new(&args.trace_out, &args.metrics_out);
+    let mut executor = match args.workers.or(spec.workers) {
         Some(workers) => Executor::with_workers(workers),
         None => Executor::new(),
-    };
+    }
+    .with_metrics(obs.registry.clone());
+    if let Some(tracer) = &obs.tracer {
+        executor = executor.with_tracer(tracer.clone());
+    }
 
-    println!(
+    let reporter = Reporter::stdout(args.quiet);
+    reporter.note(&format!(
         "sweep `{name}`: {} points on {} worker(s), {} cached evaluation(s) loaded",
         spec.point_count(),
         executor.workers(),
         cache.len()
-    );
+    ));
 
-    let quiet = args.quiet;
-    let progress = |p: &Progress| {
-        if !quiet {
-            let status = match (p.ok, p.cached) {
-                (true, true) => "hit ",
-                (true, false) => "ok  ",
-                (false, _) => "FAIL",
-            };
-            println!("[{:>4}/{}] {status} {}", p.completed, p.total, p.label);
-        }
-    };
     let started = Instant::now();
     let outcomes = match &args.journal {
-        Some(path) => executor.run_spec_journaled_with_progress(&spec, &cache, path, progress)?,
-        None => executor.run_spec_with_progress(&spec, &cache, progress)?,
+        Some(path) => {
+            executor.run_spec_journaled_with_progress(&spec, &cache, path, |p| reporter.point(p))?
+        }
+        None => executor.run_spec_with_progress(&spec, &cache, |p| reporter.point(p))?,
     };
     let elapsed = started.elapsed();
 
     let succeeded = outcomes.iter().filter(|o| o.result.is_ok()).count();
     let failed = outcomes.len() - succeeded;
     let stats = cache.stats();
-    println!(
+    reporter.machine(&format!(
         "\n{} points in {:.2?}: {succeeded} ok, {failed} failed; cache {} hits / {} misses ({:.0}% hit)",
         outcomes.len(),
         elapsed,
         stats.hits,
         stats.misses,
         stats.hit_ratio() * 100.0
-    );
+    ));
+    reporter.latency_summary(&obs.registry.snapshot());
     if let Some(path) = &args.journal {
-        println!("journal -> {}", path.display());
+        reporter.machine(&format!("journal -> {}", path.display()));
     }
 
     if failed > 0 {
-        println!("\nfailed points:");
+        reporter.machine("\nfailed points:");
         for outcome in outcomes.iter().filter(|o| o.result.is_err()) {
             if let Err(e) = &outcome.result {
-                println!("  {} -> {e}", outcome.point.label());
+                reporter.machine(&format!("  {} -> {e}", outcome.point.label()));
             }
         }
     }
 
-    report_outcomes(&outcomes);
+    report_outcomes(&outcomes, &reporter);
 
     if let Some(path) = &args.csv {
         std::fs::write(path, export::to_csv(&outcomes))
             .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
-        println!("\nwrote CSV -> {}", path.display());
+        reporter.machine(&format!("\nwrote CSV -> {}", path.display()));
     }
     if let Some(path) = &args.json {
         std::fs::write(path, export::to_json(&outcomes))
             .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
-        println!("wrote JSON -> {}", path.display());
+        reporter.machine(&format!("wrote JSON -> {}", path.display()));
     }
     if let Some(path) = &args.cache {
         cache.save(path)?;
-        println!("saved cache ({} entries) -> {}", cache.len(), path.display());
+        reporter.machine(&format!("saved cache ({} entries) -> {}", cache.len(), path.display()));
     }
+
+    // The executor's per-run services are gone by now, so mirror the
+    // cache gauges here the way a live service does at snapshot time.
+    obs.registry.gauge("cache.hits").set(stats.hits as i64);
+    obs.registry.gauge("cache.misses").set(stats.misses as i64);
+    obs.registry.gauge("cache.coalesced").set(stats.coalesced as i64);
+    obs.registry.gauge("cache.entries").set(cache.len() as i64);
+    obs.write(&reporter, &obs.registry.snapshot().render_prometheus())?;
 
     Ok(if succeeded > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) })
 }
 
-fn report_outcomes(outcomes: &[DseOutcome]) {
+fn report_outcomes(outcomes: &[DseOutcome], reporter: &Reporter) {
     let frontiers = analysis::pareto_frontier_by_model(outcomes);
     let frontier_points: usize = frontiers.values().map(Vec::len).sum();
-    println!("\nPareto frontier over (cycles, energy), per model: {frontier_points} point(s)");
+    reporter.note(&format!(
+        "\nPareto frontier over (cycles, energy), per model: {frontier_points} point(s)"
+    ));
     for (model, frontier) in &frontiers {
-        println!("  {model}:");
+        reporter.note(&format!("  {model}:"));
         for &index in frontier {
             let outcome = &outcomes[index];
             if let Some(evaluation) = outcome.evaluation() {
-                println!(
+                reporter.note(&format!(
                     "    {:<52} {:>12} cycles {:>10.3} mJ {:>8.3} TOPS",
                     outcome.point.label(),
                     evaluation.simulation.total_cycles,
                     evaluation.simulation.energy_mj(),
                     evaluation.simulation.throughput_tops()
-                );
+                ));
             }
         }
     }
 
     let best = analysis::best_per_model(outcomes);
     if !best.is_empty() {
-        println!("\nfastest configuration per model:");
+        reporter.note("\nfastest configuration per model:");
         for (model, index) in &best {
             let outcome = &outcomes[*index];
             if let Some(evaluation) = outcome.evaluation() {
-                println!(
+                reporter.note(&format!(
                     "  {model:<16} {} ({} cycles)",
                     outcome.point.label(),
                     evaluation.simulation.total_cycles
-                );
+                ));
             }
         }
     }
@@ -449,15 +626,21 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
         .workers
         .or(spec.space.workers)
         .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1));
-    let service = EvalService::new(ServiceConfig::new().with_workers(workers));
-    println!(
+    let obs = ObsSink::new(&args.trace_out, &args.metrics_out);
+    let mut config = ServiceConfig::new().with_workers(workers).with_metrics(obs.registry.clone());
+    if let Some(tracer) = &obs.tracer {
+        config = config.with_tracer(tracer.clone());
+    }
+    let service = EvalService::new(config);
+    let reporter = Reporter::stdout(args.quiet);
+    reporter.note(&format!(
         "explore `{name}`: {} algorithm, budget {} of a {}-point space, seed {}, {} worker(s)",
         spec.algorithm,
         spec.budget,
         spec.space.point_count(),
         spec.seed,
         service.workers()
-    );
+    ));
 
     let started = Instant::now();
     let report = match &args.journal {
@@ -471,7 +654,7 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
 
     let succeeded = report.outcomes.iter().filter(|o| o.result.is_ok()).count();
     let resumed = report.outcomes.iter().filter(|o| o.cached).count();
-    println!(
+    reporter.machine(&format!(
         "\nused {} of {} budget in {elapsed:.2?}: {} full-fidelity point(s) ({succeeded} ok, \
          {resumed} cached/resumed), {} coarse, {:.1}% of the exhaustive grid evaluated",
         report.budget_used,
@@ -479,36 +662,37 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
         report.evaluated,
         report.coarse_evaluated,
         100.0 * report.budget_used as f64 / report.space_points.max(1) as f64,
-    );
-    if !args.quiet {
-        println!("\ngeneration trajectory:");
-        for generation in &report.generations {
-            println!(
-                "  [{:>3}] {:<10} +{:<3} point(s) ({} coarse) -> frontier {}",
-                generation.index,
-                generation.phase,
-                generation.submitted,
-                generation.coarse,
-                generation.frontier_points
-            );
-        }
+    ));
+    reporter.latency_summary(&service.metrics_snapshot());
+    reporter.note("\ngeneration trajectory:");
+    for generation in &report.generations {
+        reporter.note(&format!(
+            "  [{:>3}] {:<10} +{:<3} point(s) ({} coarse) -> frontier {}",
+            generation.index,
+            generation.phase,
+            generation.submitted,
+            generation.coarse,
+            generation.frontier_points
+        ));
     }
     if let Some(path) = &args.journal {
-        println!("journal -> {}", path.display());
+        reporter.machine(&format!("journal -> {}", path.display()));
     }
 
-    report_outcomes(&report.outcomes);
+    report_outcomes(&report.outcomes, &reporter);
 
     if let Some(path) = &args.csv {
         std::fs::write(path, export::to_csv(&report.outcomes))
             .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
-        println!("\nwrote CSV -> {}", path.display());
+        reporter.machine(&format!("\nwrote CSV -> {}", path.display()));
     }
     if let Some(path) = &args.json {
         std::fs::write(path, export::to_json(&report.outcomes))
             .map_err(|e| DseError::io(format!("cannot write {}: {e}", path.display())))?;
-        println!("wrote JSON -> {}", path.display());
+        reporter.machine(&format!("wrote JSON -> {}", path.display()));
     }
+
+    obs.write(&reporter, &service.render_metrics())?;
 
     Ok(if succeeded > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) })
 }
@@ -518,7 +702,11 @@ fn run_serve(args: &ServeArgs) -> Result<ExitCode, DseError> {
         Some(path) => EvalCache::load(path)?,
         None => EvalCache::new(),
     };
-    let mut config = ServiceConfig::new();
+    let obs = ObsSink::new(&args.trace_out, &args.metrics_out);
+    let mut config = ServiceConfig::new().with_metrics(obs.registry.clone());
+    if let Some(tracer) = &obs.tracer {
+        config = config.with_tracer(tracer.clone());
+    }
     if let Some(workers) = args.workers {
         config = config.with_workers(workers);
     }
@@ -529,13 +717,15 @@ fn run_serve(args: &ServeArgs) -> Result<ExitCode, DseError> {
         config = config.with_tenant_quota(quota);
     }
     let service = Arc::new(EvalService::with_cache(config, cache.clone()));
-    eprintln!(
+    // stdout carries the wire protocol, so the reporter goes to stderr.
+    let reporter = Reporter::stderr(args.quiet);
+    reporter.note(&format!(
         "cimflow-dse serve: {} worker(s), queue {}, per-tenant quota {}, {} cached evaluation(s)",
         service.workers(),
         args.queue.map_or_else(|| "unbounded".to_owned(), |q| q.to_string()),
         args.quota.map_or_else(|| "off".to_owned(), |q| q.to_string()),
         cache.len()
-    );
+    ));
 
     match args.tcp {
         Some(port) => {
@@ -553,7 +743,7 @@ fn run_serve(args: &ServeArgs) -> Result<ExitCode, DseError> {
     }
 
     let stats = service.stats();
-    eprintln!(
+    reporter.machine(&format!(
         "cimflow-dse serve: {} submitted, {} completed, {} cancelled, {} rejected; cache {} hits / {} misses",
         stats.submitted,
         stats.completed,
@@ -561,11 +751,13 @@ fn run_serve(args: &ServeArgs) -> Result<ExitCode, DseError> {
         stats.rejected,
         cache.stats().hits,
         cache.stats().misses
-    );
+    ));
+    reporter.latency_summary(&service.metrics_snapshot());
     if let Some(path) = &args.cache {
         cache.save(path)?;
-        eprintln!("saved cache ({} entries) -> {}", cache.len(), path.display());
+        reporter.machine(&format!("saved cache ({} entries) -> {}", cache.len(), path.display()));
     }
+    obs.write(&reporter, &service.render_metrics())?;
     Ok(ExitCode::SUCCESS)
 }
 

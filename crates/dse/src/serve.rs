@@ -16,7 +16,11 @@
 //! -> {"sweep": {"spec": {...SweepSpec...}, "tenant": "bob"}}
 //! <- {"accepted_batch": {"batch": 1, "jobs": [2, 3], "points": 2, "resumed": 0}}
 //! -> {"stats": {}}
-//! <- {"stats": {"service": {...}, "cache": {...}, "cache_entries": 2}}
+//! <- {"stats": {"service": {...}, "cache": {...}, "cache_entries": 2,
+//!               "tenants": [["alice", 3]]}}
+//! -> {"metrics": {}}
+//! <- {"metrics": {"exposition": "# TYPE service_evals_completed counter\n...",
+//!                 "metrics": [{"name": "service.queue_wait_us", ...}]}}
 //! ```
 //!
 //! Over-quota and queue-full submissions answer
@@ -74,6 +78,10 @@ pub enum Request {
     Cancel(Target),
     /// Service and cache counters.
     Stats,
+    /// A metrics snapshot: structured entries plus Prometheus text
+    /// exposition (queue-wait/eval-latency quantiles per tenant, cache
+    /// and admission counters, worker/queue gauges).
+    Metrics,
     /// Stop the service (and the listener hosting this connection).
     Shutdown,
 }
@@ -141,10 +149,21 @@ pub enum Response {
     Stats {
         /// Service counters.
         service: crate::ServiceStats,
-        /// Cache hit/miss counters.
+        /// Cache hit/miss/coalesced counters.
         cache: crate::CacheStats,
         /// Number of stored evaluations.
         cache_entries: usize,
+        /// In-flight (queued + running) points per tenant, sorted by
+        /// name. `None` when talking to a server predating this field
+        /// (old clients simply ignore it).
+        tenants: Option<Vec<(String, usize)>>,
+    },
+    /// A metrics snapshot.
+    Metrics {
+        /// Prometheus text exposition of every instrument.
+        exposition: String,
+        /// The same snapshot as structured entries.
+        metrics: Vec<WireMetric>,
     },
     /// Shutdown acknowledgement.
     ShuttingDown,
@@ -177,6 +196,76 @@ pub struct WireOutcome {
     pub energy_mj: Option<f64>,
     /// Throughput in TOPS.
     pub throughput_tops: Option<f64>,
+}
+
+/// The wire projection of one metrics-snapshot entry. Counter and gauge
+/// entries carry `value`; histogram entries carry the summary fields
+/// (`count`/`sum`/`min`/`max`/`p50`/`p90`/`p99`) instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireMetric {
+    /// Dotted metric name (e.g. `service.queue_wait_us`).
+    pub name: String,
+    /// Label pairs, as registered.
+    pub labels: Vec<(String, String)>,
+    /// `counter`, `gauge` or `histogram`.
+    pub kind: String,
+    /// Counter/gauge value.
+    pub value: Option<f64>,
+    /// Histogram: recorded values.
+    pub count: Option<u64>,
+    /// Histogram: sum of recorded values.
+    pub sum: Option<u64>,
+    /// Histogram: smallest recorded value.
+    pub min: Option<u64>,
+    /// Histogram: largest recorded value.
+    pub max: Option<u64>,
+    /// Histogram: median.
+    pub p50: Option<u64>,
+    /// Histogram: 90th percentile.
+    pub p90: Option<u64>,
+    /// Histogram: 99th percentile.
+    pub p99: Option<u64>,
+}
+
+impl WireMetric {
+    /// Projects one snapshot entry onto the wire schema.
+    pub fn of(entry: &cimflow_obs::MetricEntry) -> Self {
+        use cimflow_obs::MetricValue;
+        let mut metric = WireMetric {
+            name: entry.name.clone(),
+            labels: entry.labels.clone(),
+            kind: String::new(),
+            value: None,
+            count: None,
+            sum: None,
+            min: None,
+            max: None,
+            p50: None,
+            p90: None,
+            p99: None,
+        };
+        match &entry.value {
+            MetricValue::Counter(v) => {
+                metric.kind = "counter".to_owned();
+                metric.value = Some(*v as f64);
+            }
+            MetricValue::Gauge(v) => {
+                metric.kind = "gauge".to_owned();
+                metric.value = Some(*v as f64);
+            }
+            MetricValue::Histogram(h) => {
+                metric.kind = "histogram".to_owned();
+                metric.count = Some(h.count);
+                metric.sum = Some(h.sum);
+                metric.min = Some(h.min);
+                metric.max = Some(h.max);
+                metric.p50 = Some(h.p50());
+                metric.p90 = Some(h.p90());
+                metric.p99 = Some(h.p99());
+            }
+        }
+        metric
+    }
 }
 
 impl WireOutcome {
@@ -261,6 +350,7 @@ impl serde::Serialize for Request {
             }
             Request::Cancel(target) => tagged("cancel", target.serialize()),
             Request::Stats => tagged("stats", Content::Map(Vec::new())),
+            Request::Metrics => tagged("metrics", Content::Map(Vec::new())),
             Request::Shutdown => tagged("shutdown", Content::Map(Vec::new())),
         }
     }
@@ -302,6 +392,7 @@ impl serde::Deserialize for Request {
             }
             "cancel" => Ok(Request::Cancel(Target::deserialize(value)?)),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(serde::Error::new(format!("unknown request `{other}`"))),
         }
@@ -350,12 +441,20 @@ impl serde::Serialize for Response {
                 "cancelled",
                 Content::Map(vec![("cancelled".to_owned(), cancelled.serialize())]),
             ),
-            Response::Stats { service, cache, cache_entries } => tagged(
+            Response::Stats { service, cache, cache_entries, tenants } => tagged(
                 "stats",
                 Content::Map(vec![
                     ("service".to_owned(), service.serialize()),
                     ("cache".to_owned(), cache.serialize()),
                     ("cache_entries".to_owned(), cache_entries.serialize()),
+                    ("tenants".to_owned(), tenants.serialize()),
+                ]),
+            ),
+            Response::Metrics { exposition, metrics } => tagged(
+                "metrics",
+                Content::Map(vec![
+                    ("exposition".to_owned(), exposition.serialize()),
+                    ("metrics".to_owned(), metrics.serialize()),
                 ]),
             ),
             Response::ShuttingDown => tagged("shutting_down", Content::Map(Vec::new())),
@@ -402,6 +501,15 @@ impl serde::Deserialize for Response {
                 service: crate::ServiceStats::deserialize(req("service")?)?,
                 cache: crate::CacheStats::deserialize(req("cache")?)?,
                 cache_entries: usize::deserialize(req("cache_entries")?)?,
+                // Optional for compatibility with pre-tenant servers.
+                tenants: match field(map, "tenants") {
+                    None | Some(Content::Null) => None,
+                    Some(value) => Some(Vec::deserialize(value)?),
+                },
+            }),
+            "metrics" => Ok(Response::Metrics {
+                exposition: String::deserialize(req("exposition")?)?,
+                metrics: Vec::deserialize(req("metrics")?)?,
             }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error { message: String::deserialize(req("message")?)? }),
@@ -567,7 +675,15 @@ impl<'s> Connection<'s> {
                 service: self.service.stats(),
                 cache: self.service.cache().stats(),
                 cache_entries: self.service.cache().len(),
+                tenants: Some(self.service.tenants_in_flight()),
             },
+            Request::Metrics => {
+                let snapshot = self.service.metrics_snapshot();
+                Response::Metrics {
+                    exposition: snapshot.render_prometheus(),
+                    metrics: snapshot.entries.iter().map(WireMetric::of).collect(),
+                }
+            }
             Request::Shutdown => {
                 self.service.shutdown();
                 return (Response::ShuttingDown, true);
@@ -816,6 +932,7 @@ mod tests {
             Request::Wait { target: Target::Job(7), timeout_ms: Some(250) },
             Request::Cancel(Target::Job(9)),
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for request in requests {
@@ -829,6 +946,28 @@ mod tests {
             Response::Rejected { kind: "queue_full".to_owned(), reason: "full".to_owned() },
             Response::Status { state: "running".to_owned(), completed: 1, total: 4 },
             Response::Cancelled { cancelled: 2 },
+            Response::Stats {
+                service: crate::ServiceStats::default(),
+                cache: crate::CacheStats { hits: 1, misses: 2, coalesced: 0 },
+                cache_entries: 2,
+                tenants: Some(vec![("alice".to_owned(), 3)]),
+            },
+            Response::Metrics {
+                exposition: "# TYPE x counter\nx 1\n".to_owned(),
+                metrics: vec![WireMetric {
+                    name: "service.queue_wait_us".to_owned(),
+                    labels: vec![("tenant".to_owned(), "alice".to_owned())],
+                    kind: "histogram".to_owned(),
+                    value: None,
+                    count: Some(4),
+                    sum: Some(100),
+                    min: Some(10),
+                    max: Some(40),
+                    p50: Some(25),
+                    p90: Some(40),
+                    p99: Some(40),
+                }],
+            },
             Response::ShuttingDown,
             Response::Error { message: "nope".to_owned() },
         ];
@@ -836,6 +975,18 @@ mod tests {
             let text = serde_json::to_string(&response).unwrap();
             let back: Response = serde_json::from_str(&text).unwrap();
             assert_eq!(back, response, "{text}");
+        }
+        // A `stats` reply from a server predating the `tenants` field
+        // still parses (the field defaults to absent).
+        let old = "{\"stats\": {\"service\": {\"submitted\": 0, \"completed\": 0, \
+                    \"cancelled\": 0, \"rejected\": 0, \"queued\": 0, \"running\": 0}, \
+                    \"cache\": {\"hits\": 0, \"misses\": 0}, \"cache_entries\": 0}}";
+        match serde_json::from_str::<Response>(old).unwrap() {
+            Response::Stats { tenants, cache, .. } => {
+                assert_eq!(tenants, None);
+                assert_eq!(cache.coalesced, 0);
+            }
+            other => panic!("expected stats, got {other:?}"),
         }
     }
 
@@ -848,6 +999,7 @@ mod tests {
             Request::Wait { target: Target::Job(1), timeout_ms: None },
             Request::Poll(Target::Job(1)),
             Request::Stats,
+            Request::Metrics,
         ]);
         let responses = responses(&service, &input);
         assert_eq!(responses[0], Response::Accepted { job: 1 });
@@ -866,12 +1018,26 @@ mod tests {
         // The wait consumed the id: the result slot is released.
         assert!(matches!(&responses[3], Response::Error { .. }));
         match &responses[4] {
-            Response::Stats { service, cache, cache_entries } => {
+            Response::Stats { service, cache, cache_entries, tenants } => {
                 assert_eq!(service.completed, 1);
                 assert_eq!(cache.misses, 1);
                 assert_eq!(*cache_entries, 1);
+                assert_eq!(tenants.as_deref(), Some(&[][..]), "nothing in flight after the wait");
             }
             other => panic!("expected stats, got {other:?}"),
+        }
+        match &responses[5] {
+            Response::Metrics { exposition, metrics } => {
+                assert!(exposition.contains("service_evals_completed 1"), "{exposition}");
+                let latency = metrics
+                    .iter()
+                    .find(|m| m.name == "service.eval_latency_us")
+                    .expect("eval latency is exported");
+                assert_eq!(latency.kind, "histogram");
+                assert_eq!(latency.count, Some(1));
+                assert!(latency.p99.unwrap() >= latency.p50.unwrap());
+            }
+            other => panic!("expected metrics, got {other:?}"),
         }
     }
 

@@ -65,6 +65,7 @@ use std::time::{Duration, Instant};
 use cimflow_arch::ArchConfig;
 use cimflow_compiler::{SearchMode, Strategy};
 use cimflow_nn::models;
+use cimflow_obs::{thread_track, Counter, Gauge, MetricsRegistry, MetricsSnapshot, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::journal::SweepJournal;
@@ -307,6 +308,15 @@ pub struct ServiceConfig {
     /// Maximum in-flight (queued + running) points per tenant; `None`
     /// disables quotas.
     pub tenant_quota: Option<usize>,
+    /// Metrics registry the service records into; `None` makes the
+    /// service create a private one (always readable back through
+    /// [`EvalService::metrics`]). Pass a shared registry to aggregate
+    /// several services — or a service and its driving CLI — into one
+    /// exposition.
+    pub metrics: Option<MetricsRegistry>,
+    /// Span tracer for queue/eval timelines; `None` disables tracing
+    /// entirely (no ring buffer, no per-job span overhead).
+    pub tracer: Option<Tracer>,
 }
 
 impl ServiceConfig {
@@ -314,7 +324,13 @@ impl ServiceConfig {
     /// queue bound, no quotas.
     pub fn new() -> Self {
         let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
-        ServiceConfig { workers, queue_capacity: None, tenant_quota: None }
+        ServiceConfig {
+            workers,
+            queue_capacity: None,
+            tenant_quota: None,
+            metrics: None,
+            tracer: None,
+        }
     }
 
     /// Sets the worker count (`1` = sequential).
@@ -337,6 +353,21 @@ impl ServiceConfig {
     #[must_use]
     pub fn with_tenant_quota(mut self, quota: usize) -> Self {
         self.tenant_quota = Some(quota);
+        self
+    }
+
+    /// Records service metrics into `metrics` instead of a private
+    /// registry.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Records queue/eval spans into `tracer` (off by default).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 }
@@ -455,6 +486,16 @@ pub enum JobEvent {
 }
 
 /// Monotonic service counters plus a queue snapshot.
+///
+/// # Consistency
+///
+/// Every value is read under the one service state lock — the same
+/// critical section the workers mutate them in — so a snapshot is never
+/// torn: `submitted == completed + cancelled + queued + running` holds
+/// for **every** snapshot, however loaded the service is (rejected
+/// submissions are counted separately and never become `submitted`).
+/// The `service_stats_snapshots_never_tear` test hammers this from four
+/// reader threads against a live worker pool.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServiceStats {
     /// Jobs admitted over the service lifetime.
@@ -487,6 +528,9 @@ struct BatchState {
 struct Entry {
     job: Job,
     tenant: Option<String>,
+    priority: Priority,
+    /// Admission time, the basis of the queue-wait histogram.
+    submitted_at: Instant,
     status: JobStatus,
     outcome: Option<DseOutcome>,
     batch: Option<(Arc<BatchState>, usize)>,
@@ -540,6 +584,41 @@ impl State {
     }
 }
 
+/// Pre-resolved observability instruments of one service (resolving an
+/// instrument takes the registry lock, so the fixed-name ones are looked
+/// up once at service start; per-tenant/per-priority histograms are
+/// resolved per job, which is once per compile → simulate run).
+#[derive(Debug)]
+struct ServiceObs {
+    metrics: MetricsRegistry,
+    tracer: Option<Tracer>,
+    evals_completed: Counter,
+    evals_failed: Counter,
+    jobs_cancelled: Counter,
+    workers_busy: Gauge,
+    queue_depth: Gauge,
+}
+
+impl ServiceObs {
+    fn new(metrics: MetricsRegistry, tracer: Option<Tracer>) -> Self {
+        ServiceObs {
+            evals_completed: metrics.counter("service.evals_completed"),
+            evals_failed: metrics.counter("service.evals_failed"),
+            jobs_cancelled: metrics.counter("service.jobs_cancelled"),
+            workers_busy: metrics.gauge("service.workers_busy"),
+            queue_depth: metrics.gauge("service.queue_depth"),
+            metrics,
+            tracer,
+        }
+    }
+
+    fn reject(&self, rejection: &Rejected, count: u64) {
+        self.metrics
+            .counter_with("service.admission_rejected", &[("cause", rejection.kind())])
+            .add(count);
+    }
+}
+
 #[derive(Debug)]
 struct Shared {
     state: Mutex<State>,
@@ -548,6 +627,7 @@ struct Shared {
     /// Signaled when any job reaches a terminal state.
     done: Condvar,
     cache: EvalCache,
+    obs: ServiceObs,
 }
 
 const STATE_POISONED: &str = "service state poisoned";
@@ -602,8 +682,17 @@ fn finish_entry(st: &mut State, shared: &Shared, id: u64, outcome: DseOutcome, s
         }
     }
     match status {
-        JobStatus::Done => st.completed += 1,
-        JobStatus::Cancelled => st.cancelled += 1,
+        JobStatus::Done => {
+            st.completed += 1;
+            shared.obs.evals_completed.inc();
+            if outcome.result.is_err() {
+                shared.obs.evals_failed.inc();
+            }
+        }
+        JobStatus::Cancelled => {
+            st.cancelled += 1;
+            shared.obs.jobs_cancelled.inc();
+        }
         JobStatus::Queued | JobStatus::Running => unreachable!("finish with non-terminal status"),
     }
     if let Some(tx) = &entry.events {
@@ -636,6 +725,7 @@ fn cancel_locked(st: &mut State, shared: &Shared, id: u64) -> bool {
     match st.entries.get(&id) {
         Some(entry) if entry.status == JobStatus::Queued => {
             st.queued -= 1;
+            shared.obs.queue_depth.set(st.queued as i64);
             let outcome = DseOutcome {
                 point: entry.job.spec.clone(),
                 result: Err(DseError::Cancelled),
@@ -663,7 +753,15 @@ fn release(shared: &Shared, ids: &[u64]) {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    // Workers publish their tracer as the thread's ambient tracer, so
+    // layers below the service boundary — notably the compiler's joint
+    // search, whose options cannot carry a tracer — record onto the same
+    // per-worker track as the enclosing eval span.
+    if let Some(tracer) = &shared.obs.tracer {
+        tracer.set_track_name(thread_track(), &format!("worker-{index}"));
+        Tracer::set_ambient(Some(tracer.clone()));
+    }
     loop {
         let claimed = {
             let mut st = shared.state.lock().expect(STATE_POISONED);
@@ -687,17 +785,50 @@ fn worker_loop(shared: Arc<Shared>) {
                         }
                         let job = entry.job.clone();
                         let journal = entry.journal.clone();
+                        let tenant =
+                            entry.tenant.clone().unwrap_or_else(|| DEFAULT_TENANT.to_owned());
+                        let priority = entry.priority;
+                        let queue_wait = entry.submitted_at.elapsed();
                         st.queued -= 1;
                         st.running += 1;
-                        break Some((id, job, journal));
+                        shared.obs.queue_depth.set(st.queued as i64);
+                        break Some((id, job, journal, tenant, priority, queue_wait));
                     }
                     None if st.shutting_down => break None,
                     None => st = shared.work.wait(st).expect(STATE_POISONED),
                 }
             }
         };
-        let Some((id, job, journal)) = claimed else { return };
+        let Some((id, job, journal, tenant, priority, queue_wait)) = claimed else { return };
+        shared.obs.workers_busy.add(1);
+        shared
+            .obs
+            .metrics
+            .histogram_with(
+                "service.queue_wait_us",
+                &[("tenant", &tenant), ("priority", priority.name())],
+            )
+            .record_duration(queue_wait);
+        let mut span = shared.obs.tracer.as_ref().map(|tracer| {
+            let mut span = tracer.thread_span("eval", "service");
+            span.attr("label", job.spec.label())
+                .attr("tenant", tenant.as_str())
+                .attr("priority", priority.name())
+                .attr("queue_wait_us", u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX));
+            span
+        });
+        let eval_started = Instant::now();
         let outcome = run_point(&job, &shared.cache);
+        shared
+            .obs
+            .metrics
+            .histogram_with("service.eval_latency_us", &[("tenant", &tenant)])
+            .record_duration(eval_started.elapsed());
+        if let Some(span) = span.as_mut() {
+            span.attr("ok", outcome.result.is_ok()).attr("cached", outcome.cached);
+        }
+        drop(span); // the eval span covers run_point only, not the lock
+        shared.obs.workers_busy.sub(1);
         if let Some(journal) = &journal {
             // Best effort: journaling must never fail the sweep itself.
             let key =
@@ -1002,18 +1133,20 @@ impl EvalService {
     /// Starts a service over an existing (possibly shared or persisted)
     /// cache.
     pub fn with_cache(config: ServiceConfig, cache: EvalCache) -> Self {
+        let metrics = config.metrics.clone().unwrap_or_default();
         let shared = Arc::new(Shared {
             state: Mutex::default(),
             work: Condvar::new(),
             done: Condvar::new(),
             cache,
+            obs: ServiceObs::new(metrics, config.tracer.clone()),
         });
         let workers = (0..config.workers)
             .map(|index| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("cimflow-serve-{index}"))
-                    .spawn(move || worker_loop(shared))
+                    .spawn(move || worker_loop(shared, index))
                     .expect("spawn service worker")
             })
             .collect();
@@ -1087,17 +1220,21 @@ impl EvalService {
             let mut st = self.shared.state.lock().expect(STATE_POISONED);
             if st.shutting_down {
                 st.rejected += 1;
+                self.shared.obs.reject(&Rejected::ShuttingDown, 1);
                 return Err(Rejected::ShuttingDown);
             }
             let id = st.allocate_id();
             st.submitted += 1;
             st.completed += 1;
+            self.shared.obs.evals_completed.inc();
             let _ = tx.send(JobEvent::Finished { ok: true, cached: true });
             st.entries.insert(
                 id,
                 Entry {
                     job,
                     tenant: Some(tenant),
+                    priority,
+                    submitted_at: Instant::now(),
                     status: JobStatus::Done,
                     outcome: Some(outcome),
                     batch: None,
@@ -1114,19 +1251,24 @@ impl EvalService {
         let mut st = self.shared.state.lock().expect(STATE_POISONED);
         if st.shutting_down {
             st.rejected += 1;
+            self.shared.obs.reject(&Rejected::ShuttingDown, 1);
             return Err(Rejected::ShuttingDown);
         }
         if let Some(capacity) = self.config.queue_capacity {
             if st.queued + 1 > capacity {
                 st.rejected += 1;
-                return Err(Rejected::QueueFull { capacity });
+                let rejection = Rejected::QueueFull { capacity };
+                self.shared.obs.reject(&rejection, 1);
+                return Err(rejection);
             }
         }
         if let Some(quota) = self.config.tenant_quota {
             let used = st.in_flight.get(&tenant).copied().unwrap_or(0);
             if used + 1 > quota {
                 st.rejected += 1;
-                return Err(Rejected::QuotaExceeded { tenant, quota });
+                let rejection = Rejected::QuotaExceeded { tenant, quota };
+                self.shared.obs.reject(&rejection, 1);
+                return Err(rejection);
             }
         }
         let id = st.allocate_id();
@@ -1136,6 +1278,8 @@ impl EvalService {
             Entry {
                 job,
                 tenant: Some(tenant),
+                priority,
+                submitted_at: Instant::now(),
                 status: JobStatus::Queued,
                 outcome: None,
                 batch: None,
@@ -1147,6 +1291,7 @@ impl EvalService {
         st.queue.push(ClaimRef { priority, seq: id, id });
         st.queued += 1;
         st.submitted += 1;
+        self.shared.obs.queue_depth.set(st.queued as i64);
         drop(st);
         self.shared.work.notify_one();
         Ok(JobHandle { shared: Arc::clone(&self.shared), id, events: rx })
@@ -1260,20 +1405,25 @@ impl EvalService {
         let mut st = self.shared.state.lock().expect(STATE_POISONED);
         if st.shutting_down {
             st.rejected += jobs.len() as u64;
+            self.shared.obs.reject(&Rejected::ShuttingDown, jobs.len() as u64);
             return Err(Rejected::ShuttingDown);
         }
         if admission {
             if let Some(capacity) = self.config.queue_capacity {
                 if st.queued + live > capacity {
                     st.rejected += jobs.len() as u64;
-                    return Err(Rejected::QueueFull { capacity });
+                    let rejection = Rejected::QueueFull { capacity };
+                    self.shared.obs.reject(&rejection, jobs.len() as u64);
+                    return Err(rejection);
                 }
             }
             if let (Some(quota), Some(tenant)) = (self.config.tenant_quota, tenant.as_ref()) {
                 let used = st.in_flight.get(tenant).copied().unwrap_or(0);
                 if used + live > quota {
                     st.rejected += jobs.len() as u64;
-                    return Err(Rejected::QuotaExceeded { tenant: tenant.clone(), quota });
+                    let rejection = Rejected::QuotaExceeded { tenant: tenant.clone(), quota };
+                    self.shared.obs.reject(&rejection, jobs.len() as u64);
+                    return Err(rejection);
                 }
             }
         }
@@ -1295,11 +1445,14 @@ impl EvalService {
                         cached: true,
                     });
                     st.completed += 1;
+                    self.shared.obs.evals_completed.inc();
                     st.entries.insert(
                         id,
                         Entry {
                             job,
                             tenant: tenant.clone(),
+                            priority,
+                            submitted_at: Instant::now(),
                             status: JobStatus::Done,
                             outcome: Some(outcome),
                             batch: Some((Arc::clone(&batch), index)),
@@ -1318,6 +1471,8 @@ impl EvalService {
                         Entry {
                             job,
                             tenant: tenant.clone(),
+                            priority,
+                            submitted_at: Instant::now(),
                             status: JobStatus::Queued,
                             outcome: None,
                             batch: Some((Arc::clone(&batch), index)),
@@ -1331,6 +1486,7 @@ impl EvalService {
                 }
             }
         }
+        self.shared.obs.queue_depth.set(st.queued as i64);
         drop(st);
         self.shared.work.notify_all();
         Ok(BatchHandle {
@@ -1353,6 +1509,51 @@ impl EvalService {
             queued: st.queued,
             running: st.running,
         }
+    }
+
+    /// In-flight (queued + running) point counts per tenant, sorted by
+    /// tenant name. Tenants with nothing in flight are absent.
+    pub fn tenants_in_flight(&self) -> Vec<(String, usize)> {
+        let st = self.shared.state.lock().expect(STATE_POISONED);
+        let mut tenants: Vec<(String, usize)> =
+            st.in_flight.iter().map(|(tenant, count)| (tenant.clone(), *count)).collect();
+        tenants.sort();
+        tenants
+    }
+
+    /// The registry this service records into (a shallow clone; see
+    /// [`ServiceConfig::with_metrics`]).
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.shared.obs.metrics.clone()
+    }
+
+    /// The tracer this service records spans into, if tracing is on.
+    pub fn tracer(&self) -> Option<Tracer> {
+        self.shared.obs.tracer.clone()
+    }
+
+    /// A metrics snapshot with the shared cache's hit/miss/coalesced
+    /// counters folded in (as `cache.*` gauges — the cache keeps its own
+    /// atomics, so they are mirrored at read time rather than
+    /// double-counted on every lookup).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.sync_cache_metrics();
+        self.shared.obs.metrics.snapshot()
+    }
+
+    /// Prometheus text exposition of [`Self::metrics_snapshot`].
+    pub fn render_metrics(&self) -> String {
+        self.sync_cache_metrics();
+        self.shared.obs.metrics.render_prometheus()
+    }
+
+    fn sync_cache_metrics(&self) {
+        let stats = self.shared.cache.stats();
+        let metrics = &self.shared.obs.metrics;
+        metrics.gauge("cache.hits").set(stats.hits as i64);
+        metrics.gauge("cache.misses").set(stats.misses as i64);
+        metrics.gauge("cache.coalesced").set(stats.coalesced as i64);
+        metrics.gauge("cache.entries").set(self.shared.cache.len() as i64);
     }
 
     /// Begins shutdown: queued jobs are cancelled (their waiters observe
@@ -1763,5 +1964,148 @@ mod tests {
         )
         .unwrap();
         assert_eq!(joint.point().search, SearchMode::Joint);
+    }
+
+    #[test]
+    fn service_stats_snapshots_never_tear() {
+        use std::sync::atomic::AtomicBool;
+
+        // Four reader threads hammer `stats()` while a worker pool churns
+        // through submissions and cancellations; every snapshot must
+        // satisfy the documented conservation invariant.
+        let service = Arc::new(EvalService::new(ServiceConfig::new().with_workers(2)));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut snapshots = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let s = service.stats();
+                        assert_eq!(
+                            s.submitted,
+                            s.completed + s.cancelled + s.queued as u64 + s.running as u64,
+                            "torn snapshot: {s:?}"
+                        );
+                        snapshots += 1;
+                    }
+                    snapshots
+                })
+            })
+            .collect();
+        let mut handles = Vec::new();
+        for round in 0..20 {
+            let model = if round % 2 == 0 { "mobilenetv2" } else { "resnet18" };
+            let handle = service.submit(request(model, Strategy::GenericMapping)).unwrap();
+            if round % 3 == 0 {
+                handle.cancel();
+            }
+            handles.push(handle);
+        }
+        for handle in &handles {
+            let _ = handle.wait();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().unwrap() > 0, "readers actually observed snapshots");
+        }
+        let s = service.stats();
+        assert_eq!(s.submitted, 20);
+        assert_eq!(s.completed + s.cancelled, 20);
+        assert_eq!((s.queued, s.running), (0, 0));
+    }
+
+    #[test]
+    fn service_metrics_cover_the_job_lifecycle() {
+        use cimflow_obs::MetricValue;
+
+        let registry = MetricsRegistry::new();
+        let tracer = Tracer::new(1024);
+        let cache = EvalCache::new();
+        let service = EvalService::with_cache(
+            ServiceConfig::new()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_metrics(registry.clone())
+                .with_tracer(tracer.clone()),
+            cache.clone(),
+        );
+
+        // One evaluated job, one cache-served repeat, one admission
+        // rejection while the queue is full.
+        let (go, release) = mpsc::channel();
+        let blocker =
+            block_point(&cache, models::mobilenet_v2(32), Strategy::GenericMapping, release);
+        let running = service
+            .submit(request("mobilenetv2", Strategy::GenericMapping).with_tenant("t0"))
+            .unwrap();
+        wait_until("the worker claims the blocked job", || running.status() == JobStatus::Running);
+        let queued = service
+            .submit(request("mobilenetv2", Strategy::GenericMapping).with_tenant("t0"))
+            .unwrap();
+        assert_eq!(service.tenants_in_flight(), vec![("t0".to_owned(), 2)]);
+        assert_eq!(
+            service
+                .submit(request("resnet18", Strategy::GenericMapping).with_tenant("t1"))
+                .unwrap_err()
+                .kind(),
+            "queue_full"
+        );
+        go.send(()).unwrap();
+        assert!(running.wait().result.is_ok());
+        assert!(queued.wait().result.is_ok());
+        blocker.join().unwrap();
+
+        let snapshot = service.metrics_snapshot();
+        assert_eq!(snapshot.get("service.evals_completed", &[]), Some(&MetricValue::Counter(2)));
+        assert_eq!(
+            snapshot.get("service.admission_rejected", &[("cause", "queue_full")]),
+            Some(&MetricValue::Counter(1))
+        );
+        match snapshot.get("service.eval_latency_us", &[("tenant", "t0")]) {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 2),
+            other => panic!("eval latency histogram missing: {other:?}"),
+        }
+        match snapshot.get("service.queue_wait_us", &[("tenant", "t0"), ("priority", "normal")]) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert!(h.p99() >= h.p50());
+            }
+            other => panic!("queue wait histogram missing: {other:?}"),
+        }
+        // The cache counters are mirrored into the same snapshot: the
+        // blocker's own lookup is the one miss, the blocked first job
+        // coalesces onto it (a hit) and the repeat is a plain hit.
+        assert_eq!(snapshot.get("cache.hits", &[]), Some(&MetricValue::Gauge(2)));
+        assert_eq!(snapshot.get("cache.misses", &[]), Some(&MetricValue::Gauge(1)));
+        assert_eq!(snapshot.get("cache.coalesced", &[]), Some(&MetricValue::Gauge(1)));
+        // The exposition carries per-tenant quantiles for the wire smoke.
+        let text = service.render_metrics();
+        assert!(text.contains("service_evals_completed 2"));
+        assert!(text.contains(
+            "service_queue_wait_us{tenant=\"t0\",priority=\"normal\",quantile=\"0.99\"}"
+        ));
+
+        // The tracer holds one eval span per worker-run job, on the
+        // worker's named track.
+        let spans: Vec<_> = tracer.events().into_iter().filter(|e| e.name == "eval").collect();
+        assert_eq!(spans.len(), 2);
+        for span in &spans {
+            assert_eq!(span.category, "service");
+            assert!(span.attrs.iter().any(|(k, _)| k == "tenant"));
+        }
+        assert!(tracer.to_chrome_json().contains("worker-0"));
+        drop(service);
+    }
+
+    #[test]
+    fn unconfigured_services_still_count_into_a_private_registry() {
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        assert!(service.tracer().is_none(), "tracing is strictly opt-in");
+        let handle = service.submit(request("mobilenetv2", Strategy::GenericMapping)).unwrap();
+        assert!(handle.wait().result.is_ok());
+        let text = service.render_metrics();
+        assert!(text.contains("service_evals_completed 1"));
     }
 }

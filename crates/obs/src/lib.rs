@@ -1,0 +1,50 @@
+//! # cimflow-obs
+//!
+//! Dependency-free observability primitives for the CIMFlow workspace:
+//!
+//! * a [`MetricsRegistry`] of named [`Counter`]s, [`Gauge`]s and
+//!   log-bucketed [`Histogram`]s (p50/p90/p99 summaries), cheap enough
+//!   for hot paths — instruments are plain atomics, histogram bins are
+//!   sharded per thread, and recording never takes the registry lock;
+//! * a span-based [`Tracer`] that records `{name, start, duration,
+//!   attrs}` events into a bounded ring buffer and exports Chrome
+//!   `trace_event` JSON, loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev).
+//!
+//! The crate is intentionally free of dependencies (including the
+//! workspace's vendored serde): the exposition formats it emits —
+//! Prometheus text and Chrome trace JSON — are built directly, so the
+//! simulator, compiler and service layers can all afford to link it.
+//!
+//! # Example
+//!
+//! ```
+//! use cimflow_obs::{MetricsRegistry, Tracer};
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.counter("service.evals_completed").inc();
+//! registry.histogram_with("service.queue_wait_us", &[("tenant", "docs")]).record(120);
+//! let exposition = registry.render_prometheus();
+//! assert!(exposition.contains("service_evals_completed 1"));
+//!
+//! let tracer = Tracer::new(1024);
+//! {
+//!     let mut span = tracer.span("eval", "service", 1);
+//!     span.attr("label", "resnet18@32");
+//! } // recorded on drop
+//! assert!(tracer.to_chrome_json().contains("\"traceEvents\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod trace;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricEntry, MetricValue, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BINS,
+};
+pub use trace::{
+    new_track, thread_track, AttrValue, Span, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY,
+};

@@ -1,0 +1,731 @@
+//! The metrics side of the crate: counters, gauges, log-bucketed
+//! histograms, and the registry that names them.
+//!
+//! # Cost model
+//!
+//! Instruments are handed out as shallow clones of `Arc`'d atomics, so a
+//! hot loop resolves its instrument once and then records lock-free:
+//! a counter increment is one `fetch_add`, a histogram record is a bin
+//! `fetch_add` plus four scalar atomics on a per-thread shard. The
+//! registry's mutex is touched only on instrument lookup/creation and
+//! on [`MetricsRegistry::snapshot`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Counter / gauge
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh, unregistered counter (registry instruments come from
+    /// [`MetricsRegistry::counter`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (queue depth, busy workers).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh, unregistered gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// Values below this are binned exactly (one bin per integer).
+const LINEAR_BINS: usize = 128;
+/// Sub-bucket resolution above the linear region: 2 bits = 4 sub-buckets
+/// per power of two, bounding the relative quantile error at ~12.5%.
+const SUB_BITS: u32 = 2;
+const SUBS: usize = 1 << SUB_BITS;
+/// First octave of the logarithmic region (`2^7 == LINEAR_BINS`).
+const FIRST_OCTAVE: u32 = 7;
+
+/// Total bins of a histogram: an exact linear region for small values
+/// plus 4 log sub-buckets per octave up to `u64::MAX`.
+pub const HISTOGRAM_BINS: usize = LINEAR_BINS + (64 - FIRST_OCTAVE as usize) * SUBS;
+
+/// Number of independently updated shards; recording threads spread
+/// across them so concurrent records do not contend on one cache line.
+const SHARDS: usize = 4;
+
+fn bin_of(value: u64) -> usize {
+    if value < LINEAR_BINS as u64 {
+        return value as usize;
+    }
+    let octave = 63 - value.leading_zeros();
+    let sub = ((value >> (octave - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    LINEAR_BINS + (octave - FIRST_OCTAVE) as usize * SUBS + sub
+}
+
+fn lower_bound(bin: usize) -> u64 {
+    if bin < LINEAR_BINS {
+        return bin as u64;
+    }
+    let rel = bin - LINEAR_BINS;
+    let octave = FIRST_OCTAVE + (rel / SUBS) as u32;
+    let sub = (rel % SUBS) as u64;
+    (1u64 << octave) + (sub << (octave - SUB_BITS))
+}
+
+/// The per-thread shard index: assigned round-robin on first use, so a
+/// worker pool's threads land on distinct shards.
+fn shard_index() -> usize {
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|cell| {
+        let mut shard = cell.get();
+        if shard == usize::MAX {
+            shard = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            cell.set(shard);
+        }
+        shard
+    })
+}
+
+#[derive(Debug)]
+struct HistogramShard {
+    bins: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramShard {
+    fn new() -> Self {
+        HistogramShard {
+            bins: (0..HISTOGRAM_BINS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed histogram: exact bins for values below 128, four
+/// sub-buckets per power of two above, sharded across threads.
+///
+/// Quantiles are answered from the merged bins as the lower bound of the
+/// bucket holding the requested rank — exact in the linear region, at
+/// most one sub-bucket (≤ 12.5%) low in the logarithmic region.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    shards: Arc<Vec<HistogramShard>>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { shards: Arc::new((0..SHARDS).map(|_| HistogramShard::new()).collect()) }
+    }
+}
+
+impl Histogram {
+    /// A fresh, unregistered histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[shard_index()];
+        shard.bins[bin_of(value)].fetch_add(1, Ordering::Relaxed);
+        shard.count.fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(value, Ordering::Relaxed);
+        shard.min.fetch_min(value, Ordering::Relaxed);
+        shard.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a duration in microseconds.
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(u64::try_from(duration.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Merges every shard into one immutable summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snapshot = HistogramSnapshot::default();
+        let mut bins = vec![0u64; HISTOGRAM_BINS];
+        for shard in self.shards.iter() {
+            snapshot.count += shard.count.load(Ordering::Relaxed);
+            snapshot.sum += shard.sum.load(Ordering::Relaxed);
+            snapshot.min = snapshot.min.min(shard.min.load(Ordering::Relaxed));
+            snapshot.max = snapshot.max.max(shard.max.load(Ordering::Relaxed));
+            for (bin, counter) in bins.iter_mut().zip(&shard.bins) {
+                *bin += counter.load(Ordering::Relaxed);
+            }
+        }
+        if snapshot.count == 0 {
+            snapshot.min = 0;
+        }
+        snapshot.buckets = bins
+            .iter()
+            .enumerate()
+            .filter(|(_, count)| **count > 0)
+            .map(|(bin, count)| (lower_bound(bin), *count))
+            .collect();
+        snapshot
+    }
+}
+
+/// An immutable merged view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Recorded values.
+    pub count: u64,
+    /// Sum of recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Non-empty buckets as `(lower_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: Vec::new() }
+    }
+}
+
+impl HistogramSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the lower bound of the
+    /// bucket holding rank `ceil(q * count)`. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (bound, count) in &self.buckets {
+            cumulative += count;
+            if cumulative >= rank {
+                return (*bound).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        let mut merged: BTreeMap<u64, u64> = self.buckets.iter().copied().collect();
+        for (bound, count) in &other.buckets {
+            *merged.entry(*bound).or_insert(0) += count;
+        }
+        self.buckets = merged.into_iter().collect();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+type MetricId = (String, Vec<(String, String)>);
+
+/// A registry of named instruments, optionally labeled.
+///
+/// Clones are shallow: every clone shares the same instruments, which is
+/// what lets a service, its workers and the CLI all record into one
+/// registry. Instrument lookup takes a mutex — resolve instruments once
+/// outside hot loops and record through the returned handle.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<MetricId, Instrument>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        create: impl FnOnce() -> Instrument,
+        kind: &'static str,
+    ) -> Instrument {
+        let id: MetricId = (
+            name.to_owned(),
+            labels.iter().map(|(k, v)| ((*k).to_owned(), (*v).to_owned())).collect(),
+        );
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        let instrument = map.entry(id).or_insert_with(create);
+        assert_eq!(
+            instrument.kind(),
+            kind,
+            "metric `{name}` is already registered as a {}",
+            instrument.kind()
+        );
+        instrument.clone()
+    }
+
+    /// The counter named `name` (created on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// The counter named `name` with `labels` (created on first use).
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, labels, || Instrument::Counter(Counter::new()), "counter") {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// The gauge named `name` (created on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// The gauge named `name` with `labels` (created on first use).
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, labels, || Instrument::Gauge(Gauge::new()), "gauge") {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// The histogram named `name` (created on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// The histogram named `name` with `labels` (created on first use).
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.instrument(name, labels, || Instrument::Histogram(Histogram::new()), "histogram")
+        {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// A point-in-time view of every registered instrument, sorted by
+    /// name then labels.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            entries: map
+                .iter()
+                .map(|((name, labels), instrument)| MetricEntry {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: match instrument {
+                        Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                        Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the current state as Prometheus text exposition.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+}
+
+/// One instrument in a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricEntry {
+    /// The registered name (dotted schema, e.g. `service.queue_wait_us`).
+    pub name: String,
+    /// The label set, sorted as registered.
+    pub labels: Vec<(String, String)>,
+    /// The instrument's value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value of one snapshot entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A counter's running total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's merged summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time view of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// The entries, sorted by name then labels.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Looks one instrument up by exact name and labels.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| {
+                e.name == name
+                    && e.labels.len() == labels.len()
+                    && e.labels.iter().zip(labels).all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|e| &e.value)
+    }
+
+    /// Renders the snapshot as Prometheus text exposition: counters and
+    /// gauges as single samples, histograms as summaries with
+    /// `quantile="0.5|0.9|0.99"` samples plus `_sum`/`_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for entry in &self.entries {
+            let name = sanitize_name(&entry.name);
+            if last_name != Some(entry.name.as_str()) {
+                let kind = match entry.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "summary",
+                };
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+                last_name = Some(entry.name.as_str());
+            }
+            match &entry.value {
+                MetricValue::Counter(value) => {
+                    out.push_str(&format!("{name}{} {value}\n", label_set(&entry.labels, None)));
+                }
+                MetricValue::Gauge(value) => {
+                    out.push_str(&format!("{name}{} {value}\n", label_set(&entry.labels, None)));
+                }
+                MetricValue::Histogram(h) => {
+                    for (quantile, value) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())]
+                    {
+                        out.push_str(&format!(
+                            "{name}{} {value}\n",
+                            label_set(&entry.labels, Some(quantile))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        label_set(&entry.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        label_set(&entry.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`; the dotted schema maps
+/// onto it by replacing everything else with `_`.
+fn sanitize_name(name: &str) -> String {
+    name.chars().map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' }).collect()
+}
+
+fn label_set(labels: &[(String, String)], quantile: Option<&str>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| {
+            format!("{}=\"{}\"", sanitize_name(k), v.replace('\\', "\\\\").replace('"', "\\\""))
+        })
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_and_accumulate() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("test.count");
+        counter.inc();
+        registry.counter("test.count").add(4);
+        assert_eq!(counter.get(), 5);
+
+        let gauge = registry.gauge("test.depth");
+        gauge.set(3);
+        gauge.add(2);
+        gauge.sub(1);
+        assert_eq!(registry.gauge("test.depth").get(), 4);
+    }
+
+    #[test]
+    fn labeled_instruments_are_distinct() {
+        let registry = MetricsRegistry::new();
+        registry.counter_with("req", &[("tenant", "a")]).inc();
+        registry.counter_with("req", &[("tenant", "b")]).add(2);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.get("req", &[("tenant", "a")]), Some(&MetricValue::Counter(1)));
+        assert_eq!(snapshot.get("req", &[("tenant", "b")]), Some(&MetricValue::Counter(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x");
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn linear_region_bins_exactly() {
+        for value in 0..LINEAR_BINS as u64 {
+            let bin = bin_of(value);
+            assert_eq!(lower_bound(bin), value);
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_are_monotone_and_tight() {
+        // Every value maps into a bin whose lower bound does not exceed
+        // it, and the next bin's lower bound does.
+        for value in [
+            0,
+            1,
+            127,
+            128,
+            129,
+            159,
+            160,
+            255,
+            256,
+            1023,
+            1 << 20,
+            (1 << 20) + 1,
+            u64::MAX / 2,
+            u64::MAX,
+        ] {
+            let bin = bin_of(value);
+            assert!(lower_bound(bin) <= value, "lower bound of {value}'s bin exceeds it");
+            if bin + 1 < HISTOGRAM_BINS {
+                assert!(lower_bound(bin + 1) > value, "{value} fits the next bin too");
+            }
+            assert!(bin < HISTOGRAM_BINS);
+        }
+        for bin in 1..HISTOGRAM_BINS {
+            assert!(lower_bound(bin) > lower_bound(bin - 1), "bounds are strictly increasing");
+        }
+    }
+
+    #[test]
+    fn exact_percentiles_on_a_known_distribution() {
+        // 1..=100 recorded once each lies entirely in the exact linear
+        // region, so the quantiles are exact.
+        let histogram = Histogram::new();
+        for value in 1..=100 {
+            histogram.record(value);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 100);
+        assert_eq!(snapshot.min, 1);
+        assert_eq!(snapshot.max, 100);
+        assert_eq!(snapshot.p50(), 50);
+        assert_eq!(snapshot.p90(), 90);
+        assert_eq!(snapshot.p99(), 99);
+        assert_eq!(snapshot.quantile(1.0), 100);
+        assert_eq!(snapshot.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn log_region_quantiles_stay_within_one_sub_bucket() {
+        let histogram = Histogram::new();
+        for _ in 0..100 {
+            histogram.record(1000);
+        }
+        let p50 = histogram.snapshot().p50();
+        // 1000 lands in the bucket [960, 1024); the reported quantile is
+        // the bucket's lower bound, at most 12.5% low.
+        assert!(p50 <= 1000 && p50 as f64 >= 1000.0 * 0.875, "p50 {p50}");
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let snapshot = Histogram::new().snapshot();
+        assert_eq!(snapshot.count, 0);
+        assert_eq!(snapshot.min, 0);
+        assert_eq!(snapshot.p50(), 0);
+        assert_eq!(snapshot.mean(), 0.0);
+        assert!(snapshot.buckets.is_empty());
+    }
+
+    #[test]
+    fn sharded_bins_merge_across_threads() {
+        let histogram = Histogram::new();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let histogram = histogram.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        histogram.record(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count, 8000);
+        assert_eq!(snapshot.min, 0);
+        assert_eq!(snapshot.max, 7999);
+        assert_eq!(snapshot.sum, (0..8000u64).sum::<u64>());
+        assert_eq!(snapshot.buckets.iter().map(|(_, c)| c).sum::<u64>(), 8000);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for value in [1u64, 5, 5, 200, 4096, 70000] {
+            a.record(value);
+            all.record(value);
+        }
+        for value in [2u64, 5, 300, 4096] {
+            b.record(value);
+            all.record(value);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("service.evals_completed").add(7);
+        registry.gauge("service.queue_depth").set(-2);
+        let histogram = registry.histogram_with("service.queue_wait_us", &[("tenant", "a")]);
+        for value in 1..=100 {
+            histogram.record(value);
+        }
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE service_evals_completed counter"));
+        assert!(text.contains("service_evals_completed 7"));
+        assert!(text.contains("# TYPE service_queue_depth gauge"));
+        assert!(text.contains("service_queue_depth -2"));
+        assert!(text.contains("# TYPE service_queue_wait_us summary"));
+        assert!(text.contains("service_queue_wait_us{tenant=\"a\",quantile=\"0.5\"} 50"));
+        assert!(text.contains("service_queue_wait_us{tenant=\"a\",quantile=\"0.99\"} 99"));
+        assert!(text.contains("service_queue_wait_us_count{tenant=\"a\"} 100"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparsable sample `{line}`");
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The tracing side of the crate: a bounded ring buffer of completed
+//! spans with Chrome `trace_event` JSON export.
+//!
+//! Spans come in two time bases. Wall-clock spans ([`Tracer::span`])
+//! stamp microseconds since the tracer's creation and are what service,
+//! executor and CLI code use. Explicit-timestamp events
+//! ([`Tracer::complete`]) let the simulator record cycle-accurate
+//! timelines where "time" is simulated cycles, not wall time — the two
+//! should go into separate trace files to keep a file's time base
+//! uniform.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default ring-buffer capacity when callers do not pick one.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One attribute value on a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string attribute.
+    Str(String),
+    /// An unsigned integer attribute.
+    U64(u64),
+    /// A signed integer attribute.
+    I64(i64),
+    /// A float attribute (non-finite values export as 0).
+    F64(f64),
+    /// A boolean attribute.
+    Bool(bool),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::I64(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::F64(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+/// One completed span in the ring buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (e.g. `eval`, `sim.chip_busy`).
+    pub name: String,
+    /// Category, exported as the Chrome `cat` field (e.g. `service`,
+    /// `sim`).
+    pub category: String,
+    /// Track the event renders on — a thread id for wall-clock spans, a
+    /// chip/core/port id for simulator timelines.
+    pub track: u64,
+    /// Start timestamp: microseconds since the tracer epoch for
+    /// wall-clock spans, cycles for simulator events.
+    pub start: u64,
+    /// Duration in the same unit as `start`.
+    pub duration: u64,
+    /// Attributes, exported as the Chrome `args` object.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    tracks: BTreeMap<u64, String>,
+}
+
+#[derive(Debug)]
+struct TracerInner {
+    state: Mutex<TraceState>,
+    capacity: usize,
+    epoch: Instant,
+}
+
+/// A bounded recorder of completed spans.
+///
+/// Clones are shallow; all clones share the ring buffer. When the
+/// buffer is full the oldest events are evicted and counted in
+/// [`Tracer::dropped`] — a trace is a window onto the run's tail, not
+/// an unbounded log.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                state: Mutex::new(TraceState::default()),
+                capacity: capacity.max(1),
+                epoch: Instant::now(),
+            }),
+        }
+    }
+
+    /// Microseconds elapsed since this tracer was created — the time
+    /// base of wall-clock spans.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Opens a wall-clock span on `track`; the span records itself into
+    /// the buffer when dropped.
+    pub fn span(&self, name: &str, category: &str, track: u64) -> Span {
+        Span {
+            tracer: self.clone(),
+            name: name.to_owned(),
+            category: category.to_owned(),
+            track,
+            start: self.now_us(),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Opens a wall-clock span on this thread's [`thread_track`].
+    pub fn thread_span(&self, name: &str, category: &str) -> Span {
+        self.span(name, category, thread_track())
+    }
+
+    /// Records an already-measured event with explicit timestamps (the
+    /// simulator's cycle-domain path).
+    pub fn complete(
+        &self,
+        name: &str,
+        category: &str,
+        track: u64,
+        start: u64,
+        duration: u64,
+        attrs: Vec<(String, AttrValue)>,
+    ) {
+        self.push(TraceEvent {
+            name: name.to_owned(),
+            category: category.to_owned(),
+            track,
+            start,
+            duration,
+            attrs,
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let mut state = self.inner.state.lock().expect("tracer poisoned");
+        if state.events.len() >= self.inner.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(event);
+    }
+
+    /// Names a track in the exported trace (Chrome `thread_name`
+    /// metadata), e.g. `chip0` or `worker-2`.
+    pub fn set_track_name(&self, track: u64, name: &str) {
+        let mut state = self.inner.state.lock().expect("tracer poisoned");
+        state.tracks.insert(track, name.to_owned());
+    }
+
+    /// Events evicted so far because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.state.lock().expect("tracer poisoned").dropped
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().expect("tracer poisoned").events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.state.lock().expect("tracer poisoned").events.iter().cloned().collect()
+    }
+
+    /// Exports the buffer as Chrome `trace_event` JSON (the
+    /// `{"traceEvents": [...]}` object format), loadable in
+    /// `chrome://tracing` or Perfetto. Spans become `"ph":"X"` complete
+    /// events; named tracks add `"ph":"M"` `thread_name` metadata.
+    pub fn to_chrome_json(&self) -> String {
+        let state = self.inner.state.lock().expect("tracer poisoned");
+        let mut out = String::with_capacity(64 + state.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for (track, name) in &state.tracks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{track},\"name\":\"thread_name\",\"args\":{{\"name\":{}}}}}",
+                json_string(name)
+            ));
+        }
+        for event in &state.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{},\"name\":{},\"cat\":{},\"ts\":{},\"dur\":{}",
+                event.track,
+                json_string(&event.name),
+                json_string(&event.category),
+                event.start,
+                event.duration
+            ));
+            if !event.attrs.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (key, value)) in event.attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_string(key));
+                    out.push(':');
+                    out.push_str(&json_value(value));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "],\"displayTimeUnit\":\"ms\",\"droppedEvents\":{}}}",
+            state.dropped
+        ));
+        out
+    }
+}
+
+static NEXT_TRACK: AtomicU64 = AtomicU64::new(0);
+
+/// A stable, small per-thread track id (0, 1, 2, … in first-use order),
+/// used as the Chrome `tid` so each OS thread gets its own row.
+pub fn thread_track() -> u64 {
+    thread_local! {
+        static TRACK: std::cell::Cell<u64> = const { std::cell::Cell::new(u64::MAX) };
+    }
+    TRACK.with(|cell| {
+        let mut track = cell.get();
+        if track == u64::MAX {
+            track = NEXT_TRACK.fetch_add(1, Ordering::Relaxed);
+            cell.set(track);
+        }
+        track
+    })
+}
+
+/// Allocates a fresh track id from the same sequence as
+/// [`thread_track`], for timelines that are not OS threads (per-chip
+/// simulator timelines, the inter-chip fabric). The id never collides
+/// with any thread's track; name it with
+/// [`Tracer::set_track_name`].
+pub fn new_track() -> u64 {
+    NEXT_TRACK.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    static AMBIENT: std::cell::RefCell<Option<Tracer>> = const { std::cell::RefCell::new(None) };
+}
+
+impl Tracer {
+    /// Installs `tracer` as this thread's ambient tracer (or clears it
+    /// with `None`). Layers that cannot thread a tracer through their
+    /// options — the compiler's search, called from service worker
+    /// threads — pick it up via [`Tracer::ambient`].
+    pub fn set_ambient(tracer: Option<Tracer>) {
+        AMBIENT.with(|cell| *cell.borrow_mut() = tracer);
+    }
+
+    /// This thread's ambient tracer, if one is installed.
+    pub fn ambient() -> Option<Tracer> {
+        AMBIENT.with(|cell| cell.borrow().clone())
+    }
+}
+
+/// An open wall-clock span; records itself into the tracer on drop.
+#[derive(Debug)]
+pub struct Span {
+    tracer: Tracer,
+    name: String,
+    category: String,
+    track: u64,
+    start: u64,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+impl Span {
+    /// Attaches an attribute to the span.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) -> &mut Self {
+        self.attrs.push((key.to_owned(), value.into()));
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let end = self.tracer.now_us();
+        self.tracer.push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            category: std::mem::take(&mut self.category),
+            track: self.track,
+            start: self.start,
+            duration: end.saturating_sub(self.start),
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_value(value: &AttrValue) -> String {
+    match value {
+        AttrValue::Str(s) => json_string(s),
+        AttrValue::U64(v) => v.to_string(),
+        AttrValue::I64(v) => v.to_string(),
+        AttrValue::F64(v) if v.is_finite() => v.to_string(),
+        AttrValue::F64(_) => "0".to_owned(),
+        AttrValue::Bool(v) => v.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let tracer = Tracer::new(16);
+        {
+            let mut outer = tracer.span("outer", "test", 1);
+            outer.attr("n", 3u64);
+            let _inner = tracer.span("inner", "test", 1);
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        // Inner drops first, so it lands first in the buffer.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "outer");
+        assert_eq!(events[1].attrs, vec![("n".to_owned(), AttrValue::U64(3))]);
+        // Nesting: outer starts no later and ends no earlier than inner.
+        assert!(events[1].start <= events[0].start);
+        assert!(events[1].start + events[1].duration >= events[0].start + events[0].duration);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let tracer = Tracer::new(4);
+        for i in 0..10u64 {
+            tracer.complete("e", "test", 0, i, 1, Vec::new());
+        }
+        assert_eq!(tracer.len(), 4);
+        assert_eq!(tracer.dropped(), 6);
+        assert_eq!(tracer.events()[0].start, 6);
+    }
+
+    #[test]
+    fn chrome_json_has_events_and_metadata() {
+        let tracer = Tracer::new(16);
+        tracer.set_track_name(0, "chip0");
+        tracer.complete(
+            "sim.chip_busy",
+            "sim",
+            0,
+            100,
+            250,
+            vec![("chip".to_owned(), AttrValue::U64(0))],
+        );
+        let json = tracer.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"chip0\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("\"dur\":250"));
+        assert!(json.contains("\"args\":{\"chip\":0}"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials_and_nonfinite() {
+        let tracer = Tracer::new(4);
+        tracer.complete(
+            "quote\"back\\slash\nline",
+            "test",
+            0,
+            0,
+            1,
+            vec![("bad".to_owned(), AttrValue::F64(f64::NAN))],
+        );
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("quote\\\"back\\\\slash\\nline"));
+        assert!(json.contains("\"bad\":0"));
+        assert!(!json.contains("NaN"));
+    }
+
+    #[test]
+    fn ambient_tracer_is_per_thread() {
+        let tracer = Tracer::new(4);
+        Tracer::set_ambient(Some(tracer.clone()));
+        assert!(Tracer::ambient().is_some());
+        std::thread::spawn(|| assert!(Tracer::ambient().is_none())).join().unwrap();
+        Tracer::set_ambient(None);
+        assert!(Tracer::ambient().is_none());
+    }
+
+    #[test]
+    fn thread_tracks_are_stable_and_distinct() {
+        let a = thread_track();
+        assert_eq!(a, thread_track());
+        let b = std::thread::spawn(thread_track).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -5,7 +5,7 @@ use std::fmt;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use cimflow_dse::serve::{Request, Response, Target, WireOutcome};
+use cimflow_dse::serve::{Request, Response, Target, WireMetric, WireOutcome};
 use cimflow_dse::{CacheStats, EvalRequest, Priority, ServiceStats, SweepSpec};
 
 /// Why a client call failed.
@@ -103,7 +103,7 @@ impl<T> Waited<T> {
 }
 
 /// A server-side counters snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RemoteStats {
     /// Service counters.
     pub service: ServiceStats,
@@ -111,6 +111,20 @@ pub struct RemoteStats {
     pub cache: CacheStats,
     /// Number of stored evaluations.
     pub cache_entries: usize,
+    /// Per-tenant in-flight job counts, sorted by tenant. `None` when
+    /// the server predates the field.
+    pub tenants: Option<Vec<(String, usize)>>,
+}
+
+/// A server-side metrics snapshot: the structured rows and a
+/// Prometheus-style text exposition of the same data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteMetrics {
+    /// Prometheus text exposition (counters, gauges, histogram
+    /// summaries), ready to proxy to a scraper.
+    pub exposition: String,
+    /// One row per metric, machine-readable.
+    pub metrics: Vec<WireMetric>,
 }
 
 /// A synchronous connection to a `cimflow-dse serve --tcp` (or embedded
@@ -326,10 +340,24 @@ impl Client {
     /// Transport/protocol errors.
     pub fn stats(&mut self) -> Result<RemoteStats, ClientError> {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats { service, cache, cache_entries } => {
-                Ok(RemoteStats { service, cache, cache_entries })
+            Response::Stats { service, cache, cache_entries, tenants } => {
+                Ok(RemoteStats { service, cache, cache_entries, tenants })
             }
             other => Self::unexpected("stats", other),
+        }
+    }
+
+    /// Fetches the server's metrics registry: structured rows plus a
+    /// Prometheus text exposition of queue-wait/latency histograms,
+    /// admission counters and cache gauges.
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol errors.
+    pub fn metrics(&mut self) -> Result<RemoteMetrics, ClientError> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::Metrics { exposition, metrics } => Ok(RemoteMetrics { exposition, metrics }),
+            other => Self::unexpected("metrics", other),
         }
     }
 
@@ -395,6 +423,18 @@ mod tests {
         let stats = client.stats().expect("stats");
         assert_eq!(stats.service.completed, 5);
         assert_eq!(stats.cache.hits, 2);
+        // Every wait above consumed its ids, so nothing is in flight.
+        assert_eq!(stats.tenants.as_deref(), Some(&[][..]));
+
+        let metrics = client.metrics().expect("metrics");
+        assert!(metrics.exposition.contains("service_evals_completed 5"));
+        let latency = metrics
+            .metrics
+            .iter()
+            .find(|m| m.name == "service.eval_latency_us")
+            .expect("latency histogram");
+        assert_eq!(latency.kind, "histogram");
+        assert!(latency.count.unwrap() >= 1);
         server.stop();
     }
 

@@ -39,14 +39,17 @@
 
 mod client;
 
-pub use client::{BatchTicket, Client, ClientError, RemoteStats, RemoteStatus, Waited};
+pub use client::{
+    BatchTicket, Client, ClientError, RemoteMetrics, RemoteStats, RemoteStatus, Waited,
+};
 
 // The service core and wire protocol live in `cimflow-dse` (the blocking
 // `Executor` is rebased on them, which a `cimflow-serve` dependency cycle
 // would forbid); this crate is their serving surface.
 pub use cimflow_dse::serve as protocol;
 pub use cimflow_dse::serve::{
-    serve_connection, serve_stdio, Connection, Request, Response, Target, TcpServer, WireOutcome,
+    serve_connection, serve_stdio, Connection, Request, Response, Target, TcpServer, WireMetric,
+    WireOutcome,
 };
 pub use cimflow_dse::{
     BatchHandle, CacheStats, DseError, DseOutcome, EvalCache, EvalRequest, EvalService, JobEvent,

@@ -10,6 +10,7 @@ use cimflow_compiler::{CompiledProgram, SystemPlan, STREAM_TILE_BYTES};
 use cimflow_energy::{EnergyBreakdown, EnergyModel};
 use cimflow_isa::{Instruction, OpcodeClass, Program};
 use cimflow_noc::{InterChipConfig, InterChipFabric, Interconnect, Mesh, NocConfig, NocStats};
+use cimflow_obs::{new_track, AttrValue, Tracer};
 
 use crate::core::{BlockReason, CoreState};
 use crate::report::{SimReport, UnitActivity};
@@ -47,6 +48,66 @@ pub enum HandoffMode {
 pub struct SimOptions {
     /// The inter-chip hand-off model.
     pub handoff: HandoffMode,
+    /// Record cycle-domain timeline events (per-chip busy spans, stage
+    /// windows, fabric transfers, memory-port occupancy) into the tracer
+    /// attached via [`Simulator::set_tracer`]. Off by default; with no
+    /// tracer attached the flag is inert, so the untraced hot path pays
+    /// nothing.
+    pub profile: bool,
+}
+
+/// The cycle-domain profiling sink of one simulation: a tracer plus the
+/// pre-allocated tracks its timelines render on (one per chip, one for
+/// the inter-chip fabric). All timestamps are simulated cycles, not wall
+/// time — export a profiled run into its own trace file rather than
+/// mixing it with wall-clock spans.
+#[derive(Debug)]
+struct SimProfile {
+    tracer: Tracer,
+    /// Track of each chip's timeline (`chip-N`).
+    chip_tracks: Vec<u64>,
+    /// Track of the inter-chip fabric timeline.
+    fabric_track: u64,
+}
+
+impl SimProfile {
+    fn new(tracer: Tracer, chips: usize) -> Self {
+        let chip_tracks: Vec<u64> = (0..chips).map(|_| new_track()).collect();
+        for (chip, track) in chip_tracks.iter().enumerate() {
+            tracer.set_track_name(*track, &format!("chip-{chip}"));
+        }
+        let fabric_track = new_track();
+        tracer.set_track_name(fabric_track, "fabric");
+        SimProfile { tracer, chip_tracks, fabric_track }
+    }
+
+    /// One fabric transfer (or streamed tile): departure → landed.
+    fn fabric_transfer(&self, from: u32, to: u32, bytes: u64, depart: u64, landed: u64) {
+        self.tracer.complete(
+            "transfer",
+            "sim.fabric",
+            self.fabric_track,
+            depart,
+            landed.saturating_sub(depart),
+            vec![
+                ("from_chip".to_owned(), AttrValue::from(u64::from(from))),
+                ("to_chip".to_owned(), AttrValue::from(u64::from(to))),
+                ("bytes".to_owned(), AttrValue::from(bytes)),
+            ],
+        );
+    }
+
+    /// The memory-port window an incoming tile occupied on `chip`.
+    fn port_landing(&self, chip: usize, port_start: u64, landed: u64, bytes: u64) {
+        self.tracer.complete(
+            "input-land",
+            "sim.mem_port",
+            self.chip_tracks[chip],
+            port_start,
+            landed.saturating_sub(port_start),
+            vec![("bytes".to_owned(), AttrValue::from(bytes))],
+        );
+    }
 }
 
 /// A message in flight between two cores.
@@ -100,6 +161,9 @@ pub struct Simulator {
     landing_windows: Vec<Vec<(u64, u64)>>,
     /// Per chip: when the last byte of its cut inputs landed.
     last_input_landed: Vec<u64>,
+    /// Cycle-domain timeline sink; `Some` only when
+    /// [`SimOptions::profile`] is set *and* a tracer was attached.
+    profile: Option<SimProfile>,
     energy_model: EnergyModel,
     /// System-level energy not attributable to one core (inter-chip
     /// links, the landing writes into consumer global memories).
@@ -193,6 +257,7 @@ impl Simulator {
             barrier_release: vec![HashMap::new(); chip_count],
             landing_windows: vec![Vec::new(); chip_count],
             last_input_landed: vec![0; chip_count],
+            profile: None,
             energy_model: EnergyModel::calibrated_28nm(),
             system_energy: EnergyBreakdown::new(),
             address_map: arch.address_map(),
@@ -203,6 +268,18 @@ impl Simulator {
             vector_ops: 0,
             total_macs,
             executed: 0,
+        }
+    }
+
+    /// Attaches a tracer for the cycle-domain timeline events enabled by
+    /// [`SimOptions::profile`] (without the flag the tracer is ignored).
+    /// Timestamps are simulated cycles: per-chip busy spans (`sim.chip`,
+    /// one per chip, summing to [`SimReport::chip_cycles`]), per-stage
+    /// execution windows (`sim.stage`), fabric transfers (`sim.fabric`)
+    /// and memory-port occupancy (`sim.mem_port`).
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        if self.options.profile {
+            self.profile = Some(SimProfile::new(tracer.clone(), self.chip_count()));
         }
     }
 
@@ -291,6 +368,16 @@ impl Simulator {
                     port_start + self.arch.chip().global_memory.transfer_cycles(transfer.bytes);
                 self.global_port_free[to] = landed;
                 self.landing_windows[to].push((port_start, landed));
+                if let Some(profile) = &self.profile {
+                    profile.fabric_transfer(
+                        transfer.from_chip,
+                        transfer.to_chip,
+                        transfer.bytes,
+                        finish,
+                        outcome.arrival,
+                    );
+                    profile.port_landing(to, port_start, landed, transfer.bytes);
+                }
                 self.system_energy.interchip_pj +=
                     self.energy_model.interchip.transfer_pj(transfer.bytes, outcome.hops);
                 self.system_energy.global_memory_pj +=
@@ -369,6 +456,16 @@ impl Simulator {
             let landed = port_start + self.arch.chip().global_memory.transfer_cycles(size);
             self.global_port_free[to] = landed;
             self.landing_windows[to].push((port_start, landed));
+            if let Some(profile) = &self.profile {
+                profile.fabric_transfer(
+                    transfer.from_chip,
+                    transfer.to_chip,
+                    size,
+                    available,
+                    outcome.arrival,
+                );
+                profile.port_landing(to, port_start, landed, size);
+            }
             self.system_energy.interchip_pj +=
                 self.energy_model.interchip.transfer_pj(size, outcome.hops);
             self.system_energy.global_memory_pj += self.energy_model.sram.global_pj(size);
@@ -455,8 +552,26 @@ impl Simulator {
         // An odd barrier id closes local stage (id - 1) / 2; under tile
         // streaming its cut activations enter the fabric now, backdated
         // across the stage window they were produced in.
-        if self.options.handoff == HandoffMode::TileStreaming && min_id % 2 == 1 {
-            self.stream_stage_transfers(chip, (min_id as usize - 1) / 2, release);
+        if min_id % 2 == 1 {
+            let ordinal = (min_id as usize - 1) / 2;
+            if let Some(profile) = &self.profile {
+                let start = self.barrier_release[chip]
+                    .get(&((ordinal * 2) as u16))
+                    .copied()
+                    .unwrap_or(self.chip_start_time[chip])
+                    .min(release);
+                profile.tracer.complete(
+                    &format!("stage-{ordinal}"),
+                    "sim.stage",
+                    profile.chip_tracks[chip],
+                    start,
+                    release - start,
+                    vec![("cores".to_owned(), AttrValue::from(self.cores_per_chip))],
+                );
+            }
+            if self.options.handoff == HandoffMode::TileStreaming {
+                self.stream_stage_transfers(chip, ordinal, release);
+            }
         }
         true
     }
@@ -586,6 +701,27 @@ impl Simulator {
                     let completion =
                         port_start + self.arch.chip().global_memory.transfer_cycles(bytes);
                     self.global_port_free[chip] = completion;
+                    // Profile only the *contended* port windows (the
+                    // request waited behind another occupant) — the
+                    // interesting signal, at a fraction of the events.
+                    if port_start > outcome.arrival {
+                        if let Some(profile) = &self.profile {
+                            profile.tracer.complete(
+                                "port-contention",
+                                "sim.mem_port",
+                                profile.chip_tracks[chip],
+                                outcome.arrival,
+                                completion - outcome.arrival,
+                                vec![
+                                    ("bytes".to_owned(), AttrValue::from(bytes)),
+                                    (
+                                        "waited".to_owned(),
+                                        AttrValue::from(port_start - outcome.arrival),
+                                    ),
+                                ],
+                            );
+                        }
+                    }
                     let core = &mut self.cores[index];
                     core.now = completion;
                     core.energy.global_memory_pj += self.energy_model.sram.global_pj(bytes);
@@ -756,6 +892,20 @@ impl Simulator {
             .zip(&self.chip_start_time)
             .map(|(finish, start)| finish.saturating_sub(*start))
             .collect();
+        // One busy span per chip, emitted from the report's own numbers:
+        // the trace's `sim.chip` durations sum to `chip_cycles` exactly.
+        if let Some(profile) = &self.profile {
+            for (chip, cycles) in chip_cycles.iter().enumerate() {
+                profile.tracer.complete(
+                    "chip-busy",
+                    "sim.chip",
+                    profile.chip_tracks[chip],
+                    self.chip_start_time[chip],
+                    *cycles,
+                    vec![("chip".to_owned(), AttrValue::from(chip))],
+                );
+            }
+        }
         // Input-stall accounting: the port time incoming tiles consumed
         // *inside* a chip's active span. In steady state those landings
         // overlap the previous inference, so the pipeline interval
@@ -908,10 +1058,12 @@ mod tests {
         let model = models::vgg19(32);
         let arch = ArchConfig::paper_default().with_chip_count(4);
         let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
-        let retire =
-            Simulator::with_options(&compiled, SimOptions { handoff: HandoffMode::AtRetirement })
-                .run()
-                .unwrap();
+        let retire = Simulator::with_options(
+            &compiled,
+            SimOptions { handoff: HandoffMode::AtRetirement, ..SimOptions::default() },
+        )
+        .run()
+        .unwrap();
         let stream = Simulator::new(&compiled).run().unwrap();
 
         assert_eq!(retire.total_overlap_cycles(), 0, "at-retirement never overlaps");
@@ -939,15 +1091,91 @@ mod tests {
         let arch = ArchConfig::paper_default();
         let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
         let stream = Simulator::new(&compiled).run().unwrap();
-        let retire =
-            Simulator::with_options(&compiled, SimOptions { handoff: HandoffMode::AtRetirement })
-                .run()
-                .unwrap();
+        let retire = Simulator::with_options(
+            &compiled,
+            SimOptions { handoff: HandoffMode::AtRetirement, ..SimOptions::default() },
+        )
+        .run()
+        .unwrap();
         assert_eq!(stream.total_cycles, retire.total_cycles);
         assert_eq!(stream.noc, retire.noc);
         assert!((stream.energy.total_pj() - retire.energy.total_pj()).abs() < 1e-9);
         assert_eq!(stream.chip_stall_cycles, vec![0]);
         assert_eq!(stream.chip_overlap_cycles, vec![0]);
+    }
+
+    #[test]
+    fn profiled_chip_busy_spans_sum_to_the_reported_chip_cycles() {
+        let model = models::vgg19(32);
+        let arch = ArchConfig::paper_default().with_chip_count(2);
+        let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+
+        let tracer = Tracer::new(1 << 16);
+        let mut sim = Simulator::with_options(
+            &compiled,
+            SimOptions { profile: true, ..SimOptions::default() },
+        );
+        sim.set_tracer(&tracer);
+        let report = sim.run().unwrap();
+
+        // The acceptance contract: the trace's per-chip busy spans are
+        // the report's chip spans, so their durations sum exactly.
+        let busy: Vec<_> =
+            tracer.events().into_iter().filter(|e| e.category == "sim.chip").collect();
+        assert_eq!(busy.len(), 2, "one busy span per chip");
+        assert_eq!(
+            busy.iter().map(|e| e.duration).sum::<u64>(),
+            report.chip_cycles.iter().sum::<u64>()
+        );
+        for event in &busy {
+            let chip = event
+                .attrs
+                .iter()
+                .find_map(|(k, v)| match (k.as_str(), v) {
+                    ("chip", AttrValue::U64(chip)) => Some(*chip as usize),
+                    _ => None,
+                })
+                .expect("chip attr");
+            assert_eq!(event.duration, report.chip_cycles[chip]);
+        }
+
+        // Stage windows and fabric transfers landed on their categories,
+        // and every timeline stays within the simulated time range.
+        let events = tracer.events();
+        assert!(events.iter().any(|e| e.category == "sim.stage"));
+        assert!(events.iter().any(|e| e.category == "sim.fabric"));
+        for event in &events {
+            assert!(event.start + event.duration <= report.total_cycles);
+        }
+        // The exported JSON names the chip timelines.
+        let json = tracer.to_chrome_json();
+        assert!(json.contains("chip-0") && json.contains("chip-1") && json.contains("fabric"));
+    }
+
+    #[test]
+    fn profiling_is_inert_when_disabled_or_untraced() {
+        let model = models::resnet18(32);
+        let arch = ArchConfig::paper_default().with_chip_count(2);
+        let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+        let baseline = Simulator::new(&compiled).run().unwrap();
+
+        // profile=false with a tracer attached: no events, same timing.
+        let silent = Tracer::new(1024);
+        let mut sim = Simulator::new(&compiled);
+        sim.set_tracer(&silent);
+        let report = sim.run().unwrap();
+        assert!(silent.is_empty(), "profile=false must not record");
+        assert_eq!(report.total_cycles, baseline.total_cycles);
+
+        // profile=true without a tracer: the flag alone changes nothing.
+        let report = Simulator::with_options(
+            &compiled,
+            SimOptions { profile: true, ..SimOptions::default() },
+        )
+        .run()
+        .unwrap();
+        assert_eq!(report.total_cycles, baseline.total_cycles);
+        assert_eq!(report.chip_cycles, baseline.chip_cycles);
     }
 
     #[test]

@@ -41,9 +41,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     for (search, program) in &compiled {
         let stream = Simulator::new(program).run()?;
-        let retire =
-            Simulator::with_options(program, SimOptions { handoff: HandoffMode::AtRetirement })
-                .run()?;
+        let retire = Simulator::with_options(
+            program,
+            SimOptions { handoff: HandoffMode::AtRetirement, ..SimOptions::default() },
+        )
+        .run()?;
         println!(
             "{search:>10}: interval {} cycles, latency {} (streaming) vs {} (at-retirement), \
              overlap {} cycles",

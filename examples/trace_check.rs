@@ -1,0 +1,68 @@
+//! Validates a Chrome `trace_event` JSON file produced by `--trace-out`
+//! (or any `Tracer::to_chrome_json()` export): the file must parse, carry
+//! a non-empty `traceEvents` array, and every event must be a well-formed
+//! complete (`ph: "X"`) or metadata (`ph: "M"`) record.
+//!
+//! Run with `cargo run --release --example trace_check -- <trace.json>`.
+//! Exits non-zero (via panic) on a malformed trace, so CI can gate on it.
+
+use serde_json::Value;
+
+fn field<'a>(value: &'a Value, key: &str) -> Option<&'a Value> {
+    value.as_map()?.iter().find_map(|(k, v)| (k == key).then_some(v))
+}
+
+fn require<'a>(value: &'a Value, key: &str, context: &str) -> &'a Value {
+    field(value, key).unwrap_or_else(|| panic!("{context}: missing key `{key}`"))
+}
+
+fn require_u64(value: &Value, key: &str, context: &str) -> u64 {
+    match require(value, key, context) {
+        Value::U64(v) => *v,
+        other => panic!("{context}: `{key}` must be a non-negative integer, got {other:?}"),
+    }
+}
+
+fn require_str<'a>(value: &'a Value, key: &str, context: &str) -> &'a str {
+    require(value, key, context)
+        .as_str()
+        .unwrap_or_else(|| panic!("{context}: `{key}` must be a string"))
+}
+
+fn main() {
+    let path =
+        std::env::args().nth(1).expect("usage: cargo run --example trace_check -- <trace.json>");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let parsed: Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: not valid JSON: {e}"));
+
+    let events = require(&parsed, "traceEvents", &path)
+        .as_seq()
+        .unwrap_or_else(|| panic!("{path}: `traceEvents` must be an array"));
+    assert!(!events.is_empty(), "{path}: empty trace — no events were recorded");
+
+    let mut spans = 0usize;
+    let mut metadata = 0usize;
+    for (index, event) in events.iter().enumerate() {
+        let context = format!("{path}: event #{index}");
+        match require_str(event, "ph", &context) {
+            "X" => {
+                require_str(event, "name", &context);
+                require_str(event, "cat", &context);
+                require_u64(event, "ts", &context);
+                require_u64(event, "dur", &context);
+                require_u64(event, "pid", &context);
+                require_u64(event, "tid", &context);
+                spans += 1;
+            }
+            "M" => {
+                require_str(event, "name", &context);
+                require(event, "args", &context);
+                metadata += 1;
+            }
+            other => panic!("{context}: unexpected phase `{other}`"),
+        }
+    }
+    assert!(spans > 0, "{path}: no complete (`ph: \"X\"`) spans");
+    println!("{path}: ok — {spans} span(s), {metadata} metadata record(s)");
+}

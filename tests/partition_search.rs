@@ -89,10 +89,12 @@ fn tile_streaming_reduces_latency_against_retirement_handoff() {
     let arch = ArchConfig::paper_default().with_chip_count(2);
     let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
     let stream = Simulator::new(&compiled).run().unwrap();
-    let retire =
-        Simulator::with_options(&compiled, SimOptions { handoff: HandoffMode::AtRetirement })
-            .run()
-            .unwrap();
+    let retire = Simulator::with_options(
+        &compiled,
+        SimOptions { handoff: HandoffMode::AtRetirement, ..SimOptions::default() },
+    )
+    .run()
+    .unwrap();
     assert!(stream.total_cycles < retire.total_cycles);
     assert!(stream.total_overlap_cycles() > 0);
     assert_eq!(retire.total_overlap_cycles(), 0);
