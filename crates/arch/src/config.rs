@@ -225,6 +225,45 @@ impl ArchConfig {
         serde_json::to_string_pretty(self).expect("ArchConfig serialization cannot fail")
     }
 
+    /// Content hash over only the **compile-affecting** fields of the
+    /// configuration — the share key for compilation results and
+    /// simulation traces.
+    ///
+    /// Two configurations with the same fingerprint are guaranteed to
+    /// compile any model to the identical `CompiledProgram` (same per-core
+    /// instruction streams, same placement, same inter-chip cut), because
+    /// the fields they may differ in are *timing-only*: the compiler never
+    /// reads them, and the simulator only uses them to re-time the same
+    /// executed work. The timing-only fields are:
+    ///
+    /// * `system.chip.frequency_mhz` — pure reporting scale (cycles →
+    ///   seconds); no cycle count depends on it,
+    /// * `system.chip.memory_port` — where the global-memory port sits on
+    ///   the mesh; changes routing distance and contention, not the
+    ///   instruction stream,
+    /// * `system.chip.noc_hop_latency` — per-hop mesh latency,
+    /// * `system.interconnect.*` — but **only on a single chip**, where
+    ///   the fabric is never exercised. With `chip_count > 1` the
+    ///   interconnect stays in the fingerprint: the system partitioner
+    ///   scores chip splits with the link parameters, so they affect the
+    ///   compile.
+    ///
+    /// Everything else (CIM unit, memories, vector unit, mesh shape and
+    /// flit size, core/chip counts) shapes tiling, placement or code
+    /// generation and therefore stays in the hash. The hash is FNV-1a over
+    /// the canonical JSON of the configuration with the timing-only fields
+    /// pinned to fixed sentinels, so it is stable across processes.
+    pub fn compile_fingerprint(&self) -> u64 {
+        let mut canonical = *self;
+        canonical.system.chip.frequency_mhz = 0;
+        canonical.system.chip.memory_port = 0;
+        canonical.system.chip.noc_hop_latency = 1;
+        if canonical.system.chip_count == 1 {
+            canonical.system.interconnect = crate::system::InterChipConfig::paper_default();
+        }
+        fnv1a(canonical.to_json().as_bytes())
+    }
+
     /// Parses a configuration from JSON and validates it.
     ///
     /// Both the historical single-chip shape (`{"chip": …, "core": …}`)
@@ -248,6 +287,17 @@ impl Default for ArchConfig {
     fn default() -> Self {
         Self::paper_default()
     }
+}
+
+/// 64-bit FNV-1a over a byte string (stable across processes and
+/// platforms; the same function the DSE cache uses for content hashes).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 // Manual serde keeps single-chip configurations byte-compatible with the
@@ -424,6 +474,57 @@ mod tests {
         // Capacities that break the segment invariant are caught by
         // validation rather than silently accepted.
         assert!(base.with_local_memory_bytes(1022).validate().is_err());
+    }
+
+    #[test]
+    fn compile_fingerprint_collides_exactly_on_timing_only_fields() {
+        let base = ArchConfig::paper_default();
+        // Two frequency-only variants collide on the fingerprint (the
+        // trace/compile share-key contract).
+        assert_eq!(
+            base.with_frequency_mhz(500).compile_fingerprint(),
+            base.with_frequency_mhz(1500).compile_fingerprint()
+        );
+        // The other timing-only fields collide too, alone and combined.
+        assert_eq!(base.compile_fingerprint(), base.with_memory_port(27).compile_fingerprint());
+        let mut slow_mesh = base;
+        slow_mesh.system.chip.noc_hop_latency = 4;
+        assert_eq!(base.compile_fingerprint(), slow_mesh.compile_fingerprint());
+        assert_eq!(
+            base.compile_fingerprint(),
+            base.with_frequency_mhz(250).with_memory_port(63).compile_fingerprint()
+        );
+        // On one chip the (never exercised) interconnect is timing-inert.
+        assert_eq!(
+            base.compile_fingerprint(),
+            base.with_interchip_link_bytes(64).compile_fingerprint()
+        );
+
+        // Compile-affecting fields separate.
+        assert_ne!(base.compile_fingerprint(), base.with_macros_per_group(4).compile_fingerprint());
+        assert_ne!(base.compile_fingerprint(), base.with_flit_bytes(16).compile_fingerprint());
+        assert_ne!(base.compile_fingerprint(), base.with_core_count(16).compile_fingerprint());
+        assert_ne!(base.compile_fingerprint(), base.with_chip_count(2).compile_fingerprint());
+        assert_ne!(
+            base.compile_fingerprint(),
+            base.with_local_memory_kib(256).compile_fingerprint()
+        );
+        // With several chips the interconnect feeds the partition search,
+        // so it stays in the fingerprint.
+        let multi = base.with_chip_count(2);
+        assert_ne!(
+            multi.compile_fingerprint(),
+            multi.with_interchip_link_bytes(64).compile_fingerprint()
+        );
+        assert_ne!(
+            multi.compile_fingerprint(),
+            multi.with_interchip_topology(InterChipTopology::Ring).compile_fingerprint()
+        );
+        // Timing-only fields still collide on multi-chip systems.
+        assert_eq!(
+            multi.compile_fingerprint(),
+            multi.with_frequency_mhz(500).compile_fingerprint()
+        );
     }
 
     #[test]

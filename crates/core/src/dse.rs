@@ -77,6 +77,8 @@ fn grid_jobs(
                 local_memory_kib: base.core.local_memory.size_bytes / 1024,
                 flit_bytes: u64::from(flit),
                 mg_size: u64::from(mg),
+                frequency_mhz: u64::from(base.chip().frequency_mhz),
+                memory_port: u64::from(base.chip().memory_port),
             };
             jobs.push(Job::from_model(spec, arch, Arc::clone(model)));
         }

@@ -70,9 +70,9 @@ pub use cimflow_dse as dse_engine;
 // control, per-tenant quotas) — the core the blocking surfaces run on —
 // plus the adaptive Pareto-guided exploration engine.
 pub use cimflow_dse::{
-    explore, explore_journaled, BatchHandle, EvalRequest, EvalService, ExploreAlgorithm,
-    ExploreReport, ExploreSpec, JobEvent, JobHandle, JobStatus, Priority, Rejected, ServiceConfig,
-    ServiceStats, SweepJournal,
+    evaluate_traced, explore, explore_journaled, BatchHandle, EvalPath, EvalRequest, EvalService,
+    ExploreAlgorithm, ExploreReport, ExploreSpec, JobEvent, JobHandle, JobStatus, Priority,
+    Rejected, ServiceConfig, ServiceStats, SweepJournal, TraceStore,
 };
 pub use cimflow_energy::{self as energy, EnergyBreakdown};
 pub use cimflow_isa as isa;
@@ -83,4 +83,4 @@ pub use cimflow_noc as noc;
 // service, explorer, compiler and (via `SimOptions::profile`) the
 // simulator's cycle-domain timelines.
 pub use cimflow_obs::{self as obs, MetricsRegistry, Tracer};
-pub use cimflow_sim::{self as sim, SimReport};
+pub use cimflow_sim::{self as sim, ReplayEngine, SimReport, SimTrace};

@@ -38,8 +38,10 @@ use crate::{DseError, Evaluation};
 /// `EnergyBreakdown` gained inter-chip fields. Version 3: the joint
 /// partition search — `CacheKey`/`Evaluation` gained the search mode,
 /// `SimReport` grew overlap/stall metrics, and the simulator's
-/// inter-chip hand-off became tile-streaming.
-pub const CACHE_FORMAT_VERSION: u32 = 3;
+/// inter-chip hand-off became tile-streaming. Version 4: the trace-replay
+/// engine — `Evaluation` gained the `eval_path` provenance field and
+/// sweep points gained the timing-only frequency/memory-port axes.
+pub const CACHE_FORMAT_VERSION: u32 = 4;
 
 /// Engine identity stamped into persisted cache files (the `cimflow-dse`
 /// crate version); a mismatch makes [`EvalCache::load`] start cold.

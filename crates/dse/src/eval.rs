@@ -12,10 +12,70 @@ use std::fmt;
 use cimflow_arch::ArchConfig;
 use cimflow_compiler::{compile_with_options, CompileOptions, CompileReport, SearchMode, Strategy};
 use cimflow_nn::Model;
-use cimflow_sim::{SimReport, Simulator};
+use cimflow_sim::{ReplayEngine, SimOptions, SimReport, Simulator};
 use serde::{Deserialize, Serialize};
 
+use crate::trace_store::{TraceEntry, TraceKey, TraceStore};
 use crate::DseError;
+
+/// How a design point's simulation report was produced: by the full
+/// cycle-level interpreter, or by replaying a recorded trace of a
+/// compile-identical point. Replay is **bit-exact** — the path is
+/// provenance, not a fidelity level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EvalPath {
+    /// Full `compile → simulate` interpretation (includes the recording
+    /// run that seeds a trace group).
+    #[default]
+    Interpreted,
+    /// Timing-only replay of a previously recorded trace.
+    Replayed,
+}
+
+impl EvalPath {
+    /// Wire name of the path (`interpreted` / `replayed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalPath::Interpreted => "interpreted",
+            EvalPath::Replayed => "replayed",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(text: &str) -> Option<Self> {
+        match text {
+            "interpreted" => Some(EvalPath::Interpreted),
+            "replayed" => Some(EvalPath::Replayed),
+            _ => None,
+        }
+    }
+
+    /// Whether the report came from the replay engine.
+    pub fn is_replayed(self) -> bool {
+        self == EvalPath::Replayed
+    }
+}
+
+impl fmt::Display for EvalPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl serde::Serialize for EvalPath {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Str(self.name().to_owned())
+    }
+}
+
+impl serde::Deserialize for EvalPath {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let text =
+            content.as_str().ok_or_else(|| serde::Error::new("expected eval-path name string"))?;
+        EvalPath::from_name(text)
+            .ok_or_else(|| serde::Error::new(format!("unknown eval path `{text}`")))
+    }
+}
 
 /// The result of evaluating one model on one architecture with one
 /// compilation strategy.
@@ -37,6 +97,8 @@ pub struct Evaluation {
     pub mean_duplication: f64,
     /// The detailed simulation report.
     pub simulation: SimReport,
+    /// How the simulation report was produced (bit-exact either way).
+    pub eval_path: EvalPath,
 }
 
 impl Evaluation {
@@ -111,7 +173,67 @@ pub fn evaluate_with_search(
         stages: compiled.plan.stages.len(),
         mean_duplication: compiled.plan.mean_duplication(),
         simulation,
+        eval_path: EvalPath::Interpreted,
     })
+}
+
+/// [`evaluate_with_search`] through a shared [`TraceStore`]: the first
+/// point of a trace group compiles and *records* (its report comes from
+/// the recording interpreter run — [`EvalPath::Interpreted`]); every
+/// later point with the same [`TraceKey`] skips compilation entirely and
+/// replays the recorded trace ([`EvalPath::Replayed`]), which is
+/// bit-exact by construction.
+///
+/// If the replay engine refuses the point (it never approximates — see
+/// [`cimflow_sim::SimError::TraceMismatch`]), the point transparently
+/// falls back to the full `compile → simulate` pipeline.
+///
+/// # Errors
+///
+/// See [`evaluate`].
+pub fn evaluate_traced(
+    arch: &ArchConfig,
+    model: &Model,
+    strategy: Strategy,
+    search: SearchMode,
+    traces: &TraceStore,
+) -> Result<Evaluation, DseError> {
+    arch.validate()?;
+    let key = TraceKey::of(arch, model, strategy, search);
+    let mut recorded_report = None;
+    let (entry, recorded_here) = traces.get_or_record_with(key, || {
+        let options = CompileOptions { strategy, search, ..CompileOptions::default() };
+        let compiled = compile_with_options(model, arch, options)?;
+        let (trace, report) = Simulator::record(&compiled)?;
+        recorded_report = Some(report);
+        Ok(TraceEntry {
+            trace,
+            compilation: compiled.report.clone(),
+            stages: compiled.plan.stages.len(),
+            mean_duplication: compiled.plan.mean_duplication(),
+        })
+    })?;
+    let build = |simulation: SimReport, eval_path: EvalPath| Evaluation {
+        model: model.name.clone(),
+        strategy,
+        search,
+        arch: *arch,
+        compilation: entry.compilation.clone(),
+        stages: entry.stages,
+        mean_duplication: entry.mean_duplication,
+        simulation,
+        eval_path,
+    };
+    if recorded_here {
+        let report = recorded_report.expect("recording produced a report");
+        return Ok(build(report, EvalPath::Interpreted));
+    }
+    match ReplayEngine::new(&entry.trace).replay(arch, SimOptions::default()) {
+        Ok(report) => Ok(build(report, EvalPath::Replayed)),
+        // The replay engine never approximates: any refusal (or runtime
+        // fault) sends the point through the full pipeline instead.
+        Err(_) => evaluate_with_search(arch, model, strategy, search),
+    }
 }
 
 #[cfg(test)]
@@ -155,5 +277,71 @@ mod tests {
         assert_eq!(back.compilation, evaluation.compilation);
         assert_eq!(back.simulation, evaluation.simulation);
         assert_eq!(back.stages, evaluation.stages);
+        assert_eq!(back.eval_path, EvalPath::Interpreted);
+    }
+
+    #[test]
+    fn traced_evaluation_replays_timing_only_points_bit_exactly() {
+        let store = TraceStore::new();
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let first =
+            evaluate_traced(&base, &model, Strategy::DpOptimized, SearchMode::Sequential, &store)
+                .unwrap();
+        assert_eq!(first.eval_path, EvalPath::Interpreted);
+        // Also matches the plain pipeline at the recording point itself.
+        let plain =
+            evaluate_with_search(&base, &model, Strategy::DpOptimized, SearchMode::Sequential)
+                .unwrap();
+        assert_eq!(first.simulation, plain.simulation);
+
+        let retimed = base.with_frequency_mhz(500).with_memory_port(27);
+        let replayed = evaluate_traced(
+            &retimed,
+            &model,
+            Strategy::DpOptimized,
+            SearchMode::Sequential,
+            &store,
+        )
+        .unwrap();
+        assert_eq!(replayed.eval_path, EvalPath::Replayed);
+        let reference =
+            evaluate_with_search(&retimed, &model, Strategy::DpOptimized, SearchMode::Sequential)
+                .unwrap();
+        assert_eq!(replayed.simulation, reference.simulation, "replay must be bit-exact");
+        assert_eq!(replayed.compilation, reference.compilation);
+        assert_eq!(replayed.stages, reference.stages);
+        assert_eq!(replayed.arch, retimed);
+
+        // A compile-affecting change records a second trace.
+        let widened = evaluate_traced(
+            &base.with_flit_bytes(16),
+            &model,
+            Strategy::DpOptimized,
+            SearchMode::Sequential,
+            &store,
+        )
+        .unwrap();
+        assert_eq!(widened.eval_path, EvalPath::Interpreted);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().reused, 1);
+    }
+
+    #[test]
+    fn traced_evaluation_rejects_invalid_points_before_touching_the_store() {
+        let store = TraceStore::new();
+        let model = models::mobilenet_v2(32);
+        let invalid = ArchConfig::paper_default().with_macros_per_group(0);
+        assert!(matches!(
+            evaluate_traced(
+                &invalid,
+                &model,
+                Strategy::GenericMapping,
+                SearchMode::Sequential,
+                &store
+            ),
+            Err(DseError::Arch(_))
+        ));
+        assert!(store.is_empty());
     }
 }

@@ -27,10 +27,17 @@ pub struct SweepRow {
     pub flit_bytes: u64,
     /// Macro-group size.
     pub mg_size: u64,
+    /// Operating frequency in MHz (timing-only axis).
+    pub frequency_mhz: u64,
+    /// Global-memory port core index (timing-only axis).
+    pub memory_port: u64,
     /// `"ok"` or `"error"`.
     pub status: String,
     /// Whether the evaluation came from the cache.
     pub cached: bool,
+    /// How the report was produced: `"interpreted"` (full simulation) or
+    /// `"replayed"` (bit-exact trace replay); empty for failed points.
+    pub eval_path: String,
     /// Execution cycles (0 on error).
     pub cycles: u64,
     /// Energy in millijoules (0 on error).
@@ -72,8 +79,11 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
                 local_memory_kib: point.local_memory_kib,
                 flit_bytes: point.flit_bytes,
                 mg_size: point.mg_size,
+                frequency_mhz: point.frequency_mhz,
+                memory_port: point.memory_port,
                 status: "error".to_owned(),
                 cached: outcome.cached,
+                eval_path: String::new(),
                 cycles: 0,
                 energy_mj: 0.0,
                 tops: 0.0,
@@ -86,6 +96,7 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
             match &outcome.result {
                 Ok(evaluation) => {
                     row.status = "ok".to_owned();
+                    row.eval_path = evaluation.eval_path.name().to_owned();
                     row.cycles = evaluation.simulation.total_cycles;
                     row.energy_mj = evaluation.simulation.energy_mj();
                     row.tops = evaluation.simulation.throughput_tops();
@@ -104,8 +115,8 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
 
 /// CSV column order (kept in sync with [`to_csv`]).
 pub const CSV_HEADER: &str = "index,model,resolution,strategy,search,chip_count,core_count,\
-local_memory_kib,flit_bytes,mg_size,status,cached,cycles,energy_mj,tops,tops_per_watt,stages,\
-mean_duplication,pareto,error";
+local_memory_kib,flit_bytes,mg_size,frequency_mhz,memory_port,status,cached,eval_path,cycles,\
+energy_mj,tops,tops_per_watt,stages,mean_duplication,pareto,error";
 
 /// Renders outcomes as a CSV document (header + one row per point).
 pub fn to_csv(outcomes: &[DseOutcome]) -> String {
@@ -114,7 +125,7 @@ pub fn to_csv(outcomes: &[DseOutcome]) -> String {
     for row in rows(outcomes) {
         let error = row.error.as_deref().unwrap_or("");
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},{}\n",
             row.index,
             csv_escape(&row.model),
             row.resolution,
@@ -125,8 +136,11 @@ pub fn to_csv(outcomes: &[DseOutcome]) -> String {
             row.local_memory_kib,
             row.flit_bytes,
             row.mg_size,
+            row.frequency_mhz,
+            row.memory_port,
             row.status,
             row.cached,
+            row.eval_path,
             row.cycles,
             row.energy_mj,
             row.tops,
@@ -174,7 +188,9 @@ mod tests {
         assert_eq!(lines.len(), 3, "header + 2 rows: {csv}");
         assert_eq!(lines[0], CSV_HEADER);
         assert!(lines[1].contains(",ok,"));
+        assert!(lines[1].contains(",interpreted,"));
         assert!(lines[2].contains(",error,"));
+        assert!(lines[2].contains(",error,false,,"), "failed rows leave eval_path empty");
         assert_eq!(
             lines[0].split(',').count(),
             lines[1].split(',').count(),

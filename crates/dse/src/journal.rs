@@ -44,8 +44,10 @@ use crate::cache::{CACHE_ENGINE_VERSION, CACHE_FORMAT_VERSION};
 use crate::{CacheKey, DseError, DseOutcome, Evaluation, PointSpec};
 
 /// On-disk journal format version; bumped together with the cache format
-/// (journal entries embed the same [`Evaluation`] schema).
-pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+/// (journal entries embed the same [`Evaluation`] schema). Version 2:
+/// entries embed `Evaluation.eval_path` and the `PointSpec`
+/// frequency/memory-port axes.
+pub const JOURNAL_FORMAT_VERSION: u32 = 2;
 
 #[derive(Serialize, Deserialize)]
 struct JournalHeader {

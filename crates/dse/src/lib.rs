@@ -57,13 +57,14 @@ mod journal;
 pub mod serve;
 mod service;
 mod spec;
+mod trace_store;
 
 pub use cache::{
     arch_content_hash, model_content_hash, CacheKey, CacheStats, EvalCache, CACHE_ENGINE_VERSION,
     CACHE_FORMAT_VERSION,
 };
 pub use error::DseError;
-pub use eval::{evaluate, evaluate_with_search, Evaluation};
+pub use eval::{evaluate, evaluate_traced, evaluate_with_search, EvalPath, Evaluation};
 pub use executor::{expand_jobs, run_sweep, DseOutcome, Executor, Job, Progress};
 pub use explore::{
     explore, explore_journaled, ExploreAlgorithm, ExploreReport, ExploreSpec, GenerationStats,
@@ -75,3 +76,4 @@ pub use service::{
     ServiceConfig, ServiceStats, DEFAULT_TENANT,
 };
 pub use spec::{ModelSpec, PointSpec, SweepAxes, SweepSpec, AXIS_COUNT};
+pub use trace_store::{TraceEntry, TraceKey, TraceStore, TraceStoreStats};

@@ -518,9 +518,13 @@ fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
 
     let succeeded = outcomes.iter().filter(|o| o.result.is_ok()).count();
     let failed = outcomes.len() - succeeded;
+    let replayed = outcomes
+        .iter()
+        .filter(|o| o.result.as_ref().is_ok_and(|e| e.eval_path.is_replayed()))
+        .count();
     let stats = cache.stats();
     reporter.machine(&format!(
-        "\n{} points in {:.2?}: {succeeded} ok, {failed} failed; cache {} hits / {} misses ({:.0}% hit)",
+        "\n{} points in {:.2?}: {succeeded} ok, {failed} failed, {replayed} replayed; cache {} hits / {} misses ({:.0}% hit)",
         outcomes.len(),
         elapsed,
         stats.hits,

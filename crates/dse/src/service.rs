@@ -65,10 +65,13 @@ use std::time::{Duration, Instant};
 use cimflow_arch::ArchConfig;
 use cimflow_compiler::{SearchMode, Strategy};
 use cimflow_nn::models;
-use cimflow_obs::{thread_track, Counter, Gauge, MetricsRegistry, MetricsSnapshot, Tracer};
+use cimflow_obs::{
+    thread_track, Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Tracer,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::journal::SweepJournal;
+use crate::trace_store::{TraceKey, TraceStore};
 use crate::{
     CacheKey, DseError, DseOutcome, EvalCache, Job, ModelSpec, PointSpec, Progress, SweepSpec,
 };
@@ -282,6 +285,8 @@ impl EvalRequest {
             mg_size: self
                 .mg_size
                 .map_or_else(|| u64::from(base.core.cim_unit.macros_per_group), u64::from),
+            frequency_mhz: u64::from(base.chip().frequency_mhz),
+            memory_port: u64::from(base.chip().memory_port),
         }
     }
 
@@ -529,6 +534,10 @@ struct Entry {
     job: Job,
     tenant: Option<String>,
     priority: Priority,
+    /// Evaluate through the shared [`TraceStore`] (set for batch points
+    /// whose trace group has at least two members, so singletons never
+    /// pay the recording overhead).
+    traced: bool,
     /// Admission time, the basis of the queue-wait histogram.
     submitted_at: Instant,
     status: JobStatus,
@@ -597,6 +606,13 @@ struct ServiceObs {
     jobs_cancelled: Counter,
     workers_busy: Gauge,
     queue_depth: Gauge,
+    /// Points answered by replaying a recorded trace (timing-only reuse).
+    replay_points: Counter,
+    /// Trace-store reuses (replays plus recorder-sharing waits).
+    trace_reuse: Counter,
+    /// Replay throughput in points per second, one sample per replayed
+    /// point.
+    replay_rate: Histogram,
 }
 
 impl ServiceObs {
@@ -607,6 +623,9 @@ impl ServiceObs {
             jobs_cancelled: metrics.counter("service.jobs_cancelled"),
             workers_busy: metrics.gauge("service.workers_busy"),
             queue_depth: metrics.gauge("service.queue_depth"),
+            replay_points: metrics.counter("sim.replay_points"),
+            trace_reuse: metrics.counter("sim.trace_reuse"),
+            replay_rate: metrics.histogram("sim.replay_points_per_s"),
             metrics,
             tracer,
         }
@@ -627,27 +646,38 @@ struct Shared {
     /// Signaled when any job reaches a terminal state.
     done: Condvar,
     cache: EvalCache,
+    traces: TraceStore,
     obs: ServiceObs,
 }
 
 const STATE_POISONED: &str = "service state poisoned";
 
 /// Runs one job through the shared pipeline (cache lookup or full
-/// compile → simulate). Panics inside the evaluator are converted into
-/// per-point errors so a bad point cannot kill a long-lived worker.
-pub(crate) fn run_point(job: &Job, cache: &EvalCache) -> DseOutcome {
+/// compile → simulate). When `traces` is set the evaluation goes through
+/// [`evaluate_traced`](crate::evaluate_traced) — the first point of a
+/// trace group records, the rest replay bit-exactly. Panics inside the
+/// evaluator are converted into per-point errors so a bad point cannot
+/// kill a long-lived worker.
+pub(crate) fn run_point(job: &Job, cache: &EvalCache, traces: Option<&TraceStore>) -> DseOutcome {
     let (result, cached) = match &job.model {
         Err(e) => (Err(e.clone()), false),
         Ok(model) => {
             let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 let key = CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
-                cache.get_or_insert_with(key, || {
-                    crate::evaluate_with_search(
+                cache.get_or_insert_with(key, || match traces {
+                    Some(traces) => crate::evaluate_traced(
                         &job.arch,
                         model,
                         job.spec.strategy,
                         job.spec.search,
-                    )
+                        traces,
+                    ),
+                    None => crate::evaluate_with_search(
+                        &job.arch,
+                        model,
+                        job.spec.strategy,
+                        job.spec.search,
+                    ),
                 })
             }));
             match evaluated {
@@ -788,18 +818,21 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
                         let tenant =
                             entry.tenant.clone().unwrap_or_else(|| DEFAULT_TENANT.to_owned());
                         let priority = entry.priority;
+                        let traced = entry.traced;
                         let queue_wait = entry.submitted_at.elapsed();
                         st.queued -= 1;
                         st.running += 1;
                         shared.obs.queue_depth.set(st.queued as i64);
-                        break Some((id, job, journal, tenant, priority, queue_wait));
+                        break Some((id, job, journal, tenant, priority, traced, queue_wait));
                     }
                     None if st.shutting_down => break None,
                     None => st = shared.work.wait(st).expect(STATE_POISONED),
                 }
             }
         };
-        let Some((id, job, journal, tenant, priority, queue_wait)) = claimed else { return };
+        let Some((id, job, journal, tenant, priority, traced, queue_wait)) = claimed else {
+            return;
+        };
         shared.obs.workers_busy.add(1);
         shared
             .obs
@@ -818,12 +851,24 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
             span
         });
         let eval_started = Instant::now();
-        let outcome = run_point(&job, &shared.cache);
+        let traces = traced.then_some(&shared.traces);
+        let outcome = run_point(&job, &shared.cache, traces);
+        let eval_elapsed = eval_started.elapsed();
         shared
             .obs
             .metrics
             .histogram_with("service.eval_latency_us", &[("tenant", &tenant)])
-            .record_duration(eval_started.elapsed());
+            .record_duration(eval_elapsed);
+        if let Ok(evaluation) = &outcome.result {
+            if evaluation.eval_path.is_replayed() && !outcome.cached {
+                shared.obs.replay_points.inc();
+                shared.obs.trace_reuse.inc();
+                let secs = eval_elapsed.as_secs_f64();
+                if secs > 0.0 {
+                    shared.obs.replay_rate.record((1.0 / secs) as u64);
+                }
+            }
+        }
         if let Some(span) = span.as_mut() {
             span.attr("ok", outcome.result.is_ok()).attr("cached", outcome.cached);
         }
@@ -1139,6 +1184,7 @@ impl EvalService {
             work: Condvar::new(),
             done: Condvar::new(),
             cache,
+            traces: TraceStore::new(),
             obs: ServiceObs::new(metrics, config.tracer.clone()),
         });
         let workers = (0..config.workers)
@@ -1161,6 +1207,13 @@ impl EvalService {
     /// The shared evaluation cache.
     pub fn cache(&self) -> &EvalCache {
         &self.shared.cache
+    }
+
+    /// The shared store of recorded simulation traces (batch points in a
+    /// timing-only trace group compile + record once and replay the
+    /// rest).
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.shared.traces
     }
 
     /// The worker-pool size.
@@ -1234,6 +1287,7 @@ impl EvalService {
                     job,
                     tenant: Some(tenant),
                     priority,
+                    traced: false,
                     submitted_at: Instant::now(),
                     status: JobStatus::Done,
                     outcome: Some(outcome),
@@ -1279,6 +1333,7 @@ impl EvalService {
                 job,
                 tenant: Some(tenant),
                 priority,
+                traced: false,
                 submitted_at: Instant::now(),
                 status: JobStatus::Queued,
                 outcome: None,
@@ -1372,6 +1427,56 @@ impl EvalService {
         self.submit_batch(jobs, None, Priority::Normal, false, Some(Arc::clone(journal)))
     }
 
+    /// Plans the queue-insertion order and per-point tracing of a batch:
+    /// live points are grouped by [`TraceKey`] (compile fingerprint +
+    /// model + strategy + search), groups of at least two points become
+    /// traced — they share one compile → record run and replay the rest —
+    /// and the insertion order interleaves the groups round-robin so
+    /// every group's recording starts early instead of the recordings
+    /// serializing group after group. Singleton groups stay untraced and
+    /// pay zero recording overhead. Outcome slots keep grid order
+    /// regardless (the handle's ids are indexed by grid position).
+    fn trace_plan(jobs: &[Job], resumed: &[Option<DseOutcome>]) -> (Vec<usize>, Vec<bool>) {
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut by_key: HashMap<TraceKey, usize> = HashMap::new();
+        for (index, job) in jobs.iter().enumerate() {
+            match &job.model {
+                Ok(model) if resumed[index].is_none() => {
+                    let key = TraceKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
+                    match by_key.entry(key) {
+                        std::collections::hash_map::Entry::Occupied(slot) => {
+                            groups[*slot.get()].push(index);
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(groups.len());
+                            groups.push(vec![index]);
+                        }
+                    }
+                }
+                // Unknown-model and journal-resumed points are untraced
+                // singletons.
+                _ => groups.push(vec![index]),
+            }
+        }
+        let mut traced = vec![false; jobs.len()];
+        for group in groups.iter().filter(|group| group.len() >= 2) {
+            for &index in group {
+                traced[index] = true;
+            }
+        }
+        let mut order = Vec::with_capacity(jobs.len());
+        let mut round = 0;
+        while order.len() < jobs.len() {
+            for group in &groups {
+                if let Some(&index) = group.get(round) {
+                    order.push(index);
+                }
+            }
+            round += 1;
+        }
+        (order, traced)
+    }
+
     fn submit_batch(
         &self,
         jobs: Vec<Job>,
@@ -1395,6 +1500,7 @@ impl EvalService {
             .collect();
         let born_terminal = resumed.iter().filter(|r| r.is_some()).count();
         let live = resumed.len() - born_terminal;
+        let (order, traced) = Self::trace_plan(&jobs, &resumed);
 
         let (tx, rx) = mpsc::channel();
         let batch = Arc::new(BatchState {
@@ -1427,10 +1533,16 @@ impl EvalService {
                 }
             }
         }
-        let mut ids = Vec::with_capacity(jobs.len());
-        for (index, (job, resumed)) in jobs.into_iter().zip(resumed).enumerate() {
+        // Queue in the interleaved order, but keep `ids` in grid order so
+        // the handle's per-point slots line up with the submitted grid.
+        let total = jobs.len();
+        let mut slots: Vec<Option<(Job, Option<DseOutcome>)>> =
+            jobs.into_iter().zip(resumed).map(Some).collect();
+        let mut ids = vec![0u64; total];
+        for index in order {
+            let (job, resumed) = slots[index].take().expect("each slot is queued exactly once");
             let id = st.allocate_id();
-            ids.push(id);
+            ids[index] = id;
             st.submitted += 1;
             match resumed {
                 Some(outcome) => {
@@ -1452,6 +1564,7 @@ impl EvalService {
                             job,
                             tenant: tenant.clone(),
                             priority,
+                            traced: false,
                             submitted_at: Instant::now(),
                             status: JobStatus::Done,
                             outcome: Some(outcome),
@@ -1472,6 +1585,7 @@ impl EvalService {
                             job,
                             tenant: tenant.clone(),
                             priority,
+                            traced: traced[index],
                             submitted_at: Instant::now(),
                             status: JobStatus::Queued,
                             outcome: None,
@@ -1554,6 +1668,10 @@ impl EvalService {
         metrics.gauge("cache.misses").set(stats.misses as i64);
         metrics.gauge("cache.coalesced").set(stats.coalesced as i64);
         metrics.gauge("cache.entries").set(self.shared.cache.len() as i64);
+        let traces = self.shared.traces.stats();
+        metrics.gauge("trace.recorded").set(traces.recorded as i64);
+        metrics.gauge("trace.reused").set(traces.reused as i64);
+        metrics.gauge("trace.entries").set(self.shared.traces.len() as i64);
     }
 
     /// Begins shutdown: queued jobs are cancelled (their waiters observe
@@ -1666,6 +1784,55 @@ mod tests {
         let stats = service.stats();
         assert_eq!((stats.submitted, stats.completed), (1, 1));
         assert_eq!((stats.queued, stats.running), (0, 0));
+    }
+
+    #[test]
+    fn timing_only_sweeps_record_once_and_replay_bit_exactly() {
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_frequencies_mhz(&[500, 1000])
+            .with_memory_ports(&[0, 27]);
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let outcomes = service.submit_sweep(&spec).expect("admitted").wait();
+        assert_eq!(outcomes.len(), 4);
+        // One trace group of four points: one recording, three replays.
+        let replayed = outcomes
+            .iter()
+            .filter(|o| o.result.as_ref().is_ok_and(|e| e.eval_path.is_replayed()))
+            .count();
+        assert_eq!(replayed, 3);
+        assert_eq!(service.trace_store().len(), 1);
+        assert_eq!(service.trace_store().stats().recorded, 1);
+        // Every replayed point is bit-exact against a fresh interpreter
+        // run of the same retimed architecture.
+        let base = spec.base_arch();
+        for outcome in &outcomes {
+            let evaluation = outcome.result.as_ref().expect("sweep point succeeds");
+            let fresh = crate::evaluate_with_search(
+                &outcome.point.arch(&base),
+                &models::mobilenet_v2(32),
+                Strategy::GenericMapping,
+                SearchMode::Sequential,
+            )
+            .expect("fresh evaluation succeeds");
+            assert_eq!(evaluation.simulation, fresh.simulation);
+            assert_eq!(evaluation.compilation, fresh.compilation);
+        }
+        // The replay counters landed on the wire surface.
+        let prom = service.render_metrics();
+        assert!(prom.contains("sim_replay_points 3"), "missing replay counter in:\n{prom}");
+        assert!(prom.contains("trace_entries 1"), "missing trace gauge in:\n{prom}");
+        // A sweep without timing-only groups (every point its own trace
+        // key) stays on the plain path: no recording overhead.
+        let plain = SweepSpec::new()
+            .with_model("resnet18", 32)
+            .with_strategies(&[Strategy::GenericMapping, Strategy::DpOptimized]);
+        let outcomes = service.submit_sweep(&plain).expect("admitted").wait();
+        assert!(outcomes
+            .iter()
+            .all(|o| o.result.as_ref().is_ok_and(|e| e.eval_path == crate::EvalPath::Interpreted)));
+        assert_eq!(service.trace_store().len(), 1, "singleton groups never record");
     }
 
     #[test]

@@ -61,6 +61,14 @@ pub struct SweepSpec {
     /// Per-core local-memory capacities in KiB; empty keeps the base
     /// value.
     pub local_memory_kib: Vec<u64>,
+    /// Clock frequencies in MHz; empty keeps the base value. A
+    /// **timing-only** axis: points differing only here share one
+    /// compiled program, so the executor replays a recorded trace
+    /// instead of recompiling.
+    pub frequencies_mhz: Vec<u32>,
+    /// Global-memory-port mesh placements (node index); empty keeps the
+    /// base value. Timing-only, like `frequencies_mhz`.
+    pub memory_ports: Vec<u32>,
     /// Worker threads for the executor; `None` lets the executor decide.
     pub workers: Option<usize>,
 }
@@ -79,6 +87,8 @@ impl SweepSpec {
             chip_counts: Vec::new(),
             core_counts: Vec::new(),
             local_memory_kib: Vec::new(),
+            frequencies_mhz: Vec::new(),
+            memory_ports: Vec::new(),
             workers: None,
         }
     }
@@ -153,6 +163,20 @@ impl SweepSpec {
         self
     }
 
+    /// Sets the clock-frequency axis (MHz; timing-only).
+    #[must_use]
+    pub fn with_frequencies_mhz(mut self, frequencies: &[u32]) -> Self {
+        self.frequencies_mhz = frequencies.to_vec();
+        self
+    }
+
+    /// Sets the memory-port-placement axis (timing-only).
+    #[must_use]
+    pub fn with_memory_ports(mut self, ports: &[u32]) -> Self {
+        self.memory_ports = ports.to_vec();
+        self
+    }
+
     /// The base architecture of the sweep.
     pub fn base_arch(&self) -> ArchConfig {
         self.base.unwrap_or_else(ArchConfig::paper_default)
@@ -169,6 +193,8 @@ impl SweepSpec {
             * axis(self.local_memory_kib.len())
             * axis(self.flit_sizes.len())
             * axis(self.mg_sizes.len())
+            * axis(self.frequencies_mhz.len())
+            * axis(self.memory_ports.len())
     }
 
     /// Resolves every axis of the sweep against the base architecture:
@@ -204,6 +230,8 @@ impl SweepSpec {
             ),
             flit_sizes: effective_axis(&self.flit_sizes, base.chip().noc_flit_bytes),
             mg_sizes: effective_axis(&self.mg_sizes, base.core.cim_unit.macros_per_group),
+            frequencies_mhz: effective_axis(&self.frequencies_mhz, base.chip().frequency_mhz),
+            memory_ports: effective_axis(&self.memory_ports, base.chip().memory_port),
         })
     }
 
@@ -270,6 +298,8 @@ impl Deserialize for SweepSpec {
             chip_counts: opt(map, "chip_counts")?.unwrap_or_default(),
             core_counts: opt(map, "core_counts")?.unwrap_or_default(),
             local_memory_kib: opt(map, "local_memory_kib")?.unwrap_or_default(),
+            frequencies_mhz: opt(map, "frequencies_mhz")?.unwrap_or_default(),
+            memory_ports: opt(map, "memory_ports")?.unwrap_or_default(),
             workers: opt(map, "workers")?,
         })
     }
@@ -286,8 +316,9 @@ fn effective_axis<T: Copy + Into<u64>>(values: &[T], base: T) -> Vec<u64> {
 /// Number of independent axes of a sweep grid (the length of a
 /// [`SweepAxes`] index vector), in expansion order: model, strategy,
 /// search mode, chip count, core count, local memory, flit size, MG
-/// size.
-pub const AXIS_COUNT: usize = 8;
+/// size, frequency, memory port. The two timing-only axes sit innermost
+/// so the points of one trace group are adjacent in grid order.
+pub const AXIS_COUNT: usize = 10;
 
 /// The resolved axes of a sweep grid: every empty [`SweepSpec`] axis
 /// pinned to its base-architecture value, addressable by `(axis,
@@ -318,6 +349,10 @@ pub struct SweepAxes {
     pub flit_sizes: Vec<u64>,
     /// The macro-group-size axis.
     pub mg_sizes: Vec<u64>,
+    /// The clock-frequency axis in MHz (timing-only).
+    pub frequencies_mhz: Vec<u64>,
+    /// The memory-port-placement axis (timing-only).
+    pub memory_ports: Vec<u64>,
 }
 
 impl SweepAxes {
@@ -332,6 +367,8 @@ impl SweepAxes {
             self.local_memory_kib.len(),
             self.flit_sizes.len(),
             self.mg_sizes.len(),
+            self.frequencies_mhz.len(),
+            self.memory_ports.len(),
         ]
     }
 
@@ -355,6 +392,8 @@ impl SweepAxes {
             local_memory_kib: self.local_memory_kib[indices[5]],
             flit_bytes: self.flit_sizes[indices[6]],
             mg_size: self.mg_sizes[indices[7]],
+            frequency_mhz: self.frequencies_mhz[indices[8]],
+            memory_port: self.memory_ports[indices[9]],
         }
     }
 
@@ -409,6 +448,10 @@ pub struct PointSpec {
     pub flit_bytes: u64,
     /// Macro-group size (macros per MG).
     pub mg_size: u64,
+    /// Clock frequency in MHz (timing-only).
+    pub frequency_mhz: u64,
+    /// Global-memory-port mesh placement (timing-only).
+    pub memory_port: u64,
 }
 
 impl PointSpec {
@@ -437,19 +480,34 @@ impl PointSpec {
         if self.mg_size != u64::from(base.core.cim_unit.macros_per_group) {
             arch = arch.with_macros_per_group(self.mg_size as u32);
         }
+        if self.frequency_mhz != u64::from(base.chip().frequency_mhz) {
+            arch = arch.with_frequency_mhz(self.frequency_mhz as u32);
+        }
+        if self.memory_port != u64::from(base.chip().memory_port) {
+            arch = arch.with_memory_port(self.memory_port as u32);
+        }
         arch
     }
 
     /// Compact human-readable label (used in progress lines). The search
-    /// mode is only spelled out when it deviates from the default, so
-    /// historical sweep logs keep their shape.
+    /// mode and the timing-only axes are only spelled out when they
+    /// deviate from the paper default, so historical sweep logs keep
+    /// their shape.
     pub fn label(&self) -> String {
         let search = match self.search {
             SearchMode::Sequential => String::new(),
             other => format!(" search={other}"),
         };
+        let paper = ArchConfig::paper_default();
+        let mut timing = String::new();
+        if self.frequency_mhz != u64::from(paper.chip().frequency_mhz) {
+            timing.push_str(&format!(" freq={}MHz", self.frequency_mhz));
+        }
+        if self.memory_port != u64::from(paper.chip().memory_port) {
+            timing.push_str(&format!(" port={}", self.memory_port));
+        }
         format!(
-            "{}@{} {}{search} chips={} cores={} lmem={}KiB flit={}B mg={}",
+            "{}@{} {}{search} chips={} cores={} lmem={}KiB flit={}B mg={}{timing}",
             self.model.name,
             self.model.resolution,
             self.strategy,
@@ -633,6 +691,48 @@ mod tests {
             );
             assert_eq!(arch.core.local_memory, base.core.local_memory);
         }
+    }
+
+    #[test]
+    fn timing_axes_expand_innermost_and_apply_to_the_arch() {
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_frequencies_mhz(&[500, 1000])
+            .with_memory_ports(&[0, 27]);
+        assert_eq!(spec.point_count(), 4);
+        let back = SweepSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let points = spec.expand().unwrap();
+        // The timing axes are innermost: the port varies fastest.
+        assert_eq!(
+            points.iter().map(|p| (p.frequency_mhz, p.memory_port)).collect::<Vec<_>>(),
+            vec![(500, 0), (500, 27), (1000, 0), (1000, 27)]
+        );
+        let arch = points[1].arch(&spec.base_arch());
+        assert_eq!(arch.chip().frequency_mhz, 500);
+        assert_eq!(arch.chip().memory_port, 27);
+        assert!(arch.validate().is_ok());
+        // All four points share one compile fingerprint — they form one
+        // trace group.
+        let fingerprints: std::collections::HashSet<u64> =
+            points.iter().map(|p| p.arch(&spec.base_arch()).compile_fingerprint()).collect();
+        assert_eq!(fingerprints.len(), 1);
+        // Labels mention only non-default timing values, keeping
+        // historical log shapes.
+        assert!(points[1].label().contains("freq=500MHz"));
+        assert!(points[1].label().contains("port=27"));
+        assert!(!points[2].label().contains("freq="));
+        // Old sweep files (no timing axes) pin to the base values.
+        let legacy = SweepSpec::from_json(
+            "{\"models\": [{\"name\": \"resnet18\", \"resolution\": 32}], \"strategies\": [\"dp\"]}",
+        )
+        .unwrap();
+        let base = legacy.base_arch();
+        assert!(legacy.expand().unwrap().iter().all(|p| {
+            p.frequency_mhz == u64::from(base.chip().frequency_mhz)
+                && p.memory_port == u64::from(base.chip().memory_port)
+        }));
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! A shared store of recorded simulation traces, keyed by
+//! *compile-affecting* content so that timing-only design points — same
+//! compiled program, different frequency / memory-port placement — share
+//! one compile → record run and replay the rest.
+//!
+//! The store is the DSE-side counterpart of the simulator's
+//! [`SimTrace`]/[`ReplayEngine`](cimflow_sim::ReplayEngine) pair: the
+//! first worker to reach a trace key pays the full
+//! `compile + record` cost and publishes the trace (plus the
+//! frequency-independent compile-side facts an [`Evaluation`]
+//! (crate::Evaluation) needs); every later point with the same key
+//! replays the trace in a fraction of the time. Concurrent recorders of
+//! one key are deduplicated with the same in-flight-marker protocol as
+//! the [`EvalCache`](crate::EvalCache), so a sweep fanning 16 workers
+//! into one trace group performs exactly one recording.
+//!
+//! The key hashes the architecture through
+//! [`ArchConfig::compile_fingerprint`], which canonicalizes the
+//! timing-only fields (`frequency_mhz`, `memory_port`, `noc_hop_latency`,
+//! and the inter-chip link parameters of single-chip systems) — two
+//! architectures differing only in those fields collide intentionally.
+//! Everything else (flit size, macro grouping, chip/core counts, …)
+//! changes the compiled program and therefore the key.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::{CompileReport, SearchMode, Strategy};
+use cimflow_nn::Model;
+use cimflow_sim::SimTrace;
+
+use crate::cache::model_content_hash;
+use crate::DseError;
+
+const STORE_POISONED: &str = "trace store poisoned";
+
+/// Identifies one recorded trace by compile-affecting content: the
+/// architecture's [`compile fingerprint`](ArchConfig::compile_fingerprint),
+/// the model's content hash, the strategy and the search mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// [`ArchConfig::compile_fingerprint`] of the architecture
+    /// (timing-only fields canonicalized away).
+    pub arch: u64,
+    /// Content hash of the model (same function as the eval cache's).
+    pub model: u64,
+    /// The compilation strategy.
+    pub strategy: Strategy,
+    /// The system-level search mode.
+    pub search: SearchMode,
+}
+
+impl TraceKey {
+    /// Computes the trace key of a design point.
+    pub fn of(arch: &ArchConfig, model: &Model, strategy: Strategy, search: SearchMode) -> Self {
+        TraceKey {
+            arch: arch.compile_fingerprint(),
+            model: model_content_hash(model),
+            strategy,
+            search,
+        }
+    }
+}
+
+/// One recorded trace plus the compile-side facts shared by every design
+/// point that replays it (all of them are frequency-independent — they
+/// describe the compiled program, not its timing).
+#[derive(Debug)]
+pub struct TraceEntry {
+    /// The recorded timing-op trace.
+    pub trace: SimTrace,
+    /// Static compilation statistics of the recorded compile.
+    pub compilation: CompileReport,
+    /// Number of execution stages chosen by the partitioner.
+    pub stages: usize,
+    /// Mean weight-duplication factor chosen by the mapper.
+    pub mean_duplication: f64,
+}
+
+/// Monotonic counters of a [`TraceStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStoreStats {
+    /// Traces recorded (one full compile + record run each).
+    pub recorded: u64,
+    /// Lookups served by an already-recorded trace.
+    pub reused: u64,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: Mutex<HashMap<TraceKey, Arc<TraceEntry>>>,
+    /// Keys currently being recorded; guarded separately from `entries`
+    /// so waiters do not hold the entry map across a recording.
+    in_flight: Mutex<HashSet<TraceKey>>,
+    in_flight_done: Condvar,
+    recorded: AtomicU64,
+    reused: AtomicU64,
+}
+
+/// A concurrency-safe store of recorded traces shared by the workers of
+/// one evaluation service (cheap to clone; clones share the storage).
+#[derive(Debug, Clone, Default)]
+pub struct TraceStore {
+    inner: Arc<StoreInner>,
+}
+
+impl TraceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded traces.
+    pub fn len(&self) -> usize {
+        self.inner.entries.lock().expect(STORE_POISONED).len()
+    }
+
+    /// Whether the store holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The trace recorded under `key`, if any (does not count as reuse).
+    pub fn get(&self, key: &TraceKey) -> Option<Arc<TraceEntry>> {
+        self.inner.entries.lock().expect(STORE_POISONED).get(key).cloned()
+    }
+
+    /// A snapshot of the recorded/reused counters.
+    pub fn stats(&self) -> TraceStoreStats {
+        TraceStoreStats {
+            recorded: self.inner.recorded.load(Ordering::Relaxed),
+            reused: self.inner.reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up the trace under `key`, or records it with `record` on a
+    /// miss. Returns the entry plus whether **this caller** recorded it
+    /// (`false` means the trace pre-existed or another worker's
+    /// recording was awaited — either way the caller should replay).
+    ///
+    /// Concurrent callers with the same key are deduplicated exactly
+    /// like [`EvalCache::get_or_insert_with`](crate::EvalCache): the
+    /// first records while the others block on the in-flight marker,
+    /// then take the published entry. Recording failures are not cached
+    /// (one waiter takes over).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the recorder's error.
+    pub fn get_or_record_with(
+        &self,
+        key: TraceKey,
+        record: impl FnOnce() -> Result<TraceEntry, DseError>,
+    ) -> Result<(Arc<TraceEntry>, bool), DseError> {
+        loop {
+            if let Some(entry) = self.get(&key) {
+                self.inner.reused.fetch_add(1, Ordering::Relaxed);
+                return Ok((entry, false));
+            }
+            let mut in_flight = self.inner.in_flight.lock().expect(STORE_POISONED);
+            if in_flight.insert(key) {
+                break; // this caller owns the recording
+            }
+            // Another worker is recording this key: wait for it, then
+            // re-check the entries.
+            while in_flight.contains(&key) {
+                in_flight = self.inner.in_flight_done.wait(in_flight).expect(STORE_POISONED);
+            }
+        }
+        // Release the marker even if `record` panics, so waiters are
+        // woken instead of deadlocking (one of them takes over).
+        struct InFlightGuard<'a> {
+            store: &'a StoreInner,
+            key: TraceKey,
+        }
+        impl Drop for InFlightGuard<'_> {
+            fn drop(&mut self) {
+                let mut in_flight =
+                    self.store.in_flight.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                in_flight.remove(&self.key);
+                self.store.in_flight_done.notify_all();
+            }
+        }
+        let guard = InFlightGuard { store: &self.inner, key };
+        let result = record();
+        let entry = match result {
+            Ok(entry) => Arc::new(entry),
+            Err(e) => return Err(e), // guard wakes the waiters
+        };
+        // Publish before releasing the in-flight marker so waiters
+        // always observe the entry when they wake.
+        self.inner.entries.lock().expect(STORE_POISONED).insert(key, Arc::clone(&entry));
+        self.inner.recorded.fetch_add(1, Ordering::Relaxed);
+        drop(guard);
+        Ok((entry, true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cimflow_compiler::{compile, Strategy};
+    use cimflow_nn::models;
+    use cimflow_sim::Simulator;
+
+    fn record_entry(arch: &ArchConfig, model: &Model) -> TraceEntry {
+        let compiled = compile(model, arch, Strategy::GenericMapping).unwrap();
+        let (trace, _) = Simulator::record(&compiled).unwrap();
+        TraceEntry {
+            trace,
+            compilation: compiled.report.clone(),
+            stages: compiled.plan.stages.len(),
+            mean_duplication: compiled.plan.mean_duplication(),
+        }
+    }
+
+    #[test]
+    fn timing_only_points_share_a_key_and_the_recorded_trace() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let key = TraceKey::of(&base, &model, Strategy::GenericMapping, SearchMode::Sequential);
+        // Frequency and port placement are timing-only: same key.
+        let retimed = base.with_frequency_mhz(500).with_memory_port(27);
+        assert_eq!(
+            key,
+            TraceKey::of(&retimed, &model, Strategy::GenericMapping, SearchMode::Sequential)
+        );
+        // Flit size changes the compiled program: different key.
+        assert_ne!(
+            key,
+            TraceKey::of(
+                &base.with_flit_bytes(16),
+                &model,
+                Strategy::GenericMapping,
+                SearchMode::Sequential
+            )
+        );
+
+        let store = TraceStore::new();
+        let (_, recorded) =
+            store.get_or_record_with(key, || Ok(record_entry(&base, &model))).unwrap();
+        assert!(recorded);
+        let (entry, recorded) =
+            store.get_or_record_with(key, || panic!("second lookup must reuse")).unwrap();
+        assert!(!recorded);
+        assert!(entry.trace.is_compatible(&retimed));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.stats(), TraceStoreStats { recorded: 1, reused: 1 });
+    }
+
+    #[test]
+    fn recording_failures_are_not_cached() {
+        let store = TraceStore::new();
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let key = TraceKey::of(&base, &model, Strategy::DpOptimized, SearchMode::Sequential);
+        let failed: Result<_, DseError> =
+            store.get_or_record_with(key, || Err(DseError::spec("synthetic failure")));
+        assert!(failed.is_err());
+        assert!(store.is_empty());
+        // The key is retryable afterwards.
+        let (_, recorded) =
+            store.get_or_record_with(key, || Ok(record_entry(&base, &model))).unwrap();
+        assert!(recorded);
+    }
+
+    #[test]
+    fn concurrent_recorders_of_one_key_are_deduplicated() {
+        let store = TraceStore::new();
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let key = TraceKey::of(&base, &model, Strategy::GenericMapping, SearchMode::Sequential);
+        let recordings: Vec<bool> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = store.clone();
+                    let model = &model;
+                    scope.spawn(move || {
+                        let (_, recorded) = store
+                            .get_or_record_with(key, || Ok(record_entry(&base, model)))
+                            .unwrap();
+                        recorded
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(recordings.iter().filter(|&&r| r).count(), 1, "exactly one recorder");
+        assert_eq!(store.stats().recorded, 1);
+        assert_eq!(store.stats().reused, 3);
+    }
+}

@@ -14,17 +14,18 @@ use cimflow_obs::{new_track, AttrValue, Tracer};
 
 use crate::core::{BlockReason, CoreState};
 use crate::report::{SimReport, UnitActivity};
+use crate::trace::{CoreInvariants, SimTrace, TraceOp, TraceRecorder, TraceTransfer};
 use crate::SimError;
 
 /// Maximum dynamically executed instructions before the simulator aborts
 /// (a defence against runaway generated code).
-const INSTRUCTION_BUDGET: u64 = 2_000_000_000;
+pub(crate) const INSTRUCTION_BUDGET: u64 = 2_000_000_000;
 /// Number of instructions a core may execute before control returns to the
 /// scheduler (keeps NoC contention interleaving reasonably accurate).
-const SLICE: u64 = 4096;
+pub(crate) const SLICE: u64 = 4096;
 /// Upper bound on the tiles one cut activation streams as, so a huge
 /// transfer does not degenerate into millions of fabric packets.
-const MAX_STREAM_TILES: u64 = 64;
+pub(crate) const MAX_STREAM_TILES: u64 = 64;
 
 /// How cut activations hand off between chips of a multi-chip system.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -117,6 +118,19 @@ struct Message {
     bytes: u64,
 }
 
+/// What the trace recorder should note for one executed instruction,
+/// resolved per [`Simulator::step`] arm and applied at the accounting
+/// tail (so recording never interleaves with the timing updates).
+enum Recorded {
+    /// One fusible single-cycle instruction.
+    Advance,
+    /// A taken branch or jump: one cycle plus the squash penalty,
+    /// terminating the current fused run.
+    Penalty,
+    /// A non-fusible timing op.
+    Op(TraceOp),
+}
+
 /// The CIMFlow cycle-level simulator.
 ///
 /// One chip is the paper's platform: every core runs its program against
@@ -153,6 +167,11 @@ pub struct Simulator {
     /// Chip-local stage ordinal of each transfer's producing group
     /// (`None` when the producer is unplaced, e.g. legacy plans).
     transfer_stage: Vec<Option<usize>>,
+    /// Per producing chip: ascending indices into the system transfer
+    /// list, precomputed once so the per-retirement / per-stage dispatch
+    /// passes scan only that chip's transfers instead of rescanning the
+    /// whole list per chip.
+    chip_transfers: Vec<Vec<usize>>,
     /// Per chip: release time of each barrier id, recorded as barriers
     /// open (stage `k` runs between barriers `2k` and `2k + 1`).
     barrier_release: Vec<HashMap<u16, u64>>,
@@ -176,6 +195,8 @@ pub struct Simulator {
     vector_ops: u64,
     total_macs: u64,
     executed: u64,
+    /// Trace recording hook; `Some` only inside [`Simulator::record`].
+    recorder: Option<TraceRecorder>,
 }
 
 impl Simulator {
@@ -236,6 +257,13 @@ impl Simulator {
             .iter()
             .map(|t| group_stage.get(&t.producer).copied())
             .collect();
+        let mut chip_transfers: Vec<Vec<usize>> = vec![Vec::new(); chip_count];
+        for (index, transfer) in compiled.system.transfers.iter().enumerate() {
+            let from = transfer.from_chip as usize;
+            if from < chip_count {
+                chip_transfers[from].push(index);
+            }
+        }
 
         Simulator {
             arch,
@@ -254,6 +282,7 @@ impl Simulator {
             incoming_remaining,
             transfer_dispatched: vec![false; compiled.system.transfers.len()],
             transfer_stage,
+            chip_transfers,
             barrier_release: vec![HashMap::new(); chip_count],
             landing_windows: vec![Vec::new(); chip_count],
             last_input_landed: vec![0; chip_count],
@@ -268,6 +297,7 @@ impl Simulator {
             vector_ops: 0,
             total_macs,
             executed: 0,
+            recorder: None,
         }
     }
 
@@ -302,6 +332,46 @@ impl Simulator {
     /// [`SimError::CycleLimitExceeded`] when the instruction budget is
     /// exhausted.
     pub fn run(mut self) -> Result<SimReport, SimError> {
+        self.run_loop()?;
+        Ok(self.finish())
+    }
+
+    /// Runs the simulation to completion *while recording a trace*,
+    /// returning the [`SimTrace`] alongside the ordinary report. The
+    /// report is identical to what [`Simulator::run`] would produce —
+    /// recording only appends to side buffers and never influences
+    /// timing — and the trace replays to that same report through a
+    /// [`ReplayEngine`](crate::ReplayEngine) for any design point whose
+    /// [`compile_fingerprint`](ArchConfig::compile_fingerprint) matches.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Simulator::run`].
+    pub fn record(compiled: &CompiledProgram) -> Result<(SimTrace, SimReport), SimError> {
+        Self::record_with_options(compiled, SimOptions::default())
+    }
+
+    /// [`Simulator::record`] with explicit [`SimOptions`]. The recorded
+    /// trace itself is option-independent (op streams never depend on the
+    /// hand-off mode); only the returned report reflects `options`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Simulator::run`].
+    pub fn record_with_options(
+        compiled: &CompiledProgram,
+        options: SimOptions,
+    ) -> Result<(SimTrace, SimReport), SimError> {
+        let mut sim = Self::with_options(compiled, options);
+        sim.recorder = Some(TraceRecorder::new(sim.cores.len()));
+        sim.run_loop()?;
+        let trace = sim.build_trace();
+        Ok((trace, sim.finish()))
+    }
+
+    /// The main scheduling loop shared by [`Simulator::run`] and the
+    /// recording entry points.
+    fn run_loop(&mut self) -> Result<(), SimError> {
         loop {
             self.retire_finished_chips();
             if self.cores.iter().all(CoreState::is_halted) {
@@ -320,7 +390,59 @@ impl Simulator {
                 return Err(SimError::CycleLimitExceeded { limit: INSTRUCTION_BUDGET });
             }
         }
-        Ok(self.finish())
+        Ok(())
+    }
+
+    /// Harvests the recorder into a [`SimTrace`] (must only be called
+    /// after a successful [`Simulator::run_loop`] with a recorder set).
+    fn build_trace(&mut self) -> SimTrace {
+        let recorder = self.recorder.take().expect("build_trace without recorder");
+        let (ops, passes) = recorder.finish(self.cores_per_chip);
+        let core_invariants: Vec<CoreInvariants> = self
+            .cores
+            .iter()
+            .map(|core| CoreInvariants {
+                mg_busy_cycles: core.macro_groups.iter().map(|m| m.busy_cycles).sum(),
+                vector_busy_cycles: core.vector_busy_cycles,
+                compute_pj: core.energy.compute_pj,
+                local_memory_pj: core.energy.local_memory_pj,
+                global_memory_pj: core.energy.global_memory_pj,
+                control_pj: core.energy.control_pj,
+            })
+            .collect();
+        let transfers: Vec<TraceTransfer> = self
+            .system
+            .transfers
+            .iter()
+            .zip(&self.transfer_stage)
+            .map(|(t, stage)| TraceTransfer {
+                from_chip: t.from_chip,
+                to_chip: t.to_chip,
+                bytes: t.bytes,
+                stage: *stage,
+            })
+            .collect();
+        SimTrace {
+            arch: self.arch,
+            fingerprint: self.arch.compile_fingerprint(),
+            cores_per_chip: self.cores_per_chip,
+            chip_count: self.chip_count(),
+            macro_groups: self.arch.core.cim_unit.macro_groups.max(1) as usize,
+            ops,
+            transfers,
+            chip_transfers: self.chip_transfers.clone(),
+            dynamic_instructions: self
+                .dynamic
+                .iter()
+                .map(|(class, count)| (class.to_string(), *count))
+                .collect(),
+            cim_ops: self.cim_ops,
+            vector_ops: self.vector_ops,
+            total_macs: self.total_macs,
+            executed: self.executed,
+            core_invariants,
+            passes,
+        }
     }
 
     /// Ships the remaining cut activations of every chip that has just
@@ -348,9 +470,10 @@ impl Simulator {
             let finish = cores_done.max(self.last_input_landed[chip]);
             self.chip_finish_time[chip] = finish;
             self.chip_dispatched[chip] = true;
-            for index in 0..self.system.transfers.len() {
+            for k in 0..self.chip_transfers[chip].len() {
+                let index = self.chip_transfers[chip][k];
                 let transfer = self.system.transfers[index];
-                if transfer.from_chip as usize != chip || self.transfer_dispatched[index] {
+                if self.transfer_dispatched[index] {
                     continue;
                 }
                 self.transfer_dispatched[index] = true;
@@ -417,12 +540,9 @@ impl Simulator {
             .copied()
             .unwrap_or(self.chip_start_time[chip])
             .min(end);
-        for index in 0..self.system.transfers.len() {
-            let transfer = self.system.transfers[index];
-            if self.transfer_dispatched[index]
-                || transfer.from_chip as usize != chip
-                || self.transfer_stage[index] != Some(ordinal)
-            {
+        for k in 0..self.chip_transfers[chip].len() {
+            let index = self.chip_transfers[chip][k];
+            if self.transfer_dispatched[index] || self.transfer_stage[index] != Some(ordinal) {
                 continue;
             }
             self.transfer_dispatched[index] = true;
@@ -607,6 +727,11 @@ impl Simulator {
         let program = &self.programs[index];
         let Some(&inst) = program.instructions().get(pc) else {
             self.cores[index].block = BlockReason::Halted;
+            if let Some(rec) = &mut self.recorder {
+                // Running past the end halts without counting as an
+                // instruction; the trace keeps the distinction.
+                rec.push(index, TraceOp::Halt { counted: false });
+            }
             return Ok(());
         };
 
@@ -620,6 +745,7 @@ impl Simulator {
         let core_id = self.cores[index].id;
 
         let mut advance = true;
+        let mut recorded = Recorded::Advance;
         match inst {
             Instruction::CimMvm { rows, output: _, mg, input: _ } => {
                 let core = &mut self.cores[index];
@@ -634,6 +760,12 @@ impl Simulator {
                 core.energy.compute_pj += self.energy_model.cim.compute_pj(macs);
                 core.energy.local_memory_pj +=
                     self.energy_model.sram.local_read_pj(u64::from(rows_value));
+                let count = core.macro_groups.len().max(1);
+                recorded = Recorded::Op(TraceOp::CimMvm {
+                    mg: (mg as usize % count) as u32,
+                    issue,
+                    latency,
+                });
                 self.cim_ops += 1;
             }
             Instruction::CimLoad { rows, mg, weights: _ } => {
@@ -647,6 +779,9 @@ impl Simulator {
                 let bytes = u64::from(rows_value) * u64::from(unit.output_channels_per_group());
                 core.energy.compute_pj += self.energy_model.cim.weight_load_pj(bytes);
                 core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(bytes);
+                let count = core.macro_groups.len().max(1);
+                recorded =
+                    Recorded::Op(TraceOp::CimLoad { mg: (mg as usize % count) as u32, cycles });
             }
             Instruction::CimStoreAcc { len, mg, output: _ } => {
                 let core = &mut self.cores[index];
@@ -655,6 +790,7 @@ impl Simulator {
                 let ready = core.macro_groups[mg as usize % count].acc_ready;
                 core.now = core.now.max(ready) + 1;
                 core.energy.local_memory_pj += self.energy_model.sram.local_write_pj(lanes * 4);
+                recorded = Recorded::Op(TraceOp::CimStoreAcc { mg: (mg as usize % count) as u32 });
             }
             Instruction::VecOp { len, .. }
             | Instruction::VecQuant { len, .. }
@@ -669,6 +805,7 @@ impl Simulator {
                     self.energy_model.digital.vector_pj_per_elem * elems as f64;
                 core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(elems)
                     + self.energy_model.sram.local_write_pj(elems);
+                recorded = Recorded::Op(TraceOp::Vector { cycles });
                 self.vector_ops += elems;
             }
             Instruction::VecPool { len, window, .. } => {
@@ -681,6 +818,7 @@ impl Simulator {
                 core.energy.compute_pj +=
                     self.energy_model.digital.vector_pj_per_elem * elems as f64;
                 core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(elems);
+                recorded = Recorded::Op(TraceOp::Vector { cycles });
                 self.vector_ops += elems;
             }
             Instruction::MemCpy { src, dst, len, offset } => {
@@ -698,8 +836,8 @@ impl Simulator {
                         mesh.transfer_to_memory(core_id, bytes, now)
                     };
                     let port_start = outcome.arrival.max(self.global_port_free[chip]);
-                    let completion =
-                        port_start + self.arch.chip().global_memory.transfer_cycles(bytes);
+                    let port_cycles = self.arch.chip().global_memory.transfer_cycles(bytes);
+                    let completion = port_start + port_cycles;
                     self.global_port_free[chip] = completion;
                     // Profile only the *contended* port windows (the
                     // request waited behind another occupant) — the
@@ -731,11 +869,18 @@ impl Simulator {
                         outcome.hops.max(1),
                     );
                     core.energy.local_memory_pj += self.energy_model.sram.local_write_pj(bytes);
+                    recorded = Recorded::Op(TraceOp::GlobalCpy {
+                        bytes,
+                        from_memory: src_global,
+                        port_cycles,
+                    });
                 } else {
                     let core = &mut self.cores[index];
-                    core.now += local.transfer_cycles(bytes);
+                    let cycles = local.transfer_cycles(bytes);
+                    core.now += cycles;
                     core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(bytes)
                         + self.energy_model.sram.local_write_pj(bytes);
+                    recorded = Recorded::Op(TraceOp::LocalCpy { cycles });
                 }
             }
             Instruction::Send { len, dst_core, .. } => {
@@ -759,6 +904,7 @@ impl Simulator {
                     outcome.hops.max(1),
                 );
                 core.energy.local_memory_pj += self.energy_model.sram.local_read_pj(bytes);
+                recorded = Recorded::Op(TraceOp::Send { dst, bytes, push: true });
             }
             Instruction::Recv { src_core, .. } => {
                 let src = self.cores[index].read_unsigned(src_core) as u32;
@@ -770,10 +916,11 @@ impl Simulator {
                 match queue.pop_front() {
                     Some(message) => {
                         let core = &mut self.cores[index];
-                        core.now =
-                            core.now.max(message.arrival) + local.transfer_cycles(message.bytes);
+                        let local_cycles = local.transfer_cycles(message.bytes);
+                        core.now = core.now.max(message.arrival) + local_cycles;
                         core.energy.local_memory_pj +=
                             self.energy_model.sram.local_write_pj(message.bytes);
+                        recorded = Recorded::Op(TraceOp::Recv { src, local_cycles });
                     }
                     None => {
                         // Stay at this instruction until a message arrives.
@@ -788,6 +935,7 @@ impl Simulator {
                 core.branch_penalty();
                 core.pc = (core.pc as i64 + 1 + i64::from(offset)).max(0) as usize;
                 advance = false;
+                recorded = Recorded::Penalty;
             }
             Instruction::Beq { a, b, offset } | Instruction::Bne { a, b, offset } => {
                 let core = &mut self.cores[index];
@@ -801,6 +949,7 @@ impl Simulator {
                     core.branch_penalty();
                     core.pc = (core.pc as i64 + 1 + i64::from(offset)).max(0) as usize;
                     advance = false;
+                    recorded = Recorded::Penalty;
                 }
             }
             Instruction::Barrier { id } => {
@@ -809,10 +958,12 @@ impl Simulator {
                 core.pc += 1;
                 core.block = BlockReason::Barrier { id };
                 advance = false;
+                recorded = Recorded::Op(TraceOp::Barrier { id });
             }
             Instruction::Halt => {
                 self.cores[index].block = BlockReason::Halted;
                 advance = false;
+                recorded = Recorded::Op(TraceOp::Halt { counted: true });
             }
             Instruction::Nop => {
                 self.cores[index].now += 1;
@@ -833,6 +984,13 @@ impl Simulator {
         *self.dynamic.entry(inst.class()).or_insert(0) += 1;
         if advance {
             core.pc += 1;
+        }
+        if let Some(rec) = &mut self.recorder {
+            match recorded {
+                Recorded::Advance => rec.advance(index),
+                Recorded::Penalty => rec.advance_penalty(index),
+                Recorded::Op(op) => rec.push(index, op),
+            }
         }
         Ok(())
     }

@@ -22,6 +22,14 @@ pub enum SimError {
         /// The limit that was hit.
         limit: u64,
     },
+    /// A design point cannot replay a recorded trace: its configuration
+    /// is invalid or differs in a compile-affecting field. The caller
+    /// should fall back to a full compile + interpretation — the replay
+    /// engine never approximates.
+    TraceMismatch {
+        /// What was incompatible.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -38,6 +46,9 @@ impl fmt::Display for SimError {
             }
             SimError::CycleLimitExceeded { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+            SimError::TraceMismatch { detail } => {
+                write!(f, "design point cannot replay the recorded trace: {detail}")
             }
         }
     }

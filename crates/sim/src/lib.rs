@@ -48,8 +48,12 @@
 mod core;
 mod engine;
 mod error;
+mod replay;
 mod report;
+mod trace;
 
 pub use engine::{HandoffMode, SimOptions, Simulator};
 pub use error::SimError;
+pub use replay::ReplayEngine;
 pub use report::{SimReport, UnitActivity};
+pub use trace::{SimTrace, TraceOp, TracePasses};

@@ -1,0 +1,896 @@
+//! Batched timing-only replay of a recorded [`SimTrace`]: re-times the
+//! invariant per-core op streams for many design points, producing
+//! [`SimReport`]s bit-exact against the interpreter.
+//!
+//! Replay mirrors the interpreter's scheduler *exactly* — the same
+//! smallest-local-time core pick, the same 4096-instruction scheduling
+//! slices (fused [`TraceOp::Advance`] runs split at slice boundaries),
+//! the same barrier-release, chip hand-off and streamed-tile rules —
+//! because mesh contention, port queuing and channel arrival order all
+//! depend on that interleaving. What it *skips* is everything the trace
+//! already resolved: instruction fetch/decode, the register file, and
+//! every energy term that does not depend on timing.
+//!
+//! Points cannot advance op-major in a single synchronized sweep: which
+//! core runs next is itself a timing decision, so two points diverge in
+//! their schedules immediately. "Lockstep" is therefore realized as N
+//! points executing over the one shared immutable trace with
+//! structure-of-arrays per-point state ([`ReplayState`]'s flat clock /
+//! scoreboard / port vectors), allocated once per batch and reset per
+//! point — the allocation-free inner loop is where the throughput comes
+//! from, together with the fused advance runs that retire hundreds of
+//! scalar instructions in one op.
+
+use std::collections::{HashMap, VecDeque};
+
+use cimflow_arch::ArchConfig;
+use cimflow_compiler::STREAM_TILE_BYTES;
+use cimflow_energy::{EnergyBreakdown, EnergyModel};
+use cimflow_noc::{InterChipFabric, Interconnect, Mesh, NocConfig, NocStats};
+
+use crate::core::BlockReason;
+use crate::engine::{HandoffMode, SimOptions, INSTRUCTION_BUDGET, MAX_STREAM_TILES, SLICE};
+use crate::report::{SimReport, UnitActivity};
+use crate::trace::{SimTrace, TraceOp};
+use crate::SimError;
+
+/// Re-times a recorded [`SimTrace`] for timing-only design points.
+///
+/// Every replayed point must share the trace's
+/// [`compile_fingerprint`](ArchConfig::compile_fingerprint); replay
+/// refuses incompatible or invalid configurations with
+/// [`SimError::TraceMismatch`] rather than approximating. Profiling
+/// ([`SimOptions::profile`]) is ignored — attach a tracer to a plain
+/// [`Simulator`](crate::Simulator) run for timelines.
+///
+/// # Example
+///
+/// ```no_run
+/// # use cimflow_sim::{ReplayEngine, Simulator};
+/// # use cimflow_arch::ArchConfig;
+/// # fn demo(compiled: &cimflow_compiler::CompiledProgram) {
+/// let (trace, baseline) = Simulator::record(compiled).unwrap();
+/// let engine = ReplayEngine::new(&trace);
+/// let slow = engine.replay(&compiled.arch.with_frequency_mhz(500), Default::default());
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ReplayEngine<'a> {
+    trace: &'a SimTrace,
+}
+
+impl<'a> ReplayEngine<'a> {
+    /// Creates a replay engine over one recorded trace.
+    pub fn new(trace: &'a SimTrace) -> Self {
+        ReplayEngine { trace }
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &SimTrace {
+        self.trace
+    }
+
+    /// Re-times the trace for one design point.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TraceMismatch`] when `arch` fails validation or its
+    /// compile fingerprint differs from the trace's; the interpreter's
+    /// error conditions ([`SimError::Deadlock`],
+    /// [`SimError::CycleLimitExceeded`]) are mirrored too, though a
+    /// successfully recorded trace cannot reach them.
+    pub fn replay(&self, arch: &ArchConfig, options: SimOptions) -> Result<SimReport, SimError> {
+        let mut state = ReplayState::new(self.trace);
+        self.replay_into(&mut state, arch, options)
+    }
+
+    /// Re-times the trace for a batch of design points, reusing one
+    /// structure-of-arrays state across all of them (no per-point
+    /// allocation beyond the meshes). Each point gets its own result so
+    /// a single incompatible configuration does not poison the batch.
+    pub fn replay_batch(
+        &self,
+        points: &[(ArchConfig, SimOptions)],
+    ) -> Vec<Result<SimReport, SimError>> {
+        let mut state = ReplayState::new(self.trace);
+        points.iter().map(|(arch, options)| self.replay_into(&mut state, arch, *options)).collect()
+    }
+
+    /// One point over caller-provided (reusable) state.
+    fn replay_into(
+        &self,
+        state: &mut ReplayState,
+        arch: &ArchConfig,
+        options: SimOptions,
+    ) -> Result<SimReport, SimError> {
+        if let Err(error) = arch.validate() {
+            return Err(SimError::TraceMismatch { detail: error.to_string() });
+        }
+        if !self.trace.is_compatible(arch) {
+            return Err(SimError::TraceMismatch {
+                detail: format!(
+                    "compile fingerprint {:#018x} differs from the trace's {:#018x} \
+                     (a compile-affecting field changed; recompile instead of replaying)",
+                    arch.compile_fingerprint(),
+                    self.trace.fingerprint
+                ),
+            });
+        }
+        state.reset(self.trace, arch);
+        self.run(state, arch, options)?;
+        Ok(self.finish(state, arch))
+    }
+
+    /// The interpreter's top-level loop over trace ops.
+    fn run(
+        &self,
+        state: &mut ReplayState,
+        arch: &ArchConfig,
+        options: SimOptions,
+    ) -> Result<(), SimError> {
+        let energy = EnergyModel::calibrated_28nm();
+        loop {
+            self.retire_finished_chips(state, arch, &energy);
+            if state.block.iter().all(|b| *b == BlockReason::Halted) {
+                break;
+            }
+            match self.pick_core(state) {
+                Some(core) => self.run_slice(state, core, arch, &energy),
+                None => {
+                    if self.release_barriers(state, arch, &energy, options) {
+                        continue;
+                    }
+                    return Err(self.deadlock(state));
+                }
+            }
+            if state.executed > INSTRUCTION_BUDGET {
+                return Err(SimError::CycleLimitExceeded { limit: INSTRUCTION_BUDGET });
+            }
+        }
+        Ok(())
+    }
+
+    /// Mirror of the interpreter's smallest-local-time runnable pick.
+    fn pick_core(&self, state: &ReplayState) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (i, block) in state.block.iter().enumerate() {
+            if !state.chip_started[i / self.trace.cores_per_chip] {
+                continue;
+            }
+            let runnable = match *block {
+                BlockReason::None => true,
+                BlockReason::Recv { src } => {
+                    state.channels.get(&(src, i as u32)).is_some_and(|q| !q.is_empty())
+                }
+                _ => false,
+            };
+            if runnable {
+                best = match best {
+                    Some(b) if state.now[b] <= state.now[i] => Some(b),
+                    _ => Some(i),
+                };
+            }
+        }
+        best
+    }
+
+    /// Executes up to [`SLICE`] *instructions* (not ops: a fused advance
+    /// run splits at the boundary) on one core.
+    fn run_slice(
+        &self,
+        state: &mut ReplayState,
+        index: usize,
+        arch: &ArchConfig,
+        energy: &EnergyModel,
+    ) {
+        state.block[index] = BlockReason::None;
+        let mut budget = SLICE;
+        while budget > 0 {
+            if state.block[index] != BlockReason::None {
+                break;
+            }
+            budget -= self.step(state, index, budget, arch, energy);
+        }
+    }
+
+    /// Consumes (part of) the core's next trace op; returns the number
+    /// of slice-budget instructions it accounted for (always ≥ 1).
+    fn step(
+        &self,
+        state: &mut ReplayState,
+        index: usize,
+        budget: u64,
+        arch: &ArchConfig,
+        energy: &EnergyModel,
+    ) -> u64 {
+        let trace = self.trace;
+        let Some(&op) = trace.ops[index].get(state.op_idx[index]) else {
+            // Structurally unreachable (every stream ends in `Halt`),
+            // but degrade to a halt rather than walking off the end.
+            state.block[index] = BlockReason::Halted;
+            return 1;
+        };
+        let chip = index / trace.cores_per_chip;
+        let core_id = (index % trace.cores_per_chip) as u32;
+        match op {
+            TraceOp::Advance { insts, penalty } => {
+                let done = state.advance_done[index];
+                let remaining = u64::from(insts - done);
+                let take = remaining.min(budget);
+                state.now[index] += take;
+                if take == remaining {
+                    if penalty {
+                        state.now[index] += 2;
+                    }
+                    state.advance_done[index] = 0;
+                    state.op_idx[index] += 1;
+                } else {
+                    state.advance_done[index] = done + take as u32;
+                }
+                state.executed += take;
+                take
+            }
+            TraceOp::CimMvm { mg, issue, latency } => {
+                let slot = index * trace.macro_groups + mg as usize;
+                let begin = state.now[index].max(state.mg_busy_until[slot]);
+                state.mg_busy_until[slot] = begin + issue;
+                state.mg_acc_ready[slot] = begin + latency;
+                state.now[index] += 1;
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::CimLoad { mg, cycles } => {
+                let slot = index * trace.macro_groups + mg as usize;
+                let begin = state.now[index].max(state.mg_busy_until[slot]);
+                state.mg_busy_until[slot] = begin + cycles;
+                state.mg_acc_ready[slot] = begin + cycles;
+                state.now[index] += 1;
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::CimStoreAcc { mg } => {
+                let slot = index * trace.macro_groups + mg as usize;
+                state.now[index] = state.now[index].max(state.mg_acc_ready[slot]) + 1;
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::Vector { cycles } => {
+                let begin = state.now[index].max(state.vector_busy_until[index]);
+                state.vector_busy_until[index] = begin + cycles;
+                state.now[index] += 1;
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::LocalCpy { cycles } => {
+                state.now[index] += cycles;
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::GlobalCpy { bytes, from_memory, port_cycles } => {
+                let now = state.now[index];
+                let mesh = &mut state.meshes[chip];
+                let outcome = if from_memory {
+                    mesh.transfer_from_memory(core_id, bytes, now)
+                } else {
+                    mesh.transfer_to_memory(core_id, bytes, now)
+                };
+                let port_start = outcome.arrival.max(state.global_port_free[chip]);
+                let completion = port_start + port_cycles;
+                state.global_port_free[chip] = completion;
+                state.now[index] = completion;
+                state.noc_pj[index] += energy.noc.transfer_pj(
+                    outcome.flits,
+                    arch.chip().noc_flit_bytes,
+                    outcome.hops.max(1),
+                );
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::Send { dst, bytes, push } => {
+                let now = state.now[index];
+                let outcome = state.meshes[chip].transfer(core_id, dst, bytes, now);
+                if push {
+                    let dst_global = (chip * trace.cores_per_chip) as u32 + dst;
+                    state
+                        .channels
+                        .entry((index as u32, dst_global))
+                        .or_default()
+                        .push_back(outcome.arrival);
+                }
+                state.now[index] += 1;
+                state.noc_pj[index] += energy.noc.transfer_pj(
+                    outcome.flits,
+                    arch.chip().noc_flit_bytes,
+                    outcome.hops.max(1),
+                );
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::Recv { src, local_cycles } => {
+                let src_global = (chip * trace.cores_per_chip) as u32 + src;
+                let queue = state.channels.entry((src_global, index as u32)).or_default();
+                match queue.pop_front() {
+                    Some(arrival) => {
+                        state.now[index] = state.now[index].max(arrival) + local_cycles;
+                        state.op_idx[index] += 1;
+                        state.executed += 1;
+                        1
+                    }
+                    None => {
+                        // Stay at this op until a message arrives.
+                        state.block[index] = BlockReason::Recv { src: src_global };
+                        1
+                    }
+                }
+            }
+            TraceOp::Barrier { id } => {
+                state.now[index] += 1;
+                state.block[index] = BlockReason::Barrier { id };
+                state.op_idx[index] += 1;
+                state.executed += 1;
+                1
+            }
+            TraceOp::Halt { counted } => {
+                state.block[index] = BlockReason::Halted;
+                if counted {
+                    state.executed += 1;
+                }
+                1
+            }
+        }
+    }
+
+    /// Mirror of the interpreter's finished-chip hand-off pass.
+    fn retire_finished_chips(
+        &self,
+        state: &mut ReplayState,
+        arch: &ArchConfig,
+        energy: &EnergyModel,
+    ) {
+        let trace = self.trace;
+        if trace.chip_count == 1 {
+            return;
+        }
+        for chip in 0..trace.chip_count {
+            let cores = chip * trace.cores_per_chip..(chip + 1) * trace.cores_per_chip;
+            if !state.chip_started[chip]
+                || state.chip_dispatched[chip]
+                || !cores.clone().all(|g| state.block[g] == BlockReason::Halted)
+            {
+                continue;
+            }
+            let cores_done = cores.map(|g| state.now[g]).max().unwrap_or(0);
+            let finish = cores_done.max(state.last_input_landed[chip]);
+            state.chip_finish_time[chip] = finish;
+            state.chip_dispatched[chip] = true;
+            for k in 0..trace.chip_transfers[chip].len() {
+                let index = trace.chip_transfers[chip][k];
+                if state.transfer_dispatched[index] {
+                    continue;
+                }
+                state.transfer_dispatched[index] = true;
+                let transfer = trace.transfers[index];
+                let to = transfer.to_chip as usize;
+                let outcome = state.fabric.transfer(
+                    transfer.from_chip,
+                    transfer.to_chip,
+                    transfer.bytes,
+                    finish,
+                );
+                let port_start = outcome.arrival.max(state.global_port_free[to]);
+                let landed = port_start + arch.chip().global_memory.transfer_cycles(transfer.bytes);
+                state.global_port_free[to] = landed;
+                state.landing_windows[to].push((port_start, landed));
+                state.system_energy.interchip_pj +=
+                    energy.interchip.transfer_pj(transfer.bytes, outcome.hops);
+                state.system_energy.global_memory_pj += energy.sram.global_pj(transfer.bytes);
+                state.chip_ready[to] = state.chip_ready[to].max(landed);
+                state.last_input_landed[to] = state.last_input_landed[to].max(landed);
+                state.incoming_remaining[to] -= 1;
+            }
+        }
+        self.start_ready_chips(state);
+    }
+
+    /// Mirror of the interpreter's chip-start gate.
+    fn start_ready_chips(&self, state: &mut ReplayState) {
+        for chip in 0..self.trace.chip_count {
+            if state.chip_started[chip] || state.incoming_remaining[chip] != 0 {
+                continue;
+            }
+            state.chip_started[chip] = true;
+            state.chip_start_time[chip] = state.chip_ready[chip];
+            for g in chip * self.trace.cores_per_chip..(chip + 1) * self.trace.cores_per_chip {
+                state.now[g] = state.chip_ready[chip];
+            }
+        }
+    }
+
+    /// Mirror of the interpreter's per-stage streamed hand-off.
+    fn stream_stage_transfers(
+        &self,
+        state: &mut ReplayState,
+        arch: &ArchConfig,
+        energy: &EnergyModel,
+        chip: usize,
+        ordinal: usize,
+        end: u64,
+    ) {
+        let trace = self.trace;
+        if trace.chip_count == 1 {
+            return;
+        }
+        let window_start = state.barrier_release[chip]
+            .get(&((ordinal * 2) as u16))
+            .copied()
+            .unwrap_or(state.chip_start_time[chip])
+            .min(end);
+        for k in 0..trace.chip_transfers[chip].len() {
+            let index = trace.chip_transfers[chip][k];
+            if state.transfer_dispatched[index] || trace.transfers[index].stage != Some(ordinal) {
+                continue;
+            }
+            state.transfer_dispatched[index] = true;
+            self.dispatch_streamed(state, arch, energy, index, window_start, end);
+        }
+        self.start_ready_chips(state);
+    }
+
+    /// Mirror of the interpreter's tile-granular dispatch.
+    fn dispatch_streamed(
+        &self,
+        state: &mut ReplayState,
+        arch: &ArchConfig,
+        energy: &EnergyModel,
+        index: usize,
+        start: u64,
+        end: u64,
+    ) {
+        let transfer = self.trace.transfers[index];
+        let to = transfer.to_chip as usize;
+        let tile = STREAM_TILE_BYTES.max(transfer.bytes.div_ceil(MAX_STREAM_TILES));
+        let tiles = transfer.bytes.div_ceil(tile).max(1);
+        let span = end.saturating_sub(start);
+        let mut remaining = transfer.bytes;
+        let mut first_landed = end;
+        let mut last_landed = end;
+        for i in 0..tiles {
+            let size = remaining.min(tile);
+            remaining -= size;
+            let available = start + (span * (i + 1)) / tiles;
+            let outcome =
+                state.fabric.transfer(transfer.from_chip, transfer.to_chip, size, available);
+            let port_start = outcome.arrival.max(state.global_port_free[to]);
+            let landed = port_start + arch.chip().global_memory.transfer_cycles(size);
+            state.global_port_free[to] = landed;
+            state.landing_windows[to].push((port_start, landed));
+            state.system_energy.interchip_pj += energy.interchip.transfer_pj(size, outcome.hops);
+            state.system_energy.global_memory_pj += energy.sram.global_pj(size);
+            if i == 0 {
+                first_landed = landed;
+            }
+            last_landed = landed;
+        }
+        state.chip_ready[to] = state.chip_ready[to].max(first_landed);
+        state.last_input_landed[to] = state.last_input_landed[to].max(last_landed);
+        state.incoming_remaining[to] -= 1;
+    }
+
+    /// Mirror of the interpreter's barrier-release sweep.
+    fn release_barriers(
+        &self,
+        state: &mut ReplayState,
+        arch: &ArchConfig,
+        energy: &EnergyModel,
+        options: SimOptions,
+    ) -> bool {
+        let mut released = false;
+        for chip in 0..self.trace.chip_count {
+            if state.chip_started[chip] {
+                released |= self.release_barrier(state, arch, energy, options, chip);
+            }
+        }
+        released
+    }
+
+    /// Mirror of the interpreter's per-chip barrier release.
+    fn release_barrier(
+        &self,
+        state: &mut ReplayState,
+        arch: &ArchConfig,
+        energy: &EnergyModel,
+        options: SimOptions,
+        chip: usize,
+    ) -> bool {
+        let cores = chip * self.trace.cores_per_chip..(chip + 1) * self.trace.cores_per_chip;
+        let mut waiting: Vec<(usize, u16)> = Vec::new();
+        for i in cores.clone() {
+            match state.block[i] {
+                BlockReason::Barrier { id } => waiting.push((i, id)),
+                BlockReason::Halted => {}
+                _ => return false,
+            }
+        }
+        if waiting.is_empty() {
+            return false;
+        }
+        let min_id = waiting.iter().map(|(_, id)| *id).min().expect("non-empty");
+        let members: Vec<usize> =
+            waiting.iter().filter(|(_, id)| *id == min_id).map(|(i, _)| *i).collect();
+        let halted = cores.filter(|i| state.block[*i] == BlockReason::Halted).count();
+        if members.len() + halted != self.trace.cores_per_chip {
+            return false;
+        }
+        let release = members.iter().map(|i| state.now[*i]).max().unwrap_or(0) + 1;
+        for i in members {
+            state.now[i] = release;
+            state.block[i] = BlockReason::None;
+        }
+        state.barrier_release[chip].insert(min_id, release);
+        if min_id % 2 == 1 {
+            let ordinal = (min_id as usize - 1) / 2;
+            if options.handoff == HandoffMode::TileStreaming {
+                self.stream_stage_transfers(state, arch, energy, chip, ordinal, release);
+            }
+        }
+        true
+    }
+
+    fn deadlock(&self, state: &ReplayState) -> SimError {
+        let mut recv = Vec::new();
+        let mut barrier = Vec::new();
+        for (i, block) in state.block.iter().enumerate() {
+            match block {
+                BlockReason::Recv { .. } => recv.push(i as u32),
+                BlockReason::Barrier { .. } => barrier.push(i as u32),
+                _ => {}
+            }
+        }
+        SimError::Deadlock { blocked_on_recv: recv, blocked_on_barrier: barrier }
+    }
+
+    /// Mirror of the interpreter's report assembly, substituting the
+    /// recorded invariants where timing cannot reach.
+    fn finish(&self, state: &mut ReplayState, arch: &ArchConfig) -> SimReport {
+        let trace = self.trace;
+        let energy_model = EnergyModel::calibrated_28nm();
+        let total_cycles = state
+            .now
+            .iter()
+            .copied()
+            .chain(state.last_input_landed.iter().copied())
+            .chain(state.chip_finish_time.iter().copied())
+            .max()
+            .unwrap_or(0)
+            .max(1);
+        let mut energy = EnergyBreakdown::new();
+        for (i, inv) in trace.core_invariants.iter().enumerate() {
+            let core_energy = EnergyBreakdown {
+                compute_pj: inv.compute_pj,
+                local_memory_pj: inv.local_memory_pj,
+                noc_pj: state.noc_pj[i],
+                global_memory_pj: inv.global_memory_pj,
+                control_pj: inv.control_pj,
+                ..EnergyBreakdown::new()
+            };
+            energy.accumulate(&core_energy);
+        }
+        energy.accumulate(&state.system_energy);
+        energy.accumulate(&energy_model.static_energy(arch, total_cycles));
+
+        let mg_per_core = arch.core.cim_unit.macro_groups.max(1) as f64;
+        let core_utilization: Vec<f64> = trace
+            .core_invariants
+            .iter()
+            .map(|inv| (inv.mg_busy_cycles as f64 / mg_per_core / total_cycles as f64).min(1.0))
+            .collect();
+        let cim_busy: u64 = trace.core_invariants.iter().map(|inv| inv.mg_busy_cycles).sum();
+        let vector_busy: u64 = trace.core_invariants.iter().map(|inv| inv.vector_busy_cycles).sum();
+
+        let chip_finish: Vec<u64> = (0..trace.chip_count)
+            .map(|chip| {
+                if state.chip_dispatched[chip] {
+                    state.chip_finish_time[chip]
+                } else {
+                    (chip * trace.cores_per_chip..(chip + 1) * trace.cores_per_chip)
+                        .map(|g| state.now[g])
+                        .max()
+                        .unwrap_or(0)
+                        .max(state.last_input_landed[chip])
+                }
+            })
+            .collect();
+        let chip_cycles: Vec<u64> = chip_finish
+            .iter()
+            .zip(&state.chip_start_time)
+            .map(|(finish, start)| finish.saturating_sub(*start))
+            .collect();
+        let chip_stall_cycles: Vec<u64> = (0..trace.chip_count)
+            .map(|chip| {
+                let (start, finish) = (state.chip_start_time[chip], chip_finish[chip]);
+                state.landing_windows[chip]
+                    .iter()
+                    .map(|(from, to)| to.min(&finish).saturating_sub(*from.max(&start)))
+                    .sum()
+            })
+            .collect();
+        let chip_overlap_cycles: Vec<u64> = (0..trace.chip_count)
+            .map(|chip| {
+                state.last_input_landed[chip]
+                    .min(chip_finish[chip])
+                    .saturating_sub(state.chip_start_time[chip])
+            })
+            .collect();
+
+        let mut noc = NocStats::default();
+        for mesh in &state.meshes {
+            noc.merge(mesh.stats());
+        }
+
+        let mut report = SimReport {
+            total_cycles,
+            energy,
+            dynamic_instructions: trace.dynamic_instructions.clone(),
+            cim_activity: UnitActivity { busy_cycles: cim_busy, operations: trace.cim_ops },
+            vector_activity: UnitActivity {
+                busy_cycles: vector_busy,
+                operations: trace.vector_ops,
+            },
+            noc,
+            interchip: state.fabric.stats().clone(),
+            core_utilization,
+            chip_cycles,
+            chip_stall_cycles,
+            chip_overlap_cycles,
+            total_macs: trace.total_macs,
+            frequency_mhz: 0,
+            chip_count: 0,
+        };
+        report.attach_arch(arch);
+        report
+    }
+}
+
+/// Structure-of-arrays per-point timing state, allocated once per batch
+/// and reset per point. Everything timing-dependent lives here; the
+/// shared [`SimTrace`] stays immutable.
+#[derive(Debug)]
+struct ReplayState {
+    /// Per core: local clock.
+    now: Vec<u64>,
+    /// Per core: next op in its stream.
+    op_idx: Vec<usize>,
+    /// Per core: instructions consumed of a partially-split advance run.
+    advance_done: Vec<u32>,
+    /// Per core: scheduler block state.
+    block: Vec<BlockReason>,
+    /// Per core: vector-unit busy-until.
+    vector_busy_until: Vec<u64>,
+    /// Per core: point-dependent NoC energy (routing distance varies
+    /// with the memory-port placement).
+    noc_pj: Vec<f64>,
+    /// Core-major flattened macro-group busy-until scoreboard.
+    mg_busy_until: Vec<u64>,
+    /// Core-major flattened accumulator-ready scoreboard.
+    mg_acc_ready: Vec<u64>,
+    /// Per chip: hand-off bookkeeping (mirrors the interpreter's).
+    chip_started: Vec<bool>,
+    chip_dispatched: Vec<bool>,
+    chip_ready: Vec<u64>,
+    chip_start_time: Vec<u64>,
+    chip_finish_time: Vec<u64>,
+    incoming_remaining: Vec<usize>,
+    last_input_landed: Vec<u64>,
+    /// Per chip: the shared global-memory port's free time (used both by
+    /// `GlobalCpy` ops and by landing cut activations — one port).
+    global_port_free: Vec<u64>,
+    barrier_release: Vec<HashMap<u16, u64>>,
+    landing_windows: Vec<Vec<(u64, u64)>>,
+    transfer_dispatched: Vec<bool>,
+    /// In-flight messages per (global sender, global receiver): arrival
+    /// cycles only — byte counts are invariant and pre-resolved into the
+    /// receiving op.
+    channels: HashMap<(u32, u32), VecDeque<u64>>,
+    meshes: Vec<Mesh>,
+    fabric: InterChipFabric,
+    system_energy: EnergyBreakdown,
+    executed: u64,
+}
+
+impl ReplayState {
+    fn new(trace: &SimTrace) -> Self {
+        let cores = trace.ops.len();
+        let chips = trace.chip_count;
+        ReplayState {
+            now: vec![0; cores],
+            op_idx: vec![0; cores],
+            advance_done: vec![0; cores],
+            block: vec![BlockReason::None; cores],
+            vector_busy_until: vec![0; cores],
+            noc_pj: vec![0.0; cores],
+            mg_busy_until: vec![0; cores * trace.macro_groups],
+            mg_acc_ready: vec![0; cores * trace.macro_groups],
+            chip_started: vec![false; chips],
+            chip_dispatched: vec![false; chips],
+            chip_ready: vec![0; chips],
+            chip_start_time: vec![0; chips],
+            chip_finish_time: vec![0; chips],
+            incoming_remaining: vec![0; chips],
+            last_input_landed: vec![0; chips],
+            global_port_free: vec![0; chips],
+            barrier_release: vec![HashMap::new(); chips],
+            landing_windows: vec![Vec::new(); chips],
+            transfer_dispatched: vec![false; trace.transfers.len()],
+            channels: HashMap::new(),
+            meshes: Vec::new(),
+            fabric: InterChipFabric::new(cimflow_noc::InterChipConfig::point_to_point(
+                chips as u32,
+                1,
+                0,
+            )),
+            system_energy: EnergyBreakdown::new(),
+            executed: 0,
+        }
+    }
+
+    /// Re-arms the state for one design point.
+    fn reset(&mut self, trace: &SimTrace, arch: &ArchConfig) {
+        self.now.fill(0);
+        self.op_idx.fill(0);
+        self.advance_done.fill(0);
+        self.block.fill(BlockReason::None);
+        self.vector_busy_until.fill(0);
+        self.noc_pj.fill(0.0);
+        self.mg_busy_until.fill(0);
+        self.mg_acc_ready.fill(0);
+        self.chip_dispatched.fill(false);
+        self.chip_ready.fill(0);
+        self.chip_start_time.fill(0);
+        self.chip_finish_time.fill(0);
+        self.last_input_landed.fill(0);
+        self.global_port_free.fill(0);
+        for map in &mut self.barrier_release {
+            map.clear();
+        }
+        for windows in &mut self.landing_windows {
+            windows.clear();
+        }
+        self.transfer_dispatched.fill(false);
+        self.channels.clear();
+        self.incoming_remaining.fill(0);
+        for transfer in &trace.transfers {
+            self.incoming_remaining[transfer.to_chip as usize] += 1;
+        }
+        for (chip, started) in self.chip_started.iter_mut().enumerate() {
+            *started = self.incoming_remaining[chip] == 0;
+        }
+        let noc_config = NocConfig {
+            width: arch.chip().mesh.width,
+            height: arch.chip().mesh.height,
+            flit_bytes: arch.chip().noc_flit_bytes,
+            hop_latency: arch.chip().noc_hop_latency,
+            memory_port: arch.chip().memory_port,
+        };
+        self.meshes.clear();
+        self.meshes.extend((0..trace.chip_count).map(|_| Mesh::new(noc_config)));
+        let link = &arch.system.interconnect;
+        self.fabric = InterChipFabric::new(cimflow_noc::InterChipConfig {
+            chips: trace.chip_count as u32,
+            link_bytes: link.link_bytes_per_cycle,
+            link_latency: link.link_latency_cycles,
+            ring: link.topology == cimflow_arch::InterChipTopology::Ring,
+        });
+        self.system_energy = EnergyBreakdown::new();
+        self.executed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulator;
+    use cimflow_compiler::{compile, Strategy};
+    use cimflow_nn::models;
+
+    #[test]
+    fn recording_does_not_perturb_the_report() {
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&models::mobilenet_v2(32), &arch, Strategy::DpOptimized).unwrap();
+        let plain = Simulator::new(&compiled).run().unwrap();
+        let (trace, recorded) = Simulator::record(&compiled).unwrap();
+        assert_eq!(plain, recorded);
+        assert!(trace.op_count() > 0);
+        assert!(trace.passes().fused_instructions > 0, "scalar runs fuse");
+        assert!(
+            (trace.op_count() as u64) < trace.instruction_count(),
+            "the trace is denser than the dynamic stream"
+        );
+    }
+
+    #[test]
+    fn replay_of_the_recording_point_is_bit_exact() {
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&models::resnet18(32), &arch, Strategy::DpOptimized).unwrap();
+        let (trace, baseline) = Simulator::record(&compiled).unwrap();
+        let replayed = ReplayEngine::new(&trace).replay(&arch, SimOptions::default()).unwrap();
+        assert_eq!(baseline, replayed);
+    }
+
+    #[test]
+    fn replay_retimes_timing_only_points_bit_exactly() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        let compiled = compile(&model, &base, Strategy::DpOptimized).unwrap();
+        let (trace, _) = Simulator::record(&compiled).unwrap();
+        let engine = ReplayEngine::new(&trace);
+        for point in [base.with_frequency_mhz(500), base.with_memory_port(27)] {
+            // The ground truth: a fresh compile + interpretation at the
+            // point's own configuration.
+            let recompiled = compile(&model, &point, Strategy::DpOptimized).unwrap();
+            let interpreted = Simulator::new(&recompiled).run().unwrap();
+            let replayed = engine.replay(&point, SimOptions::default()).unwrap();
+            assert_eq!(interpreted, replayed);
+        }
+    }
+
+    #[test]
+    fn multichip_replay_matches_in_both_handoff_modes() {
+        let arch = ArchConfig::paper_default().with_chip_count(2);
+        let model = models::vgg19(32);
+        let compiled = compile(&model, &arch, Strategy::DpOptimized).unwrap();
+        let (trace, _) = Simulator::record(&compiled).unwrap();
+        let engine = ReplayEngine::new(&trace);
+        for handoff in [HandoffMode::TileStreaming, HandoffMode::AtRetirement] {
+            let options = SimOptions { handoff, ..SimOptions::default() };
+            let interpreted = Simulator::with_options(&compiled, options).run().unwrap();
+            let replayed = engine.replay(&arch, options).unwrap();
+            assert_eq!(interpreted, replayed, "handoff {handoff:?}");
+        }
+    }
+
+    #[test]
+    fn replay_refuses_incompatible_and_invalid_points() {
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&models::mobilenet_v2(32), &arch, Strategy::DpOptimized).unwrap();
+        let (trace, _) = Simulator::record(&compiled).unwrap();
+        let engine = ReplayEngine::new(&trace);
+        // Compile-affecting change: must recompile, not replay.
+        let err =
+            engine.replay(&arch.with_macros_per_group(16), SimOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::TraceMismatch { .. }), "{err}");
+        // Invalid point (memory port outside the mesh): replay skips the
+        // compiler's validation path, so it must validate itself.
+        let err = engine.replay(&arch.with_memory_port(4096), SimOptions::default()).unwrap_err();
+        assert!(matches!(err, SimError::TraceMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn batch_replay_reuses_state_without_cross_talk() {
+        let base = ArchConfig::paper_default();
+        let compiled = compile(&models::resnet18(32), &base, Strategy::DpOptimized).unwrap();
+        let (trace, baseline) = Simulator::record(&compiled).unwrap();
+        let points = vec![
+            (base, SimOptions::default()),
+            (base.with_frequency_mhz(500), SimOptions::default()),
+            (base.with_macros_per_group(16), SimOptions::default()), // incompatible
+            (base, SimOptions::default()),
+        ];
+        let results = ReplayEngine::new(&trace).replay_batch(&points);
+        assert_eq!(results.len(), 4);
+        assert_eq!(*results[0].as_ref().unwrap(), baseline);
+        assert!(results[1].is_ok());
+        assert!(matches!(results[2], Err(SimError::TraceMismatch { .. })));
+        assert_eq!(
+            *results[3].as_ref().unwrap(),
+            baseline,
+            "a failed point must not poison the reused state"
+        );
+    }
+}

@@ -1,0 +1,419 @@
+//! The simulation trace IR: one recording run of the interpreter lowered
+//! into flat, typed per-core op streams that a [`ReplayEngine`](crate::ReplayEngine) can
+//! re-time for many design points without re-interpreting (or even
+//! re-compiling) the program.
+//!
+//! # Why a trace is re-timable at all
+//!
+//! The interpreter's per-core dynamic instruction stream is fully
+//! determined by the program and the register file: no instruction ever
+//! writes a register from *timing* (cycle counts) or from message
+//! *content*. Branch directions, row/length operands, addresses and
+//! send/recv peers all come from registers, so two simulations of the
+//! same [`CompiledProgram`](cimflow_compiler::CompiledProgram) execute
+//! byte-identical per-core op sequences regardless of mesh latencies,
+//! memory-port placement, clock frequency or hand-off mode — only the
+//! *times* at which the ops happen differ. A [`SimTrace`] is that
+//! invariant sequence with every register-derived operand resolved
+//! (rows → issue/latency cycles, lengths → byte counts), so replay needs
+//! neither a register file nor instruction decode.
+//!
+//! Which [`ArchConfig`] fields may vary across the points replaying one
+//! trace is exactly the contract of
+//! [`ArchConfig::compile_fingerprint`]: two configurations replay the
+//! same trace iff their fingerprints are equal. [`ReplayEngine::replay`](crate::ReplayEngine::replay)
+//! enforces this and refuses mismatching points instead of approximating.
+//!
+//! # What is recorded vs recomputed
+//!
+//! Per-core energy that only depends on the op stream (compute, local
+//! and global memory, control) is accumulated in program order during
+//! recording and stored as final `f64` values — replay reuses them
+//! bitwise. NoC energy depends on routing distance (the memory-port
+//! node is timing-only), so replay re-accumulates it per point from its
+//! own mesh outcomes, in the same program order the interpreter would.
+//! Everything that is genuinely timing-dependent — clocks, port queues,
+//! barrier releases, inter-chip landings, mesh/fabric statistics — is
+//! recomputed per point by the replay engine with the interpreter's
+//! exact rules.
+//!
+//! # Trace passes
+//!
+//! Recording itself performs *advance fusion*: runs of single-cycle
+//! instructions (scalar ALU ops, nops, not-taken branches), optionally
+//! terminated by one taken branch, collapse into one splittable
+//! [`TraceOp::Advance`] — the bulk of the op-count reduction, since
+//! control and scalar instructions dominate the dynamic mix. A
+//! post-pass elides dead channel pushes (a `Send` whose message no
+//! `Recv` ever pops keeps its mesh transfer but skips the queue push).
+//! Two passes named in the design were evaluated and rejected as **not
+//! timing-neutral**: coalescing adjacent inter-chip tiles would change
+//! the fabric's packet count and per-packet head latencies, and folding
+//! back-to-back barriers would drop a synchronization point that costs
+//! one cycle and a release re-alignment — either would break bit-exact
+//! equality with the interpreter, which this IR never trades away.
+
+use std::collections::BTreeMap;
+
+use cimflow_arch::ArchConfig;
+
+/// One timing-relevant operation of a core's recorded stream.
+///
+/// Operand values that the interpreter read from registers arrive here
+/// pre-resolved into cycle costs or byte counts using the
+/// compile-affecting (hence trace-invariant) architecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A fused run of `insts` single-cycle instructions (scalars, nops,
+    /// not-taken branches). With `penalty`, the final instruction is a
+    /// taken branch or jump and costs the 2-cycle squash on top of its
+    /// issue cycle. The run is splittable at instruction granularity so
+    /// replay can honor the interpreter's scheduling-slice boundaries
+    /// exactly: consuming `m < insts` instructions costs `m` cycles, and
+    /// the penalty lands only with the last instruction.
+    Advance {
+        /// Number of fused instructions.
+        insts: u32,
+        /// Whether the final instruction pays the taken-branch penalty.
+        penalty: bool,
+    },
+    /// A CIM matrix-vector multiply: occupies macro group `mg` for
+    /// `issue` cycles with the accumulator ready after `latency`.
+    CimMvm {
+        /// Resolved (modulo group count) macro-group index.
+        mg: u32,
+        /// Issue occupancy in cycles.
+        issue: u64,
+        /// Result latency in cycles.
+        latency: u64,
+    },
+    /// A CIM weight load occupying macro group `mg` for `cycles`.
+    CimLoad {
+        /// Resolved macro-group index.
+        mg: u32,
+        /// Load occupancy in cycles.
+        cycles: u64,
+    },
+    /// Drains macro group `mg`'s accumulator (waits for `acc_ready`).
+    CimStoreAcc {
+        /// Resolved macro-group index.
+        mg: u32,
+    },
+    /// A vector-unit operation occupying the unit for `cycles`.
+    Vector {
+        /// Unit occupancy in cycles.
+        cycles: u64,
+    },
+    /// A local-to-local memory copy advancing the core by `cycles`.
+    LocalCpy {
+        /// Copy duration in cycles.
+        cycles: u64,
+    },
+    /// A global-memory transaction over the mesh and the shared memory
+    /// port.
+    GlobalCpy {
+        /// Transferred bytes (the mesh packet size).
+        bytes: u64,
+        /// Direction: `true` reads from global memory, `false` writes.
+        from_memory: bool,
+        /// Port occupancy in cycles (`global_memory.transfer_cycles`).
+        port_cycles: u64,
+    },
+    /// A message send to chip-local core `dst` over the mesh.
+    Send {
+        /// Chip-local destination core.
+        dst: u32,
+        /// Message bytes (the mesh packet size).
+        bytes: u64,
+        /// Whether the message is ever received; dead pushes are elided
+        /// by the trace pass (the mesh transfer itself always happens).
+        push: bool,
+    },
+    /// A *successful* message receive (blocked attempts are a scheduler
+    /// condition, not an op; replay re-evaluates them per point).
+    Recv {
+        /// Chip-local source core.
+        src: u32,
+        /// Cycles to copy the message into local memory.
+        local_cycles: u64,
+    },
+    /// A barrier arrival.
+    Barrier {
+        /// Barrier identifier.
+        id: u16,
+    },
+    /// End of the core's stream. `counted` distinguishes an explicit
+    /// `Halt` instruction (which the interpreter counts and charges
+    /// issue energy for) from running past the end of the program
+    /// (which it does not); both are timing-identical.
+    Halt {
+        /// Whether the halt was a counted instruction.
+        counted: bool,
+    },
+}
+
+/// The timing-invariant final state of one core: unit busy totals and
+/// the energy components whose accumulation never depends on timing.
+/// Recorded once, reused bitwise by every replayed point.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CoreInvariants {
+    /// Summed macro-group busy cycles (utilization numerator).
+    pub mg_busy_cycles: u64,
+    /// Vector-unit busy cycles.
+    pub vector_busy_cycles: u64,
+    /// Final compute energy in pJ.
+    pub compute_pj: f64,
+    /// Final local-memory energy in pJ.
+    pub local_memory_pj: f64,
+    /// Final global-memory energy in pJ.
+    pub global_memory_pj: f64,
+    /// Final control (issue + scalar) energy in pJ.
+    pub control_pj: f64,
+}
+
+/// One inter-chip cut transfer of the system plan, as the replay engine
+/// needs it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceTransfer {
+    /// Producing chip.
+    pub from_chip: u32,
+    /// Consuming chip.
+    pub to_chip: u32,
+    /// Cut activation bytes.
+    pub bytes: u64,
+    /// Chip-local stage ordinal of the producer (streaming hand-off).
+    pub stage: Option<usize>,
+}
+
+/// Statistics of the recording-time trace passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TracePasses {
+    /// Dynamic instructions fused into [`TraceOp::Advance`] runs.
+    pub fused_instructions: u64,
+    /// `Send` ops whose channel push was elided as dead (never popped).
+    pub elided_sends: u64,
+}
+
+/// A recorded simulation trace: the flat, typed per-core op streams of
+/// one `(model, strategy, search, chip_count)` compile plus the
+/// timing-invariant totals of its run. Produced by
+/// [`Simulator::record`](crate::Simulator::record); consumed by
+/// [`ReplayEngine`](crate::ReplayEngine).
+///
+/// A trace is valid for any [`SimOptions`](crate::SimOptions): the op
+/// streams do not depend on the hand-off mode (only the engine-side
+/// dispatch logic, which replay re-runs per point, does) and profiling
+/// never affects timing.
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    /// The recording configuration (all compile-affecting fields are
+    /// shared with every replayable point by construction).
+    pub(crate) arch: ArchConfig,
+    /// `arch.compile_fingerprint()` — the share/compatibility key.
+    pub(crate) fingerprint: u64,
+    /// Cores per chip.
+    pub(crate) cores_per_chip: usize,
+    /// Chips in the system.
+    pub(crate) chip_count: usize,
+    /// Macro groups per core (for scoreboard sizing / index resolution).
+    pub(crate) macro_groups: usize,
+    /// Per-core op streams, chip-major like the interpreter's cores.
+    pub(crate) ops: Vec<Vec<TraceOp>>,
+    /// The system plan's inter-chip transfers.
+    pub(crate) transfers: Vec<TraceTransfer>,
+    /// Per producing chip: indices into `transfers`, ascending.
+    pub(crate) chip_transfers: Vec<Vec<usize>>,
+    /// Timing-invariant report material.
+    pub(crate) dynamic_instructions: BTreeMap<String, u64>,
+    /// Total CIM operations.
+    pub(crate) cim_ops: u64,
+    /// Total vector elements processed.
+    pub(crate) vector_ops: u64,
+    /// Workload MACs.
+    pub(crate) total_macs: u64,
+    /// Total counted dynamic instructions.
+    pub(crate) executed: u64,
+    /// Per-core invariant totals.
+    pub(crate) core_invariants: Vec<CoreInvariants>,
+    /// Pass statistics.
+    pub(crate) passes: TracePasses,
+}
+
+impl SimTrace {
+    /// The compile fingerprint this trace was recorded under; a point
+    /// replays iff its [`ArchConfig::compile_fingerprint`] matches.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of chips the trace spans.
+    pub fn chip_count(&self) -> usize {
+        self.chip_count
+    }
+
+    /// Total trace ops across all cores (after fusion).
+    pub fn op_count(&self) -> usize {
+        self.ops.iter().map(Vec::len).sum()
+    }
+
+    /// Dynamic instructions the recording run executed — the work one
+    /// interpreter pass performs that each replay pass avoids
+    /// re-decoding.
+    pub fn instruction_count(&self) -> u64 {
+        self.executed
+    }
+
+    /// Statistics of the recording-time trace passes.
+    pub fn passes(&self) -> TracePasses {
+        self.passes
+    }
+
+    /// Whether `arch` can replay this trace: every compile-affecting
+    /// field equal (fingerprint match). Timing-only fields are free to
+    /// differ — that is the point.
+    pub fn is_compatible(&self, arch: &ArchConfig) -> bool {
+        arch.compile_fingerprint() == self.fingerprint
+    }
+
+    /// The configuration the trace was recorded under.
+    pub fn recorded_arch(&self) -> &ArchConfig {
+        &self.arch
+    }
+}
+
+/// The recording hook the interpreter drives: builds per-core op
+/// streams with advance fusion as instructions execute.
+#[derive(Debug)]
+pub(crate) struct TraceRecorder {
+    /// Per-core op streams under construction.
+    pub(crate) ops: Vec<Vec<TraceOp>>,
+    /// Per core: single-cycle instructions awaiting fusion.
+    pending: Vec<u32>,
+    /// Instructions fused into `Advance` runs so far.
+    fused: u64,
+}
+
+impl TraceRecorder {
+    pub(crate) fn new(cores: usize) -> Self {
+        TraceRecorder { ops: vec![Vec::new(); cores], pending: vec![0; cores], fused: 0 }
+    }
+
+    /// Records one single-cycle instruction (fused lazily).
+    pub(crate) fn advance(&mut self, core: usize) {
+        self.pending[core] += 1;
+    }
+
+    /// Records a taken branch / jump: one instruction plus the 2-cycle
+    /// penalty, terminating the current fused run.
+    pub(crate) fn advance_penalty(&mut self, core: usize) {
+        self.pending[core] += 1;
+        let insts = std::mem::take(&mut self.pending[core]);
+        self.fused += u64::from(insts);
+        self.ops[core].push(TraceOp::Advance { insts, penalty: true });
+    }
+
+    /// Records a non-fusible op, flushing any pending fused run first.
+    pub(crate) fn push(&mut self, core: usize, op: TraceOp) {
+        self.flush(core);
+        self.ops[core].push(op);
+    }
+
+    /// Flushes the pending fused run of one core.
+    pub(crate) fn flush(&mut self, core: usize) {
+        let insts = std::mem::take(&mut self.pending[core]);
+        if insts > 0 {
+            self.fused += u64::from(insts);
+            self.ops[core].push(TraceOp::Advance { insts, penalty: false });
+        }
+    }
+
+    /// Finalizes the streams: flushes every core and runs the
+    /// dead-channel-push elision pass. Returns the streams and the pass
+    /// statistics.
+    pub(crate) fn finish(mut self, cores_per_chip: usize) -> (Vec<Vec<TraceOp>>, TracePasses) {
+        for core in 0..self.ops.len() {
+            self.flush(core);
+        }
+        let elided = elide_dead_pushes(&mut self.ops, cores_per_chip);
+        (self.ops, TracePasses { fused_instructions: self.fused, elided_sends: elided })
+    }
+}
+
+/// Marks `push: false` on every `Send` whose message is never popped by
+/// a matching `Recv`. Channels are single-writer single-reader FIFOs
+/// keyed by (global sender, global receiver): the k-th pop always takes
+/// the k-th push regardless of arrival times, so any push past the
+/// reader's total pop count is dead for every replayed point. The mesh
+/// transfer (timing + energy) is kept — only the queue push goes.
+fn elide_dead_pushes(ops: &mut [Vec<TraceOp>], cores_per_chip: usize) -> u64 {
+    let mut recvs: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    for (receiver, stream) in ops.iter().enumerate() {
+        let chip_base = (receiver / cores_per_chip * cores_per_chip) as u32;
+        for op in stream {
+            if let TraceOp::Recv { src, .. } = op {
+                *recvs.entry((chip_base + src, receiver as u32)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut elided = 0;
+    for (sender, stream) in ops.iter_mut().enumerate() {
+        let chip_base = (sender / cores_per_chip * cores_per_chip) as u32;
+        let mut sent: BTreeMap<u32, u64> = BTreeMap::new();
+        for op in stream {
+            if let TraceOp::Send { dst, push, .. } = op {
+                let key = (sender as u32, chip_base + *dst);
+                let seq = sent.entry(*dst).or_insert(0);
+                *seq += 1;
+                if *seq > recvs.get(&key).copied().unwrap_or(0) {
+                    *push = false;
+                    elided += 1;
+                }
+            }
+        }
+    }
+    elided
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_fusion_splits_on_non_fusible_ops_and_penalties() {
+        let mut rec = TraceRecorder::new(1);
+        rec.advance(0);
+        rec.advance(0);
+        rec.advance_penalty(0);
+        rec.advance(0);
+        rec.push(0, TraceOp::Barrier { id: 3 });
+        rec.push(0, TraceOp::Halt { counted: true });
+        let (ops, passes) = rec.finish(1);
+        assert_eq!(
+            ops[0],
+            vec![
+                TraceOp::Advance { insts: 3, penalty: true },
+                TraceOp::Advance { insts: 1, penalty: false },
+                TraceOp::Barrier { id: 3 },
+                TraceOp::Halt { counted: true },
+            ]
+        );
+        assert_eq!(passes.fused_instructions, 4);
+    }
+
+    #[test]
+    fn dead_sends_lose_their_push_but_stay_in_the_stream() {
+        // Core 0 sends twice to core 1, which receives only once: the
+        // second push is dead; the op (and its mesh transfer) remains.
+        let mut ops = vec![
+            vec![
+                TraceOp::Send { dst: 1, bytes: 64, push: true },
+                TraceOp::Send { dst: 1, bytes: 64, push: true },
+            ],
+            vec![TraceOp::Recv { src: 0, local_cycles: 2 }],
+        ];
+        let elided = elide_dead_pushes(&mut ops, 2);
+        assert_eq!(elided, 1);
+        assert_eq!(ops[0][0], TraceOp::Send { dst: 1, bytes: 64, push: true });
+        assert_eq!(ops[0][1], TraceOp::Send { dst: 1, bytes: 64, push: false });
+    }
+}
