@@ -79,6 +79,7 @@ fn grid_jobs(
                 mg_size: u64::from(mg),
                 frequency_mhz: u64::from(base.chip().frequency_mhz),
                 memory_port: u64::from(base.chip().memory_port),
+                offered_qps: 0,
             };
             jobs.push(Job::from_model(spec, arch, Arc::clone(model)));
         }

@@ -72,7 +72,7 @@ pub use cimflow_dse as dse_engine;
 pub use cimflow_dse::{
     evaluate_traced, explore, explore_journaled, BatchHandle, EvalPath, EvalRequest, EvalService,
     ExploreAlgorithm, ExploreReport, ExploreSpec, JobEvent, JobHandle, JobStatus, Priority,
-    Rejected, ServiceConfig, ServiceStats, SweepJournal, TraceStore,
+    Rejected, ServiceConfig, ServiceStats, ServingSummary, SweepJournal, TraceStore, TrafficSpec,
 };
 pub use cimflow_energy::{self as energy, EnergyBreakdown};
 pub use cimflow_isa as isa;
@@ -83,4 +83,7 @@ pub use cimflow_noc as noc;
 // service, explorer, compiler and (via `SimOptions::profile`) the
 // simulator's cycle-domain timelines.
 pub use cimflow_obs::{self as obs, MetricsRegistry, Tracer};
-pub use cimflow_sim::{self as sim, ReplayEngine, SimReport, SimTrace};
+pub use cimflow_sim::{self as sim, ReplayEngine, ServeModel, ServingReport, SimReport, SimTrace};
+// Online inference traffic: deterministic workload generation feeding
+// the simulator's serving mode and the DSE layer's SLO objectives.
+pub use cimflow_traffic::{self as traffic, ArrivalSpec, WorkloadSpec};

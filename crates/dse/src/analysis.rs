@@ -17,7 +17,82 @@
 
 use std::collections::BTreeMap;
 
-use crate::DseOutcome;
+use serde::Content;
+
+use crate::{DseOutcome, Evaluation};
+
+/// Which scalar pair a Pareto comparison minimizes.
+///
+/// Every frontier in this module is 2-D: an integer "speed" axis and a
+/// floating-point energy axis. The objective selects what those axes
+/// *mean* for a given sweep:
+///
+/// - [`Objective::Cycles`] — classic offline sweeps: single-inference
+///   latency in cycles against single-inference energy.
+/// - [`Objective::P99Latency`] — serving sweeps: the p99 request latency
+///   (in integer nanoseconds) under the point's offered load, against
+///   the energy of the whole serving run. Points evaluated without a
+///   traffic workload have no serving metrics and are excluded from
+///   p99 frontiers entirely (mirroring the non-finite-energy contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Minimize single-inference latency in cycles (the default).
+    #[default]
+    Cycles,
+    /// Minimize serving p99 request latency in nanoseconds.
+    P99Latency,
+}
+
+impl serde::Serialize for Objective {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl serde::Deserialize for Objective {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let text =
+            content.as_str().ok_or_else(|| serde::Error::new("expected objective name string"))?;
+        text.parse().map_err(serde::Error::new)
+    }
+}
+
+impl Objective {
+    /// The `(integer latency, energy_mj)` objective pair of one
+    /// evaluation, or `None` when the evaluation lacks the required
+    /// data (p99 requested on a point evaluated without traffic).
+    pub fn of(self, evaluation: &Evaluation) -> Option<(u64, f64)> {
+        match self {
+            Objective::Cycles => {
+                Some((evaluation.simulation.total_cycles, evaluation.simulation.energy_mj()))
+            }
+            Objective::P99Latency => {
+                evaluation.serving.as_ref().map(|s| (s.p99_latency_ns(), s.energy_mj))
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for Objective {
+    type Err = String;
+
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        match text {
+            "cycles" => Ok(Objective::Cycles),
+            "p99" | "p99-latency" | "p99_latency" => Ok(Objective::P99Latency),
+            other => Err(format!("unknown objective `{other}` (expected `cycles` or `p99`)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::Cycles => write!(f, "cycles"),
+            Objective::P99Latency => write!(f, "p99"),
+        }
+    }
+}
 
 /// Whether point `a` dominates point `b` under minimization of both
 /// objectives: no worse in both, strictly better in at least one.
@@ -166,16 +241,26 @@ pub fn hypervolume(points: &[(u64, f64)], reference: (u64, f64)) -> f64 {
 /// Indices (into `outcomes`) of the successful points on the
 /// (cycles, energy) Pareto frontier, sorted by ascending cycles.
 pub fn pareto_frontier(outcomes: &[DseOutcome]) -> Vec<usize> {
-    let successful: Vec<usize> =
-        (0..outcomes.len()).filter(|&i| outcomes[i].result.is_ok()).collect();
-    let objectives: Vec<(u64, f64)> = successful
-        .iter()
-        .map(|&i| {
-            let evaluation = outcomes[i].evaluation().expect("filtered to successes");
-            (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj())
-        })
-        .collect();
-    pareto_indices(&objectives).into_iter().map(|local| successful[local]).collect()
+    pareto_frontier_with(outcomes, Objective::Cycles)
+}
+
+/// Indices (into `outcomes`) of the successful points on the Pareto
+/// frontier of the chosen [`Objective`], sorted by ascending latency.
+///
+/// Points whose evaluation cannot express the objective (no serving
+/// metrics under [`Objective::P99Latency`]) are excluded — a mixed
+/// sweep where only some points ran traffic yields a frontier over the
+/// served points only.
+pub fn pareto_frontier_with(outcomes: &[DseOutcome], objective: Objective) -> Vec<usize> {
+    let mut eligible = Vec::new();
+    let mut objectives = Vec::new();
+    for (index, outcome) in outcomes.iter().enumerate() {
+        if let Some(pair) = outcome.evaluation().and_then(|e| objective.of(e)) {
+            eligible.push(index);
+            objectives.push(pair);
+        }
+    }
+    pareto_indices(&objectives).into_iter().map(|local| eligible[local]).collect()
 }
 
 /// Per-model Pareto frontiers: maps each model name to the indices (into
@@ -188,24 +273,31 @@ pub fn pareto_frontier(outcomes: &[DseOutcome]) -> Vec<usize> {
 /// [`pareto_frontier`] remains for single-model outcome sets and global
 /// "is anything optimal at all" checks.
 pub fn pareto_frontier_by_model(outcomes: &[DseOutcome]) -> BTreeMap<String, Vec<usize>> {
-    let mut by_model: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    pareto_frontier_by_model_with(outcomes, Objective::Cycles)
+}
+
+/// Per-model Pareto frontiers under the chosen [`Objective`] (see
+/// [`pareto_frontier_by_model`] for why frontiers are always grouped by
+/// model). Points that cannot express the objective are excluded per
+/// [`pareto_frontier_with`]; a model whose points all lack serving
+/// metrics simply does not appear in a p99 map.
+pub fn pareto_frontier_by_model_with(
+    outcomes: &[DseOutcome],
+    objective: Objective,
+) -> BTreeMap<String, Vec<usize>> {
+    type Grouped = BTreeMap<String, Vec<(usize, (u64, f64))>>;
+    let mut by_model: Grouped = BTreeMap::new();
     for (index, outcome) in outcomes.iter().enumerate() {
-        if outcome.result.is_ok() {
-            by_model.entry(outcome.point.model.name.clone()).or_default().push(index);
+        if let Some(pair) = outcome.evaluation().and_then(|e| objective.of(e)) {
+            by_model.entry(outcome.point.model.name.clone()).or_default().push((index, pair));
         }
     }
     by_model
         .into_iter()
-        .map(|(model, indices)| {
-            let objectives: Vec<(u64, f64)> = indices
-                .iter()
-                .map(|&i| {
-                    let evaluation = outcomes[i].evaluation().expect("filtered to successes");
-                    (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj())
-                })
-                .collect();
+        .map(|(model, entries)| {
+            let objectives: Vec<(u64, f64)> = entries.iter().map(|&(_, pair)| pair).collect();
             let frontier =
-                pareto_indices(&objectives).into_iter().map(|local| indices[local]).collect();
+                pareto_indices(&objectives).into_iter().map(|local| entries[local].0).collect();
             (model, frontier)
         })
         .collect()
@@ -522,6 +614,56 @@ mod tests {
             .collect();
         let chosen = objectives[best_per_model(&tied)["mobilenetv2"]];
         assert!(objectives.iter().all(|&other| !dominates(other, chosen)));
+    }
+
+    #[test]
+    fn p99_objective_covers_served_points_and_skips_unserved_ones() {
+        use crate::ServingSummary;
+
+        fn summary(p99_us: f64, energy_mj: f64) -> ServingSummary {
+            ServingSummary {
+                offered_qps: 1000,
+                goodput_qps: 900.0,
+                saturation_qps: 1200.0,
+                p50_latency_us: p99_us / 2.0,
+                p99_latency_us: p99_us,
+                max_latency_us: p99_us * 1.5,
+                requests: 256,
+                mean_batch: 2.0,
+                peak_queue_depth: 4,
+                colocated: 1,
+                energy_mj,
+            }
+        }
+
+        // Four points; the first never ran traffic. Under p99 the
+        // serving objectives are (200µs, 5mJ), (100µs, 8mJ), (300µs, 9mJ):
+        // the last is dominated, the first two trade off.
+        let mut outcomes = synthetic_outcomes(&[(10, 1.0), (40, 4.0), (20, 2.0), (30, 3.0)]);
+        outcomes[1].result.as_mut().unwrap().serving = Some(summary(200.0, 5.0));
+        outcomes[2].result.as_mut().unwrap().serving = Some(summary(100.0, 8.0));
+        outcomes[3].result.as_mut().unwrap().serving = Some(summary(300.0, 9.0));
+
+        // Cycles frontier still sees every successful point.
+        assert_eq!(pareto_frontier_with(&outcomes, Objective::Cycles), vec![0]);
+        assert_eq!(pareto_frontier(&outcomes), vec![0]);
+
+        let p99 = pareto_frontier_with(&outcomes, Objective::P99Latency);
+        assert_eq!(p99, vec![2, 1], "sorted by ascending p99, unserved point excluded");
+
+        let by_model = pareto_frontier_by_model_with(&outcomes, Objective::P99Latency);
+        assert_eq!(by_model["mobilenetv2"], vec![2, 1]);
+
+        // Objective extraction: integer nanoseconds, serving energy.
+        let pair = Objective::P99Latency.of(outcomes[1].evaluation().unwrap()).unwrap();
+        assert_eq!(pair, (200_000, 5.0));
+        assert_eq!(Objective::P99Latency.of(outcomes[0].evaluation().unwrap()), None);
+
+        // Parsing and display round-trip for the CLI flag.
+        assert_eq!("p99".parse::<Objective>().unwrap(), Objective::P99Latency);
+        assert_eq!("cycles".parse::<Objective>().unwrap(), Objective::Cycles);
+        assert!("latency".parse::<Objective>().is_err());
+        assert_eq!(Objective::P99Latency.to_string(), "p99");
     }
 
     #[test]

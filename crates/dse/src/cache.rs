@@ -41,7 +41,9 @@ use crate::{DseError, Evaluation};
 /// inter-chip hand-off became tile-streaming. Version 4: the trace-replay
 /// engine — `Evaluation` gained the `eval_path` provenance field and
 /// sweep points gained the timing-only frequency/memory-port axes.
-pub const CACHE_FORMAT_VERSION: u32 = 4;
+/// Version 5: serving mode — `CacheKey` gained the `traffic` workload
+/// fingerprint and `Evaluation` the optional `serving` SLO summary.
+pub const CACHE_FORMAT_VERSION: u32 = 5;
 
 /// Engine identity stamped into persisted cache files (the `cimflow-dse`
 /// crate version); a mismatch makes [`EvalCache::load`] start cold.
@@ -72,8 +74,8 @@ pub fn model_content_hash(model: &Model) -> u64 {
 }
 
 /// Cache key identifying one (architecture, model, strategy, search
-/// mode) point by content.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// mode, serving workload) point by content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub struct CacheKey {
     /// FNV-1a hash of the serialized architecture.
     pub arch: u64,
@@ -84,18 +86,83 @@ pub struct CacheKey {
     /// The system-level search mode (joint and sequential compilations
     /// of one point are distinct results).
     pub search: SearchMode,
+    /// Fingerprint of the serving workload (offered rate + preset +
+    /// co-located models); `0` when the point runs no serving workload.
+    pub traffic: u64,
 }
 
 impl CacheKey {
-    /// Computes the key of a design point.
+    /// Computes the key of a design point without a serving workload.
     pub fn of(arch: &ArchConfig, model: &Model, strategy: Strategy, search: SearchMode) -> Self {
         CacheKey {
             arch: arch_content_hash(arch),
             model: model_content_hash(model),
             strategy,
             search,
+            traffic: 0,
         }
     }
+
+    /// The same key scoped to a serving workload (see
+    /// [`traffic_fingerprint`]); `0` returns the no-serving key.
+    #[must_use]
+    pub fn with_traffic(mut self, fingerprint: u64) -> Self {
+        self.traffic = fingerprint;
+        self
+    }
+}
+
+// Manual Deserialize so journal rows written before serving mode existed
+// (no `traffic` key) keep resuming: the missing field reads as 0 = no
+// serving workload, which is exactly what those rows evaluated.
+impl Deserialize for CacheKey {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::Error> {
+        let map = content.as_map().ok_or_else(|| serde::Error::new("expected map for CacheKey"))?;
+        fn field<T: Deserialize>(
+            map: &[(String, serde::Content)],
+            name: &str,
+        ) -> Result<T, serde::Error> {
+            let v = map
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::Error::new(format!("CacheKey: missing field {name}")))?;
+            T::deserialize(v).map_err(|e| serde::Error::new(format!("CacheKey.{name}: {e}")))
+        }
+        Ok(CacheKey {
+            arch: field(map, "arch")?,
+            model: field(map, "model")?,
+            strategy: field(map, "strategy")?,
+            search: field(map, "search")?,
+            traffic: match map.iter().find(|(k, _)| k == "traffic") {
+                Some((_, v)) => u64::deserialize(v)
+                    .map_err(|e| serde::Error::new(format!("CacheKey.traffic: {e}")))?,
+                None => 0,
+            },
+        })
+    }
+}
+
+/// Content fingerprint of a serving workload: the offered rate, the
+/// serialized [`WorkloadSpec`](cimflow_traffic::WorkloadSpec) preset and
+/// every co-located model's content hash (order-sensitive — the mix
+/// indexes models by position). Never returns 0, so "no serving" and
+/// "some serving" can share the [`CacheKey::traffic`] field.
+pub fn traffic_fingerprint(
+    offered_qps: u64,
+    workload: &cimflow_traffic::WorkloadSpec,
+    colocated: &[(String, std::sync::Arc<Model>)],
+) -> u64 {
+    let mut text = format!(
+        "qps={offered_qps}\0{}",
+        serde_json::to_string(workload).expect("workload serialization cannot fail")
+    );
+    for (name, model) in colocated {
+        text.push('\0');
+        text.push_str(name);
+        text.push_str(&format!(":{:016x}", model_content_hash(model)));
+    }
+    fnv1a(text.as_bytes()).max(1)
 }
 
 /// Hit/miss counters of a cache (monotonic over the cache's lifetime).
@@ -300,7 +367,7 @@ impl EvalCache {
         let mut rows: Vec<(CacheKey, Evaluation)> =
             entries.iter().map(|(k, v)| (*k, v.clone())).collect();
         // Deterministic file contents regardless of hash-map order.
-        rows.sort_by_key(|(k, _)| (k.model, k.arch, k.strategy.name(), k.search.name()));
+        rows.sort_by_key(|(k, _)| (k.model, k.arch, k.strategy.name(), k.search.name(), k.traffic));
         let rows: Vec<CacheEntry> =
             rows.into_iter().map(|(key, evaluation)| CacheEntry { key, evaluation }).collect();
         serde_json::to_string_pretty(&CacheFile {

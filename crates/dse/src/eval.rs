@@ -8,11 +8,17 @@
 //! (the facade re-exports it).
 
 use std::fmt;
+use std::sync::Arc;
 
 use cimflow_arch::ArchConfig;
-use cimflow_compiler::{compile_with_options, CompileOptions, CompileReport, SearchMode, Strategy};
+use cimflow_compiler::{
+    compile_with_options, CompileOptions, CompileReport, CompiledProgram, SearchMode, Strategy,
+};
 use cimflow_nn::Model;
-use cimflow_sim::{ReplayEngine, SimOptions, SimReport, Simulator};
+use cimflow_sim::{
+    ReplayEngine, ServeModel, ServingReport, SimError, SimOptions, SimReport, Simulator,
+};
+use cimflow_traffic::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::trace_store::{TraceEntry, TraceKey, TraceStore};
@@ -77,6 +83,86 @@ impl serde::Deserialize for EvalPath {
     }
 }
 
+/// The serving workload of one design point, resolved for evaluation:
+/// the rate-free preset plus the co-located models (each compiled — or
+/// trace-replayed — on the point's architecture). The offered rate
+/// itself lives on the [`PointSpec`](crate::PointSpec) as the innermost
+/// sweep axis.
+#[derive(Debug)]
+pub struct TrafficJob {
+    /// The workload preset (arrival shape, seed, horizon, batching
+    /// knobs, mix).
+    pub workload: WorkloadSpec,
+    /// The models time-sharing the system, in mix order. Contains just
+    /// the point's own model unless the sweep co-locates.
+    pub colocated: Vec<(String, Arc<Model>)>,
+}
+
+/// Wire name of a served model (matches the `model` label of `traffic.*`
+/// metrics and the per-model entries of a serving report).
+pub(crate) fn served_model_name(name: &str, resolution: u32) -> String {
+    format!("{name}@{resolution}")
+}
+
+/// SLO metrics of one design point under open-loop load — the compact,
+/// cacheable summary of a [`ServingReport`]. Latency quantiles are the
+/// point's **own** model's (exact nearest-rank, in µs at the point's
+/// clock); goodput, saturation, queue depth and energy aggregate over
+/// every co-located model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServingSummary {
+    /// Offered request rate in requests/second.
+    pub offered_qps: u64,
+    /// Achieved goodput in requests/second (all models).
+    pub goodput_qps: f64,
+    /// Pipeline-bound saturation rate of the offered mix.
+    pub saturation_qps: f64,
+    /// Own-model median latency under load, µs.
+    pub p50_latency_us: f64,
+    /// Own-model 99th-percentile latency under load, µs.
+    pub p99_latency_us: f64,
+    /// Own-model worst-case latency under load, µs.
+    pub max_latency_us: f64,
+    /// Requests served (all models).
+    pub requests: u64,
+    /// Mean dispatched batch size (all models).
+    pub mean_batch: f64,
+    /// Deepest request backlog observed.
+    pub peak_queue_depth: u64,
+    /// Number of co-located models (1 = the point served alone).
+    pub colocated: u64,
+    /// Dynamic energy under load in millijoules (all models).
+    pub energy_mj: f64,
+}
+
+impl ServingSummary {
+    fn of(report: &ServingReport, own: &str) -> Self {
+        // Fall back to the aggregate quantiles if the own model is
+        // somehow absent (it never is when built through `serve_point`).
+        let latency =
+            report.per_model.iter().find(|m| m.model == own).map_or(report.latency, |m| m.latency);
+        ServingSummary {
+            offered_qps: report.offered_qps,
+            goodput_qps: report.goodput_qps,
+            saturation_qps: report.saturation_qps,
+            p50_latency_us: report.cycles_to_us(latency.p50),
+            p99_latency_us: report.cycles_to_us(latency.p99),
+            max_latency_us: report.cycles_to_us(latency.max),
+            requests: report.requests,
+            mean_batch: report.mean_batch,
+            peak_queue_depth: report.peak_queue_depth,
+            colocated: report.per_model.len() as u64,
+            energy_mj: report.energy_mj,
+        }
+    }
+
+    /// Own-model p99 latency in nanoseconds (integer — the unit Pareto
+    /// analysis compares serving objectives in without float keys).
+    pub fn p99_latency_ns(&self) -> u64 {
+        (self.p99_latency_us * 1000.0).round() as u64
+    }
+}
+
 /// The result of evaluating one model on one architecture with one
 /// compilation strategy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -99,6 +185,9 @@ pub struct Evaluation {
     pub simulation: SimReport,
     /// How the simulation report was produced (bit-exact either way).
     pub eval_path: EvalPath,
+    /// SLO metrics under open-loop load; `None` when the point ran no
+    /// serving workload (sweeps without a `traffic` section).
+    pub serving: Option<ServingSummary>,
 }
 
 impl Evaluation {
@@ -174,6 +263,7 @@ pub fn evaluate_with_search(
         mean_duplication: compiled.plan.mean_duplication(),
         simulation,
         eval_path: EvalPath::Interpreted,
+        serving: None,
     })
 }
 
@@ -223,6 +313,7 @@ pub fn evaluate_traced(
         mean_duplication: entry.mean_duplication,
         simulation,
         eval_path,
+        serving: None,
     };
     if recorded_here {
         let report = recorded_report.expect("recording produced a report");
@@ -234,6 +325,88 @@ pub fn evaluate_traced(
         // fault) sends the point through the full pipeline instead.
         Err(_) => evaluate_with_search(arch, model, strategy, search),
     }
+}
+
+/// Runs the serving-mode simulator for one design point: every
+/// co-located model of `traffic` is sourced from the shared
+/// [`TraceStore`] when one is available (the first point of a trace
+/// group records, every later point — and every other offered rate of
+/// the same design — replays the recorded trace), falling back to a
+/// fresh compile per model otherwise.
+///
+/// `own` is the point's own model spec; its per-model latency quantiles
+/// become the summary's SLO numbers.
+///
+/// # Errors
+///
+/// Compilation/simulation failures of any co-located model, or
+/// [`SimError::Traffic`] (as [`DseError::Simulation`]) for unusable
+/// workloads.
+pub(crate) fn serve_point(
+    arch: &ArchConfig,
+    strategy: Strategy,
+    search: SearchMode,
+    traffic: &TrafficJob,
+    offered_qps: u64,
+    own: &crate::ModelSpec,
+    traces: Option<&TraceStore>,
+) -> Result<ServingSummary, DseError> {
+    // Phase 1: pin every model's program source (owned), so phase 2 can
+    // borrow trace/program references with one lifetime.
+    enum Held {
+        Trace(Arc<TraceEntry>),
+        Compiled(Box<CompiledProgram>),
+    }
+    let compile = |model: &Model| -> Result<CompiledProgram, DseError> {
+        let options = CompileOptions { strategy, search, ..CompileOptions::default() };
+        Ok(compile_with_options(model, arch, options)?)
+    };
+    let mut held: Vec<(String, Held)> = Vec::with_capacity(traffic.colocated.len());
+    for (name, model) in &traffic.colocated {
+        let source = match traces {
+            Some(traces) => {
+                let key = TraceKey::of(arch, model, strategy, search);
+                let (entry, _) = traces.get_or_record_with(key, || {
+                    let compiled = compile(model)?;
+                    let (trace, _) = Simulator::record(&compiled)?;
+                    Ok(TraceEntry {
+                        trace,
+                        compilation: compiled.report.clone(),
+                        stages: compiled.plan.stages.len(),
+                        mean_duplication: compiled.plan.mean_duplication(),
+                    })
+                })?;
+                Held::Trace(entry)
+            }
+            None => Held::Compiled(Box::new(compile(model)?)),
+        };
+        held.push((name.clone(), source));
+    }
+    let serve = |held: &[(String, Held)]| {
+        let models: Vec<ServeModel<'_>> = held
+            .iter()
+            .map(|(name, source)| match source {
+                Held::Trace(entry) => ServeModel::traced(name.clone(), &entry.trace, *arch),
+                Held::Compiled(program) => ServeModel::compiled(name.clone(), program),
+            })
+            .collect();
+        Simulator::serve(&models, &traffic.workload, offered_qps, SimOptions::default())
+    };
+    let report = match serve(&held) {
+        Ok(report) => report,
+        // The replay engine never approximates: a refused trace sends
+        // every model through a fresh compile instead.
+        Err(SimError::TraceMismatch { .. }) => {
+            let recompiled: Vec<(String, Held)> = traffic
+                .colocated
+                .iter()
+                .map(|(name, model)| Ok((name.clone(), Held::Compiled(Box::new(compile(model)?)))))
+                .collect::<Result<_, DseError>>()?;
+            serve(&recompiled)?
+        }
+        Err(e) => return Err(e.into()),
+    };
+    Ok(ServingSummary::of(&report, &served_model_name(&own.name, own.resolution)))
 }
 
 #[cfg(test)]

@@ -27,9 +27,10 @@ use cimflow_obs::{MetricsRegistry, Tracer};
 
 use cimflow_nn::{models, Model};
 
+use crate::eval::{served_model_name, TrafficJob};
 use crate::journal::SweepJournal;
 use crate::service::{EvalService, ServiceConfig};
-use crate::{DseError, EvalCache, Evaluation, PointSpec, SweepSpec};
+use crate::{traffic_fingerprint, CacheKey, DseError, EvalCache, Evaluation, PointSpec, SweepSpec};
 
 /// One schedulable unit: a resolved design point.
 ///
@@ -45,13 +46,39 @@ pub struct Job {
     pub arch: ArchConfig,
     /// The resolved model, or the resolution error.
     pub model: Result<Arc<Model>, DseError>,
+    /// The serving workload of the point (shared across the grid);
+    /// `None` when the sweep has no traffic section.
+    pub traffic: Option<Arc<TrafficJob>>,
 }
 
 impl Job {
     /// Builds a job from an explicit model object (used by the
     /// backward-compatible `cimflow::dse` wrappers).
     pub fn from_model(spec: PointSpec, arch: ArchConfig, model: Arc<Model>) -> Self {
-        Job { spec, arch, model: Ok(model) }
+        Job { spec, arch, model: Ok(model), traffic: None }
+    }
+
+    /// The serving workload this job actually runs: present only when a
+    /// traffic section was attached **and** the point offers load.
+    pub(crate) fn active_traffic(&self) -> Option<&Arc<TrafficJob>> {
+        self.traffic.as_ref().filter(|_| self.spec.offered_qps > 0)
+    }
+
+    /// The content cache key of the job (`None` for unresolvable
+    /// models). Includes the serving-workload fingerprint, so a point
+    /// evaluated under load never answers (or is answered by) the same
+    /// design evaluated idle or at a different rate.
+    pub(crate) fn cache_key(&self) -> Option<CacheKey> {
+        let model = self.model.as_ref().ok()?;
+        let key = CacheKey::of(&self.arch, model, self.spec.strategy, self.spec.search);
+        Some(match self.active_traffic() {
+            Some(traffic) => key.with_traffic(traffic_fingerprint(
+                self.spec.offered_qps,
+                &traffic.workload,
+                &traffic.colocated,
+            )),
+            None => key,
+        })
     }
 }
 
@@ -266,19 +293,65 @@ pub fn expand_jobs(spec: &SweepSpec) -> Result<Vec<Job>, DseError> {
     let base = spec.base_arch();
     let points = spec.expand()?;
     let mut resolved: HashMap<(String, u32), ResolvedModel> = HashMap::new();
+    let mut resolve = |name: &str, resolution: u32| -> ResolvedModel {
+        resolved
+            .entry((name.to_owned(), resolution))
+            .or_insert_with(|| {
+                models::by_name(name, resolution)
+                    .map(Arc::new)
+                    .ok_or_else(|| DseError::UnknownModel { name: name.to_owned() })
+            })
+            .clone()
+    };
+    // The traffic section validates once per sweep: the mix (when set)
+    // must match the served-model count, which is the whole model axis
+    // under co-location and 1 otherwise.
+    if let Some(traffic) = &spec.traffic {
+        let served = if traffic.colocate { spec.models.len() } else { 1 };
+        traffic.workload.validate(served).map_err(|e| DseError::spec(e.to_string()))?;
+    }
+    // Under co-location every point serves the whole model axis (in mix
+    // order); unresolvable colocated models surface as a spec error so a
+    // typo cannot silently shrink the mix.
+    let colocated_pool: Option<Arc<TrafficJob>> = match &spec.traffic {
+        Some(traffic) if traffic.colocate => {
+            let mut colocated = Vec::with_capacity(spec.models.len());
+            for m in &spec.models {
+                let model = resolve(&m.name, m.resolution)?;
+                colocated.push((served_model_name(&m.name, m.resolution), model));
+            }
+            Some(Arc::new(TrafficJob { workload: traffic.workload.clone(), colocated }))
+        }
+        _ => None,
+    };
+    let mut solo_traffic: HashMap<(String, u32), Arc<TrafficJob>> = HashMap::new();
     let mut jobs = Vec::with_capacity(points.len());
     for point in points {
-        let id = (point.model.name.clone(), point.model.resolution);
-        let model = resolved
-            .entry(id)
-            .or_insert_with(|| {
-                models::by_name(&point.model.name, point.model.resolution)
-                    .map(Arc::new)
-                    .ok_or_else(|| DseError::UnknownModel { name: point.model.name.clone() })
-            })
-            .clone();
+        let model = resolve(&point.model.name, point.model.resolution);
+        let traffic = match &spec.traffic {
+            None => None,
+            Some(_) if colocated_pool.is_some() => colocated_pool.clone(),
+            Some(traffic) => match &model {
+                Ok(resolved) => Some(
+                    solo_traffic
+                        .entry((point.model.name.clone(), point.model.resolution))
+                        .or_insert_with(|| {
+                            Arc::new(TrafficJob {
+                                workload: traffic.workload.clone(),
+                                colocated: vec![(
+                                    served_model_name(&point.model.name, point.model.resolution),
+                                    Arc::clone(resolved),
+                                )],
+                            })
+                        })
+                        .clone(),
+                ),
+                // The point fails on model resolution anyway.
+                Err(_) => None,
+            },
+        };
         let arch = point.arch(&base);
-        jobs.push(Job { spec: point, arch, model });
+        jobs.push(Job { spec: point, arch, model, traffic });
     }
     Ok(jobs)
 }

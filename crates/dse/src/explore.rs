@@ -44,6 +44,8 @@ use cimflow_nn::{models, Model};
 use cimflow_obs::{thread_track, AttrValue, Counter, Gauge, Tracer};
 use serde::{Content, Deserialize, Serialize};
 
+use crate::analysis::Objective;
+use crate::eval::{served_model_name, TrafficJob};
 use crate::journal::SweepJournal;
 use crate::spec::{SweepAxes, AXIS_COUNT};
 use crate::{analysis, DseError, DseOutcome, EvalService, Job, PointSpec, SweepSpec};
@@ -125,14 +127,32 @@ pub struct ExploreSpec {
     /// PRNG seed: the same `(space, budget, algorithm, seed)` explores
     /// the same points.
     pub seed: u64,
+    /// The objective pair selection ranks by. [`Objective::P99Latency`]
+    /// requires the space to carry a `traffic` section (otherwise no
+    /// point has serving metrics and nothing is ever selected).
+    pub objective: Objective,
 }
 
 impl ExploreSpec {
     /// Wraps a space with the default budget (a quarter of the grid, at
-    /// least 4), the default algorithm and the default seed.
+    /// least 4), the default algorithm, the default seed and the
+    /// default (cycles, energy) objective.
     pub fn new(space: SweepSpec) -> Self {
         let budget = default_budget(&space);
-        ExploreSpec { space, budget, algorithm: ExploreAlgorithm::default(), seed: DEFAULT_SEED }
+        ExploreSpec {
+            space,
+            budget,
+            algorithm: ExploreAlgorithm::default(),
+            seed: DEFAULT_SEED,
+            objective: Objective::default(),
+        }
+    }
+
+    /// Sets the selection objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
     }
 
     /// Sets the evaluation budget.
@@ -206,6 +226,7 @@ impl Deserialize for ExploreSpec {
             budget,
             algorithm: opt(field("algorithm"), "algorithm")?.unwrap_or_default(),
             seed: opt(field("seed"), "seed")?.unwrap_or(DEFAULT_SEED),
+            objective: opt(field("objective"), "objective")?.unwrap_or_default(),
         })
     }
 }
@@ -305,6 +326,30 @@ fn explore_inner(
     journal: Option<Arc<SweepJournal>>,
 ) -> Result<ExploreReport, DseError> {
     let axes = spec.space.axes()?;
+    // Mirror `expand_jobs`: validate the workload once per run and,
+    // under co-location, resolve the whole model axis up front (an
+    // unresolvable colocated model is a spec error, never a silently
+    // shrunken mix).
+    let traffic = match &spec.space.traffic {
+        Some(section) => {
+            let served = if section.colocate { spec.space.models.len() } else { 1 };
+            section.workload.validate(served).map_err(|e| DseError::spec(e.to_string()))?;
+            let pool = if section.colocate {
+                let mut colocated = Vec::with_capacity(spec.space.models.len());
+                for m in &spec.space.models {
+                    let model = models::by_name(&m.name, m.resolution)
+                        .map(Arc::new)
+                        .ok_or_else(|| DseError::UnknownModel { name: m.name.clone() })?;
+                    colocated.push((served_model_name(&m.name, m.resolution), model));
+                }
+                Some(Arc::new(TrafficJob { workload: section.workload.clone(), colocated }))
+            } else {
+                None
+            };
+            Some((section.workload.clone(), pool))
+        }
+        None => None,
+    };
     let mut run = Run {
         axes,
         base: spec.space.base_arch(),
@@ -320,12 +365,14 @@ fn explore_inner(
         outcomes: Vec::new(),
         generations: Vec::new(),
         resolved: HashMap::new(),
+        objective: spec.objective,
+        traffic,
     };
     match spec.algorithm {
         ExploreAlgorithm::SuccessiveHalving => successive_halving(&mut run)?,
         ExploreAlgorithm::Evolutionary => evolutionary(&mut run)?,
     }
-    let frontier = analysis::pareto_frontier_by_model(&run.outcomes);
+    let frontier = analysis::pareto_frontier_by_model_with(&run.outcomes, spec.objective);
     Ok(ExploreReport {
         algorithm: spec.algorithm,
         seed: spec.seed,
@@ -466,6 +513,12 @@ struct Run<'s> {
     outcomes: Vec<DseOutcome>,
     generations: Vec<GenerationStats>,
     resolved: HashMap<(String, u32), Result<Arc<Model>, DseError>>,
+    /// The objective pair selection ranks by.
+    objective: Objective,
+    /// The space's serving workload, when it has a `traffic` section:
+    /// the workload plus the shared co-location pool (`None` for solo
+    /// serving — each job then serves its own model alone).
+    traffic: Option<(cimflow_traffic::WorkloadSpec, Option<Arc<TrafficJob>>)>,
 }
 
 impl Run<'_> {
@@ -488,7 +541,19 @@ impl Run<'_> {
                     .ok_or_else(|| DseError::UnknownModel { name: point.model.name.clone() })
             })
             .clone();
-        Job { spec: point, arch, model }
+        let traffic = self.traffic.as_ref().and_then(|(workload, pool)| match pool {
+            Some(shared) => Some(Arc::clone(shared)),
+            None => model.as_ref().ok().map(|resolved| {
+                Arc::new(TrafficJob {
+                    workload: workload.clone(),
+                    colocated: vec![(
+                        served_model_name(&point.model.name, point.model.resolution),
+                        Arc::clone(resolved),
+                    )],
+                })
+            }),
+        });
+        Job { spec: point, arch, model, traffic }
     }
 
     /// Submits one batch through the service (journaled when attached)
@@ -518,7 +583,10 @@ impl Run<'_> {
 
     /// Cumulative per-model frontier size over the recorded outcomes.
     fn frontier_points(&self) -> usize {
-        analysis::pareto_frontier_by_model(&self.outcomes).values().map(Vec::len).sum()
+        analysis::pareto_frontier_by_model_with(&self.outcomes, self.objective)
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     fn push_generation(&mut self, phase: &str, submitted: usize, coarse: usize) {
@@ -534,10 +602,12 @@ impl Run<'_> {
         self.generations.push(stats);
     }
 
-    /// The finite `(cycles, energy)` objectives of a recorded outcome.
-    fn objectives_of(outcome: &DseOutcome) -> Option<(u64, f64)> {
+    /// The finite objectives of a recorded outcome under the run's
+    /// [`Objective`] (`None` for failed points, non-finite energies,
+    /// or unserved points under [`Objective::P99Latency`]).
+    fn objectives_of(&self, outcome: &DseOutcome) -> Option<(u64, f64)> {
         let evaluation = outcome.evaluation()?;
-        let objectives = (evaluation.simulation.total_cycles, evaluation.simulation.energy_mj());
+        let objectives = self.objective.of(evaluation)?;
         objectives.1.is_finite().then_some(objectives)
     }
 
@@ -641,7 +711,7 @@ fn successive_halving(run: &mut Run) -> Result<(), DseError> {
                     // This point was already evaluated as another
                     // point's coarse projection: record the held
                     // outcome for free instead of resubmitting.
-                    pool.push((flat, point.model.name.clone(), Run::objectives_of(outcome)));
+                    pool.push((flat, point.model.name.clone(), run.objectives_of(outcome)));
                     run.record(&[flat], vec![outcome.clone()]);
                 } else {
                     direct.push((flat, point));
@@ -702,7 +772,7 @@ fn successive_halving(run: &mut Run) -> Result<(), DseError> {
         let direct_points: Vec<PointSpec> = direct.into_iter().map(|(_, point)| point).collect();
         let direct_outcomes = run.evaluate_batch(direct_points)?;
         for (&flat, outcome) in direct_flats.iter().zip(&direct_outcomes) {
-            let objectives = Run::objectives_of(outcome);
+            let objectives = run.objectives_of(outcome);
             pool.push((flat, outcome.point.model.name.clone(), objectives));
             // A direct point is its own coarse projection: register it
             // so a sibling projecting onto it (e.g. the same model at a
@@ -718,7 +788,7 @@ fn successive_halving(run: &mut Run) -> Result<(), DseError> {
         run.coarse_used += coarse_count as u64;
         let coarse_outcomes = run.evaluate_batch(coarse_points)?;
         for ((_, label, _), outcome) in coarse_jobs.iter().zip(&coarse_outcomes) {
-            coarse_results.insert(label.clone(), Run::objectives_of(outcome));
+            coarse_results.insert(label.clone(), run.objectives_of(outcome));
             coarse_outcomes_by_label.insert(label.clone(), outcome.clone());
         }
         for (flat, model, label) in shared {
@@ -845,7 +915,7 @@ fn evolutionary(run: &mut Run) -> Result<(), DseError> {
 fn select_parents(run: &Run, count: usize) -> Vec<[usize; AXIS_COUNT]> {
     let mut by_model: CandidatesByModel = BTreeMap::new();
     for (at, outcome) in run.outcomes.iter().enumerate() {
-        if let Some(objectives) = Run::objectives_of(outcome) {
+        if let Some(objectives) = run.objectives_of(outcome) {
             by_model.entry(outcome.point.model.name.as_str()).or_default().push((at, objectives));
         }
     }

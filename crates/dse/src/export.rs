@@ -50,10 +50,24 @@ pub struct SweepRow {
     pub stages: usize,
     /// Mean duplication factor (0 on error).
     pub mean_duplication: f64,
+    /// Offered request rate in QPS (0 when the point ran without a
+    /// traffic workload — the serving columns below are then all 0).
+    pub offered_qps: u64,
+    /// Serving p99 request latency in microseconds (0 when unserved).
+    pub p99_latency_us: f64,
+    /// Serving goodput in completed requests per second (0 when unserved).
+    pub goodput_qps: f64,
+    /// Estimated saturation throughput in QPS (0 when unserved).
+    pub saturation_qps: f64,
+    /// Energy of the whole serving run in millijoules (0 when unserved).
+    pub serving_energy_mj: f64,
     /// Whether the point is on its model's (cycles, energy) Pareto
     /// frontier (frontiers are computed per model — cross-workload
     /// domination is meaningless).
     pub pareto: bool,
+    /// Whether the point is on its model's (p99 latency, serving
+    /// energy) Pareto frontier; always `false` for unserved points.
+    pub pareto_p99: bool,
     /// The error message for failed points (`None` when ok).
     pub error: Option<String>,
 }
@@ -63,6 +77,11 @@ pub struct SweepRow {
 pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
     let frontier: std::collections::BTreeSet<usize> =
         analysis::pareto_frontier_by_model(outcomes).into_values().flatten().collect();
+    let p99_frontier: std::collections::BTreeSet<usize> =
+        analysis::pareto_frontier_by_model_with(outcomes, analysis::Objective::P99Latency)
+            .into_values()
+            .flatten()
+            .collect();
     outcomes
         .iter()
         .enumerate()
@@ -90,7 +109,13 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
                 tops_per_watt: 0.0,
                 stages: 0,
                 mean_duplication: 0.0,
+                offered_qps: point.offered_qps,
+                p99_latency_us: 0.0,
+                goodput_qps: 0.0,
+                saturation_qps: 0.0,
+                serving_energy_mj: 0.0,
                 pareto: frontier.contains(&index),
+                pareto_p99: p99_frontier.contains(&index),
                 error: None,
             };
             match &outcome.result {
@@ -103,6 +128,12 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
                     row.tops_per_watt = evaluation.simulation.tops_per_watt();
                     row.stages = evaluation.stages;
                     row.mean_duplication = evaluation.mean_duplication;
+                    if let Some(serving) = &evaluation.serving {
+                        row.p99_latency_us = serving.p99_latency_us;
+                        row.goodput_qps = serving.goodput_qps;
+                        row.saturation_qps = serving.saturation_qps;
+                        row.serving_energy_mj = serving.energy_mj;
+                    }
                 }
                 Err(e) => {
                     row.error = Some(e.to_string());
@@ -116,7 +147,8 @@ pub fn rows(outcomes: &[DseOutcome]) -> Vec<SweepRow> {
 /// CSV column order (kept in sync with [`to_csv`]).
 pub const CSV_HEADER: &str = "index,model,resolution,strategy,search,chip_count,core_count,\
 local_memory_kib,flit_bytes,mg_size,frequency_mhz,memory_port,status,cached,eval_path,cycles,\
-energy_mj,tops,tops_per_watt,stages,mean_duplication,pareto,error";
+energy_mj,tops,tops_per_watt,stages,mean_duplication,offered_qps,p99_latency_us,goodput_qps,\
+saturation_qps,serving_energy_mj,pareto,pareto_p99,error";
 
 /// Renders outcomes as a CSV document (header + one row per point).
 pub fn to_csv(outcomes: &[DseOutcome]) -> String {
@@ -125,7 +157,8 @@ pub fn to_csv(outcomes: &[DseOutcome]) -> String {
     for row in rows(outcomes) {
         let error = row.error.as_deref().unwrap_or("");
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.4},{:.4},{},{:.3},{},\
+             {:.3},{:.3},{:.3},{:.6},{},{},{}\n",
             row.index,
             csv_escape(&row.model),
             row.resolution,
@@ -147,7 +180,13 @@ pub fn to_csv(outcomes: &[DseOutcome]) -> String {
             row.tops_per_watt,
             row.stages,
             row.mean_duplication,
+            row.offered_qps,
+            row.p99_latency_us,
+            row.goodput_qps,
+            row.saturation_qps,
+            row.serving_energy_mj,
             row.pareto,
+            row.pareto_p99,
             csv_escape(error),
         ));
     }
@@ -221,6 +260,33 @@ mod tests {
         let rows = rows(&outcomes());
         assert!(rows[0].pareto, "the only successful point is trivially Pareto-optimal");
         assert!(!rows[1].pareto);
+        assert!(!rows[1].pareto_p99, "unserved points are never p99-Pareto");
         assert!(rows[1].error.as_deref().unwrap_or("").contains("must be positive"));
+    }
+
+    #[test]
+    fn serving_columns_fill_for_traffic_sweeps() {
+        use crate::TrafficSpec;
+        use cimflow_traffic::WorkloadSpec;
+
+        let workload = WorkloadSpec { requests: 32, ..WorkloadSpec::default() };
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_traffic(TrafficSpec::new(&[100]).with_workload(workload));
+        let outcomes = Executor::sequential().run_spec(&spec, &EvalCache::new()).unwrap();
+        let rows = rows(&outcomes);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].offered_qps, 100);
+        assert!(rows[0].p99_latency_us > 0.0, "{rows:?}");
+        assert!(rows[0].goodput_qps > 0.0);
+        assert!(rows[0].saturation_qps > 0.0);
+        assert!(rows[0].serving_energy_mj > 0.0);
+        assert!(rows[0].pareto_p99, "the only served point is trivially p99-Pareto");
+
+        let csv = to_csv(&outcomes);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines[0].split(',').count(), lines[1].split(',').count());
+        assert!(lines[0].contains("p99_latency_us,goodput_qps"));
     }
 }

@@ -60,11 +60,14 @@ mod spec;
 mod trace_store;
 
 pub use cache::{
-    arch_content_hash, model_content_hash, CacheKey, CacheStats, EvalCache, CACHE_ENGINE_VERSION,
-    CACHE_FORMAT_VERSION,
+    arch_content_hash, model_content_hash, traffic_fingerprint, CacheKey, CacheStats, EvalCache,
+    CACHE_ENGINE_VERSION, CACHE_FORMAT_VERSION,
 };
 pub use error::DseError;
-pub use eval::{evaluate, evaluate_traced, evaluate_with_search, EvalPath, Evaluation};
+pub use eval::{
+    evaluate, evaluate_traced, evaluate_with_search, EvalPath, Evaluation, ServingSummary,
+    TrafficJob,
+};
 pub use executor::{expand_jobs, run_sweep, DseOutcome, Executor, Job, Progress};
 pub use explore::{
     explore, explore_journaled, ExploreAlgorithm, ExploreReport, ExploreSpec, GenerationStats,
@@ -73,7 +76,7 @@ pub use explore::{
 pub use journal::{CompactionStats, SweepJournal, JOURNAL_FORMAT_VERSION};
 pub use service::{
     BatchHandle, EvalRequest, EvalService, JobEvent, JobHandle, JobStatus, Priority, Rejected,
-    ServiceConfig, ServiceStats, DEFAULT_TENANT,
+    ServiceConfig, ServiceStats, TrafficRequest, DEFAULT_TENANT,
 };
-pub use spec::{ModelSpec, PointSpec, SweepAxes, SweepSpec, AXIS_COUNT};
-pub use trace_store::{TraceEntry, TraceKey, TraceStore, TraceStoreStats};
+pub use spec::{ModelSpec, PointSpec, SweepAxes, SweepSpec, TrafficSpec, AXIS_COUNT};
+pub use trace_store::{TraceEntry, TraceKey, TraceStore, TraceStoreStats, DEFAULT_TRACE_CAPACITY};

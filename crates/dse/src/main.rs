@@ -62,6 +62,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cimflow_compiler::SearchMode;
+use cimflow_dse::analysis::Objective;
 use cimflow_dse::serve::{serve_stdio, TcpServer};
 use cimflow_dse::{
     analysis, explore, explore_journaled, export, DseError, DseOutcome, EvalCache, EvalService,
@@ -76,6 +77,7 @@ struct SweepArgs {
     spec_path: PathBuf,
     workers: Option<usize>,
     search: Option<SearchMode>,
+    objective: Option<Objective>,
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
     cache: Option<PathBuf>,
@@ -102,6 +104,7 @@ struct ExploreArgs {
     budget: Option<u64>,
     algorithm: Option<ExploreAlgorithm>,
     seed: Option<u64>,
+    objective: Option<Objective>,
     journal: Option<PathBuf>,
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
@@ -118,10 +121,10 @@ enum Args {
 }
 
 const USAGE: &str = "usage: cimflow-dse <sweep.json> [--workers N] [--sequential] \
-[--search sequential|joint] [--csv PATH] [--json PATH] [--cache PATH] [--journal PATH] \
-[--trace-out PATH] [--metrics-out PATH] [--quiet]
+[--search sequential|joint] [--objective cycles|p99] [--csv PATH] [--json PATH] [--cache PATH] \
+[--journal PATH] [--trace-out PATH] [--metrics-out PATH] [--quiet]
        cimflow-dse explore <space.json> [--budget N] [--algorithm successive_halving|evolutionary] \
-[--seed N] [--workers N] [--journal PATH] [--csv PATH] [--json PATH] \
+[--seed N] [--objective cycles|p99] [--workers N] [--journal PATH] [--csv PATH] [--json PATH] \
 [--trace-out PATH] [--metrics-out PATH] [--quiet]
        cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT] \
 [--trace-out PATH] [--metrics-out PATH] [--quiet]
@@ -154,6 +157,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     let mut budget = None;
     let mut algorithm = None;
     let mut seed = None;
+    let mut objective = None;
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut quiet = false;
@@ -202,6 +206,10 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                 let value = take_value(&mut argv, "--seed")?;
                 seed = Some(parse_number::<u64>("--seed", &value)?);
             }
+            "--objective" => {
+                let value = take_value(&mut argv, "--objective")?;
+                objective = Some(value.parse::<Objective>()?);
+            }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(take_value(&mut argv, "--trace-out")?));
             }
@@ -240,6 +248,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             (budget.is_some(), "--budget"),
             (algorithm.is_some(), "--algorithm"),
             (seed.is_some(), "--seed"),
+            (objective.is_some(), "--objective"),
             (trace_out.is_some(), "--trace-out"),
             (metrics_out.is_some(), "--metrics-out"),
             (quiet, "--quiet"),
@@ -277,6 +286,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             budget,
             algorithm,
             seed,
+            objective,
             journal,
             csv,
             json,
@@ -294,6 +304,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             (budget.is_some(), "--budget"),
             (algorithm.is_some(), "--algorithm"),
             (seed.is_some(), "--seed"),
+            (objective.is_some(), "--objective"),
         ] {
             if set {
                 return Err(format!("{flag} does not apply to serve mode\n{USAGE}"));
@@ -330,6 +341,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
         spec_path,
         workers,
         search,
+        objective,
         csv,
         json,
         cache,
@@ -545,7 +557,7 @@ fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
         }
     }
 
-    report_outcomes(&outcomes, &reporter);
+    report_outcomes(&outcomes, &reporter, args.objective.unwrap_or_default());
 
     if let Some(path) = &args.csv {
         std::fs::write(path, export::to_csv(&outcomes))
@@ -573,24 +585,34 @@ fn run_sweep(args: &SweepArgs) -> Result<ExitCode, DseError> {
     Ok(if succeeded > 0 { ExitCode::SUCCESS } else { ExitCode::from(2) })
 }
 
-fn report_outcomes(outcomes: &[DseOutcome], reporter: &Reporter) {
-    let frontiers = analysis::pareto_frontier_by_model(outcomes);
+fn report_outcomes(outcomes: &[DseOutcome], reporter: &Reporter, objective: Objective) {
+    let frontiers = analysis::pareto_frontier_by_model_with(outcomes, objective);
     let frontier_points: usize = frontiers.values().map(Vec::len).sum();
-    reporter.note(&format!(
-        "\nPareto frontier over (cycles, energy), per model: {frontier_points} point(s)"
-    ));
+    let axes = match objective {
+        Objective::Cycles => "(cycles, energy)",
+        Objective::P99Latency => "(p99 latency, serving energy)",
+    };
+    reporter.note(&format!("\nPareto frontier over {axes}, per model: {frontier_points} point(s)"));
     for (model, frontier) in &frontiers {
         reporter.note(&format!("  {model}:"));
         for &index in frontier {
             let outcome = &outcomes[index];
-            if let Some(evaluation) = outcome.evaluation() {
-                reporter.note(&format!(
+            let Some(evaluation) = outcome.evaluation() else { continue };
+            match (objective, &evaluation.serving) {
+                (Objective::P99Latency, Some(serving)) => reporter.note(&format!(
+                    "    {:<52} p99 {:>10.1} us {:>10.3} mJ {:>8.1} goodput qps",
+                    outcome.point.label(),
+                    serving.p99_latency_us,
+                    serving.energy_mj,
+                    serving.goodput_qps
+                )),
+                _ => reporter.note(&format!(
                     "    {:<52} {:>12} cycles {:>10.3} mJ {:>8.3} TOPS",
                     outcome.point.label(),
                     evaluation.simulation.total_cycles,
                     evaluation.simulation.energy_mj(),
                     evaluation.simulation.throughput_tops()
-                ));
+                )),
             }
         }
     }
@@ -623,6 +645,9 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
     }
     if let Some(seed) = args.seed {
         spec = spec.with_seed(seed);
+    }
+    if let Some(objective) = args.objective {
+        spec = spec.with_objective(objective);
     }
     let name = spec.space.name.clone().unwrap_or_else(|| args.spec_path.display().to_string());
 
@@ -658,14 +683,21 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
 
     let succeeded = report.outcomes.iter().filter(|o| o.result.is_ok()).count();
     let resumed = report.outcomes.iter().filter(|o| o.cached).count();
+    let replayed = report
+        .outcomes
+        .iter()
+        .filter(|o| o.result.as_ref().is_ok_and(|e| e.eval_path.is_replayed()))
+        .count();
     reporter.machine(&format!(
         "\nused {} of {} budget in {elapsed:.2?}: {} full-fidelity point(s) ({succeeded} ok, \
-         {resumed} cached/resumed), {} coarse, {:.1}% of the exhaustive grid evaluated",
+         {resumed} cached/resumed, {replayed} replayed / {interpreted} interpreted), {} coarse, \
+         {:.1}% of the exhaustive grid evaluated",
         report.budget_used,
         report.budget,
         report.evaluated,
         report.coarse_evaluated,
         100.0 * report.budget_used as f64 / report.space_points.max(1) as f64,
+        interpreted = succeeded - replayed,
     ));
     reporter.latency_summary(&service.metrics_snapshot());
     reporter.note("\ngeneration trajectory:");
@@ -683,7 +715,7 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
         reporter.machine(&format!("journal -> {}", path.display()));
     }
 
-    report_outcomes(&report.outcomes, &reporter);
+    report_outcomes(&report.outcomes, &reporter, spec.objective);
 
     if let Some(path) = &args.csv {
         std::fs::write(path, export::to_csv(&report.outcomes))

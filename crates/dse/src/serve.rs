@@ -47,13 +47,15 @@ use crate::{DseOutcome, EvalService, SweepSpec};
 /// A protocol request: one per line, externally tagged.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Submit one evaluation request.
-    Submit(EvalRequest),
+    /// Submit one evaluation request (boxed: a request with a traffic
+    /// workload is much larger than the control-plane variants).
+    Submit(Box<EvalRequest>),
     /// Submit a sweep as a batch (always admitted: queue bounds and
     /// quotas apply to every wire submission).
     Sweep {
-        /// The sweep grid.
-        spec: SweepSpec,
+        /// The sweep grid (boxed: a spec with a traffic section is much
+        /// larger than the other request variants).
+        spec: Box<SweepSpec>,
         /// Tenant to charge the batch to; `None` means
         /// [`DEFAULT_TENANT`].
         tenant: Option<String>,
@@ -196,6 +198,10 @@ pub struct WireOutcome {
     pub energy_mj: Option<f64>,
     /// Throughput in TOPS.
     pub throughput_tops: Option<f64>,
+    /// Serving SLO metrics when the point ran under a traffic workload;
+    /// `None` for offline points and for servers predating this field
+    /// (old clients simply ignore it).
+    pub serving: Option<crate::ServingSummary>,
 }
 
 /// The wire projection of one metrics-snapshot entry. Counter and gauge
@@ -281,6 +287,7 @@ impl WireOutcome {
             total_cycles: evaluation.map(|e| e.simulation.total_cycles),
             energy_mj: evaluation.map(|e| e.simulation.energy_mj()),
             throughput_tops: evaluation.map(|e| e.simulation.throughput_tops()),
+            serving: evaluation.and_then(|e| e.serving.clone()),
         }
     }
 }
@@ -360,14 +367,14 @@ impl serde::Deserialize for Request {
     fn deserialize(content: &Content) -> Result<Self, serde::Error> {
         let (tag, value) = untag(content)?;
         match tag {
-            "submit" => Ok(Request::Submit(EvalRequest::deserialize(value)?)),
+            "submit" => Ok(Request::Submit(Box::new(EvalRequest::deserialize(value)?))),
             "sweep" => {
                 let map =
                     value.as_map().ok_or_else(|| serde::Error::new("expected a sweep object"))?;
                 let spec = field(map, "spec")
                     .ok_or_else(|| serde::Error::new("sweep request needs a `spec`"))?;
                 Ok(Request::Sweep {
-                    spec: SweepSpec::deserialize(spec)?,
+                    spec: Box::new(SweepSpec::deserialize(spec)?),
                     tenant: match field(map, "tenant") {
                         None | Some(Content::Null) => None,
                         Some(value) => Some(String::deserialize(value)?),
@@ -549,7 +556,7 @@ impl<'s> Connection<'s> {
     /// Handles one parsed request.
     pub fn handle(&mut self, request: Request) -> (Response, bool) {
         let response = match request {
-            Request::Submit(eval) => match self.service.submit(eval) {
+            Request::Submit(eval) => match self.service.submit(*eval) {
                 Ok(handle) => {
                     let job = handle.id();
                     self.jobs.insert(job, handle);
@@ -915,15 +922,17 @@ mod tests {
     #[test]
     fn request_and_response_round_trip_through_json() {
         let requests = vec![
-            Request::Submit(
+            Request::Submit(Box::new(
                 EvalRequest::new("resnet18", 32, Strategy::DpOptimized)
                     .with_tenant("alice")
                     .with_priority(Priority::High),
-            ),
+            )),
             Request::Sweep {
-                spec: SweepSpec::new()
-                    .with_model("mobilenetv2", 32)
-                    .with_strategies(&[Strategy::GenericMapping]),
+                spec: Box::new(
+                    SweepSpec::new()
+                        .with_model("mobilenetv2", 32)
+                        .with_strategies(&[Strategy::GenericMapping]),
+                ),
                 tenant: Some("bob".to_owned()),
                 priority: None,
             },
@@ -994,7 +1003,11 @@ mod tests {
     fn connection_submits_waits_and_reports_stats() {
         let service = EvalService::new(ServiceConfig::new().with_workers(2));
         let input = lines(&[
-            Request::Submit(EvalRequest::new("mobilenetv2", 32, Strategy::GenericMapping)),
+            Request::Submit(Box::new(EvalRequest::new(
+                "mobilenetv2",
+                32,
+                Strategy::GenericMapping,
+            ))),
             Request::Poll(Target::Job(1)),
             Request::Wait { target: Target::Job(1), timeout_ms: None },
             Request::Poll(Target::Job(1)),
@@ -1045,10 +1058,12 @@ mod tests {
     fn connection_runs_batches_and_survives_garbage() {
         let service = EvalService::new(ServiceConfig::new().with_workers(2));
         let sweep = Request::Sweep {
-            spec: SweepSpec::new()
-                .with_model("mobilenetv2", 32)
-                .with_strategies(&[Strategy::GenericMapping])
-                .with_mg_sizes(&[4, 8]),
+            spec: Box::new(
+                SweepSpec::new()
+                    .with_model("mobilenetv2", 32)
+                    .with_strategies(&[Strategy::GenericMapping])
+                    .with_mg_sizes(&[4, 8]),
+            ),
             tenant: Some("alice".to_owned()),
             priority: Some(Priority::High),
         };
@@ -1112,11 +1127,11 @@ mod tests {
         entered_rx.recv().expect("blocker holds the marker");
 
         let mut connection = Connection::new(&service);
-        let (response, _) = connection.handle(Request::Submit(EvalRequest::new(
+        let (response, _) = connection.handle(Request::Submit(Box::new(EvalRequest::new(
             "mobilenetv2",
             32,
             Strategy::GenericMapping,
-        )));
+        ))));
         assert_eq!(response, Response::Accepted { job: 1 });
 
         // The bounded wait returns the current status near its deadline —

@@ -72,9 +72,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::journal::SweepJournal;
 use crate::trace_store::{TraceKey, TraceStore};
-use crate::{
-    CacheKey, DseError, DseOutcome, EvalCache, Job, ModelSpec, PointSpec, Progress, SweepSpec,
-};
+use crate::{DseError, DseOutcome, EvalCache, Job, ModelSpec, PointSpec, Progress, SweepSpec};
 
 /// Tenant name used when a request does not set one.
 pub const DEFAULT_TENANT: &str = "anonymous";
@@ -167,6 +165,20 @@ pub struct EvalRequest {
     pub tenant: Option<String>,
     /// Scheduling priority; `None` means [`Priority::Normal`].
     pub priority: Option<Priority>,
+    /// Serving workload; `None` keeps the classic single-inference
+    /// evaluation. (Absent on old wire clients, which parses as `None`.)
+    pub traffic: Option<TrafficRequest>,
+}
+
+/// The serving-workload attachment of an [`EvalRequest`]: one offered
+/// rate plus an optional workload preset (single-model — the wire
+/// surface has no model axis to co-locate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficRequest {
+    /// Offered request rate in requests/second (must be positive).
+    pub offered_qps: u64,
+    /// Workload preset; `None` means the default Poisson preset.
+    pub workload: Option<cimflow_traffic::WorkloadSpec>,
 }
 
 impl EvalRequest {
@@ -184,6 +196,7 @@ impl EvalRequest {
             mg_size: None,
             tenant: None,
             priority: None,
+            traffic: None,
         }
     }
 
@@ -243,6 +256,14 @@ impl EvalRequest {
         self
     }
 
+    /// Attaches a serving workload at `offered_qps` requests/second
+    /// (default Poisson preset; set `traffic.workload` for others).
+    #[must_use]
+    pub fn with_offered_qps(mut self, offered_qps: u64) -> Self {
+        self.traffic = Some(TrafficRequest { offered_qps, workload: None });
+        self
+    }
+
     /// Sets the priority.
     #[must_use]
     pub fn with_priority(mut self, priority: Priority) -> Self {
@@ -287,6 +308,7 @@ impl EvalRequest {
                 .map_or_else(|| u64::from(base.core.cim_unit.macros_per_group), u64::from),
             frequency_mhz: u64::from(base.chip().frequency_mhz),
             memory_port: u64::from(base.chip().memory_port),
+            offered_qps: self.traffic.as_ref().map_or(0, |t| t.offered_qps),
         }
     }
 
@@ -299,7 +321,17 @@ impl EvalRequest {
         let model = models::by_name(&spec.model.name, spec.model.resolution)
             .map(Arc::new)
             .ok_or_else(|| DseError::UnknownModel { name: spec.model.name.clone() });
-        Job { spec, arch, model }
+        let traffic = match (&self.traffic, &model) {
+            (Some(traffic), Ok(resolved)) => Some(Arc::new(crate::eval::TrafficJob {
+                workload: traffic.workload.clone().unwrap_or_default(),
+                colocated: vec![(
+                    crate::eval::served_model_name(&spec.model.name, spec.model.resolution),
+                    Arc::clone(resolved),
+                )],
+            })),
+            _ => None,
+        };
+        Job { spec, arch, model, traffic }
     }
 }
 
@@ -663,21 +695,35 @@ pub(crate) fn run_point(job: &Job, cache: &EvalCache, traces: Option<&TraceStore
         Err(e) => (Err(e.clone()), false),
         Ok(model) => {
             let evaluated = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                let key = CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
-                cache.get_or_insert_with(key, || match traces {
-                    Some(traces) => crate::evaluate_traced(
-                        &job.arch,
-                        model,
-                        job.spec.strategy,
-                        job.spec.search,
-                        traces,
-                    ),
-                    None => crate::evaluate_with_search(
-                        &job.arch,
-                        model,
-                        job.spec.strategy,
-                        job.spec.search,
-                    ),
+                let key = job.cache_key().expect("a resolved model always has a cache key");
+                cache.get_or_insert_with(key, || {
+                    let mut evaluation = match traces {
+                        Some(traces) => crate::evaluate_traced(
+                            &job.arch,
+                            model,
+                            job.spec.strategy,
+                            job.spec.search,
+                            traces,
+                        ),
+                        None => crate::evaluate_with_search(
+                            &job.arch,
+                            model,
+                            job.spec.strategy,
+                            job.spec.search,
+                        ),
+                    }?;
+                    if let Some(traffic) = job.active_traffic() {
+                        evaluation.serving = Some(crate::eval::serve_point(
+                            &job.arch,
+                            job.spec.strategy,
+                            job.spec.search,
+                            traffic,
+                            job.spec.offered_qps,
+                            &job.spec.model,
+                            traces,
+                        )?);
+                    }
+                    Ok(evaluation)
                 })
             }));
             match evaluated {
@@ -876,11 +922,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         shared.obs.workers_busy.sub(1);
         if let Some(journal) = &journal {
             // Best effort: journaling must never fail the sweep itself.
-            let key =
-                job.model.as_ref().ok().map(|model| {
-                    CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search)
-                });
-            let _ = journal.record(key, &outcome);
+            let _ = journal.record(job.cache_key(), &outcome);
         }
         let mut st = shared.state.lock().expect(STATE_POISONED);
         st.running -= 1;
@@ -1262,8 +1304,7 @@ impl EvalService {
         // Journal resumption is resolved before taking the state lock
         // (cache seeding must not nest the cache mutex inside it).
         let resumed: Option<DseOutcome> = journal.as_ref().and_then(|journal| {
-            let model = job.model.as_ref().ok()?;
-            let key = CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
+            let key = job.cache_key()?;
             let evaluation = journal.lookup(&key)?;
             self.shared.cache.insert(key, evaluation.clone());
             Some(DseOutcome { point: job.spec.clone(), result: Ok(evaluation), cached: true })
@@ -1491,8 +1532,7 @@ impl EvalService {
             .iter()
             .map(|job| {
                 let journal = journal.as_ref()?;
-                let model = job.model.as_ref().ok()?;
-                let key = CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
+                let key = job.cache_key()?;
                 let evaluation = journal.lookup(&key)?;
                 self.shared.cache.insert(key, evaluation.clone());
                 Some(DseOutcome { point: job.spec.clone(), result: Ok(evaluation), cached: true })
@@ -1671,6 +1711,7 @@ impl EvalService {
         let traces = self.shared.traces.stats();
         metrics.gauge("trace.recorded").set(traces.recorded as i64);
         metrics.gauge("trace.reused").set(traces.reused as i64);
+        metrics.gauge("trace.evicted").set(traces.evicted as i64);
         metrics.gauge("trace.entries").set(self.shared.traces.len() as i64);
     }
 
@@ -1721,7 +1762,7 @@ fn expand(spec: &SweepSpec) -> Result<Vec<Job>, Rejected> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::evaluate;
+    use crate::{evaluate, CacheKey};
     use cimflow_nn::Model;
 
     fn request(model: &str, strategy: Strategy) -> EvalRequest {

@@ -9,6 +9,7 @@
 
 use cimflow_arch::ArchConfig;
 use cimflow_compiler::{SearchMode, Strategy};
+use cimflow_traffic::WorkloadSpec;
 use serde::{Content, Deserialize, Serialize};
 
 use crate::DseError;
@@ -28,6 +29,77 @@ impl ModelSpec {
     /// Creates a model reference.
     pub fn new(name: impl Into<String>, resolution: u32) -> Self {
         ModelSpec { name: name.into(), resolution }
+    }
+}
+
+/// The serving-traffic section of a sweep: an offered-QPS axis plus the
+/// workload preset every point serves.
+///
+/// When present, every design point additionally runs the serving-mode
+/// simulator ([`Simulator::serve`](cimflow_sim::Simulator::serve)) at
+/// each offered rate, and evaluations carry SLO metrics (p50/p99/max
+/// latency under load, goodput, saturation QPS) next to the classic
+/// single-inference report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TrafficSpec {
+    /// Offered request rates in requests/second — the sweep axis
+    /// (required non-empty).
+    pub offered_qps: Vec<u64>,
+    /// The rate-free workload preset (arrival shape, seed, horizon,
+    /// batching knobs, mix).
+    pub workload: WorkloadSpec,
+    /// Serve **all** models of the sweep co-located on each point's
+    /// system (time-shared, per-model queues). When `false` each point
+    /// serves only its own model.
+    pub colocate: bool,
+}
+
+impl TrafficSpec {
+    /// A traffic section over `offered_qps` with the default Poisson
+    /// preset, no co-location.
+    pub fn new(offered_qps: &[u64]) -> Self {
+        TrafficSpec {
+            offered_qps: offered_qps.to_vec(),
+            workload: WorkloadSpec::default(),
+            colocate: false,
+        }
+    }
+
+    /// Sets the workload preset.
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Serves all sweep models co-located on each point's system.
+    #[must_use]
+    pub fn colocated(mut self) -> Self {
+        self.colocate = true;
+        self
+    }
+}
+
+impl Deserialize for TrafficSpec {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let map =
+            content.as_map().ok_or_else(|| serde::Error::new("expected map for TrafficSpec"))?;
+        fn opt<T: Deserialize>(
+            map: &[(String, Content)],
+            name: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match map.iter().find(|(k, _)| k == name) {
+                Some((_, Content::Null)) | None => Ok(None),
+                Some((_, v)) => T::deserialize(v)
+                    .map(Some)
+                    .map_err(|e| serde::Error::new(format!("TrafficSpec.{name}: {e}"))),
+            }
+        }
+        Ok(TrafficSpec {
+            offered_qps: opt(map, "offered_qps")?.unwrap_or_default(),
+            workload: opt(map, "workload")?.unwrap_or_default(),
+            colocate: opt(map, "colocate")?.unwrap_or(false),
+        })
     }
 }
 
@@ -69,6 +141,9 @@ pub struct SweepSpec {
     /// Global-memory-port mesh placements (node index); empty keeps the
     /// base value. Timing-only, like `frequencies_mhz`.
     pub memory_ports: Vec<u32>,
+    /// Serving-traffic section: an offered-QPS axis plus the workload
+    /// preset. `None` keeps the classic single-inference evaluation.
+    pub traffic: Option<TrafficSpec>,
     /// Worker threads for the executor; `None` lets the executor decide.
     pub workers: Option<usize>,
 }
@@ -89,6 +164,7 @@ impl SweepSpec {
             local_memory_kib: Vec::new(),
             frequencies_mhz: Vec::new(),
             memory_ports: Vec::new(),
+            traffic: None,
             workers: None,
         }
     }
@@ -177,6 +253,14 @@ impl SweepSpec {
         self
     }
 
+    /// Attaches a serving-traffic section (offered-QPS axis + workload
+    /// preset); every point then also runs the serving-mode simulator.
+    #[must_use]
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.traffic = Some(traffic);
+        self
+    }
+
     /// The base architecture of the sweep.
     pub fn base_arch(&self) -> ArchConfig {
         self.base.unwrap_or_else(ArchConfig::paper_default)
@@ -195,6 +279,7 @@ impl SweepSpec {
             * axis(self.mg_sizes.len())
             * axis(self.frequencies_mhz.len())
             * axis(self.memory_ports.len())
+            * axis(self.traffic.as_ref().map_or(0, |t| t.offered_qps.len()))
     }
 
     /// Resolves every axis of the sweep against the base architecture:
@@ -212,6 +297,16 @@ impl SweepSpec {
         }
         if self.strategies.is_empty() {
             return Err(DseError::spec("the `strategies` axis must name at least one strategy"));
+        }
+        if let Some(traffic) = &self.traffic {
+            if traffic.offered_qps.is_empty() {
+                return Err(DseError::spec(
+                    "the `traffic.offered_qps` axis must name at least one rate",
+                ));
+            }
+            if traffic.offered_qps.contains(&0) {
+                return Err(DseError::spec("`traffic.offered_qps` rates must be positive"));
+            }
         }
         let base = self.base_arch();
         Ok(SweepAxes {
@@ -232,6 +327,10 @@ impl SweepSpec {
             mg_sizes: effective_axis(&self.mg_sizes, base.core.cim_unit.macros_per_group),
             frequencies_mhz: effective_axis(&self.frequencies_mhz, base.chip().frequency_mhz),
             memory_ports: effective_axis(&self.memory_ports, base.chip().memory_port),
+            offered_qps: match &self.traffic {
+                Some(traffic) => traffic.offered_qps.clone(),
+                None => vec![0],
+            },
         })
     }
 
@@ -300,6 +399,7 @@ impl Deserialize for SweepSpec {
             local_memory_kib: opt(map, "local_memory_kib")?.unwrap_or_default(),
             frequencies_mhz: opt(map, "frequencies_mhz")?.unwrap_or_default(),
             memory_ports: opt(map, "memory_ports")?.unwrap_or_default(),
+            traffic: opt(map, "traffic")?,
             workers: opt(map, "workers")?,
         })
     }
@@ -316,9 +416,11 @@ fn effective_axis<T: Copy + Into<u64>>(values: &[T], base: T) -> Vec<u64> {
 /// Number of independent axes of a sweep grid (the length of a
 /// [`SweepAxes`] index vector), in expansion order: model, strategy,
 /// search mode, chip count, core count, local memory, flit size, MG
-/// size, frequency, memory port. The two timing-only axes sit innermost
-/// so the points of one trace group are adjacent in grid order.
-pub const AXIS_COUNT: usize = 10;
+/// size, frequency, memory port, offered QPS. The two timing-only axes
+/// and the offered-QPS axis sit innermost so the points of one trace
+/// group are adjacent in grid order (QPS never affects compilation or
+/// even single-inference timing — only the serving workload).
+pub const AXIS_COUNT: usize = 11;
 
 /// The resolved axes of a sweep grid: every empty [`SweepSpec`] axis
 /// pinned to its base-architecture value, addressable by `(axis,
@@ -353,6 +455,9 @@ pub struct SweepAxes {
     pub frequencies_mhz: Vec<u64>,
     /// The memory-port-placement axis (timing-only).
     pub memory_ports: Vec<u64>,
+    /// The offered-QPS axis (`[0]` when the sweep has no traffic
+    /// section — serving disabled).
+    pub offered_qps: Vec<u64>,
 }
 
 impl SweepAxes {
@@ -369,6 +474,7 @@ impl SweepAxes {
             self.mg_sizes.len(),
             self.frequencies_mhz.len(),
             self.memory_ports.len(),
+            self.offered_qps.len(),
         ]
     }
 
@@ -394,6 +500,7 @@ impl SweepAxes {
             mg_size: self.mg_sizes[indices[7]],
             frequency_mhz: self.frequencies_mhz[indices[8]],
             memory_port: self.memory_ports[indices[9]],
+            offered_qps: self.offered_qps[indices[10]],
         }
     }
 
@@ -430,7 +537,7 @@ impl SweepAxes {
 }
 
 /// One fully resolved design point of a sweep grid.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct PointSpec {
     /// The model evaluated at this point.
     pub model: ModelSpec,
@@ -452,6 +559,44 @@ pub struct PointSpec {
     pub frequency_mhz: u64,
     /// Global-memory-port mesh placement (timing-only).
     pub memory_port: u64,
+    /// Offered request rate in requests/second; `0` means the point runs
+    /// no serving workload (the classic single-inference evaluation).
+    pub offered_qps: u64,
+}
+
+// Manual Deserialize so journals written before the offered-QPS axis
+// existed (no `offered_qps` key) keep resuming; the missing field reads
+// as 0 = serving disabled, which is exactly what those runs evaluated.
+impl Deserialize for PointSpec {
+    fn deserialize(content: &Content) -> Result<Self, serde::Error> {
+        let map =
+            content.as_map().ok_or_else(|| serde::Error::new("expected map for PointSpec"))?;
+        fn field<T: Deserialize>(map: &[(String, Content)], name: &str) -> Result<T, serde::Error> {
+            let v = map
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| serde::Error::new(format!("PointSpec: missing field {name}")))?;
+            T::deserialize(v).map_err(|e| serde::Error::new(format!("PointSpec.{name}: {e}")))
+        }
+        Ok(PointSpec {
+            model: field(map, "model")?,
+            strategy: field(map, "strategy")?,
+            search: field(map, "search")?,
+            chip_count: field(map, "chip_count")?,
+            core_count: field(map, "core_count")?,
+            local_memory_kib: field(map, "local_memory_kib")?,
+            flit_bytes: field(map, "flit_bytes")?,
+            mg_size: field(map, "mg_size")?,
+            frequency_mhz: field(map, "frequency_mhz")?,
+            memory_port: field(map, "memory_port")?,
+            offered_qps: match map.iter().find(|(k, _)| k == "offered_qps") {
+                Some((_, Content::Null)) | None => 0,
+                Some((_, v)) => u64::deserialize(v)
+                    .map_err(|e| serde::Error::new(format!("PointSpec.offered_qps: {e}")))?,
+            },
+        })
+    }
 }
 
 impl PointSpec {
@@ -505,6 +650,9 @@ impl PointSpec {
         }
         if self.memory_port != u64::from(paper.chip().memory_port) {
             timing.push_str(&format!(" port={}", self.memory_port));
+        }
+        if self.offered_qps != 0 {
+            timing.push_str(&format!(" qps={}", self.offered_qps));
         }
         format!(
             "{}@{} {}{search} chips={} cores={} lmem={}KiB flit={}B mg={}{timing}",
@@ -733,6 +881,54 @@ mod tests {
             p.frequency_mhz == u64::from(base.chip().frequency_mhz)
                 && p.memory_port == u64::from(base.chip().memory_port)
         }));
+    }
+
+    #[test]
+    fn traffic_section_adds_an_innermost_qps_axis() {
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8])
+            .with_traffic(TrafficSpec::new(&[100, 1000, 10_000]));
+        assert_eq!(spec.point_count(), 6);
+        let points = spec.expand().unwrap();
+        // QPS varies fastest — all rates of one design share its trace.
+        assert_eq!(
+            points.iter().map(|p| (p.mg_size, p.offered_qps)).collect::<Vec<_>>(),
+            vec![(4, 100), (4, 1000), (4, 10_000), (8, 100), (8, 1000), (8, 10_000)]
+        );
+        assert!(points[0].label().contains("qps=100"));
+        // The rate never touches the architecture.
+        assert_eq!(points[0].arch(&spec.base_arch()), points[2].arch(&spec.base_arch()));
+        // Round trips through JSON, including the workload preset.
+        let spec = SweepSpec::new()
+            .with_model("resnet18", 32)
+            .with_strategies(&[Strategy::DpOptimized])
+            .with_traffic(
+                TrafficSpec::new(&[500])
+                    .with_workload(WorkloadSpec { requests: 64, ..WorkloadSpec::default() })
+                    .colocated(),
+            );
+        let back = SweepSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        // An empty QPS axis is a config mistake, and rate 0 is reserved
+        // for "serving disabled".
+        let empty = spec.clone().with_traffic(TrafficSpec::new(&[]));
+        assert!(empty.axes().is_err());
+        assert!(spec.with_traffic(TrafficSpec::new(&[0])).axes().is_err());
+        // Sweep files without a traffic section disable serving.
+        let legacy = SweepSpec::from_json(
+            "{\"models\": [{\"name\": \"resnet18\", \"resolution\": 32}], \"strategies\": [\"dp\"]}",
+        )
+        .unwrap();
+        assert!(legacy.traffic.is_none());
+        assert!(legacy.expand().unwrap().iter().all(|p| p.offered_qps == 0));
+        // Old journal rows (no offered_qps key) still deserialize.
+        let mut json = serde_json::to_string(&legacy.expand().unwrap()[0]).unwrap();
+        json = json.replace(",\"offered_qps\":0", "");
+        assert!(!json.contains("offered_qps"));
+        let point: PointSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(point.offered_qps, 0);
     }
 
     #[test]

@@ -86,30 +86,80 @@ pub struct TraceStoreStats {
     pub recorded: u64,
     /// Lookups served by an already-recorded trace.
     pub reused: u64,
+    /// Traces evicted by the LRU capacity bound (each eviction makes the
+    /// key re-recordable — correctness is unaffected, only reuse).
+    pub evicted: u64,
 }
 
-#[derive(Debug, Default)]
+/// Default [`TraceStore`] capacity, in entries. A recorded trace of a
+/// realistic model runs to megabytes, and long serve/explore sessions
+/// used to grow the store without bound; 128 entries comfortably covers
+/// every trace group of the paper-scale sweeps while capping memory.
+pub const DEFAULT_TRACE_CAPACITY: usize = 128;
+
+#[derive(Debug)]
 struct StoreInner {
-    entries: Mutex<HashMap<TraceKey, Arc<TraceEntry>>>,
+    /// Recorded traces plus the logical clock tick of their last use
+    /// (insertion or lookup) — the eviction scan removes the smallest.
+    entries: Mutex<HashMap<TraceKey, (Arc<TraceEntry>, u64)>>,
     /// Keys currently being recorded; guarded separately from `entries`
     /// so waiters do not hold the entry map across a recording.
     in_flight: Mutex<HashSet<TraceKey>>,
     in_flight_done: Condvar,
     recorded: AtomicU64,
     reused: AtomicU64,
+    evicted: AtomicU64,
+    /// Logical recency clock (bumped on every lookup/insert).
+    clock: AtomicU64,
+    /// Maximum number of stored traces (at least 1).
+    capacity: usize,
 }
 
 /// A concurrency-safe store of recorded traces shared by the workers of
 /// one evaluation service (cheap to clone; clones share the storage).
-#[derive(Debug, Clone, Default)]
+///
+/// The store is bounded: once [`capacity`](Self::capacity) traces are
+/// held, recording a new one evicts the least-recently-used entry (and
+/// counts it in [`TraceStoreStats::evicted`]). An evicted key simply
+/// records again on its next miss.
+#[derive(Debug, Clone)]
 pub struct TraceStore {
     inner: Arc<StoreInner>,
 }
 
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
 impl TraceStore {
-    /// Creates an empty store.
+    /// Creates an empty store with the default capacity
+    /// ([`DEFAULT_TRACE_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store holding at most `capacity` traces
+    /// (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        TraceStore {
+            inner: Arc::new(StoreInner {
+                entries: Mutex::new(HashMap::new()),
+                in_flight: Mutex::new(HashSet::new()),
+                in_flight_done: Condvar::new(),
+                recorded: AtomicU64::new(0),
+                reused: AtomicU64::new(0),
+                evicted: AtomicU64::new(0),
+                clock: AtomicU64::new(0),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Maximum number of traces the store holds before evicting.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
     }
 
     /// Number of recorded traces.
@@ -122,16 +172,23 @@ impl TraceStore {
         self.len() == 0
     }
 
-    /// The trace recorded under `key`, if any (does not count as reuse).
+    /// The trace recorded under `key`, if any (does not count as reuse,
+    /// but refreshes the entry's LRU recency).
     pub fn get(&self, key: &TraceKey) -> Option<Arc<TraceEntry>> {
-        self.inner.entries.lock().expect(STORE_POISONED).get(key).cloned()
+        let tick = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.inner.entries.lock().expect(STORE_POISONED);
+        entries.get_mut(key).map(|slot| {
+            slot.1 = tick;
+            Arc::clone(&slot.0)
+        })
     }
 
-    /// A snapshot of the recorded/reused counters.
+    /// A snapshot of the recorded/reused/evicted counters.
     pub fn stats(&self) -> TraceStoreStats {
         TraceStoreStats {
             recorded: self.inner.recorded.load(Ordering::Relaxed),
             reused: self.inner.reused.load(Ordering::Relaxed),
+            evicted: self.inner.evicted.load(Ordering::Relaxed),
         }
     }
 
@@ -191,7 +248,28 @@ impl TraceStore {
         };
         // Publish before releasing the in-flight marker so waiters
         // always observe the entry when they wake.
-        self.inner.entries.lock().expect(STORE_POISONED).insert(key, Arc::clone(&entry));
+        {
+            let tick = self.inner.clock.fetch_add(1, Ordering::Relaxed);
+            let mut entries = self.inner.entries.lock().expect(STORE_POISONED);
+            entries.insert(key, (Arc::clone(&entry), tick));
+            // LRU bound: evict the stalest entry other than the one just
+            // published (an O(n) scan — the map is at most `capacity`+1
+            // entries, far below where a recency list would pay off).
+            while entries.len() > self.inner.capacity {
+                let victim = entries
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, (_, tick))| *tick)
+                    .map(|(k, _)| *k);
+                match victim {
+                    Some(victim) => {
+                        entries.remove(&victim);
+                        self.inner.evicted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
         self.inner.recorded.fetch_add(1, Ordering::Relaxed);
         drop(guard);
         Ok((entry, true))
@@ -247,7 +325,57 @@ mod tests {
         assert!(!recorded);
         assert!(entry.trace.is_compatible(&retimed));
         assert_eq!(store.len(), 1);
-        assert_eq!(store.stats(), TraceStoreStats { recorded: 1, reused: 1 });
+        assert_eq!(store.stats(), TraceStoreStats { recorded: 1, reused: 1, evicted: 0 });
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let base = ArchConfig::paper_default();
+        let model = models::mobilenet_v2(32);
+        // One real recording, cloned per key: the test exercises the
+        // bound, not the recorder.
+        let template = record_entry(&base, &model);
+        let entry = || {
+            Ok(TraceEntry {
+                trace: template.trace.clone(),
+                compilation: template.compilation.clone(),
+                stages: template.stages,
+                mean_duplication: template.mean_duplication,
+            })
+        };
+        // Three distinct keys via compile-affecting flit sizes.
+        let key = |flit: u32| {
+            TraceKey::of(
+                &base.with_flit_bytes(flit),
+                &model,
+                Strategy::GenericMapping,
+                SearchMode::Sequential,
+            )
+        };
+        let (a, b, c) = (key(32), key(16), key(8));
+
+        let store = TraceStore::with_capacity(2);
+        assert_eq!(store.capacity(), 2);
+        store.get_or_record_with(a, entry).unwrap();
+        store.get_or_record_with(b, entry).unwrap();
+        assert_eq!(store.len(), 2);
+        // Touch `a` so `b` is the LRU victim when `c` arrives.
+        assert!(store.get(&a).is_some());
+        store.get_or_record_with(c, entry).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&a).is_some(), "recently used entry survives");
+        assert!(store.get(&b).is_none(), "LRU entry was evicted");
+        assert!(store.get(&c).is_some(), "new entry is held");
+        assert_eq!(store.stats(), TraceStoreStats { recorded: 3, reused: 0, evicted: 1 });
+
+        // The evicted key is simply re-recordable.
+        let (_, recorded) = store.get_or_record_with(b, entry).unwrap();
+        assert!(recorded);
+        assert_eq!(store.stats().evicted, 2);
+
+        // A zero capacity clamps to one entry rather than thrashing on
+        // an un-storable insert.
+        assert_eq!(TraceStore::with_capacity(0).capacity(), 1);
     }
 
     #[test]

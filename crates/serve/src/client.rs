@@ -179,7 +179,7 @@ impl Client {
     /// [`ClientError::Rejected`] on backpressure, transport/protocol
     /// errors otherwise.
     pub fn submit(&mut self, request: &EvalRequest) -> Result<u64, ClientError> {
-        match self.round_trip(&Request::Submit(request.clone()))? {
+        match self.round_trip(&Request::Submit(Box::new(request.clone())))? {
             Response::Accepted { job } => Ok(job),
             other => Self::unexpected("an acceptance", other),
         }
@@ -198,8 +198,11 @@ impl Client {
         tenant: Option<&str>,
         priority: Option<Priority>,
     ) -> Result<BatchTicket, ClientError> {
-        let request =
-            Request::Sweep { spec: spec.clone(), tenant: tenant.map(str::to_owned), priority };
+        let request = Request::Sweep {
+            spec: Box::new(spec.clone()),
+            tenant: tenant.map(str::to_owned),
+            priority,
+        };
         match self.round_trip(&request)? {
             Response::AcceptedBatch { batch, jobs, points, resumed } => {
                 Ok(BatchTicket { batch, jobs, points, resumed })
@@ -435,6 +438,37 @@ mod tests {
             .expect("latency histogram");
         assert_eq!(latency.kind, "histogram");
         assert!(latency.count.unwrap() >= 1);
+        server.stop();
+    }
+
+    #[test]
+    fn serving_metrics_cross_the_wire_for_traffic_requests() {
+        let service = Arc::new(EvalService::new(ServiceConfig::new().with_workers(1)));
+        let server = TcpServer::spawn(Arc::clone(&service), 0).expect("bind loopback");
+        let mut client = Client::connect(server.addr()).expect("connect");
+
+        let offline = client
+            .submit(&EvalRequest::new("mobilenetv2", 32, Strategy::GenericMapping))
+            .expect("admitted");
+        let outcome = client.wait_job(offline).expect("result");
+        assert!(outcome.ok && outcome.serving.is_none());
+
+        // The same design point under load: a distinct cache identity
+        // (traffic fingerprint) whose outcome carries SLO metrics.
+        let served = client
+            .submit(
+                &EvalRequest::new("mobilenetv2", 32, Strategy::GenericMapping)
+                    .with_offered_qps(500),
+            )
+            .expect("admitted");
+        let outcome = client.wait_job(served).expect("result");
+        assert!(outcome.ok, "{:?}", outcome.error);
+        assert!(!outcome.cached, "traffic fingerprint separates the cache identity");
+        let serving = outcome.serving.expect("serving metrics on the wire");
+        assert_eq!(serving.offered_qps, 500);
+        assert!(serving.p99_latency_us > 0.0);
+        assert!(serving.goodput_qps > 0.0);
+        assert!(serving.energy_mj > 0.0);
         server.stop();
     }
 

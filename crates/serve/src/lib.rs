@@ -54,5 +54,5 @@ pub use cimflow_dse::serve::{
 pub use cimflow_dse::{
     BatchHandle, CacheStats, DseError, DseOutcome, EvalCache, EvalRequest, EvalService, JobEvent,
     JobHandle, JobStatus, ModelSpec, Priority, Progress, Rejected, ServiceConfig, ServiceStats,
-    SweepJournal, SweepSpec, DEFAULT_TENANT,
+    ServingSummary, SweepJournal, SweepSpec, TrafficRequest, TrafficSpec, DEFAULT_TENANT,
 };

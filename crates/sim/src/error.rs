@@ -30,6 +30,13 @@ pub enum SimError {
         /// What was incompatible.
         detail: String,
     },
+    /// A serving-mode workload is unusable: invalid rate or mix, an
+    /// unreadable arrival-trace file, or co-located models that do not
+    /// share a clock frequency.
+    Traffic {
+        /// What was wrong with the workload.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -49,6 +56,9 @@ impl fmt::Display for SimError {
             }
             SimError::TraceMismatch { detail } => {
                 write!(f, "design point cannot replay the recorded trace: {detail}")
+            }
+            SimError::Traffic { detail } => {
+                write!(f, "serving workload rejected: {detail}")
             }
         }
     }

@@ -50,10 +50,12 @@ mod engine;
 mod error;
 mod replay;
 mod report;
+mod serving;
 mod trace;
 
 pub use engine::{HandoffMode, SimOptions, Simulator};
 pub use error::SimError;
 pub use replay::ReplayEngine;
 pub use report::{SimReport, UnitActivity};
+pub use serving::{LatencyStats, ModelServing, ServeModel, ServeSource, ServingReport};
 pub use trace::{SimTrace, TraceOp, TracePasses};

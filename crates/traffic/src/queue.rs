@@ -1,0 +1,309 @@
+//! The request queue + dynamic batcher at the chip boundary.
+//!
+//! [`run_queue`] is the deterministic discrete-event core of serving
+//! mode: it pushes a sorted open-loop request stream through per-model
+//! FIFO queues and a dynamic batcher in front of a single (multi-chip)
+//! system, given each model's single-inference latency and pipeline
+//! interval in ticks.
+//!
+//! ## Service model
+//!
+//! A dispatched batch of `k` requests of model `m` starting at tick `s`
+//! issues its inferences down the chip pipeline at the model's
+//! steady-state interval `I`: request `j` completes at
+//! `s + j·I + L` where `L` is the single-inference latency. The engine
+//! can accept the *next batch of the same model* at `s + k·I` (the
+//! pipeline stays warm), while switching models forces a pipeline
+//! drain — the next batch starts no earlier than the previous batch's
+//! last completion. Batching therefore amortizes model-switch drains,
+//! which is exactly why the dynamic batcher exists.
+//!
+//! ## Dispatch policy
+//!
+//! FIFO within a model; across models the batcher always serves the
+//! model whose head request arrived first. A batch dispatches at
+//! `max(engine_ready, min(t_full, t_head + max_queue_delay))`: the
+//! batcher holds an incomplete batch only while waiting is free or
+//! bounded by the delay knob, and never delays once the engine is
+//! ready and the window has closed. With `max_queue_delay = 0` the
+//! batcher is greedy — an idle system serves a lone request
+//! immediately, so its latency is *exactly* `L` ticks.
+
+use crate::workload::Request;
+
+/// Per-model service timing in ticks, taken from the cycle engine's
+/// report for the design point being served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelTiming {
+    /// Single-inference latency (`SimReport::total_cycles`).
+    pub latency: u64,
+    /// Steady-state pipeline interval
+    /// (`SimReport::pipeline_interval_cycles`), clamped to ≥ 1.
+    pub interval: u64,
+}
+
+/// One served request with its full timing provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Stream-order identifier of the request.
+    pub id: u64,
+    /// Model index.
+    pub model: usize,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Tick the request's batch dispatched.
+    pub dispatched: u64,
+    /// Tick the request's inference completed.
+    pub completed: u64,
+}
+
+impl Completion {
+    /// End-to-end latency in ticks (queueing + service).
+    pub fn latency(&self) -> u64 {
+        self.completed - self.arrival
+    }
+}
+
+/// One dispatched batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Model index.
+    pub model: usize,
+    /// Dispatch tick.
+    pub dispatched: u64,
+    /// Requests in the batch.
+    pub size: u64,
+}
+
+/// The outcome of pushing one request stream through the batcher.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueOutcome {
+    /// Every request's timing, in stream order.
+    pub completions: Vec<Completion>,
+    /// Every dispatched batch, in dispatch order.
+    pub batches: Vec<BatchRecord>,
+    /// `(tick, queued)` sampled at each dispatch (depth *after* the
+    /// batch left the queue).
+    pub depth_timeline: Vec<(u64, u64)>,
+    /// Deepest backlog observed (measured just before each dispatch).
+    pub peak_depth: u64,
+    /// Tick of the last completion.
+    pub makespan: u64,
+}
+
+impl QueueOutcome {
+    /// Mean batch size (1.0 when nothing was dispatched).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches.is_empty() {
+            return 1.0;
+        }
+        self.batches.iter().map(|b| b.size).sum::<u64>() as f64 / self.batches.len() as f64
+    }
+}
+
+/// Runs the queue + dynamic batcher over `requests` (sorted by arrival;
+/// each request's `model` indexes `timings`).
+///
+/// `max_batch` caps batch size (≥ 1), `max_queue_delay` bounds how long
+/// an incomplete batch may be held, both in ticks. Deterministic: one
+/// input, one outcome.
+///
+/// # Panics
+///
+/// When a request's model index is out of range for `timings`, when
+/// `max_batch` is 0, or when `requests` is not sorted by arrival —
+/// expansion via [`WorkloadSpec::generate`](crate::WorkloadSpec::generate)
+/// upholds all three.
+pub fn run_queue(
+    requests: &[Request],
+    timings: &[ModelTiming],
+    max_batch: u64,
+    max_queue_delay: u64,
+) -> QueueOutcome {
+    assert!(max_batch > 0, "max_batch must be positive");
+    assert!(
+        requests.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+        "requests must be sorted by arrival"
+    );
+    let max_batch = max_batch as usize;
+    // Per-model FIFO queues as index lists into `requests`.
+    let mut queues: Vec<Vec<usize>> = vec![Vec::new(); timings.len()];
+    for (index, request) in requests.iter().enumerate() {
+        queues[request.model].push(index);
+    }
+    let arrivals: Vec<u64> = requests.iter().map(|r| r.arrival).collect();
+    let arrived_by = |tick: u64| arrivals.partition_point(|a| *a <= tick) as u64;
+
+    let mut cursors = vec![0usize; timings.len()];
+    let mut engine_free = 0u64; // next same-model issue slot
+    let mut last_drain = 0u64; // last completion of the previous batch
+    let mut last_model: Option<usize> = None;
+    let mut dispatched_count = 0u64;
+
+    let mut completions = Vec::with_capacity(requests.len());
+    let mut batches = Vec::new();
+    let mut depth_timeline = Vec::new();
+    let mut peak_depth = 0u64;
+    let mut makespan = 0u64;
+
+    // FIFO across models: serve the model whose head arrived first.
+    while let Some(model) = queues
+        .iter()
+        .enumerate()
+        .filter(|(m, q)| cursors[*m] < q.len())
+        .min_by_key(|(m, q)| (requests[q[cursors[*m]]].arrival, *m))
+        .map(|(model, _)| model)
+    {
+        let queue = &queues[model];
+        let cursor = cursors[model];
+        let head = requests[queue[cursor]].arrival;
+        // Switching models drains the pipeline; staying keeps it warm.
+        let ready =
+            if last_model == Some(model) { engine_free } else { engine_free.max(last_drain) };
+        // Waiting helps only until the batch could fill — or until this
+        // model's last request has arrived (the stream is open-loop and
+        // fully known, so holding past that gains nothing).
+        let last_arrival = requests[*queue.last().expect("non-empty queue")].arrival;
+        let full_at = queue
+            .get(cursor + max_batch - 1)
+            .map_or(last_arrival, |index| requests[*index].arrival);
+        let window = full_at.min(head.saturating_add(max_queue_delay));
+        let dispatch_at = ready.max(window);
+        // Everything of this model that has arrived by the dispatch
+        // tick joins the batch, up to the cap.
+        let size = queue[cursor..]
+            .iter()
+            .take(max_batch)
+            .take_while(|index| requests[**index].arrival <= dispatch_at)
+            .count();
+        debug_assert!(size >= 1, "the head request always joins its batch");
+
+        let backlog = arrived_by(dispatch_at) - dispatched_count;
+        peak_depth = peak_depth.max(backlog);
+
+        let timing = timings[model];
+        let interval = timing.interval.max(1);
+        for (j, index) in queue[cursor..cursor + size].iter().enumerate() {
+            let request = requests[*index];
+            let completed = dispatch_at + j as u64 * interval + timing.latency;
+            makespan = makespan.max(completed);
+            completions.push(Completion {
+                id: request.id,
+                model,
+                arrival: request.arrival,
+                dispatched: dispatch_at,
+                completed,
+            });
+        }
+        batches.push(BatchRecord { model, dispatched: dispatch_at, size: size as u64 });
+        dispatched_count += size as u64;
+        depth_timeline.push((dispatch_at, backlog - size as u64));
+
+        engine_free = dispatch_at + size as u64 * interval;
+        last_drain = dispatch_at + (size as u64 - 1) * interval + timing.latency;
+        last_model = Some(model);
+        cursors[model] = cursor + size;
+    }
+    completions.sort_unstable_by_key(|c| c.id);
+    QueueOutcome { completions, batches, depth_timeline, peak_depth, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, model: usize, arrival: u64) -> Request {
+        Request { id, model, arrival }
+    }
+
+    const TIMING: ModelTiming = ModelTiming { latency: 1000, interval: 100 };
+
+    #[test]
+    fn idle_system_serves_at_exactly_single_inference_latency() {
+        // Arrivals far apart: every request is a lone greedy batch.
+        let requests: Vec<Request> = (0..8).map(|i| request(i, 0, i * 50_000)).collect();
+        let outcome = run_queue(&requests, &[TIMING], 8, 0);
+        for c in &outcome.completions {
+            assert_eq!(c.latency(), TIMING.latency, "idle latency must be exactly L");
+            assert_eq!(c.dispatched, c.arrival);
+        }
+        assert_eq!(outcome.batches.len(), 8);
+        assert_eq!(outcome.peak_depth, 1);
+    }
+
+    #[test]
+    fn backlog_forms_batches_and_pipelines_at_the_interval() {
+        // 16 requests at t=0, cap 8: two full batches.
+        let requests: Vec<Request> = (0..16).map(|i| request(i, 0, 0)).collect();
+        let outcome = run_queue(&requests, &[TIMING], 8, 0);
+        assert_eq!(outcome.batches.len(), 2);
+        assert_eq!(outcome.batches[0].size, 8);
+        assert_eq!(outcome.batches[0].dispatched, 0);
+        // Same model back-to-back: the pipe stays warm, next batch at 8I.
+        assert_eq!(outcome.batches[1].dispatched, 8 * 100);
+        // j-th request of a batch completes at s + j*I + L.
+        assert_eq!(outcome.completions[0].completed, 1000);
+        assert_eq!(outcome.completions[7].completed, 7 * 100 + 1000);
+        assert_eq!(outcome.completions[8].completed, 800 + 1000);
+        assert_eq!(outcome.peak_depth, 16);
+    }
+
+    #[test]
+    fn model_switches_drain_the_pipeline() {
+        let slow = ModelTiming { latency: 2000, interval: 250 };
+        let requests = vec![request(0, 0, 0), request(1, 1, 0), request(2, 0, 0)];
+        let outcome = run_queue(&requests, &[TIMING, slow], 8, 0);
+        // Model 0 wins the tie at t=0 and batches its two requests.
+        assert_eq!(outcome.batches[0], BatchRecord { model: 0, dispatched: 0, size: 2 });
+        // Model 1 must wait for the drain: last completion = 1*I + L.
+        assert_eq!(outcome.batches[1], BatchRecord { model: 1, dispatched: 1100, size: 1 });
+        assert_eq!(outcome.completions[1].completed, 1100 + 2000);
+        assert_eq!(outcome.makespan, 3100);
+    }
+
+    #[test]
+    fn queue_delay_window_holds_then_closes() {
+        let requests = vec![request(0, 0, 0), request(1, 0, 60)];
+        // Window 100 ticks, cap 2: the batcher waits for the second
+        // request (it arrives inside the window) and dispatches both.
+        let held = run_queue(&requests, &[TIMING], 2, 100);
+        assert_eq!(held.batches.len(), 1);
+        assert_eq!(held.batches[0], BatchRecord { model: 0, dispatched: 60, size: 2 });
+        // Window 30 ticks: the window closes first; two lone batches.
+        let closed = run_queue(&requests, &[TIMING], 2, 30);
+        assert_eq!(closed.batches.len(), 2);
+        assert_eq!(closed.batches[0].dispatched, 30);
+        // Greedy (window 0): dispatch immediately on arrival.
+        let greedy = run_queue(&requests, &[TIMING], 2, 0);
+        assert_eq!(greedy.batches[0].dispatched, 0);
+    }
+
+    #[test]
+    fn fifo_is_preserved_within_and_across_models() {
+        let requests = vec![
+            request(0, 1, 10),
+            request(1, 0, 20),
+            request(2, 1, 10_000),
+            request(3, 0, 10_010),
+        ];
+        let outcome = run_queue(&requests, &[TIMING, TIMING], 4, 0);
+        // Head-arrival order decides: model 1 first, then model 0.
+        assert_eq!(outcome.batches[0].model, 1);
+        assert_eq!(outcome.batches[1].model, 0);
+        let by_id: Vec<u64> = outcome.completions.iter().map(|c| c.id).collect();
+        assert_eq!(by_id, vec![0, 1, 2, 3], "completions are reported in stream order");
+        for c in &outcome.completions {
+            assert!(c.completed > c.arrival);
+        }
+    }
+
+    #[test]
+    fn saturated_single_model_throughput_approaches_one_per_interval() {
+        // Everything arrives at t=0: pure backlog drain.
+        let n: u64 = 512;
+        let requests: Vec<Request> = (0..n).map(|i| request(i, 0, 0)).collect();
+        let outcome = run_queue(&requests, &[TIMING], 8, 0);
+        // Makespan = (n-1)*I + L: the pipe never drains between batches.
+        assert_eq!(outcome.makespan, (n - 1) * 100 + 1000);
+    }
+}
