@@ -604,19 +604,28 @@ mod tests {
     #[test]
     fn concurrent_lookups_of_one_key_evaluate_once() {
         use std::sync::atomic::{AtomicU32, Ordering};
+        use std::sync::Barrier;
 
         let cache = EvalCache::new();
         let arch = ArchConfig::paper_default();
         let model = models::mobilenet_v2(32);
         let key = CacheKey::of(&arch, &model, Strategy::GenericMapping, SearchMode::Sequential);
         let evaluations = AtomicU32::new(0);
+        // All four threads line up at the call site, and the winning
+        // evaluation holds long enough for the losers to reach the
+        // in-flight marker — otherwise (notably on a single-CPU box) a
+        // fast winner can finish before the others are scheduled at all,
+        // turning the waiters into plain warm hits.
+        let arrive = Barrier::new(4);
 
         std::thread::scope(|scope| {
             for _ in 0..4 {
                 scope.spawn(|| {
+                    arrive.wait();
                     let (_, _) = cache
                         .get_or_insert_with(key, || {
                             evaluations.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_millis(200));
                             evaluate(&arch, &model, Strategy::GenericMapping)
                         })
                         .unwrap();

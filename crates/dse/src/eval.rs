@@ -327,6 +327,46 @@ pub fn evaluate_traced(
     }
 }
 
+/// Re-times one recorded trace for a whole group of timing-only points
+/// with a single lockstep [`ReplayEngine::replay_batch_stats`] call —
+/// the service's trace-group fast path. Every member must share the
+/// entry's [`TraceKey`]; compile-side facts are cloned from the entry
+/// exactly as [`evaluate_traced`] does. Each member gets its own result
+/// (a refused or failed member errs individually so the caller can fall
+/// back to the full pipeline for just that point), plus the batch's
+/// lockstep counters.
+pub(crate) fn evaluate_replay_group(
+    entry: &TraceEntry,
+    model: &Model,
+    strategy: Strategy,
+    search: SearchMode,
+    arches: &[ArchConfig],
+) -> (Vec<Result<Evaluation, SimError>>, cimflow_sim::LockstepStats) {
+    let engine = ReplayEngine::new(&entry.trace);
+    let points: Vec<(ArchConfig, SimOptions)> =
+        arches.iter().map(|arch| (*arch, SimOptions::default())).collect();
+    let (reports, stats) = engine.replay_batch_stats(&points);
+    let evaluations = arches
+        .iter()
+        .zip(reports)
+        .map(|(arch, report)| {
+            report.map(|simulation| Evaluation {
+                model: model.name.clone(),
+                strategy,
+                search,
+                arch: *arch,
+                compilation: entry.compilation.clone(),
+                stages: entry.stages,
+                mean_duplication: entry.mean_duplication,
+                simulation,
+                eval_path: EvalPath::Replayed,
+                serving: None,
+            })
+        })
+        .collect();
+    (evaluations, stats)
+}
+
 /// Runs the serving-mode simulator for one design point: every
 /// co-located model of `traffic` is sourced from the shared
 /// [`TraceStore`] when one is available (the first point of a trace
@@ -351,23 +391,95 @@ pub(crate) fn serve_point(
     own: &crate::ModelSpec,
     traces: Option<&TraceStore>,
 ) -> Result<ServingSummary, DseError> {
-    // Phase 1: pin every model's program source (owned), so phase 2 can
-    // borrow trace/program references with one lifetime.
-    enum Held {
-        Trace(Arc<TraceEntry>),
-        Compiled(Box<CompiledProgram>),
-    }
-    let compile = |model: &Model| -> Result<CompiledProgram, DseError> {
-        let options = CompileOptions { strategy, search, ..CompileOptions::default() };
-        Ok(compile_with_options(model, arch, options)?)
+    let held = hold_sources(arch, strategy, search, traffic, traces)?;
+    let serve = |held: &[(String, Held)]| {
+        Simulator::serve(
+            &serve_models(held, arch),
+            &traffic.workload,
+            offered_qps,
+            SimOptions::default(),
+        )
     };
+    let report = match serve(&held) {
+        Ok(report) => report,
+        // The replay engine never approximates: a refused trace sends
+        // every model through a fresh compile instead.
+        Err(SimError::TraceMismatch { .. }) => {
+            serve(&recompile_sources(arch, strategy, search, traffic)?)?
+        }
+        Err(e) => return Err(e.into()),
+    };
+    Ok(ServingSummary::of(&report, &served_model_name(&own.name, own.resolution)))
+}
+
+/// [`serve_point`] for a whole co-located rate ladder: the program
+/// sources are pinned **once** and every rung reuses the same
+/// single-inference reports through [`Simulator::serve_ladder`] — the
+/// service's ladder-group fast path. Rung-level failures (e.g. a
+/// zero-QPS rung) err individually.
+///
+/// # Errors
+///
+/// Same conditions as [`serve_point`], for failures that sink the whole
+/// ladder (unresolvable sources, refused traces even after recompiling).
+pub(crate) fn serve_ladder_points(
+    arch: &ArchConfig,
+    strategy: Strategy,
+    search: SearchMode,
+    traffic: &TrafficJob,
+    rates: &[u64],
+    own: &crate::ModelSpec,
+    traces: Option<&TraceStore>,
+) -> Result<Vec<Result<ServingSummary, DseError>>, DseError> {
+    let held = hold_sources(arch, strategy, search, traffic, traces)?;
+    let ladder = |held: &[(String, Held)]| {
+        Simulator::serve_ladder(
+            &serve_models(held, arch),
+            &traffic.workload,
+            rates,
+            SimOptions::default(),
+        )
+    };
+    let reports = match ladder(&held) {
+        Ok(reports) => reports,
+        Err(SimError::TraceMismatch { .. }) => {
+            ladder(&recompile_sources(arch, strategy, search, traffic)?)?
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let own_name = served_model_name(&own.name, own.resolution);
+    Ok(reports
+        .into_iter()
+        .map(|rung| {
+            rung.map(|report| ServingSummary::of(&report, &own_name)).map_err(DseError::from)
+        })
+        .collect())
+}
+
+/// An owned program source pinned for serving, so the borrow phase can
+/// take trace/program references with one lifetime.
+enum Held {
+    Trace(Arc<TraceEntry>),
+    Compiled(Box<CompiledProgram>),
+}
+
+/// Pins every co-located model's program source: from the shared
+/// [`TraceStore`] when one is available (recording on first touch),
+/// freshly compiled otherwise.
+fn hold_sources(
+    arch: &ArchConfig,
+    strategy: Strategy,
+    search: SearchMode,
+    traffic: &TrafficJob,
+    traces: Option<&TraceStore>,
+) -> Result<Vec<(String, Held)>, DseError> {
     let mut held: Vec<(String, Held)> = Vec::with_capacity(traffic.colocated.len());
     for (name, model) in &traffic.colocated {
         let source = match traces {
             Some(traces) => {
                 let key = TraceKey::of(arch, model, strategy, search);
                 let (entry, _) = traces.get_or_record_with(key, || {
-                    let compiled = compile(model)?;
+                    let compiled = compile_for(arch, strategy, search, model)?;
                     let (trace, _) = Simulator::record(&compiled)?;
                     Ok(TraceEntry {
                         trace,
@@ -378,35 +490,49 @@ pub(crate) fn serve_point(
                 })?;
                 Held::Trace(entry)
             }
-            None => Held::Compiled(Box::new(compile(model)?)),
+            None => Held::Compiled(Box::new(compile_for(arch, strategy, search, model)?)),
         };
         held.push((name.clone(), source));
     }
-    let serve = |held: &[(String, Held)]| {
-        let models: Vec<ServeModel<'_>> = held
-            .iter()
-            .map(|(name, source)| match source {
-                Held::Trace(entry) => ServeModel::traced(name.clone(), &entry.trace, *arch),
-                Held::Compiled(program) => ServeModel::compiled(name.clone(), program),
-            })
-            .collect();
-        Simulator::serve(&models, &traffic.workload, offered_qps, SimOptions::default())
-    };
-    let report = match serve(&held) {
-        Ok(report) => report,
-        // The replay engine never approximates: a refused trace sends
-        // every model through a fresh compile instead.
-        Err(SimError::TraceMismatch { .. }) => {
-            let recompiled: Vec<(String, Held)> = traffic
-                .colocated
-                .iter()
-                .map(|(name, model)| Ok((name.clone(), Held::Compiled(Box::new(compile(model)?)))))
-                .collect::<Result<_, DseError>>()?;
-            serve(&recompiled)?
-        }
-        Err(e) => return Err(e.into()),
-    };
-    Ok(ServingSummary::of(&report, &served_model_name(&own.name, own.resolution)))
+    Ok(held)
+}
+
+/// Fresh compiles for every co-located model (the trace-refusal path).
+fn recompile_sources(
+    arch: &ArchConfig,
+    strategy: Strategy,
+    search: SearchMode,
+    traffic: &TrafficJob,
+) -> Result<Vec<(String, Held)>, DseError> {
+    traffic
+        .colocated
+        .iter()
+        .map(|(name, model)| {
+            Ok((
+                name.clone(),
+                Held::Compiled(Box::new(compile_for(arch, strategy, search, model)?)),
+            ))
+        })
+        .collect()
+}
+
+fn compile_for(
+    arch: &ArchConfig,
+    strategy: Strategy,
+    search: SearchMode,
+    model: &Model,
+) -> Result<CompiledProgram, DseError> {
+    let options = CompileOptions { strategy, search, ..CompileOptions::default() };
+    Ok(compile_with_options(model, arch, options)?)
+}
+
+fn serve_models<'a>(held: &'a [(String, Held)], arch: &ArchConfig) -> Vec<ServeModel<'a>> {
+    held.iter()
+        .map(|(name, source)| match source {
+            Held::Trace(entry) => ServeModel::traced(name.clone(), &entry.trace, *arch),
+            Held::Compiled(program) => ServeModel::compiled(name.clone(), program),
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -72,7 +72,10 @@ use serde::{Deserialize, Serialize};
 
 use crate::journal::SweepJournal;
 use crate::trace_store::{TraceKey, TraceStore};
-use crate::{DseError, DseOutcome, EvalCache, Job, ModelSpec, PointSpec, Progress, SweepSpec};
+use crate::{
+    traffic_fingerprint, CacheKey, DseError, DseOutcome, EvalCache, EvalPath, Job, ModelSpec,
+    PointSpec, Progress, SweepSpec,
+};
 
 /// Tenant name used when a request does not set one.
 pub const DEFAULT_TENANT: &str = "anonymous";
@@ -561,6 +564,27 @@ struct BatchState {
     progress: mpsc::Sender<Progress>,
 }
 
+/// Identity of a multi-point fast-path group within the queue: members
+/// that one worker claims together and answers with a single batched
+/// engine call instead of per-point jobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GroupKey {
+    /// Timing-only points sharing one recorded trace — answered by one
+    /// lockstep [`replay_batch`](cimflow_sim::ReplayEngine::replay_batch)
+    /// call.
+    Trace(TraceKey),
+    /// Rate rungs of one design point under one serving workload —
+    /// answered by one [`serve_ladder`](cimflow_sim::Simulator::serve_ladder)
+    /// call that resolves the co-located singles once. The fields are the
+    /// rate-free cache key plus the rate-free traffic fingerprint.
+    Ladder(CacheKey, u64),
+}
+
+/// Most queued entries one claim drains into a single group run. Bounds
+/// worst-case latency skew (a drained member waits on the whole group)
+/// and keeps huge sweeps spread across the worker pool.
+const GROUP_CLAIM_MAX: usize = 32;
+
 #[derive(Debug)]
 struct Entry {
     job: Job,
@@ -570,6 +594,9 @@ struct Entry {
     /// whose trace group has at least two members, so singletons never
     /// pay the recording overhead).
     traced: bool,
+    /// The fast-path group this entry belongs to (set only for batch
+    /// points whose group has at least two live members).
+    group: Option<GroupKey>,
     /// Admission time, the basis of the queue-wait histogram.
     submitted_at: Instant,
     status: JobStatus,
@@ -645,6 +672,14 @@ struct ServiceObs {
     /// Replay throughput in points per second, one sample per replayed
     /// point.
     replay_rate: Histogram,
+    /// Lockstep replay walks executed by grouped claims (one walk
+    /// re-times every cycle-distinct lane of a chunk in a single pass).
+    lockstep_batches: Counter,
+    /// Cycle-distinct lanes those walks carried.
+    lockstep_lanes: Counter,
+    /// Lanes peeled off to scalar continuation on a schedule divergence
+    /// (the bit-exact fallback, never an approximation).
+    lockstep_fallbacks: Counter,
 }
 
 impl ServiceObs {
@@ -658,6 +693,9 @@ impl ServiceObs {
             replay_points: metrics.counter("sim.replay_points"),
             trace_reuse: metrics.counter("sim.trace_reuse"),
             replay_rate: metrics.histogram("sim.replay_points_per_s"),
+            lockstep_batches: metrics.counter("sim.lockstep_batches"),
+            lockstep_lanes: metrics.counter("sim.lockstep_lanes"),
+            lockstep_fallbacks: metrics.counter("sim.lockstep_fallbacks"),
             metrics,
             tracer,
         }
@@ -829,6 +867,227 @@ fn release(shared: &Shared, ids: &[u64]) {
     }
 }
 
+/// One queued entry claimed by a worker, with everything the processing
+/// path needs outside the state lock.
+struct ClaimedMember {
+    id: u64,
+    job: Job,
+    journal: Option<Arc<SweepJournal>>,
+    queue_wait: Duration,
+}
+
+/// One worker's claim: the leader entry plus any drained members of its
+/// fast-path group (see [`GroupKey`]); solo claims carry one member.
+struct Claim {
+    members: Vec<ClaimedMember>,
+    tenant: String,
+    priority: Priority,
+    traced: bool,
+    group: Option<GroupKey>,
+}
+
+/// Marks a queued entry Running, streams its Started event and extracts
+/// the processing payload. Caller holds the state lock and adjusts the
+/// queued/running counters.
+fn claim_entry(st: &mut State, id: u64) -> ClaimedMember {
+    let entry = st.entries.get_mut(&id).expect("claimed entry exists");
+    entry.status = JobStatus::Running;
+    if let Some(tx) = &entry.events {
+        let _ = tx.send(JobEvent::Started);
+    }
+    ClaimedMember {
+        id,
+        job: entry.job.clone(),
+        journal: entry.journal.clone(),
+        queue_wait: entry.submitted_at.elapsed(),
+    }
+}
+
+/// Answers a drained trace group: the leader runs the standard traced
+/// pipeline (recording the trace on a store miss), then every remaining
+/// member is re-timed through **one** lockstep
+/// [`replay_batch`](cimflow_sim::ReplayEngine::replay_batch) call instead
+/// of per-point replays. Members the batch call refuses, and groups whose
+/// trace is unavailable, fall back to the solo path — the fast path never
+/// changes results, only how many passes over the trace they cost.
+fn run_trace_group(shared: &Shared, members: &[ClaimedMember], key: TraceKey) -> Vec<DseOutcome> {
+    let mut outcomes: Vec<Option<DseOutcome>> = members.iter().map(|_| None).collect();
+    // The leader seeds the trace store (or replays an existing trace).
+    outcomes[0] = Some(run_point(&members[0].job, &shared.cache, Some(&shared.traces)));
+    // Cache pre-check: members answered by earlier submissions are hits.
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, member) in members.iter().enumerate().skip(1) {
+        let cache_key = member.job.cache_key().expect("grouped jobs have resolved models");
+        match shared.cache.get(&cache_key) {
+            Some(evaluation) => {
+                outcomes[i] = Some(DseOutcome {
+                    point: member.job.spec.clone(),
+                    result: Ok(evaluation),
+                    cached: true,
+                });
+            }
+            None => pending.push(i),
+        }
+    }
+    if !pending.is_empty() {
+        let replayed = shared.traces.get(&key).and_then(|entry| {
+            let job = &members[pending[0]].job;
+            let model = job.model.as_ref().ok()?;
+            let arches: Vec<ArchConfig> = pending.iter().map(|&i| members[i].job.arch).collect();
+            // One batched walk for every pending member. A panic inside
+            // the engine downgrades the group to solo runs (which carry
+            // their own panic containment).
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::eval::evaluate_replay_group(
+                    &entry,
+                    model,
+                    job.spec.strategy,
+                    job.spec.search,
+                    &arches,
+                )
+            }))
+            .ok()
+        });
+        match replayed {
+            Some((evaluations, stats)) => {
+                shared.obs.lockstep_batches.add(stats.batches);
+                shared.obs.lockstep_lanes.add(stats.lanes);
+                shared.obs.lockstep_fallbacks.add(stats.fallback_lanes);
+                let served = evaluations.iter().filter(|e| e.is_ok()).count() as u64;
+                shared.traces.note_reuse(served);
+                for (&i, evaluation) in pending.iter().zip(evaluations) {
+                    let member = &members[i];
+                    outcomes[i] = match evaluation {
+                        Ok(evaluation) => {
+                            let cache_key = member.job.cache_key().expect("grouped jobs have keys");
+                            match shared.cache.get_or_insert_with(cache_key, || Ok(evaluation)) {
+                                Ok((evaluation, was_hit)) => Some(DseOutcome {
+                                    point: member.job.spec.clone(),
+                                    result: Ok(evaluation),
+                                    cached: was_hit,
+                                }),
+                                Err(e) => Some(DseOutcome {
+                                    point: member.job.spec.clone(),
+                                    result: Err(e),
+                                    cached: false,
+                                }),
+                            }
+                        }
+                        // The engine refused this lane (it never
+                        // approximates): the standard per-point path
+                        // decides what to do with the point.
+                        Err(_) => Some(run_point(&member.job, &shared.cache, Some(&shared.traces))),
+                    };
+                }
+            }
+            // No stored trace (evicted, or the leader failed before
+            // recording): every member runs the standard path.
+            None => {
+                for &i in &pending {
+                    outcomes[i] =
+                        Some(run_point(&members[i].job, &shared.cache, Some(&shared.traces)));
+                }
+            }
+        }
+    }
+    outcomes.into_iter().map(|outcome| outcome.expect("every member answered")).collect()
+}
+
+/// Answers a drained rate-ladder group: one shared design evaluation plus
+/// one [`serve_ladder`](cimflow_sim::Simulator::serve_ladder) call that
+/// pins the co-located program sources and resolves their
+/// single-inference reports **once** for every rung of the ladder.
+/// Rung-level failures (and a failed ladder) fall back to the solo path.
+fn run_ladder_group(shared: &Shared, members: &[ClaimedMember]) -> Vec<DseOutcome> {
+    let mut outcomes: Vec<Option<DseOutcome>> = members.iter().map(|_| None).collect();
+    // Cache pre-check: rungs answered by earlier submissions are hits.
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, member) in members.iter().enumerate() {
+        let cache_key = member.job.cache_key().expect("grouped jobs have resolved models");
+        match shared.cache.get(&cache_key) {
+            Some(evaluation) => {
+                outcomes[i] = Some(DseOutcome {
+                    point: member.job.spec.clone(),
+                    result: Ok(evaluation),
+                    cached: true,
+                });
+            }
+            None => pending.push(i),
+        }
+    }
+    let solo = |i: usize| run_point(&members[i].job, &shared.cache, Some(&shared.traces));
+    if !pending.is_empty() {
+        let lead = &members[pending[0]].job;
+        let rates: Vec<u64> = pending.iter().map(|&i| members[i].job.spec.offered_qps).collect();
+        let group = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let model = lead.model.as_ref().ok()?;
+            let traffic = lead.active_traffic()?;
+            let evaluation = crate::evaluate_traced(
+                &lead.arch,
+                model,
+                lead.spec.strategy,
+                lead.spec.search,
+                &shared.traces,
+            )
+            .ok()?;
+            let summaries = crate::eval::serve_ladder_points(
+                &lead.arch,
+                lead.spec.strategy,
+                lead.spec.search,
+                traffic,
+                &rates,
+                &lead.spec.model,
+                Some(&shared.traces),
+            )
+            .ok()?;
+            Some((evaluation, summaries))
+        }))
+        .ok()
+        .flatten();
+        match group {
+            Some((base, summaries)) => {
+                for (slot, (&i, summary)) in pending.iter().zip(summaries).enumerate() {
+                    let member = &members[i];
+                    outcomes[i] = match summary {
+                        Ok(summary) => {
+                            let mut evaluation = base.clone();
+                            // The first fresh rung carries the shared
+                            // evaluation's provenance (it may have
+                            // recorded); later rungs replay that work.
+                            if slot > 0 {
+                                evaluation.eval_path = EvalPath::Replayed;
+                            }
+                            evaluation.serving = Some(summary);
+                            let cache_key = member.job.cache_key().expect("grouped jobs have keys");
+                            match shared.cache.get_or_insert_with(cache_key, || Ok(evaluation)) {
+                                Ok((evaluation, was_hit)) => Some(DseOutcome {
+                                    point: member.job.spec.clone(),
+                                    result: Ok(evaluation),
+                                    cached: was_hit,
+                                }),
+                                Err(e) => Some(DseOutcome {
+                                    point: member.job.spec.clone(),
+                                    result: Err(e),
+                                    cached: false,
+                                }),
+                            }
+                        }
+                        // A failed rung (e.g. a zero rate) reproduces its
+                        // error through the standard per-point path.
+                        Err(_) => Some(solo(i)),
+                    };
+                }
+            }
+            None => {
+                for &i in &pending {
+                    outcomes[i] = Some(solo(i));
+                }
+            }
+        }
+    }
+    outcomes.into_iter().map(|outcome| outcome.expect("every member answered")).collect()
+}
+
 fn worker_loop(shared: Arc<Shared>, index: usize) {
     // Workers publish their tracer as the thread's ambient tracer, so
     // layers below the service boundary — notably the compiler's joint
@@ -842,7 +1101,8 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         let claimed = {
             let mut st = shared.state.lock().expect(STATE_POISONED);
             loop {
-                // Pop past stale refs (cancelled or released entries).
+                // Pop past stale refs (cancelled, released, or drained
+                // into an earlier group claim).
                 let next = loop {
                     match st.queue.pop() {
                         Some(claim) => match st.entries.get(&claim.id) {
@@ -854,79 +1114,145 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
                 };
                 match next {
                     Some(id) => {
-                        let entry = st.entries.get_mut(&id).expect("claimed entry exists");
-                        entry.status = JobStatus::Running;
-                        if let Some(tx) = &entry.events {
-                            let _ = tx.send(JobEvent::Started);
-                        }
-                        let job = entry.job.clone();
-                        let journal = entry.journal.clone();
+                        let entry = st.entries.get(&id).expect("claimed entry exists");
                         let tenant =
                             entry.tenant.clone().unwrap_or_else(|| DEFAULT_TENANT.to_owned());
                         let priority = entry.priority;
                         let traced = entry.traced;
-                        let queue_wait = entry.submitted_at.elapsed();
-                        st.queued -= 1;
-                        st.running += 1;
+                        let group = entry.group.clone();
+                        let mut members = vec![claim_entry(&mut st, id)];
+                        // Drain the rest of a fast-path group: every
+                        // still-queued member with the same key is
+                        // answered together by one batched engine call.
+                        // (Their stale heap refs are skipped lazily by
+                        // the claim scan above.)
+                        if let Some(key) = &group {
+                            let mut more: Vec<u64> = st
+                                .entries
+                                .iter()
+                                .filter(|(other, e)| {
+                                    **other != id
+                                        && e.status == JobStatus::Queued
+                                        && e.group.as_ref() == Some(key)
+                                        && e.priority == priority
+                                        && e.tenant.as_deref().unwrap_or(DEFAULT_TENANT) == tenant
+                                })
+                                .map(|(other, _)| *other)
+                                .collect();
+                            // Submission order, bounded: the map iterates
+                            // in arbitrary order.
+                            more.sort_unstable();
+                            more.truncate(GROUP_CLAIM_MAX - 1);
+                            for other in more {
+                                members.push(claim_entry(&mut st, other));
+                            }
+                        }
+                        st.queued -= members.len();
+                        st.running += members.len();
                         shared.obs.queue_depth.set(st.queued as i64);
-                        break Some((id, job, journal, tenant, priority, traced, queue_wait));
+                        break Some(Claim { members, tenant, priority, traced, group });
                     }
                     None if st.shutting_down => break None,
                     None => st = shared.work.wait(st).expect(STATE_POISONED),
                 }
             }
         };
-        let Some((id, job, journal, tenant, priority, traced, queue_wait)) = claimed else {
+        let Some(claim) = claimed else {
             return;
         };
         shared.obs.workers_busy.add(1);
-        shared
-            .obs
-            .metrics
-            .histogram_with(
-                "service.queue_wait_us",
-                &[("tenant", &tenant), ("priority", priority.name())],
-            )
-            .record_duration(queue_wait);
-        let mut span = shared.obs.tracer.as_ref().map(|tracer| {
-            let mut span = tracer.thread_span("eval", "service");
-            span.attr("label", job.spec.label())
-                .attr("tenant", tenant.as_str())
-                .attr("priority", priority.name())
-                .attr("queue_wait_us", u64::try_from(queue_wait.as_micros()).unwrap_or(u64::MAX));
-            span
-        });
+        let queue_wait_hist = shared.obs.metrics.histogram_with(
+            "service.queue_wait_us",
+            &[("tenant", &claim.tenant), ("priority", claim.priority.name())],
+        );
+        for member in &claim.members {
+            queue_wait_hist.record_duration(member.queue_wait);
+        }
         let eval_started = Instant::now();
-        let traces = traced.then_some(&shared.traces);
-        let outcome = run_point(&job, &shared.cache, traces);
+        let outcomes: Vec<DseOutcome> = if claim.members.len() >= 2 {
+            // Grouped claim: one batched engine call for the members,
+            // under a replay-phase span.
+            let key = claim.group.as_ref().expect("multi-member claims carry a group key");
+            let kind = match key {
+                GroupKey::Trace(_) => "trace",
+                GroupKey::Ladder(..) => "ladder",
+            };
+            let mut span = shared.obs.tracer.as_ref().map(|tracer| {
+                let mut span = tracer.thread_span("replay", "service");
+                span.attr("kind", kind)
+                    .attr("points", claim.members.len() as u64)
+                    .attr("label", claim.members[0].job.spec.label())
+                    .attr("tenant", claim.tenant.as_str())
+                    .attr("priority", claim.priority.name());
+                span
+            });
+            let outcomes = match key {
+                GroupKey::Trace(trace_key) => run_trace_group(&shared, &claim.members, *trace_key),
+                GroupKey::Ladder(..) => run_ladder_group(&shared, &claim.members),
+            };
+            if let Some(span) = span.as_mut() {
+                span.attr("ok", outcomes.iter().all(|o| o.result.is_ok()));
+            }
+            outcomes
+        } else {
+            let member = &claim.members[0];
+            let mut span = shared.obs.tracer.as_ref().map(|tracer| {
+                let mut span = tracer.thread_span("eval", "service");
+                span.attr("label", member.job.spec.label())
+                    .attr("tenant", claim.tenant.as_str())
+                    .attr("priority", claim.priority.name())
+                    .attr(
+                        "queue_wait_us",
+                        u64::try_from(member.queue_wait.as_micros()).unwrap_or(u64::MAX),
+                    );
+                span
+            });
+            let traces = claim.traced.then_some(&shared.traces);
+            let outcome = run_point(&member.job, &shared.cache, traces);
+            if let Some(span) = span.as_mut() {
+                span.attr("ok", outcome.result.is_ok()).attr("cached", outcome.cached);
+            }
+            vec![outcome]
+        };
         let eval_elapsed = eval_started.elapsed();
-        shared
+        // Per-member accounting (a solo claim is the one-member case):
+        // latency amortizes the claim across its members; the replay rate
+        // is the claim's points-per-second throughput, sampled once per
+        // freshly replayed point.
+        let latency_hist = shared
             .obs
             .metrics
-            .histogram_with("service.eval_latency_us", &[("tenant", &tenant)])
-            .record_duration(eval_elapsed);
-        if let Ok(evaluation) = &outcome.result {
-            if evaluation.eval_path.is_replayed() && !outcome.cached {
-                shared.obs.replay_points.inc();
-                shared.obs.trace_reuse.inc();
-                let secs = eval_elapsed.as_secs_f64();
-                if secs > 0.0 {
-                    shared.obs.replay_rate.record((1.0 / secs) as u64);
+            .histogram_with("service.eval_latency_us", &[("tenant", &claim.tenant)]);
+        let per_member = eval_elapsed.div_f64(claim.members.len().max(1) as f64);
+        let fresh_replays = outcomes
+            .iter()
+            .filter(|o| !o.cached && matches!(&o.result, Ok(e) if e.eval_path.is_replayed()))
+            .count();
+        let secs = eval_elapsed.as_secs_f64();
+        for outcome in &outcomes {
+            latency_hist.record_duration(per_member);
+            if let Ok(evaluation) = &outcome.result {
+                if evaluation.eval_path.is_replayed() && !outcome.cached {
+                    shared.obs.replay_points.inc();
+                    shared.obs.trace_reuse.inc();
+                    if secs > 0.0 {
+                        shared.obs.replay_rate.record((fresh_replays as f64 / secs) as u64);
+                    }
                 }
             }
         }
-        if let Some(span) = span.as_mut() {
-            span.attr("ok", outcome.result.is_ok()).attr("cached", outcome.cached);
-        }
-        drop(span); // the eval span covers run_point only, not the lock
         shared.obs.workers_busy.sub(1);
-        if let Some(journal) = &journal {
-            // Best effort: journaling must never fail the sweep itself.
-            let _ = journal.record(job.cache_key(), &outcome);
+        for (member, outcome) in claim.members.iter().zip(&outcomes) {
+            if let Some(journal) = &member.journal {
+                // Best effort: journaling must never fail the sweep.
+                let _ = journal.record(member.job.cache_key(), outcome);
+            }
         }
         let mut st = shared.state.lock().expect(STATE_POISONED);
-        st.running -= 1;
-        finish_entry(&mut st, &shared, id, outcome, JobStatus::Done);
+        for (member, outcome) in claim.members.iter().zip(outcomes) {
+            st.running -= 1;
+            finish_entry(&mut st, &shared, member.id, outcome, JobStatus::Done);
+        }
     }
 }
 
@@ -1329,6 +1655,7 @@ impl EvalService {
                     tenant: Some(tenant),
                     priority,
                     traced: false,
+                    group: None,
                     submitted_at: Instant::now(),
                     status: JobStatus::Done,
                     outcome: Some(outcome),
@@ -1375,6 +1702,7 @@ impl EvalService {
                 tenant: Some(tenant),
                 priority,
                 traced: false,
+                group: None,
                 submitted_at: Instant::now(),
                 status: JobStatus::Queued,
                 outcome: None,
@@ -1468,54 +1796,78 @@ impl EvalService {
         self.submit_batch(jobs, None, Priority::Normal, false, Some(Arc::clone(journal)))
     }
 
-    /// Plans the queue-insertion order and per-point tracing of a batch:
-    /// live points are grouped by [`TraceKey`] (compile fingerprint +
-    /// model + strategy + search), groups of at least two points become
-    /// traced — they share one compile → record run and replay the rest —
-    /// and the insertion order interleaves the groups round-robin so
-    /// every group's recording starts early instead of the recordings
+    /// Plans the queue-insertion order, per-point tracing and the
+    /// fast-path groups of a batch. Live points without a serving
+    /// workload are grouped by [`TraceKey`] (compile fingerprint +
+    /// model + strategy + search); points *with* one are grouped by
+    /// ladder identity (design point + rate-free workload — the
+    /// rungs of one `--objective p99` ladder). Groups of at least two
+    /// points become traced — they share one compile → record run and
+    /// replay the rest — and carry a [`GroupKey`] so the worker claiming
+    /// one member drains the whole group into a single lockstep replay
+    /// (or single rate-ladder serve) instead of per-point jobs. The
+    /// insertion order interleaves the groups round-robin so every
+    /// group's recording starts early instead of the recordings
     /// serializing group after group. Singleton groups stay untraced and
     /// pay zero recording overhead. Outcome slots keep grid order
     /// regardless (the handle's ids are indexed by grid position).
-    fn trace_plan(jobs: &[Job], resumed: &[Option<DseOutcome>]) -> (Vec<usize>, Vec<bool>) {
-        let mut groups: Vec<Vec<usize>> = Vec::new();
+    #[allow(clippy::type_complexity)]
+    fn trace_plan(
+        jobs: &[Job],
+        resumed: &[Option<DseOutcome>],
+    ) -> (Vec<usize>, Vec<bool>, Vec<Option<GroupKey>>) {
+        let mut groups: Vec<(Option<GroupKey>, Vec<usize>)> = Vec::new();
         let mut by_key: HashMap<TraceKey, usize> = HashMap::new();
+        let mut by_ladder: HashMap<(CacheKey, u64), usize> = HashMap::new();
         for (index, job) in jobs.iter().enumerate() {
             match &job.model {
-                Ok(model) if resumed[index].is_none() => {
-                    let key = TraceKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
-                    match by_key.entry(key) {
-                        std::collections::hash_map::Entry::Occupied(slot) => {
-                            groups[*slot.get()].push(index);
-                        }
-                        std::collections::hash_map::Entry::Vacant(slot) => {
-                            slot.insert(groups.len());
-                            groups.push(vec![index]);
-                        }
+                Ok(model) if resumed[index].is_none() => match job.active_traffic() {
+                    Some(traffic) => {
+                        let key =
+                            CacheKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
+                        // Rate-free fingerprint: rungs differ only in QPS.
+                        let workload =
+                            traffic_fingerprint(0, &traffic.workload, &traffic.colocated);
+                        let slot = *by_ladder.entry((key, workload)).or_insert_with(|| {
+                            groups.push((Some(GroupKey::Ladder(key, workload)), Vec::new()));
+                            groups.len() - 1
+                        });
+                        groups[slot].1.push(index);
                     }
-                }
+                    None => {
+                        let key =
+                            TraceKey::of(&job.arch, model, job.spec.strategy, job.spec.search);
+                        let slot = *by_key.entry(key).or_insert_with(|| {
+                            groups.push((Some(GroupKey::Trace(key)), Vec::new()));
+                            groups.len() - 1
+                        });
+                        groups[slot].1.push(index);
+                    }
+                },
                 // Unknown-model and journal-resumed points are untraced
                 // singletons.
-                _ => groups.push(vec![index]),
+                _ => groups.push((None, vec![index])),
             }
         }
         let mut traced = vec![false; jobs.len()];
-        for group in groups.iter().filter(|group| group.len() >= 2) {
-            for &index in group {
+        let mut group_keys: Vec<Option<GroupKey>> = vec![None; jobs.len()];
+        for (key, members) in groups.iter().filter(|(_, members)| members.len() >= 2) {
+            for &index in members {
                 traced[index] = true;
+                group_keys[index] = key.clone();
             }
         }
         let mut order = Vec::with_capacity(jobs.len());
         let mut round = 0;
         while order.len() < jobs.len() {
-            for group in &groups {
-                if let Some(&index) = group.get(round) {
+            for (_, members) in &groups {
+                if let Some(&index) = members.get(round) {
                     order.push(index);
                 }
             }
             round += 1;
         }
-        (order, traced)
+        (order, traced, group_keys)
     }
 
     fn submit_batch(
@@ -1540,7 +1892,7 @@ impl EvalService {
             .collect();
         let born_terminal = resumed.iter().filter(|r| r.is_some()).count();
         let live = resumed.len() - born_terminal;
-        let (order, traced) = Self::trace_plan(&jobs, &resumed);
+        let (order, traced, groups) = Self::trace_plan(&jobs, &resumed);
 
         let (tx, rx) = mpsc::channel();
         let batch = Arc::new(BatchState {
@@ -1605,6 +1957,7 @@ impl EvalService {
                             tenant: tenant.clone(),
                             priority,
                             traced: false,
+                            group: None,
                             submitted_at: Instant::now(),
                             status: JobStatus::Done,
                             outcome: Some(outcome),
@@ -1626,6 +1979,7 @@ impl EvalService {
                             tenant: tenant.clone(),
                             priority,
                             traced: traced[index],
+                            group: groups[index].clone(),
                             submitted_at: Instant::now(),
                             status: JobStatus::Queued,
                             outcome: None,
@@ -1874,6 +2228,67 @@ mod tests {
             .iter()
             .all(|o| o.result.as_ref().is_ok_and(|e| e.eval_path == crate::EvalPath::Interpreted)));
         assert_eq!(service.trace_store().len(), 1, "singleton groups never record");
+    }
+
+    #[test]
+    fn grouped_claims_replay_through_one_lockstep_batch() {
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_frequencies_mhz(&[250, 500, 1000])
+            .with_memory_ports(&[0, 27]);
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        let outcomes = service.submit_sweep(&spec).expect("admitted").wait();
+        assert_eq!(outcomes.len(), 6);
+        assert!(outcomes.iter().all(|o| o.result.is_ok()));
+        // The single worker drains the whole trace group in one claim:
+        // the leader records, the five drained members re-time through
+        // one lockstep batch whose frequency-sharing lanes collapse onto
+        // the two distinct memory-port configurations.
+        let replayed = outcomes
+            .iter()
+            .filter(|o| o.result.as_ref().is_ok_and(|e| e.eval_path.is_replayed()))
+            .count();
+        assert_eq!(replayed, 5);
+        let prom = service.render_metrics();
+        assert!(prom.contains("sim_lockstep_batches 1"), "missing batch counter in:\n{prom}");
+        assert!(prom.contains("sim_lockstep_lanes 2"), "missing lane counter in:\n{prom}");
+        assert!(prom.contains("sim_lockstep_fallbacks 0"), "missing fallback counter in:\n{prom}");
+        assert!(prom.contains("sim_replay_points 5"), "missing replay counter in:\n{prom}");
+    }
+
+    #[test]
+    fn rate_ladder_claims_share_one_serving_resolution() {
+        let rates = [200, 400, 800];
+        let spec = SweepSpec::new()
+            .with_model("mobilenetv2", 32)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_traffic(crate::TrafficSpec::new(&rates));
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        let outcomes = service.submit_sweep(&spec).expect("admitted").wait();
+        assert_eq!(outcomes.len(), rates.len());
+        // Every rung of the drained ladder carries a serving summary for
+        // its own rate, resolved from one shared `serve_ladder` call.
+        for outcome in &outcomes {
+            let evaluation = outcome.result.as_ref().expect("rung succeeds");
+            let serving = evaluation.serving.as_ref().expect("rung has serving summary");
+            assert_eq!(serving.offered_qps, outcome.point.offered_qps);
+        }
+        // The shared resolution matches per-point solo serving exactly.
+        let solo = EvalService::new(ServiceConfig::new().with_workers(1));
+        for outcome in &outcomes {
+            let rung = solo
+                .submit(
+                    request("mobilenetv2", Strategy::GenericMapping)
+                        .with_offered_qps(outcome.point.offered_qps),
+                )
+                .expect("admitted")
+                .wait();
+            let lhs = outcome.result.as_ref().expect("ladder rung");
+            let rhs = rung.result.as_ref().expect("solo rung");
+            assert_eq!(lhs.serving, rhs.serving);
+            assert_eq!(lhs.simulation, rhs.simulation);
+        }
     }
 
     #[test]

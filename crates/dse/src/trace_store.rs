@@ -183,6 +183,14 @@ impl TraceStore {
         })
     }
 
+    /// Counts `count` additional reuses. [`TraceStore::get`] deliberately
+    /// does not count (probes are not reuses); batch consumers — e.g. a
+    /// lockstep replay group re-timing many points from one lookup —
+    /// report how many points an entry actually served.
+    pub fn note_reuse(&self, count: u64) {
+        self.inner.reused.fetch_add(count, Ordering::Relaxed);
+    }
+
     /// A snapshot of the recorded/reused/evicted counters.
     pub fn stats(&self) -> TraceStoreStats {
         TraceStoreStats {

@@ -55,7 +55,7 @@ mod trace;
 
 pub use engine::{HandoffMode, SimOptions, Simulator};
 pub use error::SimError;
-pub use replay::ReplayEngine;
+pub use replay::{LockstepStats, ReplayEngine, LOCKSTEP_LANES};
 pub use report::{SimReport, UnitActivity};
 pub use serving::{LatencyStats, ModelServing, ServeModel, ServeSource, ServingReport};
 pub use trace::{SimTrace, TraceOp, TracePasses};

@@ -11,15 +11,37 @@
 //! already resolved: instruction fetch/decode, the register file, and
 //! every energy term that does not depend on timing.
 //!
-//! Points cannot advance op-major in a single synchronized sweep: which
-//! core runs next is itself a timing decision, so two points diverge in
-//! their schedules immediately. "Lockstep" is therefore realized as N
-//! points executing over the one shared immutable trace with
-//! structure-of-arrays per-point state ([`ReplayState`]'s flat clock /
-//! scoreboard / port vectors), allocated once per batch and reset per
-//! point — the allocation-free inner loop is where the throughput comes
-//! from, together with the fused advance runs that retire hundreds of
-//! scalar instructions in one op.
+//! # Lockstep lanes
+//!
+//! The fast path exploits a structural fact about trace replay: under an
+//! agreed core-pick sequence, *all* op-consumption control flow is
+//! identical across timing-only points. Whether a `Recv` finds a message,
+//! which cores wait at a barrier, when a chip retires or starts, how a
+//! fused advance splits at a slice boundary — all of it depends only on
+//! op positions, block states and channel queue *lengths*, never on the
+//! lane-local clock values. The one genuinely timing-dependent decision
+//! is the scheduler's smallest-`now` core pick. [`ReplayEngine`] therefore
+//! splits the state into a shared control block ([`ReplayCtl`]) and
+//! K per-lane timing blocks ([`ReplayLane`]), walks the op stream
+//! **once**, and updates every lane per op — amortizing op decode,
+//! scheduling and channel bookkeeping across the batch. Each step the
+//! pick is computed per lane from lane-local clocks; when lanes disagree,
+//! the minority lanes are **peeled off with a cloned control block and
+//! continue through the identical code path on their own** — the batch
+//! splits, it never approximates. Two further exact reductions:
+//!
+//! * `frequency_mhz` never enters cycle-domain timing (it only scales the
+//!   report's time/energy conversions), so points differing only in
+//!   frequency share one lane and split at [`ReplayEngine::finish`].
+//! * Channels are flat vectors indexed by a per-trace `(src, dst) → id`
+//!   table built once in [`ReplayEngine::new`], and the scheduler scans a
+//!   live-core list that shrinks as cores halt — both paths (scalar and
+//!   lockstep) share the hash-free hot loop.
+//!
+//! Bit-exactness is the contract, not a goal: every lane's report must be
+//! `==` to a scalar `replay()` of that point, which in turn is `==` to a
+//! fresh compile + interpretation (`tests/lockstep_replay.rs` is the
+//! property suite).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -33,6 +55,26 @@ use crate::engine::{HandoffMode, SimOptions, INSTRUCTION_BUDGET, MAX_STREAM_TILE
 use crate::report::{SimReport, UnitActivity};
 use crate::trace::{SimTrace, TraceOp};
 use crate::SimError;
+
+/// Lane width of one lockstep walk: how many *cycle-distinct* design
+/// points share a single pass over the op stream. Tuned for the sweet
+/// spot between decode amortization and peel cost — wider batches chunk
+/// at this width.
+pub const LOCKSTEP_LANES: usize = 8;
+
+/// Marks ops without an associated channel in the per-trace channel table.
+const NO_CHANNEL: u32 = u32::MAX;
+
+/// Counters of one [`ReplayEngine::replay_batch_stats`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockstepStats {
+    /// Lockstep walks performed (chunks that ran with ≥ 2 lanes).
+    pub batches: u64,
+    /// Cycle-distinct lanes re-timed through those walks.
+    pub lanes: u64,
+    /// Lanes peeled off to scalar continuation on a schedule divergence.
+    pub fallback_lanes: u64,
+}
 
 /// Re-times a recorded [`SimTrace`] for timing-only design points.
 ///
@@ -57,12 +99,51 @@ use crate::SimError;
 #[derive(Debug)]
 pub struct ReplayEngine<'a> {
     trace: &'a SimTrace,
+    /// Number of distinct (sender, receiver) channels in the trace.
+    channel_count: usize,
+    /// Per core, aligned with its op stream: the flat channel id of a
+    /// pushing [`TraceOp::Send`] / [`TraceOp::Recv`] op ([`NO_CHANNEL`]
+    /// elsewhere). Built once so the replay hot loop never hashes.
+    op_channel: Vec<Vec<u32>>,
+}
+
+/// One lane with the indices of the batch points it answers (points
+/// differing only in clock frequency share a lane).
+struct LaneRun {
+    lane: ReplayLane,
+    points: Vec<usize>,
+}
+
+/// Outcome of one scheduler pick across all lanes.
+enum Pick {
+    /// Every lane picks the same core (or none is runnable — runnability
+    /// is shared control state, so "no pick" is always unanimous).
+    Agreed(Option<usize>),
+    /// Lanes disagree; the per-lane picks, aligned with the runs.
+    Diverged(Vec<usize>),
 }
 
 impl<'a> ReplayEngine<'a> {
-    /// Creates a replay engine over one recorded trace.
+    /// Creates a replay engine over one recorded trace, resolving every
+    /// channel-touching op to a flat channel id up front.
     pub fn new(trace: &'a SimTrace) -> Self {
-        ReplayEngine { trace }
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut op_channel = Vec::with_capacity(trace.ops.len());
+        for (index, stream) in trace.ops.iter().enumerate() {
+            let chip_base = (index / trace.cores_per_chip * trace.cores_per_chip) as u32;
+            let mut resolved = vec![NO_CHANNEL; stream.len()];
+            for (k, op) in stream.iter().enumerate() {
+                let pair = match *op {
+                    TraceOp::Send { dst, push: true, .. } => (index as u32, chip_base + dst),
+                    TraceOp::Recv { src, .. } => (chip_base + src, index as u32),
+                    _ => continue,
+                };
+                let next = ids.len() as u32;
+                resolved[k] = *ids.entry(pair).or_insert(next);
+            }
+            op_channel.push(resolved);
+        }
+        ReplayEngine { trace, channel_count: ids.len(), op_channel }
     }
 
     /// The trace being replayed.
@@ -80,29 +161,89 @@ impl<'a> ReplayEngine<'a> {
     /// [`SimError::CycleLimitExceeded`]) are mirrored too, though a
     /// successfully recorded trace cannot reach them.
     pub fn replay(&self, arch: &ArchConfig, options: SimOptions) -> Result<SimReport, SimError> {
-        let mut state = ReplayState::new(self.trace);
-        self.replay_into(&mut state, arch, options)
+        self.replay_batch(&[(*arch, options)]).pop().expect("one point, one result")
     }
 
-    /// Re-times the trace for a batch of design points, reusing one
-    /// structure-of-arrays state across all of them (no per-point
-    /// allocation beyond the meshes). Each point gets its own result so
-    /// a single incompatible configuration does not poison the batch.
+    /// Re-times the trace for a batch of design points, automatically
+    /// choosing the lockstep walk for ≥ 2 compatible points (chunked at
+    /// [`LOCKSTEP_LANES`] cycle-distinct lanes). Each point gets its own
+    /// result so a single incompatible configuration does not poison the
+    /// batch. Results are bit-exact against per-point [`Self::replay`].
     pub fn replay_batch(
         &self,
         points: &[(ArchConfig, SimOptions)],
     ) -> Vec<Result<SimReport, SimError>> {
-        let mut state = ReplayState::new(self.trace);
-        points.iter().map(|(arch, options)| self.replay_into(&mut state, arch, *options)).collect()
+        self.replay_batch_stats(points).0
     }
 
-    /// One point over caller-provided (reusable) state.
-    fn replay_into(
+    /// [`Self::replay_batch`] returning the lockstep counters alongside
+    /// the per-point results.
+    pub fn replay_batch_stats(
         &self,
-        state: &mut ReplayState,
-        arch: &ArchConfig,
-        options: SimOptions,
-    ) -> Result<SimReport, SimError> {
+        points: &[(ArchConfig, SimOptions)],
+    ) -> (Vec<Result<SimReport, SimError>>, LockstepStats) {
+        let mut stats = LockstepStats::default();
+        let mut out: Vec<Option<Result<SimReport, SimError>>> =
+            points.iter().map(|_| None).collect();
+        // Group valid points into cycle-distinct lanes: frequency never
+        // enters cycle-domain timing, so it is normalized away; the
+        // hand-off mode steers shared control flow, so lanes only share a
+        // walk with like-moded lanes.
+        let recorded_mhz = self.trace.arch.chip().frequency_mhz;
+        struct LaneGroup {
+            arch: ArchConfig,
+            handoff: HandoffMode,
+            points: Vec<usize>,
+        }
+        let mut groups: Vec<LaneGroup> = Vec::new();
+        for (i, (arch, options)) in points.iter().enumerate() {
+            if let Err(e) = self.check_point(arch) {
+                out[i] = Some(Err(e));
+                continue;
+            }
+            let norm = arch.with_frequency_mhz(recorded_mhz);
+            match groups.iter_mut().find(|g| g.handoff == options.handoff && g.arch == norm) {
+                Some(group) => group.points.push(i),
+                None => {
+                    groups.push(LaneGroup { arch: norm, handoff: options.handoff, points: vec![i] })
+                }
+            }
+        }
+        // Chunk runs of like-moded lanes at the tuned width and walk each
+        // chunk once (a single-lane chunk is exactly the scalar path —
+        // same code, one lane).
+        let mut start = 0;
+        while start < groups.len() {
+            let handoff = groups[start].handoff;
+            let mut end = start + 1;
+            while end < groups.len()
+                && end - start < LOCKSTEP_LANES
+                && groups[end].handoff == handoff
+            {
+                end += 1;
+            }
+            let runs: Vec<LaneRun> = groups[start..end]
+                .iter()
+                .map(|g| LaneRun {
+                    lane: ReplayLane::new(self.trace, &g.arch, self.channel_count),
+                    points: g.points.clone(),
+                })
+                .collect();
+            if runs.len() >= 2 {
+                stats.batches += 1;
+                stats.lanes += runs.len() as u64;
+            }
+            let options = SimOptions { handoff, profile: false };
+            let mut ctl = ReplayCtl::new(self.trace, self.channel_count);
+            self.run_group(&mut ctl, runs, options, &mut stats, &mut out, points);
+            start = end;
+        }
+        (out.into_iter().map(|slot| slot.expect("every point resolved")).collect(), stats)
+    }
+
+    /// Validation shared by every entry point: the arch must be valid and
+    /// compile-identical to the recording.
+    fn check_point(&self, arch: &ArchConfig) -> Result<(), SimError> {
         if let Err(error) = arch.validate() {
             return Err(SimError::TraceMismatch { detail: error.to_string() });
         }
@@ -116,242 +257,384 @@ impl<'a> ReplayEngine<'a> {
                 ),
             });
         }
-        state.reset(self.trace, arch);
-        self.run(state, arch, options)?;
-        Ok(self.finish(state, arch))
-    }
-
-    /// The interpreter's top-level loop over trace ops.
-    fn run(
-        &self,
-        state: &mut ReplayState,
-        arch: &ArchConfig,
-        options: SimOptions,
-    ) -> Result<(), SimError> {
-        let energy = EnergyModel::calibrated_28nm();
-        loop {
-            self.retire_finished_chips(state, arch, &energy);
-            if state.block.iter().all(|b| *b == BlockReason::Halted) {
-                break;
-            }
-            match self.pick_core(state) {
-                Some(core) => self.run_slice(state, core, arch, &energy),
-                None => {
-                    if self.release_barriers(state, arch, &energy, options) {
-                        continue;
-                    }
-                    return Err(self.deadlock(state));
-                }
-            }
-            if state.executed > INSTRUCTION_BUDGET {
-                return Err(SimError::CycleLimitExceeded { limit: INSTRUCTION_BUDGET });
-            }
-        }
         Ok(())
     }
 
-    /// Mirror of the interpreter's smallest-local-time runnable pick.
-    fn pick_core(&self, state: &ReplayState) -> Option<usize> {
-        let mut best: Option<usize> = None;
-        for (i, block) in state.block.iter().enumerate() {
-            if !state.chip_started[i / self.trace.cores_per_chip] {
-                continue;
+    /// The interpreter's top-level loop over trace ops, for 1..=K lanes.
+    /// Writes one result per member point into `out`; lanes whose pick
+    /// diverges recurse with a cloned control block (strictly fewer lanes
+    /// per level, so the recursion is bounded by the chunk width).
+    fn run_group(
+        &self,
+        ctl: &mut ReplayCtl,
+        mut runs: Vec<LaneRun>,
+        options: SimOptions,
+        stats: &mut LockstepStats,
+        out: &mut [Option<Result<SimReport, SimError>>],
+        points: &[(ArchConfig, SimOptions)],
+    ) {
+        let energy = EnergyModel::calibrated_28nm();
+        let mut runnable: Vec<usize> = Vec::new();
+        loop {
+            self.retire_finished_chips(ctl, &mut runs, &energy);
+            // The live list holds every non-halted core, so an empty list
+            // is exactly the interpreter's all-halted exit.
+            if ctl.live.is_empty() {
+                break;
             }
-            let runnable = match *block {
-                BlockReason::None => true,
-                BlockReason::Recv { src } => {
-                    state.channels.get(&(src, i as u32)).is_some_and(|q| !q.is_empty())
+            match self.pick_core(ctl, &runs, &mut runnable) {
+                Pick::Agreed(Some(core)) => self.run_slice(ctl, &mut runs, core, &energy),
+                Pick::Agreed(None) => {
+                    if self.release_barriers(ctl, &mut runs, &energy, options) {
+                        continue;
+                    }
+                    let err = self.deadlock(ctl);
+                    Self::fail_all(&runs, &err, out);
+                    return;
                 }
-                _ => false,
-            };
-            if runnable {
-                best = match best {
-                    Some(b) if state.now[b] <= state.now[i] => Some(b),
-                    _ => Some(i),
-                };
+                Pick::Diverged(picks) => {
+                    runs = self.peel_divergent(ctl, runs, picks, options, stats, out, points);
+                    continue;
+                }
+            }
+            if ctl.executed > INSTRUCTION_BUDGET {
+                let err = SimError::CycleLimitExceeded { limit: INSTRUCTION_BUDGET };
+                Self::fail_all(&runs, &err, out);
+                return;
             }
         }
-        best
+        for run in &runs {
+            for &p in &run.points {
+                out[p] = Some(Ok(self.finish(ctl, &run.lane, &points[p].0)));
+            }
+        }
+    }
+
+    fn fail_all(runs: &[LaneRun], err: &SimError, out: &mut [Option<Result<SimReport, SimError>>]) {
+        for run in runs {
+            for &p in &run.points {
+                out[p] = Some(Err(err.clone()));
+            }
+        }
+    }
+
+    /// Splits the batch on a schedule divergence: lanes sharing the
+    /// plurality pick continue the lockstep walk, every other lane
+    /// continues mid-trace on a cloned control block — the exact state it
+    /// would have reached running alone, so the fallback never
+    /// approximates.
+    #[allow(clippy::too_many_arguments)]
+    fn peel_divergent(
+        &self,
+        ctl: &ReplayCtl,
+        runs: Vec<LaneRun>,
+        picks: Vec<usize>,
+        options: SimOptions,
+        stats: &mut LockstepStats,
+        out: &mut [Option<Result<SimReport, SimError>>],
+        points: &[(ArchConfig, SimOptions)],
+    ) -> Vec<LaneRun> {
+        // Plurality pick; ties resolve to the earliest lane's pick so the
+        // split is deterministic.
+        let mut counts: Vec<(usize, usize)> = Vec::new();
+        for &p in &picks {
+            match counts.iter_mut().find(|(pick, _)| *pick == p) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((p, 1)),
+            }
+        }
+        let keep_pick =
+            counts.iter().max_by_key(|(_, n)| *n).map(|(p, _)| *p).expect("non-empty picks");
+        let mut kept = Vec::with_capacity(runs.len());
+        let mut peeled: Vec<(usize, Vec<LaneRun>)> = Vec::new();
+        for (run, pick) in runs.into_iter().zip(picks) {
+            if pick == keep_pick {
+                kept.push(run);
+            } else {
+                match peeled.iter_mut().find(|(p, _)| *p == pick) {
+                    Some((_, group)) => group.push(run),
+                    None => peeled.push((pick, vec![run])),
+                }
+            }
+        }
+        for (_, group) in peeled {
+            stats.fallback_lanes += group.len() as u64;
+            let mut sub = ctl.clone();
+            self.run_group(&mut sub, group, options, stats, out, points);
+        }
+        kept
+    }
+
+    /// Mirror of the interpreter's smallest-local-time runnable pick.
+    /// Runnability (block state, chip start, channel occupancy) is shared
+    /// control state; only the arg-min over lane clocks can differ.
+    fn pick_core(&self, ctl: &ReplayCtl, runs: &[LaneRun], runnable: &mut Vec<usize>) -> Pick {
+        runnable.clear();
+        for &i in &ctl.live {
+            if !ctl.chip_started[i / self.trace.cores_per_chip] {
+                continue;
+            }
+            let ok = match ctl.block[i] {
+                BlockReason::None => true,
+                BlockReason::Recv { .. } => ctl.channel_len[ctl.recv_wait[i] as usize] > 0,
+                _ => false,
+            };
+            if ok {
+                runnable.push(i);
+            }
+        }
+        if runnable.is_empty() {
+            return Pick::Agreed(None);
+        }
+        // Keep-the-earlier-core tie-break: a later core wins only with a
+        // strictly smaller clock (`runnable` is ascending by construction
+        // — the live list shrinks in order).
+        let pick_for = |lane: &ReplayLane| {
+            let mut best = runnable[0];
+            for &i in &runnable[1..] {
+                if lane.now[i] < lane.now[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let first = pick_for(&runs[0].lane);
+        let mut picks: Option<Vec<usize>> = None;
+        for (k, run) in runs.iter().enumerate().skip(1) {
+            let pick = pick_for(&run.lane);
+            if pick != first && picks.is_none() {
+                picks = Some(vec![first; k]);
+            }
+            if let Some(all) = &mut picks {
+                all.push(pick);
+            }
+        }
+        match picks {
+            None => Pick::Agreed(Some(first)),
+            Some(all) => Pick::Diverged(all),
+        }
     }
 
     /// Executes up to [`SLICE`] *instructions* (not ops: a fused advance
-    /// run splits at the boundary) on one core.
+    /// run splits at the boundary) on one core, across every lane.
     fn run_slice(
         &self,
-        state: &mut ReplayState,
+        ctl: &mut ReplayCtl,
+        runs: &mut [LaneRun],
         index: usize,
-        arch: &ArchConfig,
         energy: &EnergyModel,
     ) {
-        state.block[index] = BlockReason::None;
+        ctl.block[index] = BlockReason::None;
         let mut budget = SLICE;
         while budget > 0 {
-            if state.block[index] != BlockReason::None {
+            if ctl.block[index] != BlockReason::None {
                 break;
             }
-            budget -= self.step(state, index, budget, arch, energy);
+            budget -= self.step(ctl, runs, index, budget, energy);
         }
     }
 
-    /// Consumes (part of) the core's next trace op; returns the number
-    /// of slice-budget instructions it accounted for (always ≥ 1).
+    /// Marks a core permanently halted: block state, live list (ordered
+    /// removal keeps the pick scan ascending) and the per-chip count.
+    fn halt_core(&self, ctl: &mut ReplayCtl, index: usize) {
+        ctl.block[index] = BlockReason::Halted;
+        if let Ok(pos) = ctl.live.binary_search(&index) {
+            ctl.live.remove(pos);
+        }
+        ctl.chip_halted[index / self.trace.cores_per_chip] += 1;
+    }
+
+    /// Consumes (part of) the core's next trace op on every lane; returns
+    /// the number of slice-budget instructions it accounted for (≥ 1).
+    /// Decode, op-stream bookkeeping and channel occupancy happen once;
+    /// only the clock/scoreboard/mesh arithmetic repeats per lane.
     fn step(
         &self,
-        state: &mut ReplayState,
+        ctl: &mut ReplayCtl,
+        runs: &mut [LaneRun],
         index: usize,
         budget: u64,
-        arch: &ArchConfig,
         energy: &EnergyModel,
     ) -> u64 {
         let trace = self.trace;
-        let Some(&op) = trace.ops[index].get(state.op_idx[index]) else {
+        let Some(&op) = trace.ops[index].get(ctl.op_idx[index]) else {
             // Structurally unreachable (every stream ends in `Halt`),
             // but degrade to a halt rather than walking off the end.
-            state.block[index] = BlockReason::Halted;
+            self.halt_core(ctl, index);
             return 1;
         };
         let chip = index / trace.cores_per_chip;
         let core_id = (index % trace.cores_per_chip) as u32;
         match op {
             TraceOp::Advance { insts, penalty } => {
-                let done = state.advance_done[index];
+                let done = ctl.advance_done[index];
                 let remaining = u64::from(insts - done);
                 let take = remaining.min(budget);
-                state.now[index] += take;
-                if take == remaining {
-                    if penalty {
-                        state.now[index] += 2;
+                for run in runs.iter_mut() {
+                    run.lane.now[index] += take;
+                    if take == remaining && penalty {
+                        run.lane.now[index] += 2;
                     }
-                    state.advance_done[index] = 0;
-                    state.op_idx[index] += 1;
-                } else {
-                    state.advance_done[index] = done + take as u32;
                 }
-                state.executed += take;
+                if take == remaining {
+                    ctl.advance_done[index] = 0;
+                    ctl.op_idx[index] += 1;
+                } else {
+                    ctl.advance_done[index] = done + take as u32;
+                }
+                ctl.executed += take;
                 take
             }
             TraceOp::CimMvm { mg, issue, latency } => {
                 let slot = index * trace.macro_groups + mg as usize;
-                let begin = state.now[index].max(state.mg_busy_until[slot]);
-                state.mg_busy_until[slot] = begin + issue;
-                state.mg_acc_ready[slot] = begin + latency;
-                state.now[index] += 1;
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                for run in runs.iter_mut() {
+                    let lane = &mut run.lane;
+                    let begin = lane.now[index].max(lane.mg_busy_until[slot]);
+                    lane.mg_busy_until[slot] = begin + issue;
+                    lane.mg_acc_ready[slot] = begin + latency;
+                    lane.now[index] += 1;
+                }
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::CimLoad { mg, cycles } => {
                 let slot = index * trace.macro_groups + mg as usize;
-                let begin = state.now[index].max(state.mg_busy_until[slot]);
-                state.mg_busy_until[slot] = begin + cycles;
-                state.mg_acc_ready[slot] = begin + cycles;
-                state.now[index] += 1;
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                for run in runs.iter_mut() {
+                    let lane = &mut run.lane;
+                    let begin = lane.now[index].max(lane.mg_busy_until[slot]);
+                    lane.mg_busy_until[slot] = begin + cycles;
+                    lane.mg_acc_ready[slot] = begin + cycles;
+                    lane.now[index] += 1;
+                }
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::CimStoreAcc { mg } => {
                 let slot = index * trace.macro_groups + mg as usize;
-                state.now[index] = state.now[index].max(state.mg_acc_ready[slot]) + 1;
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                for run in runs.iter_mut() {
+                    let lane = &mut run.lane;
+                    lane.now[index] = lane.now[index].max(lane.mg_acc_ready[slot]) + 1;
+                }
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::Vector { cycles } => {
-                let begin = state.now[index].max(state.vector_busy_until[index]);
-                state.vector_busy_until[index] = begin + cycles;
-                state.now[index] += 1;
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                for run in runs.iter_mut() {
+                    let lane = &mut run.lane;
+                    let begin = lane.now[index].max(lane.vector_busy_until[index]);
+                    lane.vector_busy_until[index] = begin + cycles;
+                    lane.now[index] += 1;
+                }
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::LocalCpy { cycles } => {
-                state.now[index] += cycles;
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                for run in runs.iter_mut() {
+                    run.lane.now[index] += cycles;
+                }
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::GlobalCpy { bytes, from_memory, port_cycles } => {
-                let now = state.now[index];
-                let mesh = &mut state.meshes[chip];
-                let outcome = if from_memory {
-                    mesh.transfer_from_memory(core_id, bytes, now)
-                } else {
-                    mesh.transfer_to_memory(core_id, bytes, now)
-                };
-                let port_start = outcome.arrival.max(state.global_port_free[chip]);
-                let completion = port_start + port_cycles;
-                state.global_port_free[chip] = completion;
-                state.now[index] = completion;
-                state.noc_pj[index] += energy.noc.transfer_pj(
-                    outcome.flits,
-                    arch.chip().noc_flit_bytes,
-                    outcome.hops.max(1),
-                );
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                for run in runs.iter_mut() {
+                    let lane = &mut run.lane;
+                    let now = lane.now[index];
+                    let mesh = &mut lane.meshes[chip];
+                    let outcome = if from_memory {
+                        mesh.transfer_from_memory(core_id, bytes, now)
+                    } else {
+                        mesh.transfer_to_memory(core_id, bytes, now)
+                    };
+                    let port_start = outcome.arrival.max(lane.global_port_free[chip]);
+                    let completion = port_start + port_cycles;
+                    lane.global_port_free[chip] = completion;
+                    lane.now[index] = completion;
+                    lane.noc_pj[index] += energy.noc.transfer_pj(
+                        outcome.flits,
+                        lane.arch.chip().noc_flit_bytes,
+                        outcome.hops.max(1),
+                    );
+                }
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::Send { dst, bytes, push } => {
-                let now = state.now[index];
-                let outcome = state.meshes[chip].transfer(core_id, dst, bytes, now);
-                if push {
-                    let dst_global = (chip * trace.cores_per_chip) as u32 + dst;
-                    state
-                        .channels
-                        .entry((index as u32, dst_global))
-                        .or_default()
-                        .push_back(outcome.arrival);
+                let cid = self.op_channel[index][ctl.op_idx[index]];
+                for run in runs.iter_mut() {
+                    let lane = &mut run.lane;
+                    let now = lane.now[index];
+                    let outcome = lane.meshes[chip].transfer(core_id, dst, bytes, now);
+                    if push {
+                        lane.channels[cid as usize].push_back(outcome.arrival);
+                    }
+                    lane.now[index] += 1;
+                    lane.noc_pj[index] += energy.noc.transfer_pj(
+                        outcome.flits,
+                        lane.arch.chip().noc_flit_bytes,
+                        outcome.hops.max(1),
+                    );
                 }
-                state.now[index] += 1;
-                state.noc_pj[index] += energy.noc.transfer_pj(
-                    outcome.flits,
-                    arch.chip().noc_flit_bytes,
-                    outcome.hops.max(1),
-                );
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                if push {
+                    ctl.channel_len[cid as usize] += 1;
+                }
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::Recv { src, local_cycles } => {
-                let src_global = (chip * trace.cores_per_chip) as u32 + src;
-                let queue = state.channels.entry((src_global, index as u32)).or_default();
-                match queue.pop_front() {
-                    Some(arrival) => {
-                        state.now[index] = state.now[index].max(arrival) + local_cycles;
-                        state.op_idx[index] += 1;
-                        state.executed += 1;
-                        1
+                let cid = self.op_channel[index][ctl.op_idx[index]];
+                if ctl.channel_len[cid as usize] > 0 {
+                    ctl.channel_len[cid as usize] -= 1;
+                    for run in runs.iter_mut() {
+                        let lane = &mut run.lane;
+                        let arrival = lane.channels[cid as usize]
+                            .pop_front()
+                            .expect("channel occupancy is lane-invariant");
+                        lane.now[index] = lane.now[index].max(arrival) + local_cycles;
                     }
-                    None => {
-                        // Stay at this op until a message arrives.
-                        state.block[index] = BlockReason::Recv { src: src_global };
-                        1
-                    }
+                    ctl.op_idx[index] += 1;
+                    ctl.executed += 1;
+                    1
+                } else {
+                    // Stay at this op until a message arrives.
+                    let src_global = (chip * trace.cores_per_chip) as u32 + src;
+                    ctl.block[index] = BlockReason::Recv { src: src_global };
+                    ctl.recv_wait[index] = cid;
+                    1
                 }
             }
             TraceOp::Barrier { id } => {
-                state.now[index] += 1;
-                state.block[index] = BlockReason::Barrier { id };
-                state.op_idx[index] += 1;
-                state.executed += 1;
+                for run in runs.iter_mut() {
+                    run.lane.now[index] += 1;
+                }
+                ctl.block[index] = BlockReason::Barrier { id };
+                ctl.op_idx[index] += 1;
+                ctl.executed += 1;
                 1
             }
             TraceOp::Halt { counted } => {
-                state.block[index] = BlockReason::Halted;
+                self.halt_core(ctl, index);
                 if counted {
-                    state.executed += 1;
+                    ctl.executed += 1;
                 }
                 1
             }
         }
     }
 
-    /// Mirror of the interpreter's finished-chip hand-off pass.
+    /// Mirror of the interpreter's finished-chip hand-off pass. Which
+    /// chips retire and which transfers dispatch is shared control state;
+    /// the fabric/port/landing arithmetic repeats per lane.
     fn retire_finished_chips(
         &self,
-        state: &mut ReplayState,
-        arch: &ArchConfig,
+        ctl: &mut ReplayCtl,
+        runs: &mut [LaneRun],
         energy: &EnergyModel,
     ) {
         let trace = self.trace;
@@ -359,101 +642,117 @@ impl<'a> ReplayEngine<'a> {
             return;
         }
         for chip in 0..trace.chip_count {
-            let cores = chip * trace.cores_per_chip..(chip + 1) * trace.cores_per_chip;
-            if !state.chip_started[chip]
-                || state.chip_dispatched[chip]
-                || !cores.clone().all(|g| state.block[g] == BlockReason::Halted)
+            if !ctl.chip_started[chip]
+                || ctl.chip_dispatched[chip]
+                || ctl.chip_halted[chip] != trace.cores_per_chip
             {
                 continue;
             }
-            let cores_done = cores.map(|g| state.now[g]).max().unwrap_or(0);
-            let finish = cores_done.max(state.last_input_landed[chip]);
-            state.chip_finish_time[chip] = finish;
-            state.chip_dispatched[chip] = true;
+            ctl.chip_dispatched[chip] = true;
+            let cores = chip * trace.cores_per_chip..(chip + 1) * trace.cores_per_chip;
+            for run in runs.iter_mut() {
+                let lane = &mut run.lane;
+                let cores_done = cores.clone().map(|g| lane.now[g]).max().unwrap_or(0);
+                lane.chip_finish_time[chip] = cores_done.max(lane.last_input_landed[chip]);
+            }
             for k in 0..trace.chip_transfers[chip].len() {
-                let index = trace.chip_transfers[chip][k];
-                if state.transfer_dispatched[index] {
+                let tindex = trace.chip_transfers[chip][k];
+                if ctl.transfer_dispatched[tindex] {
                     continue;
                 }
-                state.transfer_dispatched[index] = true;
-                let transfer = trace.transfers[index];
+                ctl.transfer_dispatched[tindex] = true;
+                let transfer = trace.transfers[tindex];
                 let to = transfer.to_chip as usize;
-                let outcome = state.fabric.transfer(
-                    transfer.from_chip,
-                    transfer.to_chip,
-                    transfer.bytes,
-                    finish,
-                );
-                let port_start = outcome.arrival.max(state.global_port_free[to]);
-                let landed = port_start + arch.chip().global_memory.transfer_cycles(transfer.bytes);
-                state.global_port_free[to] = landed;
-                state.landing_windows[to].push((port_start, landed));
-                state.system_energy.interchip_pj +=
-                    energy.interchip.transfer_pj(transfer.bytes, outcome.hops);
-                state.system_energy.global_memory_pj += energy.sram.global_pj(transfer.bytes);
-                state.chip_ready[to] = state.chip_ready[to].max(landed);
-                state.last_input_landed[to] = state.last_input_landed[to].max(landed);
-                state.incoming_remaining[to] -= 1;
+                for run in runs.iter_mut() {
+                    let lane = &mut run.lane;
+                    let finish = lane.chip_finish_time[chip];
+                    let outcome = lane.fabric.transfer(
+                        transfer.from_chip,
+                        transfer.to_chip,
+                        transfer.bytes,
+                        finish,
+                    );
+                    let port_start = outcome.arrival.max(lane.global_port_free[to]);
+                    let landed =
+                        port_start + lane.arch.chip().global_memory.transfer_cycles(transfer.bytes);
+                    lane.global_port_free[to] = landed;
+                    lane.landing_windows[to].push((port_start, landed));
+                    lane.system_energy.interchip_pj +=
+                        energy.interchip.transfer_pj(transfer.bytes, outcome.hops);
+                    lane.system_energy.global_memory_pj += energy.sram.global_pj(transfer.bytes);
+                    lane.chip_ready[to] = lane.chip_ready[to].max(landed);
+                    lane.last_input_landed[to] = lane.last_input_landed[to].max(landed);
+                }
+                ctl.incoming_remaining[to] -= 1;
             }
         }
-        self.start_ready_chips(state);
+        self.start_ready_chips(ctl, runs);
     }
 
     /// Mirror of the interpreter's chip-start gate.
-    fn start_ready_chips(&self, state: &mut ReplayState) {
+    fn start_ready_chips(&self, ctl: &mut ReplayCtl, runs: &mut [LaneRun]) {
         for chip in 0..self.trace.chip_count {
-            if state.chip_started[chip] || state.incoming_remaining[chip] != 0 {
+            if ctl.chip_started[chip] || ctl.incoming_remaining[chip] != 0 {
                 continue;
             }
-            state.chip_started[chip] = true;
-            state.chip_start_time[chip] = state.chip_ready[chip];
-            for g in chip * self.trace.cores_per_chip..(chip + 1) * self.trace.cores_per_chip {
-                state.now[g] = state.chip_ready[chip];
+            ctl.chip_started[chip] = true;
+            for run in runs.iter_mut() {
+                let lane = &mut run.lane;
+                lane.chip_start_time[chip] = lane.chip_ready[chip];
+                for g in chip * self.trace.cores_per_chip..(chip + 1) * self.trace.cores_per_chip {
+                    lane.now[g] = lane.chip_ready[chip];
+                }
             }
         }
     }
 
-    /// Mirror of the interpreter's per-stage streamed hand-off.
+    /// Mirror of the interpreter's per-stage streamed hand-off. `ends`
+    /// holds each lane's barrier-release time, aligned with `runs`.
     fn stream_stage_transfers(
         &self,
-        state: &mut ReplayState,
-        arch: &ArchConfig,
+        ctl: &mut ReplayCtl,
+        runs: &mut [LaneRun],
         energy: &EnergyModel,
         chip: usize,
         ordinal: usize,
-        end: u64,
+        ends: &[u64],
     ) {
         let trace = self.trace;
         if trace.chip_count == 1 {
             return;
         }
-        let window_start = state.barrier_release[chip]
-            .get(&((ordinal * 2) as u16))
-            .copied()
-            .unwrap_or(state.chip_start_time[chip])
-            .min(end);
         for k in 0..trace.chip_transfers[chip].len() {
-            let index = trace.chip_transfers[chip][k];
-            if state.transfer_dispatched[index] || trace.transfers[index].stage != Some(ordinal) {
+            let tindex = trace.chip_transfers[chip][k];
+            if ctl.transfer_dispatched[tindex] || trace.transfers[tindex].stage != Some(ordinal) {
                 continue;
             }
-            state.transfer_dispatched[index] = true;
-            self.dispatch_streamed(state, arch, energy, index, window_start, end);
+            ctl.transfer_dispatched[tindex] = true;
+            let to = trace.transfers[tindex].to_chip as usize;
+            for (run, &end) in runs.iter_mut().zip(ends) {
+                let lane = &mut run.lane;
+                let window_start = lane.barrier_release[chip]
+                    .get(&((ordinal * 2) as u16))
+                    .copied()
+                    .unwrap_or(lane.chip_start_time[chip])
+                    .min(end);
+                Self::dispatch_streamed(lane, energy, tindex, self.trace, window_start, end);
+            }
+            ctl.incoming_remaining[to] -= 1;
         }
-        self.start_ready_chips(state);
+        self.start_ready_chips(ctl, runs);
     }
 
-    /// Mirror of the interpreter's tile-granular dispatch.
+    /// Mirror of the interpreter's tile-granular dispatch (pure lane-local
+    /// arithmetic — the caller owns the shared dispatch bookkeeping).
     fn dispatch_streamed(
-        &self,
-        state: &mut ReplayState,
-        arch: &ArchConfig,
+        lane: &mut ReplayLane,
         energy: &EnergyModel,
-        index: usize,
+        tindex: usize,
+        trace: &SimTrace,
         start: u64,
         end: u64,
     ) {
-        let transfer = self.trace.transfers[index];
+        let transfer = trace.transfers[tindex];
         let to = transfer.to_chip as usize;
         let tile = STREAM_TILE_BYTES.max(transfer.bytes.div_ceil(MAX_STREAM_TILES));
         let tiles = transfer.bytes.div_ceil(tile).max(1);
@@ -466,45 +765,46 @@ impl<'a> ReplayEngine<'a> {
             remaining -= size;
             let available = start + (span * (i + 1)) / tiles;
             let outcome =
-                state.fabric.transfer(transfer.from_chip, transfer.to_chip, size, available);
-            let port_start = outcome.arrival.max(state.global_port_free[to]);
-            let landed = port_start + arch.chip().global_memory.transfer_cycles(size);
-            state.global_port_free[to] = landed;
-            state.landing_windows[to].push((port_start, landed));
-            state.system_energy.interchip_pj += energy.interchip.transfer_pj(size, outcome.hops);
-            state.system_energy.global_memory_pj += energy.sram.global_pj(size);
+                lane.fabric.transfer(transfer.from_chip, transfer.to_chip, size, available);
+            let port_start = outcome.arrival.max(lane.global_port_free[to]);
+            let landed = port_start + lane.arch.chip().global_memory.transfer_cycles(size);
+            lane.global_port_free[to] = landed;
+            lane.landing_windows[to].push((port_start, landed));
+            lane.system_energy.interchip_pj += energy.interchip.transfer_pj(size, outcome.hops);
+            lane.system_energy.global_memory_pj += energy.sram.global_pj(size);
             if i == 0 {
                 first_landed = landed;
             }
             last_landed = landed;
         }
-        state.chip_ready[to] = state.chip_ready[to].max(first_landed);
-        state.last_input_landed[to] = state.last_input_landed[to].max(last_landed);
-        state.incoming_remaining[to] -= 1;
+        lane.chip_ready[to] = lane.chip_ready[to].max(first_landed);
+        lane.last_input_landed[to] = lane.last_input_landed[to].max(last_landed);
     }
 
     /// Mirror of the interpreter's barrier-release sweep.
     fn release_barriers(
         &self,
-        state: &mut ReplayState,
-        arch: &ArchConfig,
+        ctl: &mut ReplayCtl,
+        runs: &mut [LaneRun],
         energy: &EnergyModel,
         options: SimOptions,
     ) -> bool {
         let mut released = false;
         for chip in 0..self.trace.chip_count {
-            if state.chip_started[chip] {
-                released |= self.release_barrier(state, arch, energy, options, chip);
+            if ctl.chip_started[chip] {
+                released |= self.release_barrier(ctl, runs, energy, options, chip);
             }
         }
         released
     }
 
-    /// Mirror of the interpreter's per-chip barrier release.
+    /// Mirror of the interpreter's per-chip barrier release. Membership
+    /// and release order are shared control state; the release *times*
+    /// are per lane.
     fn release_barrier(
         &self,
-        state: &mut ReplayState,
-        arch: &ArchConfig,
+        ctl: &mut ReplayCtl,
+        runs: &mut [LaneRun],
         energy: &EnergyModel,
         options: SimOptions,
         chip: usize,
@@ -512,7 +812,7 @@ impl<'a> ReplayEngine<'a> {
         let cores = chip * self.trace.cores_per_chip..(chip + 1) * self.trace.cores_per_chip;
         let mut waiting: Vec<(usize, u16)> = Vec::new();
         for i in cores.clone() {
-            match state.block[i] {
+            match ctl.block[i] {
                 BlockReason::Barrier { id } => waiting.push((i, id)),
                 BlockReason::Halted => {}
                 _ => return false,
@@ -524,29 +824,36 @@ impl<'a> ReplayEngine<'a> {
         let min_id = waiting.iter().map(|(_, id)| *id).min().expect("non-empty");
         let members: Vec<usize> =
             waiting.iter().filter(|(_, id)| *id == min_id).map(|(i, _)| *i).collect();
-        let halted = cores.filter(|i| state.block[*i] == BlockReason::Halted).count();
+        let halted = cores.filter(|i| ctl.block[*i] == BlockReason::Halted).count();
         if members.len() + halted != self.trace.cores_per_chip {
             return false;
         }
-        let release = members.iter().map(|i| state.now[*i]).max().unwrap_or(0) + 1;
-        for i in members {
-            state.now[i] = release;
-            state.block[i] = BlockReason::None;
+        let releases: Vec<u64> = runs
+            .iter()
+            .map(|run| members.iter().map(|i| run.lane.now[*i]).max().unwrap_or(0) + 1)
+            .collect();
+        for (run, &release) in runs.iter_mut().zip(&releases) {
+            for &i in &members {
+                run.lane.now[i] = release;
+            }
+            run.lane.barrier_release[chip].insert(min_id, release);
         }
-        state.barrier_release[chip].insert(min_id, release);
+        for &i in &members {
+            ctl.block[i] = BlockReason::None;
+        }
         if min_id % 2 == 1 {
             let ordinal = (min_id as usize - 1) / 2;
             if options.handoff == HandoffMode::TileStreaming {
-                self.stream_stage_transfers(state, arch, energy, chip, ordinal, release);
+                self.stream_stage_transfers(ctl, runs, energy, chip, ordinal, &releases);
             }
         }
         true
     }
 
-    fn deadlock(&self, state: &ReplayState) -> SimError {
+    fn deadlock(&self, ctl: &ReplayCtl) -> SimError {
         let mut recv = Vec::new();
         let mut barrier = Vec::new();
-        for (i, block) in state.block.iter().enumerate() {
+        for (i, block) in ctl.block.iter().enumerate() {
             match block {
                 BlockReason::Recv { .. } => recv.push(i as u32),
                 BlockReason::Barrier { .. } => barrier.push(i as u32),
@@ -557,16 +864,19 @@ impl<'a> ReplayEngine<'a> {
     }
 
     /// Mirror of the interpreter's report assembly, substituting the
-    /// recorded invariants where timing cannot reach.
-    fn finish(&self, state: &mut ReplayState, arch: &ArchConfig) -> SimReport {
+    /// recorded invariants where timing cannot reach. Called once per
+    /// *point* with the point's own arch — lanes deduplicate frequency,
+    /// so this is where frequency-dependent terms (static energy, the
+    /// cycle↔time conversion constants) split back out.
+    fn finish(&self, ctl: &ReplayCtl, lane: &ReplayLane, arch: &ArchConfig) -> SimReport {
         let trace = self.trace;
         let energy_model = EnergyModel::calibrated_28nm();
-        let total_cycles = state
+        let total_cycles = lane
             .now
             .iter()
             .copied()
-            .chain(state.last_input_landed.iter().copied())
-            .chain(state.chip_finish_time.iter().copied())
+            .chain(lane.last_input_landed.iter().copied())
+            .chain(lane.chip_finish_time.iter().copied())
             .max()
             .unwrap_or(0)
             .max(1);
@@ -575,14 +885,14 @@ impl<'a> ReplayEngine<'a> {
             let core_energy = EnergyBreakdown {
                 compute_pj: inv.compute_pj,
                 local_memory_pj: inv.local_memory_pj,
-                noc_pj: state.noc_pj[i],
+                noc_pj: lane.noc_pj[i],
                 global_memory_pj: inv.global_memory_pj,
                 control_pj: inv.control_pj,
                 ..EnergyBreakdown::new()
             };
             energy.accumulate(&core_energy);
         }
-        energy.accumulate(&state.system_energy);
+        energy.accumulate(&lane.system_energy);
         energy.accumulate(&energy_model.static_energy(arch, total_cycles));
 
         let mg_per_core = arch.core.cim_unit.macro_groups.max(1) as f64;
@@ -596,26 +906,26 @@ impl<'a> ReplayEngine<'a> {
 
         let chip_finish: Vec<u64> = (0..trace.chip_count)
             .map(|chip| {
-                if state.chip_dispatched[chip] {
-                    state.chip_finish_time[chip]
+                if ctl.chip_dispatched[chip] {
+                    lane.chip_finish_time[chip]
                 } else {
                     (chip * trace.cores_per_chip..(chip + 1) * trace.cores_per_chip)
-                        .map(|g| state.now[g])
+                        .map(|g| lane.now[g])
                         .max()
                         .unwrap_or(0)
-                        .max(state.last_input_landed[chip])
+                        .max(lane.last_input_landed[chip])
                 }
             })
             .collect();
         let chip_cycles: Vec<u64> = chip_finish
             .iter()
-            .zip(&state.chip_start_time)
+            .zip(&lane.chip_start_time)
             .map(|(finish, start)| finish.saturating_sub(*start))
             .collect();
         let chip_stall_cycles: Vec<u64> = (0..trace.chip_count)
             .map(|chip| {
-                let (start, finish) = (state.chip_start_time[chip], chip_finish[chip]);
-                state.landing_windows[chip]
+                let (start, finish) = (lane.chip_start_time[chip], chip_finish[chip]);
+                lane.landing_windows[chip]
                     .iter()
                     .map(|(from, to)| to.min(&finish).saturating_sub(*from.max(&start)))
                     .sum()
@@ -623,14 +933,14 @@ impl<'a> ReplayEngine<'a> {
             .collect();
         let chip_overlap_cycles: Vec<u64> = (0..trace.chip_count)
             .map(|chip| {
-                state.last_input_landed[chip]
+                lane.last_input_landed[chip]
                     .min(chip_finish[chip])
-                    .saturating_sub(state.chip_start_time[chip])
+                    .saturating_sub(lane.chip_start_time[chip])
             })
             .collect();
 
         let mut noc = NocStats::default();
-        for mesh in &state.meshes {
+        for mesh in &lane.meshes {
             noc.merge(mesh.stats());
         }
 
@@ -644,7 +954,7 @@ impl<'a> ReplayEngine<'a> {
                 operations: trace.vector_ops,
             },
             noc,
-            interchip: state.fabric.stats().clone(),
+            interchip: lane.fabric.stats().clone(),
             core_utilization,
             chip_cycles,
             chip_stall_cycles,
@@ -658,19 +968,74 @@ impl<'a> ReplayEngine<'a> {
     }
 }
 
-/// Structure-of-arrays per-point timing state, allocated once per batch
-/// and reset per point. Everything timing-dependent lives here; the
-/// shared [`SimTrace`] stays immutable.
-#[derive(Debug)]
-struct ReplayState {
-    /// Per core: local clock.
-    now: Vec<u64>,
+/// Shared control state of one lockstep walk: everything whose evolution
+/// is provably identical across lanes as long as their core picks agree —
+/// op positions, block states, chip/transfer dispatch flags, channel
+/// queue *lengths*, the slice budget. Cloned (cheaply — flat vectors of
+/// primitives) when a divergent lane peels off mid-trace.
+#[derive(Debug, Clone)]
+struct ReplayCtl {
     /// Per core: next op in its stream.
     op_idx: Vec<usize>,
     /// Per core: instructions consumed of a partially-split advance run.
     advance_done: Vec<u32>,
     /// Per core: scheduler block state.
     block: Vec<BlockReason>,
+    /// Per core: flat channel id of the blocking `Recv` (valid only while
+    /// `block` is [`BlockReason::Recv`]) — the pick scan probes channel
+    /// occupancy without hashing.
+    recv_wait: Vec<u32>,
+    /// Non-halted cores, ascending (the pick scan's tie-break order).
+    live: Vec<usize>,
+    /// Per channel: queue length (the arrival *values* are lane-local).
+    channel_len: Vec<usize>,
+    /// Per chip: hand-off bookkeeping (mirrors the interpreter's).
+    chip_started: Vec<bool>,
+    chip_dispatched: Vec<bool>,
+    chip_halted: Vec<usize>,
+    incoming_remaining: Vec<usize>,
+    transfer_dispatched: Vec<bool>,
+    executed: u64,
+}
+
+impl ReplayCtl {
+    fn new(trace: &SimTrace, channel_count: usize) -> Self {
+        let cores = trace.ops.len();
+        let chips = trace.chip_count;
+        let mut incoming_remaining = vec![0usize; chips];
+        for transfer in &trace.transfers {
+            incoming_remaining[transfer.to_chip as usize] += 1;
+        }
+        let chip_started: Vec<bool> =
+            incoming_remaining.iter().map(|remaining| *remaining == 0).collect();
+        ReplayCtl {
+            op_idx: vec![0; cores],
+            advance_done: vec![0; cores],
+            block: vec![BlockReason::None; cores],
+            recv_wait: vec![NO_CHANNEL; cores],
+            live: (0..cores).collect(),
+            channel_len: vec![0; channel_count],
+            chip_started,
+            chip_dispatched: vec![false; chips],
+            chip_halted: vec![0; chips],
+            incoming_remaining,
+            transfer_dispatched: vec![false; trace.transfers.len()],
+            executed: 0,
+        }
+    }
+}
+
+/// Per-lane timing state: the clocks, scoreboards, port cursors, meshes,
+/// fabric and energy accumulators of one cycle-distinct design point.
+/// The structure-of-arrays layout across lanes is a `Vec` of these —
+/// each op updates every lane's block while the decode happens once.
+#[derive(Debug)]
+struct ReplayLane {
+    /// The lane's (frequency-normalized) architecture — every
+    /// cycle-domain constant the walk reads comes from here.
+    arch: ArchConfig,
+    /// Per core: local clock.
+    now: Vec<u64>,
     /// Per core: vector-unit busy-until.
     vector_busy_until: Vec<u64>,
     /// Per core: point-dependent NoC energy (routing distance varies
@@ -680,97 +1045,28 @@ struct ReplayState {
     mg_busy_until: Vec<u64>,
     /// Core-major flattened accumulator-ready scoreboard.
     mg_acc_ready: Vec<u64>,
-    /// Per chip: hand-off bookkeeping (mirrors the interpreter's).
-    chip_started: Vec<bool>,
-    chip_dispatched: Vec<bool>,
+    /// Per chip: hand-off times (the shared flags live on the ctl).
     chip_ready: Vec<u64>,
     chip_start_time: Vec<u64>,
     chip_finish_time: Vec<u64>,
-    incoming_remaining: Vec<usize>,
     last_input_landed: Vec<u64>,
     /// Per chip: the shared global-memory port's free time (used both by
     /// `GlobalCpy` ops and by landing cut activations — one port).
     global_port_free: Vec<u64>,
     barrier_release: Vec<HashMap<u16, u64>>,
     landing_windows: Vec<Vec<(u64, u64)>>,
-    transfer_dispatched: Vec<bool>,
-    /// In-flight messages per (global sender, global receiver): arrival
-    /// cycles only — byte counts are invariant and pre-resolved into the
-    /// receiving op.
-    channels: HashMap<(u32, u32), VecDeque<u64>>,
+    /// Per channel: in-flight arrival cycles (lengths are shared; byte
+    /// counts are invariant and pre-resolved into the receiving op).
+    channels: Vec<VecDeque<u64>>,
     meshes: Vec<Mesh>,
     fabric: InterChipFabric,
     system_energy: EnergyBreakdown,
-    executed: u64,
 }
 
-impl ReplayState {
-    fn new(trace: &SimTrace) -> Self {
+impl ReplayLane {
+    fn new(trace: &SimTrace, arch: &ArchConfig, channel_count: usize) -> Self {
         let cores = trace.ops.len();
         let chips = trace.chip_count;
-        ReplayState {
-            now: vec![0; cores],
-            op_idx: vec![0; cores],
-            advance_done: vec![0; cores],
-            block: vec![BlockReason::None; cores],
-            vector_busy_until: vec![0; cores],
-            noc_pj: vec![0.0; cores],
-            mg_busy_until: vec![0; cores * trace.macro_groups],
-            mg_acc_ready: vec![0; cores * trace.macro_groups],
-            chip_started: vec![false; chips],
-            chip_dispatched: vec![false; chips],
-            chip_ready: vec![0; chips],
-            chip_start_time: vec![0; chips],
-            chip_finish_time: vec![0; chips],
-            incoming_remaining: vec![0; chips],
-            last_input_landed: vec![0; chips],
-            global_port_free: vec![0; chips],
-            barrier_release: vec![HashMap::new(); chips],
-            landing_windows: vec![Vec::new(); chips],
-            transfer_dispatched: vec![false; trace.transfers.len()],
-            channels: HashMap::new(),
-            meshes: Vec::new(),
-            fabric: InterChipFabric::new(cimflow_noc::InterChipConfig::point_to_point(
-                chips as u32,
-                1,
-                0,
-            )),
-            system_energy: EnergyBreakdown::new(),
-            executed: 0,
-        }
-    }
-
-    /// Re-arms the state for one design point.
-    fn reset(&mut self, trace: &SimTrace, arch: &ArchConfig) {
-        self.now.fill(0);
-        self.op_idx.fill(0);
-        self.advance_done.fill(0);
-        self.block.fill(BlockReason::None);
-        self.vector_busy_until.fill(0);
-        self.noc_pj.fill(0.0);
-        self.mg_busy_until.fill(0);
-        self.mg_acc_ready.fill(0);
-        self.chip_dispatched.fill(false);
-        self.chip_ready.fill(0);
-        self.chip_start_time.fill(0);
-        self.chip_finish_time.fill(0);
-        self.last_input_landed.fill(0);
-        self.global_port_free.fill(0);
-        for map in &mut self.barrier_release {
-            map.clear();
-        }
-        for windows in &mut self.landing_windows {
-            windows.clear();
-        }
-        self.transfer_dispatched.fill(false);
-        self.channels.clear();
-        self.incoming_remaining.fill(0);
-        for transfer in &trace.transfers {
-            self.incoming_remaining[transfer.to_chip as usize] += 1;
-        }
-        for (chip, started) in self.chip_started.iter_mut().enumerate() {
-            *started = self.incoming_remaining[chip] == 0;
-        }
         let noc_config = NocConfig {
             width: arch.chip().mesh.width,
             height: arch.chip().mesh.height,
@@ -778,17 +1074,31 @@ impl ReplayState {
             hop_latency: arch.chip().noc_hop_latency,
             memory_port: arch.chip().memory_port,
         };
-        self.meshes.clear();
-        self.meshes.extend((0..trace.chip_count).map(|_| Mesh::new(noc_config)));
         let link = &arch.system.interconnect;
-        self.fabric = InterChipFabric::new(cimflow_noc::InterChipConfig {
-            chips: trace.chip_count as u32,
-            link_bytes: link.link_bytes_per_cycle,
-            link_latency: link.link_latency_cycles,
-            ring: link.topology == cimflow_arch::InterChipTopology::Ring,
-        });
-        self.system_energy = EnergyBreakdown::new();
-        self.executed = 0;
+        ReplayLane {
+            arch: *arch,
+            now: vec![0; cores],
+            vector_busy_until: vec![0; cores],
+            noc_pj: vec![0.0; cores],
+            mg_busy_until: vec![0; cores * trace.macro_groups],
+            mg_acc_ready: vec![0; cores * trace.macro_groups],
+            chip_ready: vec![0; chips],
+            chip_start_time: vec![0; chips],
+            chip_finish_time: vec![0; chips],
+            last_input_landed: vec![0; chips],
+            global_port_free: vec![0; chips],
+            barrier_release: vec![HashMap::new(); chips],
+            landing_windows: vec![Vec::new(); chips],
+            channels: vec![VecDeque::new(); channel_count],
+            meshes: (0..chips).map(|_| Mesh::new(noc_config)).collect(),
+            fabric: InterChipFabric::new(cimflow_noc::InterChipConfig {
+                chips: chips as u32,
+                link_bytes: link.link_bytes_per_cycle,
+                link_latency: link.link_latency_cycles,
+                ring: link.topology == cimflow_arch::InterChipTopology::Ring,
+            }),
+            system_energy: EnergyBreakdown::new(),
+        }
     }
 }
 
@@ -892,5 +1202,123 @@ mod tests {
             baseline,
             "a failed point must not poison the reused state"
         );
+    }
+
+    #[test]
+    fn lockstep_lanes_deduplicate_frequency_and_match_scalar_replay() {
+        let base = ArchConfig::paper_default();
+        let compiled = compile(&models::mobilenet_v2(32), &base, Strategy::DpOptimized).unwrap();
+        let (trace, _) = Simulator::record(&compiled).unwrap();
+        let engine = ReplayEngine::new(&trace);
+        let points: Vec<(ArchConfig, SimOptions)> = [400, 800, 1000]
+            .iter()
+            .flat_map(|&mhz| {
+                [0u32, 27].iter().map(move |&port| {
+                    (base.with_frequency_mhz(mhz).with_memory_port(port), SimOptions::default())
+                })
+            })
+            .collect();
+        let (results, stats) = engine.replay_batch_stats(&points);
+        // 3 frequencies × 2 ports collapse onto 2 cycle-distinct lanes.
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.lanes, 2);
+        for (point, result) in points.iter().zip(&results) {
+            let scalar = engine.replay(&point.0, point.1).unwrap();
+            assert_eq!(*result.as_ref().unwrap(), scalar, "lockstep must equal scalar replay");
+        }
+    }
+
+    #[test]
+    fn single_lane_batches_never_count_as_lockstep() {
+        let base = ArchConfig::paper_default();
+        let compiled = compile(&models::mobilenet_v2(32), &base, Strategy::DpOptimized).unwrap();
+        let (trace, _) = Simulator::record(&compiled).unwrap();
+        let engine = ReplayEngine::new(&trace);
+        let points = vec![
+            (base, SimOptions::default()),
+            (base.with_frequency_mhz(500), SimOptions::default()),
+        ];
+        let (results, stats) = engine.replay_batch_stats(&points);
+        assert!(results.iter().all(Result::is_ok));
+        assert_eq!(stats, LockstepStats::default(), "one cycle lane is the scalar path");
+    }
+
+    /// A hand-built trace whose `pick_core` argmin genuinely flips with
+    /// the NoC hop latency. Core 0 materializes a clock from a message
+    /// that crossed the whole mesh (arrival scales with the per-hop
+    /// latency: ~78 cycles at latency 1, ~512 at latency 32); core 1
+    /// holds a fixed 200-cycle clock sized between the two. Both then
+    /// block on core 5, whose own recv chain (through core 7's 900-cycle
+    /// copy) keeps it from producing until both consumers are waiting, so
+    /// the next pick compares 78-vs-200 in one lane and 512-vs-200 in the
+    /// other. Real model traces never reach this state (their dependency
+    /// chains and the serializing global port pin the pick order), so the
+    /// peel path gets its own trace.
+    #[test]
+    fn divergent_pick_orders_peel_into_scalar_lanes_bit_exactly() {
+        use std::collections::BTreeMap;
+
+        use crate::trace::{CoreInvariants, TracePasses};
+
+        let arch = ArchConfig::paper_default();
+        let cores = arch.chip().core_count as usize;
+        let mut ops: Vec<Vec<TraceOp>> =
+            (0..cores).map(|_| vec![TraceOp::Halt { counted: false }]).collect();
+        ops[0] = vec![
+            // Clock becomes the arrival of core 63's full-mesh crossing,
+            // then core 0 itself releases the producer and waits on it —
+            // so the producer cannot run before the clock materializes.
+            TraceOp::Recv { src: 63, local_cycles: 0 },
+            TraceOp::Send { dst: 5, bytes: 64, push: true },
+            TraceOp::Recv { src: 5, local_cycles: 4 },
+            TraceOp::Advance { insts: 32, penalty: false },
+            TraceOp::Halt { counted: true },
+        ];
+        ops[1] = vec![
+            TraceOp::LocalCpy { cycles: 200 },
+            TraceOp::Recv { src: 5, local_cycles: 4 },
+            TraceOp::Advance { insts: 16, penalty: false },
+            TraceOp::Halt { counted: true },
+        ];
+        ops[5] = vec![
+            TraceOp::Recv { src: 0, local_cycles: 0 },
+            TraceOp::Send { dst: 0, bytes: 64, push: true },
+            TraceOp::Send { dst: 1, bytes: 64, push: true },
+            TraceOp::Halt { counted: true },
+        ];
+        ops[63] =
+            vec![TraceOp::Send { dst: 0, bytes: 512, push: true }, TraceOp::Halt { counted: true }];
+        let trace = SimTrace {
+            arch,
+            fingerprint: arch.compile_fingerprint(),
+            cores_per_chip: cores,
+            chip_count: 1,
+            macro_groups: 1,
+            ops,
+            transfers: Vec::new(),
+            chip_transfers: vec![Vec::new()],
+            dynamic_instructions: BTreeMap::new(),
+            cim_ops: 0,
+            vector_ops: 0,
+            total_macs: 0,
+            executed: 69,
+            core_invariants: vec![CoreInvariants::default(); cores],
+            passes: TracePasses::default(),
+        };
+        let engine = ReplayEngine::new(&trace);
+        let options = SimOptions::default();
+        // Hop latency 1: the crossing beats the 200-cycle copy. Hop
+        // latency 32: it loses. The wake order flips between the lanes.
+        let mut slow_mesh = arch;
+        slow_mesh.system.chip.noc_hop_latency = 32;
+        let points: Vec<(ArchConfig, SimOptions)> = vec![(arch, options), (slow_mesh, options)];
+        let (results, stats) = engine.replay_batch_stats(&points);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.lanes, 2);
+        assert!(stats.fallback_lanes > 0, "the flipped wake order must peel: {stats:?}");
+        for (point, result) in points.iter().zip(&results) {
+            let scalar = engine.replay(&point.0, point.1).unwrap();
+            assert_eq!(*result.as_ref().unwrap(), scalar, "peeled lanes must equal scalar replay");
+        }
     }
 }

@@ -267,13 +267,47 @@ impl Simulator {
         options: SimOptions,
         metrics: Option<&MetricsRegistry>,
     ) -> Result<ServingReport, SimError> {
+        let singles = Self::resolve_singles(models, options)?;
+        Self::serve_from_singles(models, singles, workload, offered_qps, metrics)
+    }
+
+    /// Serves the same co-located mix at every rate of a ladder, running
+    /// the cycle engine **once per model for the whole ladder** — the
+    /// single-inference reports are resolved up front and reused across
+    /// every rate, so an N-rung `--objective p99` ladder costs one replay
+    /// per model instead of N. Each rung gets its own result (e.g. a
+    /// zero-QPS rung errors individually without failing the ladder).
+    ///
+    /// # Errors
+    ///
+    /// Fails as a whole only when the singles cannot be resolved (see
+    /// [`Simulator::serve`] for the conditions); per-rate failures land
+    /// in the corresponding slot of the returned vector.
+    pub fn serve_ladder(
+        models: &[ServeModel<'_>],
+        workload: &WorkloadSpec,
+        rates: &[u64],
+        options: SimOptions,
+    ) -> Result<Vec<Result<ServingReport, SimError>>, SimError> {
+        let singles = Self::resolve_singles(models, options)?;
+        Ok(rates
+            .iter()
+            .map(|&qps| Self::serve_from_singles(models, singles.clone(), workload, qps, None))
+            .collect())
+    }
+
+    /// One engine run per model — recorded or replayed, never per
+    /// request. The replayed report is bit-exact for every batch of
+    /// the model (same trace key, same arch), so it is computed once
+    /// and reused across all of them (and, via [`Simulator::serve_ladder`],
+    /// across every rung of a rate ladder).
+    fn resolve_singles(
+        models: &[ServeModel<'_>],
+        options: SimOptions,
+    ) -> Result<Vec<SimReport>, SimError> {
         if models.is_empty() {
             return Err(SimError::Traffic { detail: "no models to serve".to_owned() });
         }
-        // One engine run per model — recorded or replayed, never per
-        // request. The replayed report is bit-exact for every batch of
-        // the model (same trace key, same arch), so it is computed once
-        // and reused across all of them.
         let mut singles = Vec::with_capacity(models.len());
         for model in models {
             let report = match &model.source {
@@ -292,6 +326,18 @@ impl Simulator {
             };
             singles.push(report);
         }
+        Ok(singles)
+    }
+
+    /// Queueing + report assembly from already-resolved single-inference
+    /// reports (pure integer-tick arithmetic; no engine runs).
+    fn serve_from_singles(
+        models: &[ServeModel<'_>],
+        singles: Vec<SimReport>,
+        workload: &WorkloadSpec,
+        offered_qps: u64,
+        metrics: Option<&MetricsRegistry>,
+    ) -> Result<ServingReport, SimError> {
         let frequency_mhz = singles[0].frequency_mhz;
         if singles.iter().any(|r| r.frequency_mhz != frequency_mhz) {
             return Err(SimError::Traffic {
@@ -477,6 +523,30 @@ mod tests {
             from_compiled.per_model[0].single.total_cycles,
             from_trace.per_model[0].single.total_cycles
         );
+    }
+
+    #[test]
+    fn rate_ladders_match_individually_served_rungs() {
+        let arch = ArchConfig::paper_default();
+        let compiled = compile(&models::mobilenet_v2(32), &arch, Strategy::GenericMapping).unwrap();
+        let (trace, _) = Simulator::record(&compiled).unwrap();
+        let workload = WorkloadSpec { requests: 32, ..WorkloadSpec::default() };
+        let served = [ServeModel::traced("m", &trace, arch)];
+        let rates = [50u64, 500, 0, 2000];
+        let ladder =
+            Simulator::serve_ladder(&served, &workload, &rates, SimOptions::default()).unwrap();
+        assert_eq!(ladder.len(), rates.len());
+        for (&qps, rung) in rates.iter().zip(&ladder) {
+            let solo = Simulator::serve(&served, &workload, qps, SimOptions::default());
+            match (rung, solo) {
+                (Ok(rung), Ok(solo)) => {
+                    assert_eq!(rung.latency, solo.latency, "qps {qps}");
+                    assert_eq!(rung.makespan_cycles, solo.makespan_cycles, "qps {qps}");
+                }
+                (Err(rung), Err(solo)) => assert_eq!(rung.to_string(), solo.to_string()),
+                (rung, solo) => panic!("qps {qps}: ladder {rung:?} vs solo {solo:?}"),
+            }
+        }
     }
 
     #[test]

@@ -66,8 +66,13 @@ fn quota_limited_tenant_backs_off_while_another_flows() {
         .submit(EvalRequest::new("resnet18", 32, Strategy::GenericMapping).with_tenant("a"))
         .expect("second point admitted");
     // Tenant `a` is now at quota until a point completes; its excess
-    // submissions bounce with backpressure...
+    // submissions bounce with backpressure. If a point of `a` finished
+    // in between (capacity lawfully freed), the admitted probe itself
+    // re-occupies the seat — holding it (instead of waiting it out)
+    // rebuilds quota pressure, so a rejection arrives after at most two
+    // consecutive admissions and the loop cannot spin on a warm cache.
     let mut rejections = 0;
+    let mut reclaimed = Vec::new();
     loop {
         match service
             .submit(EvalRequest::new("vgg19", 32, Strategy::GenericMapping).with_tenant("a"))
@@ -77,11 +82,7 @@ fn quota_limited_tenant_backs_off_while_another_flows() {
                 rejections += 1;
                 break;
             }
-            Ok(handle) => {
-                // A point of `a` finished in between: capacity lawfully
-                // freed. Consume it and retry once.
-                assert!(handle.wait().result.is_ok());
-            }
+            Ok(handle) => reclaimed.push(handle),
             Err(other) => panic!("unexpected rejection {other}"),
         }
     }
@@ -93,6 +94,9 @@ fn quota_limited_tenant_backs_off_while_another_flows() {
     assert!(b.wait().result.is_ok());
     assert!(a1.wait().result.is_ok());
     assert!(a2.wait().result.is_ok());
+    for handle in reclaimed {
+        assert!(handle.wait().result.is_ok(), "reclaimed quota seats still evaluate");
+    }
     // Completion releases quota: tenant `a` flows again.
     let a3 = service
         .submit(EvalRequest::new("resnet18", 32, Strategy::DpOptimized).with_tenant("a"))
