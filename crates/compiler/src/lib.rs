@@ -85,6 +85,6 @@ pub use frontend::{CondensedGraph, OpGroup};
 pub use plan::{
     ClusterPlan, CompilationPlan, CompileReport, CompiledProgram, GroupPlacement, StagePlan,
 };
-pub use search::{SearchMode, SearchOutcome, SystemSearch};
+pub use search::{estimate_sequential_interval, SearchMode, SearchOutcome, SystemSearch};
 pub use strategy::{compile, compile_with_options, CompileOptions, Strategy};
 pub use system::{partition_chips, InterChipTransferPlan, SystemPlan};

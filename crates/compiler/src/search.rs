@@ -20,6 +20,7 @@ use std::fmt;
 use cimflow_obs::Tracer;
 
 use crate::cost::{CostModel, STREAM_TILE_BYTES};
+use crate::error::CompileError;
 use crate::frontend::CondensedGraph;
 use crate::partition::{partition_with_strategy, PartitionDecision};
 use crate::strategy::Strategy;
@@ -139,6 +140,42 @@ pub(crate) fn estimate_interval(
         interval = interval.max(latency + residual);
     }
     interval
+}
+
+/// Prices a compilation analytically, without code generation or
+/// simulation: the sequential pipeline's estimated initiation interval
+/// for `strategy` on this graph/architecture pair.
+///
+/// This is the cheapest rung of the evaluation-fidelity ladder — the
+/// contiguous DP chip split is seeded exactly as the sequential pipeline
+/// would, each chip's subgraph is stage-partitioned under the one global
+/// strategy, and the assignment is scored by the same
+/// `estimate_interval` the joint searcher uses to rank candidates. The
+/// returned cycle count is an *estimate* (it prices cut activations at
+/// the tile-streaming residual, not measured congestion), so it is
+/// suitable for ranking points, not for reporting absolute latency.
+///
+/// # Errors
+///
+/// Returns the stage partitioner's [`CompileError`] when any chip's
+/// subgraph cannot be partitioned under `strategy`.
+pub fn estimate_sequential_interval(
+    condensed: &CondensedGraph,
+    cost: &CostModel,
+    strategy: Strategy,
+) -> Result<u64, CompileError> {
+    let chips = cost.arch().chip_count();
+    let seed = system::partition_chips(condensed, cost);
+    let mut latencies = Vec::with_capacity(chips as usize);
+    for chip in 0..chips {
+        let (sub, _) = condensed.chip_subgraph(&seed.assignment, chip);
+        latencies.push(if sub.is_empty() {
+            0
+        } else {
+            partition_with_strategy(&sub, cost, strategy)?.estimated_cycles()
+        });
+    }
+    Ok(estimate_interval(condensed, cost, &seed.assignment, &latencies))
 }
 
 /// The joint system-level searcher (see the module docs).
@@ -487,21 +524,9 @@ mod tests {
 
     /// The sequential pipeline's estimated interval: its contiguous DP
     /// seed lowered with the one global strategy, scored by the shared
-    /// estimator.
+    /// estimator (the public analytical rung).
     fn sequential_estimate(graph: &CondensedGraph, cost: &CostModel, strategy: Strategy) -> u64 {
-        let chips = cost.arch().chip_count();
-        let seed = system::partition_chips(graph, cost);
-        let latencies: Vec<u64> = (0..chips)
-            .map(|chip| {
-                let (sub, _) = graph.chip_subgraph(&seed.assignment, chip);
-                if sub.is_empty() {
-                    0
-                } else {
-                    partition_with_strategy(&sub, cost, strategy).unwrap().estimated_cycles()
-                }
-            })
-            .collect();
-        estimate_interval(graph, cost, &seed.assignment, &latencies)
+        estimate_sequential_interval(graph, cost, strategy).unwrap()
     }
 
     #[test]

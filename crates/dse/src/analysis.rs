@@ -34,6 +34,10 @@ use crate::{DseOutcome, Evaluation};
 ///   the energy of the whole serving run. Points evaluated without a
 ///   traffic workload have no serving metrics and are excluded from
 ///   p99 frontiers entirely (mirroring the non-finite-energy contract).
+/// - [`Objective::Area`] — hardware-cost sweeps: single-inference
+///   latency in cycles against the system's silicon area in mm² (the
+///   arch-derived [`AreaModel`](cimflow_energy::AreaModel)), trading
+///   speed against die cost instead of against energy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Objective {
     /// Minimize single-inference latency in cycles (the default).
@@ -41,6 +45,8 @@ pub enum Objective {
     Cycles,
     /// Minimize serving p99 request latency in nanoseconds.
     P99Latency,
+    /// Minimize single-inference latency against silicon area in mm².
+    Area,
 }
 
 impl serde::Serialize for Objective {
@@ -69,8 +75,19 @@ impl Objective {
             Objective::P99Latency => {
                 evaluation.serving.as_ref().map(|s| (s.p99_latency_ns(), s.energy_mj))
             }
+            Objective::Area => {
+                Some((evaluation.simulation.total_cycles, area_mm2(&evaluation.arch)))
+            }
         }
     }
+}
+
+/// Total silicon area of an architecture in mm² under the default
+/// 28 nm-calibrated [`AreaModel`](cimflow_energy::AreaModel): the float
+/// axis of [`Objective::Area`] frontiers and the quantity the explorer's
+/// `--max-area` feasibility cap bounds.
+pub fn area_mm2(arch: &cimflow_arch::ArchConfig) -> f64 {
+    cimflow_energy::AreaModel::default().system_mm2(arch)
 }
 
 impl std::str::FromStr for Objective {
@@ -80,7 +97,10 @@ impl std::str::FromStr for Objective {
         match text {
             "cycles" => Ok(Objective::Cycles),
             "p99" | "p99-latency" | "p99_latency" => Ok(Objective::P99Latency),
-            other => Err(format!("unknown objective `{other}` (expected `cycles` or `p99`)")),
+            "area" => Ok(Objective::Area),
+            other => {
+                Err(format!("unknown objective `{other}` (expected `cycles`, `p99` or `area`)"))
+            }
         }
     }
 }
@@ -90,6 +110,7 @@ impl std::fmt::Display for Objective {
         match self {
             Objective::Cycles => write!(f, "cycles"),
             Objective::P99Latency => write!(f, "p99"),
+            Objective::Area => write!(f, "area"),
         }
     }
 }

@@ -10,17 +10,30 @@
 //! [`explore`] spends the budget adaptively instead:
 //!
 //! * [`ExploreAlgorithm::SuccessiveHalving`] — generations of uniformly
-//!   sampled points are first evaluated at *coarse fidelity* (the model
-//!   resolution floored to 32 px, the search mode pinned to
-//!   [`SearchMode::Sequential`]) and only the per-model Pareto survivors
-//!   of the accumulated coarse pool are promoted to full fidelity. When
-//!   a point's coarse projection *is* the point itself, the evaluation
-//!   counts directly as full fidelity.
+//!   sampled points are first priced on the cheapest rung of the spec's
+//!   [`FidelityLadder`] (by default one 32 px coarse-simulation rung:
+//!   resolution floored, search pinned to [`SearchMode::Sequential`])
+//!   and the per-model Pareto survivors of the accumulated proxy pool
+//!   climb the ladder rung by rung until full fidelity. When a point's
+//!   projection *is* the point itself, the evaluation counts directly
+//!   as full fidelity.
 //! * [`ExploreAlgorithm::Evolutionary`] — a population seeded from a
 //!   sparse (strided) grid sample evolves by mutation (step one axis to
 //!   an adjacent value) and crossover (per-axis mixing of two parents);
 //!   parents are selected by per-model Pareto rank, ties broken by
-//!   NSGA-II crowding distance over (cycles, energy).
+//!   NSGA-II crowding distance over (cycles, energy). A ladder with an
+//!   analytical rung prescreens each brood for free before any budget
+//!   is spent.
+//!
+//! The ladder is **calibrated online**: every graduation feeds the
+//! `(proxy, full)` pair to a per-`(model, rung)` Kendall-tau tracker
+//! ([`RankFidelity`]), and the successive-halving scouting share adapts
+//! to the measured rank fidelity instead of the historical fixed
+//! half-budget cap ([`scout_share_for`]). [`FeasibilityCaps`] cut
+//! area/power-infeasible candidates before budget is spent on them
+//! (with dominated-but-feasible fallbacks), and an optional
+//! hypervolume stopping rule ends a run whose per-model frontiers have
+//! stopped growing.
 //!
 //! Every generation is submitted as one batch through the shared
 //! [`EvalService`] pipeline, so duplicate points coalesce in the
@@ -39,16 +52,22 @@ use std::fmt;
 use std::sync::Arc;
 
 use cimflow_arch::ArchConfig;
-use cimflow_compiler::SearchMode;
 use cimflow_nn::{models, Model};
-use cimflow_obs::{thread_track, AttrValue, Counter, Gauge, Tracer};
+use cimflow_obs::{thread_track, AttrValue, Counter, Gauge, MetricsRegistry, Tracer};
 use serde::{Content, Deserialize, Serialize};
 
 use crate::analysis::Objective;
 use crate::eval::{served_model_name, TrafficJob};
+use crate::fidelity::{
+    scout_share_for, AnalyticalPricer, FeasibilityCaps, Fidelity, FidelityLadder, RankFidelity,
+};
 use crate::journal::SweepJournal;
 use crate::spec::{SweepAxes, AXIS_COUNT};
 use crate::{analysis, DseError, DseOutcome, EvalService, Job, PointSpec, SweepSpec};
+
+/// Relative frontier-hypervolume improvement below which a generation
+/// counts as stalled for the stopping rule.
+const STALL_RELATIVE_EPSILON: f64 = 1e-3;
 
 /// The resolution coarse-fidelity evaluations are floored to: the
 /// smallest geometry the model zoo keeps structurally identical (the
@@ -131,6 +150,22 @@ pub struct ExploreSpec {
     /// requires the space to carry a `traffic` section (otherwise no
     /// point has serving metrics and nothing is ever selected).
     pub objective: Objective,
+    /// The proxy-fidelity ladder the search schedules over. Defaults to
+    /// the historical single 32 px coarse rung
+    /// ([`FidelityLadder::standard`]); rungs are validated against the
+    /// space before the run starts.
+    pub ladder: FidelityLadder,
+    /// Pins the scouting budget share instead of adapting it from the
+    /// measured rank fidelity (`None` = calibrated/adaptive; `Some(0.5)`
+    /// reproduces the historical fixed half-budget split exactly).
+    pub scout_share: Option<f64>,
+    /// Stop after this many consecutive generations whose per-model
+    /// frontier hypervolume improves by less than 0.1% (`None` = run to
+    /// budget).
+    pub stall_generations: Option<u32>,
+    /// Area/power feasibility caps. Inactive caps (the default) admit
+    /// everything.
+    pub caps: FeasibilityCaps,
 }
 
 impl ExploreSpec {
@@ -145,6 +180,10 @@ impl ExploreSpec {
             algorithm: ExploreAlgorithm::default(),
             seed: DEFAULT_SEED,
             objective: Objective::default(),
+            ladder: FidelityLadder::default(),
+            scout_share: None,
+            stall_generations: None,
+            caps: FeasibilityCaps::none(),
         }
     }
 
@@ -173,6 +212,35 @@ impl ExploreSpec {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the fidelity ladder.
+    #[must_use]
+    pub fn with_ladder(mut self, ladder: FidelityLadder) -> Self {
+        self.ladder = ladder;
+        self
+    }
+
+    /// Pins the scouting budget share (`Some(0.5)` is the historical
+    /// fixed split; `None` adapts it from the measured rank fidelity).
+    #[must_use]
+    pub fn with_scout_share(mut self, share: Option<f64>) -> Self {
+        self.scout_share = share;
+        self
+    }
+
+    /// Sets the hypervolume stopping rule.
+    #[must_use]
+    pub fn with_stall_generations(mut self, generations: Option<u32>) -> Self {
+        self.stall_generations = generations;
+        self
+    }
+
+    /// Sets the feasibility caps.
+    #[must_use]
+    pub fn with_caps(mut self, caps: FeasibilityCaps) -> Self {
+        self.caps = caps;
         self
     }
 
@@ -227,6 +295,10 @@ impl Deserialize for ExploreSpec {
             algorithm: opt(field("algorithm"), "algorithm")?.unwrap_or_default(),
             seed: opt(field("seed"), "seed")?.unwrap_or(DEFAULT_SEED),
             objective: opt(field("objective"), "objective")?.unwrap_or_default(),
+            ladder: opt(field("ladder"), "ladder")?.unwrap_or_default(),
+            scout_share: opt(field("scout_share"), "scout_share")?,
+            stall_generations: opt(field("stall_generations"), "stall_generations")?,
+            caps: opt(field("caps"), "caps")?.unwrap_or_default(),
         })
     }
 }
@@ -245,6 +317,9 @@ pub struct GenerationStats {
     /// Cumulative per-model frontier size over the full-fidelity
     /// outcomes after this generation.
     pub frontier_points: usize,
+    /// Per-rung evaluation counts this generation (wire rung names;
+    /// `analytical` entries are free and not part of `submitted`).
+    pub rungs: BTreeMap<String, usize>,
 }
 
 /// The result of an exploration run.
@@ -270,10 +345,27 @@ pub struct ExploreReport {
     /// Feed these to [`export`](crate::export) for CSV/JSON reports.
     pub outcomes: Vec<DseOutcome>,
     /// Per-model Pareto frontier: model name → indices into `outcomes`,
-    /// ascending cycles.
+    /// ascending cycles. With active [`FeasibilityCaps`] this is the
+    /// frontier of the *feasible* outcomes; a model with no feasible
+    /// outcome falls back to its unconstrained frontier.
     pub frontier: BTreeMap<String, Vec<usize>>,
     /// Per-generation trajectory.
     pub generations: Vec<GenerationStats>,
+    /// Per-rung evaluation counts over the whole run (wire rung names;
+    /// `analytical` entries are free and never charge budget).
+    pub rung_evaluated: BTreeMap<String, u64>,
+    /// Measured rank fidelity per `model/rung` (Kendall tau of proxy
+    /// rank against full-fidelity rank on graduated points; pairs with
+    /// fewer than [`crate::MIN_CALIBRATION_SAMPLES`] graduations are
+    /// absent).
+    pub rank_fidelity: BTreeMap<String, f64>,
+    /// The scouting budget share in effect when the run ended (the
+    /// adaptive split successive halving used; 0 when the ladder has no
+    /// simulated proxy rung).
+    pub scout_share: f64,
+    /// True when the hypervolume stopping rule ended the run before the
+    /// budget was spent.
+    pub stalled: bool,
 }
 
 impl ExploreReport {
@@ -326,6 +418,12 @@ fn explore_inner(
     journal: Option<Arc<SweepJournal>>,
 ) -> Result<ExploreReport, DseError> {
     let axes = spec.space.axes()?;
+    spec.ladder.validate_for(&axes)?;
+    if let Some(share) = spec.scout_share {
+        if !(0.0..=1.0).contains(&share) {
+            return Err(DseError::spec(format!("scout_share must be within [0, 1], got {share}")));
+        }
+    }
     // Mirror `expand_jobs`: validate the workload once per run and,
     // under co-location, resolve the whole model axis up front (an
     // unresolvable colocated model is a spec error, never a silently
@@ -350,9 +448,10 @@ fn explore_inner(
         }
         None => None,
     };
+    let base = spec.space.base_arch();
     let mut run = Run {
         axes,
-        base: spec.space.base_arch(),
+        base,
         service,
         obs: ExploreObs::new(service, spec),
         journal,
@@ -367,12 +466,24 @@ fn explore_inner(
         resolved: HashMap::new(),
         objective: spec.objective,
         traffic,
+        ladder: spec.ladder.clone(),
+        scout_share_pin: spec.scout_share,
+        caps: spec.caps,
+        stall_generations: spec.stall_generations,
+        calibration: RankFidelity::new(),
+        analytical: AnalyticalPricer::new(base),
+        proxy_evidence: HashMap::new(),
+        arch_feasibility: HashMap::new(),
+        rung_used: BTreeMap::new(),
+        hv_history: Vec::new(),
+        stalled: false,
     };
     match spec.algorithm {
         ExploreAlgorithm::SuccessiveHalving => successive_halving(&mut run)?,
         ExploreAlgorithm::Evolutionary => evolutionary(&mut run)?,
     }
-    let frontier = analysis::pareto_frontier_by_model_with(&run.outcomes, spec.objective);
+    let frontier = constrained_frontier(&run.outcomes, spec.objective, &spec.caps);
+    let scout_share = run.scout_share();
     Ok(ExploreReport {
         algorithm: spec.algorithm,
         seed: spec.seed,
@@ -381,10 +492,67 @@ fn explore_inner(
         budget_used: run.used,
         evaluated: run.outcomes.len(),
         coarse_evaluated: run.coarse_used as usize,
-        outcomes: run.outcomes,
         frontier,
         generations: run.generations,
+        rung_evaluated: run.rung_used,
+        rank_fidelity: run.calibration.snapshot(),
+        scout_share,
+        stalled: run.stalled,
+        outcomes: run.outcomes,
     })
+}
+
+/// Per-model feasible candidates: (outcome index, objective pair).
+type FeasibleByModel = BTreeMap<String, Vec<(usize, (u64, f64))>>;
+
+/// Per-model promotion candidates: (flat index, ladder level, proxy
+/// objectives).
+type PromotionPool = BTreeMap<String, Vec<(usize, usize, (u64, f64))>>;
+
+/// The per-model frontier under the caps: the frontier of the feasible
+/// outcomes, with a model that has *no* feasible outcome falling back
+/// to its unconstrained frontier (a dominated-but-feasible point beats
+/// an infeasible frontier point, but an all-infeasible model still
+/// reports its best effort).
+fn constrained_frontier(
+    outcomes: &[DseOutcome],
+    objective: Objective,
+    caps: &FeasibilityCaps,
+) -> BTreeMap<String, Vec<usize>> {
+    let unconstrained = analysis::pareto_frontier_by_model_with(outcomes, objective);
+    if !caps.is_active() {
+        return unconstrained;
+    }
+    let mut feasible: FeasibleByModel = BTreeMap::new();
+    for (at, outcome) in outcomes.iter().enumerate() {
+        if !caps.admits_outcome(outcome) {
+            continue;
+        }
+        let objectives = outcome
+            .evaluation()
+            .and_then(|evaluation| objective.of(evaluation))
+            .filter(|pair| pair.1.is_finite());
+        if let Some(objectives) = objectives {
+            feasible.entry(outcome.point.model.name.clone()).or_default().push((at, objectives));
+        }
+    }
+    unconstrained
+        .into_iter()
+        .map(|(model, fallback)| {
+            let indices = match feasible.get(&model) {
+                None => fallback,
+                Some(candidates) => {
+                    let points: Vec<(u64, f64)> =
+                        candidates.iter().map(|(_, objectives)| *objectives).collect();
+                    analysis::pareto_indices(&points)
+                        .into_iter()
+                        .map(|local| candidates[local].0)
+                        .collect()
+                }
+            };
+            (model, indices)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -440,9 +608,15 @@ fn generation_size(space: usize) -> usize {
 /// tell whether a run spent its budget scouting or promoting.
 struct ExploreObs {
     tracer: Option<Tracer>,
+    metrics: MetricsRegistry,
     evals_full: Counter,
     evals_coarse: Counter,
     budget_remaining: Gauge,
+    /// Scouting-allowance burn-down (`explore.scout_budget_remaining`).
+    scout_remaining: Gauge,
+    /// Per-rung counters (`explore.rung_evals{rung}`), resolved lazily
+    /// as rungs are first exercised.
+    rung_counters: HashMap<String, Counter>,
     /// `now_us` at the start of the open generation (tracing only).
     generation_start: Option<u64>,
 }
@@ -455,10 +629,32 @@ impl ExploreObs {
             evals_full: metrics.counter_with("explore.evals", &[("fidelity", "full")]),
             evals_coarse: metrics.counter_with("explore.evals", &[("fidelity", "coarse")]),
             budget_remaining: metrics.gauge("explore.budget_remaining"),
+            scout_remaining: metrics.gauge("explore.scout_budget_remaining"),
+            rung_counters: HashMap::new(),
+            metrics,
             generation_start: None,
         };
         obs.budget_remaining.set(spec.budget as i64);
         obs
+    }
+
+    /// Adds to the per-rung evaluation counter.
+    fn rung_add(&mut self, rung: &str, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.rung_counters
+            .entry(rung.to_owned())
+            .or_insert_with(|| self.metrics.counter_with("explore.rung_evals", &[("rung", rung)]))
+            .add(count);
+    }
+
+    /// Publishes one measured rank fidelity as milli-tau (gauges are
+    /// integers; tau ∈ [−1, 1] maps to [−1000, 1000]).
+    fn set_rank_fidelity(&self, model: &str, rung: &str, tau: f64) {
+        self.metrics
+            .gauge_with("explore.rank_fidelity", &[("model", model), ("rung", rung)])
+            .set((tau * 1000.0).round() as i64);
     }
 
     /// Marks the start of a generation (the matching
@@ -519,6 +715,32 @@ struct Run<'s> {
     /// the workload plus the shared co-location pool (`None` for solo
     /// serving — each job then serves its own model alone).
     traffic: Option<(cimflow_traffic::WorkloadSpec, Option<Arc<TrafficJob>>)>,
+    /// The proxy-fidelity ladder the search schedules over.
+    ladder: FidelityLadder,
+    /// A pinned scouting share (`None` = adapt from calibration).
+    scout_share_pin: Option<f64>,
+    /// Area/power feasibility caps.
+    caps: FeasibilityCaps,
+    /// The hypervolume stopping rule (`None` = run to budget).
+    stall_generations: Option<u32>,
+    /// Online per-`(model, rung)` rank-fidelity tracker.
+    calibration: RankFidelity,
+    /// Cached analytical pricer (condensed graphs per model).
+    analytical: AnalyticalPricer,
+    /// Proxy primary objectives observed per flat index, by rung name:
+    /// consumed into `calibration` when the point graduates to full
+    /// fidelity.
+    proxy_evidence: HashMap<usize, Vec<(String, f64)>>,
+    /// Memoized area-cap verdicts per flat index (arch-only, so they
+    /// are exact before any simulation).
+    arch_feasibility: HashMap<usize, bool>,
+    /// Per-rung evaluation counts over the run (wire rung names).
+    rung_used: BTreeMap<String, u64>,
+    /// Total per-model frontier hypervolume after each generation
+    /// (stopping rule only).
+    hv_history: Vec<f64>,
+    /// Whether the stopping rule ended the run.
+    stalled: bool,
 }
 
 impl Run<'_> {
@@ -572,13 +794,120 @@ impl Run<'_> {
         Ok(batch.wait())
     }
 
-    /// Records full-fidelity outcomes and their index vectors.
+    /// Records full-fidelity outcomes and their index vectors, feeding
+    /// any proxy evidence the point accumulated on its way up the
+    /// ladder into the rank-fidelity calibration.
     fn record(&mut self, flats: &[usize], outcomes: Vec<DseOutcome>) {
         debug_assert_eq!(flats.len(), outcomes.len());
         for (&flat, outcome) in flats.iter().zip(outcomes) {
+            if let Some(evidence) = self.proxy_evidence.remove(&flat) {
+                if let Some((full_primary, _)) = self.objectives_of(&outcome) {
+                    for (rung, proxy_primary) in evidence {
+                        self.calibration.record(
+                            &outcome.point.model.name,
+                            &rung,
+                            proxy_primary,
+                            full_primary as f64,
+                        );
+                    }
+                }
+            }
             self.points.push(self.axes.indices_of(flat));
             self.outcomes.push(outcome);
         }
+    }
+
+    /// Remembers the proxy primary objective a rung measured for a
+    /// point (consumed by [`Run::record`] on graduation).
+    fn note_proxy(&mut self, flat: usize, rung: &str, primary: u64) {
+        self.proxy_evidence.entry(flat).or_default().push((rung.to_owned(), primary as f64));
+    }
+
+    /// The scouting budget share in effect: the pinned share when set,
+    /// otherwise the mean of [`scout_share_for`] over every
+    /// `(model, coarse rung)` pair — uncalibrated pairs contribute the
+    /// historical half, so a fresh run splits the budget exactly as the
+    /// fixed-cap engine did. 0 when the ladder has no simulated coarse
+    /// rung (nothing to scout with).
+    fn scout_share(&self) -> f64 {
+        if let Some(pinned) = self.scout_share_pin {
+            return pinned;
+        }
+        let rungs = self.ladder.coarse_rung_names();
+        if rungs.is_empty() {
+            return 0.0;
+        }
+        let mut names: Vec<&str> = self.axes.models.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for model in &names {
+            for rung in &rungs {
+                total += scout_share_for(self.calibration.tau(model, rung));
+                count += 1;
+            }
+        }
+        total / count.max(1) as f64
+    }
+
+    /// The scouting allowance in evaluations: `⌈budget × share⌉`,
+    /// recomputed every generation so the split tracks the calibration
+    /// as it accumulates.
+    fn scout_budget(&self) -> usize {
+        (self.budget as f64 * self.scout_share()).ceil() as usize
+    }
+
+    /// Whether a point passes the arch-derived area cap (memoized; the
+    /// cap is exact before any simulation). Always true with inactive
+    /// caps.
+    fn arch_feasible(&mut self, flat: usize) -> bool {
+        if !self.caps.is_active() {
+            return true;
+        }
+        if let Some(&known) = self.arch_feasibility.get(&flat) {
+            return known;
+        }
+        let point = self.axes.point(self.axes.indices_of(flat));
+        let feasible = self.caps.admits_arch(&point.arch(&self.base));
+        self.arch_feasibility.insert(flat, feasible);
+        feasible
+    }
+
+    /// The stopping rule: appends the current total frontier
+    /// hypervolume to the history and reports whether the configured
+    /// number of consecutive stalled generations has been reached.
+    /// Without a configured rule this is free and always false.
+    fn generation_stalled(&mut self) -> bool {
+        let Some(limit) = self.stall_generations else { return false };
+        self.hv_history.push(self.current_hypervolume());
+        if hypervolume_stalled(&self.hv_history, limit as usize) {
+            self.stalled = true;
+            return true;
+        }
+        false
+    }
+
+    /// Total per-model frontier hypervolume of the recorded outcomes
+    /// under the run objective, each model against its own worst-corner
+    /// reference point.
+    fn current_hypervolume(&self) -> f64 {
+        let mut by_model: BTreeMap<&str, Vec<(u64, f64)>> = BTreeMap::new();
+        for outcome in &self.outcomes {
+            if let Some(objectives) = self.objectives_of(outcome) {
+                by_model.entry(outcome.point.model.name.as_str()).or_default().push(objectives);
+            }
+        }
+        by_model
+            .values()
+            .map(|points| {
+                let reference = (
+                    points.iter().map(|p| p.0).max().unwrap_or(0) + 1,
+                    points.iter().map(|p| p.1).fold(0.0f64, f64::max) * 1.01 + f64::EPSILON,
+                );
+                analysis::hypervolume(points, reference)
+            })
+            .sum()
     }
 
     /// Cumulative per-model frontier size over the recorded outcomes.
@@ -589,13 +918,31 @@ impl Run<'_> {
             .sum()
     }
 
-    fn push_generation(&mut self, phase: &str, submitted: usize, coarse: usize) {
+    fn push_generation(
+        &mut self,
+        phase: &str,
+        submitted: usize,
+        coarse: usize,
+        rungs: BTreeMap<String, usize>,
+    ) {
+        for (rung, count) in &rungs {
+            *self.rung_used.entry(rung.clone()).or_default() += *count as u64;
+            self.obs.rung_add(rung, *count as u64);
+        }
+        for (key, tau) in self.calibration.snapshot() {
+            if let Some((model, rung)) = key.split_once('/') {
+                self.obs.set_rank_fidelity(model, rung, tau);
+            }
+        }
+        let scout_left = self.scout_budget().saturating_sub(self.coarse_used as usize);
+        self.obs.scout_remaining.set(scout_left as i64);
         let stats = GenerationStats {
             index: self.generations.len(),
             phase: phase.to_owned(),
             submitted,
             coarse,
             frontier_points: self.frontier_points(),
+            rungs,
         };
         let remaining = self.remaining_budget();
         self.obs.finish_generation(&stats, remaining);
@@ -643,15 +990,6 @@ impl Run<'_> {
     }
 }
 
-/// The coarse-fidelity projection of a point: resolution floored to
-/// [`COARSE_RESOLUTION`], search mode pinned to `Sequential`.
-fn coarse_of(point: &PointSpec) -> PointSpec {
-    let mut coarse = point.clone();
-    coarse.model.resolution = coarse.model.resolution.min(COARSE_RESOLUTION);
-    coarse.search = SearchMode::Sequential;
-    coarse
-}
-
 // ---------------------------------------------------------------------------
 // Successive halving
 // ---------------------------------------------------------------------------
@@ -660,103 +998,209 @@ fn coarse_of(point: &PointSpec) -> PointSpec {
 /// failed/non-finite evaluation.
 type Objectives = Option<(u64, f64)>;
 
-/// Coarse evidence about one in-space point: its flat grid index, its
-/// model name, and the coarse objectives observed for it.
-type CoarseEvidence = (usize, String, Objectives);
+/// Proxy evidence about one in-space point: its flat grid index, its
+/// model name, the ladder level its objectives were measured at, and
+/// those objectives (points sharing a projection share its objectives).
+type PoolEntry = (usize, String, usize, Objectives);
 
 /// Selection candidates grouped per model: `(index, (cycles, energy))`
-/// pairs, where the index is a flat grid index (promotion) or an
-/// outcome index (parent selection).
+/// pairs, where the index is an outcome index (parent selection).
 type CandidatesByModel<'a> = BTreeMap<&'a str, Vec<(usize, (u64, f64))>>;
+
+/// Appends a point's evidence to the promotion pool, indexed by flat
+/// grid index so ladder climbs can update it in place.
+fn push_pool(
+    pool: &mut Vec<PoolEntry>,
+    index: &mut HashMap<usize, usize>,
+    flat: usize,
+    model: String,
+    objectives: Objectives,
+) {
+    index.insert(flat, pool.len());
+    pool.push((flat, model, 0, objectives));
+}
+
+/// Replaces a pooled point's evidence with measurements from a higher
+/// ladder rung.
+fn climb_pool(
+    pool: &mut [PoolEntry],
+    index: &HashMap<usize, usize>,
+    flat: usize,
+    level: usize,
+    objectives: Objectives,
+) {
+    if let Some(&at) = index.get(&flat) {
+        pool[at].2 = level;
+        pool[at].3 = objectives;
+    }
+}
+
+/// The hypervolume stopping rule: true when the last `limit`
+/// generation-over-generation deltas are all relatively negligible
+/// (within [`STALL_RELATIVE_EPSILON`] of the preceding reading). Never
+/// stalls with `limit == 0` or before `limit + 1` readings exist.
+fn hypervolume_stalled(history: &[f64], limit: usize) -> bool {
+    if limit == 0 || history.len() <= limit {
+        return false;
+    }
+    history[history.len() - limit - 1..]
+        .windows(2)
+        .all(|pair| (pair[1] - pair[0]).abs() <= STALL_RELATIVE_EPSILON * pair[0].abs())
+}
 
 fn successive_halving(run: &mut Run) -> Result<(), DseError> {
     let space = run.space();
     let generation = generation_size(space);
-    // Flat indices never sampled at either fidelity; shrinks as
+    let chain: Vec<Fidelity> = run.ladder.rungs().to_vec();
+    let scout = chain.first().cloned();
+    let scout_name = scout.as_ref().map(Fidelity::name).unwrap_or_default();
+    // What a point graduating past pool level `level` evaluates as:
+    // a terminal [`Fidelity::Replay`] rung relabels the promotion so
+    // the batch rides the trace-replay fast path; everything else is a
+    // plain full-fidelity submission.
+    let terminal = |next: usize| -> &'static str {
+        match chain.get(next) {
+            Some(Fidelity::Replay) => "replay",
+            _ => "full",
+        }
+    };
+    // Direct evaluations under a replay scout *are* the replay rung.
+    let direct_rung = match &scout {
+        Some(Fidelity::Replay) => "replay",
+        _ => "full",
+    };
+    // Flat indices never sampled at any fidelity; shrinks as
     // generations consume it.
     let mut unseen: Vec<usize> = (0..space).collect();
-    // Accumulated coarse evidence: one entry per sampled in-space point
-    // (points sharing a coarse projection share its objectives).
-    let mut pool: Vec<CoarseEvidence> = Vec::new();
-    let mut coarse_results: HashMap<String, Objectives> = HashMap::new();
-    // Full outcomes of the coarse evaluations, so an in-space point that
+    // Accumulated proxy evidence, one entry per sampled in-space point.
+    let mut pool: Vec<PoolEntry> = Vec::new();
+    let mut pool_index: HashMap<usize, usize> = HashMap::new();
+    let mut proxy_results: HashMap<String, Objectives> = HashMap::new();
+    // Full outcomes of the proxy evaluations, so an in-space point that
     // *is* a previously scouted projection is recorded from the held
     // outcome instead of being submitted (and charged) a second time.
-    let mut coarse_outcomes_by_label: HashMap<String, DseOutcome> = HashMap::new();
-
-    // *Coarse* scouting gets at most half the total budget; the other
-    // half is reserved for full-fidelity promotions of the survivors.
-    // Without the split, late generations keep paying for coarse
-    // evidence they no longer have the budget to act on. Sampled points
-    // that are their own coarse projection are full-fidelity evaluations
-    // and do not count against the scouting half.
-    let scout_budget = (run.budget as usize).div_ceil(2);
+    let mut proxy_outcomes_by_label: HashMap<String, DseOutcome> = HashMap::new();
 
     while run.remaining_budget() > 0 {
         run.obs.begin_generation();
-        // --- Coarse rung: a strided sample of fresh points (skipped
-        // once the coarse half of the budget is spent). ---
+        let mut rungs: BTreeMap<String, usize> = BTreeMap::new();
+        // Simulated proxy evaluations (scouting and ladder climbs) get
+        // at most the calibrated share of the total budget; the rest is
+        // reserved for full-fidelity promotions of the survivors.
+        // Without the split, late generations keep paying for proxy
+        // evidence they no longer have the budget to act on. Sampled
+        // points that are their own projection are full-fidelity
+        // evaluations and do not count against the scouting share.
+        let scout_budget = run.scout_budget();
+
+        // --- Scouting rung: a strided sample of fresh points priced at
+        // the bottom of the ladder (skipped once the scouting share of
+        // the budget is spent). ---
         let remaining = run.remaining_budget() as usize;
-        let sample_size =
-            if (run.coarse_used as usize) < scout_budget { generation.min(remaining) } else { 0 };
+        let sample_size = match &scout {
+            // Analytical pricing is free: a full generation regardless
+            // of remaining budget.
+            Some(Fidelity::Analytical) => generation,
+            Some(_) if (run.coarse_used as usize) < scout_budget => generation.min(remaining),
+            Some(_) => 0,
+            // An empty ladder degenerates to pure strided search.
+            None => generation.min(remaining),
+        };
         let sampled = run.sample_strided(&mut unseen, sample_size);
-        let mut direct = Vec::new(); // coarse == full: counts as in-space
+        let mut direct = Vec::new(); // projection == point: full fidelity
         let mut projected = Vec::new();
-        for &flat in &sampled {
-            let point = run.axes.point(run.axes.indices_of(flat));
-            let coarse = coarse_of(&point);
-            if coarse == point {
-                run.visited.insert(flat);
-                if let Some(outcome) = coarse_outcomes_by_label.get(&point.label()) {
-                    // This point was already evaluated as another
-                    // point's coarse projection: record the held
-                    // outcome for free instead of resubmitting.
-                    pool.push((flat, point.model.name.clone(), run.objectives_of(outcome)));
-                    run.record(&[flat], vec![outcome.clone()]);
-                } else {
+        match &scout {
+            Some(Fidelity::Analytical) => {
+                for &flat in &sampled {
+                    let point = run.axes.point(run.axes.indices_of(flat));
+                    let objectives = run.analytical.objectives(&point);
+                    if let Some((cycles, _)) = objectives {
+                        run.note_proxy(flat, &scout_name, cycles);
+                    }
+                    push_pool(&mut pool, &mut pool_index, flat, point.model.name, objectives);
+                }
+                if !sampled.is_empty() {
+                    *rungs.entry(scout_name.clone()).or_default() += sampled.len();
+                }
+            }
+            Some(rung) => {
+                for &flat in &sampled {
+                    let point = run.axes.point(run.axes.indices_of(flat));
+                    let projection = rung.project(&point);
+                    if projection == point {
+                        run.visited.insert(flat);
+                        if let Some(outcome) = proxy_outcomes_by_label.get(&point.label()) {
+                            // This point was already evaluated as
+                            // another point's projection: record the
+                            // held outcome for free.
+                            let objectives = run.objectives_of(outcome);
+                            push_pool(
+                                &mut pool,
+                                &mut pool_index,
+                                flat,
+                                point.model.name.clone(),
+                                objectives,
+                            );
+                            run.record(&[flat], vec![outcome.clone()]);
+                        } else {
+                            direct.push((flat, point));
+                        }
+                    } else {
+                        projected.push((flat, point, projection));
+                    }
+                }
+            }
+            None => {
+                for &flat in &sampled {
+                    let point = run.axes.point(run.axes.indices_of(flat));
+                    run.visited.insert(flat);
                     direct.push((flat, point));
                 }
-            } else {
-                projected.push((flat, point, coarse));
             }
         }
-        // A direct point is its own coarse projection, so a sibling
-        // sampled in the same generation (e.g. the same model at a
-        // higher resolution) must share its evaluation, not submit a
-        // duplicate coarse job.
+        // A direct point is its own projection, so a sibling sampled in
+        // the same generation (e.g. the same model at a higher
+        // resolution) must share its evaluation, not submit a duplicate
+        // proxy job.
         let direct_labels: HashSet<String> =
             direct.iter().map(|(_, point)| point.label()).collect();
-        let mut coarse_jobs: Vec<(usize, String, PointSpec)> = Vec::new();
-        // Points whose coarse projection is evaluated by (or shared
-        // with) this generation's batches: their pool evidence is
-        // filled in *after* the batches land, so a same-generation
-        // label collision cannot freeze a placeholder into the pool.
+        let mut scout_jobs: Vec<(usize, String, PointSpec)> = Vec::new();
+        // Points whose projection is evaluated by (or shared with) this
+        // generation's batches: their pool evidence is filled in
+        // *after* the batches land, so a same-generation label
+        // collision cannot freeze a placeholder into the pool.
         let mut shared: Vec<(usize, String, String)> = Vec::new();
-        for (flat, point, coarse) in projected {
-            let label = coarse.label();
-            match coarse_results.get(&label) {
+        for (flat, point, projection) in projected {
+            let label = projection.label();
+            match proxy_results.get(&label) {
                 // A previous generation already paid for (or failed)
                 // this projection: reuse its evidence.
-                Some(&objectives) => pool.push((flat, point.model.name.clone(), objectives)),
+                Some(&objectives) => {
+                    if let Some((cycles, _)) = objectives {
+                        run.note_proxy(flat, &scout_name, cycles);
+                    }
+                    push_pool(&mut pool, &mut pool_index, flat, point.model.name, objectives);
+                }
                 None => {
                     if !direct_labels.contains(&label)
-                        && !coarse_jobs.iter().any(|(_, pending, _)| pending == &label)
+                        && !scout_jobs.iter().any(|(_, pending, _)| pending == &label)
                     {
-                        coarse_jobs.push((flat, label.clone(), coarse));
+                        scout_jobs.push((flat, label.clone(), projection));
                     }
-                    shared.push((flat, point.model.name.clone(), label));
+                    shared.push((flat, point.model.name, label));
                 }
             }
         }
-        // Enforce the scouting half-budget on the actual coarse jobs
+        // Enforce the scouting allowance on the actual proxy jobs
         // (their count is only known after classification): projections
         // beyond the allowance are dropped and their points returned to
-        // the unseen pool, so the promotion rung always keeps its half.
-        let allowance = scout_budget.saturating_sub(run.coarse_used as usize);
-        if coarse_jobs.len() > allowance {
+        // the unseen pool, so the promotion rung always keeps its
+        // share.
+        let mut allowance = scout_budget.saturating_sub(run.coarse_used as usize);
+        if scout_jobs.len() > allowance {
             let dropped: HashSet<String> =
-                coarse_jobs[allowance..].iter().map(|(_, label, _)| label.clone()).collect();
-            coarse_jobs.truncate(allowance);
+                scout_jobs[allowance..].iter().map(|(_, label, _)| label.clone()).collect();
+            scout_jobs.truncate(allowance);
             shared.retain(|(flat, _, label)| {
                 if dropped.contains(label) {
                     unseen.push(*flat);
@@ -767,92 +1211,187 @@ fn successive_halving(run: &mut Run) -> Result<(), DseError> {
             });
             unseen.sort_unstable();
         }
+        allowance -= scout_jobs.len();
 
         let direct_flats: Vec<usize> = direct.iter().map(|(flat, _)| *flat).collect();
         let direct_points: Vec<PointSpec> = direct.into_iter().map(|(_, point)| point).collect();
         let direct_outcomes = run.evaluate_batch(direct_points)?;
         for (&flat, outcome) in direct_flats.iter().zip(&direct_outcomes) {
             let objectives = run.objectives_of(outcome);
-            pool.push((flat, outcome.point.model.name.clone(), objectives));
-            // A direct point is its own coarse projection: register it
-            // so a sibling projecting onto it (e.g. the same model at a
+            push_pool(
+                &mut pool,
+                &mut pool_index,
+                flat,
+                outcome.point.model.name.clone(),
+                objectives,
+            );
+            // A direct point is its own projection: register it so a
+            // sibling projecting onto it (e.g. the same model at a
             // higher resolution) reuses this evaluation instead of
-            // paying budget for a coarse job the cache already holds.
-            coarse_results.insert(outcome.point.label(), objectives);
+            // paying budget for a proxy job the cache already holds.
+            proxy_results.insert(outcome.point.label(), objectives);
+        }
+        if !direct_flats.is_empty() {
+            *rungs.entry(direct_rung.to_owned()).or_default() += direct_flats.len();
         }
         run.record(&direct_flats, direct_outcomes);
 
-        let coarse_points: Vec<PointSpec> =
-            coarse_jobs.iter().map(|(_, _, coarse)| coarse.clone()).collect();
-        let coarse_count = coarse_points.len();
-        run.coarse_used += coarse_count as u64;
-        let coarse_outcomes = run.evaluate_batch(coarse_points)?;
-        for ((_, label, _), outcome) in coarse_jobs.iter().zip(&coarse_outcomes) {
-            coarse_results.insert(label.clone(), run.objectives_of(outcome));
-            coarse_outcomes_by_label.insert(label.clone(), outcome.clone());
+        let scout_points: Vec<PointSpec> =
+            scout_jobs.iter().map(|(_, _, projection)| projection.clone()).collect();
+        let scout_count = scout_points.len();
+        run.coarse_used += scout_count as u64;
+        let scout_outcomes = run.evaluate_batch(scout_points)?;
+        for ((_, label, _), outcome) in scout_jobs.iter().zip(&scout_outcomes) {
+            proxy_results.insert(label.clone(), run.objectives_of(outcome));
+            proxy_outcomes_by_label.insert(label.clone(), outcome.clone());
+        }
+        if scout_count > 0 {
+            *rungs.entry(scout_name.clone()).or_default() += scout_count;
         }
         for (flat, model, label) in shared {
-            let objectives = coarse_results.get(&label).copied().flatten();
-            pool.push((flat, model, objectives));
+            let objectives = proxy_results.get(&label).copied().flatten();
+            if let Some((cycles, _)) = objectives {
+                run.note_proxy(flat, &scout_name, cycles);
+            }
+            push_pool(&mut pool, &mut pool_index, flat, model, objectives);
         }
 
-        // --- Promotion rung: full fidelity for the per-model survivors
-        // of the accumulated coarse pool, best coarse Pareto rank first
-        // (ascending cycles within a rank). The coarse objectives are a
-        // proxy, so the band behind the scouted frontier still earns a
-        // full-fidelity look while promotion budget remains. ---
-        let mut by_model: CandidatesByModel = BTreeMap::new();
-        for (flat, model, objectives) in &pool {
+        // --- Promotion: climb survivors one rung up the ladder, best
+        // proxy Pareto rank first (ascending cycles within a rank);
+        // points at the top of the chain graduate to full fidelity. The
+        // proxy objectives are only a proxy, so the band behind the
+        // scouted frontier still earns a look while promotion budget
+        // remains. With active caps, arch-infeasible points sort behind
+        // every feasible candidate: dominated-but-feasible fallbacks
+        // get their full-fidelity look first. ---
+        let mut by_model: PromotionPool = BTreeMap::new();
+        for (flat, model, level, objectives) in &pool {
             if let Some(objectives) = objectives {
-                by_model.entry(model).or_default().push((*flat, *objectives));
+                by_model.entry(model.clone()).or_default().push((*flat, *level, *objectives));
             }
         }
-        let mut queues: Vec<Vec<usize>> = by_model
-            .values()
-            .map(|candidates| {
-                let objectives: Vec<(u64, f64)> =
-                    candidates.iter().map(|(_, objectives)| *objectives).collect();
-                let ranks = analysis::pareto_ranks(&objectives);
-                let mut order: Vec<usize> = (0..candidates.len()).collect();
-                order.sort_by(|&a, &b| {
-                    ranks[a]
-                        .cmp(&ranks[b])
-                        .then(objectives[a].0.cmp(&objectives[b].0))
-                        .then(a.cmp(&b))
-                });
+        let mut queues: Vec<Vec<(usize, usize)>> = Vec::new();
+        for candidates in by_model.values() {
+            let objectives: Vec<(u64, f64)> =
+                candidates.iter().map(|&(_, _, objectives)| objectives).collect();
+            let ranks = analysis::pareto_ranks(&objectives);
+            let feasible: Vec<bool> =
+                candidates.iter().map(|&(flat, _, _)| run.arch_feasible(flat)).collect();
+            let mut order: Vec<usize> = (0..candidates.len()).collect();
+            order.sort_by(|&a, &b| {
+                feasible[b]
+                    .cmp(&feasible[a])
+                    .then(ranks[a].cmp(&ranks[b]))
+                    .then(objectives[a].0.cmp(&objectives[b].0))
+                    .then(a.cmp(&b))
+            });
+            queues.push(
                 order
                     .into_iter()
-                    .map(|local| candidates[local].0)
-                    .filter(|flat| !run.visited.contains(flat))
-                    .collect()
-            })
-            .collect();
+                    .filter(|&local| !run.visited.contains(&candidates[local].0))
+                    .map(|local| (candidates[local].0, candidates[local].1))
+                    .collect(),
+            );
+        }
         // Round-robin across models so a tight budget still promotes
         // every workload's best candidates.
-        let mut promoted: Vec<usize> = Vec::new();
+        let mut full_promotions: Vec<(usize, &'static str)> = Vec::new();
+        let mut climb_jobs: Vec<(usize, String, PointSpec, String)> = Vec::new();
+        let mut climb_links: Vec<(usize, usize, String, String)> = Vec::new();
+        let mut free_climbs = 0usize;
+        let mut planned = 0usize;
         let mut cursor = 0;
         let lanes = queues.len().max(1);
-        while (promoted.len() as u64) < run.remaining_budget()
+        while (planned as u64) < run.remaining_budget()
             && queues.iter().any(|queue| !queue.is_empty())
         {
             let queue = &mut queues[cursor % lanes];
-            if let Some(flat) = queue.first().copied() {
+            if let Some(&(flat, level)) = queue.first() {
                 queue.remove(0);
-                run.visited.insert(flat);
-                promoted.push(flat);
+                let next = level + 1;
+                let climb = match chain.get(next) {
+                    Some(rung @ Fidelity::CoarseSim(_)) => {
+                        let point = run.axes.point(run.axes.indices_of(flat));
+                        let projection = rung.project(&point);
+                        (projection != point).then(|| (projection, rung.name()))
+                    }
+                    _ => None,
+                };
+                match climb {
+                    Some((projection, rung_name)) => {
+                        let label = projection.label();
+                        if let Some(&objectives) = proxy_results.get(&label) {
+                            // Another point's projection already paid
+                            // for this rung: climb for free.
+                            if let Some((cycles, _)) = objectives {
+                                run.note_proxy(flat, &rung_name, cycles);
+                            }
+                            climb_pool(&mut pool, &pool_index, flat, next, objectives);
+                            free_climbs += 1;
+                        } else if climb_jobs.iter().any(|(_, pending, _, _)| pending == &label) {
+                            // Shares a climb job already planned this
+                            // round; evidence fills in after the batch.
+                            climb_links.push((flat, next, rung_name, label));
+                        } else if allowance > 0 {
+                            allowance -= 1;
+                            planned += 1;
+                            climb_jobs.push((flat, label.clone(), projection, rung_name.clone()));
+                            climb_links.push((flat, next, rung_name, label));
+                        } else {
+                            // The scouting allowance is spent: graduate
+                            // the point directly so promotion budget
+                            // never strands behind an unaffordable
+                            // intermediate rung.
+                            run.visited.insert(flat);
+                            planned += 1;
+                            full_promotions.push((flat, terminal(chain.len())));
+                        }
+                    }
+                    None => {
+                        run.visited.insert(flat);
+                        planned += 1;
+                        full_promotions.push((flat, terminal(next)));
+                    }
+                }
             }
             cursor += 1;
         }
-        let promoted_points: Vec<PointSpec> =
-            promoted.iter().map(|&flat| run.axes.point(run.axes.indices_of(flat))).collect();
-        let promoted_outcomes = run.evaluate_batch(promoted_points)?;
-        run.record(&promoted, promoted_outcomes);
 
-        let submitted = direct_flats.len() + coarse_count + promoted.len();
-        run.push_generation("halving", submitted, coarse_count);
-        if submitted == 0 {
-            // Nothing left to sample and no survivor to promote: the
-            // space (or the promotable frontier) is exhausted.
+        let climb_points: Vec<PointSpec> =
+            climb_jobs.iter().map(|(_, _, projection, _)| projection.clone()).collect();
+        let climb_count = climb_points.len();
+        run.coarse_used += climb_count as u64;
+        let climb_outcomes = run.evaluate_batch(climb_points)?;
+        for ((_, label, _, rung_name), outcome) in climb_jobs.iter().zip(&climb_outcomes) {
+            proxy_results.insert(label.clone(), run.objectives_of(outcome));
+            proxy_outcomes_by_label.insert(label.clone(), outcome.clone());
+            *rungs.entry(rung_name.clone()).or_default() += 1;
+        }
+        for (flat, next, rung_name, label) in climb_links {
+            let objectives = proxy_results.get(&label).copied().flatten();
+            if let Some((cycles, _)) = objectives {
+                run.note_proxy(flat, &rung_name, cycles);
+            }
+            climb_pool(&mut pool, &pool_index, flat, next, objectives);
+        }
+
+        let full_flats: Vec<usize> = full_promotions.iter().map(|&(flat, _)| flat).collect();
+        let promoted_points: Vec<PointSpec> =
+            full_flats.iter().map(|&flat| run.axes.point(run.axes.indices_of(flat))).collect();
+        let promoted_outcomes = run.evaluate_batch(promoted_points)?;
+        run.record(&full_flats, promoted_outcomes);
+        for (_, rung_name) in &full_promotions {
+            *rungs.entry((*rung_name).to_owned()).or_default() += 1;
+        }
+
+        let submitted = direct_flats.len() + scout_count + climb_count + full_promotions.len();
+        run.push_generation("halving", submitted, scout_count + climb_count, rungs);
+        if submitted == 0 && free_climbs == 0 {
+            // Nothing left to sample, climb, or promote: the space (or
+            // the promotable frontier) is exhausted.
+            break;
+        }
+        if run.generation_stalled() {
             break;
         }
     }
@@ -882,18 +1421,64 @@ fn evolutionary(run: &mut Run) -> Result<(), DseError> {
     let submitted = seed_points.len();
     let seed_outcomes = run.evaluate_batch(seed_points)?;
     run.record(&seeds, seed_outcomes);
-    run.push_generation("seed", submitted, 0);
+    let seed_rungs = if submitted > 0 {
+        BTreeMap::from([("full".to_owned(), submitted)])
+    } else {
+        BTreeMap::new()
+    };
+    run.push_generation("seed", submitted, 0, seed_rungs);
 
     // Breed half a population per generation: twice the selection
     // rounds per budget, which matters far more than brood size when
-    // the budget is a fraction of the space.
+    // the budget is a fraction of the space. With an analytical rung on
+    // the ladder, a triple brood is bred and the free estimator keeps
+    // the most promising (feasible-first, ascending estimated cycles).
     let brood = (population / 2).max(2);
+    let prescreen = run.ladder.has_analytical();
     while run.remaining_budget() > 0 && run.visited.len() < space {
         run.obs.begin_generation();
+        let mut rungs: BTreeMap<String, usize> = BTreeMap::new();
         let parents = select_parents(run, population);
-        let children = offspring(run, &parents, brood);
+        let want = if prescreen { brood * 3 } else { brood };
+        let mut children = offspring(run, &parents, want);
         if children.is_empty() {
             break;
+        }
+        if prescreen && children.len() > 1 {
+            *rungs.entry("analytical".to_owned()).or_default() += children.len();
+            let keep = brood.min(children.len()).min(run.remaining_budget() as usize);
+            let priced: Vec<(usize, bool, Objectives)> = children
+                .iter()
+                .map(|&flat| {
+                    let point = run.axes.point(run.axes.indices_of(flat));
+                    let objectives = run.analytical.objectives(&point);
+                    (flat, run.arch_feasible(flat), objectives)
+                })
+                .collect();
+            let mut order: Vec<usize> = (0..priced.len()).collect();
+            order.sort_by(|&a, &b| {
+                let (_, fa, oa) = priced[a];
+                let (_, fb, ob) = priced[b];
+                fb.cmp(&fa)
+                    .then_with(|| match (oa, ob) {
+                        (Some(x), Some(y)) => x.0.cmp(&y.0),
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => std::cmp::Ordering::Equal,
+                    })
+                    .then(a.cmp(&b))
+            });
+            children = order
+                .into_iter()
+                .take(keep)
+                .map(|at| {
+                    let (flat, _, objectives) = priced[at];
+                    if let Some((cycles, _)) = objectives {
+                        run.note_proxy(flat, "analytical", cycles);
+                    }
+                    flat
+                })
+                .collect();
         }
         for &flat in &children {
             run.visited.insert(flat);
@@ -903,15 +1488,22 @@ fn evolutionary(run: &mut Run) -> Result<(), DseError> {
         let submitted = child_points.len();
         let child_outcomes = run.evaluate_batch(child_points)?;
         run.record(&children, child_outcomes);
-        run.push_generation("generation", submitted, 0);
+        *rungs.entry("full".to_owned()).or_default() += submitted;
+        run.push_generation("generation", submitted, 0, rungs);
+        if run.generation_stalled() {
+            break;
+        }
     }
     Ok(())
 }
 
 /// Selects up to `count` parents from the evaluated population: per
-/// model, sort by (Pareto rank, descending crowding distance, evaluation
-/// order), then interleave the models round-robin so every workload
-/// keeps breeding stock.
+/// model, sort by (cap feasibility, Pareto rank, descending crowding
+/// distance, evaluation order), then interleave the models round-robin
+/// so every workload keeps breeding stock. With inactive caps every
+/// outcome is feasible and the ordering is the classic NSGA-II one;
+/// with active caps, cap-violating outcomes breed only after every
+/// feasible candidate — including dominated-but-feasible ones.
 fn select_parents(run: &Run, count: usize) -> Vec<[usize; AXIS_COUNT]> {
     let mut by_model: CandidatesByModel = BTreeMap::new();
     for (at, outcome) in run.outcomes.iter().enumerate() {
@@ -925,10 +1517,13 @@ fn select_parents(run: &Run, count: usize) -> Vec<[usize; AXIS_COUNT]> {
             let objectives: Vec<(u64, f64)> = group.iter().map(|(_, o)| *o).collect();
             let ranks = analysis::pareto_ranks(&objectives);
             let crowding = analysis::crowding_distances(&objectives, &ranks);
+            let feasible: Vec<bool> =
+                group.iter().map(|&(at, _)| run.caps.admits_outcome(&run.outcomes[at])).collect();
             let mut order: Vec<usize> = (0..group.len()).collect();
             order.sort_by(|&a, &b| {
-                ranks[a]
-                    .cmp(&ranks[b])
+                feasible[b]
+                    .cmp(&feasible[a])
+                    .then(ranks[a].cmp(&ranks[b]))
                     .then(crowding[b].total_cmp(&crowding[a]))
                     .then(group[a].0.cmp(&group[b].0))
             });
@@ -1036,7 +1631,7 @@ fn crossover(
 mod tests {
     use super::*;
     use crate::ServiceConfig;
-    use cimflow_compiler::Strategy;
+    use cimflow_compiler::{SearchMode, Strategy};
 
     fn space() -> SweepSpec {
         SweepSpec::new()
@@ -1105,14 +1700,15 @@ mod tests {
             .expand()
             .unwrap()[0]
             .clone();
-        let coarse = coarse_of(&point);
+        let rung = Fidelity::CoarseSim(COARSE_RESOLUTION);
+        let coarse = rung.project(&point);
         assert_eq!(coarse.model.resolution, COARSE_RESOLUTION);
         assert_eq!(coarse.search, SearchMode::Sequential);
         assert_ne!(coarse, point);
         // A point already at the floor with the default search *is* its
         // own coarse projection.
         let fine = space().expand().unwrap()[0].clone();
-        assert_eq!(coarse_of(&fine), fine);
+        assert_eq!(rung.project(&fine), fine);
     }
 
     #[test]
@@ -1257,5 +1853,117 @@ mod tests {
         );
         // And the warm service served every revisit from the cache.
         assert!(again.outcomes.iter().all(|o| o.cached));
+    }
+
+    #[test]
+    fn explore_rejects_a_ladder_no_point_can_use() {
+        let ladder = FidelityLadder::new(vec![Fidelity::CoarseSim(64)]).unwrap();
+        let spec = ExploreSpec::new(space()).with_budget(3).with_ladder(ladder);
+        let service = EvalService::new(ServiceConfig::new().with_workers(1));
+        let err = explore(&spec, &service).unwrap_err();
+        assert!(err.to_string().contains("coarse64"), "got: {err}");
+
+        let bad_share = ExploreSpec::new(space()).with_budget(3).with_scout_share(Some(1.5));
+        assert!(explore(&bad_share, &service).is_err());
+    }
+
+    #[test]
+    fn custom_coarse_rung_resolutions_are_honored() {
+        // A 48 px rung instead of the default 32 px floor: the scouted
+        // projections must land on the configured rung and be reported
+        // under its name.
+        let space = SweepSpec::new()
+            .with_model("mobilenetv2", 64)
+            .with_strategies(&[Strategy::GenericMapping])
+            .with_mg_sizes(&[4, 8]);
+        let ladder = FidelityLadder::new(vec![Fidelity::CoarseSim(48)]).unwrap();
+        let spec = ExploreSpec::new(space)
+            .with_budget(3)
+            .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+            .with_seed(2)
+            .with_ladder(ladder);
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let report = explore(&spec, &service).unwrap();
+        assert!(report.rung_evaluated.contains_key("coarse48"), "{:?}", report.rung_evaluated);
+        assert!(!report.rung_evaluated.contains_key("coarse32"));
+        assert_eq!(report.coarse_evaluated as u64, report.rung_evaluated["coarse48"]);
+    }
+
+    #[test]
+    fn analytical_rung_prices_for_free_and_calibrates() {
+        // A pure-analytical ladder: scouting costs no budget, every
+        // charged evaluation is full fidelity, and graduations feed the
+        // rank-fidelity calibration.
+        let ladder = FidelityLadder::new(vec![Fidelity::Analytical]).unwrap();
+        let spec = ExploreSpec::new(space())
+            .with_budget(3)
+            .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+            .with_seed(9)
+            .with_ladder(ladder);
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let report = explore(&spec, &service).unwrap();
+        assert_eq!(report.budget_used, 3);
+        assert_eq!(report.evaluated, 3);
+        assert_eq!(report.coarse_evaluated, 0, "analytical pricing charges nothing");
+        assert_eq!(report.rung_evaluated["analytical"], 4, "the whole generation is priced");
+        assert_eq!(report.rung_evaluated["full"], 3);
+        assert!(
+            report.rank_fidelity.contains_key("mobilenetv2/analytical"),
+            "three graduations reach the calibration floor: {:?}",
+            report.rank_fidelity
+        );
+        assert_eq!(report.scout_share, 0.0, "no simulated proxy rung, no scouting split");
+    }
+
+    #[test]
+    fn pinned_scout_share_reproduces_the_fixed_split() {
+        let space = SweepSpec::new()
+            .with_model("mobilenetv2", 48)
+            .with_model("mobilenetv2", 64)
+            .with_strategies(&[Strategy::GenericMapping]);
+        let adaptive = ExploreSpec::new(space)
+            .with_budget(3)
+            .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+            .with_seed(1);
+        let pinned = adaptive.clone().with_scout_share(Some(0.5));
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let a = explore(&adaptive, &service).unwrap();
+        let b = explore(&pinned, &service).unwrap();
+        assert_eq!(
+            a.outcomes.iter().map(|o| o.point.label()).collect::<Vec<_>>(),
+            b.outcomes.iter().map(|o| o.point.label()).collect::<Vec<_>>(),
+            "below the calibration floor the adaptive split is the historical half"
+        );
+        assert_eq!(b.scout_share, 0.5);
+    }
+
+    #[test]
+    fn hypervolume_stall_rule_needs_enough_flat_readings() {
+        assert!(!hypervolume_stalled(&[1.0, 1.0, 1.0], 0), "limit 0 disables the rule");
+        assert!(!hypervolume_stalled(&[1.0, 1.0], 2), "too few readings");
+        assert!(hypervolume_stalled(&[1.0, 1.0, 1.0], 2));
+        assert!(hypervolume_stalled(&[5.0, 1.0, 1.0, 1.0], 2), "older growth is forgiven");
+        assert!(!hypervolume_stalled(&[1.0, 2.0, 2.0, 2.0], 3), "growth within the window");
+        assert!(hypervolume_stalled(&[1.0, 2.0, 2.0, 2.0], 2));
+        assert!(hypervolume_stalled(&[0.0, 0.0], 1), "an empty frontier can stall");
+    }
+
+    #[test]
+    fn infeasible_caps_keep_a_dominated_but_feasible_frontier() {
+        // A cap nothing satisfies: the frontier falls back to the
+        // unconstrained one instead of vanishing.
+        let impossible = FeasibilityCaps { max_area_mm2: Some(1e-6), max_power_w: None };
+        let spec = ExploreSpec::new(space()).with_budget(3).with_seed(11).with_caps(impossible);
+        let service = EvalService::new(ServiceConfig::new().with_workers(2));
+        let report = explore(&spec, &service).unwrap();
+        assert!(!report.frontier["mobilenetv2"].is_empty(), "fallback frontier survives");
+
+        // A cap everything satisfies changes nothing.
+        let open = FeasibilityCaps { max_area_mm2: Some(1e9), max_power_w: Some(1e9) };
+        let relaxed = ExploreSpec::new(space()).with_budget(3).with_seed(11).with_caps(open);
+        let baseline = ExploreSpec::new(space()).with_budget(3).with_seed(11);
+        let capped = explore(&relaxed, &service).unwrap();
+        let free = explore(&baseline, &service).unwrap();
+        assert_eq!(capped.frontier, free.frontier);
     }
 }

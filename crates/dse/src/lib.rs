@@ -53,6 +53,7 @@ mod eval;
 mod executor;
 mod explore;
 pub mod export;
+mod fidelity;
 mod journal;
 pub mod serve;
 mod service;
@@ -72,6 +73,10 @@ pub use executor::{expand_jobs, run_sweep, DseOutcome, Executor, Job, Progress};
 pub use explore::{
     explore, explore_journaled, ExploreAlgorithm, ExploreReport, ExploreSpec, GenerationStats,
     COARSE_RESOLUTION, DEFAULT_SEED,
+};
+pub use fidelity::{
+    kendall_tau, mean_power_w, scout_share_for, AnalyticalPricer, FeasibilityCaps, Fidelity,
+    FidelityLadder, ProxyScore, RankFidelity, DEFAULT_SCOUT_SHARE, MIN_CALIBRATION_SAMPLES,
 };
 pub use journal::{CompactionStats, SweepJournal, JOURNAL_FORMAT_VERSION};
 pub use service::{

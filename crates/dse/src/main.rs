@@ -66,7 +66,8 @@ use cimflow_dse::analysis::Objective;
 use cimflow_dse::serve::{serve_stdio, TcpServer};
 use cimflow_dse::{
     analysis, explore, explore_journaled, export, DseError, DseOutcome, EvalCache, EvalService,
-    Executor, ExploreAlgorithm, ExploreSpec, Progress, ServiceConfig, SweepJournal, SweepSpec,
+    Executor, ExploreAlgorithm, ExploreSpec, FeasibilityCaps, Fidelity, FidelityLadder, Progress,
+    ServiceConfig, SweepJournal, SweepSpec,
 };
 use cimflow_obs::{
     HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot, Tracer,
@@ -105,6 +106,11 @@ struct ExploreArgs {
     algorithm: Option<ExploreAlgorithm>,
     seed: Option<u64>,
     objective: Option<Objective>,
+    ladder: Option<FidelityLadder>,
+    scout_share: Option<f64>,
+    stall: Option<u32>,
+    max_area: Option<f64>,
+    max_power: Option<f64>,
     journal: Option<PathBuf>,
     csv: Option<PathBuf>,
     json: Option<PathBuf>,
@@ -121,10 +127,11 @@ enum Args {
 }
 
 const USAGE: &str = "usage: cimflow-dse <sweep.json> [--workers N] [--sequential] \
-[--search sequential|joint] [--objective cycles|p99] [--csv PATH] [--json PATH] [--cache PATH] \
-[--journal PATH] [--trace-out PATH] [--metrics-out PATH] [--quiet]
+[--search sequential|joint] [--objective cycles|p99|area] [--csv PATH] [--json PATH] \
+[--cache PATH] [--journal PATH] [--trace-out PATH] [--metrics-out PATH] [--quiet]
        cimflow-dse explore <space.json> [--budget N] [--algorithm successive_halving|evolutionary] \
-[--seed N] [--objective cycles|p99] [--workers N] [--journal PATH] [--csv PATH] [--json PATH] \
+[--seed N] [--objective cycles|p99|area] [--rungs R1,R2,...] [--scout-share X] [--stall N] \
+[--max-area MM2] [--max-power W] [--workers N] [--journal PATH] [--csv PATH] [--json PATH] \
 [--trace-out PATH] [--metrics-out PATH] [--quiet]
        cimflow-dse serve [--workers N] [--queue N] [--quota N] [--cache PATH] [--tcp PORT] \
 [--trace-out PATH] [--metrics-out PATH] [--quiet]
@@ -158,6 +165,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
     let mut algorithm = None;
     let mut seed = None;
     let mut objective = None;
+    let mut ladder = None;
+    let mut scout_share = None;
+    let mut stall = None;
+    let mut max_area = None;
+    let mut max_power = None;
     let mut trace_out = None;
     let mut metrics_out = None;
     let mut quiet = false;
@@ -210,6 +222,39 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
                 let value = take_value(&mut argv, "--objective")?;
                 objective = Some(value.parse::<Objective>()?);
             }
+            "--rungs" => {
+                let value = take_value(&mut argv, "--rungs")?;
+                let rungs = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|name| !name.is_empty())
+                    .map(|name| {
+                        Fidelity::from_name(name).ok_or_else(|| {
+                            format!(
+                                "--rungs expects names like `analytical`, `coarse32`, `replay`, \
+                                 got `{name}`"
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                ladder = Some(FidelityLadder::new(rungs).map_err(|e| e.to_string())?);
+            }
+            "--scout-share" => {
+                let value = take_value(&mut argv, "--scout-share")?;
+                scout_share = Some(parse_number::<f64>("--scout-share", &value)?);
+            }
+            "--stall" => {
+                let value = take_value(&mut argv, "--stall")?;
+                stall = Some(parse_number::<u32>("--stall", &value)?);
+            }
+            "--max-area" => {
+                let value = take_value(&mut argv, "--max-area")?;
+                max_area = Some(parse_number::<f64>("--max-area", &value)?);
+            }
+            "--max-power" => {
+                let value = take_value(&mut argv, "--max-power")?;
+                max_power = Some(parse_number::<f64>("--max-power", &value)?);
+            }
             "--trace-out" => {
                 trace_out = Some(PathBuf::from(take_value(&mut argv, "--trace-out")?));
             }
@@ -249,6 +294,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             (algorithm.is_some(), "--algorithm"),
             (seed.is_some(), "--seed"),
             (objective.is_some(), "--objective"),
+            (ladder.is_some(), "--rungs"),
+            (scout_share.is_some(), "--scout-share"),
+            (stall.is_some(), "--stall"),
+            (max_area.is_some(), "--max-area"),
+            (max_power.is_some(), "--max-power"),
             (trace_out.is_some(), "--trace-out"),
             (metrics_out.is_some(), "--metrics-out"),
             (quiet, "--quiet"),
@@ -287,6 +337,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             algorithm,
             seed,
             objective,
+            ladder,
+            scout_share,
+            stall,
+            max_area,
+            max_power,
             journal,
             csv,
             json,
@@ -305,6 +360,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
             (algorithm.is_some(), "--algorithm"),
             (seed.is_some(), "--seed"),
             (objective.is_some(), "--objective"),
+            (ladder.is_some(), "--rungs"),
+            (scout_share.is_some(), "--scout-share"),
+            (stall.is_some(), "--stall"),
+            (max_area.is_some(), "--max-area"),
+            (max_power.is_some(), "--max-power"),
         ] {
             if set {
                 return Err(format!("{flag} does not apply to serve mode\n{USAGE}"));
@@ -328,6 +388,11 @@ fn parse_args(mut argv: std::env::Args) -> Result<Option<Args>, String> {
         (budget.is_some(), "--budget"),
         (algorithm.is_some(), "--algorithm"),
         (seed.is_some(), "--seed"),
+        (ladder.is_some(), "--rungs"),
+        (scout_share.is_some(), "--scout-share"),
+        (stall.is_some(), "--stall"),
+        (max_area.is_some(), "--max-area"),
+        (max_power.is_some(), "--max-power"),
     ] {
         if set {
             return Err(format!("{flag} does not apply to sweep mode\n{USAGE}"));
@@ -591,6 +656,7 @@ fn report_outcomes(outcomes: &[DseOutcome], reporter: &Reporter, objective: Obje
     let axes = match objective {
         Objective::Cycles => "(cycles, energy)",
         Objective::P99Latency => "(p99 latency, serving energy)",
+        Objective::Area => "(cycles, area)",
     };
     reporter.note(&format!("\nPareto frontier over {axes}, per model: {frontier_points} point(s)"));
     for (model, frontier) in &frontiers {
@@ -605,6 +671,13 @@ fn report_outcomes(outcomes: &[DseOutcome], reporter: &Reporter, objective: Obje
                     serving.p99_latency_us,
                     serving.energy_mj,
                     serving.goodput_qps
+                )),
+                (Objective::Area, _) => reporter.note(&format!(
+                    "    {:<52} {:>12} cycles {:>10.1} mm2 {:>8.3} TOPS",
+                    outcome.point.label(),
+                    evaluation.simulation.total_cycles,
+                    analysis::area_mm2(&evaluation.arch),
+                    evaluation.simulation.throughput_tops()
                 )),
                 _ => reporter.note(&format!(
                     "    {:<52} {:>12} cycles {:>10.3} mJ {:>8.3} TOPS",
@@ -648,6 +721,22 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
     }
     if let Some(objective) = args.objective {
         spec = spec.with_objective(objective);
+    }
+    if let Some(ladder) = &args.ladder {
+        spec = spec.with_ladder(ladder.clone());
+    }
+    if args.scout_share.is_some() {
+        spec = spec.with_scout_share(args.scout_share);
+    }
+    if args.stall.is_some() {
+        spec = spec.with_stall_generations(args.stall);
+    }
+    if args.max_area.is_some() || args.max_power.is_some() {
+        let caps = FeasibilityCaps {
+            max_area_mm2: args.max_area.or(spec.caps.max_area_mm2),
+            max_power_w: args.max_power.or(spec.caps.max_power_w),
+        };
+        spec = spec.with_caps(caps);
     }
     let name = spec.space.name.clone().unwrap_or_else(|| args.spec_path.display().to_string());
 
@@ -699,6 +788,21 @@ fn run_explore(args: &ExploreArgs) -> Result<ExitCode, DseError> {
         100.0 * report.budget_used as f64 / report.space_points.max(1) as f64,
         interpreted = succeeded - replayed,
     ));
+    let split: Vec<String> =
+        report.rung_evaluated.iter().map(|(rung, count)| format!("{rung}={count}")).collect();
+    reporter.machine(&format!(
+        "rung split: {} | scout share {:.2}",
+        if split.is_empty() { "none".to_owned() } else { split.join(" ") },
+        report.scout_share,
+    ));
+    if !report.rank_fidelity.is_empty() {
+        let taus: Vec<String> =
+            report.rank_fidelity.iter().map(|(key, tau)| format!("{key}={tau:.3}")).collect();
+        reporter.machine(&format!("rank fidelity: {}", taus.join(" ")));
+    }
+    if report.stalled {
+        reporter.machine("stopped early: hypervolume stalled");
+    }
     reporter.latency_summary(&service.metrics_snapshot());
     reporter.note("\ngeneration trajectory:");
     for generation in &report.generations {

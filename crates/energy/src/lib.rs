@@ -353,6 +353,82 @@ impl EnergyModel {
     }
 }
 
+/// Silicon-area model of the accelerator, calibrated to published 28 nm
+/// figures the same way the energy constants are.
+///
+/// Area is derived entirely from the [`ArchConfig`]: CIM macros, SRAM
+/// capacities and core/chip counts each carry a per-unit area constant,
+/// so every sweep axis that grows the machine (chips, cores, local
+/// memory) grows the estimate. The absolute mm² are approximate — the
+/// paper's authors had real floorplans — but the *ordering* between
+/// design points is what the DSE's area objective and feasibility caps
+/// consume, and that ordering is driven by the same capacity ratios a
+/// floorplan would show.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    /// Area of one digital CIM macro in mm² (ISSCC'22-class 28 nm macro).
+    pub cim_mm2_per_macro: f64,
+    /// Local (per-core) SRAM area per MiB in mm².
+    pub local_sram_mm2_per_mib: f64,
+    /// Global (per-chip) SRAM area per MiB in mm² (denser banking than
+    /// the latency-optimized local arrays).
+    pub global_sram_mm2_per_mib: f64,
+    /// Remaining per-core digital logic (vector/scalar units, sequencer)
+    /// in mm².
+    pub core_logic_mm2: f64,
+    /// One mesh router in mm² (one per core).
+    pub router_mm2: f64,
+    /// Fixed per-chip overhead (IO ring, PLLs, pads, SerDes) in mm².
+    pub chip_overhead_mm2: f64,
+}
+
+impl AreaModel {
+    /// Constants representative of 28 nm synthesis and memory-compiler
+    /// output.
+    pub fn calibrated_28nm() -> Self {
+        AreaModel {
+            cim_mm2_per_macro: 0.012,
+            local_sram_mm2_per_mib: 0.50,
+            global_sram_mm2_per_mib: 0.42,
+            core_logic_mm2: 0.055,
+            router_mm2: 0.02,
+            chip_overhead_mm2: 2.0,
+        }
+    }
+
+    /// Area of one core: its CIM macros, local SRAM, digital logic and
+    /// mesh router.
+    pub fn core_mm2(&self, arch: &ArchConfig) -> f64 {
+        let macros = f64::from(arch.core.cim_unit.total_macros());
+        let local_mib = arch.core.local_memory.size_bytes as f64 / (1024.0 * 1024.0);
+        self.cim_mm2_per_macro * macros
+            + self.local_sram_mm2_per_mib * local_mib
+            + self.core_logic_mm2
+            + self.router_mm2
+    }
+
+    /// Area of one chip: its cores, global SRAM and fixed overhead.
+    pub fn chip_mm2(&self, arch: &ArchConfig) -> f64 {
+        let global_mib = arch.chip().global_memory.size_bytes as f64 / (1024.0 * 1024.0);
+        self.core_mm2(arch) * f64::from(arch.chip().core_count)
+            + self.global_sram_mm2_per_mib * global_mib
+            + self.chip_overhead_mm2
+    }
+
+    /// Total silicon area of the system (all chips) in mm² — the
+    /// quantity the DSE's `area` objective minimizes and its feasibility
+    /// caps bound.
+    pub fn system_mm2(&self, arch: &ArchConfig) -> f64 {
+        self.chip_mm2(arch) * f64::from(arch.chip_count())
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::calibrated_28nm()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -450,5 +526,31 @@ mod tests {
         let text = serde_json::to_string(&m).unwrap();
         let back: EnergyModel = serde_json::from_str(&text).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn area_scales_with_every_capacity_axis() {
+        let m = AreaModel::calibrated_28nm();
+        let base = ArchConfig::paper_default();
+        let mm2 = m.system_mm2(&base);
+        assert!(mm2 > 0.0 && mm2.is_finite());
+        // More chips, more cores, more local memory: all strictly larger.
+        assert!((m.system_mm2(&base.with_chip_count(2)) - 2.0 * mm2).abs() < 1e-9);
+        assert!(m.system_mm2(&base.with_core_count(16)) < mm2);
+        assert!(m.system_mm2(&base.with_local_memory_kib(1024)) > mm2);
+        // Fewer macros per group means fewer macros (the group count is
+        // fixed), so the MG axis is a genuine area axis.
+        assert!(m.system_mm2(&base.with_macros_per_group(2)) < mm2);
+        // Chip area is dominated by its cores plus the global SRAM.
+        assert!(m.chip_mm2(&base) > m.core_mm2(&base) * f64::from(base.chip().core_count));
+    }
+
+    #[test]
+    fn area_model_serde_round_trip() {
+        let m = AreaModel::calibrated_28nm();
+        let text = serde_json::to_string(&m).unwrap();
+        let back: AreaModel = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(AreaModel::default(), m);
     }
 }

@@ -115,6 +115,52 @@ mod properties {
     }
 }
 
+/// Regression for the resnet18 MG-axis misranking (EXPERIMENTS.md,
+/// "Coarse-fidelity fidelity"): at 32 px the coarse proxy inverts part
+/// of the macro-group ordering that full 64 px simulation reports. The
+/// calibrated ladder must *measure* that low rank fidelity on the
+/// (resnet18, coarse32) pair and shift the scouting share away from the
+/// historical half — where fixed-split successive halving keeps the
+/// half-budget cap no matter what the proxy misranks.
+#[test]
+fn calibrated_ladder_detects_the_resnet18_mg_misranking() {
+    let space = SweepSpec::new()
+        .named("resnet18-mg-regression")
+        .with_model("resnet18", 64)
+        .with_strategies(&[Strategy::DpOptimized])
+        .with_mg_sizes(&[2, 4, 8, 16]);
+    let spec = ExploreSpec::new(space)
+        .with_budget(8)
+        .with_algorithm(ExploreAlgorithm::SuccessiveHalving)
+        .with_seed(20);
+    let service = EvalService::new(ServiceConfig::new());
+    let report = explore(&spec, &service).unwrap();
+
+    // Every MG point is scouted at 32 px and graduated at 64 px, so the
+    // calibration has the full axis to rank.
+    assert_eq!(report.evaluated, 4, "all four MG points graduate");
+    let tau = report.rank_fidelity.get("resnet18/coarse32").copied().unwrap_or_else(|| {
+        panic!("calibration must cover (resnet18, coarse32): {:?}", report.rank_fidelity)
+    });
+    assert!(
+        tau < 1.0,
+        "the 32 px proxy misranks the MG axis on resnet18, so measured rank fidelity \
+         must be below perfect; got tau = {tau}"
+    );
+    assert!(
+        (report.scout_share - 0.5).abs() > 1e-9,
+        "the calibrated ladder shifts the budget split off the historical half \
+         (tau = {tau}, share = {})",
+        report.scout_share
+    );
+
+    // The fixed split measures the same misranking but is forbidden
+    // from acting on it.
+    let pinned = explore(&spec.clone().with_scout_share(Some(0.5)), &service).unwrap();
+    assert_eq!(pinned.rank_fidelity.get("resnet18/coarse32"), Some(&tau));
+    assert_eq!(pinned.scout_share, 0.5, "fixed-split SH never moves its budget split");
+}
+
 /// Resuming an exploration from its journal replays the identical
 /// trajectory with zero duplicate evaluations: every point is served
 /// from the journal (born terminal), the shared cache records no miss,
